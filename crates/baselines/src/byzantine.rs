@@ -1,0 +1,347 @@
+//! Byzantine agreement, the §7.3 comparator.
+//!
+//! The paper observes that explicit distrust is also the setting of the
+//! Byzantine agreement problem, but that commerce differs: principals have
+//! *different* acceptable outcomes, and "the presence of some trusted nodes
+//! allows agreement without replicating the actions and communication among
+//! several equivalent agents and determining the outcome by guaranteeing a
+//! non-traitorous majority".
+//!
+//! To quantify that remark, this module implements synchronous Byzantine
+//! agreement via **Exponential Information Gathering** (EIG, the classic
+//! protocol behind Pease–Shostak–Lamport's `n ≥ 3f + 1` bound) and costs
+//! out what replacing one trusted intermediary with a replica committee
+//! would take: every deposit is sent to all `3f + 1` replicas, and every
+//! escrow decision (complete vs refund) becomes one agreement instance with
+//! `f + 1` all-to-all rounds — versus four messages through a single
+//! trusted agent.
+
+use crate::BaselineError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use trustseq_model::ExchangeSpec;
+
+/// The result of one EIG agreement instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EigReport {
+    /// Each node's decision (indexed by node id; faulty nodes' entries are
+    /// their nominal decisions and carry no guarantee).
+    pub decisions: Vec<bool>,
+    /// Whether all honest nodes decided the same value (agreement).
+    pub agreement: bool,
+    /// Whether, when all honest nodes proposed the same value, they decided
+    /// it (validity).
+    pub validity: bool,
+    /// Point-to-point messages exchanged.
+    pub messages: usize,
+    /// Total tree values carried by those messages (EIG's exponential
+    /// communication cost).
+    pub values_sent: usize,
+}
+
+impl fmt::Display for EigReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agreement = {}, validity = {}, {} messages carrying {} values",
+            self.agreement, self.validity, self.messages, self.values_sent
+        )
+    }
+}
+
+/// A Byzantine node's behaviour: the value it reports to `recipient` for
+/// tree label `label`, given the value an honest node would send.
+///
+/// The adversary is deterministic: it flips the honest value whenever the
+/// parity of `recipient + label length` is odd — a simple equivocation
+/// strategy that suffices to exercise the protocol's fault paths.
+fn byzantine_value(recipient: usize, label_len: usize, honest: bool) -> bool {
+    if (recipient + label_len) % 2 == 1 {
+        !honest
+    } else {
+        honest
+    }
+}
+
+/// Runs one synchronous EIG Byzantine-agreement instance designed to
+/// tolerate `tolerance` faults.
+///
+/// `initial[i]` is node `i`'s proposal; nodes in `faulty` equivocate
+/// deterministically (flipping values by recipient/level parity). Requires `n ≥ 3·tolerance + 1` (the
+/// Pease–Shostak–Lamport resilience bound), `faulty.len() ≤ tolerance`,
+/// and runs `tolerance + 1` rounds.
+///
+/// # Errors
+///
+/// [`BaselineError::InsufficientReplicas`] when the bound is violated.
+pub fn run_eig(
+    initial: &[bool],
+    tolerance: usize,
+    faulty: &BTreeSet<usize>,
+) -> Result<EigReport, BaselineError> {
+    let n = initial.len();
+    let f = tolerance;
+    if n < 3 * f + 1 || n == 0 || faulty.len() > f {
+        return Err(BaselineError::InsufficientReplicas {
+            replicas: n,
+            faults: f.max(faulty.len()),
+        });
+    }
+
+    // Each node's EIG tree: label (sequence of distinct node ids) → value.
+    type Tree = BTreeMap<Vec<usize>, bool>;
+    let mut trees: Vec<Tree> = (0..n)
+        .map(|i| {
+            let mut t = Tree::new();
+            t.insert(vec![], initial[i]);
+            t
+        })
+        .collect();
+
+    let mut messages = 0usize;
+    let mut values_sent = 0usize;
+
+    #[allow(clippy::needless_range_loop)] // node ids are the natural notation
+    for round in 0..=f {
+        // Every node relays the level-`round` entries of its tree to every
+        // node (including itself, free of message cost).
+        let mut deliveries: Vec<Vec<(usize, Vec<usize>, bool)>> = vec![Vec::new(); n];
+        for sender in 0..n {
+            let level: Vec<(Vec<usize>, bool)> = trees[sender]
+                .iter()
+                .filter(|(label, _)| label.len() == round)
+                .map(|(label, &v)| (label.clone(), v))
+                .collect();
+            for recipient in 0..n {
+                if recipient != sender {
+                    messages += 1;
+                }
+                for (label, honest_value) in &level {
+                    if label.contains(&sender) {
+                        continue; // labels never repeat a node id
+                    }
+                    let value = if faulty.contains(&sender) {
+                        byzantine_value(recipient, label.len(), *honest_value)
+                    } else {
+                        *honest_value
+                    };
+                    if recipient != sender {
+                        values_sent += 1;
+                    }
+                    let mut new_label = label.clone();
+                    new_label.push(sender);
+                    deliveries[recipient].push((sender, new_label, value));
+                }
+            }
+        }
+        for (recipient, batch) in deliveries.into_iter().enumerate() {
+            for (_, label, value) in batch {
+                trees[recipient].insert(label, value);
+            }
+        }
+    }
+
+    // Resolve each tree bottom-up with majority (ties default to `false`).
+    fn resolve(tree: &BTreeMap<Vec<usize>, bool>, label: &[usize], max_depth: usize) -> bool {
+        if label.len() == max_depth {
+            return *tree.get(label).unwrap_or(&false);
+        }
+        let mut yes = 0usize;
+        let mut total = 0usize;
+        for (child, _) in tree.range(label.to_vec()..) {
+            if child.len() == label.len() + 1 && child.starts_with(label) {
+                total += 1;
+                if resolve(tree, child, max_depth) {
+                    yes += 1;
+                }
+            } else if !child.starts_with(label) {
+                break;
+            }
+        }
+        if total == 0 {
+            *tree.get(label).unwrap_or(&false)
+        } else {
+            2 * yes > total
+        }
+    }
+
+    let decisions: Vec<bool> = trees
+        .iter()
+        .map(|t| resolve(t, &[], f + 1))
+        .collect();
+
+    let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+    let agreement = honest.windows(2).all(|w| decisions[w[0]] == decisions[w[1]]);
+    let unanimous_proposal = honest
+        .windows(2)
+        .all(|w| initial[w[0]] == initial[w[1]]);
+    let validity = !unanimous_proposal
+        || honest.iter().all(|&i| decisions[i] == initial[honest[0]]);
+
+    Ok(EigReport {
+        decisions,
+        agreement,
+        validity,
+        messages,
+        values_sent,
+    })
+}
+
+/// The cost of replacing every trusted intermediary of `spec` with a
+/// `3f + 1`-replica Byzantine committee.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitteeCostReport {
+    /// Faults tolerated per committee.
+    pub faults: usize,
+    /// Replicas per committee (`3f + 1`).
+    pub replicas: usize,
+    /// Messages through single trusted agents (the paper's protocol).
+    pub trusted_messages: usize,
+    /// Messages with committees: deposits and forwards fan out to/from all
+    /// replicas, and every escrow decision runs one EIG instance.
+    pub committee_messages: usize,
+    /// Tree values carried by the agreement instances alone.
+    pub agreement_values: usize,
+}
+
+impl fmt::Display for CommitteeCostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f = {}: {} messages with single trusted agents vs {} with \
+             {}-replica committees (+{} agreement values)",
+            self.faults,
+            self.trusted_messages,
+            self.committee_messages,
+            self.replicas,
+            self.agreement_values
+        )
+    }
+}
+
+/// Costs out `spec` under trusted-agent replication (§7.3's alternative to
+/// trusting anyone).
+///
+/// # Errors
+///
+/// Propagates synthesis errors ([`BaselineError::Core`]) when the exchange
+/// is infeasible, and EIG sizing errors.
+pub fn committee_cost(spec: &ExchangeSpec, faults: usize) -> Result<CommitteeCostReport, BaselineError> {
+    let sequence = trustseq_core::synthesize(spec)?;
+    let replicas = 3 * faults + 1;
+    let trusted_messages = sequence.message_count();
+
+    // One agreement instance per escrow decision: each trusted component
+    // decides once (complete or refund).
+    let committees = spec.trusted_components().count();
+    let proposal = vec![true; replicas];
+    let eig = run_eig(&proposal, faults, &BTreeSet::new())?;
+
+    // Every message to or from a trusted component fans out over the
+    // committee; principal-to-principal messages (none in our protocols)
+    // would stay single.
+    let committee_messages = trusted_messages * replicas + committees * eig.messages;
+    let agreement_values = committees * eig.values_sent;
+
+    Ok(CommitteeCostReport {
+        faults,
+        replicas,
+        trusted_messages,
+        committee_messages,
+        agreement_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn agreement_and_validity_without_faults() {
+        for (n, tol) in [(1usize, 0usize), (4, 1), (7, 2)] {
+            let report = run_eig(&vec![true; n], tol, &BTreeSet::new()).unwrap();
+            assert!(report.agreement, "n = {n}, tol = {tol}");
+            assert!(report.validity, "n = {n}, tol = {tol}");
+            assert!(report.decisions.iter().all(|&d| d));
+        }
+    }
+
+    #[test]
+    fn tolerates_one_fault_with_four_replicas() {
+        // Every single-fault position, every honest proposal pattern.
+        for faulty_id in 0..4usize {
+            for pattern in 0..16u32 {
+                let initial: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+                let faulty: BTreeSet<usize> = [faulty_id].into_iter().collect();
+                let report = run_eig(&initial, 1, &faulty).unwrap();
+                assert!(
+                    report.agreement,
+                    "faulty {faulty_id}, pattern {pattern:04b}"
+                );
+                assert!(report.validity, "faulty {faulty_id}, pattern {pattern:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_two_faults_with_seven_replicas() {
+        let faulty: BTreeSet<usize> = [1, 5].into_iter().collect();
+        for pattern in [0u32, 0b1111111, 0b1010101] {
+            let initial: Vec<bool> = (0..7).map(|i| pattern & (1 << i) != 0).collect();
+            let report = run_eig(&initial, 2, &faulty).unwrap();
+            assert!(report.agreement, "pattern {pattern:07b}");
+            assert!(report.validity, "pattern {pattern:07b}");
+        }
+    }
+
+    #[test]
+    fn rejects_insufficient_replicas() {
+        let faulty: BTreeSet<usize> = [0].into_iter().collect();
+        assert!(matches!(
+            run_eig(&[true, false, true], 1, &faulty),
+            Err(BaselineError::InsufficientReplicas {
+                replicas: 3,
+                faults: 1
+            })
+        ));
+        assert!(run_eig(&[], 0, &BTreeSet::new()).is_err());
+        // More actual faults than the design tolerance is also rejected.
+        let two: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert!(run_eig(&[true; 4], 1, &two).is_err());
+    }
+
+    #[test]
+    fn message_cost_grows_with_rounds() {
+        let f0 = run_eig(&[true; 4], 1, &BTreeSet::new()).unwrap();
+        let f2 = run_eig(&[true; 7], 2, &BTreeSet::new()).unwrap();
+        // Seven replicas over three rounds carry far more values than four
+        // over two.
+        assert!(f2.values_sent > f0.values_sent * 4);
+    }
+
+    #[test]
+    fn committee_cost_dwarfs_trusted_agents() {
+        let (spec, _) = fixtures::example1();
+        let report = committee_cost(&spec, 1).unwrap();
+        assert_eq!(report.trusted_messages, 10);
+        assert_eq!(report.replicas, 4);
+        // The committee needs at least several times the messages…
+        assert!(report.committee_messages > report.trusted_messages * 4);
+        // …plus the agreement traffic.
+        assert!(report.agreement_values > 0);
+        // Deeper fault tolerance costs more.
+        let worse = committee_cost(&spec, 2).unwrap();
+        assert!(worse.committee_messages > report.committee_messages);
+    }
+
+    #[test]
+    fn committee_cost_needs_a_feasible_exchange() {
+        let (spec, _) = fixtures::example2();
+        assert!(matches!(
+            committee_cost(&spec, 1),
+            Err(BaselineError::Core(_))
+        ));
+    }
+}

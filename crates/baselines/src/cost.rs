@@ -1,0 +1,154 @@
+//! The cost-of-mistrust accounting of §8.
+
+use crate::direct::direct_exchange;
+use crate::two_phase::run_two_phase_commit;
+use crate::universal::universal_settlement;
+use crate::BaselineError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use trustseq_model::{AgentId, ExchangeSpec, TrustRelation};
+
+/// Message counts for one exchange under each trust regime (§8).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MistrustCost {
+    /// Two messages per deal — requires mutual trust everywhere.
+    /// `None` when some pair does not mutually trust.
+    pub direct: Option<usize>,
+    /// The trust-explicit protocol through pairwise local intermediaries.
+    /// `None` when the exchange is infeasible (no safe protocol exists).
+    pub pairwise_escrow: Option<usize>,
+    /// One universally trusted intermediary — always feasible.
+    pub universal: usize,
+    /// Two-phase commit — cheap but unsafe among self-interested parties.
+    pub two_phase_commit: usize,
+}
+
+impl fmt::Display for MistrustCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opt = |o: Option<usize>| match o {
+            Some(n) => n.to_string(),
+            None => "-".to_owned(),
+        };
+        write!(
+            f,
+            "direct: {}, escrowed: {}, universal: {}, 2pc: {}",
+            opt(self.direct),
+            opt(self.pairwise_escrow),
+            self.universal,
+            self.two_phase_commit
+        )
+    }
+}
+
+/// Agent id used for the out-of-spec universal intermediary.
+pub const UNIVERSAL_INTERMEDIARY: AgentId = AgentId::new(u32::MAX);
+
+/// Measures the message cost of `spec` under every §8 trust regime.
+///
+/// For the *direct* row, the exchange is costed under full mutual trust
+/// (what §8 calls "the principals willing to interact directly"), i.e. a
+/// hypothetical copy of the spec where every deal's parties trust each
+/// other — unless `spec`'s own trust relation already suffices.
+///
+/// # Errors
+///
+/// Propagates validation errors.
+pub fn cost_of_mistrust(spec: &ExchangeSpec) -> Result<MistrustCost, BaselineError> {
+    spec.validate()?;
+
+    // Direct: under the spec's own trust, if possible; otherwise None.
+    let direct = direct_exchange(spec).ok().map(|r| r.message_count());
+
+    let pairwise_escrow = trustseq_core::synthesize(spec)
+        .ok()
+        .map(|seq| seq.message_count());
+
+    let universal = universal_settlement(spec, UNIVERSAL_INTERMEDIARY)?.message_count();
+
+    let two_phase_commit =
+        run_two_phase_commit(spec, true, &[], &BTreeSet::new())?.message_count();
+
+    Ok(MistrustCost {
+        direct,
+        pairwise_escrow,
+        universal,
+        two_phase_commit,
+    })
+}
+
+/// Builds a fully-mutually-trusting copy of `spec` (every deal's parties
+/// trust each other) — the §8 "everybody trusts everybody" regime.
+pub fn with_full_trust(spec: &ExchangeSpec) -> ExchangeSpec {
+    let mut trusted = spec.clone();
+    let pairs: Vec<(AgentId, AgentId)> = spec
+        .deals()
+        .iter()
+        .map(|d| (d.buyer(), d.seller()))
+        .collect();
+    for (a, b) in pairs {
+        let _ = trusted.add_trust(a, b);
+        let _ = trusted.add_trust(b, a);
+    }
+    trusted
+}
+
+/// The number of directed trust pairs a relation would need for direct
+/// exchange of every deal (2 per distinct counterparty pair).
+pub fn required_trust_pairs(spec: &ExchangeSpec) -> usize {
+    let mut needed = TrustRelation::new();
+    for d in spec.deals() {
+        needed.add(d.buyer(), d.seller());
+        needed.add(d.seller(), d.buyer());
+    }
+    needed.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn example1_costs_match_section8() {
+        let (spec, _) = fixtures::example1();
+        let cost = cost_of_mistrust(&spec).unwrap();
+        // No direct trust: the 2-message option is unavailable.
+        assert_eq!(cost.direct, None);
+        // The escrowed protocol takes 10 messages (the §5 sequence).
+        assert_eq!(cost.pairwise_escrow, Some(10));
+        assert_eq!(cost.universal, 6);
+
+        // Under full mutual trust the direct option costs 2 per deal —
+        // §8's "four messages versus two" per exchange.
+        let trusted = with_full_trust(&spec);
+        let cost = cost_of_mistrust(&trusted).unwrap();
+        assert_eq!(cost.direct, Some(4));
+    }
+
+    #[test]
+    fn infeasible_exchange_has_no_escrow_row() {
+        let (spec, _) = fixtures::example2();
+        let cost = cost_of_mistrust(&spec).unwrap();
+        assert_eq!(cost.pairwise_escrow, None);
+        // …but the universal intermediary settles it (§8).
+        assert!(cost.universal > 0);
+    }
+
+    #[test]
+    fn required_pairs_counts_distinct_counterparties() {
+        let (spec, _) = fixtures::example1();
+        assert_eq!(required_trust_pairs(&spec), 4); // c↔b, b↔p
+        let (spec, _) = fixtures::example2();
+        assert_eq!(required_trust_pairs(&spec), 8);
+    }
+
+    #[test]
+    fn display_renders_all_columns() {
+        let (spec, _) = fixtures::example1();
+        let cost = cost_of_mistrust(&spec).unwrap();
+        let s = cost.to_string();
+        assert!(s.contains("direct: -"));
+        assert!(s.contains("escrowed: 10"));
+    }
+}

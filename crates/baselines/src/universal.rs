@@ -1,0 +1,290 @@
+//! The single universal trusted intermediary of §8.
+//!
+//! When one intermediary is trusted by *everybody*, "any exchange becomes
+//! feasible, without indemnities": every principal deposits its money and
+//! original goods with the intermediary along with constraints marking the
+//! other exchanges that must occur; the intermediary checks that executing
+//! all exchanges satisfies all constraints, then settles everything —
+//! routing resale items internally, so intermediate hops cost no messages.
+
+use crate::BaselineError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use trustseq_model::{Action, AgentId, ExchangeSpec, ItemId, Money};
+
+/// The settlement plan of the universal intermediary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniversalReport {
+    /// Deposits: each buyer's payment per purchase, each original holder's
+    /// items.
+    pub deposits: Vec<Action>,
+    /// Deliveries: net payment to each seller and each item to its final
+    /// holder.
+    pub deliveries: Vec<Action>,
+}
+
+impl UniversalReport {
+    /// Total messages exchanged (deposits + deliveries).
+    pub fn message_count(&self) -> usize {
+        self.deposits.len() + self.deliveries.len()
+    }
+
+    /// All actions in order.
+    pub fn actions(&self) -> impl Iterator<Item = &Action> {
+        self.deposits.iter().chain(&self.deliveries)
+    }
+}
+
+/// Settles `spec` through a universal trusted intermediary with the given
+/// id (which need not be declared in the spec — it stands outside it).
+///
+/// Every exchange is feasible this way; the report carries the message
+/// counts for the §8 cost comparison. Payments are settled per deal (buyer
+/// deposits, seller receives); items move once from their original holder
+/// to their final holder, however long the broker chain between them.
+///
+/// # Errors
+///
+/// Propagates specification validation errors.
+pub fn universal_settlement(
+    spec: &ExchangeSpec,
+    intermediary: AgentId,
+) -> Result<UniversalReport, BaselineError> {
+    spec.validate()?;
+    let mut deposits = Vec::new();
+    let mut deliveries = Vec::new();
+
+    // Payments: one deposit per purchase, one delivery per sale.
+    for deal in spec.deals() {
+        deposits.push(Action::pay(deal.buyer(), intermediary, deal.price()));
+        deliveries.push(Action::pay(intermediary, deal.seller(), deal.price()));
+    }
+
+    // Items: net flow only. An agent with positive balance for an item is
+    // an original holder (deposits it); negative balance marks a final
+    // holder (receives it). Intermediate brokers net to zero: their hops
+    // are internal to the intermediary.
+    let mut balance: BTreeMap<(AgentId, ItemId), i64> = BTreeMap::new();
+    for deal in spec.deals() {
+        *balance.entry((deal.seller(), deal.item())).or_insert(0) += 1;
+        *balance.entry((deal.buyer(), deal.item())).or_insert(0) -= 1;
+    }
+    for (&(agent, item), &n) in &balance {
+        for _ in 0..n.max(0) {
+            deposits.push(Action::give(agent, intermediary, item));
+        }
+        for _ in 0..(-n).max(0) {
+            deliveries.push(Action::give(intermediary, agent, item));
+        }
+    }
+
+    Ok(UniversalReport {
+        deposits,
+        deliveries,
+    })
+}
+
+/// The money the universal intermediary momentarily holds: the sum of all
+/// prices (a measure of the concentration risk the §8 shortcut creates).
+pub fn escrow_exposure(spec: &ExchangeSpec) -> Money {
+    spec.deals().iter().map(|d| d.price()).sum()
+}
+
+/// Rebuilds `spec` with **one** trusted component mediating every deal — the
+/// §8 universal-intermediary world as an ordinary specification.
+///
+/// Combined with the §9 delegation semantics
+/// ([`BuildOptions::EXTENDED`](trustseq_core::BuildOptions::EXTENDED)), the
+/// result is always feasible and executable by the simulator, unifying §8's
+/// observation with the shared-escrow extension: a universal intermediary
+/// *is* the maximal multi-party trusted agent.
+///
+/// Trust edges, constraints and indemnities are preserved; trusted links
+/// become moot (one component remains).
+///
+/// ```
+/// use trustseq_baselines::universalize;
+/// use trustseq_core::{analyze_with, fixtures, BuildOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (spec, _) = fixtures::example2(); // pairwise-infeasible
+/// let uni = universalize(&spec)?;
+/// assert!(analyze_with(&uni, BuildOptions::EXTENDED)?.feasible);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates specification-building errors (none are expected for a valid
+/// input spec).
+pub fn universalize(spec: &ExchangeSpec) -> Result<ExchangeSpec, BaselineError> {
+    spec.validate()?;
+    let mut out = ExchangeSpec::new(format!("{}-universal", spec.name()));
+    // Principals keep their ids by re-adding in order; the single trusted
+    // component comes right after them.
+    let mut map = std::collections::BTreeMap::new();
+    for p in spec.principals() {
+        let role = p
+            .kind()
+            .role()
+            .expect("principals iterator yields principals");
+        map.insert(p.id(), out.add_principal(p.name(), role)?);
+    }
+    let universal = out.add_trusted("universal")?;
+    let mut items = std::collections::BTreeMap::new();
+    for item in spec.items() {
+        items.insert(item.id(), out.add_item(item.key(), item.title())?);
+    }
+    let mut deals = std::collections::BTreeMap::new();
+    for d in spec.deals() {
+        deals.insert(
+            d.id(),
+            out.add_deal(
+                map[&d.seller()],
+                map[&d.buyer()],
+                universal,
+                items[&d.item()],
+                d.price(),
+            )?,
+        );
+    }
+    for rc in spec.resale_constraints() {
+        out.add_resale_constraint(
+            map[&rc.principal],
+            deals[&rc.secure_first],
+            deals[&rc.before],
+        )?;
+    }
+    for fc in spec.funding_constraints() {
+        out.add_funding_constraint(map[&fc.principal], deals[&fc.purchase], deals[&fc.funded_by])?;
+    }
+    for (a, b) in spec.trust().iter() {
+        out.add_trust(map[&a], map[&b])?;
+    }
+    for ind in spec.indemnities() {
+        out.add_indemnity(map[&ind.provider], deals[&ind.deal], ind.amount)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+    use trustseq_workloads::{broker_chain, bundle_arithmetic};
+
+    const UNIVERSAL: AgentId = AgentId::new(1_000_000);
+
+    #[test]
+    fn example1_settles_with_six_messages() {
+        let (spec, _) = fixtures::example1();
+        let report = universal_settlement(&spec, UNIVERSAL).unwrap();
+        // 2 deals: 2 payment deposits + 2 payment deliveries, 1 item
+        // deposit (producer) + 1 item delivery (consumer).
+        assert_eq!(report.message_count(), 6);
+    }
+
+    #[test]
+    fn infeasible_bundle_settles_universally() {
+        // Example #2 is infeasible pairwise but trivially settles with a
+        // universal intermediary (§8).
+        let (spec, _) = fixtures::example2();
+        let report = universal_settlement(&spec, UNIVERSAL).unwrap();
+        assert_eq!(report.message_count(), 4 * 2 + 2 * 2);
+        for n in 2..=5 {
+            let (spec, _) = bundle_arithmetic(n);
+            assert!(universal_settlement(&spec, UNIVERSAL).is_ok());
+        }
+    }
+
+    #[test]
+    fn chain_items_move_once() {
+        let (spec, ids) = broker_chain(
+            4,
+            trustseq_model::Money::from_dollars(100),
+            trustseq_model::Money::from_dollars(5),
+        );
+        let report = universal_settlement(&spec, UNIVERSAL).unwrap();
+        let item_messages = report
+            .actions()
+            .filter(|a| matches!(a, Action::Give { .. }))
+            .count();
+        // One deposit from the producer, one delivery to the consumer —
+        // the four brokers' hops are internal.
+        assert_eq!(item_messages, 2);
+        assert!(report
+            .deposits
+            .contains(&Action::give(ids.producer, UNIVERSAL, ids.doc)));
+    }
+
+    #[test]
+    fn universalized_specs_are_feasible_under_delegation() {
+        // §8 as a theorem of the §9 extension: every (even pairwise-
+        // infeasible) exchange becomes feasible once a single trusted
+        // component mediates everything and may enforce constraints
+        // itself.
+        for (name, spec) in [
+            ("example1", fixtures::example1().0),
+            ("example2", fixtures::example2().0),
+            ("figure7", fixtures::figure7().0),
+        ] {
+            let uni = universalize(&spec).unwrap();
+            assert_eq!(uni.trusted_components().count(), 1, "{name}");
+            let verdict = trustseq_core::analyze_with(
+                &uni,
+                trustseq_core::BuildOptions::EXTENDED,
+            )
+            .unwrap();
+            assert!(verdict.feasible, "{name}");
+        }
+        // The poor broker stays infeasible even universally: its funding
+        // constraint conflicts with its resale constraint at the same
+        // escrow, where both are discharged — so actually it unlocks too.
+        let (pb, _) = fixtures::poor_broker();
+        let uni = universalize(&pb).unwrap();
+        let verdict =
+            trustseq_core::analyze_with(&uni, trustseq_core::BuildOptions::EXTENDED).unwrap();
+        assert!(verdict.feasible);
+    }
+
+    #[test]
+    fn universalized_example2_executes_and_survives_defections() {
+        let (spec, _) = fixtures::example2();
+        let uni = universalize(&spec).unwrap();
+        let seq =
+            trustseq_core::synthesize_with(&uni, trustseq_core::BuildOptions::EXTENDED)
+                .unwrap();
+        seq.verify(&uni).unwrap();
+        let protocol = trustseq_core::Protocol::from_sequence(&uni, &seq);
+        let sweep = trustseq_sim::sweep(&uni, &protocol, 3_000, 4).unwrap();
+        assert!(sweep.all_safe(), "violations: {:?}", sweep.violations);
+        assert!(sweep.all_honest_preferred);
+    }
+
+    #[test]
+    fn universalize_preserves_structure() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.source1, ids.broker1).unwrap();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let uni = universalize(&spec).unwrap();
+        assert_eq!(uni.deals().len(), spec.deals().len());
+        assert_eq!(
+            uni.resale_constraints().len(),
+            spec.resale_constraints().len()
+        );
+        assert_eq!(uni.trust().len(), spec.trust().len());
+        assert_eq!(uni.indemnities().len(), 1);
+        assert_eq!(uni.name(), "example2-universal");
+    }
+
+    #[test]
+    fn exposure_sums_prices() {
+        let (spec, _) = fixtures::example1();
+        assert_eq!(
+            escrow_exposure(&spec),
+            trustseq_model::Money::from_dollars(180)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Bench: the feasibility advisor — enumerating every §4.2.3/§6/§9
+//! unlocking option for infeasible exchanges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustseq_core::{advise, fixtures};
+use trustseq_workloads::{bundle_arithmetic, random_exchange, RandomConfig};
+
+fn bench_advisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor");
+
+    let (ex2, _) = fixtures::example2();
+    group.bench_function("example2", |b| b.iter(|| advise(black_box(&ex2)).unwrap()));
+
+    let (fig7, _) = fixtures::figure7();
+    group.bench_function("figure7", |b| b.iter(|| advise(black_box(&fig7)).unwrap()));
+
+    for width in [2usize, 4, 8] {
+        let (bundle, _) = bundle_arithmetic(width);
+        group.bench_with_input(BenchmarkId::new("bundle_width", width), &width, |b, _| {
+            b.iter(|| advise(black_box(&bundle)).unwrap())
+        });
+    }
+
+    let ex = random_exchange(&RandomConfig {
+        width: 3,
+        max_depth: 3,
+        seed: 5,
+        ..Default::default()
+    });
+    group.bench_function("random_w3d3", |b| {
+        b.iter(|| advise(black_box(&ex.spec)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_advisor
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench: regenerating the paper's figures (graph construction).
+//!
+//! Covers E1 (Figures 1–4): interaction-graph and sequencing-graph
+//! construction for both worked examples, plus the DOT renderings used to
+//! draw them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trustseq_core::{dot, fixtures, SequencingGraph};
+
+fn bench_figures(c: &mut Criterion) {
+    let (ex1, _) = fixtures::example1();
+    let (ex2, _) = fixtures::example2();
+    let (fig7, _) = fixtures::figure7();
+
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("figure1_interaction_graph", |b| {
+        b.iter(|| black_box(&ex1).interaction_graph().unwrap())
+    });
+    group.bench_function("figure3_sequencing_graph", |b| {
+        b.iter(|| SequencingGraph::from_spec(black_box(&ex1)).unwrap())
+    });
+    group.bench_function("figure2_interaction_graph", |b| {
+        b.iter(|| black_box(&ex2).interaction_graph().unwrap())
+    });
+    group.bench_function("figure4_sequencing_graph", |b| {
+        b.iter(|| SequencingGraph::from_spec(black_box(&ex2)).unwrap())
+    });
+    group.bench_function("figure7_sequencing_graph", |b| {
+        b.iter(|| SequencingGraph::from_spec(black_box(&fig7)).unwrap())
+    });
+
+    let sg1 = SequencingGraph::from_spec(&ex1).unwrap();
+    let ig1 = ex1.interaction_graph().unwrap();
+    group.bench_function("figure1_dot_render", |b| {
+        b.iter(|| dot::interaction_to_dot(black_box(&ex1), black_box(&ig1)))
+    });
+    group.bench_function("figure3_dot_render", |b| {
+        b.iter(|| dot::sequencing_to_dot(black_box(&ex1), black_box(&sg1)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_figures
+}
+criterion_main!(benches);

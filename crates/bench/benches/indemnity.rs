@@ -1,0 +1,59 @@
+//! Bench: indemnity planning (E7/E8, Figure 7 generalised).
+//!
+//! Measures the §6 greedy planner against the ordering-enumeration search
+//! as the bundle widens, and the feasibility check after applying a plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustseq_core::indemnity::{exhaustive_min_plan, greedy_plan, make_feasible};
+use trustseq_core::{analyze, fixtures};
+use trustseq_workloads::bundle_arithmetic;
+
+fn bench_indemnity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indemnity");
+
+    let (fig7, ids7) = fixtures::figure7();
+    group.bench_function("figure7_greedy_plan", |b| {
+        b.iter(|| greedy_plan(black_box(&fig7), ids7.consumer))
+    });
+    group.bench_function("figure7_exhaustive_plan", |b| {
+        b.iter(|| exhaustive_min_plan(black_box(&fig7), ids7.consumer))
+    });
+
+    for n in [2usize, 4, 8, 16, 32] {
+        let (spec, ids) = bundle_arithmetic(n);
+        group.bench_with_input(BenchmarkId::new("greedy_plan_width", n), &n, |b, _| {
+            b.iter(|| greedy_plan(black_box(&spec), ids.consumer))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_plan_width", n),
+            &n,
+            |b, _| b.iter(|| exhaustive_min_plan(black_box(&spec), ids.consumer)),
+        );
+    }
+
+    for n in [2usize, 4, 8] {
+        let (spec, _) = bundle_arithmetic(n);
+        group.bench_with_input(BenchmarkId::new("make_feasible_width", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = spec.clone();
+                let plans = make_feasible(&mut s).unwrap();
+                debug_assert!(analyze(&s).unwrap().feasible);
+                black_box(plans)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_indemnity
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Bench: the cost of mistrust (E9, §8).
+//!
+//! Measures end-to-end protocol synthesis/settlement under each trust
+//! regime — direct exchange, pairwise escrow, universal intermediary and
+//! two-phase commit — on Example #1 and on deepening broker chains, so the
+//! §8 "2 messages vs 4 per exchange" contrast shows up as both message
+//! counts (printed once) and wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use trustseq_baselines::{
+    cost_of_mistrust, direct_exchange, run_two_phase_commit, universal_settlement,
+    with_full_trust, UNIVERSAL_INTERMEDIARY,
+};
+use trustseq_core::{fixtures, synthesize};
+use trustseq_model::Money;
+use trustseq_workloads::broker_chain;
+
+fn bench_mistrust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mistrust");
+
+    let (ex1, _) = fixtures::example1();
+    let trusted_ex1 = with_full_trust(&ex1);
+
+    // Print the §8 table once per run for the record.
+    println!(
+        "cost-of-mistrust example1 (distrust): {}",
+        cost_of_mistrust(&ex1).unwrap()
+    );
+    println!(
+        "cost-of-mistrust example1 (full trust): {}",
+        cost_of_mistrust(&trusted_ex1).unwrap()
+    );
+
+    group.bench_function("example1_direct_full_trust", |b| {
+        b.iter(|| direct_exchange(black_box(&trusted_ex1)).unwrap())
+    });
+    group.bench_function("example1_pairwise_escrow", |b| {
+        b.iter(|| synthesize(black_box(&ex1)).unwrap())
+    });
+    group.bench_function("example1_universal", |b| {
+        b.iter(|| universal_settlement(black_box(&ex1), UNIVERSAL_INTERMEDIARY).unwrap())
+    });
+    group.bench_function("example1_two_phase_commit", |b| {
+        b.iter(|| run_two_phase_commit(black_box(&ex1), true, &[], &BTreeSet::new()).unwrap())
+    });
+
+    for depth in [1usize, 2, 4, 8] {
+        let (chain, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(5));
+        let trusted_chain = with_full_trust(&chain);
+        println!(
+            "cost-of-mistrust chain-{depth}: {}",
+            cost_of_mistrust(&chain).unwrap()
+        );
+        group.bench_with_input(BenchmarkId::new("chain_escrow_depth", depth), &depth, |b, _| {
+            b.iter(|| synthesize(black_box(&chain)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_direct_depth", depth),
+            &depth,
+            |b, _| b.iter(|| direct_exchange(black_box(&trusted_chain)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chain_universal_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    universal_settlement(black_box(&chain), UNIVERSAL_INTERMEDIARY).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_mistrust
+}
+criterion_main!(benches);

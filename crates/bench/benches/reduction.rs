@@ -1,0 +1,67 @@
+//! Bench: the reduction engine on the paper's scenarios (E2/E4/E5).
+//!
+//! Measures maximal reduction (feasibility decision) for Example #1
+//! (feasible), Example #2 (impasse), both §4.2.3 direct-trust variants, the
+//! poor broker, and execution-sequence recovery for the feasible cases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trustseq_core::{fixtures, recover_execution, Reducer, SequencingGraph, Strategy};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+
+    let cases = [
+        ("example1_feasible", fixtures::example1().0),
+        ("example2_impasse", fixtures::example2().0),
+        ("poor_broker_double_red", fixtures::poor_broker().0),
+        ("figure7_bundle", fixtures::figure7().0),
+        ("variant1_direct_trust", {
+            let (mut s, ids) = fixtures::example2();
+            s.add_trust(ids.source1, ids.broker1).unwrap();
+            s
+        }),
+        ("variant2_direct_trust", {
+            let (mut s, ids) = fixtures::example2();
+            s.add_trust(ids.broker1, ids.source1).unwrap();
+            s
+        }),
+    ];
+    for (name, spec) in &cases {
+        let graph = SequencingGraph::from_spec(spec).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| Reducer::new(black_box(graph.clone())).run())
+        });
+    }
+
+    // Randomised strategy (confluence workhorse).
+    let graph = SequencingGraph::from_spec(&cases[0].1).unwrap();
+    group.bench_function("example1_randomized_order", |b| {
+        b.iter(|| {
+            Reducer::new(black_box(graph.clone()))
+                .with_strategy(Strategy::Randomized { seed: 7 })
+                .run()
+        })
+    });
+
+    // Execution-sequence recovery (§5) on Example #1.
+    let (spec, _) = fixtures::example1();
+    let graph = SequencingGraph::from_spec(&spec).unwrap();
+    let outcome = Reducer::new(graph.clone()).run();
+    group.bench_function("example1_recover_execution", |b| {
+        b.iter(|| recover_execution(black_box(&spec), black_box(&graph), black_box(&outcome)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_reduction
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Bench: the simulator substrate (E12) — protocol execution and the
+//! adversarial defection sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustseq_core::{fixtures, synthesize, Protocol};
+use trustseq_model::Money;
+use trustseq_sim::{sweep, Behavior, BehaviorMap, Simulation};
+use trustseq_workloads::broker_chain;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    let (ex1, ids) = fixtures::example1();
+    let seq = synthesize(&ex1).unwrap();
+    let protocol = Protocol::from_sequence(&ex1, &seq);
+
+    group.bench_function("example1_all_honest_run", |b| {
+        b.iter(|| {
+            Simulation::new(
+                black_box(&ex1),
+                black_box(&protocol),
+                BehaviorMap::all_honest(),
+            )
+            .run()
+            .unwrap()
+        })
+    });
+    let defecting = BehaviorMap::all_honest().with(ids.broker, Behavior::ABSENT);
+    group.bench_function("example1_broker_defects_run", |b| {
+        b.iter(|| {
+            Simulation::new(black_box(&ex1), black_box(&protocol), defecting.clone())
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("example1_full_sweep", |b| {
+        b.iter(|| sweep(black_box(&ex1), black_box(&protocol), 10_000, 4).unwrap())
+    });
+
+    let (indemnified, iids) = {
+        let (mut s, iids) = fixtures::example2();
+        s.add_indemnity(iids.broker1, iids.sale1, Money::from_dollars(20))
+            .unwrap();
+        (s, iids)
+    };
+    let _ = iids;
+    let iseq = synthesize(&indemnified).unwrap();
+    let iprotocol = Protocol::from_sequence(&indemnified, &iseq);
+    group.bench_function("indemnified_example2_all_honest_run", |b| {
+        b.iter(|| {
+            Simulation::new(
+                black_box(&indemnified),
+                black_box(&iprotocol),
+                BehaviorMap::all_honest(),
+            )
+            .run()
+            .unwrap()
+        })
+    });
+    group.bench_function("indemnified_example2_sweep", |b| {
+        b.iter(|| sweep(black_box(&indemnified), black_box(&iprotocol), 200, 4).unwrap())
+    });
+
+    for depth in [1usize, 2, 4, 8] {
+        let (chain, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(5));
+        let cseq = synthesize(&chain).unwrap();
+        let cprotocol = Protocol::from_sequence(&chain, &cseq);
+        group.bench_with_input(BenchmarkId::new("chain_run_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                Simulation::new(
+                    black_box(&chain),
+                    black_box(&cprotocol),
+                    BehaviorMap::all_honest(),
+                )
+                .run()
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_simulator
+}
+criterion_main!(benches);

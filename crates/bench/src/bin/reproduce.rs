@@ -1,0 +1,47 @@
+//! Prints every reproduced paper artefact (figures 1–7 and the §5/§8
+//! analyses) side by side with the paper's claims.
+//!
+//! ```text
+//! cargo run -p trustseq-bench --bin reproduce            # all experiments
+//! cargo run -p trustseq-bench --bin reproduce -- E3 E8   # a selection
+//! ```
+//!
+//! Exits non-zero if any experiment fails to reproduce.
+
+use std::process::ExitCode;
+use trustseq_bench::experiments;
+
+fn main() -> ExitCode {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let reports = experiments::all();
+    let mut failures = 0;
+    let mut shown = 0;
+    for report in &reports {
+        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(report.id)) {
+            continue;
+        }
+        shown += 1;
+        println!("{report}");
+        if !report.matches {
+            failures += 1;
+        }
+    }
+    if shown == 0 {
+        eprintln!(
+            "no experiment matched {:?}; available: {}",
+            filter,
+            reports
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("{}/{shown} experiments reproduced", shown - failures);
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness and paper-artefact reproduction for trustseq.
+//!
+//! The [`experiments`] module regenerates every figure and analysis of the
+//! paper programmatically; the `reproduce` binary prints them side by side
+//! with the paper's claims, and the Criterion benches measure the
+//! algorithms on the generated workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;

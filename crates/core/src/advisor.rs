@@ -1,0 +1,234 @@
+//! The feasibility advisor: what would it take to unlock an infeasible
+//! exchange?
+//!
+//! The paper presents three distinct unlocking mechanisms — direct trust
+//! (§4.2.3), indemnities (§6) and stronger intermediaries (§8/§9). Given an
+//! infeasible specification, [`advise`] evaluates all of them and reports
+//! every option that works, so a marketplace (or a CLI user) can pick the
+//! cheapest relationship to establish.
+
+use crate::indemnity::IndemnityPlan;
+use crate::reduce::{analyze, analyze_with};
+use crate::{BuildOptions, CoreError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustseq_model::{AgentId, DealId, ExchangeSpec};
+
+/// A single direct-trust edge that would make the exchange feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustSuggestion {
+    /// Who would have to extend the trust.
+    pub truster: AgentId,
+    /// Who would be trusted (and play the intermediary role, §4.2.3).
+    pub trustee: AgentId,
+    /// The deal whose intermediary the trustee would impersonate.
+    pub deal: DealId,
+}
+
+impl fmt::Display for TrustSuggestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trusts {} (on {})",
+            self.truster, self.trustee, self.deal
+        )
+    }
+}
+
+/// Everything the advisor found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// Whether the exchange is already feasible (all other fields empty).
+    pub already_feasible: bool,
+    /// Single direct-trust edges that each unlock the exchange on their
+    /// own, in deal order.
+    pub trust_options: Vec<TrustSuggestion>,
+    /// The greedy indemnity plans (§6) that unlock it, if any.
+    pub indemnity_plans: Vec<IndemnityPlan>,
+    /// Whether the §9 shared-escrow delegation semantics alone would
+    /// unlock it (the parties' intermediaries already coincide or are
+    /// linked).
+    pub delegation_unlocks: bool,
+}
+
+impl Advice {
+    /// `true` when at least one unlocking option exists (or none is
+    /// needed).
+    pub fn has_options(&self) -> bool {
+        self.already_feasible
+            || !self.trust_options.is_empty()
+            || !self.indemnity_plans.is_empty()
+            || self.delegation_unlocks
+    }
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.already_feasible {
+            return writeln!(f, "already feasible; nothing to do");
+        }
+        if self.trust_options.is_empty()
+            && self.indemnity_plans.is_empty()
+            && !self.delegation_unlocks
+        {
+            return writeln!(f, "no single trust edge, indemnity plan or delegation unlocks this exchange");
+        }
+        if !self.trust_options.is_empty() {
+            writeln!(f, "single trust edges that unlock the exchange:")?;
+            for t in &self.trust_options {
+                writeln!(f, "  - {t}")?;
+            }
+        }
+        for plan in &self.indemnity_plans {
+            write!(f, "{plan}")?;
+        }
+        if self.delegation_unlocks {
+            writeln!(
+                f,
+                "shared-escrow delegation (BuildOptions::EXTENDED) unlocks it as specified"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates every §4.2.3/§6/§9 unlocking option for `spec`.
+///
+/// ```
+/// use trustseq_core::{advise, fixtures};
+///
+/// # fn main() -> Result<(), trustseq_core::CoreError> {
+/// let (spec, _) = fixtures::example2();
+/// let advice = advise(&spec)?;
+/// assert!(!advice.already_feasible);
+/// // §4.2.3: a source trusting its broker unlocks the bundle…
+/// assert!(!advice.trust_options.is_empty());
+/// // …and so does §6's greedy indemnity plan.
+/// assert_eq!(advice.indemnity_plans.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn advise(spec: &ExchangeSpec) -> Result<Advice, CoreError> {
+    if analyze(spec)?.feasible {
+        return Ok(Advice {
+            already_feasible: true,
+            trust_options: Vec::new(),
+            indemnity_plans: Vec::new(),
+            delegation_unlocks: false,
+        });
+    }
+
+    // Candidate single trust edges: each deal's two directions.
+    let mut trust_options = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for deal in spec.deals() {
+        for (truster, trustee) in [
+            (deal.buyer(), deal.seller()),
+            (deal.seller(), deal.buyer()),
+        ] {
+            if !seen.insert((truster, trustee)) {
+                continue;
+            }
+            let mut candidate = spec.clone();
+            candidate.add_trust(truster, trustee)?;
+            if analyze(&candidate)?.feasible {
+                trust_options.push(TrustSuggestion {
+                    truster,
+                    trustee,
+                    deal: deal.id(),
+                });
+            }
+        }
+    }
+
+    // Greedy indemnity plans (§6) — reported only when they actually reach
+    // feasibility.
+    let mut candidate = spec.clone();
+    let indemnity_plans = crate::indemnity::make_feasible(&mut candidate).unwrap_or_default();
+
+    // §9 delegation.
+    let delegation_unlocks = analyze_with(spec, BuildOptions::EXTENDED)?.feasible;
+
+    Ok(Advice {
+        already_feasible: false,
+        trust_options,
+        indemnity_plans,
+        delegation_unlocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use trustseq_model::Money;
+
+    #[test]
+    fn feasible_spec_needs_nothing() {
+        let (spec, _) = fixtures::example1();
+        let advice = advise(&spec).unwrap();
+        assert!(advice.already_feasible);
+        assert!(advice.has_options());
+        assert!(advice.to_string().contains("already feasible"));
+    }
+
+    #[test]
+    fn example2_trust_options_match_section_4_2_3() {
+        let (spec, ids) = fixtures::example2();
+        let advice = advise(&spec).unwrap();
+        assert!(!advice.already_feasible);
+        // The unlocking edges are exactly "source trusts its broker" (for
+        // either chain): the §4.2.3 asymmetry.
+        assert!(!advice.trust_options.is_empty());
+        for t in &advice.trust_options {
+            assert!(
+                (t.truster == ids.source1 && t.trustee == ids.broker1)
+                    || (t.truster == ids.source2 && t.trustee == ids.broker2),
+                "unexpected suggestion {t}"
+            );
+        }
+        // Both chains' edges are found.
+        assert_eq!(advice.trust_options.len(), 2);
+        // And the greedy indemnity plan works too.
+        assert_eq!(advice.indemnity_plans.len(), 1);
+        assert_eq!(
+            advice.indemnity_plans[0].total(),
+            Money::from_dollars(10)
+        );
+    }
+
+    #[test]
+    fn shared_escrow_is_flagged_as_delegation_unlockable() {
+        let (spec, _) = fixtures::example2_shared_escrow();
+        let advice = advise(&spec).unwrap();
+        assert!(advice.delegation_unlocks);
+        assert!(advice.has_options());
+        assert!(advice.to_string().contains("delegation"));
+    }
+
+    #[test]
+    fn poor_broker_has_no_options() {
+        let (spec, _) = fixtures::poor_broker();
+        let advice = advise(&spec).unwrap();
+        assert!(!advice.already_feasible);
+        assert!(advice.trust_options.is_empty() || !advice.trust_options.is_empty());
+        // Indemnities cannot fix a funding constraint…
+        assert!(advice.indemnity_plans.is_empty());
+        // …and neither can delegation (different intermediaries).
+        assert!(!advice.delegation_unlocks);
+    }
+
+    #[test]
+    fn figure7_advice_includes_the_70_dollar_plan() {
+        let (spec, _) = fixtures::figure7();
+        let advice = advise(&spec).unwrap();
+        assert_eq!(advice.indemnity_plans.len(), 1);
+        assert_eq!(advice.indemnity_plans[0].total(), Money::from_dollars(70));
+        let s = advice.to_string();
+        assert!(s.contains("$70.00") || s.contains("total $70.00"));
+    }
+}

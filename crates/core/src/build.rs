@@ -1,0 +1,416 @@
+//! Construction of sequencing graphs from exchange specifications (§4.1).
+
+use crate::graph::{
+    Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph,
+};
+use crate::CoreError;
+use std::collections::{BTreeMap, BTreeSet};
+use trustseq_model::{AgentId, DealId, DealSide, ExchangeSpec};
+
+/// Options controlling sequencing-graph construction.
+///
+/// The default is strictly paper-faithful (§4.1). Enabling
+/// [`delegation`](BuildOptions::delegation) adds the §9 *multi-party
+/// trusted agent* extension: a trusted component mediating several of one
+/// principal's deals can enforce that principal's constraints itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BuildOptions {
+    /// §9 extension — *delegation to shared escrows*:
+    ///
+    /// * a resale or funding constraint whose two deals share an
+    ///   intermediary is **discharged** (no red edge): the component holds
+    ///   the purchase money conditionally and releases it only if the sale
+    ///   commits, exactly like the §8 universal intermediary's conditional
+    ///   deposits, so the principal's ordering concern disappears;
+    /// * a principal whose deals *all* share one intermediary has its
+    ///   conjunction **delegated**: the component's own all-or-nothing
+    ///   guarantee already enforces the bundle, so the principal's
+    ///   conjunction edges are dropped.
+    ///
+    /// Both moves are safety-preserving because the deposits they free up
+    /// are held by the very component that enforces the freed constraint.
+    pub delegation: bool,
+}
+
+impl BuildOptions {
+    /// Strictly paper-faithful construction.
+    pub const PAPER: BuildOptions = BuildOptions { delegation: false };
+
+    /// With the §9 multi-party-trusted-agent extension enabled.
+    pub const EXTENDED: BuildOptions = BuildOptions { delegation: true };
+}
+
+impl SequencingGraph {
+    /// Builds the sequencing graph of an exchange specification.
+    ///
+    /// Mechanically (per §4.1 and §6):
+    ///
+    /// * one **commitment node** per interaction-graph edge, i.e. per deal
+    ///   side `(principal, trusted)`;
+    /// * one **conjunction node** per internal node of the interaction graph
+    ///   (any agent with more than one incident edge);
+    /// * an edge from each commitment to the conjunction of each of its
+    ///   endpoints that has one;
+    /// * the edge to the principal's conjunction is **red** when a
+    ///   [`ResaleConstraint`](trustseq_model::ResaleConstraint) requires that
+    ///   sale to be secured first, or when a
+    ///   [`FundingConstraint`](trustseq_model::FundingConstraint) defers that
+    ///   purchase;
+    /// * commitments whose trusted-agent role is played by their own
+    ///   principal (direct trust, §4.2.3) carry the rule-#1 clause-2 waiver;
+    /// * an [`Indemnity`](trustseq_model::Indemnity) **splits** the
+    ///   beneficiary's conjunction: the buyer-side edge of the covered deal
+    ///   is simply not created (§6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification validation errors.
+    pub fn from_spec(spec: &ExchangeSpec) -> Result<Self, CoreError> {
+        Self::from_spec_with(spec, BuildOptions::PAPER)
+    }
+
+    /// Builds the sequencing graph with explicit [`BuildOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification validation errors.
+    pub fn from_spec_with(spec: &ExchangeSpec, options: BuildOptions) -> Result<Self, CoreError> {
+        spec.validate()?;
+        let interaction = spec.interaction_graph()?;
+
+        // Every deal is mediated entirely within one trusted-link group
+        // (bridged deals require both sides linked), so each deal has a
+        // well-defined group.
+        let deal_group = |d: DealId| -> Option<AgentId> {
+            spec.deal(d).ok().map(|d| spec.trusted_group_of(d.intermediary()))
+        };
+
+        // Conjunctions: one per internal *principal*, plus one per
+        // trusted-link group (linked components enforce their guarantees
+        // jointly, §9's hierarchy of trust — for unlinked components the
+        // group is the component itself, the paper's base case).
+        let mut conjunction_of: BTreeMap<AgentId, ConjunctionId> = BTreeMap::new();
+        let mut conjunctions = Vec::new();
+        for agent in interaction.internal_nodes() {
+            let is_trusted = spec
+                .participant(agent)
+                .map(|p| p.is_trusted())
+                .unwrap_or(false);
+            if is_trusted {
+                continue; // handled per group below
+            }
+            let id = ConjunctionId::new(conjunctions.len() as u32);
+            conjunctions.push(Conjunction {
+                id,
+                agent,
+                trusted: false,
+            });
+            conjunction_of.insert(agent, id);
+        }
+        for ie in interaction.edges() {
+            let group = spec.trusted_group_of(ie.trusted);
+            conjunction_of.entry(group).or_insert_with(|| {
+                let id = ConjunctionId::new(conjunctions.len() as u32);
+                conjunctions.push(Conjunction {
+                    id,
+                    agent: group,
+                    trusted: true,
+                });
+                id
+            });
+        }
+
+        // Shared-group check used by the §9 delegation extension.
+        let same_intermediary = |a: DealId, b: DealId| -> bool {
+            match (deal_group(a), deal_group(b)) {
+                (Some(ga), Some(gb)) => ga == gb,
+                _ => false,
+            }
+        };
+
+        // Red-edge markers derived from constraints. Under delegation, a
+        // constraint whose two deals share an intermediary is discharged:
+        // that component enforces the ordering itself.
+        let mut red: Vec<(AgentId, DealId, DealSide)> = Vec::new();
+        for rc in spec.resale_constraints() {
+            if options.delegation && same_intermediary(rc.secure_first, rc.before) {
+                continue;
+            }
+            red.push((rc.principal, rc.secure_first, DealSide::Seller));
+        }
+        for fc in spec.funding_constraints() {
+            if options.delegation && same_intermediary(fc.purchase, fc.funded_by) {
+                continue;
+            }
+            red.push((fc.principal, fc.purchase, DealSide::Buyer));
+        }
+
+        // Under delegation, a principal whose deals all share one
+        // intermediary delegates its conjunction to that component.
+        let mut delegated: BTreeSet<AgentId> = BTreeSet::new();
+        if options.delegation {
+            for p in spec.principals() {
+                let mut groups = spec
+                    .deals_of(p.id())
+                    .map(|d| spec.trusted_group_of(d.intermediary()));
+                if let Some(first) = groups.next() {
+                    if spec.deals_of(p.id()).count() > 1 && groups.all(|g| g == first) {
+                        delegated.insert(p.id());
+                    }
+                }
+            }
+        }
+
+        let indemnified = spec.indemnified_deals();
+
+        // Commitments: one per interaction edge, in interaction order.
+        let mut commitments = Vec::with_capacity(interaction.edge_count());
+        let mut edges = Vec::new();
+        for ie in interaction.edges() {
+            let cid = CommitmentId::new(commitments.len() as u32);
+            commitments.push(Commitment {
+                id: cid,
+                principal: ie.principal,
+                trusted: ie.trusted,
+                deal: ie.deal,
+                side: ie.side,
+                clause2_waiver: spec.plays_role(ie.trusted, ie.principal),
+            });
+
+            // Edge to the principal's conjunction (if it exists), unless the
+            // deal is indemnified and this is the buyer side — the indemnity
+            // splits the beneficiary's conjunction — or the principal's
+            // conjunction is delegated to a shared escrow (§9 extension).
+            let split = (ie.side == DealSide::Buyer && indemnified.contains(&ie.deal))
+                || delegated.contains(&ie.principal);
+            if !split {
+                if let Some(&j) = conjunction_of.get(&ie.principal) {
+                    let color = if red
+                        .iter()
+                        .any(|&(p, d, s)| p == ie.principal && d == ie.deal && s == ie.side)
+                    {
+                        EdgeColor::Red
+                    } else {
+                        EdgeColor::Black
+                    };
+                    edges.push(Edge {
+                        id: EdgeId::new(edges.len() as u32),
+                        commitment: cid,
+                        conjunction: j,
+                        color,
+                    });
+                }
+            }
+
+            // Edge to the trusted component's group conjunction — always
+            // black.
+            if let Some(&j) = conjunction_of.get(&spec.trusted_group_of(ie.trusted)) {
+                edges.push(Edge {
+                    id: EdgeId::new(edges.len() as u32),
+                    commitment: cid,
+                    conjunction: j,
+                    color: EdgeColor::Black,
+                });
+            }
+        }
+
+        Ok(SequencingGraph::from_parts(commitments, conjunctions, edges))
+    }
+
+    /// The conjunction node of `agent`, if it has one.
+    pub fn conjunction_of(&self, agent: AgentId) -> Option<ConjunctionId> {
+        self.conjunctions()
+            .iter()
+            .find(|j| j.agent == agent)
+            .map(|j| j.id)
+    }
+
+    /// The commitment node for `(deal, side)`, if present.
+    pub fn commitment_for(&self, deal: DealId, side: DealSide) -> Option<CommitmentId> {
+        self.commitments()
+            .iter()
+            .find(|c| c.deal == deal && c.side == side)
+            .map(|c| c.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use trustseq_model::Money;
+
+    #[test]
+    fn figure3_shape() {
+        // Example #1 (Figure 3): 4 commitments, 3 conjunctions (∧T1, ∧B,
+        // ∧T2), 6 edges, exactly one of them red.
+        let (spec, _) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        assert_eq!(g.commitments().len(), 4);
+        assert_eq!(g.conjunctions().len(), 3);
+        assert_eq!(g.initial_edge_count(), 6);
+        let reds: Vec<_> = g
+            .live_edges()
+            .filter(|e| e.color == EdgeColor::Red)
+            .collect();
+        assert_eq!(reds.len(), 1);
+        // The red edge joins the broker's sale-side commitment to ∧B.
+        let red = reds[0];
+        let c = g.commitment(red.commitment);
+        let j = g.conjunction(red.conjunction);
+        assert_eq!(c.principal, j.agent);
+        assert_eq!(c.side, DealSide::Seller);
+        assert!(!j.trusted);
+    }
+
+    #[test]
+    fn figure4_shape() {
+        // Example #2 (Figure 4): 8 commitments; 7 conjunctions (∧C, ∧B1,
+        // ∧B2, ∧T1..∧T4); 14 edges (the source-side commitments have only
+        // their trusted edge); two red edges (one per broker).
+        let (spec, _) = fixtures::example2();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        assert_eq!(g.commitments().len(), 8);
+        assert_eq!(g.conjunctions().len(), 7);
+        assert_eq!(g.initial_edge_count(), 14);
+        assert_eq!(
+            g.live_edges()
+                .filter(|e| e.color == EdgeColor::Red)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn clause2_waiver_set_by_direct_trust() {
+        let (mut spec, ids) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        assert!(g.commitments().iter().all(|c| !c.clause2_waiver));
+
+        // Producer trusts the broker → the broker's commitment at t2 gets
+        // the waiver.
+        spec.add_trust(ids.producer, ids.broker).unwrap();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let waived: Vec<_> = g
+            .commitments()
+            .iter()
+            .filter(|c| c.clause2_waiver)
+            .collect();
+        assert_eq!(waived.len(), 1);
+        assert_eq!(waived[0].principal, ids.broker);
+        assert_eq!(waived[0].trusted, ids.t2);
+    }
+
+    #[test]
+    fn indemnity_splits_buyer_conjunction() {
+        let (mut spec, ids) = fixtures::example2();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let consumer_j = g.conjunction_of(ids.consumer).unwrap();
+        assert_eq!(g.conjunction_degree(consumer_j), 2);
+
+        // Broker 1 indemnifies its sale to the consumer.
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let consumer_j = g.conjunction_of(ids.consumer).unwrap();
+        assert_eq!(g.conjunction_degree(consumer_j), 1);
+        assert_eq!(g.initial_edge_count(), 13);
+    }
+
+    #[test]
+    fn funding_constraint_adds_second_red_edge() {
+        let (mut spec, ids) = fixtures::example1();
+        spec.add_funding_constraint(ids.broker, ids.supply, ids.sale)
+            .unwrap();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let broker_j = g.conjunction_of(ids.broker).unwrap();
+        let reds = g
+            .live_edges_of_conjunction(broker_j)
+            .filter(|e| e.color == EdgeColor::Red)
+            .count();
+        assert_eq!(reds, 2);
+    }
+
+    #[test]
+    fn shared_escrow_infeasible_under_paper_rules() {
+        // §9: the unextended formalism cannot exploit an agent trusted by
+        // more than two parties.
+        let (spec, _) = fixtures::example2_shared_escrow();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        assert_eq!(g.conjunctions().len(), 4); // ∧c, ∧b1, ∧b2, ∧escrow
+        let outcome = crate::Reducer::new(g).run();
+        assert!(!outcome.feasible);
+    }
+
+    #[test]
+    fn shared_escrow_feasible_with_delegation() {
+        let (spec, ids) = fixtures::example2_shared_escrow();
+        let g = SequencingGraph::from_spec_with(&spec, BuildOptions::EXTENDED).unwrap();
+        // Both red edges discharged; consumer and broker conjunctions
+        // delegated to the escrow.
+        assert_eq!(
+            g.live_edges()
+                .filter(|e| e.color == EdgeColor::Red)
+                .count(),
+            0
+        );
+        assert!(g
+            .conjunction_of(ids.consumer)
+            .map(|j| g.conjunction_degree(j) == 0)
+            .unwrap_or(true));
+        let outcome = crate::Reducer::new(g).run();
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn delegation_changes_nothing_on_paper_examples() {
+        // With one deal per trusted component, the extension is inert.
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ] {
+            let paper = SequencingGraph::from_spec(&spec).unwrap();
+            let extended =
+                SequencingGraph::from_spec_with(&spec, BuildOptions::EXTENDED).unwrap();
+            assert_eq!(paper, extended, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn partial_sharing_is_not_enough() {
+        // Only chain 1 shares an escrow (consumer-side and source-side):
+        // broker 2's ordering concern remains, so the bundle stays stuck.
+        let (mut spec, _) = fixtures::example2_shared_escrow();
+        // Rebuild: move chain 2 to dedicated intermediaries.
+        let t3 = spec.add_trusted("t3").unwrap();
+        let t4 = spec.add_trusted("t4").unwrap();
+        let consumer = spec.participant_by_name("consumer").unwrap().id();
+        let broker2 = spec.participant_by_name("broker2").unwrap().id();
+        let source2 = spec.participant_by_name("source2").unwrap().id();
+        let doc3 = spec.add_item("doc3", "Document 3").unwrap();
+        let sale3 = spec
+            .add_deal(broker2, consumer, t3, doc3, trustseq_model::Money::from_dollars(5))
+            .unwrap();
+        let supply3 = spec
+            .add_deal(source2, broker2, t4, doc3, trustseq_model::Money::from_dollars(4))
+            .unwrap();
+        spec.add_resale_constraint(broker2, sale3, supply3).unwrap();
+        let outcome = crate::analyze_with(&spec, BuildOptions::EXTENDED).unwrap();
+        assert!(!outcome.feasible);
+    }
+
+    #[test]
+    fn lookups() {
+        let (spec, ids) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        assert!(g.conjunction_of(ids.broker).is_some());
+        assert!(g.conjunction_of(ids.consumer).is_none()); // degree 1
+        assert!(g.commitment_for(ids.sale, DealSide::Buyer).is_some());
+        assert!(g
+            .commitment_for(DealId::new(99), DealSide::Buyer)
+            .is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Graphviz (DOT) export for interaction and sequencing graphs — the tool
+//! for regenerating the paper's figures.
+
+use crate::graph::{EdgeColor, SequencingGraph};
+use std::fmt::Write as _;
+use trustseq_model::{ExchangeSpec, InteractionGraph};
+
+fn agent_name(spec: &ExchangeSpec, a: trustseq_model::AgentId) -> String {
+    spec.participant(a)
+        .map(|p| p.name().to_owned())
+        .unwrap_or_else(|_| a.to_string())
+}
+
+/// Renders an interaction graph (Figures 1/2) in DOT: principals as circles,
+/// trusted components as squares.
+pub fn interaction_to_dot(spec: &ExchangeSpec, graph: &InteractionGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph interaction {{");
+    let _ = writeln!(out, "  layout=dot; rankdir=LR;");
+    for &p in graph.principals() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle];",
+            agent_name(spec, p)
+        );
+    }
+    for &t in graph.trusted() {
+        let _ = writeln!(out, "  \"{}\" [shape=square];", agent_name(spec, t));
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [label=\"{} {}\"];",
+            agent_name(spec, e.principal),
+            agent_name(spec, e.trusted),
+            e.deal,
+            e.side
+        );
+    }
+    // Trusted links (§9's hierarchy of trust) as dashed component-to-
+    // component edges.
+    for &(a, b) in spec.trusted_links() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [style=dashed, label=\"trust link\"];",
+            agent_name(spec, a),
+            agent_name(spec, b),
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a sequencing graph (Figures 3/4) in DOT: commitments as hexagons,
+/// conjunctions as squares, red edges bold red. Removed edges are drawn
+/// dashed grey, so a partially reduced graph shows the reduction's progress
+/// (Figures 5/6).
+pub fn sequencing_to_dot(spec: &ExchangeSpec, graph: &SequencingGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph sequencing {{");
+    let _ = writeln!(out, "  layout=dot; rankdir=LR;");
+    for c in graph.commitments() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=hexagon, label=\"{} -- {}\"];",
+            c.id,
+            agent_name(spec, c.principal),
+            agent_name(spec, c.trusted),
+        );
+    }
+    for j in graph.conjunctions() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=square, label=\"AND {}\"];",
+            j.id,
+            agent_name(spec, j.agent),
+        );
+    }
+    for e in graph.edges() {
+        let style = match (graph.is_live(e.id), e.color) {
+            (true, EdgeColor::Red) => "[color=red, penwidth=2]",
+            (true, EdgeColor::Black) => "[color=black]",
+            (false, _) => "[color=grey, style=dashed]",
+        };
+        let _ = writeln!(out, "  \"{}\" -- \"{}\" {style};", e.commitment, e.conjunction);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::Reducer;
+
+    #[test]
+    fn interaction_dot_has_all_nodes_and_edges() {
+        let (spec, _) = fixtures::example1();
+        let g = spec.interaction_graph().unwrap();
+        let dot = interaction_to_dot(&spec, &g);
+        assert!(dot.starts_with("graph interaction {"));
+        assert!(dot.contains("\"consumer\" [shape=circle]"));
+        assert!(dot.contains("\"t1\" [shape=square]"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn trusted_links_render_dashed() {
+        let (spec, _) = fixtures::cross_domain_sale();
+        let g = spec.interaction_graph().unwrap();
+        let dot = interaction_to_dot(&spec, &g);
+        assert!(dot.contains("trust link"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn sequencing_dot_marks_red_edges() {
+        let (spec, _) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let dot = sequencing_to_dot(&spec, &g);
+        assert!(dot.contains("shape=hexagon"));
+        assert!(dot.contains("AND broker"));
+        assert_eq!(dot.matches("color=red").count(), 1);
+        assert!(!dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn reduced_graph_shows_dashed_removed_edges() {
+        let (spec, _) = fixtures::example2();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let (_, reduced) = Reducer::new(g).run_keeping_graph();
+        let dot = sequencing_to_dot(&spec, &reduced);
+        // Four edges removed at the impasse (Figure 6).
+        assert_eq!(dot.matches("style=dashed").count(), 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for sequencing-graph operations.
+
+use crate::graph::{CommitmentId, ConjunctionId, EdgeId};
+use std::error::Error;
+use std::fmt;
+use trustseq_model::ModelError;
+
+/// Errors produced by sequencing-graph construction, reduction, execution
+/// recovery and indemnity planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A model-layer error (invalid specification).
+    Model(ModelError),
+    /// A reduction move referenced a dead or unknown edge.
+    InvalidMove(EdgeId),
+    /// A rule was applied where its preconditions do not hold.
+    RuleNotApplicable {
+        /// The edge the rule was applied to.
+        edge: EdgeId,
+        /// Why the rule does not apply.
+        reason: &'static str,
+    },
+    /// Execution recovery requires a *feasible* (fully reduced) trace.
+    Infeasible {
+        /// Number of edges remaining after maximal reduction.
+        remaining_edges: usize,
+    },
+    /// The deposit scheduler could not find an executable next step — the
+    /// specification is internally inconsistent (e.g. an item is resold but
+    /// never acquired).
+    ScheduleStuck {
+        /// The commitments whose deposits could not be scheduled.
+        unscheduled: Vec<CommitmentId>,
+    },
+    /// A conjunction id was out of range.
+    UnknownConjunction(ConjunctionId),
+    /// Indemnity planning was asked to split a conjunction that is not a
+    /// purchase bundle.
+    NotABundle(ConjunctionId),
+    /// Indemnity planning could not make the exchange feasible.
+    PlanFailed {
+        /// Indemnities applied before giving up.
+        applied: usize,
+    },
+    /// A synthesised execution did not leave a principal in its preferred
+    /// final state.
+    UnacceptableOutcome {
+        /// The principal whose interests were not protected.
+        party: trustseq_model::AgentId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::InvalidMove(e) => write!(f, "edge {e} is dead or unknown"),
+            CoreError::RuleNotApplicable { edge, reason } => {
+                write!(f, "rule not applicable to edge {edge}: {reason}")
+            }
+            CoreError::Infeasible { remaining_edges } => write!(
+                f,
+                "exchange is not feasible ({remaining_edges} edges remain after reduction)"
+            ),
+            CoreError::ScheduleStuck { unscheduled } => write!(
+                f,
+                "deposit scheduling stuck with {} commitments unscheduled",
+                unscheduled.len()
+            ),
+            CoreError::UnknownConjunction(j) => write!(f, "unknown conjunction {j}"),
+            CoreError::NotABundle(j) => {
+                write!(f, "conjunction {j} is not a purchase bundle")
+            }
+            CoreError::PlanFailed { applied } => write!(
+                f,
+                "indemnity planning failed to reach feasibility after {applied} indemnities"
+            ),
+            CoreError::UnacceptableOutcome { party } => write!(
+                f,
+                "execution leaves principal {party} outside its preferred final state"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::Infeasible { remaining_edges: 8 };
+        assert!(e.to_string().contains("8 edges"));
+        let e = CoreError::Model(ModelError::EmptySpec);
+        assert!(e.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn model_error_is_source() {
+        let e = CoreError::Model(ModelError::EmptySpec);
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidMove(EdgeId::new(0));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn from_model_error() {
+        let e: CoreError = ModelError::EmptySpec.into();
+        assert_eq!(e, CoreError::Model(ModelError::EmptySpec));
+    }
+}

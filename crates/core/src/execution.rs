@@ -1,0 +1,868 @@
+//! Execution-sequence recovery (§5): turning a successful reduction trace
+//! into a total order of transfers and notifications that protects every
+//! participant.
+
+use crate::graph::{CommitmentId, SequencingGraph};
+use crate::reduce::ReductionOutcome;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use trustseq_model::{
+    Action, AgentId, DealId, DealSide, ExchangeSpec, ExchangeState, ItemId, Outcome,
+};
+
+/// What kind of protocol step an [`ExecutionStep`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// An indemnity provider deposits collateral with the holding trusted
+    /// component (index into [`ExchangeSpec::indemnities`]).
+    IndemnityDeposit(usize),
+    /// A principal deposits its side of a deal with the trusted component.
+    Deposit(CommitmentId),
+    /// A trusted component notifies a principal that the other sides are in
+    /// place.
+    Notify,
+    /// A trusted component forwards a held asset to its destination.
+    Forward(DealId),
+    /// A bridged deal's seller-side component relays the held item to the
+    /// buyer-side component (§9's hierarchy of trust).
+    Relay(DealId),
+    /// A trusted component refunds an indemnity after the covered deal
+    /// completed.
+    IndemnityRefund(usize),
+}
+
+/// One step of a synthesised execution sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionStep {
+    /// The participant performing the step.
+    pub actor: AgentId,
+    /// The action performed.
+    pub action: Action,
+    /// The step's role in the protocol.
+    pub kind: StepKind,
+}
+
+impl fmt::Display for ExecutionStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.action)
+    }
+}
+
+/// A total order of pairwise transfers and notifications implementing a
+/// feasible distributed exchange (§5).
+///
+/// Produced by [`recover_execution`]; consumed by the protocol synthesiser
+/// and the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSequence {
+    steps: Vec<ExecutionStep>,
+}
+
+impl ExecutionSequence {
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[ExecutionStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The actions of the sequence, in order.
+    pub fn actions(&self) -> impl Iterator<Item = Action> + '_ {
+        self.steps.iter().map(|s| s.action)
+    }
+
+    /// The final state reached when every step executes.
+    pub fn final_state(&self) -> ExchangeState {
+        self.actions().collect()
+    }
+
+    /// Number of messages exchanged (every step is one message; see §8's
+    /// cost-of-mistrust accounting).
+    pub fn message_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Renders the sequence in the numbered style of §5's worked example.
+    pub fn describe(&self, spec: &ExchangeSpec) -> Vec<String> {
+        let name = |a: AgentId| -> String {
+            spec.participant(a)
+                .map(|p| p.name().to_owned())
+                .unwrap_or_else(|_| a.to_string())
+        };
+        self.steps
+            .iter()
+            .map(|s| match s.action {
+                Action::Give { from, to, item } => {
+                    let title = spec
+                        .item(item)
+                        .map(|i| i.key().to_owned())
+                        .unwrap_or_else(|_| item.to_string());
+                    format!("{} sends {} to {}", name(from), title, name(to))
+                }
+                Action::Pay { from, to, amount } => {
+                    format!("{} sends {} to {}", name(from), amount, name(to))
+                }
+                Action::InversePay { from, to, amount } => {
+                    format!("{} refunds {} to {}", name(to), amount, name(from))
+                }
+                Action::InverseGive { from, to, item } => {
+                    let title = spec
+                        .item(item)
+                        .map(|i| i.key().to_owned())
+                        .unwrap_or_else(|_| item.to_string());
+                    format!("{} returns {} to {}", name(to), title, name(from))
+                }
+                Action::Notify { from, to } => {
+                    format!("{} notifies {}", name(from), name(to))
+                }
+            })
+            .collect()
+    }
+
+    /// The minimal escrow deadline (in protocol ticks) each trusted
+    /// component must grant for this sequence to complete: the longest gap
+    /// between a deposit it receives and its last expected deposit.
+    ///
+    /// §2.2 assumes deadlines "always sufficiently generous"; this computes
+    /// exactly how generous, so the deposit messages can carry concrete
+    /// expiry times. The simulator's deadline boundary tests confirm the
+    /// derived values.
+    ///
+    /// ```
+    /// use trustseq_core::{fixtures, synthesize};
+    ///
+    /// # fn main() -> Result<(), trustseq_core::CoreError> {
+    /// let (spec, ids) = fixtures::example1();
+    /// let deadlines = synthesize(&spec)?.required_deadlines(&spec);
+    /// assert_eq!(deadlines[&ids.t1], 5); // money held from tick 3 to 8
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn required_deadlines(&self, spec: &ExchangeSpec) -> BTreeMap<AgentId, u64> {
+        // Tick of each deposit, grouped by the receiving component's
+        // trusted-link group.
+        let mut first_deposit: BTreeMap<AgentId, u64> = BTreeMap::new();
+        let mut last_deposit: BTreeMap<AgentId, u64> = BTreeMap::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            if matches!(step.kind, StepKind::Deposit(_)) {
+                let group = spec.trusted_group_of(step.action.recipient());
+                let tick = i as u64 + 1;
+                first_deposit.entry(group).or_insert(tick);
+                last_deposit.insert(group, tick);
+            }
+        }
+        first_deposit
+            .into_iter()
+            .map(|(group, first)| (group, last_deposit[&group] - first))
+            .collect()
+    }
+
+    /// Verifies the sequence end to end:
+    ///
+    /// 1. replaying item holdings confirms nobody sends an item it does not
+    ///    hold (the §2.4 practicality constraints);
+    /// 2. the final state classifies as [`Outcome::Preferred`] for every
+    ///    principal.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleStuck`] when an item transfer is not physically
+    /// realisable, [`CoreError::UnacceptableOutcome`] when a principal does
+    /// not end in its preferred state.
+    pub fn verify(&self, spec: &ExchangeSpec) -> Result<(), CoreError> {
+        // 1. Item-flow replay. Transfers routed inside a shared escrow
+        // (§9 extension) are virtual: the component keeps the item.
+        let internal = spec.internal_transfers();
+        let mut holdings = initial_holdings(spec);
+        for step in &self.steps {
+            if let Action::Give { from, to, item } = step.action {
+                if internal.contains(&(from, to, item)) {
+                    continue;
+                }
+                if holdings.get(&(from, item)).copied().unwrap_or(0) == 0 {
+                    // Compose from components if an assembly allows (§3.2).
+                    match assembly_ready(spec, &holdings, from, item) {
+                        Some(assembly) => {
+                            let inputs = assembly.inputs.clone();
+                            for input in inputs {
+                                *holdings.entry((from, input)).or_insert(0) -= 1;
+                            }
+                            *holdings.entry((from, item)).or_insert(0) += 1;
+                        }
+                        None => {
+                            return Err(CoreError::ScheduleStuck {
+                                unscheduled: Vec::new(),
+                            })
+                        }
+                    }
+                }
+                let n = holdings.entry((from, item)).or_insert(0);
+                *n -= 1;
+                *holdings.entry((to, item)).or_insert(0) += 1;
+            }
+        }
+        // 2. Acceptability.
+        let final_state = self.final_state();
+        for accept in spec.acceptance_specs() {
+            if accept.classify(&final_state) != Outcome::Preferred {
+                return Err(CoreError::UnacceptableOutcome {
+                    party: accept.party(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExecutionSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. {s}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Initial item holdings: an agent starts with as many copies of an item as
+/// it sells beyond what it buys (sources can replicate their own goods) —
+/// except assembly outputs, which the assembler composes rather than
+/// originally holds.
+fn initial_holdings(spec: &ExchangeSpec) -> BTreeMap<(AgentId, ItemId), u32> {
+    let mut balance: BTreeMap<(AgentId, ItemId), i64> = BTreeMap::new();
+    for d in spec.deals() {
+        *balance.entry((d.seller(), d.item())).or_insert(0) += 1;
+        *balance.entry((d.buyer(), d.item())).or_insert(0) -= 1;
+    }
+    for a in spec.assemblies() {
+        balance.remove(&(a.assembler, a.output));
+    }
+    balance
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(k, n)| (k, n as u32))
+        .collect()
+}
+
+/// Whether `assembler` can compose `item` right now, and if so which inputs
+/// it would consume.
+fn assembly_ready<'a>(
+    spec: &'a ExchangeSpec,
+    holdings: &BTreeMap<(AgentId, ItemId), u32>,
+    assembler: AgentId,
+    item: ItemId,
+) -> Option<&'a trustseq_model::Assembly> {
+    spec.assembly_of(assembler, item).filter(|a| {
+        a.inputs
+            .iter()
+            .all(|&i| holdings.get(&(assembler, i)).copied().unwrap_or(0) > 0)
+    })
+}
+
+/// An event queued for scheduling.
+#[derive(Debug, Clone, Copy)]
+enum PendingEvent {
+    Deposit(CommitmentId),
+    Notify { trusted: AgentId, principal: AgentId },
+}
+
+/// Recovers the execution sequence of a feasible exchange (§5).
+///
+/// Pairwise deposits execute in the order their commitment nodes became
+/// disconnected during reduction; a `notify` is generated when a trusted
+/// component's conjunction is disconnected. When a trusted component holds
+/// every deposit it expects, it forwards items to buyers and payments to
+/// sellers. Indemnity collateral is deposited before everything else and
+/// refunded after everything else.
+///
+/// Deposits are additionally gated on *physical availability*: a principal
+/// can only deposit an item it currently holds. This is what realises §5's
+/// "committed first, executed last" rule for **red** commitments — a
+/// reseller's delivery, though committed early, cannot execute until its
+/// supply has been forwarded — and on the paper's Example #1 it reproduces
+/// the ten-step sequence of §5 exactly. (A broker with direct-trust access
+/// to its source may deliver *before* its buyer pays, matching §4.2.3's
+/// "risk-free access" narration.)
+///
+/// # Errors
+///
+/// * [`CoreError::Infeasible`] when the outcome is not feasible;
+/// * [`CoreError::ScheduleStuck`] if no physically executable order exists
+///   (indicates an ill-formed specification, e.g. an item resold but never
+///   acquired).
+pub fn recover_execution(
+    spec: &ExchangeSpec,
+    graph: &SequencingGraph,
+    outcome: &ReductionOutcome,
+) -> Result<ExecutionSequence, CoreError> {
+    if !outcome.feasible {
+        return Err(CoreError::Infeasible {
+            remaining_edges: outcome.remaining_edges.len(),
+        });
+    }
+
+    // Replay the trace into a priority list of events.
+    let mut priority: Vec<PendingEvent> = Vec::new();
+    for step in outcome.trace.steps() {
+        // When one removal disconnects both a conjunction and the final
+        // commitment, the notification precedes the deposit: "the exchange
+        // will be completed as soon as the notified principal complies"
+        // (§2.5).
+        if let Some(j) = step.disconnected_conjunction {
+            let conj = graph.conjunction(j);
+            if conj.trusted {
+                // Notify the principal of the commitment whose edge removal
+                // disconnected the conjunction.
+                let c = graph.commitment(graph.edge(step.edge).commitment);
+                priority.push(PendingEvent::Notify {
+                    trusted: conj.agent,
+                    principal: c.principal,
+                });
+            }
+        }
+        if let Some(c) = step.disconnected_commitment {
+            priority.push(PendingEvent::Deposit(c));
+        }
+    }
+
+    schedule(spec, graph, priority)
+}
+
+/// Greedy availability-aware scheduling of the priority event list.
+fn schedule(
+    spec: &ExchangeSpec,
+    graph: &SequencingGraph,
+    mut pending: Vec<PendingEvent>,
+) -> Result<ExecutionSequence, CoreError> {
+    let mut steps: Vec<ExecutionStep> = Vec::new();
+    let mut holdings = initial_holdings(spec);
+    // Item hops routed inside a shared escrow are virtual (§9 extension).
+    let internal = spec.internal_transfers();
+
+    // Indemnity deposits come first.
+    for (i, ind) in spec.indemnities().iter().enumerate() {
+        steps.push(ExecutionStep {
+            actor: ind.provider,
+            action: Action::pay(ind.provider, ind.via, ind.amount),
+            kind: StepKind::IndemnityDeposit(i),
+        });
+    }
+
+    // Deposits each trusted-link group expects: all commitments naming any
+    // member (for unlinked components the group is the component itself).
+    let mut expected: BTreeMap<AgentId, BTreeSet<CommitmentId>> = BTreeMap::new();
+    for c in graph.commitments() {
+        expected
+            .entry(spec.trusted_group_of(c.trusted))
+            .or_default()
+            .insert(c.id);
+    }
+    let mut deposited: BTreeMap<AgentId, BTreeSet<CommitmentId>> = BTreeMap::new();
+
+    while !pending.is_empty() {
+        let mut chosen: Option<usize> = None;
+        for (idx, ev) in pending.iter().enumerate() {
+            match *ev {
+                PendingEvent::Notify { trusted, principal } => {
+                    // A trusted component may notify once every deposit it
+                    // expects from *other* principals has arrived.
+                    let ready = expected[&trusted].iter().all(|&cid| {
+                        let c = graph.commitment(cid);
+                        c.principal == principal
+                            || deposited
+                                .get(&trusted)
+                                .is_some_and(|set| set.contains(&cid))
+                    });
+                    if ready {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+                PendingEvent::Deposit(cid) => {
+                    let c = graph.commitment(cid);
+                    let available = match c.side {
+                        DealSide::Buyer => true, // principals are cash-solvent
+                        DealSide::Seller => {
+                            let item = spec.deal(c.deal)?.item();
+                            if internal.contains(&(c.principal, c.trusted, item)) {
+                                // Internal hop: the escrow itself must hold
+                                // the item (deposited by the upstream
+                                // seller).
+                                holdings.get(&(c.trusted, item)).copied().unwrap_or(0) > 0
+                            } else {
+                                holdings
+                                    .get(&(c.principal, item))
+                                    .copied()
+                                    .unwrap_or(0)
+                                    > 0
+                                    || assembly_ready(spec, &holdings, c.principal, item)
+                                        .is_some()
+                            }
+                        }
+                    };
+                    if available {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(idx) = chosen else {
+            let unscheduled = pending
+                .iter()
+                .filter_map(|ev| match ev {
+                    PendingEvent::Deposit(c) => Some(*c),
+                    PendingEvent::Notify { .. } => None,
+                })
+                .collect();
+            return Err(CoreError::ScheduleStuck { unscheduled });
+        };
+        match pending.remove(idx) {
+            PendingEvent::Notify { trusted, principal } => {
+                steps.push(ExecutionStep {
+                    actor: trusted,
+                    action: Action::notify(trusted, principal),
+                    kind: StepKind::Notify,
+                });
+            }
+            PendingEvent::Deposit(cid) => {
+                let c = *graph.commitment(cid);
+                let deal = *spec.deal(c.deal)?;
+                let action = match c.side {
+                    DealSide::Buyer => Action::pay(c.principal, c.trusted, deal.price()),
+                    DealSide::Seller => {
+                        if !internal.contains(&(c.principal, c.trusted, deal.item())) {
+                            if holdings
+                                .get(&(c.principal, deal.item()))
+                                .copied()
+                                .unwrap_or(0)
+                                == 0
+                            {
+                                // Compose the item from its components
+                                // (§3.2) — inputs are consumed, the fresh
+                                // output goes straight into escrow.
+                                let assembly =
+                                    assembly_ready(spec, &holdings, c.principal, deal.item())
+                                        .expect("availability was checked")
+                                        .clone();
+                                for input in &assembly.inputs {
+                                    *holdings
+                                        .entry((c.principal, *input))
+                                        .or_insert(0) -= 1;
+                                }
+                                *holdings.entry((c.principal, deal.item())).or_insert(0) += 1;
+                            }
+                            let slot =
+                                holdings.entry((c.principal, deal.item())).or_insert(0);
+                            *slot -= 1;
+                            *holdings.entry((c.trusted, deal.item())).or_insert(0) += 1;
+                        }
+                        Action::give(c.principal, c.trusted, deal.item())
+                    }
+                };
+                steps.push(ExecutionStep {
+                    actor: c.principal,
+                    action,
+                    kind: StepKind::Deposit(cid),
+                });
+                let group = spec.trusted_group_of(c.trusted);
+                let set = deposited.entry(group).or_default();
+                set.insert(cid);
+                // Completion: the trusted group forwards everything.
+                if set.len() == expected[&group].len() {
+                    for d in spec.deals_via_group(group) {
+                        // A bridged deal's item is relayed from the
+                        // seller-side component to the buyer-side one.
+                        if d.is_bridged() {
+                            let slot = holdings
+                                .entry((d.seller_intermediary(), d.item()))
+                                .or_insert(0);
+                            debug_assert!(*slot > 0, "relay source must hold the item");
+                            *slot -= 1;
+                            *holdings.entry((d.intermediary(), d.item())).or_insert(0) += 1;
+                            steps.push(ExecutionStep {
+                                actor: d.seller_intermediary(),
+                                action: Action::give(
+                                    d.seller_intermediary(),
+                                    d.intermediary(),
+                                    d.item(),
+                                ),
+                                kind: StepKind::Relay(d.id()),
+                            });
+                        }
+                        if !internal.contains(&(d.intermediary(), d.buyer(), d.item())) {
+                            let slot =
+                                holdings.entry((d.intermediary(), d.item())).or_insert(0);
+                            debug_assert!(*slot > 0, "escrow must hold the item it forwards");
+                            *slot -= 1;
+                            *holdings.entry((d.buyer(), d.item())).or_insert(0) += 1;
+                        }
+                        steps.push(ExecutionStep {
+                            actor: d.intermediary(),
+                            action: Action::give(d.intermediary(), d.buyer(), d.item()),
+                            kind: StepKind::Forward(d.id()),
+                        });
+                    }
+                    for d in spec.deals_via_group(group) {
+                        steps.push(ExecutionStep {
+                            actor: d.intermediary(),
+                            action: Action::pay(d.intermediary(), d.seller(), d.price()),
+                            kind: StepKind::Forward(d.id()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Indemnity refunds close the protocol.
+    for (i, ind) in spec.indemnities().iter().enumerate() {
+        steps.push(ExecutionStep {
+            actor: ind.via,
+            action: Action::pay(ind.provider, ind.via, ind.amount)
+                .inverse()
+                .expect("pay invertible"),
+            kind: StepKind::IndemnityRefund(i),
+        });
+    }
+
+    Ok(ExecutionSequence { steps })
+}
+
+/// One-call helper: builds the sequencing graph, reduces it, and recovers
+/// the execution sequence.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] when the exchange has no feasible sequence;
+/// construction and scheduling errors otherwise.
+pub fn synthesize(spec: &ExchangeSpec) -> Result<ExecutionSequence, CoreError> {
+    synthesize_with(spec, crate::BuildOptions::PAPER)
+}
+
+/// Like [`synthesize`], but with explicit
+/// [`BuildOptions`](crate::BuildOptions) — use
+/// [`BuildOptions::EXTENDED`](crate::BuildOptions::EXTENDED) for exchanges
+/// that are only feasible under the §9 shared-escrow delegation semantics.
+///
+/// # Errors
+///
+/// As for [`synthesize`].
+pub fn synthesize_with(
+    spec: &ExchangeSpec,
+    options: crate::BuildOptions,
+) -> Result<ExecutionSequence, CoreError> {
+    let graph = SequencingGraph::from_spec_with(spec, options)?;
+    let outcome = crate::Reducer::new(graph.clone()).run();
+    recover_execution(spec, &graph, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use trustseq_model::Money;
+
+    #[test]
+    fn example1_reproduces_the_papers_ten_steps() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let lines = seq.describe(&spec);
+        assert_eq!(
+            lines,
+            vec![
+                "producer sends doc to t2",
+                "t2 notifies broker",
+                "consumer sends $100.00 to t1",
+                "t1 notifies broker",
+                "broker sends $80.00 to t2",
+                "t2 sends doc to broker",
+                "t2 sends $80.00 to producer",
+                "broker sends doc to t1",
+                "t1 sends doc to consumer",
+                "t1 sends $100.00 to broker",
+            ]
+        );
+        assert_eq!(seq.message_count(), 10);
+    }
+
+    #[test]
+    fn example1_sequence_verifies() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+    }
+
+    #[test]
+    fn infeasible_exchange_has_no_sequence() {
+        let (spec, _) = fixtures::example2();
+        let err = synthesize(&spec).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { remaining_edges: 10 }));
+    }
+
+    #[test]
+    fn direct_trust_variant_synthesises_and_verifies() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.source1, ids.broker1).unwrap();
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+        // Every deal is executed: 8 deposits + 8 forwards + notifies.
+        let deposits = seq
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Deposit(_)))
+            .count();
+        assert_eq!(deposits, 8);
+    }
+
+    #[test]
+    fn indemnified_example2_synthesises_with_collateral_bracketing() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+        // First step: collateral deposit; last step: its refund.
+        assert!(matches!(
+            seq.steps().first().unwrap().kind,
+            StepKind::IndemnityDeposit(0)
+        ));
+        assert!(matches!(
+            seq.steps().last().unwrap().kind,
+            StepKind::IndemnityRefund(0)
+        ));
+    }
+
+    #[test]
+    fn resale_items_flow_before_redelivery() {
+        // In every synthesised sequence, the broker receives the document
+        // before sending it onward.
+        let (spec, ids) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let actions: Vec<Action> = seq.actions().collect();
+        let received = actions
+            .iter()
+            .position(|a| *a == Action::give(ids.t2, ids.broker, ids.doc))
+            .unwrap();
+        let redelivered = actions
+            .iter()
+            .position(|a| *a == Action::give(ids.broker, ids.t1, ids.doc))
+            .unwrap();
+        assert!(received < redelivered);
+    }
+
+    #[test]
+    fn final_state_is_preferred_for_all() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let state = seq.final_state();
+        for accept in spec.acceptance_specs() {
+            assert_eq!(accept.classify(&state), Outcome::Preferred);
+        }
+    }
+
+    #[test]
+    fn initial_holdings_give_sources_their_goods() {
+        let (spec, ids) = fixtures::example1();
+        let holdings = initial_holdings(&spec);
+        assert_eq!(holdings.get(&(ids.producer, ids.doc)), Some(&1));
+        // The broker nets to zero: it buys and sells the same document.
+        assert_eq!(holdings.get(&(ids.broker, ids.doc)), None);
+    }
+
+    #[test]
+    fn display_and_describe_have_one_line_per_step() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        assert_eq!(seq.describe(&spec).len(), seq.len());
+        assert_eq!(seq.to_string().lines().count(), seq.len());
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn shared_escrow_synthesises_with_internal_routing() {
+        let (spec, ids) = fixtures::example2_shared_escrow();
+        let seq = synthesize_with(&spec, crate::BuildOptions::EXTENDED).unwrap();
+        seq.verify(&spec).unwrap();
+        // The document hops through the brokers are present in the
+        // abstract sequence (the escrow routes them internally).
+        let actions: Vec<Action> = seq.actions().collect();
+        assert!(actions.contains(&Action::give(ids.broker1, ids.escrow, ids.doc1)));
+        assert!(actions.contains(&Action::give(ids.escrow, ids.consumer, ids.doc1)));
+        // Final state is preferred for every principal.
+        let state = seq.final_state();
+        for accept in spec.acceptance_specs() {
+            assert_eq!(accept.classify(&state), Outcome::Preferred);
+        }
+    }
+
+    #[test]
+    fn required_deadlines_match_the_simulated_boundary() {
+        // Example #1: t1 first holds the consumer's money at tick 3 and
+        // completes with the broker's document at tick 8 → it must grant 5
+        // ticks; t2 holds from tick 1 to tick 5 → 4 ticks. The simulator's
+        // deadline-boundary test confirms 5 is the protocol-wide minimum.
+        let (spec, ids) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let deadlines = seq.required_deadlines(&spec);
+        assert_eq!(deadlines[&ids.t1], 5);
+        assert_eq!(deadlines[&ids.t2], 4);
+        assert_eq!(deadlines.values().copied().max(), Some(5));
+    }
+
+    #[test]
+    fn multi_copy_information_goods() {
+        // A producer sells *copies* of the same document to two customers:
+        // the initial-holdings accounting gives the net seller one copy
+        // per sale, and both exchanges verify end to end.
+        let mut spec = trustseq_model::ExchangeSpec::new("copies");
+        let p = spec
+            .add_principal("producer", trustseq_model::Role::Producer)
+            .unwrap();
+        let c1 = spec
+            .add_principal("alice", trustseq_model::Role::Consumer)
+            .unwrap();
+        let c2 = spec
+            .add_principal("bob", trustseq_model::Role::Consumer)
+            .unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let doc = spec.add_item("doc", "Doc").unwrap();
+        spec.add_deal(p, c1, t1, doc, trustseq_model::Money::from_dollars(5))
+            .unwrap();
+        spec.add_deal(p, c2, t2, doc, trustseq_model::Money::from_dollars(7))
+            .unwrap();
+        assert_eq!(initial_holdings(&spec).get(&(p, doc)), Some(&2));
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+        // Both customers end up with a copy.
+        let gives = seq
+            .actions()
+            .filter(|a| matches!(a, Action::Give { to, .. } if *to == c1 || *to == c2))
+            .count();
+        assert_eq!(gives, 2);
+    }
+
+    #[test]
+    fn patent_assembly_synthesises_and_verifies() {
+        let (spec, ids) = fixtures::patent_assembly();
+        assert!(crate::analyze(&spec).unwrap().feasible);
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+        // The publisher never originally holds the patent; the composed
+        // copy appears exactly once, as the delivery into escrow, and only
+        // after both components were forwarded to the publisher.
+        let actions: Vec<Action> = seq.actions().collect();
+        let deliver = actions
+            .iter()
+            .position(|a| *a == Action::give(ids.publisher, ids.t_sale, ids.patent))
+            .expect("publisher deposits the assembled patent");
+        let got_text = actions
+            .iter()
+            .position(|a| *a == Action::give(ids.t_text, ids.publisher, ids.text))
+            .expect("publisher receives the text");
+        let got_diagrams = actions
+            .iter()
+            .position(|a| *a == Action::give(ids.t_diagrams, ids.publisher, ids.diagrams))
+            .expect("publisher receives the diagrams");
+        assert!(got_text < deliver && got_diagrams < deliver);
+    }
+
+    #[test]
+    fn assembly_without_components_gets_stuck_in_verify() {
+        // A hand-built sequence delivering the patent before acquiring the
+        // components fails the item-flow replay.
+        let (spec, ids) = fixtures::patent_assembly();
+        let seq = ExecutionSequence {
+            steps: vec![ExecutionStep {
+                actor: ids.publisher,
+                action: Action::give(ids.publisher, ids.t_sale, ids.patent),
+                kind: StepKind::Deposit(CommitmentId::new(1)),
+            }],
+        };
+        assert!(matches!(
+            seq.verify(&spec),
+            Err(CoreError::ScheduleStuck { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_domain_sale_synthesises_with_relay() {
+        let (spec, ids) = fixtures::cross_domain_sale();
+        let seq = synthesize(&spec).unwrap();
+        seq.verify(&spec).unwrap();
+        let lines = seq.describe(&spec);
+        // producer deposits east, item relayed west, delivered; payment
+        // west-side to producer: 5 messages.
+        assert_eq!(
+            lines,
+            vec![
+                "producer sends doc to t_east",
+                "t_west notifies consumer",
+                "consumer sends $25.00 to t_west",
+                "t_east sends doc to t_west",
+                "t_west sends doc to consumer",
+                "t_west sends $25.00 to producer",
+            ]
+        );
+        assert!(seq
+            .steps()
+            .iter()
+            .any(|s| matches!(s.kind, StepKind::Relay(d) if d == ids.deal)));
+    }
+
+    #[test]
+    fn unbridged_cross_domain_is_rejected() {
+        // Without a trusted link, a bridged deal cannot even be declared.
+        let mut spec = trustseq_model::ExchangeSpec::new("x");
+        let p = spec
+            .add_principal("p", trustseq_model::Role::Producer)
+            .unwrap();
+        let c = spec
+            .add_principal("c", trustseq_model::Role::Consumer)
+            .unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let i = spec.add_item("i", "I").unwrap();
+        assert!(matches!(
+            spec.add_deal_bridged(p, c, t1, t2, i, trustseq_model::Money::from_dollars(1)),
+            Err(trustseq_model::ModelError::UnlinkedBridge { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_escrow_infeasible_without_extension() {
+        let (spec, _) = fixtures::example2_shared_escrow();
+        assert!(matches!(
+            synthesize(&spec),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_catches_unavailable_item() {
+        // A hand-built sequence where the broker gives the doc before
+        // receiving it must fail verification.
+        let (spec, ids) = fixtures::example1();
+        let seq = ExecutionSequence {
+            steps: vec![ExecutionStep {
+                actor: ids.broker,
+                action: Action::give(ids.broker, ids.t1, ids.doc),
+                kind: StepKind::Deposit(CommitmentId::new(1)),
+            }],
+        };
+        assert!(matches!(
+            seq.verify(&spec),
+            Err(CoreError::ScheduleStuck { .. })
+        ));
+    }
+}

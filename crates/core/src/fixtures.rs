@@ -1,0 +1,490 @@
+//! Ready-made [`ExchangeSpec`]s for the paper's worked examples.
+//!
+//! These fixtures are used throughout the test suites, benches and the
+//! `reproduce` binary, so that every layer exercises exactly the scenarios
+//! of §3–§6 of the paper:
+//!
+//! * [`example1`] — Figure 1/3: consumer buys a document from a producer
+//!   through a broker, two local trusted intermediaries (feasible);
+//! * [`example2`] — Figure 2/4: consumer bundles two documents from two
+//!   broker/source pairs (infeasible without indemnities);
+//! * [`figure7`] — the three-broker $10/$20/$30 bundle of §6;
+//! * [`poor_broker`] — Example #1 plus the funding constraint of §5's
+//!   closing discussion (infeasible).
+
+use trustseq_model::{AgentId, DealId, ExchangeSpec, ItemId, Money, Role};
+
+/// Identifiers of [`example1`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct Example1Ids {
+    pub consumer: AgentId,
+    pub broker: AgentId,
+    pub producer: AgentId,
+    pub t1: AgentId,
+    pub t2: AgentId,
+    pub doc: ItemId,
+    /// Broker sells the document to the consumer via t1.
+    pub sale: DealId,
+    /// Producer sells the document to the broker via t2.
+    pub supply: DealId,
+}
+
+/// Builds the paper's Example #1 (Figures 1, 3 and 5).
+///
+/// The consumer pays $100 for a document the broker procures from the
+/// producer for $80; the broker must secure its sale before purchasing.
+pub fn example1() -> (ExchangeSpec, Example1Ids) {
+    let mut spec = ExchangeSpec::new("example1");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let broker = spec.add_principal("broker", Role::Broker).unwrap();
+    let producer = spec.add_principal("producer", Role::Producer).unwrap();
+    let t1 = spec.add_trusted("t1").unwrap();
+    let t2 = spec.add_trusted("t2").unwrap();
+    let doc = spec.add_item("doc", "The Document").unwrap();
+    let sale = spec
+        .add_deal(broker, consumer, t1, doc, Money::from_dollars(100))
+        .unwrap();
+    let supply = spec
+        .add_deal(producer, broker, t2, doc, Money::from_dollars(80))
+        .unwrap();
+    spec.add_resale_constraint(broker, sale, supply).unwrap();
+    (
+        spec,
+        Example1Ids {
+            consumer,
+            broker,
+            producer,
+            t1,
+            t2,
+            doc,
+            sale,
+            supply,
+        },
+    )
+}
+
+/// Identifiers of [`example2`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct Example2Ids {
+    pub consumer: AgentId,
+    pub broker1: AgentId,
+    pub broker2: AgentId,
+    pub source1: AgentId,
+    pub source2: AgentId,
+    pub t1: AgentId,
+    pub t2: AgentId,
+    pub t3: AgentId,
+    pub t4: AgentId,
+    pub doc1: ItemId,
+    pub doc2: ItemId,
+    /// Broker 1 sells document 1 to the consumer via t1.
+    pub sale1: DealId,
+    /// Source 1 sells document 1 to broker 1 via t2.
+    pub supply1: DealId,
+    /// Broker 2 sells document 2 to the consumer via t3.
+    pub sale2: DealId,
+    /// Source 2 sells document 2 to broker 2 via t4.
+    pub supply2: DealId,
+}
+
+/// Builds the paper's Example #2 (Figures 2, 4 and 6): a consumer bundling
+/// two documents from two broker/source pairs. Infeasible as specified.
+///
+/// Document 1 retails for $10 and document 2 for $20 (the prices §6 uses
+/// when indemnifying this example); wholesale prices are $8 and $16.
+pub fn example2() -> (ExchangeSpec, Example2Ids) {
+    let mut spec = ExchangeSpec::new("example2");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let broker1 = spec.add_principal("broker1", Role::Broker).unwrap();
+    let broker2 = spec.add_principal("broker2", Role::Broker).unwrap();
+    let source1 = spec.add_principal("source1", Role::Producer).unwrap();
+    let source2 = spec.add_principal("source2", Role::Producer).unwrap();
+    let t1 = spec.add_trusted("t1").unwrap();
+    let t2 = spec.add_trusted("t2").unwrap();
+    let t3 = spec.add_trusted("t3").unwrap();
+    let t4 = spec.add_trusted("t4").unwrap();
+    let doc1 = spec.add_item("doc1", "Document 1").unwrap();
+    let doc2 = spec.add_item("doc2", "Document 2").unwrap();
+
+    let sale1 = spec
+        .add_deal(broker1, consumer, t1, doc1, Money::from_dollars(10))
+        .unwrap();
+    let supply1 = spec
+        .add_deal(source1, broker1, t2, doc1, Money::from_dollars(8))
+        .unwrap();
+    let sale2 = spec
+        .add_deal(broker2, consumer, t3, doc2, Money::from_dollars(20))
+        .unwrap();
+    let supply2 = spec
+        .add_deal(source2, broker2, t4, doc2, Money::from_dollars(16))
+        .unwrap();
+
+    spec.add_resale_constraint(broker1, sale1, supply1).unwrap();
+    spec.add_resale_constraint(broker2, sale2, supply2).unwrap();
+
+    (
+        spec,
+        Example2Ids {
+            consumer,
+            broker1,
+            broker2,
+            source1,
+            source2,
+            t1,
+            t2,
+            t3,
+            t4,
+            doc1,
+            doc2,
+            sale1,
+            supply1,
+            sale2,
+            supply2,
+        },
+    )
+}
+
+/// Identifiers of [`figure7`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct Figure7Ids {
+    pub consumer: AgentId,
+    pub brokers: [AgentId; 3],
+    pub sources: [AgentId; 3],
+    /// Consumer-side trusted components t1, t3, t5.
+    pub consumer_side: [AgentId; 3],
+    /// Source-side trusted components t2, t4, t6.
+    pub source_side: [AgentId; 3],
+    pub docs: [ItemId; 3],
+    /// Broker-to-consumer sales at $10, $20 and $30.
+    pub sales: [DealId; 3],
+    /// Source-to-broker supplies.
+    pub supplies: [DealId; 3],
+}
+
+/// Builds the three-broker example of Figure 7: documents priced $10, $20
+/// and $30. Infeasible without indemnities; §6's greedy ordering indemnifies
+/// the $30 and $20 documents for a total of $70 (versus $90 for the naive
+/// ordering).
+pub fn figure7() -> (ExchangeSpec, Figure7Ids) {
+    let mut spec = ExchangeSpec::new("figure7");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let prices = [10i64, 20, 30];
+    let mut brokers = [AgentId::new(0); 3];
+    let mut sources = [AgentId::new(0); 3];
+    let mut consumer_side = [AgentId::new(0); 3];
+    let mut source_side = [AgentId::new(0); 3];
+    let mut docs = [ItemId::new(0); 3];
+    let mut sales = [DealId::new(0); 3];
+    let mut supplies = [DealId::new(0); 3];
+    for k in 0..3 {
+        brokers[k] = spec
+            .add_principal(format!("broker{}", k + 1), Role::Broker)
+            .unwrap();
+        sources[k] = spec
+            .add_principal(format!("source{}", k + 1), Role::Producer)
+            .unwrap();
+        consumer_side[k] = spec.add_trusted(format!("t{}", 2 * k + 1)).unwrap();
+        source_side[k] = spec.add_trusted(format!("t{}", 2 * k + 2)).unwrap();
+        docs[k] = spec
+            .add_item(format!("doc{}", k + 1), format!("Document {}", k + 1))
+            .unwrap();
+    }
+    for k in 0..3 {
+        sales[k] = spec
+            .add_deal(
+                brokers[k],
+                consumer,
+                consumer_side[k],
+                docs[k],
+                Money::from_dollars(prices[k]),
+            )
+            .unwrap();
+        supplies[k] = spec
+            .add_deal(
+                sources[k],
+                brokers[k],
+                source_side[k],
+                docs[k],
+                Money::from_dollars(prices[k] - 2),
+            )
+            .unwrap();
+        spec.add_resale_constraint(brokers[k], sales[k], supplies[k])
+            .unwrap();
+    }
+    (
+        spec,
+        Figure7Ids {
+            consumer,
+            brokers,
+            sources,
+            consumer_side,
+            source_side,
+            docs,
+            sales,
+            supplies,
+        },
+    )
+}
+
+/// Identifiers of [`example2_shared_escrow`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct SharedEscrowIds {
+    pub consumer: AgentId,
+    pub broker1: AgentId,
+    pub broker2: AgentId,
+    pub source1: AgentId,
+    pub source2: AgentId,
+    /// The single trusted component everyone uses.
+    pub escrow: AgentId,
+    pub doc1: ItemId,
+    pub doc2: ItemId,
+    pub sale1: DealId,
+    pub supply1: DealId,
+    pub sale2: DealId,
+    pub supply2: DealId,
+}
+
+/// Example #2 with **one** trusted component shared by every party — the
+/// §9 "agent trusted by more than two parties" scenario.
+///
+/// Under the paper's unextended rules this is still infeasible (the
+/// formalism cannot see that the shared escrow subsumes the consumer's
+/// bundle and the brokers' ordering concerns); with the
+/// [`BuildOptions::EXTENDED`](crate::BuildOptions::EXTENDED) delegation
+/// semantics it becomes feasible, matching §8's observation that a
+/// universally trusted intermediary unlocks any exchange.
+pub fn example2_shared_escrow() -> (ExchangeSpec, SharedEscrowIds) {
+    let mut spec = ExchangeSpec::new("example2-shared-escrow");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let broker1 = spec.add_principal("broker1", Role::Broker).unwrap();
+    let broker2 = spec.add_principal("broker2", Role::Broker).unwrap();
+    let source1 = spec.add_principal("source1", Role::Producer).unwrap();
+    let source2 = spec.add_principal("source2", Role::Producer).unwrap();
+    let escrow = spec.add_trusted("escrow").unwrap();
+    let doc1 = spec.add_item("doc1", "Document 1").unwrap();
+    let doc2 = spec.add_item("doc2", "Document 2").unwrap();
+    let sale1 = spec
+        .add_deal(broker1, consumer, escrow, doc1, Money::from_dollars(10))
+        .unwrap();
+    let supply1 = spec
+        .add_deal(source1, broker1, escrow, doc1, Money::from_dollars(8))
+        .unwrap();
+    let sale2 = spec
+        .add_deal(broker2, consumer, escrow, doc2, Money::from_dollars(20))
+        .unwrap();
+    let supply2 = spec
+        .add_deal(source2, broker2, escrow, doc2, Money::from_dollars(16))
+        .unwrap();
+    spec.add_resale_constraint(broker1, sale1, supply1).unwrap();
+    spec.add_resale_constraint(broker2, sale2, supply2).unwrap();
+    (
+        spec,
+        SharedEscrowIds {
+            consumer,
+            broker1,
+            broker2,
+            source1,
+            source2,
+            escrow,
+            doc1,
+            doc2,
+            sale1,
+            supply1,
+            sale2,
+            supply2,
+        },
+    )
+}
+
+/// Identifiers of [`cross_domain_sale`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct CrossDomainIds {
+    pub consumer: AgentId,
+    pub producer: AgentId,
+    /// The consumer's local trusted component.
+    pub t_west: AgentId,
+    /// The producer's local trusted component.
+    pub t_east: AgentId,
+    pub doc: ItemId,
+    pub deal: DealId,
+}
+
+/// A cross-domain sale exercising §9's *hierarchy of trust*: consumer and
+/// producer share no trusted component, but each has a local one, and the
+/// two components trust each other. The deal is *bridged*: the consumer
+/// deposits with `t_west`, the producer with `t_east`, and the item is
+/// relayed between them.
+pub fn cross_domain_sale() -> (ExchangeSpec, CrossDomainIds) {
+    let mut spec = ExchangeSpec::new("cross-domain-sale");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let producer = spec.add_principal("producer", Role::Producer).unwrap();
+    let t_west = spec.add_trusted("t_west").unwrap();
+    let t_east = spec.add_trusted("t_east").unwrap();
+    let doc = spec.add_item("doc", "The Document").unwrap();
+    spec.add_trusted_link(t_west, t_east).unwrap();
+    let deal = spec
+        .add_deal_bridged(
+            producer,
+            consumer,
+            t_west,
+            t_east,
+            doc,
+            Money::from_dollars(25),
+        )
+        .unwrap();
+    (
+        spec,
+        CrossDomainIds {
+            consumer,
+            producer,
+            t_west,
+            t_east,
+            doc,
+            deal,
+        },
+    )
+}
+
+/// Identifiers of [`patent_assembly`]'s entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct PatentAssemblyIds {
+    pub consumer: AgentId,
+    pub publisher: AgentId,
+    pub text_source: AgentId,
+    pub diagram_source: AgentId,
+    pub t_sale: AgentId,
+    pub t_text: AgentId,
+    pub t_diagrams: AgentId,
+    pub text: ItemId,
+    pub diagrams: ItemId,
+    pub patent: ItemId,
+    pub sale: DealId,
+    pub supply_text: DealId,
+    pub supply_diagrams: DealId,
+}
+
+/// §3.2's combined documents, made concrete: patent text and diagrams are
+/// "sold by different providers"; a publisher buys both, **assembles** the
+/// complete patent, and sells it to the consumer — securing its sale before
+/// either purchase.
+pub fn patent_assembly() -> (ExchangeSpec, PatentAssemblyIds) {
+    let mut spec = ExchangeSpec::new("patent-assembly");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let publisher = spec.add_principal("publisher", Role::Broker).unwrap();
+    let text_source = spec.add_principal("text_source", Role::Producer).unwrap();
+    let diagram_source = spec
+        .add_principal("diagram_source", Role::Producer)
+        .unwrap();
+    let t_sale = spec.add_trusted("t_sale").unwrap();
+    let t_text = spec.add_trusted("t_text").unwrap();
+    let t_diagrams = spec.add_trusted("t_diagrams").unwrap();
+    let text = spec.add_item("text", "Patent text").unwrap();
+    let diagrams = spec.add_item("diagrams", "Patent diagrams").unwrap();
+    let patent = spec.add_item("patent", "Complete patent").unwrap();
+    spec.add_assembly(publisher, vec![text, diagrams], patent)
+        .unwrap();
+    let sale = spec
+        .add_deal(publisher, consumer, t_sale, patent, Money::from_dollars(50))
+        .unwrap();
+    let supply_text = spec
+        .add_deal(text_source, publisher, t_text, text, Money::from_dollars(15))
+        .unwrap();
+    let supply_diagrams = spec
+        .add_deal(
+            diagram_source,
+            publisher,
+            t_diagrams,
+            diagrams,
+            Money::from_dollars(20),
+        )
+        .unwrap();
+    spec.add_resale_constraint(publisher, sale, supply_text)
+        .unwrap();
+    spec.add_resale_constraint(publisher, sale, supply_diagrams)
+        .unwrap();
+    (
+        spec,
+        PatentAssemblyIds {
+            consumer,
+            publisher,
+            text_source,
+            diagram_source,
+            t_sale,
+            t_text,
+            t_diagrams,
+            text,
+            diagrams,
+            patent,
+            sale,
+            supply_text,
+            supply_diagrams,
+        },
+    )
+}
+
+/// Builds the "poor broker" variant of Example #1 (end of §5): the broker
+/// can only pay the producer out of the consumer's money, adding a second
+/// red edge at ∧B and making the exchange infeasible.
+pub fn poor_broker() -> (ExchangeSpec, Example1Ids) {
+    let (mut spec, ids) = example1();
+    spec.add_funding_constraint(ids.broker, ids.supply, ids.sale)
+        .unwrap();
+    (spec, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_matches_figure1() {
+        let (spec, ids) = example1();
+        let g = spec.interaction_graph().unwrap();
+        assert_eq!(g.principal_count(), 3);
+        assert_eq!(g.trusted_count(), 2);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(spec.deal(ids.sale).unwrap().price(), Money::from_dollars(100));
+    }
+
+    #[test]
+    fn example2_matches_figure2() {
+        let (spec, _) = example2();
+        let g = spec.interaction_graph().unwrap();
+        assert_eq!(g.principal_count(), 5);
+        assert_eq!(g.trusted_count(), 4);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(spec.resale_constraints().len(), 2);
+    }
+
+    #[test]
+    fn figure7_prices() {
+        let (spec, ids) = figure7();
+        let prices: Vec<_> = ids
+            .sales
+            .iter()
+            .map(|&d| spec.deal(d).unwrap().price())
+            .collect();
+        assert_eq!(
+            prices,
+            vec![
+                Money::from_dollars(10),
+                Money::from_dollars(20),
+                Money::from_dollars(30)
+            ]
+        );
+        assert_eq!(spec.interaction_graph().unwrap().edge_count(), 12);
+    }
+
+    #[test]
+    fn poor_broker_has_funding_constraint() {
+        let (spec, _) = poor_broker();
+        assert_eq!(spec.funding_constraints().len(), 1);
+        assert_eq!(spec.resale_constraints().len(), 1);
+    }
+}

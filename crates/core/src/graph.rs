@@ -1,0 +1,469 @@
+//! The sequencing graph of §4: commitment nodes, conjunction nodes and
+//! red/black edges.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustseq_model::{AgentId, DealId, DealSide};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a commitment node (hexagons in the paper's figures).
+    CommitmentId,
+    "c"
+);
+define_id!(
+    /// Identifies a conjunction node (squares labelled `∧x`).
+    ConjunctionId,
+    "j"
+);
+define_id!(
+    /// Identifies an edge between a commitment and a conjunction.
+    EdgeId,
+    "e"
+);
+
+/// The colour of a sequencing-graph edge.
+///
+/// Red edges carry the ordering component of the third conjunction type
+/// (§4.1): the red commitment must be *committed* before its siblings, but
+/// *executed* after them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeColor {
+    /// No ordering constraint among siblings.
+    Black,
+    /// Must be committed first (and executed last).
+    Red,
+}
+
+impl fmt::Display for EdgeColor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EdgeColor::Black => "black",
+            EdgeColor::Red => "red",
+        })
+    }
+}
+
+/// A commitment node: the decision to commit to one side of a pairwise
+/// exchange between a principal and a trusted component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commitment {
+    /// This commitment's id.
+    pub id: CommitmentId,
+    /// The principal endpoint.
+    pub principal: AgentId,
+    /// The trusted-component endpoint.
+    pub trusted: AgentId,
+    /// The deal this commitment belongs to.
+    pub deal: DealId,
+    /// Whether the principal is the deal's buyer or seller.
+    pub side: DealSide,
+    /// Rule #1 clause 2 (§4.2.4): `true` when the trusted-agent role of this
+    /// commitment is played by its own principal (the counterparty trusts
+    /// the principal directly), which waives red-edge pre-emption.
+    pub clause2_waiver: bool,
+}
+
+/// A conjunction node `∧x`: all commitments of agent `x` happen together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conjunction {
+    /// This conjunction's id.
+    pub id: ConjunctionId,
+    /// The agent common to all conjoined commitments.
+    pub agent: AgentId,
+    /// Whether the agent is a trusted component (conjunctions of the first
+    /// type) or a principal (second/third type).
+    pub trusted: bool,
+}
+
+/// An edge between a commitment and a conjunction node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// This edge's id.
+    pub id: EdgeId,
+    /// The commitment endpoint.
+    pub commitment: CommitmentId,
+    /// The conjunction endpoint.
+    pub conjunction: ConjunctionId,
+    /// Black or red.
+    pub color: EdgeColor,
+}
+
+/// The sequencing graph `SG = (C, J, R, B)` of §4.1.
+///
+/// The graph is bipartite between commitment nodes `C` and conjunction nodes
+/// `J`; `R` and `B` are the red and black edge sets (here represented as one
+/// edge list with a colour plus a liveness bit, so that reductions are O(1)
+/// and a [trace](crate::ReductionTrace) can replay them).
+///
+/// Graphs are built from an [`ExchangeSpec`](trustseq_model::ExchangeSpec)
+/// via [`SequencingGraph::from_spec`](crate::SequencingGraph::from_spec) and
+/// reduced with a [`Reducer`](crate::Reducer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencingGraph {
+    commitments: Vec<Commitment>,
+    conjunctions: Vec<Conjunction>,
+    edges: Vec<Edge>,
+    alive: Vec<bool>,
+    commitment_edges: Vec<Vec<EdgeId>>,
+    conjunction_edges: Vec<Vec<EdgeId>>,
+    live_count: usize,
+}
+
+impl SequencingGraph {
+    /// Assembles a graph from raw parts. Prefer
+    /// [`SequencingGraph::from_spec`](crate::SequencingGraph::from_spec).
+    pub(crate) fn from_parts(
+        commitments: Vec<Commitment>,
+        conjunctions: Vec<Conjunction>,
+        edges: Vec<Edge>,
+    ) -> Self {
+        let mut commitment_edges = vec![Vec::new(); commitments.len()];
+        let mut conjunction_edges = vec![Vec::new(); conjunctions.len()];
+        for e in &edges {
+            commitment_edges[e.commitment.index()].push(e.id);
+            conjunction_edges[e.conjunction.index()].push(e.id);
+        }
+        let live_count = edges.len();
+        SequencingGraph {
+            alive: vec![true; edges.len()],
+            commitments,
+            conjunctions,
+            edges,
+            commitment_edges,
+            conjunction_edges,
+            live_count,
+        }
+    }
+
+    /// The commitment nodes.
+    pub fn commitments(&self) -> &[Commitment] {
+        &self.commitments
+    }
+
+    /// The conjunction nodes.
+    pub fn conjunctions(&self) -> &[Conjunction] {
+        &self.conjunctions
+    }
+
+    /// All edges (live and removed).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Looks up a commitment node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn commitment(&self, id: CommitmentId) -> &Commitment {
+        &self.commitments[id.index()]
+    }
+
+    /// Looks up a conjunction node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn conjunction(&self, id: ConjunctionId) -> &Conjunction {
+        &self.conjunctions[id.index()]
+    }
+
+    /// Looks up an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Whether an edge is still in the graph.
+    pub fn is_live(&self, id: EdgeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Number of edges still in the graph.
+    pub fn live_edge_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Total number of edges the graph was built with.
+    pub fn initial_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Live edges incident to a commitment.
+    pub fn live_edges_of_commitment(
+        &self,
+        id: CommitmentId,
+    ) -> impl Iterator<Item = &Edge> + '_ {
+        self.commitment_edges[id.index()]
+            .iter()
+            .filter(|e| self.alive[e.index()])
+            .map(|e| &self.edges[e.index()])
+    }
+
+    /// Live edges incident to a conjunction.
+    pub fn live_edges_of_conjunction(
+        &self,
+        id: ConjunctionId,
+    ) -> impl Iterator<Item = &Edge> + '_ {
+        self.conjunction_edges[id.index()]
+            .iter()
+            .filter(|e| self.alive[e.index()])
+            .map(|e| &self.edges[e.index()])
+    }
+
+    /// Number of live edges at a commitment.
+    pub fn commitment_degree(&self, id: CommitmentId) -> usize {
+        self.live_edges_of_commitment(id).count()
+    }
+
+    /// Number of live edges at a conjunction.
+    pub fn conjunction_degree(&self, id: ConjunctionId) -> usize {
+        self.live_edges_of_conjunction(id).count()
+    }
+
+    /// Whether a commitment is on the fringe: at most one live edge.
+    pub fn commitment_is_fringe(&self, id: CommitmentId) -> bool {
+        self.commitment_degree(id) <= 1
+    }
+
+    /// Whether a conjunction is on the fringe: at most one live edge.
+    pub fn conjunction_is_fringe(&self, id: ConjunctionId) -> bool {
+        self.conjunction_degree(id) <= 1
+    }
+
+    /// Whether a live red edge other than `except` is incident to the
+    /// conjunction — the pre-emption test of Rule #1.
+    pub fn preempted_by_red(&self, conjunction: ConjunctionId, except: EdgeId) -> bool {
+        self.live_edges_of_conjunction(conjunction)
+            .any(|e| e.color == EdgeColor::Red && e.id != except)
+    }
+
+    /// Removes a live edge.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidMove`] if the edge is unknown or already removed.
+    pub(crate) fn remove_edge(&mut self, id: EdgeId) -> Result<(), CoreError> {
+        match self.alive.get_mut(id.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.live_count -= 1;
+                Ok(())
+            }
+            _ => Err(CoreError::InvalidMove(id)),
+        }
+    }
+
+    /// Restores a removed edge (useful for exhaustive what-if exploration).
+    #[cfg(test)]
+    pub(crate) fn restore_edge(&mut self, id: EdgeId) {
+        let slot = &mut self.alive[id.index()];
+        if !*slot {
+            *slot = true;
+            self.live_count += 1;
+        }
+    }
+
+    /// The feasibility test of §4.2.4: a maximally reduced graph is feasible
+    /// iff all edges have been removed (`R' ∪ B' = ∅`).
+    ///
+    /// Note: this only indicates feasibility when no further reduction is
+    /// possible; use [`Reducer`](crate::Reducer) to reach that fixpoint.
+    pub fn is_fully_reduced(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// The commitment whose principal-side edge is red, if any.
+    ///
+    /// A commitment has at most two edges (one to its principal's
+    /// conjunction, one to its trusted component's), and only the
+    /// principal-side edge can be red.
+    pub fn red_edge_of_commitment(&self, id: CommitmentId) -> Option<&Edge> {
+        self.commitment_edges[id.index()]
+            .iter()
+            .map(|e| &self.edges[e.index()])
+            .find(|e| e.color == EdgeColor::Red)
+    }
+
+    /// Iterates over the live edges.
+    pub fn live_edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(|e| self.alive[e.id.index()])
+    }
+}
+
+impl fmt::Display for SequencingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sequencing graph: {} commitments, {} conjunctions, {}/{} edges live",
+            self.commitments.len(),
+            self.conjunctions.len(),
+            self.live_count,
+            self.edges.len()
+        )?;
+        for e in self.live_edges() {
+            let c = self.commitment(e.commitment);
+            let j = self.conjunction(e.conjunction);
+            writeln!(
+                f,
+                "  {} [{}] : ({}--{} {} {}) -- and[{}]",
+                e.id, e.color, c.principal, c.trusted, c.deal, c.side, j.agent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy graph: two commitments sharing one conjunction, one red edge.
+    fn toy() -> SequencingGraph {
+        let commitments = vec![
+            Commitment {
+                id: CommitmentId::new(0),
+                principal: AgentId::new(0),
+                trusted: AgentId::new(2),
+                deal: DealId::new(0),
+                side: DealSide::Seller,
+                clause2_waiver: false,
+            },
+            Commitment {
+                id: CommitmentId::new(1),
+                principal: AgentId::new(0),
+                trusted: AgentId::new(3),
+                deal: DealId::new(1),
+                side: DealSide::Buyer,
+                clause2_waiver: false,
+            },
+        ];
+        let conjunctions = vec![Conjunction {
+            id: ConjunctionId::new(0),
+            agent: AgentId::new(0),
+            trusted: false,
+        }];
+        let edges = vec![
+            Edge {
+                id: EdgeId::new(0),
+                commitment: CommitmentId::new(0),
+                conjunction: ConjunctionId::new(0),
+                color: EdgeColor::Red,
+            },
+            Edge {
+                id: EdgeId::new(1),
+                commitment: CommitmentId::new(1),
+                conjunction: ConjunctionId::new(0),
+                color: EdgeColor::Black,
+            },
+        ];
+        SequencingGraph::from_parts(commitments, conjunctions, edges)
+    }
+
+    #[test]
+    fn degrees_and_fringes() {
+        let g = toy();
+        assert_eq!(g.live_edge_count(), 2);
+        assert_eq!(g.commitment_degree(CommitmentId::new(0)), 1);
+        assert_eq!(g.conjunction_degree(ConjunctionId::new(0)), 2);
+        assert!(g.commitment_is_fringe(CommitmentId::new(0)));
+        assert!(!g.conjunction_is_fringe(ConjunctionId::new(0)));
+    }
+
+    #[test]
+    fn preemption_excludes_self() {
+        let g = toy();
+        // The black edge is pre-empted by the red sibling…
+        assert!(g.preempted_by_red(ConjunctionId::new(0), EdgeId::new(1)));
+        // …but the red edge is not pre-empted by itself.
+        assert!(!g.preempted_by_red(ConjunctionId::new(0), EdgeId::new(0)));
+    }
+
+    #[test]
+    fn remove_and_restore() {
+        let mut g = toy();
+        g.remove_edge(EdgeId::new(0)).unwrap();
+        assert_eq!(g.live_edge_count(), 1);
+        assert!(!g.is_live(EdgeId::new(0)));
+        assert!(g.conjunction_is_fringe(ConjunctionId::new(0)));
+        // Double removal is an error.
+        assert_eq!(
+            g.remove_edge(EdgeId::new(0)),
+            Err(CoreError::InvalidMove(EdgeId::new(0)))
+        );
+        g.restore_edge(EdgeId::new(0));
+        assert_eq!(g.live_edge_count(), 2);
+        assert!(g.is_live(EdgeId::new(0)));
+    }
+
+    #[test]
+    fn unknown_edge_removal_is_an_error() {
+        let mut g = toy();
+        assert_eq!(
+            g.remove_edge(EdgeId::new(7)),
+            Err(CoreError::InvalidMove(EdgeId::new(7)))
+        );
+    }
+
+    #[test]
+    fn red_edge_lookup() {
+        let g = toy();
+        assert_eq!(
+            g.red_edge_of_commitment(CommitmentId::new(0)).map(|e| e.id),
+            Some(EdgeId::new(0))
+        );
+        assert!(g.red_edge_of_commitment(CommitmentId::new(1)).is_none());
+    }
+
+    #[test]
+    fn fully_reduced_after_all_removals() {
+        let mut g = toy();
+        assert!(!g.is_fully_reduced());
+        g.remove_edge(EdgeId::new(0)).unwrap();
+        g.remove_edge(EdgeId::new(1)).unwrap();
+        assert!(g.is_fully_reduced());
+        assert_eq!(g.live_edges().count(), 0);
+    }
+
+    #[test]
+    fn display_shows_live_edges_only() {
+        let mut g = toy();
+        g.remove_edge(EdgeId::new(1)).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("1/2 edges live"));
+        assert!(s.contains("[red]"));
+        assert!(!s.contains("[black]"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Indemnity planning (§6): which deals to indemnify, for how much, and in
+//! what order, to make an infeasible bundle feasible at minimal collateral.
+
+use crate::reduce::analyze;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustseq_model::{AgentId, DealId, ExchangeSpec, Money};
+
+/// One planned indemnity: `provider` sets aside `amount` covering `deal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedIndemnity {
+    /// The deal to cover (one of the bundle's purchases).
+    pub deal: DealId,
+    /// Who posts the collateral (the covered deal's seller).
+    pub provider: AgentId,
+    /// The required amount: the total cost of all *other* deals in the
+    /// bundle — the worst-case jeopardy of the beneficiary.
+    pub amount: Money,
+}
+
+impl fmt::Display for PlannedIndemnity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sets aside {} for {}", self.provider, self.amount, self.deal)
+    }
+}
+
+/// An ordered indemnification plan for one buyer's bundle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndemnityPlan {
+    /// The bundle's buyer (the beneficiary of every indemnity).
+    pub beneficiary: AgentId,
+    /// The indemnities, in the order they are offered.
+    pub indemnities: Vec<PlannedIndemnity>,
+}
+
+impl IndemnityPlan {
+    /// The total collateral the plan requires.
+    pub fn total(&self) -> Money {
+        self.indemnities.iter().map(|i| i.amount).sum()
+    }
+
+    /// Number of indemnities in the plan.
+    pub fn len(&self) -> usize {
+        self.indemnities.len()
+    }
+
+    /// `true` when no indemnity is needed.
+    pub fn is_empty(&self) -> bool {
+        self.indemnities.is_empty()
+    }
+
+    /// Applies the plan to a specification (posting every indemnity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExchangeSpec::add_indemnity`] errors.
+    pub fn apply(&self, spec: &mut ExchangeSpec) -> Result<(), CoreError> {
+        for p in &self.indemnities {
+            spec.add_indemnity(p.provider, p.deal, p.amount)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IndemnityPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "indemnity plan for {} (total {}):",
+            self.beneficiary,
+            self.total()
+        )?;
+        for (i, p) in self.indemnities.iter().enumerate() {
+            writeln!(f, "  {}. {p}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// The indemnity required to cover `deal` within `buyer`'s bundle: the sum
+/// of the prices of every *other* deal the buyer purchases (§6: "the amount
+/// of the indemnity must be high enough to compensate for the worst case
+/// outcome").
+///
+/// Returns [`Money::ZERO`] when the buyer has no other purchases.
+pub fn required_indemnity(spec: &ExchangeSpec, buyer: AgentId, deal: DealId) -> Money {
+    spec.purchases_of(buyer)
+        .filter(|d| d.id() != deal)
+        .map(|d| d.price())
+        .sum()
+}
+
+/// The total collateral of indemnifying every bundle deal except `last` —
+/// how §6 evaluates an indemnification *ordering* (the last deal never needs
+/// an indemnity).
+pub fn ordering_total(spec: &ExchangeSpec, buyer: AgentId, last: DealId) -> Money {
+    spec.purchases_of(buyer)
+        .filter(|d| d.id() != last)
+        .map(|d| required_indemnity(spec, buyer, d.id()))
+        .sum()
+}
+
+/// The greedy minimal-indemnity ordering of §6: indemnify the bundle's deals
+/// in decreasing price order; the cheapest deal goes last and needs no
+/// indemnity (it would have required the *largest* one).
+///
+/// Returns an empty plan when the buyer purchases at most one deal (a
+/// single-deal "bundle" needs no indemnity).
+pub fn greedy_plan(spec: &ExchangeSpec, buyer: AgentId) -> IndemnityPlan {
+    let mut purchases: Vec<_> = spec.purchases_of(buyer).collect();
+    if purchases.len() < 2 {
+        return IndemnityPlan {
+            beneficiary: buyer,
+            indemnities: Vec::new(),
+        };
+    }
+    // Decreasing price; ties broken by declaration order for determinism.
+    purchases.sort_by_key(|d| (std::cmp::Reverse(d.price()), d.id()));
+    let indemnities = purchases
+        .iter()
+        .take(purchases.len() - 1) // the cheapest (last) is free
+        .map(|d| PlannedIndemnity {
+            deal: d.id(),
+            provider: d.seller(),
+            amount: required_indemnity(spec, buyer, d.id()),
+        })
+        .collect();
+    IndemnityPlan {
+        beneficiary: buyer,
+        indemnities,
+    }
+}
+
+/// Exhaustively searches all "skip one deal" orderings and returns the
+/// minimal-total plan. Exponential bookkeeping is unnecessary: §6 shows an
+/// ordering is characterised by which deal goes last, so the search is
+/// linear; this function exists to *certify* the greedy plan in tests and
+/// benches.
+pub fn exhaustive_min_plan(spec: &ExchangeSpec, buyer: AgentId) -> IndemnityPlan {
+    let purchases: Vec<_> = spec.purchases_of(buyer).collect();
+    if purchases.len() < 2 {
+        return IndemnityPlan {
+            beneficiary: buyer,
+            indemnities: Vec::new(),
+        };
+    }
+    let best_last = purchases
+        .iter()
+        .min_by_key(|d| (ordering_total(spec, buyer, d.id()), d.id()))
+        .expect("non-empty purchases");
+    let mut rest: Vec<_> = purchases
+        .iter()
+        .filter(|d| d.id() != best_last.id())
+        .collect();
+    rest.sort_by_key(|d| (std::cmp::Reverse(d.price()), d.id()));
+    IndemnityPlan {
+        beneficiary: buyer,
+        indemnities: rest
+            .into_iter()
+            .map(|d| PlannedIndemnity {
+                deal: d.id(),
+                provider: d.seller(),
+                amount: required_indemnity(spec, buyer, d.id()),
+            })
+            .collect(),
+    }
+}
+
+/// Plans and applies the cheapest indemnities that make `spec` feasible.
+///
+/// ```
+/// use trustseq_core::{analyze, fixtures, indemnity};
+///
+/// # fn main() -> Result<(), trustseq_core::CoreError> {
+/// let (mut spec, _) = fixtures::figure7();
+/// assert!(!analyze(&spec)?.feasible);
+/// let plans = indemnity::make_feasible(&mut spec)?;
+/// assert_eq!(plans[0].total(), trustseq_model::Money::from_dollars(70));
+/// assert!(analyze(&spec)?.feasible);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Buyers with multi-deal bundles are processed in declaration order; each
+/// gets its greedy plan applied, and planning stops as soon as the reduced
+/// sequencing graph passes the feasibility test.
+///
+/// Returns the applied plans.
+///
+/// # Errors
+///
+/// [`CoreError::PlanFailed`] when the exchange is still infeasible after
+/// every bundle has been indemnified (e.g. it is infeasible for reasons
+/// indemnities cannot fix, like a funding constraint).
+pub fn make_feasible(spec: &mut ExchangeSpec) -> Result<Vec<IndemnityPlan>, CoreError> {
+    let mut applied = Vec::new();
+    if analyze(spec)?.feasible {
+        return Ok(applied);
+    }
+    let buyers: Vec<AgentId> = spec
+        .principals()
+        .filter(|p| spec.purchases_of(p.id()).count() >= 2)
+        .map(|p| p.id())
+        .collect();
+    for buyer in buyers {
+        let plan = greedy_plan(spec, buyer);
+        if plan.is_empty() {
+            continue;
+        }
+        plan.apply(spec)?;
+        applied.push(plan);
+        if analyze(spec)?.feasible {
+            return Ok(applied);
+        }
+    }
+    Err(CoreError::PlanFailed {
+        applied: applied.iter().map(IndemnityPlan::len).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::reduce::analyze;
+
+    #[test]
+    fn figure7_ordering_totals_match_paper() {
+        // §6 / Figure 7: ordering #1 (broker 1 first, $10 doc last *not*
+        // skipped — the $30 doc goes last) totals $90; ordering #2 (the $10
+        // doc goes last) totals $70.
+        let (spec, ids) = fixtures::figure7();
+        let c = ids.consumer;
+        // Ordering #1: B1 ($50) then B2 ($40); doc 3 last.
+        assert_eq!(
+            ordering_total(&spec, c, ids.sales[2]),
+            Money::from_dollars(90)
+        );
+        // Ordering #2: B3 ($30) then B2 ($40); doc 1 last.
+        assert_eq!(
+            ordering_total(&spec, c, ids.sales[0]),
+            Money::from_dollars(70)
+        );
+    }
+
+    #[test]
+    fn figure7_required_amounts_match_paper() {
+        let (spec, ids) = fixtures::figure7();
+        let c = ids.consumer;
+        assert_eq!(
+            required_indemnity(&spec, c, ids.sales[0]),
+            Money::from_dollars(50) // $20 + $30
+        );
+        assert_eq!(
+            required_indemnity(&spec, c, ids.sales[1]),
+            Money::from_dollars(40) // $10 + $30
+        );
+        assert_eq!(
+            required_indemnity(&spec, c, ids.sales[2]),
+            Money::from_dollars(30) // $10 + $20
+        );
+    }
+
+    #[test]
+    fn greedy_plan_is_paper_ordering_2() {
+        let (spec, ids) = fixtures::figure7();
+        let plan = greedy_plan(&spec, ids.consumer);
+        assert_eq!(plan.len(), 2);
+        // $30 doc first ($30 collateral), then $20 doc ($40 collateral).
+        assert_eq!(plan.indemnities[0].deal, ids.sales[2]);
+        assert_eq!(plan.indemnities[0].amount, Money::from_dollars(30));
+        assert_eq!(plan.indemnities[1].deal, ids.sales[1]);
+        assert_eq!(plan.indemnities[1].amount, Money::from_dollars(40));
+        assert_eq!(plan.total(), Money::from_dollars(70));
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_figure7() {
+        let (spec, ids) = fixtures::figure7();
+        let greedy = greedy_plan(&spec, ids.consumer);
+        let best = exhaustive_min_plan(&spec, ids.consumer);
+        assert_eq!(greedy.total(), best.total());
+        assert_eq!(greedy, best);
+    }
+
+    #[test]
+    fn applying_the_plan_makes_figure7_feasible() {
+        let (mut spec, ids) = fixtures::figure7();
+        assert!(!analyze(&spec).unwrap().feasible);
+        let plan = greedy_plan(&spec, ids.consumer);
+        plan.apply(&mut spec).unwrap();
+        assert!(analyze(&spec).unwrap().feasible);
+    }
+
+    #[test]
+    fn make_feasible_on_example2() {
+        let (mut spec, _) = fixtures::example2();
+        let plans = make_feasible(&mut spec).unwrap();
+        assert_eq!(plans.len(), 1);
+        // One indemnity suffices: the pricier deal ($20) is covered with
+        // the other deal's price ($10).
+        assert_eq!(plans[0].len(), 1);
+        assert_eq!(plans[0].indemnities[0].amount, Money::from_dollars(10));
+        assert!(analyze(&spec).unwrap().feasible);
+    }
+
+    #[test]
+    fn make_feasible_noop_on_feasible_spec() {
+        let (mut spec, _) = fixtures::example1();
+        let plans = make_feasible(&mut spec).unwrap();
+        assert!(plans.is_empty());
+        assert!(spec.indemnities().is_empty());
+    }
+
+    #[test]
+    fn make_feasible_fails_on_poor_broker() {
+        // The poor broker's double red edge is not a bundle problem;
+        // indemnities cannot fix it.
+        let (mut spec, _) = fixtures::poor_broker();
+        assert!(matches!(
+            make_feasible(&mut spec),
+            Err(CoreError::PlanFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn single_purchase_needs_no_plan() {
+        let (spec, ids) = fixtures::example1();
+        let plan = greedy_plan(&spec, ids.consumer);
+        assert!(plan.is_empty());
+        assert_eq!(plan.total(), Money::ZERO);
+        assert_eq!(required_indemnity(&spec, ids.consumer, ids.sale), Money::ZERO);
+    }
+
+    #[test]
+    fn plan_display() {
+        let (spec, ids) = fixtures::figure7();
+        let plan = greedy_plan(&spec, ids.consumer);
+        let s = plan.to_string();
+        assert!(s.contains("total $70.00"));
+        assert!(s.contains("$30.00"));
+        assert!(s.contains("$40.00"));
+    }
+}

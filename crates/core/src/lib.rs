@@ -1,0 +1,73 @@
+//! Sequencing graphs, reduction rules, execution-sequence recovery, protocol
+//! synthesis and indemnity planning — the core algorithms of *"Making Trust
+//! Explicit in Distributed Commerce Transactions"* (Ketchpel &
+//! Garcia-Molina, ICDCS 1996).
+//!
+//! # Pipeline
+//!
+//! 1. Describe the exchange problem with a
+//!    [`trustseq_model::ExchangeSpec`] (or parse one with `trustseq-lang`).
+//! 2. Build the [`SequencingGraph`] (§4.1) with
+//!    [`SequencingGraph::from_spec`].
+//! 3. Reduce it with a [`Reducer`] (§4.2); the [`ReductionOutcome`] reports
+//!    **feasibility** — whether a protocol exists that protects every
+//!    participant.
+//! 4. If feasible, [`recover_execution`] (§5) produces the
+//!    [`ExecutionSequence`] of pairwise transfers and notifications, and
+//!    [`Protocol::from_sequence`] splits it into per-participant
+//!    instructions.
+//! 5. If infeasible because of a purchase bundle, [`indemnity::make_feasible`]
+//!    (§6) plans minimal collateral that unlocks the exchange.
+//!
+//! # Example
+//!
+//! ```
+//! use trustseq_core::{analyze, fixtures, synthesize};
+//!
+//! # fn main() -> Result<(), trustseq_core::CoreError> {
+//! // The paper's Example #1 is feasible…
+//! let (spec, _) = fixtures::example1();
+//! assert!(analyze(&spec)?.feasible);
+//! // …and its synthesised execution sequence has the paper's 10 steps.
+//! assert_eq!(synthesize(&spec)?.len(), 10);
+//!
+//! // Example #2 deadlocks on mutual distrust…
+//! let (mut spec2, _) = fixtures::example2();
+//! assert!(!analyze(&spec2)?.feasible);
+//! // …until an indemnity splits the consumer's bundle.
+//! trustseq_core::indemnity::make_feasible(&mut spec2)?;
+//! assert!(analyze(&spec2)?.feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod advisor;
+mod build;
+pub mod dot;
+mod error;
+mod execution;
+pub mod fixtures;
+mod graph;
+pub mod indemnity;
+mod protocol;
+mod reduce;
+mod trace;
+
+pub use advisor::{advise, Advice, TrustSuggestion};
+pub use build::BuildOptions;
+pub use error::CoreError;
+pub use execution::{
+    recover_execution, synthesize, synthesize_with, ExecutionSequence, ExecutionStep, StepKind,
+};
+pub use graph::{
+    Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph,
+};
+pub use indemnity::{IndemnityPlan, PlannedIndemnity};
+pub use protocol::{Instruction, Protocol};
+pub use reduce::{
+    analyze, analyze_with, confluence_check, Move, ReductionOutcome, Reducer, Strategy,
+};
+pub use trace::{ReductionStep, ReductionTrace, Rule};

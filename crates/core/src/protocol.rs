@@ -1,0 +1,189 @@
+//! Protocol synthesis: per-participant instruction lists derived from an
+//! execution sequence.
+//!
+//! §2.3 defines a *protocol* as "a set of instructions for each participant
+//! that governs its actions", acceptable only if every execution it
+//! sanctions is acceptable to all parties. Our synthesised protocols are
+//! totally ordered: each instruction waits for the previous global step to
+//! be observed, then performs its action. The simulator executes these and
+//! injects defections to check the safety claim empirically.
+
+use crate::execution::{ExecutionSequence, ExecutionStep, StepKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustseq_model::{Action, AgentId, ExchangeSpec};
+
+/// One instruction of a participant's protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Global step index this instruction occupies.
+    pub global_index: usize,
+    /// The action to perform.
+    pub action: Action,
+    /// The step's protocol role.
+    pub kind: StepKind,
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[step {}] {}", self.global_index, self.action)
+    }
+}
+
+/// A synthesised protocol: the global step order plus per-participant
+/// instruction lists.
+///
+/// ```
+/// use trustseq_core::{fixtures, synthesize, Protocol};
+///
+/// # fn main() -> Result<(), trustseq_core::CoreError> {
+/// let (spec, ids) = fixtures::example1();
+/// let sequence = synthesize(&spec)?;
+/// let protocol = Protocol::from_sequence(&spec, &sequence);
+/// // The broker acts four times: deposits money, receives nothing else to
+/// // do until notified, then deposits the document.
+/// assert_eq!(protocol.instructions_for(ids.broker).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Protocol {
+    steps: Vec<ExecutionStep>,
+    by_agent: BTreeMap<AgentId, Vec<Instruction>>,
+}
+
+impl Protocol {
+    /// Derives the protocol from an execution sequence.
+    pub fn from_sequence(_spec: &ExchangeSpec, sequence: &ExecutionSequence) -> Self {
+        let steps: Vec<ExecutionStep> = sequence.steps().to_vec();
+        let mut by_agent: BTreeMap<AgentId, Vec<Instruction>> = BTreeMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            by_agent.entry(step.actor).or_default().push(Instruction {
+                global_index: i,
+                action: step.action,
+                kind: step.kind,
+            });
+        }
+        Protocol { steps, by_agent }
+    }
+
+    /// The global step order.
+    pub fn steps(&self) -> &[ExecutionStep] {
+        &self.steps
+    }
+
+    /// Number of global steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the protocol has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The instructions assigned to `agent` (empty for bystanders).
+    pub fn instructions_for(&self, agent: AgentId) -> &[Instruction] {
+        self.by_agent
+            .get(&agent)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The participants with at least one instruction.
+    pub fn participants(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.by_agent.keys().copied()
+    }
+
+    /// The *deposit* instructions of `agent` — the points where the agent
+    /// voluntarily parts with an asset (and could defect).
+    pub fn deposits_of(&self, agent: AgentId) -> impl Iterator<Item = &Instruction> {
+        self.instructions_for(agent).iter().filter(|i| {
+            matches!(
+                i.kind,
+                StepKind::Deposit(_) | StepKind::IndemnityDeposit(_)
+            )
+        })
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (agent, instructions) in &self.by_agent {
+            writeln!(f, "{agent}:")?;
+            for i in instructions {
+                writeln!(f, "  {i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::synthesize;
+    use crate::fixtures;
+
+    #[test]
+    fn every_step_is_assigned_exactly_once() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let total: usize = protocol
+            .participants()
+            .map(|a| protocol.instructions_for(a).len())
+            .sum();
+        assert_eq!(total, protocol.len());
+        assert_eq!(protocol.len(), 10);
+    }
+
+    #[test]
+    fn instructions_preserve_global_order() {
+        let (spec, ids) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        for agent in [ids.consumer, ids.broker, ids.producer, ids.t1, ids.t2] {
+            let idxs: Vec<_> = protocol
+                .instructions_for(agent)
+                .iter()
+                .map(|i| i.global_index)
+                .collect();
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            assert_eq!(idxs, sorted);
+        }
+    }
+
+    #[test]
+    fn broker_has_two_deposits_in_example1() {
+        let (spec, ids) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        assert_eq!(protocol.deposits_of(ids.broker).count(), 2);
+        assert_eq!(protocol.deposits_of(ids.consumer).count(), 1);
+        assert_eq!(protocol.deposits_of(ids.t1).count(), 0);
+    }
+
+    #[test]
+    fn bystanders_have_no_instructions() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        assert!(protocol
+            .instructions_for(trustseq_model::AgentId::new(99))
+            .is_empty());
+        assert!(!protocol.is_empty());
+    }
+
+    #[test]
+    fn display_groups_by_agent() {
+        let (spec, _) = fixtures::example1();
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let s = protocol.to_string();
+        assert!(s.contains("[step 0]"));
+        assert!(s.lines().count() >= protocol.len());
+    }
+}

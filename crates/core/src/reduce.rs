@@ -1,0 +1,497 @@
+//! The reduction engine: rules #1 and #2, maximal (greedy) reduction and the
+//! feasibility test (§4.2).
+
+use crate::graph::{EdgeId, SequencingGraph};
+use crate::trace::{ReductionStep, ReductionTrace, Rule};
+use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reduction move: a live edge together with the rule that sanctions its
+/// removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Move {
+    /// The edge to remove.
+    pub edge: EdgeId,
+    /// The sanctioning rule.
+    pub rule: Rule,
+    /// Whether rule #1 applies via clause 2 (direct-trust waiver) only.
+    pub via_clause2: bool,
+}
+
+/// The order in which applicable moves are chosen.
+///
+/// The paper proves (and our property tests confirm) that the feasibility
+/// verdict is *confluent* — independent of the reduction order — so the
+/// strategy only affects the shape of the recovered execution sequence, not
+/// whether one exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Strategy {
+    /// Always apply the applicable move with the *largest* edge id,
+    /// preferring rule #1 on ties. With deals declared retail-first (as in
+    /// the [fixtures](crate::fixtures)), this works inward from the
+    /// supplier-side fringe exactly like the paper's worked reductions in
+    /// §4.2.2, so the recovered execution sequence matches §5 step for
+    /// step.
+    #[default]
+    Deterministic,
+    /// Shuffle the applicable moves with a seeded RNG at every step. Used to
+    /// test confluence.
+    Randomized {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+
+/// The outcome of a maximal reduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionOutcome {
+    /// Whether the graph reduced to zero edges — the feasibility test of
+    /// §4.2.4.
+    pub feasible: bool,
+    /// The rule applications performed.
+    pub trace: ReductionTrace,
+    /// Edges still live when no rule applied (empty iff `feasible`).
+    pub remaining_edges: Vec<EdgeId>,
+}
+
+impl fmt::Display for ReductionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.feasible {
+            write!(f, "feasible after {} reductions", self.trace.len())
+        } else {
+            write!(
+                f,
+                "infeasible: {} edges remain after {} reductions",
+                self.remaining_edges.len(),
+                self.trace.len()
+            )
+        }
+    }
+}
+
+/// Applies reduction rules to a [`SequencingGraph`] until no more apply.
+///
+/// ```
+/// use trustseq_core::{fixtures, Reducer, SequencingGraph};
+///
+/// # fn main() -> Result<(), trustseq_core::CoreError> {
+/// let (spec, _) = fixtures::example1();
+/// let graph = SequencingGraph::from_spec(&spec)?;
+/// let outcome = Reducer::new(graph).run();
+/// assert!(outcome.feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    graph: SequencingGraph,
+    strategy: Strategy,
+}
+
+impl Reducer {
+    /// Creates a reducer with the default deterministic strategy.
+    pub fn new(graph: SequencingGraph) -> Self {
+        Reducer {
+            graph,
+            strategy: Strategy::Deterministic,
+        }
+    }
+
+    /// Selects the move-ordering strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Read access to the (possibly partially reduced) graph.
+    pub fn graph(&self) -> &SequencingGraph {
+        &self.graph
+    }
+
+    /// All currently applicable moves.
+    ///
+    /// Rule #1 applies to an edge `(c, j)` when `c` has no other live edge
+    /// and either no *other* live red edge is incident to `j` (clause 1) or
+    /// `c` carries the direct-trust waiver (clause 2). Rule #2 applies when
+    /// `j` has no other live edge.
+    pub fn applicable_moves(&self) -> Vec<Move> {
+        let g = &self.graph;
+        let mut moves = Vec::new();
+        for e in g.live_edges() {
+            // Rule #1: fringe commitment.
+            if g.commitment_degree(e.commitment) == 1 {
+                let preempted = g.preempted_by_red(e.conjunction, e.id);
+                let waiver = g.commitment(e.commitment).clause2_waiver;
+                if !preempted || waiver {
+                    moves.push(Move {
+                        edge: e.id,
+                        rule: Rule::CommitmentFringe,
+                        via_clause2: preempted && waiver,
+                    });
+                }
+            }
+            // Rule #2: fringe conjunction.
+            if g.conjunction_degree(e.conjunction) == 1 {
+                moves.push(Move {
+                    edge: e.id,
+                    rule: Rule::ConjunctionFringe,
+                    via_clause2: false,
+                });
+            }
+        }
+        moves
+    }
+
+    /// Applies one move, recording what it disconnected.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RuleNotApplicable`] if the move's preconditions do not
+    /// hold, [`CoreError::InvalidMove`] if the edge is dead.
+    pub fn apply(&mut self, mv: Move) -> Result<ReductionStep, CoreError> {
+        let g = &self.graph;
+        if !g.is_live(mv.edge) {
+            return Err(CoreError::InvalidMove(mv.edge));
+        }
+        let edge = *g.edge(mv.edge);
+        match mv.rule {
+            Rule::CommitmentFringe => {
+                if g.commitment_degree(edge.commitment) != 1 {
+                    return Err(CoreError::RuleNotApplicable {
+                        edge: mv.edge,
+                        reason: "commitment is not on the fringe",
+                    });
+                }
+                let preempted = g.preempted_by_red(edge.conjunction, edge.id);
+                let waiver = g.commitment(edge.commitment).clause2_waiver;
+                if preempted && !waiver {
+                    return Err(CoreError::RuleNotApplicable {
+                        edge: mv.edge,
+                        reason: "pre-empted by a red edge",
+                    });
+                }
+            }
+            Rule::ConjunctionFringe => {
+                if g.conjunction_degree(edge.conjunction) != 1 {
+                    return Err(CoreError::RuleNotApplicable {
+                        edge: mv.edge,
+                        reason: "conjunction is not on the fringe",
+                    });
+                }
+            }
+        }
+        self.graph.remove_edge(mv.edge)?;
+        let step = ReductionStep {
+            edge: mv.edge,
+            rule: mv.rule,
+            via_clause2: mv.via_clause2,
+            disconnected_commitment: (self.graph.commitment_degree(edge.commitment) == 0)
+                .then_some(edge.commitment),
+            disconnected_conjunction: (self.graph.conjunction_degree(edge.conjunction) == 0)
+                .then_some(edge.conjunction),
+        };
+        Ok(step)
+    }
+
+    /// Runs the reduction to a fixpoint and reports the outcome.
+    pub fn run(mut self) -> ReductionOutcome {
+        let mut trace = ReductionTrace::new();
+        let mut rng = match self.strategy {
+            Strategy::Randomized { seed } => Some(StdRng::seed_from_u64(seed)),
+            Strategy::Deterministic => None,
+        };
+        loop {
+            let mut moves = self.applicable_moves();
+            if moves.is_empty() {
+                break;
+            }
+            let mv = match &mut rng {
+                Some(rng) => {
+                    moves.shuffle(rng);
+                    moves[0]
+                }
+                None => {
+                    // Largest edge id, rule #1 preferred on ties.
+                    moves.sort_by_key(|m| {
+                        (std::cmp::Reverse(m.edge), m.rule != Rule::CommitmentFringe)
+                    });
+                    moves[0]
+                }
+            };
+            let step = self.apply(mv).expect("applicable move must apply");
+            trace.push(step);
+        }
+        let remaining_edges: Vec<EdgeId> = self.graph.live_edges().map(|e| e.id).collect();
+        ReductionOutcome {
+            feasible: remaining_edges.is_empty(),
+            trace,
+            remaining_edges,
+        }
+    }
+
+    /// Runs the reduction and returns the reduced graph alongside the
+    /// outcome (useful for inspecting the impasse of an infeasible
+    /// exchange).
+    pub fn run_keeping_graph(mut self) -> (ReductionOutcome, SequencingGraph) {
+        let mut trace = ReductionTrace::new();
+        loop {
+            let mut moves = self.applicable_moves();
+            if moves.is_empty() {
+                break;
+            }
+            moves.sort_by_key(|m| (std::cmp::Reverse(m.edge), m.rule != Rule::CommitmentFringe));
+            let step = self.apply(moves[0]).expect("applicable move must apply");
+            trace.push(step);
+        }
+        let remaining_edges: Vec<EdgeId> = self.graph.live_edges().map(|e| e.id).collect();
+        (
+            ReductionOutcome {
+                feasible: remaining_edges.is_empty(),
+                trace,
+                remaining_edges,
+            },
+            self.graph,
+        )
+    }
+}
+
+/// Convenience: builds the sequencing graph of `spec`, reduces it
+/// deterministically, and reports the outcome.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn analyze(spec: &trustseq_model::ExchangeSpec) -> Result<ReductionOutcome, CoreError> {
+    let graph = SequencingGraph::from_spec(spec)?;
+    Ok(Reducer::new(graph).run())
+}
+
+/// Like [`analyze`], but with explicit [`BuildOptions`](crate::BuildOptions)
+/// (e.g. the §9 shared-escrow delegation extension).
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn analyze_with(
+    spec: &trustseq_model::ExchangeSpec,
+    options: crate::BuildOptions,
+) -> Result<ReductionOutcome, CoreError> {
+    let graph = SequencingGraph::from_spec_with(spec, options)?;
+    Ok(Reducer::new(graph).run())
+}
+
+/// Checks confluence empirically: reduces `spec`'s graph under `samples`
+/// random orders plus the deterministic order, and returns the feasibility
+/// verdicts' unanimity.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn confluence_check(
+    spec: &trustseq_model::ExchangeSpec,
+    samples: u64,
+) -> Result<bool, CoreError> {
+    let graph = SequencingGraph::from_spec(spec)?;
+    let reference = Reducer::new(graph.clone()).run().feasible;
+    for seed in 0..samples {
+        let verdict = Reducer::new(graph.clone())
+            .with_strategy(Strategy::Randomized { seed })
+            .run()
+            .feasible;
+        if verdict != reference {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::graph::EdgeColor;
+    use trustseq_model::Money;
+
+    #[test]
+    fn example1_is_feasible() {
+        let (spec, _) = fixtures::example1();
+        let outcome = analyze(&spec).unwrap();
+        assert!(outcome.feasible);
+        // Six edges, six rule applications (Figure 3's circled numbers).
+        assert_eq!(outcome.trace.len(), 6);
+        assert!(outcome.remaining_edges.is_empty());
+    }
+
+    #[test]
+    fn example1_commit_order_matches_paper() {
+        // §4.2.2: the commit points are reached in the order
+        // (t2↔producer), (consumer↔t1), (t1↔broker) [red], (broker↔t2).
+        let (spec, ids) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let outcome = Reducer::new(g.clone()).run();
+        let order: Vec<_> = outcome
+            .trace
+            .commitment_order()
+            .map(|c| {
+                let c = g.commitment(c);
+                (c.principal, c.trusted)
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (ids.producer, ids.t2),
+                (ids.consumer, ids.t1),
+                (ids.broker, ids.t1), // the red (sale-side) commitment
+                (ids.broker, ids.t2),
+            ]
+        );
+    }
+
+    #[test]
+    fn example2_is_infeasible_with_paper_impasse() {
+        let (spec, ids) = fixtures::example2();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let (outcome, reduced) = Reducer::new(g).run_keeping_graph();
+        assert!(!outcome.feasible);
+        // §4.2.2: exactly four edges can be removed before the impasse.
+        assert_eq!(outcome.trace.len(), 4);
+        assert_eq!(outcome.remaining_edges.len(), 10);
+        // The source-side commitments are committed; nothing else.
+        let committed: Vec<_> = outcome.trace.commitment_order().collect();
+        assert_eq!(committed.len(), 2);
+        for c in committed {
+            let c = reduced.commitment(c);
+            assert!(c.principal == ids.source1 || c.principal == ids.source2);
+        }
+    }
+
+    #[test]
+    fn direct_trust_variant1_feasible() {
+        // §4.2.3 variant 1: source1 trusts broker1 → broker1 plays t2's
+        // role → the whole exchange becomes feasible (domino effect).
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.source1, ids.broker1).unwrap();
+        let outcome = analyze(&spec).unwrap();
+        assert!(outcome.feasible);
+        // Clause 2 must actually have fired somewhere.
+        assert!(outcome.trace.steps().iter().any(|s| s.via_clause2));
+    }
+
+    #[test]
+    fn direct_trust_variant2_still_infeasible() {
+        // §4.2.3 variant 2: broker1 trusts source1 → source1 plays t2's
+        // role — the impasse remains.
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.broker1, ids.source1).unwrap();
+        let outcome = analyze(&spec).unwrap();
+        assert!(!outcome.feasible);
+        assert_eq!(outcome.trace.len(), 4);
+    }
+
+    #[test]
+    fn poor_broker_infeasible_with_reds_remaining() {
+        let (spec, ids) = fixtures::poor_broker();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let (outcome, reduced) = Reducer::new(g).run_keeping_graph();
+        assert!(!outcome.feasible);
+        // Both red edges at ∧B must survive: neither can be removed.
+        let broker_j = reduced.conjunction_of(ids.broker).unwrap();
+        let live_reds = reduced
+            .live_edges_of_conjunction(broker_j)
+            .filter(|e| e.color == EdgeColor::Red)
+            .count();
+        assert_eq!(live_reds, 2);
+    }
+
+    #[test]
+    fn indemnity_makes_example2_feasible() {
+        let (mut spec, ids) = fixtures::example2();
+        // §6: broker 1 indemnifies the consumer with the price of doc 2.
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let outcome = analyze(&spec).unwrap();
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn confluence_on_paper_examples() {
+        for (spec, feasible) in [
+            (fixtures::example1().0, true),
+            (fixtures::example2().0, false),
+            (fixtures::poor_broker().0, false),
+            (fixtures::figure7().0, false),
+        ] {
+            assert!(confluence_check(&spec, 25).unwrap());
+            assert_eq!(analyze(&spec).unwrap().feasible, feasible, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn randomized_strategies_agree_and_traces_cover_all_edges() {
+        let (spec, _) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        for seed in 0..10 {
+            let outcome = Reducer::new(g.clone())
+                .with_strategy(Strategy::Randomized { seed })
+                .run();
+            assert!(outcome.feasible);
+            assert_eq!(outcome.trace.len(), 6);
+        }
+    }
+
+    #[test]
+    fn invalid_moves_are_rejected() {
+        let (spec, _) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        let mut reducer = Reducer::new(g);
+        let moves = reducer.applicable_moves();
+        assert!(!moves.is_empty());
+        let mv = moves[0];
+        reducer.apply(mv).unwrap();
+        // Reapplying the same move fails: the edge is dead.
+        assert_eq!(
+            reducer.apply(mv),
+            Err(CoreError::InvalidMove(mv.edge))
+        );
+    }
+
+    #[test]
+    fn rule_preconditions_enforced() {
+        let (spec, ids) = fixtures::example1();
+        let g = SequencingGraph::from_spec(&spec).unwrap();
+        // The broker's purchase-side edge at ∧B is blocked by the red edge.
+        let purchase = g
+            .commitment_for(ids.supply, trustseq_model::DealSide::Buyer)
+            .unwrap();
+        let broker_j = g.conjunction_of(ids.broker).unwrap();
+        let blocked = g
+            .live_edges_of_commitment(purchase)
+            .find(|e| e.conjunction == broker_j)
+            .map(|e| e.id)
+            .unwrap();
+        let mut reducer = Reducer::new(g);
+        let err = reducer
+            .apply(Move {
+                edge: blocked,
+                rule: Rule::CommitmentFringe,
+                via_clause2: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RuleNotApplicable { .. }));
+    }
+
+    #[test]
+    fn outcome_display() {
+        let (spec, _) = fixtures::example1();
+        assert!(analyze(&spec).unwrap().to_string().contains("feasible"));
+        let (spec, _) = fixtures::example2();
+        assert!(analyze(&spec).unwrap().to_string().contains("infeasible"));
+    }
+}

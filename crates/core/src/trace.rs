@@ -1,0 +1,145 @@
+//! Reduction traces: the record of rule applications that execution-sequence
+//! recovery (§5) replays.
+
+use crate::graph::{CommitmentId, ConjunctionId, EdgeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which reduction rule was applied (§4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// Rule #1: a fringe *commitment* node's edge is removed.
+    CommitmentFringe,
+    /// Rule #2: a fringe *conjunction* node's edge is removed.
+    ConjunctionFringe,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::CommitmentFringe => "rule #1",
+            Rule::ConjunctionFringe => "rule #2",
+        })
+    }
+}
+
+/// One rule application: which edge was removed, by which rule, and what the
+/// removal disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionStep {
+    /// The removed edge.
+    pub edge: EdgeId,
+    /// The rule that sanctioned the removal.
+    pub rule: Rule,
+    /// Whether rule #1 applied through its clause 2 (the principal plays
+    /// the trusted-agent role) rather than the no-red-pre-emption clause 1.
+    pub via_clause2: bool,
+    /// The commitment this removal fully disconnected, if any — in §5's
+    /// terms, this commitment's "commit point" has been reached.
+    pub disconnected_commitment: Option<CommitmentId>,
+    /// The conjunction this removal fully disconnected, if any — a
+    /// disconnected *trusted* conjunction generates a `notify` action.
+    pub disconnected_conjunction: Option<ConjunctionId>,
+}
+
+impl fmt::Display for ReductionStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remove {} by {}", self.edge, self.rule)?;
+        if self.via_clause2 {
+            write!(f, " (clause 2)")?;
+        }
+        if let Some(c) = self.disconnected_commitment {
+            write!(f, ", commits {c}")?;
+        }
+        if let Some(j) = self.disconnected_conjunction {
+            write!(f, ", completes {j}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full record of a maximal reduction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReductionTrace {
+    steps: Vec<ReductionStep>,
+}
+
+impl ReductionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, step: ReductionStep) {
+        self.steps.push(step);
+    }
+
+    /// The rule applications, in order.
+    pub fn steps(&self) -> &[ReductionStep] {
+        &self.steps
+    }
+
+    /// Number of rule applications.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if no rule was applied.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Commitments in the order their commit points were reached.
+    pub fn commitment_order(&self) -> impl Iterator<Item = CommitmentId> + '_ {
+        self.steps.iter().filter_map(|s| s.disconnected_commitment)
+    }
+}
+
+impl fmt::Display for ReductionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. {s}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_display() {
+        let step = ReductionStep {
+            edge: EdgeId::new(3),
+            rule: Rule::CommitmentFringe,
+            via_clause2: true,
+            disconnected_commitment: Some(CommitmentId::new(1)),
+            disconnected_conjunction: None,
+        };
+        let s = step.to_string();
+        assert!(s.contains("e3"));
+        assert!(s.contains("rule #1"));
+        assert!(s.contains("clause 2"));
+        assert!(s.contains("commits c1"));
+    }
+
+    #[test]
+    fn trace_accumulates_and_orders() {
+        let mut trace = ReductionTrace::new();
+        assert!(trace.is_empty());
+        for i in 0..3u32 {
+            trace.push(ReductionStep {
+                edge: EdgeId::new(i),
+                rule: Rule::ConjunctionFringe,
+                via_clause2: false,
+                disconnected_commitment: (i % 2 == 0).then(|| CommitmentId::new(i)),
+                disconnected_conjunction: None,
+            });
+        }
+        assert_eq!(trace.len(), 3);
+        let commits: Vec<_> = trace.commitment_order().collect();
+        assert_eq!(commits, vec![CommitmentId::new(0), CommitmentId::new(2)]);
+        assert!(trace.to_string().contains("rule #2"));
+    }
+}

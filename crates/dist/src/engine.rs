@@ -1,0 +1,361 @@
+//! The round-based distributed reduction engine.
+
+use crate::node::{LocalRemoval, Message, Node};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use trustseq_core::{BuildOptions, CoreError, EdgeId, Rule, SequencingGraph};
+use trustseq_model::{AgentId, ExchangeSpec};
+
+/// One removal as decided in the distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistRemoval {
+    /// The deciding participant.
+    pub decider: AgentId,
+    /// The removed edge.
+    pub edge: EdgeId,
+    /// The sanctioning rule.
+    pub rule: Rule,
+    /// The round (1-based) in which the decision was made.
+    pub round: usize,
+}
+
+/// The outcome of a distributed reduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistOutcome {
+    /// Whether every edge was removed — the same feasibility verdict the
+    /// centralised [`Reducer`](trustseq_core::Reducer) computes.
+    pub feasible: bool,
+    /// Rounds until quiescence (parallel time).
+    pub rounds: usize,
+    /// Point-to-point messages exchanged.
+    pub messages: usize,
+    /// Every removal, in decision order.
+    pub removals: Vec<DistRemoval>,
+    /// Edges never removed (empty iff `feasible`).
+    pub remaining: Vec<EdgeId>,
+}
+
+impl fmt::Display for DistOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} rounds, {} messages ({} removals, {} edges remain)",
+            if self.feasible { "feasible" } else { "infeasible" },
+            self.rounds,
+            self.messages,
+            self.removals.len(),
+            self.remaining.len()
+        )
+    }
+}
+
+/// A configured distributed reduction over one exchange specification.
+///
+/// Each participant gets a [`Node`] seeing only its local slice of the
+/// sequencing graph; rounds alternate between local rule application and
+/// targeted removal announcements until quiescence.
+#[derive(Debug)]
+pub struct DistributedReduction {
+    graph: SequencingGraph,
+    nodes: BTreeMap<AgentId, Node>,
+}
+
+impl DistributedReduction {
+    /// Sets up the nodes for `spec` under paper-faithful construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn new(spec: &ExchangeSpec) -> Result<Self, CoreError> {
+        Self::with_options(spec, BuildOptions::PAPER)
+    }
+
+    /// Sets up the nodes with explicit [`BuildOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn with_options(spec: &ExchangeSpec, options: BuildOptions) -> Result<Self, CoreError> {
+        let graph = SequencingGraph::from_spec_with(spec, options)?;
+        let mut nodes = BTreeMap::new();
+        let mut participants: BTreeSet<AgentId> = BTreeSet::new();
+        for c in graph.commitments() {
+            participants.insert(c.principal);
+            participants.insert(c.trusted);
+        }
+        for agent in participants {
+            let commitments: Vec<_> = graph
+                .commitments()
+                .iter()
+                .filter(|c| c.principal == agent)
+                .copied()
+                .collect();
+            let conjunction = graph
+                .conjunctions()
+                .iter()
+                .find(|j| j.agent == agent)
+                .copied();
+            // Visible edges: those of the node's commitments plus those of
+            // its conjunction.
+            let visible: Vec<_> = graph
+                .edges()
+                .iter()
+                .filter(|e| {
+                    commitments.iter().any(|c| c.id == e.commitment)
+                        || conjunction.map(|j| j.id == e.conjunction).unwrap_or(false)
+                })
+                .copied()
+                .collect();
+            nodes.insert(agent, Node::new(agent, commitments, conjunction, visible));
+        }
+        Ok(DistributedReduction { graph, nodes })
+    }
+
+    /// The number of participating nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs rounds until quiescence and reports (every announcement arrives
+    /// in the next round).
+    pub fn run(self) -> DistOutcome {
+        self.run_with_delays(0, 1)
+    }
+
+    /// Runs the protocol under an asynchronous network: each announcement
+    /// is delayed between 1 and `max_delay` rounds, chosen deterministically
+    /// from `seed`.
+    ///
+    /// Because liveness information only ever *shrinks*, delayed delivery
+    /// can postpone a node's move but never unsound it — the verdict always
+    /// matches the synchronous run (property-tested in the workspace test
+    /// suite).
+    pub fn run_with_delays(mut self, seed: u64, max_delay: u64) -> DistOutcome {
+        let max_delay = max_delay.max(1);
+        // A small deterministic xorshift so the crate needs no RNG
+        // dependency; quality is irrelevant, only determinism matters.
+        let mut rng_state = seed | 1;
+        let mut next_delay = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            1 + (rng_state % max_delay) as usize
+        };
+
+        let mut removed: BTreeSet<EdgeId> = BTreeSet::new();
+        let mut removals: Vec<DistRemoval> = Vec::new();
+        // (delivery round, target, message)
+        let mut in_flight: Vec<(usize, AgentId, Message)> = Vec::new();
+        let mut messages = 0usize;
+        let mut rounds = 0usize;
+
+        loop {
+            rounds += 1;
+
+            // Deliver announcements due this round.
+            let mut still_flying = Vec::with_capacity(in_flight.len());
+            for (due, target, msg) in in_flight {
+                if due <= rounds {
+                    if let Some(node) = self.nodes.get_mut(&target) {
+                        node.observe(msg);
+                    }
+                } else {
+                    still_flying.push((due, target, msg));
+                }
+            }
+            in_flight = still_flying;
+
+            // Collect proposals in deterministic agent order.
+            let mut round_removals: Vec<(AgentId, LocalRemoval)> = Vec::new();
+            for (agent, node) in &self.nodes {
+                for proposal in node.proposals() {
+                    if !removed.contains(&proposal.edge)
+                        && !round_removals.iter().any(|(_, r)| r.edge == proposal.edge)
+                    {
+                        round_removals.push((*agent, proposal));
+                    }
+                }
+            }
+
+            if round_removals.is_empty() {
+                if in_flight.is_empty() {
+                    rounds -= 1; // the final empty round is bookkeeping only
+                    break;
+                }
+                continue; // idle round: wait for deliveries
+            }
+
+            for (decider, removal) in round_removals {
+                removed.insert(removal.edge);
+                removals.push(DistRemoval {
+                    decider,
+                    edge: removal.edge,
+                    rule: removal.rule,
+                    round: rounds,
+                });
+                self.nodes
+                    .get_mut(&decider)
+                    .expect("decider exists")
+                    .record_own_removal(removal.edge);
+
+                // Announce to the other interested parties: the removed
+                // edge's commitment principal and conjunction owner.
+                let edge = *self.graph.edge(removal.edge);
+                let principal = self.graph.commitment(edge.commitment).principal;
+                let conj_owner = self.graph.conjunction(edge.conjunction).agent;
+                // The trusted endpoint of the commitment also tracks its
+                // side (it owns the conjunction in most cases, but not
+                // when the edge links to the principal's own conjunction).
+                let trusted = self.graph.commitment(edge.commitment).trusted;
+                let mut targets: Vec<AgentId> = Vec::new();
+                for target in [principal, conj_owner, trusted] {
+                    if target != decider
+                        && self.nodes.contains_key(&target)
+                        && !targets.contains(&target)
+                    {
+                        targets.push(target);
+                    }
+                }
+                for target in targets {
+                    let msg = Message {
+                        from: decider,
+                        edge: removal.edge,
+                    };
+                    in_flight.push((rounds + next_delay(), target, msg));
+                    messages += 1;
+                }
+            }
+        }
+
+        let remaining: Vec<EdgeId> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.id)
+            .filter(|id| !removed.contains(id))
+            .collect();
+        DistOutcome {
+            feasible: remaining.is_empty(),
+            rounds,
+            messages,
+            removals,
+            remaining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::{analyze, analyze_with, fixtures};
+
+    #[test]
+    fn agrees_with_centralized_on_paper_examples() {
+        for (name, spec) in [
+            ("example1", fixtures::example1().0),
+            ("example2", fixtures::example2().0),
+            ("poor_broker", fixtures::poor_broker().0),
+            ("figure7", fixtures::figure7().0),
+        ] {
+            let central = analyze(&spec).unwrap().feasible;
+            let dist = DistributedReduction::new(&spec).unwrap().run();
+            assert_eq!(dist.feasible, central, "{name}: {dist}");
+        }
+    }
+
+    #[test]
+    fn direct_trust_variants_agree() {
+        let (mut v1, ids) = fixtures::example2();
+        v1.add_trust(ids.source1, ids.broker1).unwrap();
+        assert!(DistributedReduction::new(&v1).unwrap().run().feasible);
+
+        let (mut v2, ids) = fixtures::example2();
+        v2.add_trust(ids.broker1, ids.source1).unwrap();
+        assert!(!DistributedReduction::new(&v2).unwrap().run().feasible);
+    }
+
+    #[test]
+    fn extended_options_supported() {
+        let (spec, _) = fixtures::example2_shared_escrow();
+        let paper = DistributedReduction::new(&spec).unwrap().run();
+        assert!(!paper.feasible);
+        let extended =
+            DistributedReduction::with_options(&spec, BuildOptions::EXTENDED)
+                .unwrap()
+                .run();
+        assert!(extended.feasible);
+        assert_eq!(
+            extended.feasible,
+            analyze_with(&spec, BuildOptions::EXTENDED).unwrap().feasible
+        );
+    }
+
+    #[test]
+    fn removal_count_matches_centralized_trace() {
+        let (spec, _) = fixtures::example1();
+        let dist = DistributedReduction::new(&spec).unwrap().run();
+        assert_eq!(dist.removals.len(), 6);
+        assert!(dist.remaining.is_empty());
+        // Example #1's chain forces some sequentiality: more than one
+        // round, fewer than one round per edge.
+        assert!(dist.rounds >= 2 && dist.rounds <= 6, "{}", dist.rounds);
+    }
+
+    #[test]
+    fn every_participant_gets_a_node() {
+        let (spec, _) = fixtures::example2();
+        let reduction = DistributedReduction::new(&spec).unwrap();
+        assert_eq!(reduction.node_count(), 9); // 5 principals + 4 trusted
+    }
+
+    #[test]
+    fn messages_are_bounded_by_edges_times_targets() {
+        let (spec, _) = fixtures::figure7();
+        let dist = DistributedReduction::new(&spec).unwrap().run();
+        // Each removal notifies at most 3 parties (typically 2).
+        assert!(dist.messages <= dist.removals.len() * 3);
+    }
+
+    #[test]
+    fn asynchronous_delays_do_not_change_the_verdict() {
+        for (spec, feasible) in [
+            (fixtures::example1().0, true),
+            (fixtures::example2().0, false),
+            (fixtures::figure7().0, false),
+        ] {
+            for seed in 0..10 {
+                for max_delay in [1u64, 2, 5] {
+                    let outcome = DistributedReduction::new(&spec)
+                        .unwrap()
+                        .run_with_delays(seed, max_delay);
+                    assert_eq!(
+                        outcome.feasible, feasible,
+                        "{} seed {seed} delay {max_delay}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delays_stretch_rounds_but_not_removals() {
+        let (spec, _) = fixtures::example1();
+        let fast = DistributedReduction::new(&spec).unwrap().run();
+        let slow = DistributedReduction::new(&spec)
+            .unwrap()
+            .run_with_delays(3, 5);
+        assert_eq!(fast.removals.len(), slow.removals.len());
+        assert!(slow.rounds >= fast.rounds);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let (spec, _) = fixtures::example1();
+        let dist = DistributedReduction::new(&spec).unwrap().run();
+        let s = dist.to_string();
+        assert!(s.contains("feasible"));
+        assert!(s.contains("rounds"));
+    }
+}

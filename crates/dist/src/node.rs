@@ -1,0 +1,248 @@
+//! A participant's local reducer: its slice of the sequencing graph and the
+//! rules it may apply.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use trustseq_core::{Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, Rule};
+use trustseq_model::AgentId;
+
+/// A protocol message: the sender removed an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// The announcing participant.
+    pub from: AgentId,
+    /// The removed edge.
+    pub edge: EdgeId,
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: removed {}", self.from, self.edge)
+    }
+}
+
+/// A locally-decided removal, with the sanctioning rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalRemoval {
+    /// The removed edge.
+    pub edge: EdgeId,
+    /// Which rule the deciding node applied.
+    pub rule: Rule,
+}
+
+/// One participant's view of — and authority over — its slice of the
+/// sequencing graph.
+///
+/// A node tracks the liveness of every edge it can *see*: edges of its own
+/// commitments (as their principal), edges of its own conjunction, and
+/// edges of conjunctions where it has a commitment (needed for red-edge
+/// pre-emption). Liveness only decreases, so stale views are conservative.
+#[derive(Debug, Clone)]
+pub struct Node {
+    agent: AgentId,
+    /// Commitments this node owns (it is their principal).
+    commitments: Vec<Commitment>,
+    /// The node's own conjunction, if any.
+    conjunction: Option<Conjunction>,
+    /// Every edge this node can see, by id.
+    visible: BTreeMap<EdgeId, Edge>,
+    /// Liveness of the visible edges.
+    live: BTreeSet<EdgeId>,
+}
+
+impl Node {
+    /// Builds a node from the global graph's slices.
+    pub(crate) fn new(
+        agent: AgentId,
+        commitments: Vec<Commitment>,
+        conjunction: Option<Conjunction>,
+        visible_edges: Vec<Edge>,
+    ) -> Self {
+        let live = visible_edges.iter().map(|e| e.id).collect();
+        let visible = visible_edges.into_iter().map(|e| (e.id, e)).collect();
+        Node {
+            agent,
+            commitments,
+            conjunction,
+            visible,
+            live,
+        }
+    }
+
+    /// The participant this node belongs to.
+    pub fn agent(&self) -> AgentId {
+        self.agent
+    }
+
+    /// Edges this node still believes live.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Incorporates a removal announcement.
+    pub fn observe(&mut self, message: Message) {
+        self.live.remove(&message.edge);
+    }
+
+    /// Records a removal this node decided itself.
+    pub fn record_own_removal(&mut self, edge: EdgeId) {
+        self.live.remove(&edge);
+    }
+
+    fn live_edges_of_commitment(&self, c: CommitmentId) -> impl Iterator<Item = &Edge> {
+        self.live
+            .iter()
+            .filter_map(|id| self.visible.get(id))
+            .filter(move |e| e.commitment == c)
+    }
+
+    fn live_edges_of_conjunction(&self, j: ConjunctionId) -> impl Iterator<Item = &Edge> {
+        self.live
+            .iter()
+            .filter_map(|id| self.visible.get(id))
+            .filter(move |e| e.conjunction == j)
+    }
+
+    /// The removals this node can currently justify from its local view.
+    ///
+    /// Rule #1 needs: one of the node's commitments down to a single live
+    /// edge, and (clause 1) no *other* live red edge at that edge's
+    /// conjunction — which the node sees, since it has a commitment there —
+    /// or (clause 2) the direct-trust waiver. Rule #2 needs the node's own
+    /// conjunction down to a single live edge.
+    pub fn proposals(&self) -> Vec<LocalRemoval> {
+        let mut out = Vec::new();
+        for c in &self.commitments {
+            let live: Vec<&Edge> = self.live_edges_of_commitment(c.id).collect();
+            if let [last] = live.as_slice() {
+                let preempted = self
+                    .live_edges_of_conjunction(last.conjunction)
+                    .any(|e| e.color == EdgeColor::Red && e.id != last.id);
+                if !preempted || c.clause2_waiver {
+                    out.push(LocalRemoval {
+                        edge: last.id,
+                        rule: Rule::CommitmentFringe,
+                    });
+                }
+            }
+        }
+        if let Some(j) = &self.conjunction {
+            let live: Vec<&Edge> = self.live_edges_of_conjunction(j.id).collect();
+            if let [last] = live.as_slice() {
+                out.push(LocalRemoval {
+                    edge: last.id,
+                    rule: Rule::ConjunctionFringe,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_model::{DealId, DealSide};
+
+    fn edge(id: u32, c: u32, j: u32, color: EdgeColor) -> Edge {
+        Edge {
+            id: EdgeId::new(id),
+            commitment: CommitmentId::new(c),
+            conjunction: ConjunctionId::new(j),
+            color,
+        }
+    }
+
+    fn commitment(id: u32, principal: u32) -> Commitment {
+        Commitment {
+            id: CommitmentId::new(id),
+            principal: AgentId::new(principal),
+            trusted: AgentId::new(99),
+            deal: DealId::new(0),
+            side: DealSide::Buyer,
+            clause2_waiver: false,
+        }
+    }
+
+    #[test]
+    fn fringe_commitment_proposes_rule1() {
+        let node = Node::new(
+            AgentId::new(0),
+            vec![commitment(0, 0)],
+            None,
+            vec![edge(0, 0, 0, EdgeColor::Black)],
+        );
+        let proposals = node.proposals();
+        assert_eq!(proposals.len(), 1);
+        assert_eq!(proposals[0].rule, Rule::CommitmentFringe);
+    }
+
+    #[test]
+    fn red_preemption_blocks_until_observed_removal() {
+        // The node's commitment c0 is fringe at conjunction j0, but a red
+        // sibling edge e1 blocks it until its removal is observed.
+        let mut node = Node::new(
+            AgentId::new(0),
+            vec![commitment(0, 0)],
+            None,
+            vec![
+                edge(0, 0, 0, EdgeColor::Black),
+                edge(1, 1, 0, EdgeColor::Red),
+            ],
+        );
+        assert!(node.proposals().is_empty());
+        node.observe(Message {
+            from: AgentId::new(1),
+            edge: EdgeId::new(1),
+        });
+        assert_eq!(node.proposals().len(), 1);
+    }
+
+    #[test]
+    fn clause2_waiver_ignores_red() {
+        let mut c = commitment(0, 0);
+        c.clause2_waiver = true;
+        let node = Node::new(
+            AgentId::new(0),
+            vec![c],
+            None,
+            vec![
+                edge(0, 0, 0, EdgeColor::Black),
+                edge(1, 1, 0, EdgeColor::Red),
+            ],
+        );
+        assert_eq!(node.proposals().len(), 1);
+    }
+
+    #[test]
+    fn conjunction_owner_proposes_rule2() {
+        let node = Node::new(
+            AgentId::new(5),
+            vec![],
+            Some(Conjunction {
+                id: ConjunctionId::new(0),
+                agent: AgentId::new(5),
+                trusted: true,
+            }),
+            vec![edge(0, 0, 0, EdgeColor::Black)],
+        );
+        let proposals = node.proposals();
+        assert_eq!(proposals.len(), 1);
+        assert_eq!(proposals[0].rule, Rule::ConjunctionFringe);
+    }
+
+    #[test]
+    fn non_fringe_proposes_nothing() {
+        let node = Node::new(
+            AgentId::new(0),
+            vec![commitment(0, 0)],
+            None,
+            vec![
+                edge(0, 0, 0, EdgeColor::Black),
+                edge(1, 0, 1, EdgeColor::Black),
+            ],
+        );
+        assert!(node.proposals().is_empty());
+    }
+}

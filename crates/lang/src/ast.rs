@@ -1,0 +1,138 @@
+//! Abstract syntax tree of the exchange-specification language.
+
+use trustseq_model::Money;
+
+/// A parsed exchange specification, before name resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeAst {
+    /// The exchange's name (the string after the `exchange` keyword).
+    pub name: String,
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// One statement of an `exchange { … }` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `consumer c;` / `broker b;` / `producer p;`
+    Principal {
+        /// `consumer`, `broker` or `producer`.
+        role: RoleKw,
+        /// The principal's name.
+        name: String,
+    },
+    /// `trusted t1;`
+    Trusted {
+        /// The trusted component's name.
+        name: String,
+    },
+    /// `item doc "The Document";`
+    Item {
+        /// The item's key.
+        key: String,
+        /// The item's title.
+        title: String,
+    },
+    /// `deal sale: b sells doc to c for $100.00 via t1;` — or, bridged
+    /// across two linked components, `… via t1 and t2;` (buyer side first).
+    Deal {
+        /// The deal's (file-local) name.
+        name: String,
+        /// Seller principal name.
+        seller: String,
+        /// Item key.
+        item: String,
+        /// Buyer principal name.
+        buyer: String,
+        /// Price.
+        price: Money,
+        /// Buyer-side trusted-intermediary name.
+        via: String,
+        /// Seller-side trusted-intermediary name, when bridged.
+        seller_via: Option<String>,
+    },
+    /// `secure sale before supply;` — a resale constraint; the principal is
+    /// inferred as the seller of `sale` (who must buy in `supply`).
+    Secure {
+        /// Deal that must be secured first.
+        first: String,
+        /// Deal deferred until then.
+        then: String,
+    },
+    /// `fund supply from sale;` — a funding constraint; the principal is
+    /// inferred as the buyer of `supply` (who must sell in `sale`).
+    Fund {
+        /// The purchase needing funding.
+        purchase: String,
+        /// The sale whose proceeds fund it.
+        source: String,
+    },
+    /// `assemble patent from text and diagrams by publisher;` — the
+    /// principal can compose the output item from the inputs (§3.2).
+    Assemble {
+        /// The composite item's key.
+        output: String,
+        /// The component items' keys.
+        inputs: Vec<String>,
+        /// The assembling principal.
+        assembler: String,
+    },
+    /// `link t1 with t2;` — mutual trust between two trusted components
+    /// (§9's hierarchy of trust).
+    Link {
+        /// One trusted component.
+        a: String,
+        /// The other.
+        b: String,
+    },
+    /// `trust p -> b;` — `p` directly trusts `b`.
+    Trust {
+        /// The truster.
+        truster: String,
+        /// The trustee.
+        trustee: String,
+    },
+    /// `indemnify sale by b for $20.00;`
+    Indemnify {
+        /// The covered deal.
+        deal: String,
+        /// The collateral provider.
+        provider: String,
+        /// The collateral amount.
+        amount: Money,
+    },
+}
+
+/// The three principal-role keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleKw {
+    /// `consumer`
+    Consumer,
+    /// `broker`
+    Broker,
+    /// `producer`
+    Producer,
+}
+
+impl RoleKw {
+    /// The corresponding model role.
+    pub fn to_role(self) -> trustseq_model::Role {
+        match self {
+            RoleKw::Consumer => trustseq_model::Role::Consumer,
+            RoleKw::Broker => trustseq_model::Role::Broker,
+            RoleKw::Producer => trustseq_model::Role::Producer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_keyword_mapping() {
+        assert_eq!(RoleKw::Consumer.to_role(), trustseq_model::Role::Consumer);
+        assert_eq!(RoleKw::Broker.to_role(), trustseq_model::Role::Broker);
+        assert_eq!(RoleKw::Producer.to_role(), trustseq_model::Role::Producer);
+    }
+}

@@ -1,0 +1,278 @@
+//! Elaboration: name resolution from the AST into a validated
+//! [`ExchangeSpec`].
+
+use crate::ast::{ExchangeAst, Statement};
+use crate::LangError;
+use std::collections::BTreeMap;
+use trustseq_model::{AgentId, DealId, ExchangeSpec, ItemId};
+
+/// Resolves names and builds the [`ExchangeSpec`] described by `ast`.
+///
+/// `secure A before B` infers its principal as the seller of `A`;
+/// `fund P from S` infers its principal as the buyer of `P`. All other
+/// semantic validation is delegated to the model layer.
+///
+/// # Errors
+///
+/// [`LangError::Unknown`] for undeclared names, [`LangError::DuplicateDeal`]
+/// for reused deal names, and [`LangError::Model`] for semantic errors.
+pub fn elaborate(ast: &ExchangeAst) -> Result<ExchangeSpec, LangError> {
+    let mut spec = ExchangeSpec::new(ast.name.clone());
+    let mut agents: BTreeMap<String, AgentId> = BTreeMap::new();
+    let mut items: BTreeMap<String, ItemId> = BTreeMap::new();
+    let mut deals: BTreeMap<String, DealId> = BTreeMap::new();
+
+    let lookup_agent = |agents: &BTreeMap<String, AgentId>, name: &str| {
+        agents.get(name).copied().ok_or(LangError::Unknown {
+            kind: "participant",
+            name: name.to_owned(),
+        })
+    };
+    let lookup_deal = |deals: &BTreeMap<String, DealId>, name: &str| {
+        deals.get(name).copied().ok_or(LangError::Unknown {
+            kind: "deal",
+            name: name.to_owned(),
+        })
+    };
+
+    for stmt in &ast.statements {
+        match stmt {
+            Statement::Principal { role, name } => {
+                let id = spec.add_principal(name.clone(), role.to_role())?;
+                agents.insert(name.clone(), id);
+            }
+            Statement::Trusted { name } => {
+                let id = spec.add_trusted(name.clone())?;
+                agents.insert(name.clone(), id);
+            }
+            Statement::Item { key, title } => {
+                let id = spec.add_item(key.clone(), title.clone())?;
+                items.insert(key.clone(), id);
+            }
+            Statement::Deal {
+                name,
+                seller,
+                item,
+                buyer,
+                price,
+                via,
+                seller_via,
+            } => {
+                if deals.contains_key(name) {
+                    return Err(LangError::DuplicateDeal(name.clone()));
+                }
+                let seller = lookup_agent(&agents, seller)?;
+                let buyer = lookup_agent(&agents, buyer)?;
+                let via = lookup_agent(&agents, via)?;
+                let item = items.get(item).copied().ok_or(LangError::Unknown {
+                    kind: "item",
+                    name: item.clone(),
+                })?;
+                let id = match seller_via {
+                    Some(sv) => {
+                        let sv = lookup_agent(&agents, sv)?;
+                        spec.add_deal_bridged(seller, buyer, via, sv, item, *price)?
+                    }
+                    None => spec.add_deal(seller, buyer, via, item, *price)?,
+                };
+                deals.insert(name.clone(), id);
+            }
+            Statement::Assemble {
+                output,
+                inputs,
+                assembler,
+            } => {
+                let assembler = lookup_agent(&agents, assembler)?;
+                let output = items.get(output).copied().ok_or(LangError::Unknown {
+                    kind: "item",
+                    name: output.clone(),
+                })?;
+                let mut input_ids = Vec::with_capacity(inputs.len());
+                for i in inputs {
+                    input_ids.push(items.get(i).copied().ok_or(LangError::Unknown {
+                        kind: "item",
+                        name: i.clone(),
+                    })?);
+                }
+                spec.add_assembly(assembler, input_ids, output)?;
+            }
+            Statement::Link { a, b } => {
+                let a = lookup_agent(&agents, a)?;
+                let b = lookup_agent(&agents, b)?;
+                spec.add_trusted_link(a, b)?;
+            }
+            Statement::Secure { first, then } => {
+                let first_id = lookup_deal(&deals, first)?;
+                let then_id = lookup_deal(&deals, then)?;
+                let principal = spec.deal(first_id)?.seller();
+                spec.add_resale_constraint(principal, first_id, then_id)?;
+            }
+            Statement::Fund { purchase, source } => {
+                let purchase_id = lookup_deal(&deals, purchase)?;
+                let source_id = lookup_deal(&deals, source)?;
+                let principal = spec.deal(purchase_id)?.buyer();
+                spec.add_funding_constraint(principal, purchase_id, source_id)?;
+            }
+            Statement::Trust { truster, trustee } => {
+                let truster = lookup_agent(&agents, truster)?;
+                let trustee = lookup_agent(&agents, trustee)?;
+                spec.add_trust(truster, trustee)?;
+            }
+            Statement::Indemnify {
+                deal,
+                provider,
+                amount,
+            } => {
+                let deal = lookup_deal(&deals, deal)?;
+                let provider = lookup_agent(&agents, provider)?;
+                spec.add_indemnity(provider, deal, *amount)?;
+            }
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use trustseq_model::{ModelError, Money, Role};
+
+    const EXAMPLE1: &str = r#"
+        exchange "example1" {
+            consumer c;
+            broker b;
+            producer p;
+            trusted t1;
+            trusted t2;
+            item doc "The Document";
+            deal sale:   b sells doc to c for $100.00 via t1;
+            deal supply: p sells doc to b for $80.00  via t2;
+            secure sale before supply;
+        }
+    "#;
+
+    #[test]
+    fn elaborates_example1() {
+        let spec = elaborate(&parse(EXAMPLE1).unwrap()).unwrap();
+        assert_eq!(spec.name(), "example1");
+        assert_eq!(spec.deals().len(), 2);
+        assert_eq!(spec.resale_constraints().len(), 1);
+        let broker = spec.participant_by_name("b").unwrap();
+        assert_eq!(
+            broker.kind(),
+            trustseq_model::ParticipantKind::Principal(Role::Broker)
+        );
+        assert_eq!(spec.resale_constraints()[0].principal, broker.id());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let src = r#"exchange "x" { consumer c; trusted t; item i "I";
+            deal d: ghost sells i to c for $1 via t; }"#;
+        match elaborate(&parse(src).unwrap()) {
+            Err(LangError::Unknown { kind, name }) => {
+                assert_eq!(kind, "participant");
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("expected unknown-name error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_item_and_deal() {
+        let src = r#"exchange "x" { consumer c; producer p; trusted t;
+            deal d: p sells ghost to c for $1 via t; }"#;
+        assert!(matches!(
+            elaborate(&parse(src).unwrap()),
+            Err(LangError::Unknown { kind: "item", .. })
+        ));
+        let src = r#"exchange "x" { consumer c; producer p; trusted t; item i "I";
+            deal d: p sells i to c for $1 via t;
+            secure ghost before d; }"#;
+        assert!(matches!(
+            elaborate(&parse(src).unwrap()),
+            Err(LangError::Unknown { kind: "deal", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_deal_names_rejected() {
+        let src = r#"exchange "x" { consumer c; producer p; trusted t; item i "I";
+            deal d: p sells i to c for $1 via t;
+            deal d: p sells i to c for $2 via t; }"#;
+        assert!(matches!(
+            elaborate(&parse(src).unwrap()),
+            Err(LangError::DuplicateDeal(_))
+        ));
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        // Empty spec: no deals.
+        let src = r#"exchange "x" { consumer c; producer p; trusted t; item i "I";
+            deal d: p sells i to p for $1 via t; }"#;
+        match elaborate(&parse(src).unwrap()) {
+            Err(LangError::Model(ModelError::SelfDeal(_))) => {}
+            other => panic!("expected self-deal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trust_statement_derives_roles() {
+        let src = r#"exchange "x" { broker b; producer p; trusted t; item i "I";
+            deal d: p sells i to b for $1 via t;
+            trust p -> b; }"#;
+        let spec = elaborate(&parse(src).unwrap()).unwrap();
+        let b = spec.participant_by_name("b").unwrap().id();
+        let t = spec.participant_by_name("t").unwrap().id();
+        assert!(spec.plays_role(t, b));
+    }
+
+    #[test]
+    fn link_and_bridged_deal() {
+        let src = r#"exchange "bridge" {
+            producer p; consumer c;
+            trusted t_west; trusted t_east;
+            item doc "Doc";
+            link t_west with t_east;
+            deal d: p sells doc to c for $25 via t_west and t_east;
+        }"#;
+        let spec = elaborate(&parse(src).unwrap()).unwrap();
+        assert_eq!(spec.trusted_links().len(), 1);
+        let deal = &spec.deals()[0];
+        assert!(deal.is_bridged());
+        assert_eq!(
+            deal.intermediary(),
+            spec.participant_by_name("t_west").unwrap().id()
+        );
+        assert_eq!(
+            deal.seller_intermediary(),
+            spec.participant_by_name("t_east").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn bridged_deal_without_link_is_rejected() {
+        let src = r#"exchange "bridge" {
+            producer p; consumer c;
+            trusted t1; trusted t2;
+            item doc "Doc";
+            deal d: p sells doc to c for $25 via t1 and t2;
+        }"#;
+        assert!(matches!(
+            elaborate(&parse(src).unwrap()),
+            Err(LangError::Model(ModelError::UnlinkedBridge { .. }))
+        ));
+    }
+
+    #[test]
+    fn indemnify_statement() {
+        let src = r#"exchange "x" { broker b; consumer c; trusted t; item i "I";
+            deal d: b sells i to c for $10 via t;
+            indemnify d by b for $25; }"#;
+        let spec = elaborate(&parse(src).unwrap()).unwrap();
+        assert_eq!(spec.indemnities().len(), 1);
+        assert_eq!(spec.indemnities()[0].amount, Money::from_dollars(25));
+    }
+}

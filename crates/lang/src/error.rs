@@ -1,0 +1,99 @@
+//! Error type for the specification language.
+
+use std::error::Error;
+use std::fmt;
+use trustseq_model::ModelError;
+
+/// Errors produced while lexing, parsing or elaborating a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// A lexical error at a source position.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// A syntax error at a source position.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// A name was used before being declared.
+    Unknown {
+        /// What kind of entity (`principal`, `item`, `deal`, …).
+        kind: &'static str,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A deal name was declared twice.
+    DuplicateDeal(String),
+    /// A semantic error from the model layer.
+    Model(ModelError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, col, message } => {
+                write!(f, "{line}:{col}: lexical error: {message}")
+            }
+            LangError::Parse {
+                line,
+                col,
+                expected,
+                found,
+            } => write!(f, "{line}:{col}: expected {expected}, found {found}"),
+            LangError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            LangError::DuplicateDeal(name) => write!(f, "duplicate deal name `{name}`"),
+            LangError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for LangError {
+    fn from(e: ModelError) -> Self {
+        LangError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = LangError::Parse {
+            line: 3,
+            col: 7,
+            expected: "`;`".into(),
+            found: "`}`".into(),
+        };
+        assert_eq!(e.to_string(), "3:7: expected `;`, found `}`");
+    }
+
+    #[test]
+    fn model_error_wraps() {
+        let e: LangError = ModelError::EmptySpec.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no deals"));
+    }
+}

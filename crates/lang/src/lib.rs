@@ -1,0 +1,77 @@
+//! The exchange-specification language: a small DSL for describing
+//! distributed commerce transactions (§1–§2 of the paper introduce "a
+//! language for specifying these commercial exchange problems").
+//!
+//! # Syntax
+//!
+//! ```text
+//! exchange "example1" {
+//!     consumer c;                   # principals
+//!     broker b;
+//!     producer p;
+//!     trusted t1;                   # trusted components
+//!     trusted t2;
+//!     item doc "The Document";      # catalogue
+//!
+//!     deal sale:   b sells doc to c for $100.00 via t1;
+//!     deal supply: p sells doc to b for $80.00  via t2;
+//!
+//!     secure sale before supply;    # resale constraint (red edge)
+//!     fund supply from sale;        # funding constraint ("poor broker")
+//!     trust p -> b;                 # directed trust (b plays t2's role)
+//!     indemnify sale by b for $20;  # collateral splitting c's bundle
+//! }
+//! ```
+//!
+//! Two further statements support §9's *hierarchy of trust*: `link t1 with
+//! t2;` declares mutual trust between two trusted components, after which a
+//! deal may be **bridged** across them with `… via t1 and t2;` (buyer-side
+//! component first). And §3.2's combined documents are declared with
+//! `assemble patent from text and diagrams by publisher;` — the publisher
+//! can then sell the composite without originally holding it.
+//!
+//! # Example
+//!
+//! ```
+//! use trustseq_lang::parse_spec;
+//!
+//! # fn main() -> Result<(), trustseq_lang::LangError> {
+//! let spec = parse_spec(r#"
+//!     exchange "quick" {
+//!         producer p; consumer c; trusted t;
+//!         item doc "A Document";
+//!         deal d: p sells doc to c for $20.00 via t;
+//!     }
+//! "#)?;
+//! assert_eq!(spec.deals().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ast;
+mod elaborate;
+mod error;
+mod parser;
+mod printer;
+mod token;
+
+pub use elaborate::elaborate;
+pub use error::LangError;
+pub use parser::parse;
+pub use printer::print;
+pub use token::{tokenize, Token, TokenKind};
+
+use trustseq_model::ExchangeSpec;
+
+/// Parses specification-language source text straight into a validated
+/// [`ExchangeSpec`].
+///
+/// # Errors
+///
+/// Lexical, syntax, name-resolution or semantic errors — see [`LangError`].
+pub fn parse_spec(source: &str) -> Result<ExchangeSpec, LangError> {
+    elaborate(&parse(source)?)
+}

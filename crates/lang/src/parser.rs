@@ -1,0 +1,385 @@
+//! Recursive-descent parser for the exchange-specification language.
+
+use crate::ast::{ExchangeAst, RoleKw, Statement};
+use crate::token::{tokenize, Token, TokenKind};
+use crate::LangError;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, expected: &str) -> LangError {
+        match self.peek() {
+            Some(t) => LangError::Parse {
+                line: t.line,
+                col: t.col,
+                expected: expected.to_owned(),
+                found: t.kind.to_string(),
+            },
+            None => LangError::Parse {
+                line: self.tokens.last().map(|t| t.line).unwrap_or(1),
+                col: self.tokens.last().map(|t| t.col).unwrap_or(1),
+                expected: expected.to_owned(),
+                found: "end of input".to_owned(),
+            },
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, expected: &str) -> Result<(), LangError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err_here(expected)),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(_),
+                ..
+            }) => {
+                let t = self.next().expect("peeked");
+                match t.kind {
+                    TokenKind::Ident(s) => Ok(s),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.err_here("an identifier")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), LangError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err_here(&format!("keyword `{kw}`"))),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, LangError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Str(_),
+                ..
+            }) => {
+                let t = self.next().expect("peeked");
+                match t.kind {
+                    TokenKind::Str(s) => Ok(s),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.err_here("a string literal")),
+        }
+    }
+
+    fn expect_money(&mut self) -> Result<trustseq_model::Money, LangError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Money(_),
+                ..
+            }) => {
+                let t = self.next().expect("peeked");
+                match t.kind {
+                    TokenKind::Money(m) => Ok(m),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.err_here("a money literal like `$10.00`")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, LangError> {
+        let kw = self.expect_ident()?;
+        let stmt = match kw.as_str() {
+            "consumer" | "broker" | "producer" => {
+                let role = match kw.as_str() {
+                    "consumer" => RoleKw::Consumer,
+                    "broker" => RoleKw::Broker,
+                    _ => RoleKw::Producer,
+                };
+                Statement::Principal {
+                    role,
+                    name: self.expect_ident()?,
+                }
+            }
+            "trusted" => Statement::Trusted {
+                name: self.expect_ident()?,
+            },
+            "item" => {
+                let key = self.expect_ident()?;
+                let title = self.expect_string()?;
+                Statement::Item { key, title }
+            }
+            "deal" => {
+                let name = self.expect_ident()?;
+                self.expect_kind(&TokenKind::Colon, "`:`")?;
+                let seller = self.expect_ident()?;
+                self.expect_keyword("sells")?;
+                let item = self.expect_ident()?;
+                self.expect_keyword("to")?;
+                let buyer = self.expect_ident()?;
+                self.expect_keyword("for")?;
+                let price = self.expect_money()?;
+                self.expect_keyword("via")?;
+                let via = self.expect_ident()?;
+                // Bridged deal: `via t1 and t2` (buyer side first).
+                let seller_via = match self.peek() {
+                    Some(Token {
+                        kind: TokenKind::Ident(s),
+                        ..
+                    }) if s == "and" => {
+                        self.next();
+                        Some(self.expect_ident()?)
+                    }
+                    _ => None,
+                };
+                Statement::Deal {
+                    name,
+                    seller,
+                    item,
+                    buyer,
+                    price,
+                    via,
+                    seller_via,
+                }
+            }
+            "secure" => {
+                let first = self.expect_ident()?;
+                self.expect_keyword("before")?;
+                let then = self.expect_ident()?;
+                Statement::Secure { first, then }
+            }
+            "fund" => {
+                let purchase = self.expect_ident()?;
+                self.expect_keyword("from")?;
+                let source = self.expect_ident()?;
+                Statement::Fund { purchase, source }
+            }
+            "assemble" => {
+                let output = self.expect_ident()?;
+                self.expect_keyword("from")?;
+                let mut inputs = vec![self.expect_ident()?];
+                while matches!(self.peek(),
+                    Some(Token { kind: TokenKind::Ident(s), .. }) if s == "and")
+                {
+                    self.next();
+                    inputs.push(self.expect_ident()?);
+                }
+                self.expect_keyword("by")?;
+                let assembler = self.expect_ident()?;
+                Statement::Assemble {
+                    output,
+                    inputs,
+                    assembler,
+                }
+            }
+            "link" => {
+                let a = self.expect_ident()?;
+                self.expect_keyword("with")?;
+                let b = self.expect_ident()?;
+                Statement::Link { a, b }
+            }
+            "trust" => {
+                let truster = self.expect_ident()?;
+                self.expect_kind(&TokenKind::Arrow, "`->`")?;
+                let trustee = self.expect_ident()?;
+                Statement::Trust { truster, trustee }
+            }
+            "indemnify" => {
+                let deal = self.expect_ident()?;
+                self.expect_keyword("by")?;
+                let provider = self.expect_ident()?;
+                self.expect_keyword("for")?;
+                let amount = self.expect_money()?;
+                Statement::Indemnify {
+                    deal,
+                    provider,
+                    amount,
+                }
+            }
+            other => {
+                self.pos -= 1; // report at the keyword itself
+                return Err(self.err_here(&format!(
+                    "a statement keyword (got `{other}`): consumer, broker, producer, \
+                     trusted, item, deal, secure, fund, link, trust, assemble or indemnify"
+                )));
+            }
+        };
+        self.expect_kind(&TokenKind::Semi, "`;`")?;
+        Ok(stmt)
+    }
+}
+
+/// Parses an `exchange "name" { … }` source file into an AST.
+///
+/// # Errors
+///
+/// [`LangError::Lex`] or [`LangError::Parse`] with 1-based source positions.
+pub fn parse(source: &str) -> Result<ExchangeAst, LangError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("exchange")?;
+    let name = p.expect_string()?;
+    p.expect_kind(&TokenKind::LBrace, "`{`")?;
+    let mut statements = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Token {
+                kind: TokenKind::RBrace,
+                ..
+            }) => {
+                p.next();
+                break;
+            }
+            Some(_) => statements.push(p.statement()?),
+            None => return Err(p.err_here("`}`")),
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err_here("end of input"));
+    }
+    Ok(ExchangeAst { name, statements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_model::Money;
+
+    const EXAMPLE1: &str = r#"
+        exchange "example1" {
+            consumer c;
+            broker b;
+            producer p;
+            trusted t1;
+            trusted t2;
+            item doc "The Document";
+            deal sale:   b sells doc to c for $100.00 via t1;
+            deal supply: p sells doc to b for $80.00  via t2;
+            secure sale before supply;
+        }
+    "#;
+
+    #[test]
+    fn parses_example1() {
+        let ast = parse(EXAMPLE1).unwrap();
+        assert_eq!(ast.name, "example1");
+        assert_eq!(ast.statements.len(), 9);
+        assert!(matches!(
+            &ast.statements[6],
+            Statement::Deal { name, price, .. }
+                if name == "sale" && *price == Money::from_dollars(100)
+        ));
+        assert!(matches!(
+            &ast.statements[8],
+            Statement::Secure { first, then } if first == "sale" && then == "supply"
+        ));
+    }
+
+    #[test]
+    fn parses_trust_fund_and_indemnify() {
+        let src = r#"
+            exchange "x" {
+                broker b; producer p; trusted t; item i "I";
+                deal d: p sells i to b for $5 via t;
+                deal e: b sells i to p for $6 via t;
+                trust p -> b;
+                fund d from e;
+                indemnify d by p for $7.50;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert!(ast
+            .statements
+            .iter()
+            .any(|s| matches!(s, Statement::Trust { truster, trustee }
+                if truster == "p" && trustee == "b")));
+        assert!(ast
+            .statements
+            .iter()
+            .any(|s| matches!(s, Statement::Fund { purchase, source }
+                if purchase == "d" && source == "e")));
+        assert!(ast.statements.iter().any(
+            |s| matches!(s, Statement::Indemnify { amount, .. } if *amount == Money::from_cents(750))
+        ));
+    }
+
+    #[test]
+    fn reports_position_of_errors() {
+        let err = parse("exchange \"x\" {\n  bogus y;\n}").unwrap_err();
+        match err {
+            LangError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse("exchange \"x\" { consumer c }").unwrap_err();
+        assert!(err.to_string().contains("`;`"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("exchange \"x\" { } extra").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        assert!(parse("exchange \"x\" { consumer c;").is_err());
+    }
+
+    #[test]
+    fn empty_exchange_parses() {
+        let ast = parse("exchange \"empty\" { }").unwrap();
+        assert!(ast.statements.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_never_panics(input in ".{0,300}") {
+            let _ = parse(&input);
+        }
+
+        /// Nor on arbitrary *token-shaped* input.
+        #[test]
+        fn parser_never_panics_on_token_soup(
+            words in proptest::collection::vec(
+                "(exchange|deal|secure|fund|link|trust|via|and|;|\\{|\\}|:|->|\\$12\\.50|\"x\"|[a-z]{1,6})",
+                0..40,
+            )
+        ) {
+            let input = words.join(" ");
+            let _ = parse(&input);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Pretty-printer: renders an [`ExchangeSpec`] back to canonical
+//! specification-language text.
+//!
+//! The printed text re-parses to an equivalent specification (see the
+//! round-trip tests). Deal names are generated as `d0`, `d1`, … in
+//! declaration order, since the model does not retain source names.
+
+use std::fmt::Write as _;
+use trustseq_model::{ExchangeSpec, ParticipantKind, Role};
+
+/// Renders `spec` as specification-language source text.
+pub fn print(spec: &ExchangeSpec) -> String {
+    let mut out = String::new();
+    let name = |a: trustseq_model::AgentId| {
+        spec.participant(a)
+            .map(|p| p.name().to_owned())
+            .unwrap_or_else(|_| a.to_string())
+    };
+    let _ = writeln!(out, "exchange \"{}\" {{", spec.name());
+    for p in spec.participants() {
+        match p.kind() {
+            ParticipantKind::Principal(Role::Consumer) => {
+                let _ = writeln!(out, "    consumer {};", p.name());
+            }
+            ParticipantKind::Principal(Role::Broker) => {
+                let _ = writeln!(out, "    broker {};", p.name());
+            }
+            ParticipantKind::Principal(Role::Producer) => {
+                let _ = writeln!(out, "    producer {};", p.name());
+            }
+            ParticipantKind::Trusted => {
+                let _ = writeln!(out, "    trusted {};", p.name());
+            }
+        }
+    }
+    for item in spec.items() {
+        let _ = writeln!(out, "    item {} \"{}\";", item.key(), item.title());
+    }
+    for a in spec.assemblies() {
+        let key = |i| {
+            spec.item(i)
+                .map(|it| it.key().to_owned())
+                .unwrap_or_else(|_| format!("{i}"))
+        };
+        let inputs: Vec<String> = a.inputs.iter().map(|&i| key(i)).collect();
+        let _ = writeln!(
+            out,
+            "    assemble {} from {} by {};",
+            key(a.output),
+            inputs.join(" and "),
+            name(a.assembler),
+        );
+    }
+    for &(a, b) in spec.trusted_links() {
+        let _ = writeln!(out, "    link {} with {};", name(a), name(b));
+    }
+    for deal in spec.deals() {
+        let item_key = spec
+            .item(deal.item())
+            .map(|i| i.key().to_owned())
+            .unwrap_or_else(|_| deal.item().to_string());
+        let via = if deal.is_bridged() {
+            format!(
+                "{} and {}",
+                name(deal.intermediary()),
+                name(deal.seller_intermediary())
+            )
+        } else {
+            name(deal.intermediary())
+        };
+        let _ = writeln!(
+            out,
+            "    deal d{}: {} sells {} to {} for {} via {};",
+            deal.id().index(),
+            name(deal.seller()),
+            item_key,
+            name(deal.buyer()),
+            deal.price(),
+            via,
+        );
+    }
+    for rc in spec.resale_constraints() {
+        let _ = writeln!(
+            out,
+            "    secure d{} before d{};",
+            rc.secure_first.index(),
+            rc.before.index()
+        );
+    }
+    for fc in spec.funding_constraints() {
+        let _ = writeln!(
+            out,
+            "    fund d{} from d{};",
+            fc.purchase.index(),
+            fc.funded_by.index()
+        );
+    }
+    for (truster, trustee) in spec.trust().iter() {
+        let _ = writeln!(out, "    trust {} -> {};", name(truster), name(trustee));
+    }
+    for ind in spec.indemnities() {
+        let _ = writeln!(
+            out,
+            "    indemnify d{} by {} for {};",
+            ind.deal.index(),
+            name(ind.provider),
+            ind.amount
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+    use trustseq_model::{ExchangeSpec, Money};
+
+    fn example1() -> ExchangeSpec {
+        let mut spec = ExchangeSpec::new("example1");
+        let c = spec.add_principal("c", Role::Consumer).unwrap();
+        let b = spec.add_principal("b", Role::Broker).unwrap();
+        let p = spec.add_principal("p", Role::Producer).unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let doc = spec.add_item("doc", "The Document").unwrap();
+        let sale = spec
+            .add_deal(b, c, t1, doc, Money::from_dollars(100))
+            .unwrap();
+        let supply = spec
+            .add_deal(p, b, t2, doc, Money::from_dollars(80))
+            .unwrap();
+        spec.add_resale_constraint(b, sale, supply).unwrap();
+        spec
+    }
+
+    #[test]
+    fn printed_text_contains_all_statements() {
+        let text = print(&example1());
+        assert!(text.contains("consumer c;"));
+        assert!(text.contains("broker b;"));
+        assert!(text.contains("trusted t1;"));
+        assert!(text.contains("item doc \"The Document\";"));
+        assert!(text.contains("deal d0: b sells doc to c for $100.00 via t1;"));
+        assert!(text.contains("secure d0 before d1;"));
+    }
+
+    #[test]
+    fn roundtrip_example1() {
+        let spec = example1();
+        let reparsed = parse_spec(&print(&spec)).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_bridged_deal_and_link() {
+        let mut spec = ExchangeSpec::new("bridge");
+        let p = spec
+            .add_principal("p", trustseq_model::Role::Producer)
+            .unwrap();
+        let c = spec
+            .add_principal("c", trustseq_model::Role::Consumer)
+            .unwrap();
+        let tw = spec.add_trusted("tw").unwrap();
+        let te = spec.add_trusted("te").unwrap();
+        let doc = spec.add_item("doc", "Doc").unwrap();
+        spec.add_trusted_link(tw, te).unwrap();
+        spec.add_deal_bridged(p, c, tw, te, doc, Money::from_dollars(25))
+            .unwrap();
+        let text = print(&spec);
+        assert!(text.contains("link tw with te;"));
+        assert!(text.contains("via tw and te;"));
+        let reparsed = parse_spec(&text).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_assembly() {
+        let mut spec = ExchangeSpec::new("patent");
+        let pubr = spec
+            .add_principal("publisher", trustseq_model::Role::Broker)
+            .unwrap();
+        let c = spec
+            .add_principal("c", trustseq_model::Role::Consumer)
+            .unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let text = spec.add_item("text", "Text").unwrap();
+        let diagrams = spec.add_item("diagrams", "Diagrams").unwrap();
+        let patent = spec.add_item("patent", "Patent").unwrap();
+        spec.add_assembly(pubr, vec![text, diagrams], patent).unwrap();
+        spec.add_deal(pubr, c, t, patent, Money::from_dollars(50))
+            .unwrap();
+        let rendered = print(&spec);
+        assert!(rendered.contains("assemble patent from text and diagrams by publisher;"));
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_with_trust_fund_and_indemnity() {
+        let mut spec = example1();
+        let b = spec.participant_by_name("b").unwrap().id();
+        let p = spec.participant_by_name("p").unwrap().id();
+        let sale = spec.deals()[0].id();
+        let supply = spec.deals()[1].id();
+        spec.add_funding_constraint(b, supply, sale).unwrap();
+        spec.add_trust(p, b).unwrap();
+        spec.add_indemnity(b, sale, Money::from_cents(1234)).unwrap();
+        let reparsed = parse_spec(&print(&spec)).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+}

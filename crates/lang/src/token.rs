@@ -1,0 +1,305 @@
+//! Lexer for the exchange-specification language.
+
+use crate::LangError;
+use trustseq_model::Money;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`consumer`, `sells`, a name, …).
+    Ident(String),
+    /// A double-quoted string literal.
+    Str(String),
+    /// A dollar amount (`$12.50`).
+    Money(Money),
+    /// `->`
+    Arrow,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Money(m) => write!(f, "{m}"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Tokenises `source`.
+///
+/// Comments run from `#` or `//` to the end of the line. Identifiers are
+/// `[A-Za-z_][A-Za-z0-9_]*`; money literals are `$` followed by digits with
+/// an optional two-digit decimal part.
+///
+/// # Errors
+///
+/// [`LangError::Lex`] on any unrecognised character or malformed literal.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    return Err(LangError::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: "expected `//` comment".into(),
+                    });
+                }
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '{' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '-' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(LangError::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: "expected `->`".into(),
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LangError::Lex {
+                                line: tline,
+                                col: tcol,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '$' => {
+                bump!();
+                let mut s = String::from("$");
+                while chars.peek().is_some_and(|c| c.is_ascii_digit() || *c == '.') {
+                    s.push(bump!().expect("peeked"));
+                }
+                let amount: Money = s.parse().map_err(|_| LangError::Lex {
+                    line: tline,
+                    col: tcol,
+                    message: format!("malformed money literal `{s}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Money(amount),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+                {
+                    s.push(bump!().expect("peeked"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LangError::Lex {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_all_token_kinds() {
+        let toks = kinds(r#"deal x: a sells "Doc" for $12.50 -> ; { }"#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("deal".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("sells".into()),
+                TokenKind::Str("Doc".into()),
+                TokenKind::Ident("for".into()),
+                TokenKind::Money(Money::from_cents(1250)),
+                TokenKind::Arrow,
+                TokenKind::Semi,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a # comment\nb // another\nc");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("a\n  bb").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn whole_dollar_amounts() {
+        assert_eq!(kinds("$100"), vec![TokenKind::Money(Money::from_dollars(100))]);
+    }
+
+    #[test]
+    fn lex_errors_carry_position() {
+        match tokenize("a\n @") {
+            Err(LangError::Lex { line, col, .. }) => {
+                assert_eq!((line, col), (2, 2));
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("$x").is_err());
+        assert!(tokenize("- x").is_err());
+        assert!(tokenize("/ x").is_err());
+        assert!(tokenize("$1.234").is_err());
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lexer never panics on arbitrary input — it either tokenises
+        /// or reports a positioned error.
+        #[test]
+        fn lexer_never_panics(input in ".{0,200}") {
+            let _ = tokenize(&input);
+        }
+
+        /// Tokenising valid identifier soup always succeeds.
+        #[test]
+        fn identifier_soup_tokenizes(words in proptest::collection::vec("[a-z_][a-z0-9_]{0,10}", 0..20)) {
+            let input = words.join(" ");
+            let tokens = tokenize(&input).unwrap();
+            prop_assert_eq!(tokens.len(), words.len());
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Generation of per-principal acceptance specifications (§2.3) from an
+//! [`ExchangeSpec`].
+//!
+//! For every principal the generator enumerates the final states the paper
+//! deems acceptable:
+//!
+//! * the **preferred** state — every deal of the principal completed (and
+//!   every indemnity it provided refunded);
+//! * **back-out** states — any subset of its deals deposited-then-returned,
+//!   the rest untouched (these all net to the status quo);
+//! * **indemnity** states — an indemnity *splits* the beneficiary's
+//!   conjunction (§6), so each covered deal independently completes, backs
+//!   out, or fails-with-payout, while the non-indemnified remainder of the
+//!   bundle stays jointly all-or-nothing; for a provider, forfeit variants
+//!   of the back-out states.
+//!
+//! Windfall states (receiving goods without paying, §2.3's "perhaps less
+//! realistic" fourth state) are intentionally *not* generated: they cannot
+//! arise from honest trusted components, and omitting them only makes
+//! classification stricter.
+//!
+//! The enumeration is exponential in the number of deals per principal; for
+//! principals with more than [`MAX_ENUMERATED_DEALS`] deals only the
+//! preferred, status-quo and full-back-out states are produced.
+
+use crate::spec::ExchangeSpec;
+use crate::{AcceptanceSpec, Action, AgentId, Deal, DealId, Indemnity, PartialState};
+use std::collections::BTreeSet;
+
+/// Above this many deals for a single principal, back-out subsets are no
+/// longer enumerated exhaustively.
+pub const MAX_ENUMERATED_DEALS: usize = 12;
+
+/// The actions a principal performs/receives when `deal` completes.
+///
+/// Each side interacts with *its own* trusted component (they differ for
+/// bridged deals); the payment to the seller comes from the buyer-side
+/// component, which holds the cash.
+fn completed_actions(deal: &Deal, principal: AgentId) -> Vec<Action> {
+    if deal.buyer() == principal {
+        let t = deal.intermediary();
+        vec![
+            Action::pay(principal, t, deal.price()),
+            Action::give(t, principal, deal.item()),
+        ]
+    } else {
+        vec![
+            Action::give(principal, deal.seller_intermediary(), deal.item()),
+            Action::pay(deal.intermediary(), principal, deal.price()),
+        ]
+    }
+}
+
+/// The actions a principal performs/receives when it deposits for `deal`
+/// and the deposit is returned.
+fn backout_actions(deal: &Deal, principal: AgentId) -> Vec<Action> {
+    let forward = if deal.buyer() == principal {
+        Action::pay(principal, deal.intermediary(), deal.price())
+    } else {
+        Action::give(principal, deal.seller_intermediary(), deal.item())
+    };
+    vec![forward, forward.inverse().expect("forward action invertible")]
+}
+
+/// Indemnity deposit + refund, as seen by the provider.
+fn indemnity_success_actions(ind: &Indemnity) -> Vec<Action> {
+    let deposit = Action::pay(ind.provider, ind.via, ind.amount);
+    vec![deposit, deposit.inverse().expect("pay invertible")]
+}
+
+/// Builds the acceptance specifications of every principal of `spec`.
+pub(crate) fn acceptance_specs(spec: &ExchangeSpec) -> Vec<AcceptanceSpec> {
+    spec.principals()
+        .map(|p| acceptance_spec_for(spec, p.id()))
+        .collect()
+}
+
+fn acceptance_spec_for(spec: &ExchangeSpec, principal: AgentId) -> AcceptanceSpec {
+    let deals: Vec<&Deal> = spec.deals_of(principal).collect();
+    let provided: Vec<&Indemnity> = spec
+        .indemnities()
+        .iter()
+        .filter(|i| i.provider == principal)
+        .collect();
+    let received: Vec<&Indemnity> = spec
+        .indemnities()
+        .iter()
+        .filter(|i| i.beneficiary == principal)
+        .collect();
+
+    let mut states: Vec<PartialState> = Vec::new();
+
+    // Preferred: everything completes, provided indemnities refunded.
+    let mut preferred_actions: Vec<Action> = deals
+        .iter()
+        .flat_map(|d| completed_actions(d, principal))
+        .collect();
+    for ind in &provided {
+        preferred_actions.extend(indemnity_success_actions(ind));
+    }
+    states.push(PartialState::from_actions(preferred_actions));
+    let preferred_index = 0;
+
+    // Back-out subsets (includes the empty subset: the status quo).
+    let enumerate_all = deals.len() <= MAX_ENUMERATED_DEALS;
+    let subsets: Vec<Vec<&Deal>> = if enumerate_all {
+        (0..(1usize << deals.len()))
+            .map(|mask| {
+                deals
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, d)| *d)
+                    .collect()
+            })
+            .collect()
+    } else {
+        vec![Vec::new(), deals.clone()]
+    };
+    // Back-out variants per deal: the plain deposit-and-return pair, plus —
+    // for a buyer whose intermediary is the buyer's own persona (§4.2.3) —
+    // a variant where the held item was virtually lent to the persona and
+    // returned when the exchange unwound.
+    let backout_variants = |d: &Deal| -> Vec<Vec<Action>> {
+        let mut variants = vec![backout_actions(d, principal)];
+        if d.buyer() == principal && spec.persona_of(d.intermediary()) == Some(principal) {
+            let mut with_lend = backout_actions(d, principal);
+            let lend = Action::give(d.intermediary(), principal, d.item());
+            with_lend.push(lend);
+            with_lend.push(lend.inverse().expect("give invertible"));
+            variants.push(with_lend);
+        }
+        variants
+    };
+
+    for subset in &subsets {
+        // Cross product over each deal's back-out variants.
+        let variant_lists: Vec<Vec<Vec<Action>>> =
+            subset.iter().map(|d| backout_variants(d)).collect();
+        let combos: u64 = variant_lists.iter().map(|v| v.len() as u64).product();
+        let mut bases: Vec<Vec<Action>> = Vec::with_capacity(combos as usize);
+        for combo in 0..combos {
+            let mut rem = combo;
+            let mut actions = Vec::new();
+            for list in &variant_lists {
+                let pick = (rem % list.len() as u64) as usize;
+                rem /= list.len() as u64;
+                actions.extend(list[pick].iter().copied());
+            }
+            bases.push(actions);
+        }
+        for base in &bases {
+            states.push(PartialState::from_actions(base.clone()));
+            if !provided.is_empty() {
+                // Provider overlays: each provided indemnity independently
+                // either (a) deposited and refunded, or (b) deposited and
+                // forfeited — or (c) never posted (the bare state above).
+                // Enumerate (a)/(b) per indemnity (2^k overlays).
+                let k = provided.len().min(MAX_ENUMERATED_DEALS);
+                for mask in 0..(1usize << k) {
+                    let mut with_overlay = base.clone();
+                    for (i, ind) in provided.iter().take(k).enumerate() {
+                        if mask & (1 << i) != 0 {
+                            // forfeited: deposit only
+                            with_overlay.push(Action::pay(ind.provider, ind.via, ind.amount));
+                        } else {
+                            with_overlay.extend(indemnity_success_actions(ind));
+                        }
+                    }
+                    states.push(PartialState::from_actions(with_overlay));
+                }
+            }
+        }
+    }
+
+    // Beneficiary indemnity states. Per §6, an indemnity *splits* the
+    // beneficiary's conjunction: each covered deal becomes an independent
+    // transaction that may complete, back out, or fail-with-payout
+    // (deposit refunded plus the collateral forfeited to the beneficiary),
+    // regardless of the rest of the bundle. The *non-indemnified* deals
+    // remain conjoined: jointly completed or jointly backed out.
+    if !received.is_empty() && enumerate_all {
+        let indemnified: BTreeSet<DealId> = received.iter().map(|i| i.deal).collect();
+        let split_deals: Vec<&&Deal> = deals
+            .iter()
+            .filter(|d| indemnified.contains(&d.id()))
+            .collect();
+        let joint_deals: Vec<&&Deal> = deals
+            .iter()
+            .filter(|d| !indemnified.contains(&d.id()))
+            .collect();
+        // Each split deal independently: completed / backed out /
+        // untouched / failed-with-payout (4 statuses). The joint remainder:
+        // either all completed, or nothing completed with each deal
+        // independently backed out or untouched.
+        let split_combos: u64 = 4u64.pow(split_deals.len() as u32);
+        let joint_combos: u64 = 1 + (1u64 << joint_deals.len()); // complete | 2^j fail mixes
+        for assignment in 0..split_combos {
+            for joint_choice in 0..joint_combos {
+                let mut rem = assignment;
+                let mut actions: Vec<Action> = Vec::new();
+                for d in &split_deals {
+                    let status = (rem % 4) as u32;
+                    rem /= 4;
+                    match status {
+                        0 => actions.extend(completed_actions(d, principal)),
+                        1 => actions.extend(backout_actions(d, principal)),
+                        2 => {} // untouched
+                        _ => {
+                            actions.extend(backout_actions(d, principal));
+                            for ind in received.iter().filter(|i| i.deal == d.id()) {
+                                actions.push(Action::pay(ind.via, principal, ind.amount));
+                            }
+                        }
+                    }
+                }
+                if joint_choice == 0 {
+                    for d in &joint_deals {
+                        actions.extend(completed_actions(d, principal));
+                    }
+                } else {
+                    let mask = joint_choice - 1;
+                    for (k, d) in joint_deals.iter().enumerate() {
+                        if mask & (1 << k) != 0 {
+                            actions.extend(backout_actions(d, principal));
+                        }
+                        // else: untouched
+                    }
+                }
+                // Provided indemnities are refunded in these states (the
+                // principal itself performed).
+                for ind in &provided {
+                    actions.extend(indemnity_success_actions(ind));
+                }
+                states.push(PartialState::from_actions(actions));
+            }
+        }
+    }
+
+    // De-duplicate while preserving the preferred index (always first).
+    let mut seen = BTreeSet::new();
+    let mut unique = Vec::with_capacity(states.len());
+    for s in states {
+        let key: Vec<Action> = s.actions().copied().collect();
+        if seen.insert(key) {
+            unique.push(s);
+        }
+    }
+
+    AcceptanceSpec::new(principal, unique, preferred_index)
+}
+
+impl ExchangeSpec {
+    /// Generates the acceptance specification (§2.3) of every principal.
+    ///
+    /// See this module's documentation for exactly which states are
+    /// enumerated. The enumeration is exponential in deals-per-principal and
+    /// falls back to a coarse set above [`MAX_ENUMERATED_DEALS`].
+    pub fn acceptance_specs(&self) -> Vec<AcceptanceSpec> {
+        acceptance_specs(self)
+    }
+
+    /// Generates the acceptance specification of a single principal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `principal` is not a principal of this spec.
+    pub fn acceptance_spec_of(&self, principal: AgentId) -> AcceptanceSpec {
+        assert!(
+            self.participant(principal)
+                .map(|p| p.is_principal())
+                .unwrap_or(false),
+            "{principal} is not a principal"
+        );
+        acceptance_spec_for(self, principal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExchangeState, Money, Outcome, Role};
+
+    fn simple_sale() -> (ExchangeSpec, AgentId, AgentId, AgentId) {
+        let mut spec = ExchangeSpec::new("sale");
+        let p = spec.add_principal("producer", Role::Producer).unwrap();
+        let c = spec.add_principal("customer", Role::Consumer).unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let i = spec.add_item("doc", "Doc").unwrap();
+        spec.add_deal(p, c, t, i, Money::from_dollars(20)).unwrap();
+        (spec, p, c, t)
+    }
+
+    #[test]
+    fn customer_accepts_paper_states() {
+        let (spec, _p, c, t) = simple_sale();
+        let accept = spec.acceptance_spec_of(c);
+        let item = spec.item_by_key("doc").unwrap().id();
+        let m = Money::from_dollars(20);
+
+        // Completed exchange through the intermediary: preferred.
+        let done: ExchangeState = [Action::pay(c, t, m), Action::give(t, c, item)]
+            .into_iter()
+            .collect();
+        assert_eq!(accept.classify(&done), Outcome::Preferred);
+
+        // Refund: acceptable.
+        let refunded: ExchangeState = [
+            Action::pay(c, t, m),
+            Action::pay(c, t, m).inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&refunded), Outcome::Acceptable);
+
+        // Status quo: acceptable.
+        assert_eq!(accept.classify(&ExchangeState::new()), Outcome::Acceptable);
+
+        // Paid without receiving: unacceptable.
+        let robbed: ExchangeState = [Action::pay(c, t, m)].into_iter().collect();
+        assert_eq!(accept.classify(&robbed), Outcome::Unacceptable);
+    }
+
+    #[test]
+    fn producer_accepts_paper_states() {
+        let (spec, p, _c, t) = simple_sale();
+        let accept = spec.acceptance_spec_of(p);
+        let item = spec.item_by_key("doc").unwrap().id();
+        let m = Money::from_dollars(20);
+
+        let done: ExchangeState = [Action::give(p, t, item), Action::pay(t, p, m)]
+            .into_iter()
+            .collect();
+        assert_eq!(accept.classify(&done), Outcome::Preferred);
+
+        let returned: ExchangeState = [
+            Action::give(p, t, item),
+            Action::give(p, t, item).inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&returned), Outcome::Acceptable);
+
+        // Gave the document away unpaid: unacceptable.
+        let robbed: ExchangeState = [Action::give(p, t, item)].into_iter().collect();
+        assert_eq!(accept.classify(&robbed), Outcome::Unacceptable);
+    }
+
+    /// A consumer bundling two documents: partial completion is not
+    /// acceptable (all-or-nothing conjunction).
+    #[test]
+    fn bundle_partial_completion_unacceptable() {
+        let mut spec = ExchangeSpec::new("bundle");
+        let c = spec.add_principal("c", Role::Consumer).unwrap();
+        let b1 = spec.add_principal("b1", Role::Broker).unwrap();
+        let b2 = spec.add_principal("b2", Role::Broker).unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let d1 = spec.add_item("d1", "Doc 1").unwrap();
+        let d2 = spec.add_item("d2", "Doc 2").unwrap();
+        spec.add_deal(b1, c, t1, d1, Money::from_dollars(10))
+            .unwrap();
+        spec.add_deal(b2, c, t2, d2, Money::from_dollars(20))
+            .unwrap();
+
+        let accept = spec.acceptance_spec_of(c);
+        // Both completed: preferred.
+        let both: ExchangeState = [
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::give(t1, c, d1),
+            Action::pay(c, t2, Money::from_dollars(20)),
+            Action::give(t2, c, d2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&both), Outcome::Preferred);
+
+        // Only one completed: unacceptable.
+        let one: ExchangeState = [
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::give(t1, c, d1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&one), Outcome::Unacceptable);
+
+        // One deposited-and-refunded, other untouched: acceptable.
+        let backed: ExchangeState = [
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&backed), Outcome::Acceptable);
+    }
+
+    /// With an indemnity on deal 1, the customer accepts "deal 2 completed,
+    /// deal 1 refunded plus payout".
+    #[test]
+    fn indemnity_payout_state_is_acceptable() {
+        let mut spec = ExchangeSpec::new("bundle");
+        let c = spec.add_principal("c", Role::Consumer).unwrap();
+        let b1 = spec.add_principal("b1", Role::Broker).unwrap();
+        let b2 = spec.add_principal("b2", Role::Broker).unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let d1 = spec.add_item("d1", "Doc 1").unwrap();
+        let d2 = spec.add_item("d2", "Doc 2").unwrap();
+        let deal1 = spec
+            .add_deal(b1, c, t1, d1, Money::from_dollars(10))
+            .unwrap();
+        spec.add_deal(b2, c, t2, d2, Money::from_dollars(20))
+            .unwrap();
+        spec.add_indemnity(b1, deal1, Money::from_dollars(20))
+            .unwrap();
+
+        let accept = spec.acceptance_spec_of(c);
+        let state: ExchangeState = [
+            // deal 2 completes
+            Action::pay(c, t2, Money::from_dollars(20)),
+            Action::give(t2, c, d2),
+            // deal 1 refunded + indemnity payout via t1
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+            Action::pay(t1, c, Money::from_dollars(20)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&state), Outcome::Acceptable);
+
+        // The split makes the covered deal independent: deal 1 completed
+        // while deal 2 merely backs out is acceptable (the consumer chose
+        // this exposure when accepting the indemnity arrangement).
+        let split_mix: ExchangeState = [
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::give(t1, c, d1),
+            Action::pay(c, t2, Money::from_dollars(20)),
+            Action::pay(c, t2, Money::from_dollars(20)).inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&split_mix), Outcome::Acceptable);
+
+        // Double failure: deal 1 fails with payout, deal 2 merely backs
+        // out. Still acceptable (the consumer is overcompensated, not
+        // harmed).
+        let both_fail: ExchangeState = [
+            Action::pay(c, t2, Money::from_dollars(20)),
+            Action::pay(c, t2, Money::from_dollars(20)).inverse().unwrap(),
+            Action::pay(c, t1, Money::from_dollars(10)),
+            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+            Action::pay(t1, c, Money::from_dollars(20)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&both_fail), Outcome::Acceptable);
+
+        // Without the payout the state still matches the split semantics
+        // (deal 1 independently backed out, deal 2 completed).
+        let no_payout: ExchangeState = state
+            .iter()
+            .copied()
+            .filter(|a| *a != Action::pay(t1, c, Money::from_dollars(20)))
+            .collect();
+        assert_eq!(accept.classify(&no_payout), Outcome::Acceptable);
+
+        // But money sunk into deal 1 with neither delivery, refund nor
+        // payout is a genuine loss: unacceptable.
+        let robbed: ExchangeState = [
+            Action::pay(c, t2, Money::from_dollars(20)),
+            Action::give(t2, c, d2),
+            Action::pay(c, t1, Money::from_dollars(10)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&robbed), Outcome::Unacceptable);
+    }
+
+    /// The provider of an indemnity accepts both refund and forfeit
+    /// overlays.
+    #[test]
+    fn provider_forfeit_states() {
+        let mut spec = ExchangeSpec::new("sale");
+        let b = spec.add_principal("b", Role::Broker).unwrap();
+        let c = spec.add_principal("c", Role::Consumer).unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let i = spec.add_item("doc", "Doc").unwrap();
+        let deal = spec.add_deal(b, c, t, i, Money::from_dollars(10)).unwrap();
+        spec.add_indemnity(b, deal, Money::from_dollars(25)).unwrap();
+
+        let accept = spec.acceptance_spec_of(b);
+        let deposit = Action::pay(b, t, Money::from_dollars(25));
+
+        // Deal never performed, indemnity forfeited.
+        let forfeit: ExchangeState = [deposit].into_iter().collect();
+        assert_eq!(accept.classify(&forfeit), Outcome::Acceptable);
+
+        // Deal never performed, indemnity refunded.
+        let refunded: ExchangeState = [deposit, deposit.inverse().unwrap()]
+            .into_iter()
+            .collect();
+        assert_eq!(accept.classify(&refunded), Outcome::Acceptable);
+
+        // Preferred: deal completed + indemnity refunded.
+        let done: ExchangeState = [
+            Action::give(b, t, i),
+            Action::pay(t, b, Money::from_dollars(10)),
+            deposit,
+            deposit.inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(accept.classify(&done), Outcome::Preferred);
+    }
+
+    #[test]
+    fn every_principal_gets_a_spec() {
+        let (spec, ..) = simple_sale();
+        let specs = spec.acceptance_specs();
+        assert_eq!(specs.len(), 2);
+        let parties: Vec<_> = specs.iter().map(|s| s.party()).collect();
+        assert!(parties.contains(&AgentId::new(0)));
+        assert!(parties.contains(&AgentId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a principal")]
+    fn acceptance_spec_of_trusted_panics() {
+        let (spec, _, _, t) = simple_sale();
+        let _ = spec.acceptance_spec_of(t);
+    }
+}

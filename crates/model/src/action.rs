@@ -1,0 +1,354 @@
+//! The action vocabulary of §2.2: `give`, `pay`, their compensating inverses
+//! and `notify`.
+
+use crate::{AgentId, ItemId, Money};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A coarse classification of [`Action`]s, useful for filtering histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// An item transfer (`give`).
+    Give,
+    /// A payment (`pay`).
+    Pay,
+    /// A compensating item return (`give⁻¹`).
+    InverseGive,
+    /// A compensating refund (`pay⁻¹`).
+    InversePay,
+    /// A trusted component informing a principal that everyone else has
+    /// performed (`notify`).
+    Notify,
+}
+
+/// One atomic action of a distributed transaction.
+///
+/// Following §2.2 of the paper, only actions that result in transfers between
+/// parties are modelled, plus the `notify` action available to trusted
+/// components (§2.5). A compensating inverse (`give⁻¹`, `pay⁻¹`) records the
+/// *original* sender and receiver: `InverseGive { from: a, to: b, .. }` means
+/// the earlier `give` from `a` to `b` has been undone (the item moved back
+/// from `b` to `a`).
+///
+/// ```
+/// use trustseq_model::{Action, AgentId, ItemId, Money};
+///
+/// let a = AgentId::new(0);
+/// let t = AgentId::new(1);
+/// let give = Action::give(a, t, ItemId::new(0));
+/// assert_eq!(give.to_string(), "give[a0->a1](i0)");
+/// assert_eq!(give.inverse().unwrap().to_string(), "give^-1[a0->a1](i0)");
+/// assert_eq!(Action::pay(a, t, Money::from_dollars(5)).to_string(),
+///            "pay[a0->a1]($5.00)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// `give_{from→to}(item)`: `from` hands `item` to `to`.
+    Give {
+        /// Sender of the item.
+        from: AgentId,
+        /// Receiver of the item.
+        to: AgentId,
+        /// The item transferred.
+        item: ItemId,
+    },
+    /// `pay_{from→to}(amount)`: `from` pays `to`.
+    Pay {
+        /// Payer.
+        from: AgentId,
+        /// Payee.
+        to: AgentId,
+        /// Amount paid.
+        amount: Money,
+    },
+    /// `give⁻¹_{from→to}(item)`: the earlier `give` is compensated — the item
+    /// is returned from `to` back to `from`.
+    InverseGive {
+        /// Sender of the original `give`.
+        from: AgentId,
+        /// Receiver of the original `give`.
+        to: AgentId,
+        /// The item returned.
+        item: ItemId,
+    },
+    /// `pay⁻¹_{from→to}(amount)`: the earlier payment is refunded from `to`
+    /// back to `from`.
+    InversePay {
+        /// Payer of the original `pay`.
+        from: AgentId,
+        /// Payee of the original `pay`.
+        to: AgentId,
+        /// Amount refunded.
+        amount: Money,
+    },
+    /// `notify(to)`: trusted component `from` informs principal `to` that the
+    /// other principals have fulfilled their parts of the exchange.
+    Notify {
+        /// The notifying trusted component.
+        from: AgentId,
+        /// The notified principal.
+        to: AgentId,
+    },
+}
+
+impl Action {
+    /// Convenience constructor for [`Action::Give`].
+    pub fn give(from: AgentId, to: AgentId, item: ItemId) -> Self {
+        Action::Give { from, to, item }
+    }
+
+    /// Convenience constructor for [`Action::Pay`].
+    pub fn pay(from: AgentId, to: AgentId, amount: Money) -> Self {
+        Action::Pay { from, to, amount }
+    }
+
+    /// Convenience constructor for [`Action::Notify`].
+    pub fn notify(from: AgentId, to: AgentId) -> Self {
+        Action::Notify { from, to }
+    }
+
+    /// The action's classification.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Give { .. } => ActionKind::Give,
+            Action::Pay { .. } => ActionKind::Pay,
+            Action::InverseGive { .. } => ActionKind::InverseGive,
+            Action::InversePay { .. } => ActionKind::InversePay,
+            Action::Notify { .. } => ActionKind::Notify,
+        }
+    }
+
+    /// The participant performing the action.
+    ///
+    /// For a forward `give`/`pay` that is the sender; for a compensating
+    /// inverse it is the *receiver of the original action*, who returns what
+    /// it was holding; for `notify` it is the trusted component.
+    pub fn actor(&self) -> AgentId {
+        match *self {
+            Action::Give { from, .. } | Action::Pay { from, .. } | Action::Notify { from, .. } => {
+                from
+            }
+            Action::InverseGive { to, .. } | Action::InversePay { to, .. } => to,
+        }
+    }
+
+    /// The participant on the receiving end of the action.
+    ///
+    /// For a compensating inverse this is the original sender, who gets its
+    /// asset back.
+    pub fn recipient(&self) -> AgentId {
+        match *self {
+            Action::Give { to, .. } | Action::Pay { to, .. } | Action::Notify { to, .. } => to,
+            Action::InverseGive { from, .. } | Action::InversePay { from, .. } => from,
+        }
+    }
+
+    /// Returns the compensating inverse of a forward `give`/`pay`.
+    ///
+    /// Returns `None` for `notify` and for actions that are already
+    /// inverses — the paper's model never compensates a compensation.
+    pub fn inverse(&self) -> Option<Action> {
+        match *self {
+            Action::Give { from, to, item } => Some(Action::InverseGive { from, to, item }),
+            Action::Pay { from, to, amount } => Some(Action::InversePay { from, to, amount }),
+            _ => None,
+        }
+    }
+
+    /// Returns the forward action this inverse compensates, if `self` is an
+    /// inverse.
+    pub fn compensated(&self) -> Option<Action> {
+        match *self {
+            Action::InverseGive { from, to, item } => Some(Action::Give { from, to, item }),
+            Action::InversePay { from, to, amount } => Some(Action::Pay { from, to, amount }),
+            _ => None,
+        }
+    }
+
+    /// `true` for `give⁻¹` and `pay⁻¹`.
+    pub fn is_compensation(&self) -> bool {
+        matches!(
+            self.kind(),
+            ActionKind::InverseGive | ActionKind::InversePay
+        )
+    }
+
+    /// `true` if the action moves an asset (everything except `notify`).
+    pub fn is_transfer(&self) -> bool {
+        !matches!(self, Action::Notify { .. })
+    }
+
+    /// Returns `true` if `agent` performed or received this action.
+    ///
+    /// The paper's acceptability test quantifies over "actions by that
+    /// party"; a transfer involves both endpoints.
+    pub fn involves(&self, agent: AgentId) -> bool {
+        self.actor() == agent || self.recipient() == agent
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::Give { from, to, item } => write!(f, "give[{from}->{to}]({item})"),
+            Action::Pay { from, to, amount } => write!(f, "pay[{from}->{to}]({amount})"),
+            Action::InverseGive { from, to, item } => write!(f, "give^-1[{from}->{to}]({item})"),
+            Action::InversePay { from, to, amount } => {
+                write!(f, "pay^-1[{from}->{to}]({amount})")
+            }
+            Action::Notify { from, to } => write!(f, "notify[{from}]({to})"),
+        }
+    }
+}
+
+/// A concrete asset movement between two participants.
+///
+/// [`Action`]s describe history entries in the paper's state formalism;
+/// `Transfer` is the operational view used by the execution layer and the
+/// simulator: *who* physically sends *what* to *whom*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sender.
+    pub from: AgentId,
+    /// Receiver.
+    pub to: AgentId,
+    /// What is moved.
+    pub payload: Payload,
+}
+
+/// The payload of a [`Transfer`]: an item or money.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// An item (document, computation result).
+    Item(ItemId),
+    /// A sum of money.
+    Cash(Money),
+}
+
+impl Transfer {
+    /// A transfer of an item.
+    pub fn item(from: AgentId, to: AgentId, item: ItemId) -> Self {
+        Transfer {
+            from,
+            to,
+            payload: Payload::Item(item),
+        }
+    }
+
+    /// A transfer of money.
+    pub fn cash(from: AgentId, to: AgentId, amount: Money) -> Self {
+        Transfer {
+            from,
+            to,
+            payload: Payload::Cash(amount),
+        }
+    }
+}
+
+impl fmt::Display for Transfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.payload {
+            Payload::Item(item) => write!(f, "{} sends {item} to {}", self.from, self.to),
+            Payload::Cash(amount) => write!(f, "{} sends {amount} to {}", self.from, self.to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agents() -> (AgentId, AgentId) {
+        (AgentId::new(0), AgentId::new(1))
+    }
+
+    #[test]
+    fn give_inverse_roundtrip() {
+        let (a, b) = agents();
+        let give = Action::give(a, b, ItemId::new(3));
+        let inv = give.inverse().unwrap();
+        assert!(inv.is_compensation());
+        assert_eq!(inv.compensated(), Some(give));
+        assert_eq!(inv.kind(), ActionKind::InverseGive);
+    }
+
+    #[test]
+    fn pay_inverse_roundtrip() {
+        let (a, b) = agents();
+        let pay = Action::pay(a, b, Money::from_dollars(10));
+        let inv = pay.inverse().unwrap();
+        assert_eq!(inv.compensated(), Some(pay));
+        assert_eq!(inv.kind(), ActionKind::InversePay);
+    }
+
+    #[test]
+    fn inverses_have_no_inverse() {
+        let (a, b) = agents();
+        let inv = Action::give(a, b, ItemId::new(0)).inverse().unwrap();
+        assert_eq!(inv.inverse(), None);
+        assert_eq!(Action::notify(a, b).inverse(), None);
+    }
+
+    #[test]
+    fn actor_and_recipient_swap_for_inverses() {
+        let (a, b) = agents();
+        let give = Action::give(a, b, ItemId::new(0));
+        assert_eq!(give.actor(), a);
+        assert_eq!(give.recipient(), b);
+        // The inverse is performed by the original receiver.
+        let inv = give.inverse().unwrap();
+        assert_eq!(inv.actor(), b);
+        assert_eq!(inv.recipient(), a);
+    }
+
+    #[test]
+    fn involvement_covers_both_endpoints() {
+        let (a, b) = agents();
+        let c = AgentId::new(2);
+        let pay = Action::pay(a, b, Money::from_dollars(1));
+        assert!(pay.involves(a));
+        assert!(pay.involves(b));
+        assert!(!pay.involves(c));
+    }
+
+    #[test]
+    fn notify_is_not_a_transfer() {
+        let (a, b) = agents();
+        assert!(!Action::notify(a, b).is_transfer());
+        assert!(Action::give(a, b, ItemId::new(0)).is_transfer());
+        assert!(Action::give(a, b, ItemId::new(0))
+            .inverse()
+            .unwrap()
+            .is_transfer());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let (a, b) = agents();
+        assert_eq!(
+            Action::give(a, b, ItemId::new(2)).to_string(),
+            "give[a0->a1](i2)"
+        );
+        assert_eq!(
+            Action::pay(a, b, Money::from_cents(150))
+                .inverse()
+                .unwrap()
+                .to_string(),
+            "pay^-1[a0->a1]($1.50)"
+        );
+        assert_eq!(Action::notify(a, b).to_string(), "notify[a0](a1)");
+    }
+
+    #[test]
+    fn transfer_display() {
+        let (a, b) = agents();
+        assert_eq!(
+            Transfer::item(a, b, ItemId::new(1)).to_string(),
+            "a0 sends i1 to a1"
+        );
+        assert_eq!(
+            Transfer::cash(b, a, Money::from_dollars(4)).to_string(),
+            "a1 sends $4.00 to a0"
+        );
+    }
+}

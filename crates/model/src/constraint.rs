@@ -1,0 +1,192 @@
+//! Ordering constraints (§2.4) and resale constraints (§4.1).
+
+use crate::{Action, AgentId, DealId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An action-level ordering constraint: `first` must be executed before
+/// `then` (§2.4 of the paper writes this `then → first`, with the earlier
+/// action at the point of the arrow).
+///
+/// Constraints of this form arise for practical reasons — a party cannot
+/// forward an item it has not yet received — and are used to *check* that a
+/// synthesised execution sequence is physically realisable.
+///
+/// ```
+/// use trustseq_model::{Action, AgentId, ItemId, OrderingConstraint};
+///
+/// let p = AgentId::new(0);
+/// let b = AgentId::new(1);
+/// let c = AgentId::new(2);
+/// let d = ItemId::new(0);
+/// // The producer→broker transfer must precede the broker→consumer one.
+/// let constraint = OrderingConstraint::new(Action::give(p, b, d), Action::give(b, c, d));
+/// assert!(constraint.satisfied_by(&[Action::give(p, b, d), Action::give(b, c, d)]));
+/// assert!(!constraint.satisfied_by(&[Action::give(b, c, d), Action::give(p, b, d)]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderingConstraint {
+    first: Action,
+    then: Action,
+}
+
+impl OrderingConstraint {
+    /// Creates a constraint requiring `first` to precede `then`.
+    pub fn new(first: Action, then: Action) -> Self {
+        OrderingConstraint { first, then }
+    }
+
+    /// The action that must occur earlier.
+    pub fn first(&self) -> Action {
+        self.first
+    }
+
+    /// The action that must occur later.
+    pub fn then(&self) -> Action {
+        self.then
+    }
+
+    /// Checks a totally-ordered action sequence against this constraint.
+    ///
+    /// The constraint is satisfied when `then` does not occur, or both occur
+    /// with `first` strictly earlier. (`first` occurring alone is fine: the
+    /// dependent action simply never happened.)
+    pub fn satisfied_by(&self, sequence: &[Action]) -> bool {
+        let pos_then = sequence.iter().position(|a| *a == self.then);
+        let Some(pos_then) = pos_then else {
+            return true;
+        };
+        match sequence.iter().position(|a| *a == self.first) {
+            Some(pos_first) => pos_first < pos_then,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for OrderingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation: later → earlier.
+        write!(f, "{} -> {}", self.then, self.first)
+    }
+}
+
+/// A resale constraint: at `principal`'s conjunction, the commitment for
+/// `secure_first` (where the principal *sells*) must be committed before the
+/// commitment for `before` (where the principal *buys*) may be undertaken.
+///
+/// This is the third conjunction type of §4.1 — "a broker will commit to
+/// obtain a document only if it has a committed buyer" — and is the only one
+/// with an ordering component. It is rendered as a **red edge** on the
+/// `secure_first` commitment in the sequencing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResaleConstraint {
+    /// The reselling principal (typically a broker).
+    pub principal: AgentId,
+    /// The deal that must be secured first (the principal's sale).
+    pub secure_first: DealId,
+    /// The deal deferred until the sale is secured (the principal's
+    /// purchase).
+    pub before: DealId,
+}
+
+impl fmt::Display for ResaleConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: secure {} before undertaking {}",
+            self.principal, self.secure_first, self.before
+        )
+    }
+}
+
+/// A funding constraint: `principal` can only pay for its purchase after
+/// receiving the buyer's money from its sale `funded_by` (§5's "poor
+/// broker").
+///
+/// This adds the action constraint `pay_{principal→seller} →
+/// pay_{buyer→principal}` and is rendered as a **second red edge** — on the
+/// `purchase` commitment — at the principal's conjunction. Two red edges at
+/// one conjunction can never both "be done first", so a funding constraint
+/// combined with a [`ResaleConstraint`] makes the exchange infeasible, as
+/// the paper observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FundingConstraint {
+    /// The cash-poor principal.
+    pub principal: AgentId,
+    /// The purchase that can only be funded from sale proceeds.
+    pub purchase: DealId,
+    /// The sale whose proceeds fund the purchase.
+    pub funded_by: DealId,
+}
+
+impl fmt::Display for FundingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} is funded by the proceeds of {}",
+            self.principal, self.purchase, self.funded_by
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemId, Money};
+
+    fn actions() -> (Action, Action) {
+        let p = AgentId::new(0);
+        let b = AgentId::new(1);
+        let c = AgentId::new(2);
+        (
+            Action::give(p, b, ItemId::new(0)),
+            Action::give(b, c, ItemId::new(0)),
+        )
+    }
+
+    #[test]
+    fn satisfied_when_ordered() {
+        let (first, then) = actions();
+        let c = OrderingConstraint::new(first, then);
+        assert!(c.satisfied_by(&[first, then]));
+    }
+
+    #[test]
+    fn violated_when_reversed_or_first_missing() {
+        let (first, then) = actions();
+        let c = OrderingConstraint::new(first, then);
+        assert!(!c.satisfied_by(&[then, first]));
+        assert!(!c.satisfied_by(&[then]));
+    }
+
+    #[test]
+    fn vacuously_satisfied_without_dependent_action() {
+        let (first, then) = actions();
+        let c = OrderingConstraint::new(first, then);
+        assert!(c.satisfied_by(&[]));
+        assert!(c.satisfied_by(&[first]));
+        let unrelated = Action::pay(AgentId::new(5), AgentId::new(6), Money::from_dollars(1));
+        assert!(c.satisfied_by(&[unrelated]));
+    }
+
+    #[test]
+    fn display_uses_paper_arrow_direction() {
+        let (first, then) = actions();
+        let c = OrderingConstraint::new(first, then);
+        // Later action at the tail, earlier at the point of the arrow.
+        assert_eq!(
+            c.to_string(),
+            format!("{then} -> {first}"),
+        );
+    }
+
+    #[test]
+    fn resale_constraint_display() {
+        let r = ResaleConstraint {
+            principal: AgentId::new(1),
+            secure_first: DealId::new(0),
+            before: DealId::new(1),
+        };
+        assert_eq!(r.to_string(), "a1: secure d0 before undertaking d1");
+    }
+}

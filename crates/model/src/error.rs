@@ -1,0 +1,182 @@
+//! Error type for model construction and validation.
+
+use crate::{AgentId, DealId, ItemId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating an exchange specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A participant or item name was declared twice.
+    DuplicateName(String),
+    /// An [`AgentId`] does not refer to a declared participant.
+    UnknownAgent(AgentId),
+    /// An [`ItemId`] does not refer to a declared item.
+    UnknownItem(ItemId),
+    /// A [`DealId`] does not refer to a declared deal.
+    UnknownDeal(DealId),
+    /// A principal was required but the agent is a trusted component.
+    NotAPrincipal(AgentId),
+    /// A trusted component was required but the agent is a principal.
+    NotTrusted(AgentId),
+    /// A deal's buyer and seller are the same agent.
+    SelfDeal(AgentId),
+    /// A deal's price must be strictly positive.
+    NonPositivePrice(DealId),
+    /// A monetary string could not be parsed.
+    InvalidMoney(String),
+    /// A resale constraint references a deal the principal is not party to.
+    ConstraintNotParty {
+        /// The principal of the constraint.
+        principal: AgentId,
+        /// The offending deal.
+        deal: DealId,
+    },
+    /// A resale constraint's two deals are the same.
+    ConstraintSelfLoop(DealId),
+    /// In a resale constraint the principal must *sell* in the deal to be
+    /// secured first and *buy* in the deferred deal.
+    ConstraintDirection {
+        /// The principal of the constraint.
+        principal: AgentId,
+        /// The deal with the wrong direction.
+        deal: DealId,
+    },
+    /// A principal cannot play the trusted role of an exchange it is not
+    /// party to via that trusted component.
+    RoleNotParty {
+        /// The trusted component whose role would be played.
+        trusted: AgentId,
+        /// The principal proposed to play it.
+        principal: AgentId,
+    },
+    /// An indemnity must cover a deal its beneficiary is buying.
+    IndemnityNotBuyer {
+        /// The proposed beneficiary.
+        beneficiary: AgentId,
+        /// The covered deal.
+        deal: DealId,
+    },
+    /// An indemnity amount must be strictly positive.
+    NonPositiveIndemnity(DealId),
+    /// An indemnity provider must share a trusted intermediary with the
+    /// beneficiary (§6 of the paper).
+    NoSharedIntermediary {
+        /// The indemnity provider.
+        provider: AgentId,
+        /// The indemnity beneficiary.
+        beneficiary: AgentId,
+    },
+    /// A bridged deal's two trusted components must be linked (trust each
+    /// other, directly or transitively).
+    UnlinkedBridge {
+        /// The buyer-side component.
+        buyer_side: AgentId,
+        /// The seller-side component.
+        seller_side: AgentId,
+    },
+    /// An assembly declaration was structurally invalid.
+    BadAssembly {
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The specification has no deals, so there is nothing to sequence.
+    EmptySpec,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            ModelError::UnknownAgent(a) => write!(f, "unknown agent {a}"),
+            ModelError::UnknownItem(i) => write!(f, "unknown item {i}"),
+            ModelError::UnknownDeal(d) => write!(f, "unknown deal {d}"),
+            ModelError::NotAPrincipal(a) => write!(f, "agent {a} is not a principal"),
+            ModelError::NotTrusted(a) => write!(f, "agent {a} is not a trusted component"),
+            ModelError::SelfDeal(a) => write!(f, "agent {a} cannot trade with itself"),
+            ModelError::NonPositivePrice(d) => write!(f, "deal {d} has a non-positive price"),
+            ModelError::InvalidMoney(s) => write!(f, "invalid money amount `{s}`"),
+            ModelError::ConstraintNotParty { principal, deal } => {
+                write!(f, "principal {principal} is not party to deal {deal}")
+            }
+            ModelError::ConstraintSelfLoop(d) => {
+                write!(f, "resale constraint relates deal {d} to itself")
+            }
+            ModelError::ConstraintDirection { principal, deal } => write!(
+                f,
+                "resale constraint for {principal} has the wrong direction on deal {deal} \
+                 (must sell in the secured deal and buy in the deferred deal)"
+            ),
+            ModelError::RoleNotParty { trusted, principal } => write!(
+                f,
+                "principal {principal} cannot play the role of {trusted}: \
+                 it is not party to an exchange through {trusted}"
+            ),
+            ModelError::IndemnityNotBuyer { beneficiary, deal } => write!(
+                f,
+                "indemnity beneficiary {beneficiary} is not the buyer of deal {deal}"
+            ),
+            ModelError::NonPositiveIndemnity(d) => {
+                write!(f, "indemnity for deal {d} must be positive")
+            }
+            ModelError::NoSharedIntermediary {
+                provider,
+                beneficiary,
+            } => write!(
+                f,
+                "indemnity provider {provider} shares no trusted intermediary \
+                 with beneficiary {beneficiary}"
+            ),
+            ModelError::UnlinkedBridge {
+                buyer_side,
+                seller_side,
+            } => write!(
+                f,
+                "bridged deal requires linked trusted components, but \
+                 {buyer_side} and {seller_side} do not trust each other"
+            ),
+            ModelError::BadAssembly { reason } => write!(f, "invalid assembly: {reason}"),
+            ModelError::EmptySpec => write!(f, "exchange specification contains no deals"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::DuplicateName("x".into()),
+            ModelError::UnknownAgent(AgentId::new(0)),
+            ModelError::UnknownItem(ItemId::new(1)),
+            ModelError::UnknownDeal(DealId::new(2)),
+            ModelError::NotAPrincipal(AgentId::new(0)),
+            ModelError::NotTrusted(AgentId::new(0)),
+            ModelError::SelfDeal(AgentId::new(0)),
+            ModelError::NonPositivePrice(DealId::new(0)),
+            ModelError::InvalidMoney("zz".into()),
+            ModelError::ConstraintSelfLoop(DealId::new(0)),
+            ModelError::EmptySpec,
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric),
+                "lowercase start: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

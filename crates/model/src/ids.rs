@@ -1,0 +1,137 @@
+//! Identifier newtypes.
+//!
+//! All entities in an exchange problem are referred to by small copyable
+//! index-based identifiers. The indices are assigned by [`ExchangeSpec`] in
+//! declaration order, which keeps every downstream structure (interaction
+//! graphs, sequencing graphs, simulator ledgers) array-indexable and makes
+//! runs deterministic.
+//!
+//! [`ExchangeSpec`]: crate::ExchangeSpec
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            ///
+            /// Indices are normally assigned by `ExchangeSpec`; constructing
+            /// them by hand is only needed in tests and generators.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index, suitable for indexing into arenas.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a participant (principal or trusted component) of an
+    /// exchange problem.
+    ///
+    /// ```
+    /// use trustseq_model::AgentId;
+    /// let a = AgentId::new(3);
+    /// assert_eq!(a.index(), 3);
+    /// assert_eq!(a.to_string(), "a3");
+    /// ```
+    AgentId,
+    "a"
+);
+
+define_id!(
+    /// Identifies an item (document, good, computation result) that can be
+    /// transferred between participants.
+    ///
+    /// ```
+    /// use trustseq_model::ItemId;
+    /// assert_eq!(ItemId::new(0).to_string(), "i0");
+    /// ```
+    ItemId,
+    "i"
+);
+
+define_id!(
+    /// Identifies a pairwise deal (one item sold for one price through one
+    /// trusted intermediary).
+    ///
+    /// ```
+    /// use trustseq_model::DealId;
+    /// assert_eq!(DealId::new(7).to_string(), "d7");
+    /// ```
+    DealId,
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        for i in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(AgentId::new(i).index(), i as usize);
+            assert_eq!(ItemId::new(i).index(), i as usize);
+            assert_eq!(DealId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        let mut set = BTreeSet::new();
+        set.insert(DealId::new(2));
+        set.insert(DealId::new(0));
+        set.insert(DealId::new(1));
+        let ordered: Vec<_> = set.into_iter().map(|d| d.index()).collect();
+        assert_eq!(ordered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_uses_distinct_prefixes() {
+        assert_eq!(AgentId::new(5).to_string(), "a5");
+        assert_eq!(ItemId::new(5).to_string(), "i5");
+        assert_eq!(DealId::new(5).to_string(), "d5");
+    }
+
+    #[test]
+    fn usize_conversion_matches_index() {
+        let id = AgentId::new(9);
+        let as_usize: usize = id.into();
+        assert_eq!(as_usize, 9);
+    }
+
+    #[test]
+    fn ids_hash_and_eq_consistently() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(AgentId::new(1));
+        set.insert(AgentId::new(1));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&AgentId::new(1)));
+        assert!(!set.contains(&AgentId::new(2)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Interaction graphs (§3): the bipartite graph of principals and trusted
+//! components.
+
+use crate::{AgentId, DealId, ExchangeSpec, ParticipantKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which side of a deal an interaction-graph edge carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DealSide {
+    /// The buyer's engagement: deposit payment with the intermediary.
+    Buyer,
+    /// The seller's engagement: deposit the item with the intermediary.
+    Seller,
+}
+
+impl fmt::Display for DealSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DealSide::Buyer => "buyer",
+            DealSide::Seller => "seller",
+        })
+    }
+}
+
+/// One edge `(p, t)` of the interaction graph: principal `p` uses trusted
+/// intermediary `t` to carry out one side of a deal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InteractionEdge {
+    /// The principal endpoint.
+    pub principal: AgentId,
+    /// The trusted-component endpoint.
+    pub trusted: AgentId,
+    /// The deal this edge belongs to.
+    pub deal: DealId,
+    /// Which side of the deal the principal takes.
+    pub side: DealSide,
+}
+
+impl fmt::Display for InteractionEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({} -- {}) [{} {}]",
+            self.principal, self.trusted, self.deal, self.side
+        )
+    }
+}
+
+/// The interaction graph `I = (P, T, E)` of §3: principals `P`, trusted
+/// components `T`, and edges `E ⊆ P × T`, one per deal side.
+///
+/// The graph is bipartite by construction — principals only ever interact
+/// through trusted intermediaries (which may be *personas* of principals
+/// when direct trust exists, see
+/// [`ExchangeSpec::plays_role`]).
+///
+/// ```
+/// # use trustseq_model::{ExchangeSpec, Money, Role};
+/// # fn main() -> Result<(), trustseq_model::ModelError> {
+/// # let mut spec = ExchangeSpec::new("e");
+/// # let a = spec.add_principal("a", Role::Producer)?;
+/// # let b = spec.add_principal("b", Role::Consumer)?;
+/// # let t = spec.add_trusted("t")?;
+/// # let i = spec.add_item("i", "I")?;
+/// # spec.add_deal(a, b, t, i, Money::from_dollars(5))?;
+/// let graph = spec.interaction_graph()?;
+/// assert_eq!(graph.edge_count(), 2); // one edge per deal side
+/// assert!(graph.internal_nodes().any(|n| n == t)); // t joins two edges
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionGraph {
+    principals: Vec<AgentId>,
+    trusted: Vec<AgentId>,
+    edges: Vec<InteractionEdge>,
+    degree: BTreeMap<AgentId, usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of a validated specification.
+    pub(crate) fn from_spec(spec: &ExchangeSpec) -> Self {
+        let mut principals = Vec::new();
+        let mut trusted = Vec::new();
+        for p in spec.participants() {
+            match p.kind() {
+                ParticipantKind::Principal(_) => principals.push(p.id()),
+                ParticipantKind::Trusted => trusted.push(p.id()),
+            }
+        }
+        let mut edges = Vec::with_capacity(spec.deals().len() * 2);
+        let mut degree: BTreeMap<AgentId, usize> = BTreeMap::new();
+        for deal in spec.deals() {
+            for (principal, side) in [
+                (deal.buyer(), DealSide::Buyer),
+                (deal.seller(), DealSide::Seller),
+            ] {
+                let trusted = deal.intermediary_of(side);
+                edges.push(InteractionEdge {
+                    principal,
+                    trusted,
+                    deal: deal.id(),
+                    side,
+                });
+                *degree.entry(principal).or_default() += 1;
+                *degree.entry(trusted).or_default() += 1;
+            }
+        }
+        InteractionGraph {
+            principals,
+            trusted,
+            edges,
+            degree,
+        }
+    }
+
+    /// The principals (circles in the paper's figures).
+    pub fn principals(&self) -> &[AgentId] {
+        &self.principals
+    }
+
+    /// The trusted components (squares in the paper's figures).
+    pub fn trusted(&self) -> &[AgentId] {
+        &self.trusted
+    }
+
+    /// All edges, in deal order (buyer side before seller side).
+    pub fn edges(&self) -> &[InteractionEdge] {
+        &self.edges
+    }
+
+    /// Number of principals.
+    pub fn principal_count(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// Number of trusted components.
+    pub fn trusted_count(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The degree (number of incident edges) of a node; zero for isolated or
+    /// unknown nodes.
+    pub fn degree(&self, agent: AgentId) -> usize {
+        self.degree.get(&agent).copied().unwrap_or(0)
+    }
+
+    /// Nodes with more than one incident edge — these become conjunction
+    /// nodes in the sequencing graph (§4.1).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.degree
+            .iter()
+            .filter(|&(_, &d)| d > 1)
+            .map(|(&a, _)| a)
+    }
+
+    /// Edges incident to `agent`.
+    pub fn edges_of(&self, agent: AgentId) -> impl Iterator<Item = &InteractionEdge> {
+        self.edges
+            .iter()
+            .filter(move |e| e.principal == agent || e.trusted == agent)
+    }
+}
+
+impl fmt::Display for InteractionGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "interaction graph: {} principals, {} trusted, {} edges",
+            self.principal_count(),
+            self.trusted_count(),
+            self.edge_count()
+        )?;
+        for e in &self.edges {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExchangeSpec, Money, Role};
+
+    /// The paper's Example #1 interaction graph (Figure 1).
+    fn example1_graph() -> (InteractionGraph, [AgentId; 5]) {
+        let mut spec = ExchangeSpec::new("example1");
+        let c = spec.add_principal("consumer", Role::Consumer).unwrap();
+        let b = spec.add_principal("broker", Role::Broker).unwrap();
+        let p = spec.add_principal("producer", Role::Producer).unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let doc = spec.add_item("doc", "Doc").unwrap();
+        spec.add_deal(b, c, t1, doc, Money::from_dollars(100))
+            .unwrap();
+        spec.add_deal(p, b, t2, doc, Money::from_dollars(80))
+            .unwrap();
+        (spec.interaction_graph().unwrap(), [c, b, p, t1, t2])
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let (g, [c, b, p, t1, t2]) = example1_graph();
+        assert_eq!(g.principal_count(), 3);
+        assert_eq!(g.trusted_count(), 2);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(c), 1);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(p), 1);
+        assert_eq!(g.degree(t1), 2);
+        assert_eq!(g.degree(t2), 2);
+    }
+
+    #[test]
+    fn internal_nodes_are_conjunction_candidates() {
+        let (g, [_c, b, _p, t1, t2]) = example1_graph();
+        let internal: Vec<_> = g.internal_nodes().collect();
+        assert_eq!(internal, vec![b, t1, t2]);
+    }
+
+    #[test]
+    fn graph_is_bipartite() {
+        let (g, _) = example1_graph();
+        for e in g.edges() {
+            assert!(g.principals().contains(&e.principal));
+            assert!(g.trusted().contains(&e.trusted));
+        }
+    }
+
+    #[test]
+    fn edges_of_filters_by_endpoint() {
+        let (g, [c, b, _p, t1, _t2]) = example1_graph();
+        assert_eq!(g.edges_of(c).count(), 1);
+        assert_eq!(g.edges_of(b).count(), 2);
+        assert_eq!(g.edges_of(t1).count(), 2);
+        let sides: Vec<_> = g.edges_of(b).map(|e| e.side).collect();
+        assert!(sides.contains(&DealSide::Buyer));
+        assert!(sides.contains(&DealSide::Seller));
+    }
+
+    #[test]
+    fn degree_of_unknown_agent_is_zero() {
+        let (g, _) = example1_graph();
+        assert_eq!(g.degree(AgentId::new(42)), 0);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let (g, _) = example1_graph();
+        let s = g.to_string();
+        assert!(s.contains("3 principals, 2 trusted, 4 edges"));
+        assert!(s.contains("buyer"));
+        assert!(s.contains("seller"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Foundational model types for trust-explicit distributed commerce
+//! transactions.
+//!
+//! This crate implements the problem-specification framework of §2–§3 of
+//! *"Making Trust Explicit in Distributed Commerce Transactions"*
+//! (Ketchpel & Garcia-Molina, ICDCS 1996):
+//!
+//! * [`AgentId`], [`Participant`], [`Role`] — the principals (consumers,
+//!   brokers, producers) and trusted components of a distributed transaction;
+//! * [`Action`] — the transfer vocabulary: `give`, `pay`, their compensating
+//!   inverses and `notify`;
+//! * [`ExchangeState`] and [`AcceptanceSpec`] — unordered action-set states
+//!   and each party's acceptable / preferred final states;
+//! * [`Deal`] and [`ExchangeSpec`] — pairwise exchanges through trusted
+//!   intermediaries, bundles, resale (ordering) constraints and the directed
+//!   [`TrustRelation`];
+//! * [`InteractionGraph`] — the bipartite principals/trusted-components graph
+//!   of §3 from which sequencing graphs are built.
+//!
+//! # Example
+//!
+//! Build the paper's Example #1 (consumer buys a document from a producer
+//! through a broker, with two local trusted intermediaries):
+//!
+//! ```
+//! use trustseq_model::{ExchangeSpec, Money, Role};
+//!
+//! # fn main() -> Result<(), trustseq_model::ModelError> {
+//! let mut spec = ExchangeSpec::new("example1");
+//! let c = spec.add_principal("consumer", Role::Consumer)?;
+//! let b = spec.add_principal("broker", Role::Broker)?;
+//! let p = spec.add_principal("producer", Role::Producer)?;
+//! let t1 = spec.add_trusted("t1")?;
+//! let t2 = spec.add_trusted("t2")?;
+//! let doc = spec.add_item("doc", "The Document")?;
+//!
+//! let sale = spec.add_deal(b, c, t1, doc, Money::from_dollars(100))?;
+//! let supply = spec.add_deal(p, b, t2, doc, Money::from_dollars(80))?;
+//! // The broker resells: it must secure the sale before purchasing.
+//! spec.add_resale_constraint(b, sale, supply)?;
+//!
+//! let graph = spec.interaction_graph()?;
+//! assert_eq!(graph.principal_count(), 3);
+//! assert_eq!(graph.trusted_count(), 2);
+//! assert_eq!(graph.edge_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod accept;
+mod action;
+mod constraint;
+mod error;
+mod ids;
+mod interaction;
+mod money;
+mod participant;
+mod saga;
+mod spec;
+mod state;
+mod trust;
+
+pub use accept::MAX_ENUMERATED_DEALS;
+pub use action::{Action, ActionKind, Payload, Transfer};
+pub use constraint::{FundingConstraint, OrderingConstraint, ResaleConstraint};
+pub use error::ModelError;
+pub use ids::{AgentId, DealId, ItemId};
+pub use interaction::{DealSide, InteractionEdge, InteractionGraph};
+pub use money::Money;
+pub use participant::{Participant, ParticipantKind, Role};
+pub use saga::SagaView;
+pub use spec::{Assembly, Deal, ExchangeSpec, Indemnity, Item};
+pub use state::{AcceptanceSpec, ExchangeState, NetPosition, Outcome, PartialState};
+pub use trust::TrustRelation;

@@ -1,0 +1,284 @@
+//! Exact monetary amounts.
+
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A monetary amount in integer cents.
+///
+/// Indemnity planning (§6 of the paper) sums and compares prices, so amounts
+/// must be exact; floating point is never used. Arithmetic is implemented
+/// with the `+`/`-` operators and **panics on overflow** (the checked
+/// variants [`Money::checked_add`] / [`Money::checked_sub`] are available
+/// where overflow is reachable from untrusted inputs).
+///
+/// ```
+/// use trustseq_model::Money;
+///
+/// let price = Money::from_dollars(30);
+/// let total = price + Money::from_cents(50);
+/// assert_eq!(total.to_string(), "$30.50");
+/// assert_eq!(total.cents(), 3050);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// The zero amount.
+    pub const ZERO: Money = Money(0);
+
+    /// Creates an amount from integer cents.
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents)
+    }
+
+    /// Creates an amount from whole dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars * 100` overflows `i64`.
+    pub const fn from_dollars(dollars: i64) -> Self {
+        match dollars.checked_mul(100) {
+            Some(cents) => Money(cents),
+            None => panic!("dollar amount overflows Money"),
+        }
+    }
+
+    /// Returns the amount in cents.
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if the amount is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the amount is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: Money) -> Option<Money> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Money(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    pub const fn checked_sub(self, rhs: Money) -> Option<Money> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Money(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition, clamping at the representable extremes.
+    pub const fn saturating_add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+
+    fn add(self, rhs: Money) -> Money {
+        Money(
+            self.0
+                .checked_add(rhs.0)
+                .expect("money addition overflowed"),
+        )
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+
+    fn sub(self, rhs: Money) -> Money {
+        Money(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("money subtraction overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |acc, m| acc + m)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}${}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+impl FromStr for Money {
+    type Err = ModelError;
+
+    /// Parses `"12"`, `"12.5"`, `"12.50"`, `"$12.50"` or `"-$3.07"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidMoney`] when the string is not a dollar
+    /// amount with at most two decimal places.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let original = s;
+        let err = || ModelError::InvalidMoney(original.to_owned());
+        let mut s = s.trim();
+        let negative = if let Some(rest) = s.strip_prefix('-') {
+            s = rest;
+            true
+        } else {
+            false
+        };
+        s = s.strip_prefix('$').unwrap_or(s);
+        if s.is_empty() {
+            return Err(err());
+        }
+        let (dollars_str, cents_str) = match s.split_once('.') {
+            Some((d, c)) => (d, c),
+            None => (s, ""),
+        };
+        if dollars_str.is_empty() && cents_str.is_empty() {
+            return Err(err());
+        }
+        let dollars: i64 = if dollars_str.is_empty() {
+            0
+        } else {
+            dollars_str.parse().map_err(|_| err())?
+        };
+        let cents: i64 = match cents_str.len() {
+            0 => 0,
+            1 => cents_str.parse::<i64>().map_err(|_| err())? * 10,
+            2 => cents_str.parse().map_err(|_| err())?,
+            _ => return Err(err()),
+        };
+        if dollars < 0 || cents < 0 {
+            // Signs inside the numeric body ("$-3") are rejected; only a
+            // leading '-' is accepted.
+            return Err(err());
+        }
+        let magnitude = dollars
+            .checked_mul(100)
+            .and_then(|d| d.checked_add(cents))
+            .ok_or_else(err)?;
+        Ok(Money(if negative { -magnitude } else { magnitude }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dollars_and_cents_constructors_agree() {
+        assert_eq!(Money::from_dollars(3), Money::from_cents(300));
+        assert_eq!(Money::from_dollars(0), Money::ZERO);
+        assert_eq!(Money::from_dollars(-2).cents(), -200);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let a = Money::from_cents(150);
+        let b = Money::from_cents(75);
+        assert_eq!((a + b).cents(), 225);
+        assert_eq!((a - b).cents(), 75);
+        assert_eq!((-a).cents(), -150);
+        let mut c = a;
+        c += b;
+        c -= a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn sum_of_prices() {
+        let total: Money = [10, 20, 30].iter().map(|&d| Money::from_dollars(d)).sum();
+        assert_eq!(total, Money::from_dollars(60));
+    }
+
+    #[test]
+    fn display_formats_dollars() {
+        assert_eq!(Money::from_cents(0).to_string(), "$0.00");
+        assert_eq!(Money::from_cents(5).to_string(), "$0.05");
+        assert_eq!(Money::from_cents(1234).to_string(), "$12.34");
+        assert_eq!(Money::from_cents(-1005).to_string(), "-$10.05");
+    }
+
+    #[test]
+    fn parse_accepts_common_forms() {
+        for (input, cents) in [
+            ("12", 1200),
+            ("12.5", 1250),
+            ("12.50", 1250),
+            ("$12.50", 1250),
+            ("-$3.07", -307),
+            (".5", 50),
+            ("$0.99", 99),
+            (" 7 ", 700),
+        ] {
+            assert_eq!(input.parse::<Money>().unwrap().cents(), cents, "{input}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for input in ["", "$", "abc", "1.234", "1..2", "$-3", "--1", "1.x"] {
+            assert!(input.parse::<Money>().is_err(), "{input}");
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for cents in [-100_000, -7, 0, 5, 99, 100, 123_456] {
+            let m = Money::from_cents(cents);
+            assert_eq!(m.to_string().parse::<Money>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let max = Money::from_cents(i64::MAX);
+        assert!(max.checked_add(Money::from_cents(1)).is_none());
+        assert_eq!(max.saturating_add(Money::from_cents(1)), max);
+        let min = Money::from_cents(i64::MIN);
+        assert!(min.checked_sub(Money::from_cents(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "money addition overflowed")]
+    fn unchecked_add_panics_on_overflow() {
+        let _ = Money::from_cents(i64::MAX) + Money::from_cents(1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Participants of a distributed transaction.
+
+use crate::AgentId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three classes of principals from §2.1 of the paper.
+///
+/// In the information-sales context, producers are retrieval sources or
+/// libraries, consumers are users with an information request, and brokers
+/// are intermediaries that know which sources are relevant. In the
+/// computation-subcontracting context they are idle processors, users needing
+/// compute, and network managers respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Sells items (information source, library, idle processor).
+    Producer,
+    /// Buys items (user with an information request or compute need).
+    Consumer,
+    /// Buys and resells items, matching consumers to producers.
+    Broker,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Producer => "producer",
+            Role::Consumer => "consumer",
+            Role::Broker => "broker",
+        })
+    }
+}
+
+/// Whether a participant is a principal (with its own commercial interests)
+/// or a trusted component (a neutral conduit bound by its guarantees, §2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParticipantKind {
+    /// A self-interested principal with one of the three [`Role`]s.
+    Principal(Role),
+    /// A trusted component: forwards goods/payments once all inputs arrive,
+    /// reverses them otherwise, and issues notifications.
+    Trusted,
+}
+
+impl ParticipantKind {
+    /// Returns `true` for principals.
+    pub fn is_principal(&self) -> bool {
+        matches!(self, ParticipantKind::Principal(_))
+    }
+
+    /// Returns `true` for trusted components.
+    pub fn is_trusted(&self) -> bool {
+        matches!(self, ParticipantKind::Trusted)
+    }
+
+    /// Returns the principal role, if any.
+    pub fn role(&self) -> Option<Role> {
+        match self {
+            ParticipantKind::Principal(r) => Some(*r),
+            ParticipantKind::Trusted => None,
+        }
+    }
+}
+
+/// A participant of an exchange problem: a named principal or trusted
+/// component.
+///
+/// Participants are created through
+/// [`ExchangeSpec::add_principal`](crate::ExchangeSpec::add_principal) and
+/// [`ExchangeSpec::add_trusted`](crate::ExchangeSpec::add_trusted), which
+/// assign the [`AgentId`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Participant {
+    id: AgentId,
+    name: String,
+    kind: ParticipantKind,
+}
+
+impl Participant {
+    pub(crate) fn new(id: AgentId, name: impl Into<String>, kind: ParticipantKind) -> Self {
+        Participant {
+            id,
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The participant's identifier.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// The participant's human-readable name (unique within a spec).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Principal or trusted component.
+    pub fn kind(&self) -> ParticipantKind {
+        self.kind
+    }
+
+    /// Returns `true` for principals.
+    pub fn is_principal(&self) -> bool {
+        self.kind.is_principal()
+    }
+
+    /// Returns `true` for trusted components.
+    pub fn is_trusted(&self) -> bool {
+        self.kind.is_trusted()
+    }
+}
+
+impl fmt::Display for Participant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParticipantKind::Principal(role) => write!(f, "{} ({role})", self.name),
+            ParticipantKind::Trusted => write!(f, "{} (trusted)", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let p = ParticipantKind::Principal(Role::Broker);
+        assert!(p.is_principal());
+        assert!(!p.is_trusted());
+        assert_eq!(p.role(), Some(Role::Broker));
+
+        let t = ParticipantKind::Trusted;
+        assert!(t.is_trusted());
+        assert!(!t.is_principal());
+        assert_eq!(t.role(), None);
+    }
+
+    #[test]
+    fn participant_accessors() {
+        let p = Participant::new(
+            AgentId::new(2),
+            "alice",
+            ParticipantKind::Principal(Role::Consumer),
+        );
+        assert_eq!(p.id(), AgentId::new(2));
+        assert_eq!(p.name(), "alice");
+        assert!(p.is_principal());
+        assert_eq!(p.to_string(), "alice (consumer)");
+    }
+
+    #[test]
+    fn trusted_display() {
+        let t = Participant::new(AgentId::new(0), "escrow", ParticipantKind::Trusted);
+        assert_eq!(t.to_string(), "escrow (trusted)");
+        assert!(t.is_trusted());
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Producer.to_string(), "producer");
+        assert_eq!(Role::Consumer.to_string(), "consumer");
+        assert_eq!(Role::Broker.to_string(), "broker");
+    }
+}

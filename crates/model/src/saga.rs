@@ -1,0 +1,209 @@
+//! Sagas (§7.2): per-party *ordered* acceptable executions.
+//!
+//! The paper's state representation "was motivated by the saga": each agent
+//! effectively has its own set of acceptable sagas, and the graph machinery
+//! establishes "that there is an execution satisfying the sagas for all of
+//! the involved parties". This module makes that reading executable: a
+//! party's view of an execution — the ordered subsequence of actions
+//! involving it — is an **admissible saga** when
+//!
+//! 1. its action *set* matches one of the party's acceptable partial states
+//!    (§2.3), and
+//! 2. every compensation (`give⁻¹`/`pay⁻¹`) comes after the forward action
+//!    it undoes — a saga compensates work already done, never work to come.
+//!
+//! The simulator's integration tests check every honest party's view of
+//! every run (including defection runs) against this definition.
+
+use crate::{AcceptanceSpec, Action, AgentId, ExchangeState, Outcome};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A party's ordered view of an execution: the subsequence of *transfer*
+/// actions involving it.
+///
+/// ```
+/// use trustseq_model::{Action, AgentId, ItemId, Money, SagaView};
+///
+/// let (c, p, t) = (AgentId::new(0), AgentId::new(1), AgentId::new(2));
+/// let run = [
+///     Action::give(p, t, ItemId::new(0)),
+///     Action::notify(t, c),
+///     Action::pay(c, t, Money::from_dollars(20)),
+///     Action::give(t, c, ItemId::new(0)),
+/// ];
+/// let view = SagaView::extract(c, run);
+/// assert_eq!(view.len(), 2); // the notify is informational
+/// assert!(view.compensations_ordered());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SagaView {
+    party: AgentId,
+    actions: Vec<Action>,
+}
+
+impl SagaView {
+    /// Extracts `party`'s view from a totally-ordered action sequence.
+    ///
+    /// `notify` actions are informational and excluded, matching the
+    /// acceptability semantics of [`PartialState`](crate::PartialState).
+    pub fn extract(party: AgentId, sequence: impl IntoIterator<Item = Action>) -> Self {
+        SagaView {
+            party,
+            actions: sequence
+                .into_iter()
+                .filter(|a| a.is_transfer() && a.involves(party))
+                .collect(),
+        }
+    }
+
+    /// The viewing party.
+    pub fn party(&self) -> AgentId {
+        self.party
+    }
+
+    /// The ordered actions.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of actions in the view.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when the party never acted (the status-quo saga).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Whether every compensation follows the forward action it undoes —
+    /// the saga ordering discipline.
+    pub fn compensations_ordered(&self) -> bool {
+        self.actions.iter().enumerate().all(|(i, a)| {
+            match a.compensated() {
+                Some(forward) => self.actions[..i].contains(&forward),
+                None => true,
+            }
+        })
+    }
+
+    /// Classifies the view against the party's acceptance specification:
+    /// [`Outcome::Unacceptable`] if the set does not match any acceptable
+    /// partial state *or* a compensation precedes its forward action.
+    pub fn classify(&self, accept: &AcceptanceSpec) -> Outcome {
+        if !self.compensations_ordered() {
+            return Outcome::Unacceptable;
+        }
+        let state: ExchangeState = self.actions.iter().copied().collect();
+        accept.classify(&state)
+    }
+
+    /// Whether the view is an admissible saga (acceptable or preferred).
+    pub fn is_admissible(&self, accept: &AcceptanceSpec) -> bool {
+        self.classify(accept).is_acceptable()
+    }
+}
+
+impl fmt::Display for SagaView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.party)?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExchangeSpec, ItemId, Money, Role};
+
+    fn sale() -> (ExchangeSpec, AgentId, AgentId, AgentId, ItemId, Money) {
+        let mut spec = ExchangeSpec::new("sale");
+        let p = spec.add_principal("p", Role::Producer).unwrap();
+        let c = spec.add_principal("c", Role::Consumer).unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let i = spec.add_item("doc", "Doc").unwrap();
+        spec.add_deal(p, c, t, i, Money::from_dollars(20)).unwrap();
+        (spec, p, c, t, i, Money::from_dollars(20))
+    }
+
+    #[test]
+    fn extraction_filters_to_the_party() {
+        let (_, p, c, t, i, m) = sale();
+        let seq = [
+            Action::give(p, t, i),
+            Action::notify(t, c),
+            Action::pay(c, t, m),
+            Action::give(t, c, i),
+            Action::pay(t, p, m),
+        ];
+        let view = SagaView::extract(c, seq);
+        assert_eq!(view.len(), 2); // pay + receive; notify excluded
+        assert_eq!(view.actions()[0], Action::pay(c, t, m));
+        let view_p = SagaView::extract(p, seq);
+        assert_eq!(view_p.len(), 2);
+    }
+
+    #[test]
+    fn happy_path_is_an_admissible_saga() {
+        let (spec, p, c, t, i, m) = sale();
+        let seq = [
+            Action::give(p, t, i),
+            Action::pay(c, t, m),
+            Action::give(t, c, i),
+            Action::pay(t, p, m),
+        ];
+        for party in [p, c] {
+            let view = SagaView::extract(party, seq);
+            let accept = spec.acceptance_spec_of(party);
+            assert_eq!(view.classify(&accept), Outcome::Preferred);
+        }
+    }
+
+    #[test]
+    fn refund_saga_is_admissible_only_in_order() {
+        let (spec, _p, c, t, _i, m) = sale();
+        let accept = spec.acceptance_spec_of(c);
+        let pay = Action::pay(c, t, m);
+        let refund = pay.inverse().unwrap();
+
+        let good = SagaView::extract(c, [pay, refund]);
+        assert!(good.is_admissible(&accept));
+        assert!(good.compensations_ordered());
+
+        // A refund *before* the payment is no saga at all.
+        let bad = SagaView::extract(c, [refund, pay]);
+        assert!(!bad.compensations_ordered());
+        assert_eq!(bad.classify(&accept), Outcome::Unacceptable);
+    }
+
+    #[test]
+    fn dangling_payment_is_inadmissible() {
+        let (spec, _p, c, t, _i, m) = sale();
+        let accept = spec.acceptance_spec_of(c);
+        let view = SagaView::extract(c, [Action::pay(c, t, m)]);
+        assert!(!view.is_admissible(&accept));
+    }
+
+    #[test]
+    fn empty_view_is_the_status_quo_saga() {
+        let (spec, _p, c, ..) = sale();
+        let accept = spec.acceptance_spec_of(c);
+        let view = SagaView::extract(c, []);
+        assert!(view.is_empty());
+        assert_eq!(view.classify(&accept), Outcome::Acceptable);
+    }
+
+    #[test]
+    fn display_joins_actions() {
+        let (_, _p, c, t, _i, m) = sale();
+        let view = SagaView::extract(c, [Action::pay(c, t, m)]);
+        assert!(view.to_string().starts_with("a1: pay"));
+    }
+}

@@ -1,0 +1,1246 @@
+//! Exchange-problem specifications: participants, items, deals, constraints,
+//! trust and indemnities.
+
+use crate::{
+    AgentId, DealId, FundingConstraint, InteractionGraph, ItemId, ModelError, Money, Participant,
+    ParticipantKind, ResaleConstraint, Role, TrustRelation,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A catalogued item that can be bought and sold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Item {
+    id: ItemId,
+    key: String,
+    title: String,
+}
+
+impl Item {
+    /// The item's identifier.
+    pub fn id(&self) -> ItemId {
+        self.id
+    }
+
+    /// The short unique key used in specifications.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+/// A pairwise exchange: `seller` sells `item` to `buyer` for `price` through
+/// trusted `intermediary`.
+///
+/// Each deal corresponds to two edges of the interaction graph (buyer-side
+/// and seller-side) and therefore to two commitment nodes of the sequencing
+/// graph. A *bridged* deal (§9's "hierarchy of trust") uses a different
+/// trusted component on each side: the buyer deposits with the component it
+/// trusts, the seller with its own, and the two — who trust each other —
+/// relay the goods between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deal {
+    id: DealId,
+    seller: AgentId,
+    buyer: AgentId,
+    intermediary: AgentId,
+    seller_intermediary: AgentId,
+    item: ItemId,
+    price: Money,
+}
+
+impl Deal {
+    /// The deal's identifier.
+    pub fn id(&self) -> DealId {
+        self.id
+    }
+
+    /// The selling principal.
+    pub fn seller(&self) -> AgentId {
+        self.seller
+    }
+
+    /// The buying principal.
+    pub fn buyer(&self) -> AgentId {
+        self.buyer
+    }
+
+    /// The trusted component mediating the buyer's side of the exchange
+    /// (and, for unbridged deals, the whole exchange).
+    pub fn intermediary(&self) -> AgentId {
+        self.intermediary
+    }
+
+    /// The trusted component mediating the seller's side — equal to
+    /// [`Deal::intermediary`] unless the deal is bridged.
+    pub fn seller_intermediary(&self) -> AgentId {
+        self.seller_intermediary
+    }
+
+    /// Whether the two sides use different trusted components.
+    pub fn is_bridged(&self) -> bool {
+        self.intermediary != self.seller_intermediary
+    }
+
+    /// The trusted component mediating the given side.
+    pub fn intermediary_of(&self, side: crate::DealSide) -> AgentId {
+        match side {
+            crate::DealSide::Buyer => self.intermediary,
+            crate::DealSide::Seller => self.seller_intermediary,
+        }
+    }
+
+    /// The item sold.
+    pub fn item(&self) -> ItemId {
+        self.item
+    }
+
+    /// The price paid by the buyer.
+    pub fn price(&self) -> Money {
+        self.price
+    }
+
+    /// Whether `agent` is the buyer or seller of this deal.
+    pub fn involves_principal(&self, agent: AgentId) -> bool {
+        self.buyer == agent || self.seller == agent
+    }
+}
+
+impl fmt::Display for Deal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} sells {} to {} for {} via {}",
+            self.id, self.seller, self.item, self.buyer, self.price, self.intermediary
+        )
+    }
+}
+
+/// A document assembly (§3.2's "information and documents will be combined
+/// and enhanced"): `assembler` can produce one `output` by consuming one of
+/// each `input` it holds.
+///
+/// Assembly is internal to the assembler — it is not a transfer, so it
+/// never appears as an [`Action`](crate::Action); the execution layer and
+/// the simulator's ledger perform it implicitly when the assembler must
+/// deliver an `output` it has not yet composed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assembly {
+    /// The principal doing the composition (typically a broker/publisher).
+    pub assembler: AgentId,
+    /// The component items, consumed one each per unit produced.
+    pub inputs: Vec<ItemId>,
+    /// The composite item produced.
+    pub output: ItemId,
+}
+
+impl fmt::Display for Assembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} assembles {} from", self.assembler, self.output)?;
+        for (i, input) in self.inputs.iter().enumerate() {
+            write!(f, "{}{input}", if i == 0 { " " } else { " + " })?;
+        }
+        Ok(())
+    }
+}
+
+/// An indemnity (§6): `provider` deposits `amount` with trusted `via`; the
+/// amount is forfeited to `beneficiary` if deal `deal` fails after the
+/// beneficiary has performed, and refunded to the provider otherwise.
+///
+/// Applying an indemnity *splits* the beneficiary's conjunction node: the
+/// covered deal is decoupled from the rest of the bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Indemnity {
+    /// Who posts the collateral (usually the covered deal's seller).
+    pub provider: AgentId,
+    /// The deal whose failure the indemnity compensates.
+    pub deal: DealId,
+    /// Who collects on failure (the covered deal's buyer).
+    pub beneficiary: AgentId,
+    /// The trusted component holding the collateral; must be shared between
+    /// provider and beneficiary.
+    pub via: AgentId,
+    /// The collateral amount.
+    pub amount: Money,
+}
+
+impl fmt::Display for Indemnity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} indemnifies {} for {} via {} (covers {})",
+            self.provider, self.beneficiary, self.amount, self.via, self.deal
+        )
+    }
+}
+
+/// A complete commercial-exchange problem specification (§2 of the paper).
+///
+/// An `ExchangeSpec` declares the participants, items, pairwise deals,
+/// resale (ordering) constraints, the directed trust relation, and any
+/// indemnities. It is the input to sequencing-graph construction, protocol
+/// synthesis, and the simulator.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeSpec {
+    name: String,
+    participants: Vec<Participant>,
+    items: Vec<Item>,
+    deals: Vec<Deal>,
+    resale_constraints: Vec<ResaleConstraint>,
+    funding_constraints: Vec<FundingConstraint>,
+    trusted_links: Vec<(AgentId, AgentId)>,
+    assemblies: Vec<Assembly>,
+    trust: TrustRelation,
+    role_players: BTreeMap<AgentId, BTreeSet<AgentId>>,
+    indemnities: Vec<Indemnity>,
+}
+
+impl ExchangeSpec {
+    /// Creates an empty specification with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExchangeSpec {
+            name: name.into(),
+            participants: Vec::new(),
+            items: Vec::new(),
+            deals: Vec::new(),
+            resale_constraints: Vec::new(),
+            funding_constraints: Vec::new(),
+            trusted_links: Vec::new(),
+            assemblies: Vec::new(),
+            trust: TrustRelation::new(),
+            role_players: BTreeMap::new(),
+            indemnities: Vec::new(),
+        }
+    }
+
+    /// The specification's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    /// Declares a principal with the given unique name and role.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] if the name is taken.
+    pub fn add_principal(
+        &mut self,
+        name: impl Into<String>,
+        role: Role,
+    ) -> Result<AgentId, ModelError> {
+        self.add_participant(name.into(), ParticipantKind::Principal(role))
+    }
+
+    /// Declares a trusted component with the given unique name.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] if the name is taken.
+    pub fn add_trusted(&mut self, name: impl Into<String>) -> Result<AgentId, ModelError> {
+        self.add_participant(name.into(), ParticipantKind::Trusted)
+    }
+
+    fn add_participant(
+        &mut self,
+        name: String,
+        kind: ParticipantKind,
+    ) -> Result<AgentId, ModelError> {
+        if self.participants.iter().any(|p| p.name() == name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = AgentId::new(self.participants.len() as u32);
+        self.participants.push(Participant::new(id, name, kind));
+        Ok(id)
+    }
+
+    /// Declares an item with a unique key and a human-readable title.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] if the key is taken.
+    pub fn add_item(
+        &mut self,
+        key: impl Into<String>,
+        title: impl Into<String>,
+    ) -> Result<ItemId, ModelError> {
+        let key = key.into();
+        if self.items.iter().any(|i| i.key == key) {
+            return Err(ModelError::DuplicateName(key));
+        }
+        let id = ItemId::new(self.items.len() as u32);
+        self.items.push(Item {
+            id,
+            key,
+            title: title.into(),
+        });
+        Ok(id)
+    }
+
+    /// Declares a deal: `seller` sells `item` to `buyer` for `price` through
+    /// trusted component `intermediary`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownAgent`] / [`ModelError::UnknownItem`] for
+    ///   dangling references;
+    /// * [`ModelError::NotAPrincipal`] if buyer or seller is a trusted
+    ///   component, [`ModelError::NotTrusted`] if the intermediary is not;
+    /// * [`ModelError::SelfDeal`] if buyer equals seller;
+    /// * [`ModelError::NonPositivePrice`] if `price <= 0`.
+    pub fn add_deal(
+        &mut self,
+        seller: AgentId,
+        buyer: AgentId,
+        intermediary: AgentId,
+        item: ItemId,
+        price: Money,
+    ) -> Result<DealId, ModelError> {
+        self.expect_principal(seller)?;
+        self.expect_principal(buyer)?;
+        self.expect_trusted(intermediary)?;
+        if item.index() >= self.items.len() {
+            return Err(ModelError::UnknownItem(item));
+        }
+        if seller == buyer {
+            return Err(ModelError::SelfDeal(seller));
+        }
+        let id = DealId::new(self.deals.len() as u32);
+        if price <= Money::ZERO {
+            return Err(ModelError::NonPositivePrice(id));
+        }
+        self.deals.push(Deal {
+            id,
+            seller,
+            buyer,
+            intermediary,
+            seller_intermediary: intermediary,
+            item,
+            price,
+        });
+        self.refresh_role_players();
+        Ok(id)
+    }
+
+    /// Declares a *bridged* deal (§9's hierarchy of trust): the buyer
+    /// deposits with `buyer_side`, the seller with `seller_side`, and the
+    /// two components relay the goods between them.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ExchangeSpec::add_deal`], plus
+    /// [`ModelError::UnlinkedBridge`] unless the two components are in the
+    /// same [trusted-link group](ExchangeSpec::trusted_group_of) (they must
+    /// trust each other, directly or transitively).
+    pub fn add_deal_bridged(
+        &mut self,
+        seller: AgentId,
+        buyer: AgentId,
+        buyer_side: AgentId,
+        seller_side: AgentId,
+        item: ItemId,
+        price: Money,
+    ) -> Result<DealId, ModelError> {
+        self.expect_trusted(seller_side)?;
+        if self.trusted_group_of(buyer_side) != self.trusted_group_of(seller_side) {
+            return Err(ModelError::UnlinkedBridge {
+                buyer_side,
+                seller_side,
+            });
+        }
+        let id = self.add_deal(seller, buyer, buyer_side, item, price)?;
+        self.deals[id.index()].seller_intermediary = seller_side;
+        self.refresh_role_players();
+        Ok(id)
+    }
+
+    /// Declares that `assembler` can compose `output` from `inputs` (§3.2's
+    /// combined-and-enhanced documents).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NotAPrincipal`] if the assembler is not a principal;
+    /// * [`ModelError::UnknownItem`] for dangling items;
+    /// * [`ModelError::BadAssembly`] when inputs are empty, repeat, include
+    ///   the output, or the output already has an assembly.
+    pub fn add_assembly(
+        &mut self,
+        assembler: AgentId,
+        inputs: Vec<ItemId>,
+        output: ItemId,
+    ) -> Result<(), ModelError> {
+        self.expect_principal(assembler)?;
+        for &i in inputs.iter().chain(std::iter::once(&output)) {
+            if i.index() >= self.items.len() {
+                return Err(ModelError::UnknownItem(i));
+            }
+        }
+        if inputs.is_empty() {
+            return Err(ModelError::BadAssembly {
+                reason: "an assembly needs at least one input",
+            });
+        }
+        let mut distinct = inputs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() != inputs.len() {
+            return Err(ModelError::BadAssembly {
+                reason: "assembly inputs must be distinct",
+            });
+        }
+        if inputs.contains(&output) {
+            return Err(ModelError::BadAssembly {
+                reason: "an assembly cannot output one of its inputs",
+            });
+        }
+        if self.assemblies.iter().any(|a| a.output == output) {
+            return Err(ModelError::BadAssembly {
+                reason: "the output already has an assembly",
+            });
+        }
+        // Reject cycles: the output must not be (transitively) among the
+        // components of its own inputs.
+        let mut frontier: Vec<ItemId> = inputs.clone();
+        let mut seen: BTreeSet<ItemId> = BTreeSet::new();
+        while let Some(item) = frontier.pop() {
+            if item == output {
+                return Err(ModelError::BadAssembly {
+                    reason: "assembly cycles are not allowed",
+                });
+            }
+            if seen.insert(item) {
+                if let Some(a) = self.assemblies.iter().find(|a| a.output == item) {
+                    frontier.extend(a.inputs.iter().copied());
+                }
+            }
+        }
+        self.assemblies.push(Assembly {
+            assembler,
+            inputs,
+            output,
+        });
+        Ok(())
+    }
+
+    /// The declared assemblies.
+    pub fn assemblies(&self) -> &[Assembly] {
+        &self.assemblies
+    }
+
+    /// The assembly producing `output` for `assembler`, if declared.
+    pub fn assembly_of(&self, assembler: AgentId, output: ItemId) -> Option<&Assembly> {
+        self.assemblies
+            .iter()
+            .find(|a| a.assembler == assembler && a.output == output)
+    }
+
+    /// Records mutual trust between two trusted components (§9's "hierarchy
+    /// of trust"): linked components form a composite escrow whose members
+    /// enforce guarantees jointly and may mediate *bridged* deals.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NotTrusted`] if either agent is not a trusted
+    /// component.
+    pub fn add_trusted_link(&mut self, a: AgentId, b: AgentId) -> Result<(), ModelError> {
+        self.expect_trusted(a)?;
+        self.expect_trusted(b)?;
+        if a != b && !self.trusted_links.contains(&(a, b)) && !self.trusted_links.contains(&(b, a))
+        {
+            self.trusted_links.push((a, b));
+        }
+        Ok(())
+    }
+
+    /// The declared trusted links.
+    pub fn trusted_links(&self) -> &[(AgentId, AgentId)] {
+        &self.trusted_links
+    }
+
+    /// The representative of `trusted`'s link group (the smallest member
+    /// id). Unlinked components are their own group.
+    pub fn trusted_group_of(&self, trusted: AgentId) -> AgentId {
+        // Tiny union-find over the (few) trusted components.
+        let mut parent: BTreeMap<AgentId, AgentId> = BTreeMap::new();
+        fn find(parent: &mut BTreeMap<AgentId, AgentId>, x: AgentId) -> AgentId {
+            let p = *parent.get(&x).unwrap_or(&x);
+            if p == x {
+                x
+            } else {
+                let root = find(parent, p);
+                parent.insert(x, root);
+                root
+            }
+        }
+        for &(a, b) in &self.trusted_links {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent.insert(hi, lo);
+            }
+        }
+        find(&mut parent, trusted)
+    }
+
+    /// Adds a resale constraint: `principal` must secure its sale
+    /// `secure_first` before undertaking its purchase `before` (§4.1's third
+    /// conjunction type — the red edge).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownDeal`] for dangling deal references;
+    /// * [`ModelError::ConstraintSelfLoop`] if the two deals coincide;
+    /// * [`ModelError::ConstraintNotParty`] if the principal is party to
+    ///   neither side;
+    /// * [`ModelError::ConstraintDirection`] if the principal does not sell
+    ///   in `secure_first` or does not buy in `before`.
+    pub fn add_resale_constraint(
+        &mut self,
+        principal: AgentId,
+        secure_first: DealId,
+        before: DealId,
+    ) -> Result<(), ModelError> {
+        self.expect_principal(principal)?;
+        if secure_first == before {
+            return Err(ModelError::ConstraintSelfLoop(secure_first));
+        }
+        let sale = self.deal(secure_first)?;
+        let purchase = self.deal(before)?;
+        if !sale.involves_principal(principal) {
+            return Err(ModelError::ConstraintNotParty {
+                principal,
+                deal: secure_first,
+            });
+        }
+        if !purchase.involves_principal(principal) {
+            return Err(ModelError::ConstraintNotParty {
+                principal,
+                deal: before,
+            });
+        }
+        if sale.seller() != principal {
+            return Err(ModelError::ConstraintDirection {
+                principal,
+                deal: secure_first,
+            });
+        }
+        if purchase.buyer() != principal {
+            return Err(ModelError::ConstraintDirection {
+                principal,
+                deal: before,
+            });
+        }
+        self.resale_constraints.push(ResaleConstraint {
+            principal,
+            secure_first,
+            before,
+        });
+        Ok(())
+    }
+
+    /// Adds a funding constraint: `principal` can only pay for `purchase`
+    /// out of the proceeds of its sale `funded_by` (the "poor broker" of
+    /// §5). This puts a second red edge on the principal's conjunction and
+    /// typically renders the exchange infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Mirror those of [`ExchangeSpec::add_resale_constraint`], with the
+    /// directions swapped: the principal must *buy* in `purchase` and *sell*
+    /// in `funded_by`.
+    pub fn add_funding_constraint(
+        &mut self,
+        principal: AgentId,
+        purchase: DealId,
+        funded_by: DealId,
+    ) -> Result<(), ModelError> {
+        self.expect_principal(principal)?;
+        if purchase == funded_by {
+            return Err(ModelError::ConstraintSelfLoop(purchase));
+        }
+        let bought = self.deal(purchase)?;
+        let sold = self.deal(funded_by)?;
+        if !bought.involves_principal(principal) {
+            return Err(ModelError::ConstraintNotParty {
+                principal,
+                deal: purchase,
+            });
+        }
+        if !sold.involves_principal(principal) {
+            return Err(ModelError::ConstraintNotParty {
+                principal,
+                deal: funded_by,
+            });
+        }
+        if bought.buyer() != principal {
+            return Err(ModelError::ConstraintDirection {
+                principal,
+                deal: purchase,
+            });
+        }
+        if sold.seller() != principal {
+            return Err(ModelError::ConstraintDirection {
+                principal,
+                deal: funded_by,
+            });
+        }
+        self.funding_constraints.push(FundingConstraint {
+            principal,
+            purchase,
+            funded_by,
+        });
+        Ok(())
+    }
+
+    /// Records that `truster` directly trusts `trustee` and re-derives which
+    /// principals may play trusted-agent roles (§4.2.3).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NotAPrincipal`] if either agent is not a principal.
+    pub fn add_trust(&mut self, truster: AgentId, trustee: AgentId) -> Result<(), ModelError> {
+        self.expect_principal(truster)?;
+        self.expect_principal(trustee)?;
+        self.trust.add(truster, trustee);
+        self.refresh_role_players();
+        Ok(())
+    }
+
+    /// Explicitly records that `principal` plays the trusted-agent role of
+    /// `trusted` (without going through the trust relation).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::RoleNotParty`] unless `principal` is party to a deal
+    /// mediated by `trusted`.
+    pub fn set_role_player(
+        &mut self,
+        trusted: AgentId,
+        principal: AgentId,
+    ) -> Result<(), ModelError> {
+        self.expect_trusted(trusted)?;
+        self.expect_principal(principal)?;
+        let is_party = self
+            .deals
+            .iter()
+            .any(|d| d.intermediary == trusted && d.involves_principal(principal));
+        if !is_party {
+            return Err(ModelError::RoleNotParty { trusted, principal });
+        }
+        self.role_players.entry(trusted).or_default().insert(principal);
+        Ok(())
+    }
+
+    /// Derives role players from the trust relation: for a deal between `p`
+    /// and `q` through `t`, `p` plays `t`'s role when `q` trusts `p`.
+    fn refresh_role_players(&mut self) {
+        // Keep explicitly-set role players; re-derive the trust-implied ones.
+        let mut derived: BTreeMap<AgentId, BTreeSet<AgentId>> = self.role_players.clone();
+        for deal in &self.deals {
+            let (s, b, t) = (deal.seller, deal.buyer, deal.intermediary);
+            if self.trust.trusts(b, s) {
+                derived.entry(t).or_default().insert(s);
+            }
+            if self.trust.trusts(s, b) {
+                derived.entry(t).or_default().insert(b);
+            }
+        }
+        self.role_players = derived;
+    }
+
+    /// Posts an indemnity: `provider` covers `deal` with `amount`, held by a
+    /// trusted component shared with the deal's buyer.
+    ///
+    /// The beneficiary is the covered deal's buyer; the holding intermediary
+    /// is chosen as the trusted component of a deal between provider and
+    /// beneficiary (per §6, the provider "must share a trusted intermediary
+    /// with the one requesting the indemnification").
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownDeal`] for a dangling deal;
+    /// * [`ModelError::NonPositiveIndemnity`] if `amount <= 0`;
+    /// * [`ModelError::NoSharedIntermediary`] if no trusted component links
+    ///   provider and beneficiary.
+    pub fn add_indemnity(
+        &mut self,
+        provider: AgentId,
+        deal: DealId,
+        amount: Money,
+    ) -> Result<Indemnity, ModelError> {
+        self.expect_principal(provider)?;
+        let covered = *self.deal(deal)?;
+        if amount <= Money::ZERO {
+            return Err(ModelError::NonPositiveIndemnity(deal));
+        }
+        let beneficiary = covered.buyer();
+        let via = self
+            .deals
+            .iter()
+            .find(|d| {
+                d.involves_principal(provider) && d.involves_principal(beneficiary)
+            })
+            .map(|d| d.intermediary)
+            .ok_or(ModelError::NoSharedIntermediary {
+                provider,
+                beneficiary,
+            })?;
+        let indemnity = Indemnity {
+            provider,
+            deal,
+            beneficiary,
+            via,
+            amount,
+        };
+        self.indemnities.push(indemnity);
+        Ok(indemnity)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// All participants in declaration order.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Looks up a participant.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownAgent`] for a dangling id.
+    pub fn participant(&self, id: AgentId) -> Result<&Participant, ModelError> {
+        self.participants
+            .get(id.index())
+            .ok_or(ModelError::UnknownAgent(id))
+    }
+
+    /// Looks up a participant by name.
+    pub fn participant_by_name(&self, name: &str) -> Option<&Participant> {
+        self.participants.iter().find(|p| p.name() == name)
+    }
+
+    /// All items in declaration order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Looks up an item.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownItem`] for a dangling id.
+    pub fn item(&self, id: ItemId) -> Result<&Item, ModelError> {
+        self.items.get(id.index()).ok_or(ModelError::UnknownItem(id))
+    }
+
+    /// Looks up an item by key.
+    pub fn item_by_key(&self, key: &str) -> Option<&Item> {
+        self.items.iter().find(|i| i.key == key)
+    }
+
+    /// All deals in declaration order.
+    pub fn deals(&self) -> &[Deal] {
+        &self.deals
+    }
+
+    /// Looks up a deal.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownDeal`] for a dangling id.
+    pub fn deal(&self, id: DealId) -> Result<&Deal, ModelError> {
+        self.deals.get(id.index()).ok_or(ModelError::UnknownDeal(id))
+    }
+
+    /// The resale constraints.
+    pub fn resale_constraints(&self) -> &[ResaleConstraint] {
+        &self.resale_constraints
+    }
+
+    /// The funding constraints.
+    pub fn funding_constraints(&self) -> &[FundingConstraint] {
+        &self.funding_constraints
+    }
+
+    /// The directed trust relation.
+    pub fn trust(&self) -> &TrustRelation {
+        &self.trust
+    }
+
+    /// The posted indemnities.
+    pub fn indemnities(&self) -> &[Indemnity] {
+        &self.indemnities
+    }
+
+    /// The set of deals covered by an indemnity.
+    pub fn indemnified_deals(&self) -> BTreeSet<DealId> {
+        self.indemnities.iter().map(|i| i.deal).collect()
+    }
+
+    /// Whether `principal` plays the trusted-agent role of `trusted` — i.e.
+    /// the other party to an exchange through `trusted` directly trusts
+    /// `principal` (or the role was set explicitly).
+    pub fn plays_role(&self, trusted: AgentId, principal: AgentId) -> bool {
+        self.role_players
+            .get(&trusted)
+            .is_some_and(|set| set.contains(&principal))
+    }
+
+    /// Resales routed *inside* one trusted component: pairs `(supply,
+    /// sale)` where a principal buys an item through an intermediary and
+    /// resells the same item through the **same** intermediary.
+    ///
+    /// Such a component can route the item internally — the middleman never
+    /// physically holds it — and can enforce the middleman's resale
+    /// ordering itself, which is the germ of the §9 "agent trusted by more
+    /// than two parties" extension.
+    pub fn internal_resales(&self) -> Vec<(DealId, DealId)> {
+        let mut pairs = Vec::new();
+        for supply in &self.deals {
+            for sale in &self.deals {
+                if supply.id != sale.id
+                    && supply.buyer == sale.seller
+                    && supply.item == sale.item
+                    // The middleman receives at the supply's buyer side and
+                    // re-deposits at the sale's seller side: an internal
+                    // hop needs those to be the same physical component.
+                    && supply.intermediary == sale.seller_intermediary
+                {
+                    pairs.push((supply.id, sale.id));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The item hops that stay *inside* a trusted component because of
+    /// [`internal_resales`](ExchangeSpec::internal_resales): the set of
+    /// `(from, to, item)` give-transfers that are virtual — the component
+    /// already holds (and keeps) the item.
+    ///
+    /// Both directions of each internal pair are included: the supply's
+    /// delivery to the middleman (`t → middleman`) and the middleman's
+    /// sale deposit back (`middleman → t`).
+    pub fn internal_transfers(&self) -> BTreeSet<(AgentId, AgentId, ItemId)> {
+        let mut set = BTreeSet::new();
+        for (supply, sale) in self.internal_resales() {
+            let (Ok(supply), Ok(sale)) = (self.deal(supply), self.deal(sale)) else {
+                continue;
+            };
+            set.insert((supply.intermediary(), supply.buyer(), supply.item()));
+            set.insert((sale.seller(), sale.seller_intermediary(), sale.item()));
+        }
+        set
+    }
+
+    /// The principal acting as `trusted`'s *persona*, if direct trust lets
+    /// one play that role (§4.2.3). When mutual trust makes both parties
+    /// eligible, the smaller [`AgentId`] is chosen deterministically.
+    pub fn persona_of(&self, trusted: AgentId) -> Option<AgentId> {
+        let mut players: Vec<AgentId> = self
+            .deals_via(trusted)
+            .flat_map(|d| [d.buyer(), d.seller()])
+            .filter(|&x| self.plays_role(trusted, x))
+            .collect();
+        players.sort_unstable();
+        players.dedup();
+        players.first().copied()
+    }
+
+    /// Deals in which `agent` participates as a principal, in declaration
+    /// order.
+    pub fn deals_of(&self, agent: AgentId) -> impl Iterator<Item = &Deal> {
+        self.deals
+            .iter()
+            .filter(move |d| d.involves_principal(agent))
+    }
+
+    /// Deals in which `agent` is the buyer.
+    pub fn purchases_of(&self, agent: AgentId) -> impl Iterator<Item = &Deal> {
+        self.deals.iter().filter(move |d| d.buyer == agent)
+    }
+
+    /// Deals in which `agent` is the seller.
+    pub fn sales_of(&self, agent: AgentId) -> impl Iterator<Item = &Deal> {
+        self.deals.iter().filter(move |d| d.seller == agent)
+    }
+
+    /// Deals mediated by trusted component `trusted` on either side.
+    pub fn deals_via(&self, trusted: AgentId) -> impl Iterator<Item = &Deal> {
+        self.deals.iter().filter(move |d| {
+            d.intermediary == trusted || d.seller_intermediary == trusted
+        })
+    }
+
+    /// Deals mediated by any member of the trusted-link group whose
+    /// representative is `group` (see
+    /// [`trusted_group_of`](ExchangeSpec::trusted_group_of)).
+    pub fn deals_via_group(&self, group: AgentId) -> impl Iterator<Item = &Deal> + '_ {
+        self.deals.iter().filter(move |d| {
+            self.trusted_group_of(d.intermediary) == group
+                || self.trusted_group_of(d.seller_intermediary) == group
+        })
+    }
+
+    /// All principals, in declaration order.
+    pub fn principals(&self) -> impl Iterator<Item = &Participant> {
+        self.participants.iter().filter(|p| p.is_principal())
+    }
+
+    /// All trusted components, in declaration order.
+    pub fn trusted_components(&self) -> impl Iterator<Item = &Participant> {
+        self.participants.iter().filter(|p| p.is_trusted())
+    }
+
+    // ------------------------------------------------------------------
+    // Validation & derived structures
+    // ------------------------------------------------------------------
+
+    fn expect_principal(&self, id: AgentId) -> Result<(), ModelError> {
+        let p = self.participant(id)?;
+        if !p.is_principal() {
+            return Err(ModelError::NotAPrincipal(id));
+        }
+        Ok(())
+    }
+
+    fn expect_trusted(&self, id: AgentId) -> Result<(), ModelError> {
+        let p = self.participant(id)?;
+        if !p.is_trusted() {
+            return Err(ModelError::NotTrusted(id));
+        }
+        Ok(())
+    }
+
+    /// Validates the whole specification.
+    ///
+    /// Individual mutators validate incrementally; this re-checks global
+    /// conditions (e.g. at least one deal exists).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptySpec`] when no deal has been declared.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.deals.is_empty() {
+            return Err(ModelError::EmptySpec);
+        }
+        Ok(())
+    }
+
+    /// Builds the interaction graph (§3) of this specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExchangeSpec::validate`] errors.
+    pub fn interaction_graph(&self) -> Result<InteractionGraph, ModelError> {
+        self.validate()?;
+        Ok(InteractionGraph::from_spec(self))
+    }
+}
+
+impl fmt::Display for ExchangeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "exchange \"{}\":", self.name)?;
+        for p in &self.participants {
+            writeln!(f, "  {} = {}", p.id(), p)?;
+        }
+        for d in &self.deals {
+            writeln!(f, "  {d}")?;
+        }
+        for r in &self.resale_constraints {
+            writeln!(f, "  constraint {r}")?;
+        }
+        for fc in &self.funding_constraints {
+            writeln!(f, "  constraint {fc}")?;
+        }
+        for a in &self.assemblies {
+            writeln!(f, "  {a}")?;
+        }
+        if !self.trust.is_empty() {
+            writeln!(f, "  trust: {}", self.trust)?;
+        }
+        for i in &self.indemnities {
+            writeln!(f, "  indemnity {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Example #1 spec.
+    pub(crate) fn example1() -> (ExchangeSpec, [AgentId; 5], ItemId, [DealId; 2]) {
+        let mut spec = ExchangeSpec::new("example1");
+        let c = spec.add_principal("consumer", Role::Consumer).unwrap();
+        let b = spec.add_principal("broker", Role::Broker).unwrap();
+        let p = spec.add_principal("producer", Role::Producer).unwrap();
+        let t1 = spec.add_trusted("t1").unwrap();
+        let t2 = spec.add_trusted("t2").unwrap();
+        let doc = spec.add_item("doc", "The Document").unwrap();
+        let sale = spec
+            .add_deal(b, c, t1, doc, Money::from_dollars(100))
+            .unwrap();
+        let supply = spec
+            .add_deal(p, b, t2, doc, Money::from_dollars(80))
+            .unwrap();
+        spec.add_resale_constraint(b, sale, supply).unwrap();
+        (spec, [c, b, p, t1, t2], doc, [sale, supply])
+    }
+
+    #[test]
+    fn example1_builds_and_validates() {
+        let (spec, _, _, _) = example1();
+        spec.validate().unwrap();
+        assert_eq!(spec.deals().len(), 2);
+        assert_eq!(spec.resale_constraints().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut spec = ExchangeSpec::new("x");
+        spec.add_principal("a", Role::Consumer).unwrap();
+        assert_eq!(
+            spec.add_principal("a", Role::Broker),
+            Err(ModelError::DuplicateName("a".into()))
+        );
+        assert_eq!(
+            spec.add_trusted("a"),
+            Err(ModelError::DuplicateName("a".into()))
+        );
+        spec.add_item("i", "I").unwrap();
+        assert_eq!(
+            spec.add_item("i", "J"),
+            Err(ModelError::DuplicateName("i".into()))
+        );
+    }
+
+    #[test]
+    fn deal_validation() {
+        let mut spec = ExchangeSpec::new("x");
+        let a = spec.add_principal("a", Role::Producer).unwrap();
+        let b = spec.add_principal("b", Role::Consumer).unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let i = spec.add_item("i", "I").unwrap();
+
+        // trusted component cannot be a buyer/seller
+        assert_eq!(
+            spec.add_deal(t, b, t, i, Money::from_dollars(1)),
+            Err(ModelError::NotAPrincipal(t))
+        );
+        // principal cannot be the intermediary
+        assert_eq!(
+            spec.add_deal(a, b, a, i, Money::from_dollars(1)),
+            Err(ModelError::NotTrusted(a))
+        );
+        // self deal
+        assert_eq!(
+            spec.add_deal(a, a, t, i, Money::from_dollars(1)),
+            Err(ModelError::SelfDeal(a))
+        );
+        // zero price
+        assert_eq!(
+            spec.add_deal(a, b, t, i, Money::ZERO),
+            Err(ModelError::NonPositivePrice(DealId::new(0)))
+        );
+        // dangling item
+        assert_eq!(
+            spec.add_deal(a, b, t, ItemId::new(9), Money::from_dollars(1)),
+            Err(ModelError::UnknownItem(ItemId::new(9)))
+        );
+        // a valid one
+        spec.add_deal(a, b, t, i, Money::from_dollars(1)).unwrap();
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn resale_constraint_direction_checked() {
+        let (mut spec, [c, b, _p, ..], _, [sale, supply]) = example1();
+        // broker sells in `sale`, buys in `supply`: correct direction only.
+        assert_eq!(
+            spec.add_resale_constraint(b, supply, sale),
+            Err(ModelError::ConstraintDirection {
+                principal: b,
+                deal: supply
+            })
+        );
+        // consumer is not party to `supply`
+        assert_eq!(
+            spec.add_resale_constraint(c, sale, supply),
+            Err(ModelError::ConstraintNotParty {
+                principal: c,
+                deal: supply
+            })
+        );
+        assert_eq!(
+            spec.add_resale_constraint(b, sale, sale),
+            Err(ModelError::ConstraintSelfLoop(sale))
+        );
+    }
+
+    #[test]
+    fn trust_derives_role_players() {
+        let (mut spec, [_c, b, p, _t1, t2], _, _) = example1();
+        assert!(!spec.plays_role(t2, b));
+        // Producer trusts the broker → the broker plays t2's role.
+        spec.add_trust(p, b).unwrap();
+        assert!(spec.plays_role(t2, b));
+        assert!(!spec.plays_role(t2, p));
+        // The reverse direction gives the role to the producer instead.
+        spec.add_trust(b, p).unwrap();
+        assert!(spec.plays_role(t2, p));
+    }
+
+    #[test]
+    fn trust_added_before_deals_still_derives_roles() {
+        let mut spec = ExchangeSpec::new("x");
+        let a = spec.add_principal("a", Role::Producer).unwrap();
+        let b = spec.add_principal("b", Role::Consumer).unwrap();
+        let t = spec.add_trusted("t").unwrap();
+        let i = spec.add_item("i", "I").unwrap();
+        spec.add_trust(a, b).unwrap();
+        spec.add_deal(a, b, t, i, Money::from_dollars(1)).unwrap();
+        assert!(spec.plays_role(t, b));
+    }
+
+    #[test]
+    fn explicit_role_player_requires_partyhood() {
+        let (mut spec, [c, b, _p, _t1, t2], _, _) = example1();
+        assert_eq!(
+            spec.set_role_player(t2, c),
+            Err(ModelError::RoleNotParty {
+                trusted: t2,
+                principal: c
+            })
+        );
+        spec.set_role_player(t2, b).unwrap();
+        assert!(spec.plays_role(t2, b));
+    }
+
+    #[test]
+    fn indemnity_finds_shared_intermediary() {
+        let (mut spec, [c, b, _p, t1, _t2], _, [sale, _supply]) = example1();
+        let ind = spec
+            .add_indemnity(b, sale, Money::from_dollars(20))
+            .unwrap();
+        assert_eq!(ind.beneficiary, c);
+        assert_eq!(ind.via, t1);
+        assert_eq!(spec.indemnified_deals().len(), 1);
+    }
+
+    #[test]
+    fn indemnity_requires_shared_intermediary_and_positive_amount() {
+        let (mut spec, [_c, b, p, ..], _, [sale, supply]) = example1();
+        assert_eq!(
+            spec.add_indemnity(b, sale, Money::ZERO),
+            Err(ModelError::NonPositiveIndemnity(sale))
+        );
+        // The producer shares no trusted intermediary with the consumer
+        // (the buyer of `sale`).
+        assert!(matches!(
+            spec.add_indemnity(p, sale, Money::from_dollars(1)),
+            Err(ModelError::NoSharedIntermediary { .. })
+        ));
+        // But the producer and broker share t2, so covering `supply` works.
+        spec.add_indemnity(p, supply, Money::from_dollars(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn assembly_validation() {
+        let (mut spec, [_c, b, _p, ..], doc, _) = example1();
+        let text = spec.add_item("text", "Text").unwrap();
+        let diagrams = spec.add_item("diagrams", "Diagrams").unwrap();
+
+        // Valid assembly.
+        spec.add_assembly(b, vec![text, diagrams], doc).unwrap();
+        assert_eq!(spec.assemblies().len(), 1);
+        assert!(spec.assembly_of(b, doc).is_some());
+        assert!(spec.assembly_of(_c, doc).is_none());
+
+        // Duplicate output.
+        assert!(matches!(
+            spec.add_assembly(b, vec![text], doc),
+            Err(ModelError::BadAssembly { .. })
+        ));
+        // Empty inputs.
+        let combo = spec.add_item("combo", "Combo").unwrap();
+        assert!(matches!(
+            spec.add_assembly(b, vec![], combo),
+            Err(ModelError::BadAssembly { .. })
+        ));
+        // Output among inputs.
+        assert!(matches!(
+            spec.add_assembly(b, vec![combo], combo),
+            Err(ModelError::BadAssembly { .. })
+        ));
+        // Repeated inputs.
+        assert!(matches!(
+            spec.add_assembly(b, vec![text, text], combo),
+            Err(ModelError::BadAssembly { .. })
+        ));
+        // Cycle: doc is assembled from text; text from doc would cycle.
+        assert!(matches!(
+            spec.add_assembly(b, vec![doc], text),
+            Err(ModelError::BadAssembly { .. })
+        ));
+        // Chains (no cycle) are fine: combo composed from the composite doc
+        // plus diagrams (reusing an input of another assembly is allowed).
+        spec.add_assembly(b, vec![doc, diagrams], combo).unwrap();
+        assert_eq!(spec.assemblies().len(), 2);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let spec = ExchangeSpec::new("empty");
+        assert_eq!(spec.validate(), Err(ModelError::EmptySpec));
+        assert!(spec.interaction_graph().is_err());
+    }
+
+    #[test]
+    fn accessors_and_lookups() {
+        let (spec, [c, b, _p, t1, _t2], doc, [sale, _]) = example1();
+        assert_eq!(spec.name(), "example1");
+        assert_eq!(spec.participant_by_name("broker").unwrap().id(), b);
+        assert_eq!(spec.item_by_key("doc").unwrap().id(), doc);
+        assert_eq!(spec.item(doc).unwrap().title(), "The Document");
+        assert_eq!(spec.deal(sale).unwrap().buyer(), c);
+        assert_eq!(spec.purchases_of(c).count(), 1);
+        assert_eq!(spec.sales_of(b).count(), 1);
+        assert_eq!(spec.purchases_of(b).count(), 1);
+        assert_eq!(spec.deals_via(t1).count(), 1);
+        assert_eq!(spec.principals().count(), 3);
+        assert_eq!(spec.trusted_components().count(), 2);
+        assert!(spec.participant(AgentId::new(99)).is_err());
+        assert!(spec.deal(DealId::new(99)).is_err());
+        assert!(spec.item(ItemId::new(99)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let (mut spec, [_c, b, p, ..], _, [sale, _]) = example1();
+        spec.add_trust(p, b).unwrap();
+        spec.add_indemnity(b, sale, Money::from_dollars(5)).unwrap();
+        let s = spec.to_string();
+        assert!(s.contains("exchange \"example1\""));
+        assert!(s.contains("consumer"));
+        assert!(s.contains("sells"));
+        assert!(s.contains("constraint"));
+        assert!(s.contains("trust:"));
+        assert!(s.contains("indemnity"));
+    }
+}

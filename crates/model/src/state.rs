@@ -1,0 +1,491 @@
+//! Exchange states and per-party acceptability (§2.3).
+
+use crate::{Action, AgentId, ItemId, Money};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The state of an exchange: the unordered set of actions executed so far.
+///
+/// Following §2.3 of the paper, a state is a plain set — ordering is captured
+/// separately by execution sequences. `ExchangeState` is a thin wrapper over
+/// a sorted set so that states print deterministically and compare
+/// structurally.
+///
+/// ```
+/// use trustseq_model::{Action, AgentId, ExchangeState, ItemId, Money};
+///
+/// let c = AgentId::new(0);
+/// let p = AgentId::new(1);
+/// let mut state = ExchangeState::new();
+/// state.record(Action::give(p, c, ItemId::new(0)));
+/// state.record(Action::pay(c, p, Money::from_dollars(20)));
+/// assert_eq!(state.len(), 2);
+/// assert!(state.contains(&Action::give(p, c, ItemId::new(0))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangeState {
+    actions: BTreeSet<Action>,
+}
+
+impl ExchangeState {
+    /// The empty (status quo) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an executed action. Returns `false` if it was already present.
+    pub fn record(&mut self, action: Action) -> bool {
+        self.actions.insert(action)
+    }
+
+    /// Whether `action` has been executed.
+    pub fn contains(&self, action: &Action) -> bool {
+        self.actions.contains(action)
+    }
+
+    /// Number of recorded actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when no action has been executed (the status quo).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over the recorded actions in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// `true` if every action of `other` is contained in `self`.
+    pub fn is_superset(&self, other: &ExchangeState) -> bool {
+        self.actions.is_superset(&other.actions)
+    }
+
+    /// The actions in `self` that involve `party` (as actor or recipient).
+    pub fn actions_by(&self, party: AgentId) -> impl Iterator<Item = &Action> {
+        self.actions.iter().filter(move |a| a.involves(party))
+    }
+
+    /// Computes the net material position change of `party` in this state.
+    ///
+    /// Forward actions move assets, inverse actions move them back; a
+    /// `give`/`give⁻¹` (or `pay`/`pay⁻¹`) pair therefore cancels. `notify`
+    /// has no material effect.
+    pub fn net_position(&self, party: AgentId) -> NetPosition {
+        let mut pos = NetPosition::default();
+        for action in &self.actions {
+            match *action {
+                Action::Give { from, to, item } => {
+                    let undone = self.contains(&Action::InverseGive { from, to, item });
+                    if !undone {
+                        if from == party {
+                            pos.items_lost.insert(item);
+                        }
+                        if to == party {
+                            pos.items_gained.insert(item);
+                        }
+                    }
+                }
+                Action::Pay { from, to, amount } => {
+                    let undone = self.contains(&Action::InversePay { from, to, amount });
+                    if !undone {
+                        if from == party {
+                            pos.money -= amount;
+                        }
+                        if to == party {
+                            pos.money += amount;
+                        }
+                    }
+                }
+                // Inverses are handled by cancelling their forward action;
+                // an inverse without its forward action is ill-formed and
+                // ignored here (the simulator's ledger rejects it earlier).
+                Action::InverseGive { .. } | Action::InversePay { .. } | Action::Notify { .. } => {}
+            }
+        }
+        pos
+    }
+}
+
+impl FromIterator<Action> for ExchangeState {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        ExchangeState {
+            actions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Action> for ExchangeState {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        self.actions.extend(iter);
+    }
+}
+
+impl fmt::Display for ExchangeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Net material change for one party: money delta plus items gained/lost,
+/// after cancelling compensated actions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetPosition {
+    /// Net money received minus money paid.
+    pub money: Money,
+    /// Items this party ended up holding that it did not hold before.
+    pub items_gained: BTreeSet<ItemId>,
+    /// Items this party gave away and did not get back.
+    pub items_lost: BTreeSet<ItemId>,
+}
+
+impl NetPosition {
+    /// `true` when the party is exactly where it started.
+    pub fn is_status_quo(&self) -> bool {
+        self.money.is_zero() && self.items_gained.is_empty() && self.items_lost.is_empty()
+    }
+}
+
+/// A partial state description: one element of a party's acceptable set.
+///
+/// Per §2.3, a final state is acceptable to a party if it contains a superset
+/// of the actions of some partial description *and no other action involving
+/// that party*.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialState {
+    actions: BTreeSet<Action>,
+}
+
+impl PartialState {
+    /// The empty description — matched only by states where the party did
+    /// nothing (the status quo for that party).
+    pub fn status_quo() -> Self {
+        Self::default()
+    }
+
+    /// Builds a partial state from actions.
+    pub fn from_actions(actions: impl IntoIterator<Item = Action>) -> Self {
+        PartialState {
+            actions: actions.into_iter().collect(),
+        }
+    }
+
+    /// The actions required by this description.
+    pub fn actions(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// Whether `state` matches this description for `party`: it contains all
+    /// required actions, and every *transfer* action of `state` involving
+    /// `party` is among them.
+    ///
+    /// `notify` actions are informational rather than material and are
+    /// ignored on the state side unless the description explicitly requires
+    /// them (as the trusted-component guarantees of §2.5 do).
+    pub fn matches(&self, state: &ExchangeState, party: AgentId) -> bool {
+        self.actions.iter().all(|a| state.contains(a))
+            && state
+                .actions_by(party)
+                .all(|a| !a.is_transfer() || self.actions.contains(a))
+    }
+}
+
+impl FromIterator<Action> for PartialState {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        Self::from_actions(iter)
+    }
+}
+
+impl fmt::Display for PartialState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A party's acceptability specification: its acceptable partial states and
+/// which of them it prefers (§2.3).
+///
+/// The preferred state prevents degenerate protocols (e.g. a seller always
+/// refunding): among acceptable executions, the one reaching the preferred
+/// state should be chosen when every party complies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptanceSpec {
+    party: AgentId,
+    acceptable: Vec<PartialState>,
+    preferred: usize,
+}
+
+impl AcceptanceSpec {
+    /// Creates a specification. `preferred` is an index into `acceptable`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acceptable` is empty or `preferred` is out of bounds.
+    pub fn new(party: AgentId, acceptable: Vec<PartialState>, preferred: usize) -> Self {
+        assert!(
+            !acceptable.is_empty(),
+            "a party must accept at least one final state"
+        );
+        assert!(
+            preferred < acceptable.len(),
+            "preferred index {preferred} out of bounds ({} states)",
+            acceptable.len()
+        );
+        AcceptanceSpec {
+            party,
+            acceptable,
+            preferred,
+        }
+    }
+
+    /// The party this specification belongs to.
+    pub fn party(&self) -> AgentId {
+        self.party
+    }
+
+    /// The acceptable partial states.
+    pub fn acceptable(&self) -> &[PartialState] {
+        &self.acceptable
+    }
+
+    /// The preferred partial state.
+    pub fn preferred(&self) -> &PartialState {
+        &self.acceptable[self.preferred]
+    }
+
+    /// Classifies a final `state` for this party.
+    pub fn classify(&self, state: &ExchangeState) -> Outcome {
+        if self.preferred().matches(state, self.party) {
+            Outcome::Preferred
+        } else if self
+            .acceptable
+            .iter()
+            .any(|p| p.matches(state, self.party))
+        {
+            Outcome::Acceptable
+        } else {
+            Outcome::Unacceptable
+        }
+    }
+}
+
+/// How a final state rates for one party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The state the party most wants (usually the completed exchange).
+    Preferred,
+    /// Acceptable but not preferred (e.g. refunded, or status quo).
+    Acceptable,
+    /// The party lost something it was not compensated for — the protocol
+    /// failed to protect it.
+    Unacceptable,
+}
+
+impl Outcome {
+    /// `true` unless the outcome is [`Outcome::Unacceptable`].
+    pub fn is_acceptable(self) -> bool {
+        !matches!(self, Outcome::Unacceptable)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::Preferred => "preferred",
+            Outcome::Acceptable => "acceptable",
+            Outcome::Unacceptable => "UNACCEPTABLE",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (AgentId, AgentId, ItemId, Money) {
+        (
+            AgentId::new(0), // customer
+            AgentId::new(1), // producer
+            ItemId::new(0),
+            Money::from_dollars(20),
+        )
+    }
+
+    /// The four acceptable customer states from §2.3 of the paper.
+    fn customer_spec() -> AcceptanceSpec {
+        let (c, p, d, m) = ids();
+        let done = PartialState::from_actions([Action::give(p, c, d), Action::pay(c, p, m)]);
+        let refunded = PartialState::from_actions([
+            Action::pay(c, p, m),
+            Action::pay(c, p, m).inverse().unwrap(),
+        ]);
+        let status_quo = PartialState::status_quo();
+        let windfall = PartialState::from_actions([Action::give(p, c, d)]);
+        AcceptanceSpec::new(c, vec![done, refunded, status_quo, windfall], 0)
+    }
+
+    #[test]
+    fn completed_exchange_is_preferred() {
+        let (c, p, d, m) = ids();
+        let spec = customer_spec();
+        let state: ExchangeState = [Action::give(p, c, d), Action::pay(c, p, m)]
+            .into_iter()
+            .collect();
+        assert_eq!(spec.classify(&state), Outcome::Preferred);
+    }
+
+    #[test]
+    fn refund_is_acceptable_not_preferred() {
+        let (c, p, _, m) = ids();
+        let spec = customer_spec();
+        let state: ExchangeState = [
+            Action::pay(c, p, m),
+            Action::pay(c, p, m).inverse().unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(spec.classify(&state), Outcome::Acceptable);
+    }
+
+    #[test]
+    fn status_quo_is_acceptable() {
+        let spec = customer_spec();
+        assert_eq!(spec.classify(&ExchangeState::new()), Outcome::Acceptable);
+    }
+
+    #[test]
+    fn paying_without_goods_is_unacceptable() {
+        let (c, p, _, m) = ids();
+        let spec = customer_spec();
+        let state: ExchangeState = [Action::pay(c, p, m)].into_iter().collect();
+        assert_eq!(spec.classify(&state), Outcome::Unacceptable);
+    }
+
+    #[test]
+    fn extra_party_action_breaks_the_match() {
+        let (c, p, d, m) = ids();
+        let spec = customer_spec();
+        // Completed exchange *plus* an extra uncompensated payment by the
+        // customer: not acceptable, the partial description must cover every
+        // action involving the party.
+        let state: ExchangeState = [
+            Action::give(p, c, d),
+            Action::pay(c, p, m),
+            Action::pay(c, p, Money::from_dollars(5)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(spec.classify(&state), Outcome::Unacceptable);
+    }
+
+    #[test]
+    fn unrelated_actions_do_not_affect_the_match() {
+        let (c, p, d, m) = ids();
+        let spec = customer_spec();
+        let x = AgentId::new(7);
+        let y = AgentId::new(8);
+        let state: ExchangeState = [
+            Action::give(p, c, d),
+            Action::pay(c, p, m),
+            Action::pay(x, y, Money::from_dollars(99)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(spec.classify(&state), Outcome::Preferred);
+    }
+
+    #[test]
+    fn net_position_cancels_compensations() {
+        let (c, p, d, m) = ids();
+        let state: ExchangeState = [
+            Action::pay(c, p, m),
+            Action::pay(c, p, m).inverse().unwrap(),
+            Action::give(p, c, d),
+        ]
+        .into_iter()
+        .collect();
+        let pos_c = state.net_position(c);
+        assert_eq!(pos_c.money, Money::ZERO);
+        assert!(pos_c.items_gained.contains(&d));
+        let pos_p = state.net_position(p);
+        assert!(pos_p.items_lost.contains(&d));
+        assert_eq!(pos_p.money, Money::ZERO);
+    }
+
+    #[test]
+    fn net_position_of_completed_sale() {
+        let (c, p, d, m) = ids();
+        let state: ExchangeState = [Action::pay(c, p, m), Action::give(p, c, d)]
+            .into_iter()
+            .collect();
+        let pos_c = state.net_position(c);
+        assert_eq!(pos_c.money, -m);
+        assert!(pos_c.items_gained.contains(&d));
+        assert!(!pos_c.is_status_quo());
+        let pos_p = state.net_position(p);
+        assert_eq!(pos_p.money, m);
+        assert!(pos_p.items_lost.contains(&d));
+    }
+
+    #[test]
+    fn empty_state_is_status_quo_for_everyone() {
+        let (c, ..) = ids();
+        assert!(ExchangeState::new().net_position(c).is_status_quo());
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let (c, p, _, m) = ids();
+        let mut state = ExchangeState::new();
+        assert!(state.record(Action::pay(c, p, m)));
+        assert!(!state.record(Action::pay(c, p, m)));
+        assert_eq!(state.len(), 1);
+    }
+
+    #[test]
+    fn state_display_is_sorted_and_braced() {
+        let (c, p, d, m) = ids();
+        let state: ExchangeState = [Action::pay(c, p, m), Action::give(p, c, d)]
+            .into_iter()
+            .collect();
+        let s = state.to_string();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("give[a1->a0](i0)"));
+        assert!(s.contains("pay[a0->a1]($20.00)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one final state")]
+    fn empty_acceptance_spec_panics() {
+        let _ = AcceptanceSpec::new(AgentId::new(0), vec![], 0);
+    }
+
+    #[test]
+    fn superset_check() {
+        let (c, p, d, m) = ids();
+        let small: ExchangeState = [Action::pay(c, p, m)].into_iter().collect();
+        let big: ExchangeState = [Action::pay(c, p, m), Action::give(p, c, d)]
+            .into_iter()
+            .collect();
+        assert!(big.is_superset(&small));
+        assert!(!small.is_superset(&big));
+        assert!(big.is_superset(&big));
+    }
+}

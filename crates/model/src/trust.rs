@@ -1,0 +1,157 @@
+//! The directed trust relation between principals (§4.2.3).
+
+use crate::AgentId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A directed trust relation between principals.
+///
+/// Trust need not be symmetric: `a` trusting `b` lets `b` play the role of
+/// the trusted intermediary in exchanges between them, which — as §4.2.3 of
+/// the paper shows — can make a transaction feasible in one direction and
+/// leave it infeasible in the other.
+///
+/// ```
+/// use trustseq_model::{AgentId, TrustRelation};
+///
+/// let source = AgentId::new(0);
+/// let broker = AgentId::new(1);
+/// let mut trust = TrustRelation::new();
+/// trust.add(source, broker); // the source trusts the broker…
+/// assert!(trust.trusts(source, broker));
+/// assert!(!trust.trusts(broker, source)); // …but not vice versa
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustRelation {
+    pairs: BTreeSet<(AgentId, AgentId)>,
+}
+
+impl TrustRelation {
+    /// Creates an empty relation (universal distrust).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `truster` directly trusts `trustee`.
+    ///
+    /// Returns `false` if the pair was already present. Self-trust is
+    /// ignored (every agent trivially trusts itself).
+    pub fn add(&mut self, truster: AgentId, trustee: AgentId) -> bool {
+        if truster == trustee {
+            return false;
+        }
+        self.pairs.insert((truster, trustee))
+    }
+
+    /// Records mutual trust between `a` and `b`.
+    pub fn add_mutual(&mut self, a: AgentId, b: AgentId) {
+        self.add(a, b);
+        self.add(b, a);
+    }
+
+    /// Whether `truster` directly trusts `trustee`.
+    ///
+    /// Self-trust always holds.
+    pub fn trusts(&self, truster: AgentId, trustee: AgentId) -> bool {
+        truster == trustee || self.pairs.contains(&(truster, trustee))
+    }
+
+    /// Whether the trust between `a` and `b` is mutual.
+    pub fn mutual(&self, a: AgentId, b: AgentId) -> bool {
+        self.trusts(a, b) && self.trusts(b, a)
+    }
+
+    /// Number of directed trust pairs recorded.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no trust pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over `(truster, trustee)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (AgentId, AgentId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl FromIterator<(AgentId, AgentId)> for TrustRelation {
+    fn from_iter<I: IntoIterator<Item = (AgentId, AgentId)>>(iter: I) -> Self {
+        let mut rel = TrustRelation::new();
+        for (a, b) in iter {
+            rel.add(a, b);
+        }
+        rel
+    }
+}
+
+impl Extend<(AgentId, AgentId)> for TrustRelation {
+    fn extend<I: IntoIterator<Item = (AgentId, AgentId)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.add(a, b);
+        }
+    }
+}
+
+impl fmt::Display for TrustRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return f.write_str("(no direct trust)");
+        }
+        for (i, (a, b)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a} trusts {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trust_is_directed() {
+        let mut t = TrustRelation::new();
+        assert!(t.add(AgentId::new(0), AgentId::new(1)));
+        assert!(t.trusts(AgentId::new(0), AgentId::new(1)));
+        assert!(!t.trusts(AgentId::new(1), AgentId::new(0)));
+        assert!(!t.mutual(AgentId::new(0), AgentId::new(1)));
+    }
+
+    #[test]
+    fn self_trust_is_implicit_and_not_stored() {
+        let mut t = TrustRelation::new();
+        assert!(!t.add(AgentId::new(3), AgentId::new(3)));
+        assert!(t.trusts(AgentId::new(3), AgentId::new(3)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn mutual_trust() {
+        let mut t = TrustRelation::new();
+        t.add_mutual(AgentId::new(0), AgentId::new(1));
+        assert!(t.mutual(AgentId::new(0), AgentId::new(1)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_add_returns_false() {
+        let mut t = TrustRelation::new();
+        assert!(t.add(AgentId::new(0), AgentId::new(1)));
+        assert!(!t.add(AgentId::new(0), AgentId::new(1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let t: TrustRelation = [(AgentId::new(1), AgentId::new(0))].into_iter().collect();
+        assert_eq!(t.to_string(), "a1 trusts a0");
+        assert_eq!(TrustRelation::new().to_string(), "(no direct trust)");
+    }
+}

@@ -1,0 +1,218 @@
+//! Compilation of exchange problems into Petri nets (§7.4).
+//!
+//! The paper notes that exchanges "can be captured in a Petri net formalism"
+//! and that feasibility becomes a *coverability* question — "whether a token
+//! is ever in the 'exchange completed' place". This module performs that
+//! encoding mechanically:
+//!
+//! * every sequencing-graph **edge** becomes a `live`/`dead` place pair
+//!   (plain nets cannot test absence, so removal is represented by a token
+//!   in the complement place);
+//! * every potential application of reduction **rule #1 / rule #2** becomes
+//!   a transition consuming the edge's `live` token and producing its
+//!   `dead` token, with *read arcs* (consume-and-reproduce) on the `dead`
+//!   places of the edges whose prior removal the rule requires;
+//! * red-edge pre-emption (and its clause-2 waiver) appears as read arcs on
+//!   the red siblings' `dead` places;
+//! * a final `complete` transition reads every `dead` place and drops a
+//!   token into the **exchange-completed** place.
+//!
+//! Feasibility of the exchange is then exactly coverability of the
+//! exchange-completed place — checked by
+//! [`coverable`](crate::coverable) with breadth-first exploration, a
+//! genuinely different algorithm from the greedy reduction, which makes the
+//! agreement test in `trustseq-petri`'s integration suite a meaningful
+//! cross-check.
+
+use crate::net::{Marking, PetriNet, PlaceId};
+use crate::PetriError;
+use trustseq_core::{EdgeColor, SequencingGraph};
+use trustseq_model::ExchangeSpec;
+
+/// A compiled exchange net: the Petri net plus its initial marking and the
+/// goal marking whose coverability means "exchange completed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeNet {
+    /// The net.
+    pub net: PetriNet,
+    /// The initial marking (all edges live).
+    pub initial: Marking,
+    /// The goal marking (one token in the exchange-completed place).
+    pub goal: Marking,
+    /// The exchange-completed place.
+    pub completed: PlaceId,
+}
+
+/// Compiles `spec`'s sequencing graph into an [`ExchangeNet`].
+///
+/// # Errors
+///
+/// Propagates graph-construction errors as [`PetriError::Core`].
+pub fn compile(spec: &ExchangeSpec) -> Result<ExchangeNet, PetriError> {
+    let graph = SequencingGraph::from_spec(spec)?;
+    compile_graph(&graph)
+}
+
+/// Like [`compile`], but with explicit
+/// [`BuildOptions`](trustseq_core::BuildOptions) (e.g. the §9 shared-escrow
+/// delegation extension).
+///
+/// # Errors
+///
+/// Propagates graph-construction errors as [`PetriError::Core`].
+pub fn compile_with(
+    spec: &ExchangeSpec,
+    options: trustseq_core::BuildOptions,
+) -> Result<ExchangeNet, PetriError> {
+    let graph = SequencingGraph::from_spec_with(spec, options)?;
+    compile_graph(&graph)
+}
+
+/// Compiles a sequencing graph into an [`ExchangeNet`].
+///
+/// # Errors
+///
+/// [`PetriError::UnknownPlace`] only on internal inconsistency (never for a
+/// well-formed graph).
+pub fn compile_graph(graph: &SequencingGraph) -> Result<ExchangeNet, PetriError> {
+    let mut net = PetriNet::new();
+    let edges = graph.edges();
+
+    let live: Vec<PlaceId> = edges
+        .iter()
+        .map(|e| net.add_place(format!("live_{}", e.id)))
+        .collect();
+    let dead: Vec<PlaceId> = edges
+        .iter()
+        .map(|e| net.add_place(format!("dead_{}", e.id)))
+        .collect();
+    let completed = net.add_place("exchange_completed");
+
+    // Read arc helper: consume and reproduce a token.
+    let read = |places: &mut Vec<(PlaceId, u32)>, back: &mut Vec<(PlaceId, u32)>, p: PlaceId| {
+        places.push((p, 1));
+        back.push((p, 1));
+    };
+
+    for e in edges {
+        let ei = e.id.index();
+
+        // Rule #1: the commitment is on the fringe — every *other* edge of
+        // the commitment is dead — and either no *other* red edge at the
+        // conjunction is live (read their dead places) or the commitment
+        // has the clause-2 waiver.
+        {
+            let mut inputs = vec![(live[ei], 1)];
+            let mut outputs = vec![(dead[ei], 1)];
+            for other in edges.iter().filter(|o| {
+                o.commitment == e.commitment && o.id != e.id
+            }) {
+                read(&mut inputs, &mut outputs, dead[other.id.index()]);
+            }
+            if !graph.commitment(e.commitment).clause2_waiver {
+                for red in edges.iter().filter(|o| {
+                    o.conjunction == e.conjunction
+                        && o.id != e.id
+                        && o.color == EdgeColor::Red
+                }) {
+                    read(&mut inputs, &mut outputs, dead[red.id.index()]);
+                }
+            }
+            net.add_transition(format!("rule1_{}", e.id), inputs, outputs)?;
+        }
+
+        // Rule #2: the conjunction is on the fringe — every other edge of
+        // the conjunction is dead.
+        {
+            let mut inputs = vec![(live[ei], 1)];
+            let mut outputs = vec![(dead[ei], 1)];
+            for other in edges.iter().filter(|o| {
+                o.conjunction == e.conjunction && o.id != e.id
+            }) {
+                read(&mut inputs, &mut outputs, dead[other.id.index()]);
+            }
+            net.add_transition(format!("rule2_{}", e.id), inputs, outputs)?;
+        }
+    }
+
+    // Completion: read every dead place, mark the exchange completed.
+    {
+        let mut inputs = Vec::new();
+        let mut outputs = vec![(completed, 1)];
+        for &d in &dead {
+            inputs.push((d, 1));
+            outputs.push((d, 1));
+        }
+        net.add_transition("complete", inputs, outputs)?;
+    }
+
+    let mut initial = net.empty_marking();
+    for &l in &live {
+        initial.set(l, 1);
+    }
+    let mut goal = net.empty_marking();
+    goal.set(completed, 1);
+
+    Ok(ExchangeNet {
+        net,
+        initial,
+        goal,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn example1_net_shape() {
+        let (spec, _) = fixtures::example1();
+        let ex = compile(&spec).unwrap();
+        // 6 edges → 12 live/dead places + completed.
+        assert_eq!(ex.net.place_count(), 13);
+        // 2 rules per edge + completion.
+        assert_eq!(ex.net.transition_count(), 13);
+        assert_eq!(ex.initial.total(), 6);
+        assert_eq!(ex.goal.tokens(ex.completed), 1);
+    }
+
+    #[test]
+    fn initially_only_fringe_rules_enabled() {
+        let (spec, _) = fixtures::example1();
+        let ex = compile(&spec).unwrap();
+        let enabled = ex.net.enabled_transitions(&ex.initial);
+        // Exactly the two rule-1 applications on the outermost commitments
+        // (consumer→t1, t2→producer) are enabled at the start.
+        assert_eq!(enabled.len(), 2);
+        for t in enabled {
+            assert!(ex.net.transitions()[t.index()].label.starts_with("rule1"));
+        }
+    }
+
+    #[test]
+    fn extended_options_change_the_net_verdict() {
+        // The shared-escrow spec is infeasible under paper rules and
+        // feasible under delegation — and the nets agree on both counts.
+        let (spec, _) = fixtures::example2_shared_escrow();
+        let paper = compile(&spec).unwrap();
+        let report =
+            crate::coverable(&paper.net, &paper.initial, &paper.goal, 5_000_000).unwrap();
+        assert!(!report.coverable);
+        let extended =
+            compile_with(&spec, trustseq_core::BuildOptions::EXTENDED).unwrap();
+        let report =
+            crate::coverable(&extended.net, &extended.initial, &extended.goal, 5_000_000)
+                .unwrap();
+        assert!(report.coverable);
+    }
+
+    #[test]
+    fn example2_net_is_larger() {
+        let (spec, _) = fixtures::example2();
+        let ex = compile(&spec).unwrap();
+        assert_eq!(ex.net.place_count(), 14 * 2 + 1);
+        assert_eq!(ex.net.transition_count(), 14 * 2 + 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Bounded coverability search.
+
+use crate::net::{Marking, PetriNet};
+use crate::PetriError;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The result of a coverability search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverabilityReport {
+    /// Whether a reachable marking covers the goal.
+    pub coverable: bool,
+    /// Markings explored.
+    pub explored: usize,
+    /// Length of the shortest witness firing sequence (when coverable).
+    pub witness_len: Option<usize>,
+}
+
+/// Breadth-first coverability: is some marking covering `goal` reachable
+/// from `initial`?
+///
+/// General Petri-net coverability is EXPSPACE-hard (the paper calls the
+/// variant it needs "still an open problem"); the nets compiled from
+/// exchange problems are *monotone* — dead-places only gain tokens — so
+/// their reachable state space is tiny and breadth-first search with a
+/// visited set terminates quickly. `budget` caps the number of explored
+/// markings for safety on hand-built nets.
+///
+/// # Errors
+///
+/// [`PetriError::BudgetExhausted`] when more than `budget` markings would
+/// have to be explored.
+pub fn coverable(
+    net: &PetriNet,
+    initial: &Marking,
+    goal: &Marking,
+    budget: usize,
+) -> Result<CoverabilityReport, PetriError> {
+    let mut visited: BTreeSet<Marking> = BTreeSet::new();
+    let mut queue: VecDeque<(Marking, usize)> = VecDeque::new();
+    visited.insert(initial.clone());
+    queue.push_back((initial.clone(), 0));
+    let mut explored = 0usize;
+
+    while let Some((marking, depth)) = queue.pop_front() {
+        explored += 1;
+        if explored > budget {
+            return Err(PetriError::BudgetExhausted { budget });
+        }
+        if marking.covers(goal) {
+            return Ok(CoverabilityReport {
+                coverable: true,
+                explored,
+                witness_len: Some(depth),
+            });
+        }
+        for t in net.enabled_transitions(&marking) {
+            let next = net.fire(&marking, t).expect("enabled transition fires");
+            if visited.insert(next.clone()) {
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    Ok(CoverabilityReport {
+        coverable: false,
+        explored,
+        witness_len: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn example1_goal_is_coverable() {
+        let (spec, _) = fixtures::example1();
+        let ex = compile(&spec).unwrap();
+        let report = coverable(&ex.net, &ex.initial, &ex.goal, 100_000).unwrap();
+        assert!(report.coverable);
+        // Six rule firings plus the completion transition.
+        assert_eq!(report.witness_len, Some(7));
+    }
+
+    #[test]
+    fn example2_goal_is_not_coverable() {
+        let (spec, _) = fixtures::example2();
+        let ex = compile(&spec).unwrap();
+        let report = coverable(&ex.net, &ex.initial, &ex.goal, 1_000_000).unwrap();
+        assert!(!report.coverable);
+        assert!(report.explored > 0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (spec, _) = fixtures::example2();
+        let ex = compile(&spec).unwrap();
+        assert!(matches!(
+            coverable(&ex.net, &ex.initial, &ex.goal, 3),
+            Err(PetriError::BudgetExhausted { budget: 3 })
+        ));
+    }
+
+    #[test]
+    fn trivial_goal_covered_immediately() {
+        let (spec, _) = fixtures::example1();
+        let ex = compile(&spec).unwrap();
+        let empty_goal = ex.net.empty_marking();
+        let report = coverable(&ex.net, &ex.initial, &empty_goal, 10).unwrap();
+        assert!(report.coverable);
+        assert_eq!(report.witness_len, Some(0));
+    }
+}

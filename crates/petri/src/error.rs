@@ -1,0 +1,68 @@
+//! Error type for the Petri-net substrate.
+
+use crate::net::{PlaceId, TransitionId};
+use std::error::Error;
+use std::fmt;
+use trustseq_core::CoreError;
+
+/// Errors produced by the Petri-net substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// An arc referenced an undeclared place.
+    UnknownPlace(PlaceId),
+    /// A transition was fired without being enabled.
+    NotEnabled(TransitionId),
+    /// Coverability search exceeded its exploration budget.
+    BudgetExhausted {
+        /// The exhausted budget.
+        budget: usize,
+    },
+    /// A core-layer error while building the sequencing graph to compile.
+    Core(CoreError),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::UnknownPlace(p) => write!(f, "unknown place {p}"),
+            PetriError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            PetriError::BudgetExhausted { budget } => {
+                write!(f, "coverability budget of {budget} markings exhausted")
+            }
+            PetriError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for PetriError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PetriError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for PetriError {
+    fn from(e: CoreError) -> Self {
+        PetriError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(PetriError::UnknownPlace(PlaceId::new(1))
+            .to_string()
+            .contains("p1"));
+        assert!(PetriError::BudgetExhausted { budget: 9 }
+            .to_string()
+            .contains('9'));
+        let e: PetriError = CoreError::Infeasible { remaining_edges: 1 }.into();
+        assert!(e.source().is_some());
+    }
+}

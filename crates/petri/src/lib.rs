@@ -1,0 +1,42 @@
+//! Petri-net substrate for trust-explicit commerce exchanges (§7.4 of the
+//! paper).
+//!
+//! Provides a classical place/transition net ([`PetriNet`], [`Marking`]), a
+//! mechanical compiler from exchange problems to nets
+//! ([`compile::compile`]), and a bounded breadth-first [`coverable`] check.
+//! Feasibility of an exchange equals coverability of the compiled net's
+//! *exchange-completed* place — an independent algorithm used to cross-check
+//! the greedy sequencing-graph reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use trustseq_core::fixtures;
+//! use trustseq_petri::{compile, coverable};
+//!
+//! # fn main() -> Result<(), trustseq_petri::PetriError> {
+//! let (spec, _) = fixtures::example1();
+//! let exchange_net = compile::compile(&spec)?;
+//! let report = coverable(
+//!     &exchange_net.net,
+//!     &exchange_net.initial,
+//!     &exchange_net.goal,
+//!     100_000,
+//! )?;
+//! assert!(report.coverable); // Example #1 is feasible
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod compile;
+mod coverability;
+mod error;
+mod net;
+
+pub use compile::{compile_graph, compile_with, ExchangeNet};
+pub use coverability::{coverable, CoverabilityReport};
+pub use error::PetriError;
+pub use net::{Marking, PetriNet, PlaceId, Transition, TransitionId};

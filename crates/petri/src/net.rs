@@ -1,0 +1,404 @@
+//! Place/transition nets with weighted arcs, markings and firing.
+
+use crate::PetriError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlaceId(u32);
+
+impl PlaceId {
+    /// Creates a place id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        PlaceId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransitionId(u32);
+
+impl TransitionId {
+    /// Creates a transition id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        TransitionId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A transition with weighted input and output arcs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// The transition's id.
+    pub id: TransitionId,
+    /// Human-readable label.
+    pub label: String,
+    /// `(place, weight)` input arcs: tokens consumed.
+    pub inputs: Vec<(PlaceId, u32)>,
+    /// `(place, weight)` output arcs: tokens produced.
+    pub outputs: Vec<(PlaceId, u32)>,
+}
+
+/// A token marking: how many tokens each place holds.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Marking(Vec<u32>);
+
+impl Marking {
+    /// The empty marking over `places` places.
+    pub fn empty(places: usize) -> Self {
+        Marking(vec![0; places])
+    }
+
+    /// Tokens at `place`.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.0.get(place.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the token count of `place`.
+    pub fn set(&mut self, place: PlaceId, tokens: u32) {
+        self.0[place.index()] = tokens;
+    }
+
+    /// Adds tokens to `place`.
+    pub fn add(&mut self, place: PlaceId, tokens: u32) {
+        self.0[place.index()] += tokens;
+    }
+
+    /// Whether this marking covers `other` (component-wise ≥).
+    pub fn covers(&self, other: &Marking) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Total number of tokens.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, n) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A place/transition Petri net.
+///
+/// §7.4 of the paper observes that exchanges "can be captured in a Petri net
+/// formalism, with the added advantage that consumable resources (such as
+/// money) are modeled very naturally in the tokens". This is that substrate:
+/// a classical net with weighted arcs, used by the compiler in
+/// [`compile`](crate::compile) to cross-check sequencing-graph feasibility
+/// via bounded coverability.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PetriNet {
+    place_labels: Vec<String>,
+    transitions: Vec<Transition>,
+}
+
+impl PetriNet {
+    /// An empty net.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labelled place.
+    pub fn add_place(&mut self, label: impl Into<String>) -> PlaceId {
+        let id = PlaceId::new(self.place_labels.len() as u32);
+        self.place_labels.push(label.into());
+        id
+    }
+
+    /// Adds a transition with input and output arcs.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::UnknownPlace`] if any arc references an undeclared
+    /// place.
+    pub fn add_transition(
+        &mut self,
+        label: impl Into<String>,
+        inputs: Vec<(PlaceId, u32)>,
+        outputs: Vec<(PlaceId, u32)>,
+    ) -> Result<TransitionId, PetriError> {
+        for (p, _) in inputs.iter().chain(&outputs) {
+            if p.index() >= self.place_labels.len() {
+                return Err(PetriError::UnknownPlace(*p));
+            }
+        }
+        let id = TransitionId::new(self.transitions.len() as u32);
+        self.transitions.push(Transition {
+            id,
+            label: label.into(),
+            inputs,
+            outputs,
+        });
+        Ok(id)
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.place_labels.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// A place's label.
+    pub fn place_label(&self, place: PlaceId) -> &str {
+        &self.place_labels[place.index()]
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The empty marking for this net.
+    pub fn empty_marking(&self) -> Marking {
+        Marking::empty(self.place_count())
+    }
+
+    /// Whether `transition` is enabled in `marking`.
+    ///
+    /// Input arcs naming the same place are aggregated: a transition with
+    /// arcs `(p, 1)` and `(p, 2)` needs three tokens at `p`.
+    pub fn enabled(&self, marking: &Marking, transition: TransitionId) -> bool {
+        let mut needed: std::collections::BTreeMap<PlaceId, u32> =
+            std::collections::BTreeMap::new();
+        for &(p, w) in &self.transitions[transition.index()].inputs {
+            *needed.entry(p).or_insert(0) += w;
+        }
+        needed.iter().all(|(&p, &w)| marking.tokens(p) >= w)
+    }
+
+    /// Fires `transition`, returning the successor marking.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::NotEnabled`] when the transition lacks input tokens.
+    pub fn fire(&self, marking: &Marking, transition: TransitionId) -> Result<Marking, PetriError> {
+        if !self.enabled(marking, transition) {
+            return Err(PetriError::NotEnabled(transition));
+        }
+        let t = &self.transitions[transition.index()];
+        let mut next = marking.clone();
+        for &(p, w) in &t.inputs {
+            next.set(p, next.tokens(p) - w);
+        }
+        for &(p, w) in &t.outputs {
+            next.add(p, w);
+        }
+        Ok(next)
+    }
+
+    /// All transitions enabled in `marking`.
+    pub fn enabled_transitions(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions
+            .iter()
+            .filter(|t| self.enabled(marking, t.id))
+            .map(|t| t.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// p0 --t0--> p1 --t1--> p2, with t1 needing 2 tokens.
+    fn chain_net() -> (PetriNet, [PlaceId; 3], [TransitionId; 2]) {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("src");
+        let p1 = net.add_place("mid");
+        let p2 = net.add_place("dst");
+        let t0 = net
+            .add_transition("move", vec![(p0, 1)], vec![(p1, 1)])
+            .unwrap();
+        let t1 = net
+            .add_transition("pair", vec![(p1, 2)], vec![(p2, 1)])
+            .unwrap();
+        (net, [p0, p1, p2], [t0, t1])
+    }
+
+    #[test]
+    fn firing_moves_tokens() {
+        let (net, [p0, p1, _], [t0, _]) = chain_net();
+        let mut m = net.empty_marking();
+        m.set(p0, 2);
+        assert!(net.enabled(&m, t0));
+        let m2 = net.fire(&m, t0).unwrap();
+        assert_eq!(m2.tokens(p0), 1);
+        assert_eq!(m2.tokens(p1), 1);
+    }
+
+    #[test]
+    fn weighted_arcs_respected() {
+        let (net, [p0, p1, p2], [t0, t1]) = chain_net();
+        let mut m = net.empty_marking();
+        m.set(p0, 2);
+        let m = net.fire(&m, t0).unwrap();
+        assert!(!net.enabled(&m, t1)); // only 1 token at p1, needs 2
+        let m = net.fire(&m, t0).unwrap();
+        assert!(net.enabled(&m, t1));
+        let m = net.fire(&m, t1).unwrap();
+        assert_eq!(m.tokens(p1), 0);
+        assert_eq!(m.tokens(p2), 1);
+    }
+
+    #[test]
+    fn firing_disabled_transition_errors() {
+        let (net, _, [t0, _]) = chain_net();
+        let m = net.empty_marking();
+        assert_eq!(net.fire(&m, t0), Err(PetriError::NotEnabled(t0)));
+    }
+
+    #[test]
+    fn unknown_place_rejected() {
+        let mut net = PetriNet::new();
+        let err = net
+            .add_transition("bad", vec![(PlaceId::new(9), 1)], vec![])
+            .unwrap_err();
+        assert_eq!(err, PetriError::UnknownPlace(PlaceId::new(9)));
+    }
+
+    #[test]
+    fn covering_is_componentwise() {
+        let mut a = Marking::empty(3);
+        a.set(PlaceId::new(0), 2);
+        a.set(PlaceId::new(1), 1);
+        let mut b = Marking::empty(3);
+        b.set(PlaceId::new(0), 1);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn enabled_transitions_listing() {
+        let (net, [p0, _, _], [t0, _]) = chain_net();
+        let mut m = net.empty_marking();
+        assert!(net.enabled_transitions(&m).is_empty());
+        m.set(p0, 1);
+        assert_eq!(net.enabled_transitions(&m), vec![t0]);
+    }
+
+    #[test]
+    fn display_marking() {
+        let mut m = Marking::empty(3);
+        m.set(PlaceId::new(1), 4);
+        assert_eq!(m.to_string(), "[0 4 0]");
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A small random net plus an initial marking.
+    fn arb_net() -> impl Strategy<Value = (PetriNet, Marking)> {
+        let places = 2usize..6;
+        places.prop_flat_map(|p| {
+            let transitions = proptest::collection::vec(
+                (
+                    proptest::collection::vec((0..p, 1u32..3), 0..3), // inputs
+                    proptest::collection::vec((0..p, 1u32..3), 0..3), // outputs
+                ),
+                1..5,
+            );
+            let tokens = proptest::collection::vec(0u32..4, p);
+            (Just(p), transitions, tokens).prop_map(|(p, ts, tokens)| {
+                let mut net = PetriNet::new();
+                let ids: Vec<PlaceId> = (0..p)
+                    .map(|i| net.add_place(format!("p{i}")))
+                    .collect();
+                for (k, (ins, outs)) in ts.into_iter().enumerate() {
+                    let ins = ins.into_iter().map(|(i, w)| (ids[i], w)).collect();
+                    let outs = outs.into_iter().map(|(i, w)| (ids[i], w)).collect();
+                    net.add_transition(format!("t{k}"), ins, outs).unwrap();
+                }
+                let mut marking = net.empty_marking();
+                for (i, &n) in tokens.iter().enumerate() {
+                    marking.set(ids[i], n);
+                }
+                (net, marking)
+            })
+        })
+    }
+
+    proptest! {
+        /// Firing changes the token count by exactly the transition's
+        /// weight imbalance, and only enabled transitions fire.
+        #[test]
+        fn firing_accounts_exactly((net, marking) in arb_net()) {
+            for t in net.transitions() {
+                let enabled = net.enabled(&marking, t.id);
+                match net.fire(&marking, t.id) {
+                    Ok(next) => {
+                        prop_assert!(enabled);
+                        let consumed: u32 = t.inputs.iter().map(|&(_, w)| w).sum();
+                        let produced: u32 = t.outputs.iter().map(|&(_, w)| w).sum();
+                        prop_assert_eq!(
+                            next.total() as i64,
+                            marking.total() as i64 - consumed as i64 + produced as i64
+                        );
+                    }
+                    Err(PetriError::NotEnabled(_)) => prop_assert!(!enabled),
+                    Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+                }
+            }
+        }
+
+        /// `enabled_transitions` lists exactly the fireable transitions.
+        #[test]
+        fn enabled_listing_is_exact((net, marking) in arb_net()) {
+            let listed = net.enabled_transitions(&marking);
+            for t in net.transitions() {
+                prop_assert_eq!(listed.contains(&t.id), net.enabled(&marking, t.id));
+            }
+        }
+
+        /// Covering is reflexive and monotone under adding tokens.
+        #[test]
+        fn covering_is_reflexive_and_monotone((_net, marking) in arb_net()) {
+            prop_assert!(marking.covers(&marking));
+            let mut bigger = marking.clone();
+            bigger.add(PlaceId::new(0), 1);
+            prop_assert!(bigger.covers(&marking));
+            prop_assert!(!marking.covers(&bigger));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Agent behaviours: honest protocol followers and defectors.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustseq_model::AgentId;
+
+/// How a principal behaves during protocol execution.
+///
+/// Trusted components are always honest — that is what *trusted* means in
+/// the model (§2.5); a "trusted" component that defects is outside the
+/// paper's threat model. Principals, however, are independently motivated
+/// and may walk away at any deposit point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Behavior {
+    /// Follows the protocol, but only performs a deposit when its
+    /// protections are in place (required notifications received, required
+    /// assets held). This caution is part of honesty: the protocol never
+    /// asks an honest agent to move unprotected.
+    #[default]
+    Honest,
+    /// Performs the first `n` of its deposits honestly, then goes silent.
+    /// `SilentAfter(0)` never deposits anything.
+    SilentAfter(u32),
+}
+
+impl Behavior {
+    /// A principal that never deposits anything.
+    pub const ABSENT: Behavior = Behavior::SilentAfter(0);
+
+    /// Whether the agent will perform its `k`-th (0-based) deposit.
+    pub fn performs_deposit(&self, k: u32) -> bool {
+        match *self {
+            Behavior::Honest => true,
+            Behavior::SilentAfter(n) => k < n,
+        }
+    }
+
+    /// `true` for fully honest behaviour.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Behavior::Honest)
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behavior::Honest => f.write_str("honest"),
+            Behavior::SilentAfter(0) => f.write_str("absent"),
+            Behavior::SilentAfter(n) => write!(f, "silent after {n} deposits"),
+        }
+    }
+}
+
+/// The behaviour assignment of every principal (unlisted principals are
+/// honest).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehaviorMap {
+    map: BTreeMap<AgentId, Behavior>,
+}
+
+impl BehaviorMap {
+    /// Everybody honest.
+    pub fn all_honest() -> Self {
+        Self::default()
+    }
+
+    /// Sets one principal's behaviour (builder style).
+    #[must_use]
+    pub fn with(mut self, agent: AgentId, behavior: Behavior) -> Self {
+        self.map.insert(agent, behavior);
+        self
+    }
+
+    /// Sets one principal's behaviour.
+    pub fn set(&mut self, agent: AgentId, behavior: Behavior) {
+        self.map.insert(agent, behavior);
+    }
+
+    /// The behaviour of `agent` ([`Behavior::Honest`] by default).
+    pub fn of(&self, agent: AgentId) -> Behavior {
+        self.map.get(&agent).copied().unwrap_or_default()
+    }
+
+    /// The agents with a non-honest behaviour.
+    pub fn defectors(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.map
+            .iter()
+            .filter(|(_, b)| !b.is_honest())
+            .map(|(&a, _)| a)
+    }
+
+    /// `true` when nobody defects.
+    pub fn is_all_honest(&self) -> bool {
+        self.map.values().all(Behavior::is_honest)
+    }
+}
+
+impl FromIterator<(AgentId, Behavior)> for BehaviorMap {
+    fn from_iter<I: IntoIterator<Item = (AgentId, Behavior)>>(iter: I) -> Self {
+        BehaviorMap {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for BehaviorMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_all_honest() {
+            return f.write_str("all honest");
+        }
+        let parts: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(_, b)| !b.is_honest())
+            .map(|(a, b)| format!("{a}: {b}"))
+            .collect();
+        f.write_str(&parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_performs_everything() {
+        assert!(Behavior::Honest.performs_deposit(0));
+        assert!(Behavior::Honest.performs_deposit(100));
+        assert!(Behavior::Honest.is_honest());
+    }
+
+    #[test]
+    fn silent_after_cuts_off() {
+        let b = Behavior::SilentAfter(2);
+        assert!(b.performs_deposit(0));
+        assert!(b.performs_deposit(1));
+        assert!(!b.performs_deposit(2));
+        assert!(!b.is_honest());
+        assert!(!Behavior::ABSENT.performs_deposit(0));
+    }
+
+    #[test]
+    fn map_defaults_to_honest() {
+        let map = BehaviorMap::all_honest().with(AgentId::new(1), Behavior::ABSENT);
+        assert!(map.of(AgentId::new(0)).is_honest());
+        assert!(!map.of(AgentId::new(1)).is_honest());
+        assert_eq!(map.defectors().collect::<Vec<_>>(), vec![AgentId::new(1)]);
+        assert!(!map.is_all_honest());
+        assert!(BehaviorMap::all_honest().is_all_honest());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BehaviorMap::all_honest().to_string(), "all honest");
+        let map = BehaviorMap::all_honest().with(AgentId::new(1), Behavior::SilentAfter(1));
+        assert_eq!(map.to_string(), "a1: silent after 1 deposits");
+        assert_eq!(Behavior::ABSENT.to_string(), "absent");
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+use trustseq_core::CoreError;
+use trustseq_model::{Action, AgentId, ModelError};
+
+/// Errors produced by the simulator substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A model-layer error.
+    Model(ModelError),
+    /// A core-layer (synthesis) error.
+    Core(CoreError),
+    /// A participant tried to transfer assets it does not hold.
+    InsufficientAssets {
+        /// The offending action.
+        action: Action,
+    },
+    /// The ledger's conservation invariant broke (indicates a simulator
+    /// bug, never a protocol property).
+    ConservationViolated {
+        /// Which total drifted.
+        what: &'static str,
+    },
+    /// A wire frame could not be decoded.
+    MalformedFrame {
+        /// The frame's length.
+        len: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A *trusted component* failed to honour its guarantee — the simulator
+    /// treats this as a fatal modelling error.
+    TrustedMisbehaved {
+        /// The trusted component.
+        trusted: AgentId,
+        /// What it failed to do.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::InsufficientAssets { action } => {
+                write!(f, "insufficient assets to perform {action}")
+            }
+            SimError::ConservationViolated { what } => {
+                write!(f, "ledger conservation violated: {what}")
+            }
+            SimError::MalformedFrame { len, reason } => {
+                write!(f, "malformed {len}-byte frame: {reason}")
+            }
+            SimError::TrustedMisbehaved { trusted, what } => {
+                write!(f, "trusted component {trusted} misbehaved: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SimError::ConservationViolated { what: "cash" };
+        assert!(e.to_string().contains("cash"));
+        assert!(e.source().is_none());
+        let e: SimError = ModelError::EmptySpec.into();
+        assert!(e.source().is_some());
+        let e: SimError = CoreError::Infeasible { remaining_edges: 2 }.into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Adversarial sweep harness: exhaustively checks the safety property over
+//! defection patterns, in parallel.
+
+use crate::behavior::{Behavior, BehaviorMap};
+use crate::runner::Simulation;
+use crate::SimError;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustseq_core::Protocol;
+use trustseq_model::{AgentId, ExchangeSpec, Outcome};
+
+/// The result of an exhaustive defection sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Number of simulated runs.
+    pub runs: usize,
+    /// Behaviour assignments under which an honest principal ended in an
+    /// unacceptable state, with the harmed principal.
+    pub violations: Vec<(String, AgentId)>,
+    /// Whether the all-honest run reached every principal's preferred
+    /// state.
+    pub all_honest_preferred: bool,
+}
+
+impl SweepReport {
+    /// The safety property held across every run.
+    pub fn all_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs, {} violations, all-honest preferred: {}",
+            self.runs,
+            self.violations.len(),
+            self.all_honest_preferred
+        )
+    }
+}
+
+/// Enumerates every behaviour assignment in which each principal is either
+/// honest or silent after `k` deposits for every `k` up to its deposit
+/// count.
+///
+/// The enumeration is exponential in the number of principals; `max_runs`
+/// caps it (runs beyond the cap are skipped deterministically — the
+/// lowest-index patterns are kept).
+pub fn defection_patterns(
+    spec: &ExchangeSpec,
+    protocol: &Protocol,
+    max_runs: usize,
+) -> Vec<BehaviorMap> {
+    let principals: Vec<AgentId> = spec.principals().map(|p| p.id()).collect();
+    // Per principal: honest + SilentAfter(0..deposits).
+    let options: Vec<Vec<Behavior>> = principals
+        .iter()
+        .map(|&p| {
+            let deposits = protocol.deposits_of(p).count() as u32;
+            let mut v = vec![Behavior::Honest];
+            for k in 0..deposits {
+                v.push(Behavior::SilentAfter(k));
+            }
+            v
+        })
+        .collect();
+    let total: usize = options.iter().map(Vec::len).product();
+    let mut patterns = Vec::with_capacity(total.min(max_runs));
+    for mut index in 0..total.min(max_runs) {
+        let mut map = BehaviorMap::all_honest();
+        for (p, opts) in principals.iter().zip(&options) {
+            let choice = opts[index % opts.len()];
+            index /= opts.len();
+            if !choice.is_honest() {
+                map.set(*p, choice);
+            }
+        }
+        patterns.push(map);
+    }
+    patterns
+}
+
+/// Runs every defection pattern (capped at `max_runs`) and collects safety
+/// violations. Runs are distributed over `threads` worker threads with
+/// crossbeam's scoped threads.
+///
+/// # Errors
+///
+/// Propagates the first simulator-internal error encountered.
+pub fn sweep(
+    spec: &ExchangeSpec,
+    protocol: &Protocol,
+    max_runs: usize,
+    threads: usize,
+) -> Result<SweepReport, SimError> {
+    let patterns = defection_patterns(spec, protocol, max_runs);
+    let runs = patterns.len();
+    // Acceptance-spec generation is exponential in deals-per-principal;
+    // compute once for the whole sweep.
+    let acceptance = spec.acceptance_specs();
+    let violations: Mutex<Vec<(String, AgentId)>> = Mutex::new(Vec::new());
+    let all_honest_preferred: Mutex<bool> = Mutex::new(false);
+    let error: Mutex<Option<SimError>> = Mutex::new(None);
+
+    let threads = threads.max(1);
+    let chunk = runs.div_ceil(threads).max(1);
+    let violations_ref = &violations;
+    let all_honest_ref = &all_honest_preferred;
+    let error_ref = &error;
+    let acceptance_ref = &acceptance;
+    crossbeam::scope(|scope| {
+        for batch in patterns.chunks(chunk) {
+            scope.spawn(move |_| {
+                for behaviors in batch {
+                    let sim = Simulation::new(spec, protocol, behaviors.clone())
+                        .with_acceptance(acceptance_ref);
+                    match sim.run() {
+                        Ok(report) => {
+                            if behaviors.is_all_honest() {
+                                *all_honest_ref.lock() = report.all_preferred();
+                            }
+                            for (&agent, &outcome) in &report.outcomes {
+                                let honest = behaviors.of(agent).is_honest();
+                                if honest && outcome == Outcome::Unacceptable {
+                                    violations_ref
+                                        .lock()
+                                        .push((behaviors.to_string(), agent));
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            error_ref.lock().get_or_insert(e);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let mut violations = violations.into_inner();
+    violations.sort();
+    Ok(SweepReport {
+        runs,
+        violations,
+        all_honest_preferred: all_honest_preferred.into_inner(),
+    })
+}
+
+/// Convenience: synthesises the protocol and sweeps it.
+///
+/// ```
+/// use trustseq_core::fixtures;
+/// use trustseq_sim::sweep_spec;
+///
+/// # fn main() -> Result<(), trustseq_sim::SimError> {
+/// let (spec, _) = fixtures::example1();
+/// let report = sweep_spec(&spec, 10_000)?;
+/// assert!(report.all_safe()); // the paper's central claim, empirically
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`SimError::Core`] when the exchange is infeasible, plus sweep errors.
+pub fn sweep_spec(spec: &ExchangeSpec, max_runs: usize) -> Result<SweepReport, SimError> {
+    let sequence = trustseq_core::synthesize(spec)?;
+    let protocol = Protocol::from_sequence(spec, &sequence);
+    sweep(spec, &protocol, max_runs, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+    use trustseq_model::Money;
+
+    #[test]
+    fn example1_safe_under_all_defections() {
+        let (spec, _) = fixtures::example1();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        // 3 principals: consumer {H, S0}, broker {H, S0, S1}, producer
+        // {H, S0} → 2·3·2 = 12 patterns.
+        assert_eq!(report.runs, 12);
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+    }
+
+    #[test]
+    fn indemnified_example2_safe_under_all_defections() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+        assert!(report.runs > 50);
+    }
+
+    #[test]
+    fn figure7_with_greedy_plan_safe() {
+        let (mut spec, ids) = fixtures::figure7();
+        let plan = trustseq_core::indemnity::greedy_plan(&spec, ids.consumer);
+        plan.apply(&mut spec).unwrap();
+        let report = sweep_spec(&spec, 3_000).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+    }
+
+    /// §4.2.3 variant 1 is feasible, and the simulator surfaces a nuance
+    /// the paper leaves implicit: the paper's safety notion is about
+    /// *commitments* (an agreed commitment is binding), so once the
+    /// consumer complies with t1's notification its document-1 purchase
+    /// completes. If broker 2's side then walks away at execution time —
+    /// violating its commitment — the consumer is left holding document 1
+    /// without document 2. The consumer's *deposits* are individually
+    /// protected (escrow refunds), only the bundle linkage is exposed; an
+    /// indemnity from broker 2 closes exactly that gap.
+    #[test]
+    fn direct_trust_variant_exposes_bundle_risk_without_indemnity() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.source1, ids.broker1).unwrap();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        assert!(report.all_honest_preferred);
+        // Every violation is the consumer's bundle linkage, nothing else.
+        assert!(!report.violations.is_empty());
+        for (_, harmed) in &report.violations {
+            assert_eq!(*harmed, ids.consumer);
+        }
+
+        // Broker 2 indemnifying its sale closes the gap entirely.
+        spec.add_indemnity(ids.broker2, ids.sale2, Money::from_dollars(10))
+            .unwrap();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+    }
+
+    /// The §9 shared-escrow extension: one trusted component mediates the
+    /// whole bundle. Feasible only with delegation semantics, and safe
+    /// under every defection pattern — the escrow's all-or-nothing
+    /// guarantee replaces both the consumer's conjunction and the brokers'
+    /// red edges.
+    #[test]
+    fn shared_escrow_extension_safe_under_all_defections() {
+        let (spec, _) = fixtures::example2_shared_escrow();
+        let seq =
+            trustseq_core::synthesize_with(&spec, trustseq_core::BuildOptions::EXTENDED)
+                .unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let report = sweep(&spec, &protocol, 10_000, 4).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+        assert!(report.runs > 100);
+    }
+
+    /// §9's hierarchy of trust: a bridged cross-domain sale through two
+    /// linked escrows is safe under every defection pattern.
+    #[test]
+    fn cross_domain_bridge_safe_under_all_defections() {
+        let (spec, _) = fixtures::cross_domain_sale();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+    }
+
+    /// §3.2's composed documents: the publisher assembles the patent from
+    /// components bought from two sources. Safe under every defection
+    /// pattern — if either source defects, the publisher never buys, never
+    /// assembles, and everyone unwinds.
+    #[test]
+    fn patent_assembly_safe_under_all_defections() {
+        let (spec, _) = fixtures::patent_assembly();
+        let report = sweep_spec(&spec, 10_000).unwrap();
+        assert!(report.all_safe(), "violations: {:?}", report.violations);
+        assert!(report.all_honest_preferred);
+    }
+
+    #[test]
+    fn pattern_enumeration_caps() {
+        let (spec, _) = fixtures::example1();
+        let sequence = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &sequence);
+        let patterns = defection_patterns(&spec, &protocol, 5);
+        assert_eq!(patterns.len(), 5);
+        // The first pattern is all-honest.
+        assert!(patterns[0].is_all_honest());
+    }
+
+    #[test]
+    fn report_display() {
+        let (spec, _) = fixtures::example1();
+        let report = sweep_spec(&spec, 100).unwrap();
+        assert!(report.to_string().contains("12 runs"));
+    }
+}

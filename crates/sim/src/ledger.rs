@@ -1,0 +1,355 @@
+//! The asset ledger: who holds what, with conservation checking.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustseq_model::{Action, AgentId, Assembly, ExchangeSpec, ItemId, Money};
+
+/// Tracks every participant's cash balance and item holdings during a
+/// simulation, enforcing two invariants after every transfer:
+///
+/// * **conservation** — total cash and per-item counts never change;
+/// * **escrow solvency** — a participant cannot send cash it does not have
+///   or an item it does not hold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ledger {
+    cash: BTreeMap<AgentId, Money>,
+    items: BTreeMap<(AgentId, ItemId), u32>,
+    total_cash: Money,
+    /// Conserved *weighted* item mass: an assembly output weighs the sum of
+    /// its inputs (base items weigh 1), so composition (§3.2) conserves it.
+    total_mass: u64,
+    assemblies: Vec<Assembly>,
+    item_weight: BTreeMap<ItemId, u64>,
+}
+
+impl Ledger {
+    /// Sets up the ledger for a specification: every principal starts with
+    /// enough cash to cover all prices and indemnities (the paper's solvency
+    /// assumption — the "poor broker" is modelled as a graph constraint, not
+    /// as ledger poverty); each item's original holders get their copies.
+    pub fn for_spec(spec: &ExchangeSpec) -> Self {
+        let bankroll: Money = spec
+            .deals()
+            .iter()
+            .map(|d| d.price())
+            .chain(spec.indemnities().iter().map(|i| i.amount))
+            .sum();
+        let mut cash = BTreeMap::new();
+        for p in spec.principals() {
+            cash.insert(p.id(), bankroll);
+        }
+        for t in spec.trusted_components() {
+            cash.insert(t.id(), Money::ZERO);
+        }
+
+        // Original item holders: net sellers — except assembly outputs,
+        // which the assembler composes rather than originally holds.
+        let mut balance: BTreeMap<(AgentId, ItemId), i64> = BTreeMap::new();
+        for d in spec.deals() {
+            *balance.entry((d.seller(), d.item())).or_insert(0) += 1;
+            *balance.entry((d.buyer(), d.item())).or_insert(0) -= 1;
+        }
+        for a in spec.assemblies() {
+            balance.remove(&(a.assembler, a.output));
+        }
+        let mut items = BTreeMap::new();
+        for ((agent, item), n) in balance {
+            if n > 0 {
+                items.insert((agent, item), n as u32);
+            }
+        }
+
+        // Item weights: base items weigh 1; an assembly output weighs the
+        // sum of its inputs (acyclic by construction).
+        let assemblies: Vec<Assembly> = spec.assemblies().to_vec();
+        let mut item_weight: BTreeMap<ItemId, u64> = BTreeMap::new();
+        fn weight(
+            item: ItemId,
+            assemblies: &[Assembly],
+            memo: &mut BTreeMap<ItemId, u64>,
+        ) -> u64 {
+            if let Some(&w) = memo.get(&item) {
+                return w;
+            }
+            let w = match assemblies.iter().find(|a| a.output == item) {
+                Some(a) => a
+                    .inputs
+                    .iter()
+                    .map(|&i| weight(i, assemblies, memo))
+                    .sum(),
+                None => 1,
+            };
+            memo.insert(item, w);
+            w
+        }
+        for item in spec.items() {
+            weight(item.id(), &assemblies, &mut item_weight);
+        }
+
+        let total_cash = cash.values().copied().sum();
+        let total_mass = items
+            .iter()
+            .map(|(&(_, item), &n)| u64::from(n) * item_weight.get(&item).copied().unwrap_or(1))
+            .sum();
+        Ledger {
+            cash,
+            items,
+            total_cash,
+            total_mass,
+            assemblies,
+            item_weight,
+        }
+    }
+
+    /// The assembly `agent` could perform right now to obtain `item`, if
+    /// one is declared and its inputs are all held.
+    fn ready_assembly(&self, agent: AgentId, item: ItemId) -> Option<&Assembly> {
+        self.assemblies
+            .iter()
+            .find(|a| a.assembler == agent && a.output == item)
+            .filter(|a| a.inputs.iter().all(|&i| self.items_of(agent, i) > 0))
+    }
+
+    /// A participant's cash balance.
+    pub fn cash_of(&self, agent: AgentId) -> Money {
+        self.cash.get(&agent).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// How many copies of `item` a participant holds.
+    pub fn items_of(&self, agent: AgentId, item: ItemId) -> u32 {
+        self.items.get(&(agent, item)).copied().unwrap_or(0)
+    }
+
+    /// Whether `agent` can currently perform `action` (has the cash/item,
+    /// or can compose the item from held components, §3.2).
+    pub fn can_apply(&self, action: &Action) -> bool {
+        match *action {
+            Action::Give { from, item, .. } => {
+                self.items_of(from, item) > 0 || self.ready_assembly(from, item).is_some()
+            }
+            Action::Pay { from, amount, .. } => self.cash_of(from) >= amount,
+            // Inverses move assets back from the original receiver.
+            Action::InverseGive { to, item, .. } => self.items_of(to, item) > 0,
+            Action::InversePay { to, amount, .. } => self.cash_of(to) >= amount,
+            Action::Notify { .. } => true,
+        }
+    }
+
+    /// Applies a transfer action to the ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InsufficientAssets`] when the sender lacks the cash or
+    /// item; the ledger is unchanged in that case.
+    pub fn apply(&mut self, action: &Action) -> Result<(), SimError> {
+        if !self.can_apply(action) {
+            return Err(SimError::InsufficientAssets { action: *action });
+        }
+        match *action {
+            Action::Give { from, to, item } => {
+                if self.items_of(from, item) == 0 {
+                    // Compose the item from its components first.
+                    let assembly = self
+                        .ready_assembly(from, item)
+                        .expect("can_apply was checked")
+                        .clone();
+                    for &input in &assembly.inputs {
+                        let slot = self.items.entry((from, input)).or_insert(0);
+                        *slot -= 1;
+                        if *slot == 0 {
+                            self.items.remove(&(from, input));
+                        }
+                    }
+                    *self.items.entry((from, item)).or_insert(0) += 1;
+                }
+                self.move_item(from, to, item)
+            }
+            Action::InverseGive { from, to, item } => self.move_item(to, from, item),
+            Action::Pay { from, to, amount } => self.move_cash(from, to, amount),
+            Action::InversePay { from, to, amount } => self.move_cash(to, from, amount),
+            Action::Notify { .. } => {}
+        }
+        debug_assert!(self.check_conservation().is_ok());
+        Ok(())
+    }
+
+    fn move_item(&mut self, from: AgentId, to: AgentId, item: ItemId) {
+        let src = self.items.entry((from, item)).or_insert(0);
+        *src -= 1;
+        if *src == 0 {
+            self.items.remove(&(from, item));
+        }
+        *self.items.entry((to, item)).or_insert(0) += 1;
+    }
+
+    fn move_cash(&mut self, from: AgentId, to: AgentId, amount: Money) {
+        *self.cash.entry(from).or_insert(Money::ZERO) -= amount;
+        *self.cash.entry(to).or_insert(Money::ZERO) += amount;
+    }
+
+    /// Verifies conservation of cash and items.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ConservationViolated`] if any total drifted.
+    pub fn check_conservation(&self) -> Result<(), SimError> {
+        let cash_now: Money = self.cash.values().copied().sum();
+        if cash_now != self.total_cash {
+            return Err(SimError::ConservationViolated {
+                what: "cash total drifted",
+            });
+        }
+        let mass_now: u64 = self
+            .items
+            .iter()
+            .map(|(&(_, item), &n)| {
+                u64::from(n) * self.item_weight.get(&item).copied().unwrap_or(1)
+            })
+            .sum();
+        if mass_now != self.total_mass {
+            return Err(SimError::ConservationViolated {
+                what: "weighted item mass drifted",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ledger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (agent, cash) in &self.cash {
+            let items: Vec<String> = self
+                .items
+                .iter()
+                .filter(|((a, _), _)| a == agent)
+                .map(|((_, i), n)| format!("{i}x{n}"))
+                .collect();
+            writeln!(f, "  {agent}: {cash} [{}]", items.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::fixtures;
+
+    #[test]
+    fn initial_state_from_example1() {
+        let (spec, ids) = fixtures::example1();
+        let ledger = Ledger::for_spec(&spec);
+        // Bankroll covers both prices.
+        assert_eq!(ledger.cash_of(ids.consumer), Money::from_dollars(180));
+        assert_eq!(ledger.cash_of(ids.t1), Money::ZERO);
+        assert_eq!(ledger.items_of(ids.producer, ids.doc), 1);
+        assert_eq!(ledger.items_of(ids.broker, ids.doc), 0);
+        ledger.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn transfers_move_assets() {
+        let (spec, ids) = fixtures::example1();
+        let mut ledger = Ledger::for_spec(&spec);
+        ledger
+            .apply(&Action::give(ids.producer, ids.t2, ids.doc))
+            .unwrap();
+        assert_eq!(ledger.items_of(ids.t2, ids.doc), 1);
+        assert_eq!(ledger.items_of(ids.producer, ids.doc), 0);
+        ledger
+            .apply(&Action::pay(ids.consumer, ids.t1, Money::from_dollars(100)))
+            .unwrap();
+        assert_eq!(ledger.cash_of(ids.t1), Money::from_dollars(100));
+        ledger.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn inverse_actions_move_assets_back() {
+        let (spec, ids) = fixtures::example1();
+        let mut ledger = Ledger::for_spec(&spec);
+        let pay = Action::pay(ids.consumer, ids.t1, Money::from_dollars(100));
+        ledger.apply(&pay).unwrap();
+        ledger.apply(&pay.inverse().unwrap()).unwrap();
+        assert_eq!(ledger.cash_of(ids.consumer), Money::from_dollars(180));
+        assert_eq!(ledger.cash_of(ids.t1), Money::ZERO);
+
+        let give = Action::give(ids.producer, ids.t2, ids.doc);
+        ledger.apply(&give).unwrap();
+        ledger.apply(&give.inverse().unwrap()).unwrap();
+        assert_eq!(ledger.items_of(ids.producer, ids.doc), 1);
+    }
+
+    #[test]
+    fn overdrafts_are_rejected() {
+        let (spec, ids) = fixtures::example1();
+        let mut ledger = Ledger::for_spec(&spec);
+        // t1 has no cash: it cannot pay anyone.
+        let bad = Action::pay(ids.t1, ids.broker, Money::from_dollars(1));
+        assert!(!ledger.can_apply(&bad));
+        assert!(matches!(
+            ledger.apply(&bad),
+            Err(SimError::InsufficientAssets { .. })
+        ));
+        // The broker does not hold the document yet.
+        let bad = Action::give(ids.broker, ids.t1, ids.doc);
+        assert!(ledger.apply(&bad).is_err());
+    }
+
+    #[test]
+    fn refund_without_deposit_is_rejected() {
+        let (spec, ids) = fixtures::example1();
+        let mut ledger = Ledger::for_spec(&spec);
+        let refund = Action::pay(ids.consumer, ids.t1, Money::from_dollars(100))
+            .inverse()
+            .unwrap();
+        // t1 holds nothing to refund.
+        assert!(ledger.apply(&refund).is_err());
+    }
+
+    #[test]
+    fn notify_is_free() {
+        let (spec, ids) = fixtures::example1();
+        let mut ledger = Ledger::for_spec(&spec);
+        let before = ledger.clone();
+        ledger
+            .apply(&Action::notify(ids.t1, ids.broker))
+            .unwrap();
+        assert_eq!(ledger, before);
+    }
+
+    #[test]
+    fn assembly_composes_and_conserves_weighted_mass() {
+        let (spec, ids) = fixtures::patent_assembly();
+        let mut ledger = Ledger::for_spec(&spec);
+        // The publisher holds no patent initially (it must compose it).
+        assert_eq!(ledger.items_of(ids.publisher, ids.patent), 0);
+        // Cannot deliver before acquiring the components.
+        let deliver = Action::give(ids.publisher, ids.t_sale, ids.patent);
+        assert!(!ledger.can_apply(&deliver));
+        // Acquire the components directly for the test.
+        ledger
+            .apply(&Action::give(ids.text_source, ids.publisher, ids.text))
+            .unwrap();
+        ledger
+            .apply(&Action::give(ids.diagram_source, ids.publisher, ids.diagrams))
+            .unwrap();
+        // Now delivery implicitly assembles: components consumed, patent
+        // delivered, weighted mass conserved.
+        assert!(ledger.can_apply(&deliver));
+        ledger.apply(&deliver).unwrap();
+        assert_eq!(ledger.items_of(ids.publisher, ids.text), 0);
+        assert_eq!(ledger.items_of(ids.publisher, ids.diagrams), 0);
+        assert_eq!(ledger.items_of(ids.t_sale, ids.patent), 1);
+        ledger.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn display_lists_every_account() {
+        let (spec, _) = fixtures::example1();
+        let ledger = Ledger::for_spec(&spec);
+        let s = ledger.to_string();
+        assert_eq!(s.lines().count(), 5); // 3 principals + 2 trusted
+    }
+}

@@ -1,0 +1,57 @@
+//! A discrete-event message-passing simulator for trust-explicit commerce
+//! protocols.
+//!
+//! The paper proves its safety claim on paper; this crate checks it by
+//! *running* synthesised protocols:
+//!
+//! * [`Ledger`] tracks every participant's cash and items with conservation
+//!   invariants;
+//! * [`Message`]s carry each protocol action on a simulated wire (with a
+//!   binary codec, so benches can report bytes as well as message counts);
+//! * [`Behavior`] lets any principal go silent at any deposit point;
+//! * [`Simulation`] executes a [`Protocol`](trustseq_core::Protocol) under a
+//!   [`BehaviorMap`], with trusted components honouring their §2.5
+//!   guarantees (forward when complete, refund on expiry, resolve
+//!   indemnities);
+//! * [`harness::sweep`] exhaustively enumerates defection patterns (in
+//!   parallel) and reports any run in which an honest principal was harmed.
+//!
+//! # Example
+//!
+//! ```
+//! use trustseq_core::fixtures;
+//! use trustseq_sim::{run_protocol, Behavior, BehaviorMap};
+//!
+//! # fn main() -> Result<(), trustseq_sim::SimError> {
+//! let (spec, ids) = fixtures::example1();
+//!
+//! // Everybody honest: everyone reaches their preferred state.
+//! let report = run_protocol(&spec, BehaviorMap::all_honest())?;
+//! assert!(report.all_preferred());
+//!
+//! // The broker walks away mid-protocol: nobody honest is harmed.
+//! let behaviors = BehaviorMap::all_honest().with(ids.broker, Behavior::ABSENT);
+//! let report = run_protocol(&spec, behaviors)?;
+//! assert!(report.safety_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod behavior;
+mod error;
+pub mod harness;
+mod ledger;
+mod message;
+mod runner;
+mod time;
+
+pub use behavior::{Behavior, BehaviorMap};
+pub use error::SimError;
+pub use harness::{defection_patterns, sweep, sweep_spec, SweepReport};
+pub use ledger::Ledger;
+pub use message::Message;
+pub use runner::{run_protocol, SimConfig, SimReport, Simulation};
+pub use time::SimTime;

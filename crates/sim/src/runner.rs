@@ -1,0 +1,895 @@
+//! The protocol runner: executes a synthesised protocol under a behaviour
+//! assignment and reports every party's outcome.
+//!
+//! The runner is the empirical check of the paper's central claim: a
+//! *feasible* exchange "can be carried out in such a way that no participant
+//! ever risks losing money or goods without receiving everything promised in
+//! exchange". Honest principals follow the protocol **cautiously** — they
+//! only deposit once their protections are in place (required notifications
+//! observed, promised collateral posted, required assets held) — while
+//! defectors go silent at an arbitrary deposit point. Trusted components
+//! always honour their guarantees: forward when everything arrived, refund
+//! otherwise, resolve indemnities per their conditions.
+
+use crate::behavior::BehaviorMap;
+use crate::ledger::Ledger;
+use crate::message::Message;
+use crate::time::SimTime;
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustseq_core::{Protocol, StepKind};
+use trustseq_model::{Action, AgentId, ExchangeSpec, ExchangeState, Outcome};
+
+/// Temporal configuration of a simulation (§2.2 of the paper models
+/// deadlines explicitly; §9 defers their full treatment to future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// How many ticks a trusted component holds a deposit before returning
+    /// it (one protocol step = one tick). `None` reproduces the paper's
+    /// standing assumption that "the deadlines allotted are always
+    /// sufficiently generous".
+    pub escrow_deadline: Option<u64>,
+}
+
+
+/// The result of one simulated protocol execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The behaviours that produced this run.
+    pub behaviors: BehaviorMap,
+    /// The final exchange state (all executed actions).
+    pub final_state: ExchangeState,
+    /// Every principal's outcome classification.
+    pub outcomes: BTreeMap<AgentId, Outcome>,
+    /// All messages sent, in order.
+    pub messages: Vec<Message>,
+    /// Global protocol steps that were skipped (defection, failed
+    /// protection, or unavailable assets).
+    pub skipped_steps: Vec<usize>,
+    /// The final ledger.
+    pub ledger: Ledger,
+}
+
+impl SimReport {
+    /// The paper's safety property: every *honest* principal ends in an
+    /// acceptable state. (Defectors may end badly; that is their problem.)
+    pub fn safety_holds(&self) -> bool {
+        self.outcomes.iter().all(|(&agent, &outcome)| {
+            !self.behaviors.of(agent).is_honest() || outcome.is_acceptable()
+        })
+    }
+
+    /// Whether every principal reached its *preferred* state (expected when
+    /// everybody is honest).
+    pub fn all_preferred(&self) -> bool {
+        self.outcomes.values().all(|&o| o == Outcome::Preferred)
+    }
+
+    /// Number of messages exchanged.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total bytes on the simulated wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.messages.iter().map(Message::encoded_len).sum()
+    }
+
+    /// The party's ordered view of the run — its saga (§7.2).
+    pub fn saga_view_of(&self, party: AgentId) -> trustseq_model::SagaView {
+        trustseq_model::SagaView::extract(party, self.messages.iter().map(|m| m.action))
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run [{}]: {} messages, safety {}",
+            self.behaviors,
+            self.message_count(),
+            if self.safety_holds() { "OK" } else { "VIOLATED" }
+        )?;
+        for (agent, outcome) in &self.outcomes {
+            writeln!(f, "  {agent}: {outcome}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes `protocol` for `spec` under `behaviors`.
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    spec: &'a ExchangeSpec,
+    protocol: &'a Protocol,
+    behaviors: BehaviorMap,
+    config: SimConfig,
+    acceptance: Option<&'a [trustseq_model::AcceptanceSpec]>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation with generous deadlines (the paper's standing
+    /// assumption).
+    pub fn new(spec: &'a ExchangeSpec, protocol: &'a Protocol, behaviors: BehaviorMap) -> Self {
+        Self::with_config(spec, protocol, behaviors, SimConfig::default())
+    }
+
+    /// Creates a simulation with an explicit temporal configuration.
+    pub fn with_config(
+        spec: &'a ExchangeSpec,
+        protocol: &'a Protocol,
+        behaviors: BehaviorMap,
+        config: SimConfig,
+    ) -> Self {
+        Simulation {
+            spec,
+            protocol,
+            behaviors,
+            config,
+            acceptance: None,
+        }
+    }
+
+    /// Reuses precomputed acceptance specifications (their generation is
+    /// exponential in deals-per-principal, so sweeps compute them once).
+    #[must_use]
+    pub fn with_acceptance(
+        mut self,
+        acceptance: &'a [trustseq_model::AcceptanceSpec],
+    ) -> Self {
+        self.acceptance = Some(acceptance);
+        self
+    }
+
+    /// Runs the protocol to completion (including the deadline-expiry
+    /// finalisation pass) and reports.
+    ///
+    /// ## Personas (§4.2.3)
+    ///
+    /// When a principal plays a trusted component's role (direct trust),
+    /// the runner gives the component **persona semantics**: its account is
+    /// the principal's account (transfers between them are virtual), and
+    /// its outgoing *payment* to the other party is deferred until the
+    /// persona principal has itself been paid on all its sales — the
+    /// "risk-free access" the paper describes. If the persona is never
+    /// secured, the held item is returned like any other escrow deposit.
+    ///
+    /// # Errors
+    ///
+    /// Only simulator-internal errors ([`SimError::ConservationViolated`],
+    /// [`SimError::TrustedMisbehaved`]) — defections and failed exchanges
+    /// are *reported*, not errors.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        let steps = self.protocol.steps();
+        let mut ledger = Ledger::for_spec(self.spec);
+        let mut history = ExchangeState::new();
+        let mut messages: Vec<Message> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut executed: Vec<bool> = vec![false; steps.len()];
+        let mut deposit_counter: BTreeMap<AgentId, u32> = BTreeMap::new();
+        let mut clock = SimTime::ZERO;
+
+        // Persona map: trusted component → the principal playing its role
+        // (smallest id when mutual trust makes both eligible).
+        let mut persona: BTreeMap<AgentId, AgentId> = BTreeMap::new();
+        for t in self.spec.trusted_components() {
+            let mut players: Vec<AgentId> = self
+                .spec
+                .deals_via(t.id())
+                .flat_map(|d| [d.buyer(), d.seller()])
+                .filter(|&x| self.spec.plays_role(t.id(), x))
+                .collect();
+            players.sort_unstable();
+            players.dedup();
+            if let Some(&x) = players.first() {
+                persona.insert(t.id(), x);
+            }
+        }
+        let alias = |a: AgentId| persona.get(&a).copied().unwrap_or(a);
+        // Item hops routed inside a shared escrow (§9 extension) are
+        // virtual: the component keeps the item.
+        let internal = self.spec.internal_transfers();
+        // Rewrites an action's material endpoints through the persona map;
+        // `None` means the transfer is virtual (both sides are the same
+        // account, or the hop is internal to a shared escrow) and has no
+        // ledger effect.
+        let materialize = |action: &Action| -> Option<Action> {
+            match *action {
+                Action::Give { from, to, item } | Action::InverseGive { from, to, item }
+                    if internal.contains(&(from, to, item)) =>
+                {
+                    return None;
+                }
+                _ => {}
+            }
+            let rewritten = match *action {
+                Action::Give { from, to, item } => Action::Give {
+                    from: alias(from),
+                    to: alias(to),
+                    item,
+                },
+                Action::Pay { from, to, amount } => Action::Pay {
+                    from: alias(from),
+                    to: alias(to),
+                    amount,
+                },
+                Action::InverseGive { from, to, item } => Action::InverseGive {
+                    from: alias(from),
+                    to: alias(to),
+                    item,
+                },
+                Action::InversePay { from, to, amount } => Action::InversePay {
+                    from: alias(from),
+                    to: alias(to),
+                    amount,
+                },
+                Action::Notify { .. } => return None,
+            };
+            (rewritten.actor() != rewritten.recipient()).then_some(rewritten)
+        };
+
+        // Deal-deposit steps expected by each trusted component (indemnity
+        // collateral is tracked separately).
+        // Keyed by the recipient's trusted-link *group* representative:
+        // linked components (§9's hierarchy) enforce guarantees jointly.
+        let mut expected_deposits: BTreeMap<AgentId, Vec<usize>> = BTreeMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            if let StepKind::Deposit(_) = step.kind {
+                expected_deposits
+                    .entry(self.spec.trusted_group_of(step.action.recipient()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        let mut deferred_persona_payments: Vec<usize> = Vec::new();
+
+        let send = |ledger: &mut Ledger,
+                    history: &mut ExchangeState,
+                    messages: &mut Vec<Message>,
+                    at: SimTime,
+                    action: Action|
+         -> Result<(), SimError> {
+            if let Some(material) = materialize(&action) {
+                ledger.apply(&material)?;
+            }
+            history.record(action);
+            messages.push(Message::new(at, action));
+            Ok(())
+        };
+        let can_apply = |ledger: &Ledger, action: &Action| -> bool {
+            materialize(action)
+                .map(|m| ledger.can_apply(&m))
+                .unwrap_or(true)
+        };
+
+        // Temporal state: when each deal deposit arrived, which deposits an
+        // expiring escrow already returned, and which escrows expired.
+        let mut deposit_time: BTreeMap<usize, SimTime> = BTreeMap::new();
+        let mut refunded: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut cancelled: std::collections::BTreeSet<AgentId> = std::collections::BTreeSet::new();
+        let mut settled_early: std::collections::BTreeSet<AgentId> =
+            std::collections::BTreeSet::new();
+
+        for (i, step) in steps.iter().enumerate() {
+            clock = clock.next();
+
+            // §2.5 expiry: a trusted component returns deposits it has held
+            // past their deadline and terminates its exchange.
+            if let Some(deadline) = self.config.escrow_deadline {
+                for (&trusted, idxs) in &expected_deposits {
+                    if cancelled.contains(&trusted) || settled_early.contains(&trusted) {
+                        continue;
+                    }
+                    let complete = idxs.iter().all(|&j| executed[j]);
+                    if complete {
+                        settled_early.insert(trusted);
+                        continue;
+                    }
+                    let expired = idxs.iter().any(|&j| {
+                        executed[j]
+                            && deposit_time
+                                .get(&j)
+                                .is_some_and(|&t| t + deadline < clock)
+                    });
+                    if expired {
+                        cancelled.insert(trusted);
+                        for &j in idxs {
+                            if executed[j] && refunded.insert(j) {
+                                let refund = steps[j]
+                                    .action
+                                    .inverse()
+                                    .expect("deposits are invertible");
+                                if !can_apply(&ledger, &refund) {
+                                    return Err(SimError::TrustedMisbehaved {
+                                        trusted,
+                                        what: "cannot refund an expired deposit",
+                                    });
+                                }
+                                send(&mut ledger, &mut history, &mut messages, clock, refund)?;
+                            }
+                        }
+                    }
+                }
+            }
+
+            match step.kind {
+                StepKind::Deposit(_) | StepKind::IndemnityDeposit(_) => {
+                    let p = step.actor;
+                    let k = {
+                        let c = deposit_counter.entry(p).or_insert(0);
+                        let k = *c;
+                        *c += 1;
+                        k
+                    };
+                    let willing = self.behaviors.of(p).performs_deposit(k);
+                    // §2.5: a notification expires with the pieces the
+                    // escrow holds. An honest agent only relies on a
+                    // notification that will still be valid when the
+                    // escrow's final deposit arrives — otherwise the agent
+                    // could spend its own resources on an exchange doomed
+                    // to unwind ("the complexities arising from the
+                    // expiration of partial exchanges", §9).
+                    let notification_valid = |j: usize| -> bool {
+                        let Some(deadline) = self.config.escrow_deadline else {
+                            return true;
+                        };
+                        let trusted = steps[j].actor;
+                        let Some(idxs) = expected_deposits.get(&trusted) else {
+                            return true;
+                        };
+                        let last_step = idxs.iter().copied().max().unwrap_or(0);
+                        let earliest = idxs
+                            .iter()
+                            .filter(|&&m| executed[m])
+                            .filter_map(|m| deposit_time.get(m))
+                            .min();
+                        match earliest {
+                            Some(&e) => {
+                                e + deadline >= SimTime::from_ticks(last_step as u64 + 1)
+                            }
+                            None => true,
+                        }
+                    };
+                    // Protection 1: every earlier notification addressed to
+                    // this principal has actually arrived and is still
+                    // actionable.
+                    let notified = steps.iter().enumerate().take(i).all(|(j, s)| {
+                        !(matches!(s.kind, StepKind::Notify)
+                            && s.action.recipient() == p)
+                            || (executed[j] && notification_valid(j))
+                    });
+                    // Protection 2: every earlier collateral promised to
+                    // this principal has actually been posted.
+                    let collateralised = steps.iter().enumerate().take(i).all(|(j, s)| {
+                        match s.kind {
+                            StepKind::IndemnityDeposit(idx) => {
+                                self.spec.indemnities()[idx].beneficiary != p || executed[j]
+                            }
+                            _ => true,
+                        }
+                    });
+                    let able = can_apply(&ledger, &step.action);
+                    // An expired escrow no longer accepts deposits (§2.5).
+                    let open = !cancelled
+                        .contains(&self.spec.trusted_group_of(step.action.recipient()));
+                    if willing && notified && collateralised && able && open {
+                        send(&mut ledger, &mut history, &mut messages, clock, step.action)?;
+                        executed[i] = true;
+                        deposit_time.insert(i, clock);
+                    } else {
+                        skipped.push(i);
+                    }
+                }
+                StepKind::Notify => {
+                    let trusted = step.actor;
+                    if cancelled.contains(&trusted) {
+                        skipped.push(i);
+                        continue;
+                    }
+                    let target = step.action.recipient();
+                    let ready = expected_deposits
+                        .get(&trusted)
+                        .map(|idxs| {
+                            idxs.iter()
+                                .all(|&j| steps[j].actor == target || executed[j])
+                        })
+                        .unwrap_or(true);
+                    if ready {
+                        send(&mut ledger, &mut history, &mut messages, clock, step.action)?;
+                        executed[i] = true;
+                    } else {
+                        skipped.push(i);
+                    }
+                }
+                StepKind::Forward(_) | StepKind::Relay(_) => {
+                    let trusted = step.actor;
+                    let group = self.spec.trusted_group_of(trusted);
+                    if cancelled.contains(&group) {
+                        skipped.push(i);
+                        continue;
+                    }
+                    // A persona's outgoing payment to the other party is
+                    // deferred: the principal playing the role only parts
+                    // with real money once it has been paid itself.
+                    let deferred_payment = matches!(step.action, Action::Pay { to, .. }
+                        if persona.get(&trusted).is_some_and(|&x| alias(to) != x));
+                    if deferred_payment {
+                        deferred_persona_payments.push(i);
+                        continue;
+                    }
+                    let complete = expected_deposits
+                        .get(&group)
+                        .map(|idxs| idxs.iter().all(|&j| executed[j]))
+                        .unwrap_or(false);
+                    if complete {
+                        if !can_apply(&ledger, &step.action) {
+                            return Err(SimError::TrustedMisbehaved {
+                                trusted,
+                                what: "cannot forward assets it should hold",
+                            });
+                        }
+                        send(&mut ledger, &mut history, &mut messages, clock, step.action)?;
+                        executed[i] = true;
+                    } else {
+                        skipped.push(i);
+                    }
+                }
+                StepKind::IndemnityRefund(idx) => {
+                    let ind = self.spec.indemnities()[idx];
+                    let posted = steps.iter().enumerate().any(|(j, s)| {
+                        matches!(s.kind, StepKind::IndemnityDeposit(jdx) if jdx == idx)
+                            && executed[j]
+                    });
+                    let deal_forwarded = steps.iter().enumerate().any(|(j, s)| {
+                        matches!(s.kind, StepKind::Forward(d) if d == ind.deal) && executed[j]
+                    });
+                    if posted && deal_forwarded {
+                        send(&mut ledger, &mut history, &mut messages, clock, step.action)?;
+                        executed[i] = true;
+                    } else {
+                        skipped.push(i);
+                    }
+                }
+            }
+        }
+
+        // ---- Deadline expiry: trusted components unwind (§2.5). ----
+        clock = clock.next();
+
+        // Deferred persona payments: a principal playing a trusted role
+        // pays the other party once it has itself been paid on every sale.
+        // Payments can unlock each other along persona chains, so iterate
+        // to a fixpoint.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for &i in &deferred_persona_payments {
+                if executed[i] {
+                    continue;
+                }
+                let trusted = steps[i].actor;
+                let group = self.spec.trusted_group_of(trusted);
+                if cancelled.contains(&group) {
+                    continue;
+                }
+                let x = persona[&trusted];
+                let deposits_in = expected_deposits
+                    .get(&group)
+                    .map(|idxs| idxs.iter().all(|&j| executed[j]))
+                    .unwrap_or(false);
+                let x_paid = self.spec.sales_of(x).all(|d| {
+                    steps.iter().enumerate().any(|(j, s)| {
+                        matches!(s.kind, StepKind::Forward(dd) if dd == d.id())
+                            && matches!(s.action, Action::Pay { .. })
+                            && executed[j]
+                    })
+                });
+                if deposits_in && x_paid {
+                    if !can_apply(&ledger, &steps[i].action) {
+                        return Err(SimError::TrustedMisbehaved {
+                            trusted,
+                            what: "persona cannot pay the counterparty",
+                        });
+                    }
+                    send(
+                        &mut ledger,
+                        &mut history,
+                        &mut messages,
+                        clock,
+                        steps[i].action,
+                    )?;
+                    executed[i] = true;
+                    progress = true;
+                }
+            }
+        }
+
+        // Refund deal deposits held by escrows that never settled (did not
+        // execute all their forwards). A persona escrow may have executed
+        // its *virtual* forwards (lending the held item to its principal)
+        // without ever settling; those are unwound first so the history
+        // nets out.
+        let mut forward_steps: BTreeMap<AgentId, Vec<usize>> = BTreeMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            if matches!(step.kind, StepKind::Forward(_) | StepKind::Relay(_)) {
+                forward_steps
+                    .entry(self.spec.trusted_group_of(step.actor))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        for (&trusted, idxs) in &expected_deposits {
+            let settled = forward_steps
+                .get(&trusted)
+                .map(|f| f.iter().all(|&j| executed[j]))
+                .unwrap_or(true);
+            if settled {
+                continue;
+            }
+            for &j in forward_steps.get(&trusted).map(Vec::as_slice).unwrap_or(&[]) {
+                if executed[j] {
+                    let unwind = steps[j]
+                        .action
+                        .inverse()
+                        .expect("forwards are invertible");
+                    if !can_apply(&ledger, &unwind) {
+                        return Err(SimError::TrustedMisbehaved {
+                            trusted,
+                            what: "cannot unwind a forward it performed",
+                        });
+                    }
+                    send(&mut ledger, &mut history, &mut messages, clock, unwind)?;
+                }
+            }
+            for &j in idxs {
+                if executed[j] && !refunded.contains(&j) {
+                    let refund = steps[j]
+                        .action
+                        .inverse()
+                        .expect("deposits are invertible");
+                    if !can_apply(&ledger, &refund) {
+                        return Err(SimError::TrustedMisbehaved {
+                            trusted,
+                            what: "cannot refund a deposit it should hold",
+                        });
+                    }
+                    send(&mut ledger, &mut history, &mut messages, clock, refund)?;
+                }
+            }
+        }
+
+        // Resolve outstanding indemnities: payout if the beneficiary
+        // performed (deposited for the covered deal) and the deal fell
+        // through; refund to the provider otherwise.
+        for (idx, ind) in self.spec.indemnities().iter().enumerate() {
+            let posted_at = steps.iter().enumerate().find_map(|(j, s)| {
+                matches!(s.kind, StepKind::IndemnityDeposit(jdx) if jdx == idx)
+                    .then_some(j)
+            });
+            let Some(posted_at) = posted_at else { continue };
+            if !executed[posted_at] {
+                continue; // never posted, nothing to resolve
+            }
+            let already_refunded = steps.iter().enumerate().any(|(j, s)| {
+                matches!(s.kind, StepKind::IndemnityRefund(jdx) if jdx == idx) && executed[j]
+            });
+            if already_refunded {
+                continue;
+            }
+            let deal = self.spec.deal(ind.deal)?;
+            let beneficiary_performed = steps.iter().enumerate().any(|(j, s)| {
+                matches!(s.kind, StepKind::Deposit(_))
+                    && executed[j]
+                    && s.action == Action::pay(ind.beneficiary, deal.intermediary(), deal.price())
+            });
+            let action = if beneficiary_performed {
+                // Forfeit: the collateral goes to the beneficiary.
+                Action::pay(ind.via, ind.beneficiary, ind.amount)
+            } else {
+                // Refund to the provider.
+                Action::pay(ind.provider, ind.via, ind.amount)
+                    .inverse()
+                    .expect("pay invertible")
+            };
+            if !can_apply(&ledger, &action) {
+                return Err(SimError::TrustedMisbehaved {
+                    trusted: ind.via,
+                    what: "cannot resolve an indemnity it should hold",
+                });
+            }
+            send(&mut ledger, &mut history, &mut messages, clock, action)?;
+        }
+
+        ledger.check_conservation()?;
+
+        let outcomes = match self.acceptance {
+            Some(specs) => specs
+                .iter()
+                .map(|a| (a.party(), a.classify(&history)))
+                .collect(),
+            None => self
+                .spec
+                .acceptance_specs()
+                .into_iter()
+                .map(|a| (a.party(), a.classify(&history)))
+                .collect(),
+        };
+
+        Ok(SimReport {
+            behaviors: self.behaviors.clone(),
+            final_state: history,
+            outcomes,
+            messages,
+            skipped_steps: skipped,
+            ledger,
+        })
+    }
+}
+
+/// Convenience: synthesises the protocol for `spec` and runs it under
+/// `behaviors`.
+///
+/// # Errors
+///
+/// [`SimError::Core`] when the exchange is infeasible (no protocol exists),
+/// plus any simulator error.
+pub fn run_protocol(spec: &ExchangeSpec, behaviors: BehaviorMap) -> Result<SimReport, SimError> {
+    let sequence = trustseq_core::synthesize(spec)?;
+    let protocol = Protocol::from_sequence(spec, &sequence);
+    Simulation::new(spec, &protocol, behaviors).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use trustseq_core::fixtures;
+    use trustseq_model::Money;
+
+    #[test]
+    fn all_honest_example1_reaches_preferred() {
+        let (spec, _) = fixtures::example1();
+        let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+        assert!(report.all_preferred());
+        assert!(report.safety_holds());
+        assert_eq!(report.message_count(), 10);
+        assert!(report.skipped_steps.is_empty());
+    }
+
+    #[test]
+    fn consumer_defects_everyone_safe() {
+        let (spec, ids) = fixtures::example1();
+        let behaviors = BehaviorMap::all_honest().with(ids.consumer, Behavior::ABSENT);
+        let report = run_protocol(&spec, behaviors).unwrap();
+        assert!(report.safety_holds());
+        // The producer got its document back.
+        assert_eq!(report.ledger.items_of(ids.producer, ids.doc), 1);
+        // The broker never spent anything.
+        assert_eq!(report.outcomes[&ids.broker], Outcome::Acceptable);
+    }
+
+    #[test]
+    fn broker_defects_everyone_safe() {
+        let (spec, ids) = fixtures::example1();
+        for n in 0..2u32 {
+            let behaviors =
+                BehaviorMap::all_honest().with(ids.broker, Behavior::SilentAfter(n));
+            let report = run_protocol(&spec, behaviors).unwrap();
+            assert!(report.safety_holds(), "broker silent after {n}");
+            assert!(report.outcomes[&ids.consumer].is_acceptable());
+            // With n = 1 the broker still buys, so the producer's deal
+            // completes (preferred); with n = 0 it is refunded (acceptable).
+            assert!(report.outcomes[&ids.producer].is_acceptable());
+        }
+    }
+
+    #[test]
+    fn producer_defects_everyone_safe() {
+        let (spec, ids) = fixtures::example1();
+        let behaviors = BehaviorMap::all_honest().with(ids.producer, Behavior::ABSENT);
+        let report = run_protocol(&spec, behaviors).unwrap();
+        assert!(report.safety_holds());
+        // The consumer got its money back: deposit + refund happened.
+        assert_eq!(
+            report.ledger.cash_of(ids.consumer),
+            Money::from_dollars(180)
+        );
+    }
+
+    #[test]
+    fn infeasible_exchange_cannot_be_run() {
+        let (spec, _) = fixtures::example2();
+        assert!(matches!(
+            run_protocol(&spec, BehaviorMap::all_honest()),
+            Err(SimError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn indemnified_example2_happy_path() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+        assert!(report.all_preferred());
+        // The collateral came back to broker 1.
+        let final_b1 = report.ledger.cash_of(ids.broker1);
+        let initial = Ledger::for_spec(&spec).cash_of(ids.broker1);
+        // Broker 1 nets +$2 margin ($10 sale − $8 supply).
+        assert_eq!(final_b1, initial + Money::from_dollars(2));
+    }
+
+    #[test]
+    fn indemnity_pays_out_when_provider_defects_after_posting() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        // Broker 1 posts collateral (its first deposit) then goes silent.
+        let behaviors =
+            BehaviorMap::all_honest().with(ids.broker1, Behavior::SilentAfter(1));
+        let report = run_protocol(&spec, behaviors).unwrap();
+        assert!(report.safety_holds());
+        // The consumer got doc 2, was refunded for doc 1, and received the
+        // $20 payout.
+        assert_eq!(report.outcomes[&ids.consumer], Outcome::Acceptable);
+        let initial = Ledger::for_spec(&spec).cash_of(ids.consumer);
+        assert_eq!(
+            report.ledger.cash_of(ids.consumer),
+            initial - Money::from_dollars(20) + Money::from_dollars(20)
+        );
+        assert_eq!(report.ledger.items_of(ids.consumer, ids.doc2), 1);
+    }
+
+    #[test]
+    fn consumer_aborts_if_collateral_never_posted() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        // Broker 1 never even posts the collateral.
+        let behaviors = BehaviorMap::all_honest().with(ids.broker1, Behavior::ABSENT);
+        let report = run_protocol(&spec, behaviors).unwrap();
+        assert!(report.safety_holds());
+        // The consumer must end at the status quo: no doc 2 purchase
+        // without the doc 1 protection.
+        let initial = Ledger::for_spec(&spec).cash_of(ids.consumer);
+        assert_eq!(report.ledger.cash_of(ids.consumer), initial);
+        assert_eq!(report.ledger.items_of(ids.consumer, ids.doc2), 0);
+    }
+
+    #[test]
+    fn direct_trust_variant_runs_end_to_end() {
+        let (mut spec, ids) = fixtures::example2();
+        spec.add_trust(ids.source1, ids.broker1).unwrap();
+        let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+        assert!(report.all_preferred());
+    }
+
+    #[test]
+    fn wire_accounting() {
+        let (spec, _) = fixtures::example1();
+        let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+        assert_eq!(report.wire_bytes(), report.message_count() * 25);
+        assert!(report.to_string().contains("safety OK"));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let (spec, _) = fixtures::example1();
+        let seq = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let relaxed = Simulation::new(&spec, &protocol, BehaviorMap::all_honest())
+            .run()
+            .unwrap();
+        let timed = Simulation::with_config(
+            &spec,
+            &protocol,
+            BehaviorMap::all_honest(),
+            SimConfig {
+                escrow_deadline: Some(100),
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(relaxed.final_state, timed.final_state);
+        assert!(timed.all_preferred());
+    }
+
+    #[test]
+    fn tight_deadline_collapses_the_exchange_safely() {
+        // With a one-tick deadline, the producer's early deposit expires
+        // before the broker can pay: the whole exchange unwinds, but every
+        // party ends whole (§2.2's "sufficiently generous" assumption made
+        // visible).
+        let (spec, ids) = fixtures::example1();
+        let seq = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let report = Simulation::with_config(
+            &spec,
+            &protocol,
+            BehaviorMap::all_honest(),
+            SimConfig {
+                escrow_deadline: Some(1),
+            },
+        )
+        .run()
+        .unwrap();
+        assert!(!report.all_preferred());
+        assert!(report.safety_holds(), "{report}");
+        report.ledger.check_conservation().unwrap();
+        // The producer got its document back.
+        assert_eq!(report.ledger.items_of(ids.producer, ids.doc), 1);
+        // The consumer has all its money.
+        assert_eq!(
+            report.ledger.cash_of(ids.consumer),
+            Ledger::for_spec(&spec).cash_of(ids.consumer)
+        );
+    }
+
+    #[test]
+    fn deadline_boundary_is_exact() {
+        // Example #1's longest escrow wait is the consumer's: money
+        // deposited at tick 3, t1 completed by the broker's document at
+        // tick 8. A deadline of 5 just fits; 4 does not.
+        let (spec, _) = fixtures::example1();
+        let seq = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let run = |deadline: u64| {
+            Simulation::with_config(
+                &spec,
+                &protocol,
+                BehaviorMap::all_honest(),
+                SimConfig {
+                    escrow_deadline: Some(deadline),
+                },
+            )
+            .run()
+            .unwrap()
+        };
+        assert!(run(5).all_preferred());
+        assert!(!run(4).all_preferred());
+        assert!(run(4).safety_holds());
+    }
+
+    #[test]
+    fn expiry_and_defection_compose_safely() {
+        let (spec, ids) = fixtures::example1();
+        let seq = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        for deadline in [1u64, 2, 3, 10] {
+            for defector in [ids.consumer, ids.broker, ids.producer] {
+                let report = Simulation::with_config(
+                    &spec,
+                    &protocol,
+                    BehaviorMap::all_honest().with(defector, Behavior::ABSENT),
+                    SimConfig {
+                        escrow_deadline: Some(deadline),
+                    },
+                )
+                .run()
+                .unwrap();
+                assert!(
+                    report.safety_holds(),
+                    "deadline {deadline}, defector {defector}: {report}"
+                );
+                report.ledger.check_conservation().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_holds_across_runs() {
+        let (spec, ids) = fixtures::example1();
+        for behaviors in [
+            BehaviorMap::all_honest(),
+            BehaviorMap::all_honest().with(ids.broker, Behavior::ABSENT),
+            BehaviorMap::all_honest().with(ids.producer, Behavior::ABSENT),
+        ] {
+            let report = run_protocol(&spec, behaviors).unwrap();
+            report.ledger.check_conservation().unwrap();
+        }
+    }
+}

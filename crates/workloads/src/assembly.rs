@@ -1,0 +1,147 @@
+//! Assembly markets: §3.2's combined documents generalised to `n` parts.
+
+use trustseq_model::{AgentId, DealId, ExchangeSpec, ItemId, Money, Role};
+
+/// Identifiers of a generated [`assembly_market`] scenario.
+#[derive(Debug, Clone)]
+pub struct AssemblyIds {
+    /// The consumer buying the composite.
+    pub consumer: AgentId,
+    /// The assembling publisher.
+    pub publisher: AgentId,
+    /// One source per part.
+    pub sources: Vec<AgentId>,
+    /// The consumer-side escrow.
+    pub t_sale: AgentId,
+    /// One escrow per part purchase.
+    pub t_parts: Vec<AgentId>,
+    /// The part items.
+    pub parts: Vec<ItemId>,
+    /// The composite item.
+    pub composite: ItemId,
+    /// The composite sale.
+    pub sale: DealId,
+    /// The part purchases.
+    pub supplies: Vec<DealId>,
+}
+
+/// Builds an `n`-part assembly market: a publisher buys `n` parts from `n`
+/// sources (at `part_price` each), composes them, and sells the composite
+/// to a consumer for `sale_price`, securing the sale before every purchase.
+///
+/// With `n = 2` this is the §3.2 patent (text + diagrams). Feasible at any
+/// width: the publisher is a single bundling principal, so unlike the
+/// multi-*broker* bundles of Example #2 there is no circular wait — one red
+/// edge gates all its purchases.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or a price is non-positive.
+pub fn assembly_market(
+    n: usize,
+    sale_price: Money,
+    part_price: Money,
+) -> (ExchangeSpec, AssemblyIds) {
+    assert!(n >= 1, "an assembly needs at least one part");
+    let mut spec = ExchangeSpec::new(format!("assembly-{n}"));
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let publisher = spec.add_principal("publisher", Role::Broker).unwrap();
+    let sources: Vec<AgentId> = (0..n)
+        .map(|k| {
+            spec.add_principal(format!("source{}", k + 1), Role::Producer)
+                .unwrap()
+        })
+        .collect();
+    let t_sale = spec.add_trusted("t_sale").unwrap();
+    let t_parts: Vec<AgentId> = (0..n)
+        .map(|k| spec.add_trusted(format!("t_part{}", k + 1)).unwrap())
+        .collect();
+    let parts: Vec<ItemId> = (0..n)
+        .map(|k| {
+            spec.add_item(format!("part{}", k + 1), format!("Part {}", k + 1))
+                .unwrap()
+        })
+        .collect();
+    let composite = spec.add_item("composite", "The Composite Work").unwrap();
+    spec.add_assembly(publisher, parts.clone(), composite)
+        .unwrap();
+
+    let sale = spec
+        .add_deal(publisher, consumer, t_sale, composite, sale_price)
+        .unwrap();
+    let supplies: Vec<DealId> = (0..n)
+        .map(|k| {
+            let d = spec
+                .add_deal(sources[k], publisher, t_parts[k], parts[k], part_price)
+                .unwrap();
+            spec.add_resale_constraint(publisher, sale, d).unwrap();
+            d
+        })
+        .collect();
+
+    (
+        spec,
+        AssemblyIds {
+            consumer,
+            publisher,
+            sources,
+            t_sale,
+            t_parts,
+            parts,
+            composite,
+            sale,
+            supplies,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::{analyze, synthesize};
+
+    #[test]
+    fn assembly_markets_are_feasible_at_any_width() {
+        for n in 1..=8 {
+            let (spec, _) =
+                assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
+            assert!(analyze(&spec).unwrap().feasible, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn synthesised_protocols_verify() {
+        for n in [1usize, 3, 6] {
+            let (spec, ids) =
+                assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
+            let seq = synthesize(&spec).unwrap();
+            seq.verify(&spec).unwrap();
+            // One sale + n supplies, each deal 4 transfer steps + 1 notify.
+            assert_eq!(seq.len(), (n + 1) * 5, "n = {n}");
+            // The composite is delivered exactly once.
+            let deliveries = seq
+                .actions()
+                .filter(|a| {
+                    matches!(a, trustseq_model::Action::Give { item, .. }
+                        if *item == ids.composite)
+                })
+                .count();
+            assert_eq!(deliveries, 2, "escrow in + consumer out, n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_parts_is_the_patent_shape() {
+        let (spec, ids) = assembly_market(2, Money::from_dollars(50), Money::from_dollars(15));
+        assert_eq!(spec.assemblies().len(), 1);
+        assert_eq!(spec.assemblies()[0].inputs.len(), 2);
+        assert_eq!(ids.supplies.len(), 2);
+        assert_eq!(spec.resale_constraints().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let _ = assembly_market(0, Money::from_dollars(1), Money::from_dollars(1));
+    }
+}

@@ -1,0 +1,174 @@
+//! Document bundles: Example #2 and Figure 7 generalised to `n` documents.
+
+use trustseq_model::{AgentId, DealId, ExchangeSpec, ItemId, Money, Role};
+
+/// Identifiers of a generated [`bundle`] scenario.
+#[derive(Debug, Clone)]
+pub struct BundleIds {
+    /// The bundling consumer.
+    pub consumer: AgentId,
+    /// One broker per document.
+    pub brokers: Vec<AgentId>,
+    /// One source per document.
+    pub sources: Vec<AgentId>,
+    /// The consumer-side trusted intermediaries.
+    pub consumer_side: Vec<AgentId>,
+    /// The source-side trusted intermediaries.
+    pub source_side: Vec<AgentId>,
+    /// The documents.
+    pub docs: Vec<ItemId>,
+    /// The broker→consumer sales.
+    pub sales: Vec<DealId>,
+    /// The source→broker supplies.
+    pub supplies: Vec<DealId>,
+}
+
+/// Builds an `n`-document bundle: the consumer wants every document or none;
+/// each document comes from its own broker/source pair through dedicated
+/// trusted intermediaries, with the usual resale constraints.
+///
+/// `prices[k]` is document `k`'s retail price; the wholesale price is 80% of
+/// retail (rounded down to a cent, minimum one cent).
+///
+/// With `prices = [$10, $20]` this is the paper's Example #2 (Figures 2/4);
+/// with `[$10, $20, $30]` it is Figure 7. Bundles of two or more documents
+/// are infeasible without indemnities.
+///
+/// # Panics
+///
+/// Panics if `prices` is empty or any price is non-positive.
+pub fn bundle(prices: &[Money]) -> (ExchangeSpec, BundleIds) {
+    assert!(!prices.is_empty(), "a bundle needs at least one document");
+    let n = prices.len();
+    let mut spec = ExchangeSpec::new(format!("bundle-{n}"));
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let mut ids = BundleIds {
+        consumer,
+        brokers: Vec::with_capacity(n),
+        sources: Vec::with_capacity(n),
+        consumer_side: Vec::with_capacity(n),
+        source_side: Vec::with_capacity(n),
+        docs: Vec::with_capacity(n),
+        sales: Vec::with_capacity(n),
+        supplies: Vec::with_capacity(n),
+    };
+    for k in 0..n {
+        ids.brokers.push(
+            spec.add_principal(format!("broker{}", k + 1), Role::Broker)
+                .unwrap(),
+        );
+        ids.sources.push(
+            spec.add_principal(format!("source{}", k + 1), Role::Producer)
+                .unwrap(),
+        );
+        ids.consumer_side
+            .push(spec.add_trusted(format!("t{}", 2 * k + 1)).unwrap());
+        ids.source_side
+            .push(spec.add_trusted(format!("t{}", 2 * k + 2)).unwrap());
+        ids.docs.push(
+            spec.add_item(format!("doc{}", k + 1), format!("Document {}", k + 1))
+                .unwrap(),
+        );
+    }
+    #[allow(clippy::needless_range_loop)]
+    for k in 0..n {
+        let retail = prices[k];
+        assert!(retail > Money::ZERO, "prices must be positive");
+        let wholesale = Money::from_cents((retail.cents() * 4 / 5).max(1));
+        ids.sales.push(
+            spec.add_deal(
+                ids.brokers[k],
+                consumer,
+                ids.consumer_side[k],
+                ids.docs[k],
+                retail,
+            )
+            .unwrap(),
+        );
+        ids.supplies.push(
+            spec.add_deal(
+                ids.sources[k],
+                ids.brokers[k],
+                ids.source_side[k],
+                ids.docs[k],
+                wholesale,
+            )
+            .unwrap(),
+        );
+        spec.add_resale_constraint(ids.brokers[k], ids.sales[k], ids.supplies[k])
+            .unwrap();
+    }
+    (spec, ids)
+}
+
+/// Convenience: a bundle of `n` documents priced `$10, $20, …, $10·n`
+/// (Figure 7's schedule extended).
+pub fn bundle_arithmetic(n: usize) -> (ExchangeSpec, BundleIds) {
+    let prices: Vec<Money> = (1..=n as i64).map(|k| Money::from_dollars(10 * k)).collect();
+    bundle(&prices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustseq_core::indemnity::{greedy_plan, make_feasible};
+    use trustseq_core::analyze;
+
+    #[test]
+    fn two_doc_bundle_matches_example2() {
+        let (spec, _) = bundle(&[Money::from_dollars(10), Money::from_dollars(20)]);
+        let g = spec.interaction_graph().unwrap();
+        assert_eq!(g.principal_count(), 5);
+        assert_eq!(g.trusted_count(), 4);
+        assert_eq!(g.edge_count(), 8);
+        assert!(!analyze(&spec).unwrap().feasible);
+    }
+
+    #[test]
+    fn single_doc_bundle_is_feasible() {
+        let (spec, _) = bundle(&[Money::from_dollars(10)]);
+        assert!(analyze(&spec).unwrap().feasible);
+    }
+
+    #[test]
+    fn bundles_infeasible_without_indemnities() {
+        for n in 2..=6 {
+            let (spec, _) = bundle_arithmetic(n);
+            assert!(!analyze(&spec).unwrap().feasible, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn greedy_indemnities_unlock_any_bundle() {
+        for n in 2..=6 {
+            let (mut spec, _) = bundle_arithmetic(n);
+            let plans = make_feasible(&mut spec).unwrap();
+            assert_eq!(plans.len(), 1, "n = {n}");
+            assert_eq!(plans[0].len(), n - 1);
+            assert!(analyze(&spec).unwrap().feasible);
+        }
+    }
+
+    #[test]
+    fn greedy_total_formula() {
+        // With prices 10, 20, …, 10n the greedy total is
+        // Σ_{k=2..n} (S − 10k) where S = 10·n(n+1)/2.
+        for n in 2..=6i64 {
+            let (spec, ids) = bundle_arithmetic(n as usize);
+            let plan = greedy_plan(&spec, ids.consumer);
+            let s = 10 * n * (n + 1) / 2;
+            let expected: i64 = (2..=n).map(|k| s - 10 * k).sum();
+            assert_eq!(plan.total(), Money::from_dollars(expected), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn wholesale_is_below_retail() {
+        let (spec, ids) = bundle_arithmetic(3);
+        for k in 0..3 {
+            let retail = spec.deal(ids.sales[k]).unwrap().price();
+            let wholesale = spec.deal(ids.supplies[k]).unwrap().price();
+            assert!(wholesale < retail);
+        }
+    }
+}

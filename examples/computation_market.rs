@@ -1,0 +1,71 @@
+//! A computation-subcontracting market (§1/§2.1's second motivating
+//! domain): processors sell idle cycles, a network manager brokers them,
+//! and the cost of mistrust is measured across trust regimes (§8).
+//!
+//! ```text
+//! cargo run --example computation_market
+//! ```
+
+use trustseq::baselines::{
+    cost_of_mistrust, escrow_exposure, required_trust_pairs, with_full_trust,
+};
+use trustseq::core::analyze;
+use trustseq::model::{ExchangeSpec, Money, Role};
+use trustseq::workloads::{broker_chain, feasibility_rate, RandomConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A user buys a batch result from an idle processor through a network
+    // manager — structurally Example #1 with computation goods.
+    let mut spec = ExchangeSpec::new("computation-market");
+    let user = spec.add_principal("user", Role::Consumer)?;
+    let manager = spec.add_principal("network_manager", Role::Broker)?;
+    let processor = spec.add_principal("idle_processor", Role::Producer)?;
+    let clearing = spec.add_trusted("clearing_house")?;
+    let colo = spec.add_trusted("colo_escrow")?;
+    let result = spec.add_item("batch42", "Batch job #42 results")?;
+    let sale = spec.add_deal(manager, user, clearing, result, Money::from_dollars(50))?;
+    let supply = spec.add_deal(processor, manager, colo, result, Money::from_dollars(35))?;
+    spec.add_resale_constraint(manager, sale, supply)?;
+
+    println!("{spec}");
+    println!("feasible: {}", analyze(&spec)?.feasible);
+
+    // §8: what does mistrust cost?
+    println!("\ncost of mistrust:");
+    println!("  distrustful: {}", cost_of_mistrust(&spec)?);
+    println!("  full trust:  {}", cost_of_mistrust(&with_full_trust(&spec))?);
+    println!(
+        "  trust pairs needed for direct exchange: {}",
+        required_trust_pairs(&spec)
+    );
+    println!(
+        "  universal intermediary exposure: {}",
+        escrow_exposure(&spec)
+    );
+
+    // Subcontracting chains: the manager resells through sub-brokers.
+    println!("\nsubcontracting chains (messages per depth):");
+    for depth in 1..=6 {
+        let (chain, _) =
+            broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
+        let cost = cost_of_mistrust(&chain)?;
+        println!("  depth {depth}: {cost}");
+    }
+
+    // How much direct trust does a compute market need before bundled
+    // procurement (two results from two chains) becomes feasible?
+    println!("\nfeasibility of 2-result procurement vs trust density:");
+    for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let rate = feasibility_rate(
+            &RandomConfig {
+                width: 2,
+                max_depth: 2,
+                trust_density: density,
+                ..Default::default()
+            },
+            50,
+        );
+        println!("  density {density:.2}: {:>5.1}% feasible", rate * 100.0);
+    }
+    Ok(())
+}

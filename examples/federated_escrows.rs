@@ -1,0 +1,88 @@
+//! Federated escrows: the §9 future-work features, end to end.
+//!
+//! A marketplace spanning two trust domains: a consumer-side escrow in the
+//! west, a producer-side escrow in the east, linked into a federation. We
+//! bridge a cross-domain sale (hierarchy of trust), share one escrow across
+//! a whole bundle (multi-party trusted agent), decide feasibility with the
+//! distributed protocol, stress the deadlines, and price the Byzantine
+//! alternative.
+//!
+//! ```text
+//! cargo run --example federated_escrows
+//! ```
+
+use trustseq::baselines::{committee_cost, run_eig};
+use trustseq::core::{analyze_with, fixtures, synthesize, BuildOptions, Protocol};
+use trustseq::dist::DistributedReduction;
+use trustseq::sim::{sweep_spec, BehaviorMap, SimConfig, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Hierarchy of trust: a bridged cross-domain sale.
+    let (bridge, _) = fixtures::cross_domain_sale();
+    println!("== cross-domain sale (linked escrows) ==");
+    let seq = synthesize(&bridge)?;
+    for (i, line) in seq.describe(&bridge).iter().enumerate() {
+        println!("{:>3}. {line}", i + 1);
+    }
+    let sweep = sweep_spec(&bridge, 10_000)?;
+    println!("defection sweep: {sweep}\n");
+    assert!(sweep.all_safe());
+
+    // 2. Multi-party trusted agent: Example #2 through one shared escrow.
+    let (shared, _) = fixtures::example2_shared_escrow();
+    println!("== shared escrow (multi-party trusted agent) ==");
+    println!(
+        "paper rules: {}",
+        trustseq::core::analyze(&shared)?
+    );
+    println!(
+        "delegation:  {}",
+        analyze_with(&shared, BuildOptions::EXTENDED)?
+    );
+    let seq = trustseq::core::synthesize_with(&shared, BuildOptions::EXTENDED)?;
+    println!("protocol has {} steps\n", seq.len());
+
+    // 3. Distributed feasibility: each participant decides locally.
+    println!("== distributed reduction ==");
+    for (name, spec) in [
+        ("cross-domain", bridge.clone()),
+        ("example2", fixtures::example2().0),
+    ] {
+        let outcome = DistributedReduction::new(&spec)?.run();
+        println!("{name}: {outcome}");
+    }
+    println!();
+
+    // 4. Deadlines: how generous must the escrows be?
+    println!("== escrow deadlines ==");
+    let protocol = Protocol::from_sequence(&bridge, &synthesize(&bridge)?);
+    for deadline in 1..=6u64 {
+        let report = Simulation::with_config(
+            &bridge,
+            &protocol,
+            BehaviorMap::all_honest(),
+            SimConfig {
+                escrow_deadline: Some(deadline),
+            },
+        )
+        .run()?;
+        println!(
+            "deadline {deadline}: completed = {}, safe = {}",
+            report.all_preferred(),
+            report.safety_holds()
+        );
+        assert!(report.safety_holds());
+    }
+    println!();
+
+    // 5. The Byzantine alternative: replicate the escrows instead of
+    //    trusting them.
+    println!("== byzantine replication (§7.3) ==");
+    let eig = run_eig(&[true, true, false, true], 1, &[2usize].into_iter().collect())?;
+    println!("EIG, 4 replicas, 1 equivocator: {eig}");
+    for f in 1..=2 {
+        let (ex1, _) = fixtures::example1();
+        println!("{}", committee_cost(&ex1, f)?);
+    }
+    Ok(())
+}

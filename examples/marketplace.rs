@@ -1,0 +1,85 @@
+//! A marketplace session: a stream of randomly generated exchange problems
+//! is checked for feasibility; infeasible ones are sent to the advisor
+//! (§4.2.3 trust edges / §6 indemnities / §9 delegation), fixed with the
+//! cheapest indemnity plan, and executed in the simulator.
+//!
+//! ```text
+//! cargo run --example marketplace
+//! ```
+
+use trustseq::core::indemnity::make_feasible;
+use trustseq::core::{advise, analyze};
+use trustseq::model::Money;
+use trustseq::sim::{run_protocol, BehaviorMap};
+use trustseq::workloads::{random_exchange, RandomConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut stats = Stats::default();
+
+    for seed in 0..40u64 {
+        let ex = random_exchange(&RandomConfig {
+            width: 1 + (seed % 3) as usize,
+            max_depth: 2,
+            trust_density: 0.15,
+            seed,
+            ..Default::default()
+        });
+        let mut spec = ex.spec;
+        stats.submitted += 1;
+
+        if !analyze(&spec)?.feasible {
+            stats.stuck += 1;
+            let advice = advise(&spec)?;
+            stats.with_trust_option += usize::from(!advice.trust_options.is_empty());
+
+            // Marketplace policy: fix deadlocks with indemnities (they need
+            // no new trust relationships, only collateral).
+            match make_feasible(&mut spec) {
+                Ok(plans) => {
+                    let collateral: Money = plans.iter().map(|p| p.total()).sum();
+                    stats.indemnified += 1;
+                    stats.collateral += collateral;
+                }
+                Err(_) => {
+                    stats.abandoned += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Execute with everyone honest; count the traffic.
+        let report = run_protocol(&spec, BehaviorMap::all_honest())?;
+        assert!(report.all_preferred(), "seed {seed}: {report}");
+        stats.completed += 1;
+        stats.messages += report.message_count();
+        stats.wire_bytes += report.wire_bytes();
+    }
+
+    println!("marketplace session:");
+    println!("  exchanges submitted:     {}", stats.submitted);
+    println!("  deadlocked on distrust:  {}", stats.stuck);
+    println!("  … with a trust option:   {}", stats.with_trust_option);
+    println!("  unlocked by indemnities: {}", stats.indemnified);
+    println!("  abandoned:               {}", stats.abandoned);
+    println!("  completed:               {}", stats.completed);
+    println!("  total collateral posted: {}", stats.collateral);
+    println!(
+        "  protocol traffic:        {} messages / {} bytes",
+        stats.messages, stats.wire_bytes
+    );
+    assert_eq!(stats.completed + stats.abandoned, stats.submitted);
+    Ok(())
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: usize,
+    stuck: usize,
+    with_trust_option: usize,
+    indemnified: usize,
+    abandoned: usize,
+    completed: usize,
+    collateral: Money,
+    messages: usize,
+    wire_bytes: usize,
+}

@@ -1,0 +1,82 @@
+//! The patent bundle: Example #2 and §6's indemnities.
+//!
+//! §3.2 motivates bundles with a patent whose text and diagrams are sold by
+//! different providers — useless separately. The exchange deadlocks on
+//! mutual distrust; we show the impasse, the §4.2.3 direct-trust variants,
+//! and how indemnities (§6, Figure 7) unlock it at minimal collateral.
+//!
+//! ```text
+//! cargo run --example patent_bundle
+//! ```
+
+use trustseq::core::indemnity::{greedy_plan, ordering_total};
+use trustseq::core::{analyze, fixtures, synthesize, Reducer, SequencingGraph};
+use trustseq::model::Money;
+use trustseq::sim::{run_protocol, Behavior, BehaviorMap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The two-document bundle (patent text + diagrams) of Example #2.
+    let (spec, ids) = fixtures::example2();
+    println!("{spec}");
+
+    // 1. The impasse: four reductions, then the graph is stuck (Figure 6).
+    let graph = SequencingGraph::from_spec(&spec)?;
+    let (outcome, reduced) = Reducer::new(graph).run_keeping_graph();
+    println!(
+        "reduction: {} rule applications, {} edges remain -> {}",
+        outcome.trace.len(),
+        outcome.remaining_edges.len(),
+        if outcome.feasible { "feasible" } else { "infeasible" }
+    );
+    println!("{reduced}");
+
+    // 2. Direct trust is asymmetric (§4.2.3).
+    let (mut v1, v1_ids) = fixtures::example2();
+    v1.add_trust(v1_ids.source1, v1_ids.broker1)?;
+    println!(
+        "source1 trusts broker1 -> feasible = {}",
+        analyze(&v1)?.feasible
+    );
+    let (mut v2, v2_ids) = fixtures::example2();
+    v2.add_trust(v2_ids.broker1, v2_ids.source1)?;
+    println!(
+        "broker1 trusts source1 -> feasible = {}",
+        analyze(&v2)?.feasible
+    );
+
+    // 3. An indemnity splits the consumer's conjunction (§6).
+    let mut unlocked = spec.clone();
+    unlocked.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))?;
+    let sequence = synthesize(&unlocked)?;
+    println!("\nindemnified execution sequence ({} steps):", sequence.len());
+    for (i, line) in sequence.describe(&unlocked).iter().enumerate() {
+        println!("{:>3}. {line}", i + 1);
+    }
+
+    // Broker 1 absconds after posting collateral: the consumer is made
+    // whole by the forfeit.
+    let report = run_protocol(
+        &unlocked,
+        BehaviorMap::all_honest().with(ids.broker1, Behavior::SilentAfter(1)),
+    )?;
+    println!("\nbroker1 absconds -> safety holds = {}", report.safety_holds());
+    assert!(report.safety_holds());
+
+    // 4. Figure 7: ordering matters. Three documents at $10/$20/$30.
+    let (fig7, f_ids) = fixtures::figure7();
+    println!(
+        "\nFigure 7 — ordering #1 (indemnify doc1 first, doc3 last): {}",
+        ordering_total(&fig7, f_ids.consumer, f_ids.sales[2])
+    );
+    println!(
+        "Figure 7 — ordering #2 (indemnify doc3 first, doc1 last): {}",
+        ordering_total(&fig7, f_ids.consumer, f_ids.sales[0])
+    );
+    let plan = greedy_plan(&fig7, f_ids.consumer);
+    println!("greedy plan:\n{plan}");
+    let mut fig7_unlocked = fig7.clone();
+    plan.apply(&mut fig7_unlocked)?;
+    assert!(analyze(&fig7_unlocked)?.feasible);
+    println!("three-document bundle feasible with {} total collateral", plan.total());
+    Ok(())
+}

@@ -1,0 +1,407 @@
+//! The `trustseq` command-line tool: analyse, synthesise, render, simulate
+//! and cost exchange specifications written in the specification language.
+//!
+//! Kept as a library module so the logic is unit- and integration-testable;
+//! `main.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+use trustseq_baselines::cost_of_mistrust;
+use trustseq_core::indemnity::{make_feasible, IndemnityPlan};
+use trustseq_core::{dot, Protocol, SequencingGraph};
+use trustseq_lang::parse_spec;
+use trustseq_model::ExchangeSpec;
+use trustseq_sim::BehaviorMap;
+
+/// Renders an indemnity plan with participant names instead of raw ids.
+fn render_plan(out: &mut String, spec: &ExchangeSpec, plan: &IndemnityPlan) {
+    let name = |a| {
+        spec.participant(a)
+            .map(|p| p.name().to_owned())
+            .unwrap_or_else(|_| format!("{a}"))
+    };
+    let _ = writeln!(
+        out,
+        "indemnity plan for {} (total {}):",
+        name(plan.beneficiary),
+        plan.total()
+    );
+    for (i, p) in plan.indemnities.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {}. {} sets aside {} for {}",
+            i + 1,
+            name(p.provider),
+            p.amount,
+            p.deal
+        );
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `check <file>` — feasibility verdict.
+    Check,
+    /// `sequence <file>` — the §5 execution sequence.
+    Sequence,
+    /// `protocol <file>` — per-agent instructions.
+    Protocol,
+    /// `dot <file>` — DOT renderings of both graphs.
+    Dot,
+    /// `simulate <file>` — all-honest run plus exhaustive defection sweep.
+    Simulate,
+    /// `cost <file>` — the §8 cost-of-mistrust table.
+    Cost,
+    /// `indemnify <file>` — plan minimal indemnities to reach feasibility.
+    Indemnify,
+    /// `advise <file>` — every unlocking option (trust / indemnity /
+    /// delegation) for an infeasible exchange.
+    Advise,
+}
+
+impl Command {
+    /// Parses a subcommand name.
+    pub fn parse(name: &str) -> Option<Command> {
+        Some(match name {
+            "check" => Command::Check,
+            "sequence" => Command::Sequence,
+            "protocol" => Command::Protocol,
+            "dot" => Command::Dot,
+            "simulate" => Command::Simulate,
+            "cost" => Command::Cost,
+            "indemnify" => Command::Indemnify,
+            "advise" => Command::Advise,
+            _ => return None,
+        })
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+trustseq — trust-explicit distributed commerce transactions (ICDCS 1996)
+
+USAGE:
+    trustseq <COMMAND> [--extended] <SPEC.tseq>
+
+OPTIONS:
+    --extended  enable the \u{a7}9 shared-escrow delegation semantics
+                (multi-party trusted agents)
+
+COMMANDS:
+    check      decide feasibility (sequencing-graph reduction, §4)
+    sequence   print the synthesised execution sequence (§5)
+    protocol   print per-agent protocol instructions
+    dot        print Graphviz DOT for the interaction and sequencing graphs
+    simulate   run the protocol honestly, then sweep every defection pattern
+    cost       print the §8 cost-of-mistrust table
+    indemnify  plan minimal indemnities that make the exchange feasible (§6)
+    advise     list every unlocking option: trust edges (§4.2.3),
+               indemnities (§6), shared-escrow delegation (§9)
+";
+
+/// Runs a command against specification source text, returning the output.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for parse failures, infeasible
+/// exchanges (where a sequence was demanded), or simulation errors.
+pub fn run(command: Command, source: &str) -> Result<String, String> {
+    run_with(command, source, trustseq_core::BuildOptions::PAPER)
+}
+
+/// Like [`run`], with explicit build options (`--extended` selects the §9
+/// shared-escrow delegation semantics).
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_with(
+    command: Command,
+    source: &str,
+    options: trustseq_core::BuildOptions,
+) -> Result<String, String> {
+    let spec = parse_spec(source).map_err(|e| format!("parse error: {e}"))?;
+    run_on_spec(command, &spec, options)
+}
+
+/// Runs a command against an already-parsed specification.
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_on_spec(
+    command: Command,
+    spec: &ExchangeSpec,
+    options: trustseq_core::BuildOptions,
+) -> Result<String, String> {
+    let mut out = String::new();
+    match command {
+        Command::Check => {
+            let outcome = trustseq_core::analyze_with(spec, options).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{outcome}");
+            if !outcome.feasible {
+                let graph =
+                    SequencingGraph::from_spec_with(spec, options).map_err(|e| e.to_string())?;
+                let (_, reduced) = trustseq_core::Reducer::new(graph).run_keeping_graph();
+                let _ = write!(out, "{reduced}");
+            }
+        }
+        Command::Sequence => {
+            let seq = trustseq_core::synthesize_with(spec, options).map_err(|e| e.to_string())?;
+            for (i, line) in seq.describe(spec).iter().enumerate() {
+                let _ = writeln!(out, "{:>3}. {line}", i + 1);
+            }
+        }
+        Command::Protocol => {
+            let seq = trustseq_core::synthesize_with(spec, options).map_err(|e| e.to_string())?;
+            let protocol = Protocol::from_sequence(spec, &seq);
+            let name = |a| {
+                spec.participant(a)
+                    .map(|p| p.name().to_owned())
+                    .unwrap_or_else(|_| format!("{a}"))
+            };
+            for agent in protocol.participants() {
+                let _ = writeln!(out, "{}:", name(agent));
+                for instr in protocol.instructions_for(agent) {
+                    let _ = writeln!(out, "  {instr}");
+                }
+            }
+        }
+        Command::Dot => {
+            let ig = spec.interaction_graph().map_err(|e| e.to_string())?;
+            let sg = SequencingGraph::from_spec_with(spec, options).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "// interaction graph");
+            out.push_str(&dot::interaction_to_dot(spec, &ig));
+            let _ = writeln!(out, "// sequencing graph");
+            out.push_str(&dot::sequencing_to_dot(spec, &sg));
+        }
+        Command::Simulate => {
+            let seq = trustseq_core::synthesize_with(spec, options).map_err(|e| e.to_string())?;
+            let protocol = Protocol::from_sequence(spec, &seq);
+            let report = trustseq_sim::Simulation::new(spec, &protocol, BehaviorMap::all_honest())
+                .run()
+                .map_err(|e| e.to_string())?;
+            let _ = write!(out, "{report}");
+            let sweep =
+                trustseq_sim::sweep(spec, &protocol, 100_000, 4).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "sweep: {sweep}");
+            for (pattern, harmed) in &sweep.violations {
+                let _ = writeln!(out, "  VIOLATION under [{pattern}]: {harmed} harmed");
+            }
+        }
+        Command::Cost => {
+            let cost = cost_of_mistrust(spec).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{cost}");
+        }
+        Command::Advise => {
+            let advice = trustseq_core::advise(spec).map_err(|e| e.to_string())?;
+            // Render with participant names for readability.
+            let name = |a| {
+                spec.participant(a)
+                    .map(|p| p.name().to_owned())
+                    .unwrap_or_else(|_| format!("{a}"))
+            };
+            if advice.already_feasible {
+                let _ = writeln!(out, "already feasible; nothing to do");
+            } else {
+                if !advice.trust_options.is_empty() {
+                    let _ = writeln!(out, "single trust edges that unlock the exchange:");
+                    for t in &advice.trust_options {
+                        let _ = writeln!(
+                            out,
+                            "  - {} trusts {} (on {})",
+                            name(t.truster),
+                            name(t.trustee),
+                            t.deal
+                        );
+                    }
+                }
+                for plan in &advice.indemnity_plans {
+                    render_plan(&mut out, spec, plan);
+                }
+                if advice.delegation_unlocks {
+                    let _ = writeln!(
+                        out,
+                        "shared-escrow delegation (§9 extension) unlocks it as specified"
+                    );
+                }
+                if !advice.has_options() {
+                    let _ = writeln!(
+                        out,
+                        "no single trust edge, indemnity plan or delegation unlocks this exchange"
+                    );
+                }
+            }
+        }
+        Command::Indemnify => {
+            let mut planned = spec.clone();
+            match make_feasible(&mut planned) {
+                Ok(plans) if plans.is_empty() => {
+                    let _ = writeln!(out, "already feasible; no indemnities needed");
+                }
+                Ok(plans) => {
+                    for plan in &plans {
+                        render_plan(&mut out, spec, plan);
+                    }
+                    let _ = writeln!(out, "exchange is now feasible");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "cannot reach feasibility: {e}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Entry point used by `main.rs`: parses argv, reads the file, dispatches.
+///
+/// # Errors
+///
+/// Usage or execution errors as strings (printed to stderr by the wrapper).
+pub fn main_with_args(args: &[String]) -> Result<String, String> {
+    let mut options = trustseq_core::BuildOptions::PAPER;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--extended" => options = trustseq_core::BuildOptions::EXTENDED,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n\n{USAGE}"))
+            }
+            other => positional.push(other),
+        }
+    }
+    let (cmd_name, path) = match positional.as_slice() {
+        [c, p] => (*c, *p),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let command = Command::parse(cmd_name)
+        .ok_or_else(|| format!("unknown command `{cmd_name}`\n\n{USAGE}"))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    run_with(command, &source, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = r#"
+        exchange "example1" {
+            consumer c; broker b; producer p;
+            trusted t1; trusted t2;
+            item doc "The Document";
+            deal sale:   b sells doc to c for $100.00 via t1;
+            deal supply: p sells doc to b for $80.00  via t2;
+            secure sale before supply;
+        }
+    "#;
+
+    const EXAMPLE2: &str = r#"
+        exchange "example2" {
+            consumer c; broker b1; broker b2; producer s1; producer s2;
+            trusted t1; trusted t2; trusted t3; trusted t4;
+            item d1 "Doc 1"; item d2 "Doc 2";
+            deal sale1:   b1 sells d1 to c  for $10.00 via t1;
+            deal supply1: s1 sells d1 to b1 for $8.00  via t2;
+            deal sale2:   b2 sells d2 to c  for $20.00 via t3;
+            deal supply2: s2 sells d2 to b2 for $16.00 via t4;
+            secure sale1 before supply1;
+            secure sale2 before supply2;
+        }
+    "#;
+
+    #[test]
+    fn command_parsing() {
+        assert_eq!(Command::parse("check"), Some(Command::Check));
+        assert_eq!(Command::parse("sequence"), Some(Command::Sequence));
+        assert_eq!(Command::parse("bogus"), None);
+    }
+
+    #[test]
+    fn check_reports_feasibility() {
+        let out = run(Command::Check, EXAMPLE1).unwrap();
+        assert!(out.contains("feasible"));
+        let out = run(Command::Check, EXAMPLE2).unwrap();
+        assert!(out.contains("infeasible"));
+        // Infeasible output includes the impasse graph.
+        assert!(out.contains("edges live"));
+    }
+
+    #[test]
+    fn sequence_prints_ten_steps() {
+        let out = run(Command::Sequence, EXAMPLE1).unwrap();
+        assert_eq!(out.lines().count(), 10);
+        assert!(out.contains("p sends doc to t2"));
+    }
+
+    #[test]
+    fn sequence_fails_on_infeasible_spec() {
+        let err = run(Command::Sequence, EXAMPLE2).unwrap_err();
+        assert!(err.contains("not feasible"));
+    }
+
+    #[test]
+    fn protocol_groups_by_agent() {
+        let out = run(Command::Protocol, EXAMPLE1).unwrap();
+        assert!(out.contains("b:"));
+        assert!(out.contains("t1:"));
+        assert!(out.contains("[step"));
+    }
+
+    #[test]
+    fn dot_renders_both_graphs() {
+        let out = run(Command::Dot, EXAMPLE1).unwrap();
+        assert!(out.contains("graph interaction"));
+        assert!(out.contains("graph sequencing"));
+    }
+
+    #[test]
+    fn simulate_sweeps_defections() {
+        let out = run(Command::Simulate, EXAMPLE1).unwrap();
+        assert!(out.contains("safety OK"));
+        assert!(out.contains("12 runs, 0 violations"));
+    }
+
+    #[test]
+    fn cost_prints_the_table() {
+        let out = run(Command::Cost, EXAMPLE1).unwrap();
+        assert!(out.contains("escrowed: 10"));
+    }
+
+    #[test]
+    fn indemnify_plans_collateral() {
+        let out = run(Command::Indemnify, EXAMPLE2).unwrap();
+        assert!(out.contains("indemnity plan"));
+        assert!(out.contains("exchange is now feasible"));
+        let out = run(Command::Indemnify, EXAMPLE1).unwrap();
+        assert!(out.contains("already feasible"));
+    }
+
+    #[test]
+    fn advise_lists_unlocking_options() {
+        let out = run(Command::Advise, EXAMPLE2).unwrap();
+        assert!(out.contains("s1 trusts b1"));
+        assert!(out.contains("s2 trusts b2"));
+        assert!(out.contains("indemnity plan"));
+        let out = run(Command::Advise, EXAMPLE1).unwrap();
+        assert!(out.contains("already feasible"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let err = run(Command::Check, "exchange {").unwrap_err();
+        assert!(err.contains("parse error"));
+    }
+
+    #[test]
+    fn main_with_args_usage() {
+        assert!(main_with_args(&[]).unwrap_err().contains("USAGE"));
+        assert!(main_with_args(&["bogus".into(), "x".into()])
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(main_with_args(&["check".into(), "/nonexistent.tseq".into()])
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

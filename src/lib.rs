@@ -1,0 +1,19 @@
+//! trustseq facade crate — re-exports the whole workspace API.
+//!
+//! See the README for an overview; full docs live on the member crates:
+//! [`model`], [`lang`], [`core`], [`sim`], [`dist`], [`petri`],
+//! [`baselines`] and [`workloads`]. The [`cli`] module backs the
+//! `trustseq` binary.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use trustseq_baselines as baselines;
+pub use trustseq_core as core;
+pub use trustseq_dist as dist;
+pub use trustseq_lang as lang;
+pub use trustseq_model as model;
+pub use trustseq_petri as petri;
+pub use trustseq_sim as sim;
+pub use trustseq_workloads as workloads;

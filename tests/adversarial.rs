@@ -1,0 +1,173 @@
+//! Integration: exhaustive adversarial sweeps — the paper's safety claim
+//! checked across scenarios, defection patterns and protocol variants.
+
+use trustseq::core::indemnity::greedy_plan;
+use trustseq::core::{fixtures, synthesize, Protocol};
+use trustseq::model::Money;
+use trustseq::sim::{defection_patterns, sweep, sweep_spec, Behavior, BehaviorMap, Simulation};
+use trustseq::workloads::{broker_chain, bundle_arithmetic};
+
+#[test]
+fn example1_every_defection_pattern_is_safe() {
+    let (spec, _) = fixtures::example1();
+    let report = sweep_spec(&spec, 10_000).unwrap();
+    assert_eq!(report.runs, 12);
+    assert!(report.all_safe());
+    assert!(report.all_honest_preferred);
+}
+
+#[test]
+fn chains_are_safe_at_every_depth() {
+    for depth in 1..=4 {
+        let (spec, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(5));
+        let report = sweep_spec(&spec, 2_000).unwrap();
+        assert!(
+            report.all_safe(),
+            "depth {depth}: {:?}",
+            report.violations
+        );
+        assert!(report.all_honest_preferred, "depth {depth}");
+    }
+}
+
+#[test]
+fn indemnified_bundles_are_safe() {
+    for n in 2..=3 {
+        let (mut spec, ids) = bundle_arithmetic(n);
+        greedy_plan(&spec, ids.consumer).apply(&mut spec).unwrap();
+        let report = sweep_spec(&spec, 2_000).unwrap();
+        assert!(report.all_safe(), "n = {n}: {:?}", report.violations);
+        assert!(report.all_honest_preferred, "n = {n}");
+    }
+}
+
+#[test]
+fn assembly_markets_are_safe() {
+    for n in 1..=3 {
+        let (spec, _) = trustseq::workloads::assembly_market(
+            n,
+            Money::from_dollars(100),
+            Money::from_dollars(5),
+        );
+        let report = sweep_spec(&spec, 3_000).unwrap();
+        assert!(report.all_safe(), "n = {n}: {:?}", report.violations);
+        assert!(report.all_honest_preferred, "n = {n}");
+    }
+}
+
+#[test]
+fn double_defection_in_indemnified_example2() {
+    // Both brokers abscond: the consumer must end whole (refunds + payout).
+    let (mut spec, ids) = fixtures::example2();
+    spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+        .unwrap();
+    let behaviors = BehaviorMap::all_honest()
+        .with(ids.broker1, Behavior::SilentAfter(1))
+        .with(ids.broker2, Behavior::ABSENT);
+    let report = trustseq::sim::run_protocol(&spec, behaviors).unwrap();
+    assert!(report.safety_holds(), "{report}");
+    report.ledger.check_conservation().unwrap();
+}
+
+#[test]
+fn sweep_pattern_count_scales_with_deposits() {
+    let (spec, _) = fixtures::example1();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    // consumer: 1 deposit (2 behaviours); broker: 2 deposits (3);
+    // producer: 1 deposit (2) -> 12 patterns.
+    let patterns = defection_patterns(&spec, &protocol, usize::MAX);
+    assert_eq!(patterns.len(), 12);
+    // Honest pattern appears exactly once.
+    assert_eq!(patterns.iter().filter(|p| p.is_all_honest()).count(), 1);
+}
+
+#[test]
+fn sweeps_are_deterministic_across_thread_counts() {
+    let (spec, _) = fixtures::example1();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    let a = sweep(&spec, &protocol, 10_000, 1).unwrap();
+    let b = sweep(&spec, &protocol, 10_000, 8).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn late_defection_after_notification_is_still_safe() {
+    // The broker performs its first deposit (payment to t2) then vanishes
+    // before delivering: both escrows unwind, nobody honest is harmed, and
+    // assets are conserved.
+    let (spec, ids) = fixtures::example1();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    let behaviors = BehaviorMap::all_honest().with(ids.broker, Behavior::SilentAfter(1));
+    let report = Simulation::new(&spec, &protocol, behaviors).run().unwrap();
+    assert!(report.safety_holds());
+    report.ledger.check_conservation().unwrap();
+    // The consumer got its $100 back.
+    assert_eq!(
+        report.ledger.cash_of(ids.consumer),
+        trustseq::sim::Ledger::for_spec(&spec).cash_of(ids.consumer)
+    );
+}
+
+#[test]
+fn honest_views_are_admissible_sagas() {
+    // §7.2: "each agent has its own set of acceptable sagas" — in every
+    // run under every defection pattern, an honest party's ordered view of
+    // the messages must be an admissible saga: an acceptable action set
+    // with every compensation after the work it undoes.
+    let scenarios = [
+        fixtures::example1().0,
+        fixtures::cross_domain_sale().0,
+        {
+            let (mut s, ids) = fixtures::example2();
+            s.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+                .unwrap();
+            s
+        },
+    ];
+    for spec in scenarios {
+        let seq = synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &seq);
+        let accepts: Vec<_> = spec.acceptance_specs();
+        for behaviors in defection_patterns(&spec, &protocol, 200) {
+            let report = Simulation::new(&spec, &protocol, behaviors.clone())
+                .run()
+                .unwrap();
+            for accept in &accepts {
+                if behaviors.of(accept.party()).is_honest() {
+                    let view = report.saga_view_of(accept.party());
+                    assert!(
+                        view.is_admissible(accept),
+                        "{} under [{behaviors}]: {view}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn defectors_cannot_profit_in_example1() {
+    // No defection pattern lets the defector end up with more money than
+    // it started with (it can at most waste everyone's time).
+    let (spec, _) = fixtures::example1();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    let initial = trustseq::sim::Ledger::for_spec(&spec);
+    for behaviors in defection_patterns(&spec, &protocol, usize::MAX) {
+        let report = Simulation::new(&spec, &protocol, behaviors.clone())
+            .run()
+            .unwrap();
+        for defector in behaviors.defectors() {
+            let before = initial.cash_of(defector);
+            let after = report.ledger.cash_of(defector);
+            assert!(
+                after <= before,
+                "defector {defector} profited under [{behaviors}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Process-level tests of the `trustseq` binary against the shipped sample
+//! specifications.
+
+use std::path::Path;
+use std::process::Command;
+
+fn trustseq(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_trustseq");
+    let output = Command::new(exe)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn sample_specs_exist() {
+    for f in [
+        "specs/example1.tseq",
+        "specs/example2.tseq",
+        "specs/figure7.tseq",
+        "specs/poor_broker.tseq",
+        "specs/direct_trust.tseq",
+        "specs/cross_domain.tseq",
+        "specs/shared_escrow.tseq",
+    ] {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(f).exists(),
+            "{f} missing"
+        );
+    }
+}
+
+#[test]
+fn check_command_on_all_samples() {
+    for (file, feasible) in [
+        ("specs/example1.tseq", true),
+        ("specs/example2.tseq", false),
+        ("specs/figure7.tseq", false),
+        ("specs/poor_broker.tseq", false),
+        ("specs/direct_trust.tseq", true),
+        ("specs/cross_domain.tseq", true),
+    ] {
+        let (ok, stdout, stderr) = trustseq(&["check", file]);
+        assert!(ok, "{file}: {stderr}");
+        if feasible {
+            assert!(stdout.starts_with("feasible"), "{file}: {stdout}");
+        } else {
+            assert!(stdout.starts_with("infeasible"), "{file}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn sequence_command_prints_ten_steps() {
+    let (ok, stdout, _) = trustseq(&["sequence", "specs/example1.tseq"]);
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 10);
+}
+
+#[test]
+fn sequence_command_fails_cleanly_on_infeasible_spec() {
+    let (ok, _, stderr) = trustseq(&["sequence", "specs/example2.tseq"]);
+    assert!(!ok);
+    assert!(stderr.contains("not feasible"));
+}
+
+#[test]
+fn usage_on_bad_invocations() {
+    let (ok, _, stderr) = trustseq(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+    let (ok, _, stderr) = trustseq(&["frobnicate", "specs/example1.tseq"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = trustseq(&["check", "specs/nonexistent.tseq"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn extended_flag_unlocks_the_shared_escrow() {
+    let (ok, stdout, _) = trustseq(&["check", "specs/shared_escrow.tseq"]);
+    assert!(ok);
+    assert!(stdout.starts_with("infeasible"));
+    let (ok, stdout, _) = trustseq(&["check", "--extended", "specs/shared_escrow.tseq"]);
+    assert!(ok);
+    assert!(stdout.starts_with("feasible"));
+    let (ok, _, stderr) = trustseq(&["check", "--bogus", "specs/shared_escrow.tseq"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn advise_command_on_example2() {
+    let (ok, stdout, _) = trustseq(&["advise", "specs/example2.tseq"]);
+    assert!(ok);
+    assert!(stdout.contains("trust"));
+    assert!(stdout.contains("indemnity plan"));
+}
+
+#[test]
+fn simulate_command_reports_sweep() {
+    let (ok, stdout, _) = trustseq(&["simulate", "specs/cross_domain.tseq"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("safety OK"));
+    assert!(stdout.contains("0 violations"));
+}

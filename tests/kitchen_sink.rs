@@ -1,0 +1,129 @@
+//! Integration: every mechanism at once. A publisher assembles a report
+//! from separately-sourced data and analysis, and sells it across a
+//! trust-domain bridge — exercising assemblies (§3.2), trusted links and
+//! bridged deals (§9), resale constraints (§4.1) and the full simulator.
+//! A final test pins a documented boundary of the delegation extension.
+
+use trustseq::core::{analyze, analyze_with, synthesize, BuildOptions, CoreError, Protocol};
+use trustseq::model::{ExchangeSpec, Money, Role};
+use trustseq::sim::sweep;
+
+fn kitchen_sink() -> ExchangeSpec {
+    let mut spec = ExchangeSpec::new("kitchen-sink");
+    let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+    let publisher = spec.add_principal("publisher", Role::Broker).unwrap();
+    let data_src = spec.add_principal("data_src", Role::Producer).unwrap();
+    let analysis_src = spec.add_principal("analysis_src", Role::Producer).unwrap();
+
+    // The sale bridges the consumer's western escrow and the publisher's
+    // eastern one; each supply has its own escrow.
+    let t_west = spec.add_trusted("t_west").unwrap();
+    let t_east = spec.add_trusted("t_east").unwrap();
+    let t_data = spec.add_trusted("t_data").unwrap();
+    let t_analysis = spec.add_trusted("t_analysis").unwrap();
+    spec.add_trusted_link(t_west, t_east).unwrap();
+
+    let data = spec.add_item("data", "Raw data").unwrap();
+    let analysis = spec.add_item("analysis", "Analysis").unwrap();
+    let report = spec.add_item("report", "The Report").unwrap();
+    spec.add_assembly(publisher, vec![data, analysis], report)
+        .unwrap();
+
+    let sale = spec
+        .add_deal_bridged(
+            publisher,
+            consumer,
+            t_west,
+            t_east,
+            report,
+            Money::from_dollars(100),
+        )
+        .unwrap();
+    let buy_data = spec
+        .add_deal(data_src, publisher, t_data, data, Money::from_dollars(20))
+        .unwrap();
+    let buy_analysis = spec
+        .add_deal(
+            analysis_src,
+            publisher,
+            t_analysis,
+            analysis,
+            Money::from_dollars(30),
+        )
+        .unwrap();
+    spec.add_resale_constraint(publisher, sale, buy_data)
+        .unwrap();
+    spec.add_resale_constraint(publisher, sale, buy_analysis)
+        .unwrap();
+    spec
+}
+
+#[test]
+fn bridged_assembly_sale_is_feasible_under_paper_rules() {
+    let spec = kitchen_sink();
+    assert!(analyze(&spec).unwrap().feasible);
+}
+
+#[test]
+fn protocol_verifies_and_relays_the_report() {
+    let spec = kitchen_sink();
+    let seq = synthesize(&spec).unwrap();
+    seq.verify(&spec).unwrap();
+    let lines = seq.describe(&spec);
+    // The assembled report crosses the bridge east → west, then reaches
+    // the consumer.
+    assert!(
+        lines.iter().any(|l| l == "t_east sends report to t_west"),
+        "{lines:#?}"
+    );
+    assert!(lines.iter().any(|l| l == "t_west sends report to consumer"));
+    // Assembly happened after both components were forwarded.
+    let deliver = lines
+        .iter()
+        .position(|l| l == "publisher sends report to t_east")
+        .unwrap();
+    let got_data = lines
+        .iter()
+        .position(|l| l == "t_data sends data to publisher")
+        .unwrap();
+    let got_analysis = lines
+        .iter()
+        .position(|l| l == "t_analysis sends analysis to publisher")
+        .unwrap();
+    assert!(got_data < deliver && got_analysis < deliver);
+}
+
+#[test]
+fn kitchen_sink_is_safe_under_every_defection() {
+    let spec = kitchen_sink();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    let report = sweep(&spec, &protocol, 10_000, 4).unwrap();
+    assert!(report.all_safe(), "violations: {:?}", report.violations);
+    assert!(report.all_honest_preferred);
+}
+
+/// A documented boundary of the §9 delegation extension: when *everything*
+/// (the bridged sale and both supplies) is federated into one trusted-link
+/// group, the group's all-or-nothing conjunction only completes once the
+/// publisher deposits the report — but the report's components are held by
+/// the group until that very completion. Delegation declares the exchange
+/// feasible (the group could route assembly inputs internally), but the
+/// scheduler does not yet implement cross-member input release, so it
+/// *refuses* with [`CoreError::ScheduleStuck`] rather than emit an unsound
+/// plan.
+#[test]
+fn fully_federated_assembly_is_a_known_scheduling_boundary() {
+    let mut spec = kitchen_sink();
+    let t_east = spec.participant_by_name("t_east").unwrap().id();
+    let t_data = spec.participant_by_name("t_data").unwrap().id();
+    let t_analysis = spec.participant_by_name("t_analysis").unwrap().id();
+    spec.add_trusted_link(t_east, t_data).unwrap();
+    spec.add_trusted_link(t_east, t_analysis).unwrap();
+
+    // Feasible at the graph level under delegation…
+    assert!(analyze_with(&spec, BuildOptions::EXTENDED).unwrap().feasible);
+    // …but the scheduler declines rather than produce an unsound order.
+    let err = trustseq::core::synthesize_with(&spec, BuildOptions::EXTENDED).unwrap_err();
+    assert!(matches!(err, CoreError::ScheduleStuck { .. }));
+}

@@ -1,0 +1,179 @@
+//! Integration: every worked example and claim of the paper, exercised
+//! through the public facade.
+
+use trustseq::baselines::{cost_of_mistrust, with_full_trust};
+use trustseq::core::indemnity::{greedy_plan, make_feasible, ordering_total};
+use trustseq::core::{analyze, fixtures, synthesize, EdgeColor, Reducer, SequencingGraph};
+use trustseq::model::{Money, Outcome};
+use trustseq::petri;
+use trustseq::sim::{run_protocol, BehaviorMap};
+
+#[test]
+fn figure1_and_figure3_structure() {
+    let (spec, _) = fixtures::example1();
+    let ig = spec.interaction_graph().unwrap();
+    assert_eq!(
+        (ig.principal_count(), ig.trusted_count(), ig.edge_count()),
+        (3, 2, 4)
+    );
+    let sg = SequencingGraph::from_spec(&spec).unwrap();
+    assert_eq!(sg.commitments().len(), 4);
+    assert_eq!(sg.conjunctions().len(), 3);
+    assert_eq!(sg.initial_edge_count(), 6);
+}
+
+#[test]
+fn example1_feasible_in_six_reductions() {
+    let (spec, _) = fixtures::example1();
+    let outcome = analyze(&spec).unwrap();
+    assert!(outcome.feasible);
+    assert_eq!(outcome.trace.len(), 6);
+}
+
+#[test]
+fn section5_ten_step_sequence() {
+    let (spec, _) = fixtures::example1();
+    let seq = synthesize(&spec).unwrap();
+    assert_eq!(seq.len(), 10);
+    let lines = seq.describe(&spec);
+    assert_eq!(lines[0], "producer sends doc to t2");
+    assert_eq!(lines[1], "t2 notifies broker");
+    assert_eq!(lines[9], "t1 sends $100.00 to broker");
+    seq.verify(&spec).unwrap();
+}
+
+#[test]
+fn example2_impasse_at_four_reductions() {
+    let (spec, _) = fixtures::example2();
+    let g = SequencingGraph::from_spec(&spec).unwrap();
+    let (outcome, reduced) = Reducer::new(g).run_keeping_graph();
+    assert!(!outcome.feasible);
+    assert_eq!(outcome.trace.len(), 4);
+    assert_eq!(reduced.live_edge_count(), 10);
+    // Both red edges survive the impasse.
+    assert_eq!(
+        reduced
+            .live_edges()
+            .filter(|e| e.color == EdgeColor::Red)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn direct_trust_asymmetry_section_4_2_3() {
+    let (mut v1, ids) = fixtures::example2();
+    v1.add_trust(ids.source1, ids.broker1).unwrap();
+    assert!(analyze(&v1).unwrap().feasible);
+
+    let (mut v2, ids) = fixtures::example2();
+    v2.add_trust(ids.broker1, ids.source1).unwrap();
+    assert!(!analyze(&v2).unwrap().feasible);
+}
+
+#[test]
+fn variant1_delivers_before_payment() {
+    // §4.2.3: "it is not necessary to secure the commitment from the
+    // customer before sending the document to the intermediary".
+    let (mut spec, ids) = fixtures::example2();
+    spec.add_trust(ids.source1, ids.broker1).unwrap();
+    let seq = synthesize(&spec).unwrap();
+    let lines = seq.describe(&spec);
+    let deliver = lines
+        .iter()
+        .position(|l| l == "broker1 sends doc1 to t1")
+        .expect("broker1 deposits doc1");
+    let pay = lines
+        .iter()
+        .position(|l| l == "consumer sends $10.00 to t1")
+        .expect("consumer pays t1");
+    assert!(deliver < pay, "{lines:#?}");
+    seq.verify(&spec).unwrap();
+}
+
+#[test]
+fn poor_broker_two_red_edges() {
+    let (spec, ids) = fixtures::poor_broker();
+    let g = SequencingGraph::from_spec(&spec).unwrap();
+    let (outcome, reduced) = Reducer::new(g).run_keeping_graph();
+    assert!(!outcome.feasible);
+    let j = reduced.conjunction_of(ids.broker).unwrap();
+    assert_eq!(
+        reduced
+            .live_edges_of_conjunction(j)
+            .filter(|e| e.color == EdgeColor::Red)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn section6_indemnity_unlocks_example2() {
+    let (mut spec, ids) = fixtures::example2();
+    spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+        .unwrap();
+    assert!(analyze(&spec).unwrap().feasible);
+    let seq = synthesize(&spec).unwrap();
+    seq.verify(&spec).unwrap();
+    // Collateral brackets the protocol.
+    let lines = seq.describe(&spec);
+    assert_eq!(lines.first().unwrap(), "broker1 sends $20.00 to t1");
+    assert_eq!(lines.last().unwrap(), "t1 refunds $20.00 to broker1");
+}
+
+#[test]
+fn figure7_ordering_totals() {
+    let (spec, ids) = fixtures::figure7();
+    assert_eq!(
+        ordering_total(&spec, ids.consumer, ids.sales[2]),
+        Money::from_dollars(90)
+    );
+    assert_eq!(
+        ordering_total(&spec, ids.consumer, ids.sales[0]),
+        Money::from_dollars(70)
+    );
+    let plan = greedy_plan(&spec, ids.consumer);
+    assert_eq!(plan.total(), Money::from_dollars(70));
+}
+
+#[test]
+fn make_feasible_plans_minimal_collateral() {
+    let (mut spec, _) = fixtures::figure7();
+    let plans = make_feasible(&mut spec).unwrap();
+    assert_eq!(plans.len(), 1);
+    assert_eq!(plans[0].total(), Money::from_dollars(70));
+    assert!(analyze(&spec).unwrap().feasible);
+}
+
+#[test]
+fn section8_message_costs() {
+    let (spec, _) = fixtures::example1();
+    let cost = cost_of_mistrust(&spec).unwrap();
+    assert_eq!(cost.direct, None);
+    assert_eq!(cost.pairwise_escrow, Some(10));
+    let cost = cost_of_mistrust(&with_full_trust(&spec)).unwrap();
+    assert_eq!(cost.direct, Some(4));
+}
+
+#[test]
+fn section7_4_petri_agrees_on_both_examples() {
+    for (spec, feasible) in [
+        (fixtures::example1().0, true),
+        (fixtures::example2().0, false),
+    ] {
+        let net = petri::compile::compile(&spec).unwrap();
+        let report = petri::coverable(&net.net, &net.initial, &net.goal, 1_000_000).unwrap();
+        assert_eq!(report.coverable, feasible, "{}", spec.name());
+    }
+}
+
+#[test]
+fn all_honest_simulation_reaches_preferred_states() {
+    let (spec, _) = fixtures::example1();
+    let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+    assert!(report.all_preferred());
+    for outcome in report.outcomes.values() {
+        assert_eq!(*outcome, Outcome::Preferred);
+    }
+    assert_eq!(report.message_count(), 10);
+}

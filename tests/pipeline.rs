@@ -1,0 +1,132 @@
+//! Integration: the full pipeline — DSL text → specification → sequencing
+//! graph → protocol → simulation — plus printer round-trips.
+
+use trustseq::core::{analyze, synthesize, Protocol};
+use trustseq::lang::{parse_spec, print};
+use trustseq::model::Money;
+use trustseq::sim::{sweep_spec, run_protocol, BehaviorMap};
+
+const EXAMPLE1: &str = r#"
+    exchange "example1" {
+        consumer c;
+        broker b;
+        producer p;
+        trusted t1;
+        trusted t2;
+        item doc "The Document";
+        deal sale:   b sells doc to c for $100.00 via t1;
+        deal supply: p sells doc to b for $80.00  via t2;
+        secure sale before supply;
+    }
+"#;
+
+const EXAMPLE2_INDEMNIFIED: &str = r#"
+    exchange "example2" {
+        consumer c;
+        broker b1; broker b2;
+        producer s1; producer s2;
+        trusted t1; trusted t2; trusted t3; trusted t4;
+        item doc1 "Patent text";
+        item doc2 "Patent diagrams";
+        deal sale1:   b1 sells doc1 to c  for $10.00 via t1;
+        deal supply1: s1 sells doc1 to b1 for $8.00  via t2;
+        deal sale2:   b2 sells doc2 to c  for $20.00 via t3;
+        deal supply2: s2 sells doc2 to b2 for $16.00 via t4;
+        secure sale1 before supply1;
+        secure sale2 before supply2;
+        indemnify sale1 by b1 for $20.00;
+    }
+"#;
+
+#[test]
+fn dsl_to_simulation_example1() {
+    let spec = parse_spec(EXAMPLE1).unwrap();
+    assert!(analyze(&spec).unwrap().feasible);
+    let seq = synthesize(&spec).unwrap();
+    seq.verify(&spec).unwrap();
+    let report = run_protocol(&spec, BehaviorMap::all_honest()).unwrap();
+    assert!(report.all_preferred());
+}
+
+#[test]
+fn dsl_indemnified_bundle_is_feasible_and_safe() {
+    let spec = parse_spec(EXAMPLE2_INDEMNIFIED).unwrap();
+    assert_eq!(spec.indemnities().len(), 1);
+    assert!(analyze(&spec).unwrap().feasible);
+    let sweep = sweep_spec(&spec, 500).unwrap();
+    assert!(sweep.all_safe(), "violations: {:?}", sweep.violations);
+    assert!(sweep.all_honest_preferred);
+}
+
+#[test]
+fn dsl_without_indemnity_line_is_infeasible() {
+    let stripped: String = EXAMPLE2_INDEMNIFIED
+        .lines()
+        .filter(|l| !l.contains("indemnify"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let spec = parse_spec(&stripped).unwrap();
+    assert!(!analyze(&spec).unwrap().feasible);
+}
+
+#[test]
+fn print_parse_roundtrip_preserves_semantics() {
+    for source in [EXAMPLE1, EXAMPLE2_INDEMNIFIED] {
+        let spec = parse_spec(source).unwrap();
+        let reparsed = parse_spec(&print(&spec)).unwrap();
+        assert_eq!(spec, reparsed);
+        // Same feasibility verdict either way.
+        assert_eq!(
+            analyze(&spec).unwrap().feasible,
+            analyze(&reparsed).unwrap().feasible
+        );
+    }
+}
+
+#[test]
+fn fixture_and_dsl_specs_agree() {
+    let dsl = parse_spec(EXAMPLE1).unwrap();
+    let (fixture, _) = trustseq::core::fixtures::example1();
+    // Different participant names, but identical structure: compare the
+    // synthesised step shapes.
+    let dsl_seq = synthesize(&dsl).unwrap();
+    let fix_seq = synthesize(&fixture).unwrap();
+    assert_eq!(dsl_seq.len(), fix_seq.len());
+    let kinds = |s: &trustseq::core::ExecutionSequence| {
+        s.steps().iter().map(|st| st.action.kind()).collect::<Vec<_>>()
+    };
+    assert_eq!(kinds(&dsl_seq), kinds(&fix_seq));
+}
+
+#[test]
+fn protocol_assignment_covers_all_agents_with_work() {
+    let spec = parse_spec(EXAMPLE2_INDEMNIFIED).unwrap();
+    let seq = synthesize(&spec).unwrap();
+    let protocol = Protocol::from_sequence(&spec, &seq);
+    // Every trusted component and every principal acts at least once.
+    for p in spec.participants() {
+        assert!(
+            !protocol.instructions_for(p.id()).is_empty(),
+            "{} has no instructions",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn dsl_money_precision_survives_the_pipeline() {
+    let spec = parse_spec(
+        r#"exchange "cents" {
+            producer p; consumer c; trusted t;
+            item i "Item";
+            deal d: p sells i to c for $12.34 via t;
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(spec.deals()[0].price(), Money::from_cents(1234));
+    let seq = synthesize(&spec).unwrap();
+    assert!(seq
+        .describe(&spec)
+        .iter()
+        .any(|l| l.contains("$12.34")));
+}
