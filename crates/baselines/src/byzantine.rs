@@ -166,18 +166,15 @@ pub fn run_eig(
         }
     }
 
-    let decisions: Vec<bool> = trees
-        .iter()
-        .map(|t| resolve(t, &[], f + 1))
-        .collect();
+    let decisions: Vec<bool> = trees.iter().map(|t| resolve(t, &[], f + 1)).collect();
 
     let honest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
-    let agreement = honest.windows(2).all(|w| decisions[w[0]] == decisions[w[1]]);
-    let unanimous_proposal = honest
+    let agreement = honest
         .windows(2)
-        .all(|w| initial[w[0]] == initial[w[1]]);
-    let validity = !unanimous_proposal
-        || honest.iter().all(|&i| decisions[i] == initial[honest[0]]);
+        .all(|w| decisions[w[0]] == decisions[w[1]]);
+    let unanimous_proposal = honest.windows(2).all(|w| initial[w[0]] == initial[w[1]]);
+    let validity =
+        !unanimous_proposal || honest.iter().all(|&i| decisions[i] == initial[honest[0]]);
 
     Ok(EigReport {
         decisions,
@@ -227,7 +224,10 @@ impl fmt::Display for CommitteeCostReport {
 ///
 /// Propagates synthesis errors ([`BaselineError::Core`]) when the exchange
 /// is infeasible, and EIG sizing errors.
-pub fn committee_cost(spec: &ExchangeSpec, faults: usize) -> Result<CommitteeCostReport, BaselineError> {
+pub fn committee_cost(
+    spec: &ExchangeSpec,
+    faults: usize,
+) -> Result<CommitteeCostReport, BaselineError> {
     let sequence = trustseq_core::synthesize(spec)?;
     let replicas = 3 * faults + 1;
     let trusted_messages = sequence.message_count();

@@ -66,8 +66,7 @@ pub fn cost_of_mistrust(spec: &ExchangeSpec) -> Result<MistrustCost, BaselineErr
 
     let universal = universal_settlement(spec, UNIVERSAL_INTERMEDIARY)?.message_count();
 
-    let two_phase_commit =
-        run_two_phase_commit(spec, true, &[], &BTreeSet::new())?.message_count();
+    let two_phase_commit = run_two_phase_commit(spec, true, &[], &BTreeSet::new())?.message_count();
 
     Ok(MistrustCost {
         direct,

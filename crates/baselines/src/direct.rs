@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn mutual_trust_enables_two_messages_per_deal() {
         let (mut spec, ids) = fixtures::example1();
-        for (a, b) in [
-            (ids.consumer, ids.broker),
-            (ids.broker, ids.producer),
-        ] {
+        for (a, b) in [(ids.consumer, ids.broker), (ids.broker, ids.producer)] {
             spec.add_trust(a, b).unwrap();
             spec.add_trust(b, a).unwrap();
         }

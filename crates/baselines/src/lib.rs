@@ -34,8 +34,7 @@ mod universal;
 
 pub use byzantine::{committee_cost, run_eig, CommitteeCostReport, EigReport};
 pub use cost::{
-    cost_of_mistrust, required_trust_pairs, with_full_trust, MistrustCost,
-    UNIVERSAL_INTERMEDIARY,
+    cost_of_mistrust, required_trust_pairs, with_full_trust, MistrustCost, UNIVERSAL_INTERMEDIARY,
 };
 pub use direct::{direct_exchange, DirectReport};
 pub use error::BaselineError;

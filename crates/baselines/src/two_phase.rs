@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn all_commit_all_transfer() {
         let (spec, _) = fixtures::example1();
-        let report =
-            run_two_phase_commit(&spec, true, &[], &BTreeSet::new()).unwrap();
+        let report = run_two_phase_commit(&spec, true, &[], &BTreeSet::new()).unwrap();
         assert!(report.committed);
         assert!(report.safety_holds());
         // 3 principals × 3 control + 2 deals × 2 transfers.
@@ -185,13 +184,9 @@ mod tests {
     #[test]
     fn abort_vote_stops_everything() {
         let (spec, ids) = fixtures::example1();
-        let report = run_two_phase_commit(
-            &spec,
-            true,
-            &[(ids.broker, Vote::Abort)],
-            &BTreeSet::new(),
-        )
-        .unwrap();
+        let report =
+            run_two_phase_commit(&spec, true, &[(ids.broker, Vote::Abort)], &BTreeSet::new())
+                .unwrap();
         assert!(!report.committed);
         assert_eq!(report.transfer_messages, 0);
         assert!(report.safety_holds());

@@ -157,7 +157,11 @@ pub fn universalize(spec: &ExchangeSpec) -> Result<ExchangeSpec, BaselineError> 
         )?;
     }
     for fc in spec.funding_constraints() {
-        out.add_funding_constraint(map[&fc.principal], deals[&fc.purchase], deals[&fc.funded_by])?;
+        out.add_funding_constraint(
+            map[&fc.principal],
+            deals[&fc.purchase],
+            deals[&fc.funded_by],
+        )?;
     }
     for (a, b) in spec.trust().iter() {
         out.add_trust(map[&a], map[&b])?;
@@ -231,11 +235,8 @@ mod tests {
         ] {
             let uni = universalize(&spec).unwrap();
             assert_eq!(uni.trusted_components().count(), 1, "{name}");
-            let verdict = trustseq_core::analyze_with(
-                &uni,
-                trustseq_core::BuildOptions::EXTENDED,
-            )
-            .unwrap();
+            let verdict =
+                trustseq_core::analyze_with(&uni, trustseq_core::BuildOptions::EXTENDED).unwrap();
             assert!(verdict.feasible, "{name}");
         }
         // The poor broker stays infeasible even universally: its funding
@@ -253,8 +254,7 @@ mod tests {
         let (spec, _) = fixtures::example2();
         let uni = universalize(&spec).unwrap();
         let seq =
-            trustseq_core::synthesize_with(&uni, trustseq_core::BuildOptions::EXTENDED)
-                .unwrap();
+            trustseq_core::synthesize_with(&uni, trustseq_core::BuildOptions::EXTENDED).unwrap();
         seq.verify(&uni).unwrap();
         let protocol = trustseq_core::Protocol::from_sequence(&uni, &seq);
         let sweep = trustseq_sim::sweep(&uni, &protocol, 3_000, 4).unwrap();

@@ -25,11 +25,9 @@ fn bench_indemnity(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("greedy_plan_width", n), &n, |b, _| {
             b.iter(|| greedy_plan(black_box(&spec), ids.consumer))
         });
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive_plan_width", n),
-            &n,
-            |b, _| b.iter(|| exhaustive_min_plan(black_box(&spec), ids.consumer)),
-        );
+        group.bench_with_input(BenchmarkId::new("exhaustive_plan_width", n), &n, |b, _| {
+            b.iter(|| exhaustive_min_plan(black_box(&spec), ids.consumer))
+        });
     }
 
     for n in [2usize, 4, 8] {

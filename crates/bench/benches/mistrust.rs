@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 use trustseq_baselines::{
-    cost_of_mistrust, direct_exchange, run_two_phase_commit, universal_settlement,
-    with_full_trust, UNIVERSAL_INTERMEDIARY,
+    cost_of_mistrust, direct_exchange, run_two_phase_commit, universal_settlement, with_full_trust,
+    UNIVERSAL_INTERMEDIARY,
 };
 use trustseq_core::{fixtures, synthesize};
 use trustseq_model::Money;
@@ -53,9 +53,11 @@ fn bench_mistrust(c: &mut Criterion) {
             "cost-of-mistrust chain-{depth}: {}",
             cost_of_mistrust(&chain).unwrap()
         );
-        group.bench_with_input(BenchmarkId::new("chain_escrow_depth", depth), &depth, |b, _| {
-            b.iter(|| synthesize(black_box(&chain)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_escrow_depth", depth),
+            &depth,
+            |b, _| b.iter(|| synthesize(black_box(&chain)).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("chain_direct_depth", depth),
             &depth,
@@ -65,9 +67,7 @@ fn bench_mistrust(c: &mut Criterion) {
             BenchmarkId::new("chain_universal_depth", depth),
             &depth,
             |b, _| {
-                b.iter(|| {
-                    universal_settlement(black_box(&chain), UNIVERSAL_INTERMEDIARY).unwrap()
-                })
+                b.iter(|| universal_settlement(black_box(&chain), UNIVERSAL_INTERMEDIARY).unwrap())
             },
         );
     }

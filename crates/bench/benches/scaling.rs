@@ -19,9 +19,11 @@ fn bench_scaling(c: &mut Criterion) {
         let (spec, _) = broker_chain(depth, Money::from_dollars(10_000), Money::from_dollars(1));
         let graph = SequencingGraph::from_spec(&spec).unwrap();
         group.throughput(Throughput::Elements(graph.initial_edge_count() as u64));
-        group.bench_with_input(BenchmarkId::new("reduce_chain_depth", depth), &depth, |b, _| {
-            b.iter(|| Reducer::new(black_box(graph.clone())).run())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reduce_chain_depth", depth),
+            &depth,
+            |b, _| b.iter(|| Reducer::new(black_box(graph.clone())).run()),
+        );
         group.bench_with_input(
             BenchmarkId::new("synthesize_chain_depth", depth),
             &depth,
@@ -40,7 +42,10 @@ fn bench_scaling(c: &mut Criterion) {
         );
     }
 
-    for (width, depth) in [(2usize, 2usize), (4, 3), (8, 4)] {
+    // Incremental worklist engine vs. the naive rescan oracle on random
+    // topologies: same traces, different per-step cost (O(neighbourhood)
+    // vs. O(edges)).
+    for (width, depth) in [(2usize, 2usize), (4, 3), (8, 4), (12, 5)] {
         let ex = random_exchange(&RandomConfig {
             width,
             max_depth: depth,
@@ -49,10 +54,16 @@ fn bench_scaling(c: &mut Criterion) {
             ..Default::default()
         });
         let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        group.throughput(Throughput::Elements(graph.initial_edge_count() as u64));
         group.bench_with_input(
             BenchmarkId::new("reduce_random", format!("w{width}d{depth}")),
             &width,
             |b, _| b.iter(|| Reducer::new(black_box(graph.clone())).run()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_random_naive", format!("w{width}d{depth}")),
+            &width,
+            |b, _| b.iter(|| Reducer::new(black_box(graph.clone())).run_naive()),
         );
     }
 
@@ -88,6 +99,9 @@ fn bench_scaling(c: &mut Criterion) {
         );
         println!("feasibility rate @ trust density {density}: {rate:.2}");
     }
+    // One element per analyzed sample: the parallel sweep's throughput is
+    // samples per second across the worker pool.
+    group.throughput(Throughput::Elements(40));
     group.bench_function("feasibility_rate_40_samples", |b| {
         b.iter(|| {
             feasibility_rate(

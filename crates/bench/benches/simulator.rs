@@ -66,17 +66,21 @@ fn bench_simulator(c: &mut Criterion) {
         let (chain, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(5));
         let cseq = synthesize(&chain).unwrap();
         let cprotocol = Protocol::from_sequence(&chain, &cseq);
-        group.bench_with_input(BenchmarkId::new("chain_run_depth", depth), &depth, |b, _| {
-            b.iter(|| {
-                Simulation::new(
-                    black_box(&chain),
-                    black_box(&cprotocol),
-                    BehaviorMap::all_honest(),
-                )
-                .run()
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_run_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    Simulation::new(
+                        black_box(&chain),
+                        black_box(&cprotocol),
+                        BehaviorMap::all_honest(),
+                    )
+                    .run()
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -30,11 +30,7 @@ fn main() -> ExitCode {
         eprintln!(
             "no experiment matched {:?}; available: {}",
             filter,
-            reports
-                .iter()
-                .map(|r| r.id)
-                .collect::<Vec<_>>()
-                .join(", ")
+            reports.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
         );
         return ExitCode::FAILURE;
     }

@@ -33,7 +33,11 @@ impl fmt::Display for ExperimentReport {
             "== {} — {} [{}]",
             self.id,
             self.title,
-            if self.matches { "REPRODUCED" } else { "MISMATCH" }
+            if self.matches {
+                "REPRODUCED"
+            } else {
+                "MISMATCH"
+            }
         )?;
         let rows = self.paper.len().max(self.measured.len());
         for i in 0..rows {
@@ -338,8 +342,7 @@ pub fn e10_petri_crosscheck() -> ExperimentReport {
 /// harms an honest party, which the trust-explicit protocol never allows.
 pub fn e11_two_phase_contrast() -> ExperimentReport {
     let (spec, ids) = fixtures::example1();
-    let honest_2pc =
-        run_two_phase_commit(&spec, true, &[], &BTreeSet::new()).expect("valid");
+    let honest_2pc = run_two_phase_commit(&spec, true, &[], &BTreeSet::new()).expect("valid");
     let defectors: BTreeSet<_> = [ids.consumer].into_iter().collect();
     let defect_2pc = run_two_phase_commit(&spec, true, &[], &defectors).expect("valid");
     let sweep = sweep_spec(&spec, 10_000).expect("feasible");
@@ -373,7 +376,7 @@ pub fn e12_safety_sweep() -> ExperimentReport {
     let mut all_ok = true;
 
     let scenarios: Vec<(&str, trustseq_model::ExchangeSpec)> = vec![
-        ("example1", fixtures::example1().0, ),
+        ("example1", fixtures::example1().0),
         ("example2+indemnity", {
             let (mut s, ids) = fixtures::example2();
             s.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
@@ -407,9 +410,7 @@ pub fn e12_safety_sweep() -> ExperimentReport {
     ExperimentReport {
         id: "E12",
         title: "Empirical safety sweep (the paper's central claim)",
-        paper: vec![
-            "no participant ever risks losing money or goods".into(),
-        ],
+        paper: vec!["no participant ever risks losing money or goods".into()],
         measured: lines,
         matches: all_ok,
     }
@@ -425,17 +426,15 @@ pub fn e13_shared_escrow_extension() -> ExperimentReport {
     let extended = trustseq_core::analyze_with(&spec, trustseq_core::BuildOptions::EXTENDED)
         .expect("valid")
         .feasible;
-    let (safe, runs) = match trustseq_core::synthesize_with(
-        &spec,
-        trustseq_core::BuildOptions::EXTENDED,
-    ) {
-        Ok(seq) => {
-            let protocol = trustseq_core::Protocol::from_sequence(&spec, &seq);
-            let sweep = trustseq_sim::sweep(&spec, &protocol, 10_000, 4).expect("runs");
-            (sweep.all_safe() && sweep.all_honest_preferred, sweep.runs)
-        }
-        Err(_) => (false, 0),
-    };
+    let (safe, runs) =
+        match trustseq_core::synthesize_with(&spec, trustseq_core::BuildOptions::EXTENDED) {
+            Ok(seq) => {
+                let protocol = trustseq_core::Protocol::from_sequence(&spec, &seq);
+                let sweep = trustseq_sim::sweep(&spec, &protocol, 10_000, 4).expect("runs");
+                (sweep.all_safe() && sweep.all_honest_preferred, sweep.runs)
+            }
+            Err(_) => (false, 0),
+        };
     ExperimentReport {
         id: "E13",
         title: "Shared-escrow extension (§9 future work, implemented)",
@@ -474,7 +473,10 @@ pub fn e14_distributed_reduction() -> ExperimentReport {
             .expect("valid")
             .run();
         all_agree &= dist.feasible == central;
-        lines.push(format!("{name}: {dist} (centralised agrees: {})", dist.feasible == central));
+        lines.push(format!(
+            "{name}: {dist} (centralised agrees: {})",
+            dist.feasible == central
+        ));
     }
     ExperimentReport {
         id: "E14",
@@ -557,7 +559,8 @@ pub fn e16_trust_hierarchy() -> ExperimentReport {
             .expect("ok");
         let t = s.add_trusted("t").expect("ok");
         let doc = s.add_item("doc", "Doc").expect("ok");
-        s.add_deal(p, c, t, doc, Money::from_dollars(25)).expect("ok");
+        s.add_deal(p, c, t, doc, Money::from_dollars(25))
+            .expect("ok");
         (s, ())
     };
     let single_messages = synthesize(&single).expect("feasible").message_count();
@@ -654,6 +657,53 @@ pub fn e18_document_assembly() -> ExperimentReport {
     }
 }
 
+/// E19 — feasibility-vs-trust-density sweep over random broker chains,
+/// measured with the parallel batch analyzer.
+pub fn e19_trust_density_sweep() -> ExperimentReport {
+    use trustseq_workloads::{feasibility_rate, RandomConfig};
+    let base = RandomConfig {
+        width: 2,
+        max_depth: 3,
+        ..Default::default()
+    };
+    let densities = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let rates: Vec<f64> = densities
+        .iter()
+        .map(|&trust_density| {
+            feasibility_rate(
+                &RandomConfig {
+                    trust_density,
+                    ..base.clone()
+                },
+                40,
+            )
+        })
+        .collect();
+    // More declared trust can only remove impasses, never create them: the
+    // per-seed exchanges differ only in added trust edges, so the rate must
+    // be monotone non-decreasing in the density, rising from a bundle-bound
+    // floor to certainty at full trust.
+    let monotone = rates.windows(2).all(|w| w[0] <= w[1]);
+    let saturates = *rates.last().unwrap() == 1.0;
+    ExperimentReport {
+        id: "E19",
+        title: "Trust density vs. feasibility (§4.2.3, swept at scale)",
+        paper: vec![
+            "\"as trust increases, fewer trusted intermediaries are".into(),
+            " needed and more exchanges become feasible\"".into(),
+        ],
+        measured: densities
+            .iter()
+            .zip(&rates)
+            .map(|(d, r)| format!("trust density {d:.2} → feasibility rate {r:.2}"))
+            .chain([format!(
+                "monotone = {monotone}, saturates at 1.0 = {saturates}"
+            )])
+            .collect(),
+        matches: monotone && saturates,
+    }
+}
+
 /// Runs every experiment, in order.
 pub fn all() -> Vec<ExperimentReport> {
     vec![
@@ -675,6 +725,7 @@ pub fn all() -> Vec<ExperimentReport> {
         e16_trust_hierarchy(),
         e17_byzantine_contrast(),
         e18_document_assembly(),
+        e19_trust_density_sweep(),
     ]
 }
 

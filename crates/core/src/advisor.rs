@@ -71,7 +71,10 @@ impl fmt::Display for Advice {
             && self.indemnity_plans.is_empty()
             && !self.delegation_unlocks
         {
-            return writeln!(f, "no single trust edge, indemnity plan or delegation unlocks this exchange");
+            return writeln!(
+                f,
+                "no single trust edge, indemnity plan or delegation unlocks this exchange"
+            );
         }
         if !self.trust_options.is_empty() {
             writeln!(f, "single trust edges that unlock the exchange:")?;
@@ -126,10 +129,7 @@ pub fn advise(spec: &ExchangeSpec) -> Result<Advice, CoreError> {
     let mut trust_options = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
     for deal in spec.deals() {
-        for (truster, trustee) in [
-            (deal.buyer(), deal.seller()),
-            (deal.seller(), deal.buyer()),
-        ] {
+        for (truster, trustee) in [(deal.buyer(), deal.seller()), (deal.seller(), deal.buyer())] {
             if !seen.insert((truster, trustee)) {
                 continue;
             }
@@ -195,10 +195,7 @@ mod tests {
         assert_eq!(advice.trust_options.len(), 2);
         // And the greedy indemnity plan works too.
         assert_eq!(advice.indemnity_plans.len(), 1);
-        assert_eq!(
-            advice.indemnity_plans[0].total(),
-            Money::from_dollars(10)
-        );
+        assert_eq!(advice.indemnity_plans[0].total(), Money::from_dollars(10));
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl SequencingGraph {
         // (bridged deals require both sides linked), so each deal has a
         // well-defined group.
         let deal_group = |d: DealId| -> Option<AgentId> {
-            spec.deal(d).ok().map(|d| spec.trusted_group_of(d.intermediary()))
+            spec.deal(d)
+                .ok()
+                .map(|d| spec.trusted_group_of(d.intermediary()))
         };
 
         // Conjunctions: one per internal *principal*, plus one per
@@ -215,7 +217,11 @@ impl SequencingGraph {
             }
         }
 
-        Ok(SequencingGraph::from_parts(commitments, conjunctions, edges))
+        Ok(SequencingGraph::from_parts(
+            commitments,
+            conjunctions,
+            edges,
+        ))
     }
 
     /// The conjunction node of `agent`, if it has one.
@@ -275,9 +281,7 @@ mod tests {
         assert_eq!(g.conjunctions().len(), 7);
         assert_eq!(g.initial_edge_count(), 14);
         assert_eq!(
-            g.live_edges()
-                .filter(|e| e.color == EdgeColor::Red)
-                .count(),
+            g.live_edges().filter(|e| e.color == EdgeColor::Red).count(),
             2
         );
     }
@@ -350,9 +354,7 @@ mod tests {
         // Both red edges discharged; consumer and broker conjunctions
         // delegated to the escrow.
         assert_eq!(
-            g.live_edges()
-                .filter(|e| e.color == EdgeColor::Red)
-                .count(),
+            g.live_edges().filter(|e| e.color == EdgeColor::Red).count(),
             0
         );
         assert!(g
@@ -373,8 +375,7 @@ mod tests {
             fixtures::figure7().0,
         ] {
             let paper = SequencingGraph::from_spec(&spec).unwrap();
-            let extended =
-                SequencingGraph::from_spec_with(&spec, BuildOptions::EXTENDED).unwrap();
+            let extended = SequencingGraph::from_spec_with(&spec, BuildOptions::EXTENDED).unwrap();
             assert_eq!(paper, extended, "{}", spec.name());
         }
     }
@@ -392,10 +393,22 @@ mod tests {
         let source2 = spec.participant_by_name("source2").unwrap().id();
         let doc3 = spec.add_item("doc3", "Document 3").unwrap();
         let sale3 = spec
-            .add_deal(broker2, consumer, t3, doc3, trustseq_model::Money::from_dollars(5))
+            .add_deal(
+                broker2,
+                consumer,
+                t3,
+                doc3,
+                trustseq_model::Money::from_dollars(5),
+            )
             .unwrap();
         let supply3 = spec
-            .add_deal(source2, broker2, t4, doc3, trustseq_model::Money::from_dollars(4))
+            .add_deal(
+                source2,
+                broker2,
+                t4,
+                doc3,
+                trustseq_model::Money::from_dollars(4),
+            )
             .unwrap();
         spec.add_resale_constraint(broker2, sale3, supply3).unwrap();
         let outcome = crate::analyze_with(&spec, BuildOptions::EXTENDED).unwrap();
@@ -409,8 +422,6 @@ mod tests {
         assert!(g.conjunction_of(ids.broker).is_some());
         assert!(g.conjunction_of(ids.consumer).is_none()); // degree 1
         assert!(g.commitment_for(ids.sale, DealSide::Buyer).is_some());
-        assert!(g
-            .commitment_for(DealId::new(99), DealSide::Buyer)
-            .is_none());
+        assert!(g.commitment_for(DealId::new(99), DealSide::Buyer).is_none());
     }
 }

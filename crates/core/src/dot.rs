@@ -18,11 +18,7 @@ pub fn interaction_to_dot(spec: &ExchangeSpec, graph: &InteractionGraph) -> Stri
     let _ = writeln!(out, "graph interaction {{");
     let _ = writeln!(out, "  layout=dot; rankdir=LR;");
     for &p in graph.principals() {
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=circle];",
-            agent_name(spec, p)
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=circle];", agent_name(spec, p));
     }
     for &t in graph.trusted() {
         let _ = writeln!(out, "  \"{}\" [shape=square];", agent_name(spec, t));
@@ -82,7 +78,11 @@ pub fn sequencing_to_dot(spec: &ExchangeSpec, graph: &SequencingGraph) -> String
             (true, EdgeColor::Black) => "[color=black]",
             (false, _) => "[color=grey, style=dashed]",
         };
-        let _ = writeln!(out, "  \"{}\" -- \"{}\" {style};", e.commitment, e.conjunction);
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" {style};",
+            e.commitment, e.conjunction
+        );
     }
     let _ = writeln!(out, "}}");
     out

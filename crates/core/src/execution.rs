@@ -272,7 +272,10 @@ fn assembly_ready<'a>(
 #[derive(Debug, Clone, Copy)]
 enum PendingEvent {
     Deposit(CommitmentId),
-    Notify { trusted: AgentId, principal: AgentId },
+    Notify {
+        trusted: AgentId,
+        principal: AgentId,
+    },
 }
 
 /// Recovers the execution sequence of a feasible exchange (§5).
@@ -399,13 +402,8 @@ fn schedule(
                                 // seller).
                                 holdings.get(&(c.trusted, item)).copied().unwrap_or(0) > 0
                             } else {
-                                holdings
-                                    .get(&(c.principal, item))
-                                    .copied()
-                                    .unwrap_or(0)
-                                    > 0
-                                    || assembly_ready(spec, &holdings, c.principal, item)
-                                        .is_some()
+                                holdings.get(&(c.principal, item)).copied().unwrap_or(0) > 0
+                                    || assembly_ready(spec, &holdings, c.principal, item).is_some()
                             }
                         }
                     };
@@ -455,14 +453,11 @@ fn schedule(
                                         .expect("availability was checked")
                                         .clone();
                                 for input in &assembly.inputs {
-                                    *holdings
-                                        .entry((c.principal, *input))
-                                        .or_insert(0) -= 1;
+                                    *holdings.entry((c.principal, *input)).or_insert(0) -= 1;
                                 }
                                 *holdings.entry((c.principal, deal.item())).or_insert(0) += 1;
                             }
-                            let slot =
-                                holdings.entry((c.principal, deal.item())).or_insert(0);
+                            let slot = holdings.entry((c.principal, deal.item())).or_insert(0);
                             *slot -= 1;
                             *holdings.entry((c.trusted, deal.item())).or_insert(0) += 1;
                         }
@@ -500,8 +495,7 @@ fn schedule(
                             });
                         }
                         if !internal.contains(&(d.intermediary(), d.buyer(), d.item())) {
-                            let slot =
-                                holdings.entry((d.intermediary(), d.item())).or_insert(0);
+                            let slot = holdings.entry((d.intermediary(), d.item())).or_insert(0);
                             debug_assert!(*slot > 0, "escrow must hold the item it forwards");
                             *slot -= 1;
                             *holdings.entry((d.buyer(), d.item())).or_insert(0) += 1;
@@ -606,7 +600,12 @@ mod tests {
     fn infeasible_exchange_has_no_sequence() {
         let (spec, _) = fixtures::example2();
         let err = synthesize(&spec).unwrap_err();
-        assert!(matches!(err, CoreError::Infeasible { remaining_edges: 10 }));
+        assert!(matches!(
+            err,
+            CoreError::Infeasible {
+                remaining_edges: 10
+            }
+        ));
     }
 
     #[test]

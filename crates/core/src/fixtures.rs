@@ -393,7 +393,13 @@ pub fn patent_assembly() -> (ExchangeSpec, PatentAssemblyIds) {
         .add_deal(publisher, consumer, t_sale, patent, Money::from_dollars(50))
         .unwrap();
     let supply_text = spec
-        .add_deal(text_source, publisher, t_text, text, Money::from_dollars(15))
+        .add_deal(
+            text_source,
+            publisher,
+            t_text,
+            text,
+            Money::from_dollars(15),
+        )
         .unwrap();
     let supply_diagrams = spec
         .add_deal(
@@ -449,7 +455,10 @@ mod tests {
         assert_eq!(g.principal_count(), 3);
         assert_eq!(g.trusted_count(), 2);
         assert_eq!(g.edge_count(), 4);
-        assert_eq!(spec.deal(ids.sale).unwrap().price(), Money::from_dollars(100));
+        assert_eq!(
+            spec.deal(ids.sale).unwrap().price(),
+            Money::from_dollars(100)
+        );
     }
 
     #[test]

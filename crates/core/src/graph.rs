@@ -136,6 +136,16 @@ pub struct SequencingGraph {
     commitment_edges: Vec<Vec<EdgeId>>,
     conjunction_edges: Vec<Vec<EdgeId>>,
     live_count: usize,
+    // Cached per-node live-edge counters, kept in lock-step with `alive` by
+    // `remove_edge`/`restore_edge` so fringe and pre-emption queries are O(1)
+    // instead of an adjacency scan. Invariants (checked by the scan oracles
+    // in debug builds):
+    //   commitment_live[c]      == #{ live edges at commitment c }
+    //   conjunction_live[j]     == #{ live edges at conjunction j }
+    //   conjunction_live_red[j] == #{ live red edges at conjunction j }
+    commitment_live: Vec<usize>,
+    conjunction_live: Vec<usize>,
+    conjunction_live_red: Vec<usize>,
 }
 
 impl SequencingGraph {
@@ -148,9 +158,17 @@ impl SequencingGraph {
     ) -> Self {
         let mut commitment_edges = vec![Vec::new(); commitments.len()];
         let mut conjunction_edges = vec![Vec::new(); conjunctions.len()];
+        let mut commitment_live = vec![0usize; commitments.len()];
+        let mut conjunction_live = vec![0usize; conjunctions.len()];
+        let mut conjunction_live_red = vec![0usize; conjunctions.len()];
         for e in &edges {
             commitment_edges[e.commitment.index()].push(e.id);
             conjunction_edges[e.conjunction.index()].push(e.id);
+            commitment_live[e.commitment.index()] += 1;
+            conjunction_live[e.conjunction.index()] += 1;
+            if e.color == EdgeColor::Red {
+                conjunction_live_red[e.conjunction.index()] += 1;
+            }
         }
         let live_count = edges.len();
         SequencingGraph {
@@ -161,6 +179,9 @@ impl SequencingGraph {
             commitment_edges,
             conjunction_edges,
             live_count,
+            commitment_live,
+            conjunction_live,
+            conjunction_live_red,
         }
     }
 
@@ -222,10 +243,7 @@ impl SequencingGraph {
     }
 
     /// Live edges incident to a commitment.
-    pub fn live_edges_of_commitment(
-        &self,
-        id: CommitmentId,
-    ) -> impl Iterator<Item = &Edge> + '_ {
+    pub fn live_edges_of_commitment(&self, id: CommitmentId) -> impl Iterator<Item = &Edge> + '_ {
         self.commitment_edges[id.index()]
             .iter()
             .filter(|e| self.alive[e.index()])
@@ -233,24 +251,52 @@ impl SequencingGraph {
     }
 
     /// Live edges incident to a conjunction.
-    pub fn live_edges_of_conjunction(
-        &self,
-        id: ConjunctionId,
-    ) -> impl Iterator<Item = &Edge> + '_ {
+    pub fn live_edges_of_conjunction(&self, id: ConjunctionId) -> impl Iterator<Item = &Edge> + '_ {
         self.conjunction_edges[id.index()]
             .iter()
             .filter(|e| self.alive[e.index()])
             .map(|e| &self.edges[e.index()])
     }
 
-    /// Number of live edges at a commitment.
+    /// Number of live edges at a commitment. O(1) via the cached counter.
     pub fn commitment_degree(&self, id: CommitmentId) -> usize {
+        let cached = self.commitment_live[id.index()];
+        debug_assert_eq!(
+            cached,
+            self.scan_commitment_degree(id),
+            "stale commitment_live counter at {id}"
+        );
+        cached
+    }
+
+    /// Number of live edges at a conjunction. O(1) via the cached counter.
+    pub fn conjunction_degree(&self, id: ConjunctionId) -> usize {
+        let cached = self.conjunction_live[id.index()];
+        debug_assert_eq!(
+            cached,
+            self.scan_conjunction_degree(id),
+            "stale conjunction_live counter at {id}"
+        );
+        cached
+    }
+
+    /// Adjacency-scan oracle for [`Self::commitment_degree`]; asserted equal
+    /// to the cached counter in debug builds.
+    pub(crate) fn scan_commitment_degree(&self, id: CommitmentId) -> usize {
         self.live_edges_of_commitment(id).count()
     }
 
-    /// Number of live edges at a conjunction.
-    pub fn conjunction_degree(&self, id: ConjunctionId) -> usize {
+    /// Adjacency-scan oracle for [`Self::conjunction_degree`]; asserted equal
+    /// to the cached counter in debug builds.
+    pub(crate) fn scan_conjunction_degree(&self, id: ConjunctionId) -> usize {
         self.live_edges_of_conjunction(id).count()
+    }
+
+    /// Adjacency-scan oracle for [`Self::preempted_by_red`]; asserted equal
+    /// to the counter-derived answer in debug builds.
+    pub(crate) fn scan_preempted_by_red(&self, conjunction: ConjunctionId, except: EdgeId) -> bool {
+        self.live_edges_of_conjunction(conjunction)
+            .any(|e| e.color == EdgeColor::Red && e.id != except)
     }
 
     /// Whether a commitment is on the fringe: at most one live edge.
@@ -264,10 +310,26 @@ impl SequencingGraph {
     }
 
     /// Whether a live red edge other than `except` is incident to the
-    /// conjunction — the pre-emption test of Rule #1.
+    /// conjunction — the pre-emption test of Rule #1. O(1): the cached live
+    /// red count, minus one when `except` itself is a live red edge of this
+    /// conjunction.
     pub fn preempted_by_red(&self, conjunction: ConjunctionId, except: EdgeId) -> bool {
-        self.live_edges_of_conjunction(conjunction)
-            .any(|e| e.color == EdgeColor::Red && e.id != except)
+        let mut reds = self.conjunction_live_red[conjunction.index()];
+        if let Some(e) = self.edges.get(except.index()) {
+            if self.alive[except.index()]
+                && e.color == EdgeColor::Red
+                && e.conjunction == conjunction
+            {
+                reds -= 1;
+            }
+        }
+        let preempted = reds > 0;
+        debug_assert_eq!(
+            preempted,
+            self.scan_preempted_by_red(conjunction, except),
+            "stale conjunction_live_red counter at {conjunction}"
+        );
+        preempted
     }
 
     /// Removes a live edge.
@@ -280,19 +342,31 @@ impl SequencingGraph {
             Some(slot) if *slot => {
                 *slot = false;
                 self.live_count -= 1;
+                let e = self.edges[id.index()];
+                self.commitment_live[e.commitment.index()] -= 1;
+                self.conjunction_live[e.conjunction.index()] -= 1;
+                if e.color == EdgeColor::Red {
+                    self.conjunction_live_red[e.conjunction.index()] -= 1;
+                }
                 Ok(())
             }
             _ => Err(CoreError::InvalidMove(id)),
         }
     }
 
-    /// Restores a removed edge (useful for exhaustive what-if exploration).
-    #[cfg(test)]
+    /// Restores a removed edge (used by confluence checking and what-if
+    /// exploration to rewind a reduction on the same graph).
     pub(crate) fn restore_edge(&mut self, id: EdgeId) {
         let slot = &mut self.alive[id.index()];
         if !*slot {
             *slot = true;
             self.live_count += 1;
+            let e = self.edges[id.index()];
+            self.commitment_live[e.commitment.index()] += 1;
+            self.conjunction_live[e.conjunction.index()] += 1;
+            if e.color == EdgeColor::Red {
+                self.conjunction_live_red[e.conjunction.index()] += 1;
+            }
         }
     }
 
@@ -455,6 +529,35 @@ mod tests {
         g.remove_edge(EdgeId::new(1)).unwrap();
         assert!(g.is_fully_reduced());
         assert_eq!(g.live_edges().count(), 0);
+    }
+
+    #[test]
+    fn cached_counters_track_removals_and_restores() {
+        let mut g = toy();
+        // Churn the graph through every remove/restore order and verify the
+        // cached counters against the scan oracles at each step.
+        for first in [EdgeId::new(0), EdgeId::new(1)] {
+            let second = EdgeId::new(1 - first.index() as u32);
+            g.remove_edge(first).unwrap();
+            g.remove_edge(second).unwrap();
+            g.restore_edge(second);
+            g.restore_edge(first);
+            for c in [CommitmentId::new(0), CommitmentId::new(1)] {
+                assert_eq!(g.commitment_degree(c), g.scan_commitment_degree(c));
+            }
+            let j = ConjunctionId::new(0);
+            assert_eq!(g.conjunction_degree(j), g.scan_conjunction_degree(j));
+            for except in [EdgeId::new(0), EdgeId::new(1), EdgeId::new(9)] {
+                assert_eq!(
+                    g.preempted_by_red(j, except),
+                    g.scan_preempted_by_red(j, except)
+                );
+            }
+        }
+        assert_eq!(g.live_edge_count(), 2);
+        // Restoring an already-live edge is a no-op on the counters.
+        g.restore_edge(EdgeId::new(0));
+        assert_eq!(g.commitment_degree(CommitmentId::new(0)), 1);
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct PlannedIndemnity {
 
 impl fmt::Display for PlannedIndemnity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} sets aside {} for {}", self.provider, self.amount, self.deal)
+        write!(
+            f,
+            "{} sets aside {} for {}",
+            self.provider, self.amount, self.deal
+        )
     }
 }
 
@@ -330,7 +334,10 @@ mod tests {
         let plan = greedy_plan(&spec, ids.consumer);
         assert!(plan.is_empty());
         assert_eq!(plan.total(), Money::ZERO);
-        assert_eq!(required_indemnity(&spec, ids.consumer, ids.sale), Money::ZERO);
+        assert_eq!(
+            required_indemnity(&spec, ids.consumer, ids.sale),
+            Money::ZERO
+        );
     }
 
     #[test]

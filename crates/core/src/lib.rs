@@ -68,6 +68,7 @@ pub use graph::{
 pub use indemnity::{IndemnityPlan, PlannedIndemnity};
 pub use protocol::{Instruction, Protocol};
 pub use reduce::{
-    analyze, analyze_with, confluence_check, Move, ReductionOutcome, Reducer, Strategy,
+    analyze, analyze_batch, analyze_with, confluence_check, ConfluenceReport, Move, Reducer,
+    ReductionOutcome, Strategy,
 };
 pub use trace::{ReductionStep, ReductionTrace, Rule};

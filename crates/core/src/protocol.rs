@@ -85,10 +85,7 @@ impl Protocol {
 
     /// The instructions assigned to `agent` (empty for bystanders).
     pub fn instructions_for(&self, agent: AgentId) -> &[Instruction] {
-        self.by_agent
-            .get(&agent)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_agent.get(&agent).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The participants with at least one instruction.
@@ -99,12 +96,9 @@ impl Protocol {
     /// The *deposit* instructions of `agent` — the points where the agent
     /// voluntarily parts with an asset (and could defect).
     pub fn deposits_of(&self, agent: AgentId) -> impl Iterator<Item = &Instruction> {
-        self.instructions_for(agent).iter().filter(|i| {
-            matches!(
-                i.kind,
-                StepKind::Deposit(_) | StepKind::IndemnityDeposit(_)
-            )
-        })
+        self.instructions_for(agent)
+            .iter()
+            .filter(|i| matches!(i.kind, StepKind::Deposit(_) | StepKind::IndemnityDeposit(_)))
     }
 }
 

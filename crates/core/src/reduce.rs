@@ -1,14 +1,30 @@
 //! The reduction engine: rules #1 and #2, maximal (greedy) reduction and the
 //! feasibility test (§4.2).
 
-use crate::graph::{EdgeId, SequencingGraph};
+use crate::graph::{Edge, EdgeColor, EdgeId, SequencingGraph};
 use crate::trace::{ReductionStep, ReductionTrace, Rule};
 use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
 use std::fmt;
+
+/// A worklist entry: an edge that *may* currently be removable under one of
+/// the two rules.
+///
+/// The derived ordering — edge id first, then `rule1` (`true` sorts above
+/// `false`) — makes a max-[`BinaryHeap`] pop candidates in exactly the order
+/// the deterministic strategy wants: largest edge id, rule #1 preferred on
+/// ties. Entries are *lazily invalidated*: conditions are re-checked at pop
+/// time, stale entries are discarded, and `via_clause2` is recomputed fresh
+/// so the recorded step never reflects out-of-date pre-emption state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Candidate {
+    edge: EdgeId,
+    rule1: bool,
+}
 
 /// A reduction move: a live edge together with the rule that sanctions its
 /// removal.
@@ -28,8 +44,7 @@ pub struct Move {
 /// verdict is *confluent* — independent of the reduction order — so the
 /// strategy only affects the shape of the recovered execution sequence, not
 /// whether one exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Strategy {
     /// Always apply the applicable move with the *largest* edge id,
     /// preferring rule #1 on ties. With deals declared retail-first (as in
@@ -46,7 +61,6 @@ pub enum Strategy {
         seed: u64,
     },
 }
-
 
 /// The outcome of a maximal reduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -199,8 +213,170 @@ impl Reducer {
         Ok(step)
     }
 
+    /// Re-checks a popped worklist entry against the *current* graph,
+    /// returning the move it stands for if it is still applicable.
+    ///
+    /// `via_clause2` is recomputed here rather than stored in the entry, so a
+    /// step recorded after pre-emption state changed still reports the clause
+    /// that actually sanctioned it.
+    fn revalidate(&self, cand: Candidate) -> Option<Move> {
+        let g = &self.graph;
+        if !g.is_live(cand.edge) {
+            return None;
+        }
+        let e = g.edge(cand.edge);
+        if cand.rule1 {
+            if g.commitment_degree(e.commitment) != 1 {
+                return None;
+            }
+            let preempted = g.preempted_by_red(e.conjunction, e.id);
+            let waiver = g.commitment(e.commitment).clause2_waiver;
+            if preempted && !waiver {
+                return None;
+            }
+            Some(Move {
+                edge: e.id,
+                rule: Rule::CommitmentFringe,
+                via_clause2: preempted && waiver,
+            })
+        } else {
+            if g.conjunction_degree(e.conjunction) != 1 {
+                return None;
+            }
+            Some(Move {
+                edge: e.id,
+                rule: Rule::ConjunctionFringe,
+                via_clause2: false,
+            })
+        }
+    }
+
+    /// Pushes every move that removing `removed` can newly enable.
+    ///
+    /// Removing edge `(c, j)` can only change applicability in the affected
+    /// neighbourhood, via three monotone events:
+    ///
+    /// (a) `c`'s degree dropped to 1 — its surviving edge becomes a rule #1
+    ///     candidate;
+    /// (b) `j`'s degree dropped to 1 — its surviving edge becomes a rule #2
+    ///     candidate;
+    /// (c) `removed` was red — pre-emption at `j` may have lifted, so every
+    ///     live edge at `j` whose commitment is on the fringe becomes a
+    ///     rule #1 candidate.
+    ///
+    /// Degrees never grow and red edges never reappear during a run, so once
+    /// applicable a move stays applicable until its edge is removed; pushing
+    /// at each enabling event therefore keeps the heap a superset of the
+    /// applicable set, which is the invariant the driver relies on.
+    fn push_unlocked(&self, removed: Edge, heap: &mut BinaryHeap<Candidate>) {
+        let g = &self.graph;
+        if g.commitment_degree(removed.commitment) == 1 {
+            let survivor = g
+                .live_edges_of_commitment(removed.commitment)
+                .next()
+                .expect("degree 1 means one live edge");
+            heap.push(Candidate {
+                edge: survivor.id,
+                rule1: true,
+            });
+        }
+        if g.conjunction_degree(removed.conjunction) == 1 {
+            let survivor = g
+                .live_edges_of_conjunction(removed.conjunction)
+                .next()
+                .expect("degree 1 means one live edge");
+            heap.push(Candidate {
+                edge: survivor.id,
+                rule1: false,
+            });
+        }
+        if removed.color == EdgeColor::Red {
+            for e in g.live_edges_of_conjunction(removed.conjunction) {
+                if g.commitment_degree(e.commitment) == 1 {
+                    heap.push(Candidate {
+                        edge: e.id,
+                        rule1: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The single reduction driver behind [`Reducer::run`] and
+    /// [`Reducer::run_keeping_graph`].
+    ///
+    /// The deterministic strategy runs the incremental worklist: the heap is
+    /// seeded with the currently applicable moves, and after each removal
+    /// only the removed edge's endpoints are re-examined
+    /// ([`Self::push_unlocked`]), so each step costs O(affected
+    /// neighbourhood · log worklist) instead of a full edge rescan. The
+    /// randomized strategy keeps the rescan loop, because it must sample
+    /// uniformly from the *whole* applicable set at every step.
+    fn drive(mut self) -> (ReductionOutcome, SequencingGraph) {
+        let mut trace = ReductionTrace::new();
+        match self.strategy {
+            Strategy::Deterministic => {
+                let mut heap: BinaryHeap<Candidate> = self
+                    .applicable_moves()
+                    .into_iter()
+                    .map(|m| Candidate {
+                        edge: m.edge,
+                        rule1: m.rule == Rule::CommitmentFringe,
+                    })
+                    .collect();
+                while let Some(cand) = heap.pop() {
+                    let Some(mv) = self.revalidate(cand) else {
+                        continue;
+                    };
+                    let removed = *self.graph.edge(mv.edge);
+                    let step = self.apply(mv).expect("revalidated move must apply");
+                    trace.push(step);
+                    self.push_unlocked(removed, &mut heap);
+                }
+            }
+            Strategy::Randomized { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    let mut moves = self.applicable_moves();
+                    if moves.is_empty() {
+                        break;
+                    }
+                    moves.shuffle(&mut rng);
+                    let step = self.apply(moves[0]).expect("applicable move must apply");
+                    trace.push(step);
+                }
+            }
+        }
+        let remaining_edges: Vec<EdgeId> = self.graph.live_edges().map(|e| e.id).collect();
+        (
+            ReductionOutcome {
+                feasible: remaining_edges.is_empty(),
+                trace,
+                remaining_edges,
+            },
+            self.graph,
+        )
+    }
+
     /// Runs the reduction to a fixpoint and reports the outcome.
-    pub fn run(mut self) -> ReductionOutcome {
+    pub fn run(self) -> ReductionOutcome {
+        self.drive().0
+    }
+
+    /// Runs the reduction and returns the reduced graph alongside the
+    /// outcome (useful for inspecting the impasse of an infeasible
+    /// exchange).
+    pub fn run_keeping_graph(self) -> (ReductionOutcome, SequencingGraph) {
+        self.drive()
+    }
+
+    /// Reference engine: rescans the whole edge set for applicable moves at
+    /// every step, exactly like the pre-worklist implementation.
+    ///
+    /// O(edges) per step, so O(edges²) per run — kept as the oracle the
+    /// property tests and the `reduce_random` benchmarks compare the
+    /// incremental engine against.
+    pub fn run_naive(mut self) -> ReductionOutcome {
         let mut trace = ReductionTrace::new();
         let mut rng = match self.strategy {
             Strategy::Randomized { seed } => Some(StdRng::seed_from_u64(seed)),
@@ -234,31 +410,6 @@ impl Reducer {
             remaining_edges,
         }
     }
-
-    /// Runs the reduction and returns the reduced graph alongside the
-    /// outcome (useful for inspecting the impasse of an infeasible
-    /// exchange).
-    pub fn run_keeping_graph(mut self) -> (ReductionOutcome, SequencingGraph) {
-        let mut trace = ReductionTrace::new();
-        loop {
-            let mut moves = self.applicable_moves();
-            if moves.is_empty() {
-                break;
-            }
-            moves.sort_by_key(|m| (std::cmp::Reverse(m.edge), m.rule != Rule::CommitmentFringe));
-            let step = self.apply(moves[0]).expect("applicable move must apply");
-            trace.push(step);
-        }
-        let remaining_edges: Vec<EdgeId> = self.graph.live_edges().map(|e| e.id).collect();
-        (
-            ReductionOutcome {
-                feasible: remaining_edges.is_empty(),
-                trace,
-                remaining_edges,
-            },
-            self.graph,
-        )
-    }
 }
 
 /// Convenience: builds the sequencing graph of `spec`, reduces it
@@ -286,9 +437,107 @@ pub fn analyze_with(
     Ok(Reducer::new(graph).run())
 }
 
+/// Analyzes many specs at once, fanning the reductions across OS threads.
+///
+/// Results are returned in input order, one per spec, each carrying its own
+/// graph-construction errors. The fan-out uses [`std::thread::scope`] with
+/// one worker per available core (capped at the batch size), so small
+/// batches don't over-spawn and a single spec degenerates to the serial
+/// path.
+pub fn analyze_batch(
+    specs: &[trustseq_model::ExchangeSpec],
+) -> Vec<Result<ReductionOutcome, CoreError>> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(specs.len());
+    if workers <= 1 {
+        return specs.iter().map(analyze).collect();
+    }
+    let chunk = specs.len().div_ceil(workers);
+    let mut results: Vec<Option<Result<ReductionOutcome, CoreError>>> = Vec::new();
+    results.resize_with(specs.len(), || None);
+    std::thread::scope(|scope| {
+        for (spec_chunk, out_chunk) in specs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (spec, out) in spec_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = Some(analyze(spec));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is covered by exactly one worker"))
+        .collect()
+}
+
+/// The per-sample verdicts of an empirical confluence check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfluenceReport {
+    /// The deterministic strategy's feasibility verdict.
+    pub reference_feasible: bool,
+    /// How many randomized orders were sampled.
+    pub samples: u64,
+    /// How many of them agreed with the reference verdict.
+    pub agreeing: u64,
+    /// The seeds whose verdict disagreed (empty iff confluent on this
+    /// sample).
+    pub disagreeing_seeds: Vec<u64>,
+}
+
+impl ConfluenceReport {
+    /// Whether every sampled order agreed with the deterministic verdict.
+    pub fn unanimous(&self) -> bool {
+        self.disagreeing_seeds.is_empty()
+    }
+}
+
+impl fmt::Display for ConfluenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} randomized orders agree with the {} reference",
+            self.agreeing,
+            self.samples,
+            if self.reference_feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            }
+        )?;
+        if !self.unanimous() {
+            write!(f, " (disagreeing seeds: {:?})", self.disagreeing_seeds)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reduces a graph in place and rewinds it: the trace records exactly the
+/// removed edges, so restoring them returns the graph (and its cached
+/// counters) to the pre-run state without cloning.
+fn run_and_rewind(graph: &mut SequencingGraph, strategy: Strategy) -> ReductionOutcome {
+    let owned = std::mem::replace(
+        graph,
+        SequencingGraph::from_parts(Vec::new(), Vec::new(), Vec::new()),
+    );
+    let (outcome, mut reduced) = Reducer::new(owned)
+        .with_strategy(strategy)
+        .run_keeping_graph();
+    for step in outcome.trace.steps() {
+        reduced.restore_edge(step.edge);
+    }
+    *graph = reduced;
+    outcome
+}
+
 /// Checks confluence empirically: reduces `spec`'s graph under `samples`
-/// random orders plus the deterministic order, and returns the feasibility
-/// verdicts' unanimity.
+/// random orders plus the deterministic order and reports the per-sample
+/// verdicts.
+///
+/// The graph is built once and rewound between samples (reduction touches
+/// only edge liveness, which [`ReductionTrace`] records exactly), so the
+/// per-sample cost is the reduction itself, not a fresh clone of the graph.
 ///
 /// # Errors
 ///
@@ -296,19 +545,25 @@ pub fn analyze_with(
 pub fn confluence_check(
     spec: &trustseq_model::ExchangeSpec,
     samples: u64,
-) -> Result<bool, CoreError> {
-    let graph = SequencingGraph::from_spec(spec)?;
-    let reference = Reducer::new(graph.clone()).run().feasible;
+) -> Result<ConfluenceReport, CoreError> {
+    let mut graph = SequencingGraph::from_spec(spec)?;
+    let reference_feasible = run_and_rewind(&mut graph, Strategy::Deterministic).feasible;
+    let mut agreeing = 0;
+    let mut disagreeing_seeds = Vec::new();
     for seed in 0..samples {
-        let verdict = Reducer::new(graph.clone())
-            .with_strategy(Strategy::Randomized { seed })
-            .run()
-            .feasible;
-        if verdict != reference {
-            return Ok(false);
+        let verdict = run_and_rewind(&mut graph, Strategy::Randomized { seed }).feasible;
+        if verdict == reference_feasible {
+            agreeing += 1;
+        } else {
+            disagreeing_seeds.push(seed);
         }
     }
-    Ok(true)
+    Ok(ConfluenceReport {
+        reference_feasible,
+        samples,
+        agreeing,
+        disagreeing_seeds,
+    })
 }
 
 #[cfg(test)]
@@ -428,8 +683,60 @@ mod tests {
             (fixtures::poor_broker().0, false),
             (fixtures::figure7().0, false),
         ] {
-            assert!(confluence_check(&spec, 25).unwrap());
-            assert_eq!(analyze(&spec).unwrap().feasible, feasible, "{}", spec.name());
+            let report = confluence_check(&spec, 25).unwrap();
+            assert!(report.unanimous(), "{}: {report}", spec.name());
+            assert_eq!(report.samples, 25);
+            assert_eq!(report.agreeing, 25);
+            assert_eq!(report.reference_feasible, feasible, "{}", spec.name());
+            assert_eq!(
+                analyze(&spec).unwrap().feasible,
+                feasible,
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn confluence_rewind_leaves_graph_intact() {
+        let (spec, _) = fixtures::example1();
+        let mut graph = SequencingGraph::from_spec(&spec).unwrap();
+        let pristine = graph.clone();
+        super::run_and_rewind(&mut graph, Strategy::Deterministic);
+        super::run_and_rewind(&mut graph, Strategy::Randomized { seed: 3 });
+        assert_eq!(graph, pristine);
+    }
+
+    #[test]
+    fn worklist_trace_matches_naive_oracle_on_fixtures() {
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ] {
+            let g = SequencingGraph::from_spec(&spec).unwrap();
+            let incremental = Reducer::new(g.clone()).run();
+            let naive = Reducer::new(g).run_naive();
+            assert_eq!(incremental, naive, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn analyze_batch_matches_serial_analyze() {
+        let specs: Vec<_> = [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+            fixtures::example1().0,
+        ]
+        .into_iter()
+        .collect();
+        let batch = analyze_batch(&specs);
+        assert_eq!(batch.len(), specs.len());
+        for (spec, result) in specs.iter().zip(&batch) {
+            assert_eq!(result.as_ref().unwrap(), &analyze(spec).unwrap());
         }
     }
 
@@ -456,10 +763,7 @@ mod tests {
         let mv = moves[0];
         reducer.apply(mv).unwrap();
         // Reapplying the same move fails: the edge is dead.
-        assert_eq!(
-            reducer.apply(mv),
-            Err(CoreError::InvalidMove(mv.edge))
-        );
+        assert_eq!(reducer.apply(mv), Err(CoreError::InvalidMove(mv.edge)));
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl fmt::Display for DistOutcome {
         write!(
             f,
             "{} in {} rounds, {} messages ({} removals, {} edges remain)",
-            if self.feasible { "feasible" } else { "infeasible" },
+            if self.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
             self.rounds,
             self.messages,
             self.removals.len(),
@@ -280,14 +284,15 @@ mod tests {
         let (spec, _) = fixtures::example2_shared_escrow();
         let paper = DistributedReduction::new(&spec).unwrap().run();
         assert!(!paper.feasible);
-        let extended =
-            DistributedReduction::with_options(&spec, BuildOptions::EXTENDED)
-                .unwrap()
-                .run();
+        let extended = DistributedReduction::with_options(&spec, BuildOptions::EXTENDED)
+            .unwrap()
+            .run();
         assert!(extended.feasible);
         assert_eq!(
             extended.feasible,
-            analyze_with(&spec, BuildOptions::EXTENDED).unwrap().feasible
+            analyze_with(&spec, BuildOptions::EXTENDED)
+                .unwrap()
+                .feasible
         );
     }
 
@@ -330,7 +335,8 @@ mod tests {
                         .unwrap()
                         .run_with_delays(seed, max_delay);
                     assert_eq!(
-                        outcome.feasible, feasible,
+                        outcome.feasible,
+                        feasible,
                         "{} seed {seed} delay {max_delay}",
                         spec.name()
                     );

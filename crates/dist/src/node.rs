@@ -4,7 +4,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use trustseq_core::{Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, Rule};
+use trustseq_core::{
+    Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, Rule,
+};
 use trustseq_model::AgentId;
 
 /// A protocol message: the sender removed an edge.

@@ -188,7 +188,8 @@ mod tests {
         let text = spec.add_item("text", "Text").unwrap();
         let diagrams = spec.add_item("diagrams", "Diagrams").unwrap();
         let patent = spec.add_item("patent", "Patent").unwrap();
-        spec.add_assembly(pubr, vec![text, diagrams], patent).unwrap();
+        spec.add_assembly(pubr, vec![text, diagrams], patent)
+            .unwrap();
         spec.add_deal(pubr, c, t, patent, Money::from_dollars(50))
             .unwrap();
         let rendered = print(&spec);
@@ -206,7 +207,8 @@ mod tests {
         let supply = spec.deals()[1].id();
         spec.add_funding_constraint(b, supply, sale).unwrap();
         spec.add_trust(p, b).unwrap();
-        spec.add_indemnity(b, sale, Money::from_cents(1234)).unwrap();
+        spec.add_indemnity(b, sale, Money::from_cents(1234))
+            .unwrap();
         let reparsed = parse_spec(&print(&spec)).unwrap();
         assert_eq!(spec, reparsed);
     }

@@ -177,7 +177,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
             '$' => {
                 bump!();
                 let mut s = String::from("$");
-                while chars.peek().is_some_and(|c| c.is_ascii_digit() || *c == '.') {
+                while chars
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || *c == '.')
+                {
                     s.push(bump!().expect("peeked"));
                 }
                 let amount: Money = s.parse().map_err(|_| LangError::Lex {
@@ -262,7 +265,10 @@ mod tests {
 
     #[test]
     fn whole_dollar_amounts() {
-        assert_eq!(kinds("$100"), vec![TokenKind::Money(Money::from_dollars(100))]);
+        assert_eq!(
+            kinds("$100"),
+            vec![TokenKind::Money(Money::from_dollars(100))]
+        );
     }
 
     #[test]

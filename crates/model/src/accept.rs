@@ -59,7 +59,10 @@ fn backout_actions(deal: &Deal, principal: AgentId) -> Vec<Action> {
     } else {
         Action::give(principal, deal.seller_intermediary(), deal.item())
     };
-    vec![forward, forward.inverse().expect("forward action invertible")]
+    vec![
+        forward,
+        forward.inverse().expect("forward action invertible"),
+    ]
 }
 
 /// Indemnity deposit + refund, as seen by the provider.
@@ -387,7 +390,9 @@ mod tests {
         // One deposited-and-refunded, other untouched: acceptable.
         let backed: ExchangeState = [
             Action::pay(c, t1, Money::from_dollars(10)),
-            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+            Action::pay(c, t1, Money::from_dollars(10))
+                .inverse()
+                .unwrap(),
         ]
         .into_iter()
         .collect();
@@ -421,7 +426,9 @@ mod tests {
             Action::give(t2, c, d2),
             // deal 1 refunded + indemnity payout via t1
             Action::pay(c, t1, Money::from_dollars(10)),
-            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+            Action::pay(c, t1, Money::from_dollars(10))
+                .inverse()
+                .unwrap(),
             Action::pay(t1, c, Money::from_dollars(20)),
         ]
         .into_iter()
@@ -435,7 +442,9 @@ mod tests {
             Action::pay(c, t1, Money::from_dollars(10)),
             Action::give(t1, c, d1),
             Action::pay(c, t2, Money::from_dollars(20)),
-            Action::pay(c, t2, Money::from_dollars(20)).inverse().unwrap(),
+            Action::pay(c, t2, Money::from_dollars(20))
+                .inverse()
+                .unwrap(),
         ]
         .into_iter()
         .collect();
@@ -446,9 +455,13 @@ mod tests {
         // harmed).
         let both_fail: ExchangeState = [
             Action::pay(c, t2, Money::from_dollars(20)),
-            Action::pay(c, t2, Money::from_dollars(20)).inverse().unwrap(),
+            Action::pay(c, t2, Money::from_dollars(20))
+                .inverse()
+                .unwrap(),
             Action::pay(c, t1, Money::from_dollars(10)),
-            Action::pay(c, t1, Money::from_dollars(10)).inverse().unwrap(),
+            Action::pay(c, t1, Money::from_dollars(10))
+                .inverse()
+                .unwrap(),
             Action::pay(t1, c, Money::from_dollars(20)),
         ]
         .into_iter()
@@ -486,7 +499,8 @@ mod tests {
         let t = spec.add_trusted("t").unwrap();
         let i = spec.add_item("doc", "Doc").unwrap();
         let deal = spec.add_deal(b, c, t, i, Money::from_dollars(10)).unwrap();
-        spec.add_indemnity(b, deal, Money::from_dollars(25)).unwrap();
+        spec.add_indemnity(b, deal, Money::from_dollars(25))
+            .unwrap();
 
         let accept = spec.acceptance_spec_of(b);
         let deposit = Action::pay(b, t, Money::from_dollars(25));
@@ -496,9 +510,7 @@ mod tests {
         assert_eq!(accept.classify(&forfeit), Outcome::Acceptable);
 
         // Deal never performed, indemnity refunded.
-        let refunded: ExchangeState = [deposit, deposit.inverse().unwrap()]
-            .into_iter()
-            .collect();
+        let refunded: ExchangeState = [deposit, deposit.inverse().unwrap()].into_iter().collect();
         assert_eq!(accept.classify(&refunded), Outcome::Acceptable);
 
         // Preferred: deal completed + indemnity refunded.

@@ -174,10 +174,7 @@ mod tests {
         let (first, then) = actions();
         let c = OrderingConstraint::new(first, then);
         // Later action at the tail, earlier at the point of the arrow.
-        assert_eq!(
-            c.to_string(),
-            format!("{then} -> {first}"),
-        );
+        assert_eq!(c.to_string(), format!("{then} -> {first}"),);
     }
 
     #[test]

@@ -155,10 +155,7 @@ impl InteractionGraph {
     /// Nodes with more than one incident edge — these become conjunction
     /// nodes in the sequencing graph (§4.1).
     pub fn internal_nodes(&self) -> impl Iterator<Item = AgentId> + '_ {
-        self.degree
-            .iter()
-            .filter(|&(_, &d)| d > 1)
-            .map(|(&a, _)| a)
+        self.degree.iter().filter(|&(_, &d)| d > 1).map(|(&a, _)| a)
     }
 
     /// Edges incident to `agent`.

@@ -80,12 +80,13 @@ impl SagaView {
     /// Whether every compensation follows the forward action it undoes —
     /// the saga ordering discipline.
     pub fn compensations_ordered(&self) -> bool {
-        self.actions.iter().enumerate().all(|(i, a)| {
-            match a.compensated() {
+        self.actions
+            .iter()
+            .enumerate()
+            .all(|(i, a)| match a.compensated() {
                 Some(forward) => self.actions[..i].contains(&forward),
                 None => true,
-            }
-        })
+            })
     }
 
     /// Classifies the view against the party's acceptance specification:

@@ -638,7 +638,10 @@ impl ExchangeSpec {
         if !is_party {
             return Err(ModelError::RoleNotParty { trusted, principal });
         }
-        self.role_players.entry(trusted).or_default().insert(principal);
+        self.role_players
+            .entry(trusted)
+            .or_default()
+            .insert(principal);
         Ok(())
     }
 
@@ -688,9 +691,7 @@ impl ExchangeSpec {
         let via = self
             .deals
             .iter()
-            .find(|d| {
-                d.involves_principal(provider) && d.involves_principal(beneficiary)
-            })
+            .find(|d| d.involves_principal(provider) && d.involves_principal(beneficiary))
             .map(|d| d.intermediary)
             .ok_or(ModelError::NoSharedIntermediary {
                 provider,
@@ -743,7 +744,9 @@ impl ExchangeSpec {
     ///
     /// [`ModelError::UnknownItem`] for a dangling id.
     pub fn item(&self, id: ItemId) -> Result<&Item, ModelError> {
-        self.items.get(id.index()).ok_or(ModelError::UnknownItem(id))
+        self.items
+            .get(id.index())
+            .ok_or(ModelError::UnknownItem(id))
     }
 
     /// Looks up an item by key.
@@ -762,7 +765,9 @@ impl ExchangeSpec {
     ///
     /// [`ModelError::UnknownDeal`] for a dangling id.
     pub fn deal(&self, id: DealId) -> Result<&Deal, ModelError> {
-        self.deals.get(id.index()).ok_or(ModelError::UnknownDeal(id))
+        self.deals
+            .get(id.index())
+            .ok_or(ModelError::UnknownDeal(id))
     }
 
     /// The resale constraints.
@@ -880,9 +885,9 @@ impl ExchangeSpec {
 
     /// Deals mediated by trusted component `trusted` on either side.
     pub fn deals_via(&self, trusted: AgentId) -> impl Iterator<Item = &Deal> {
-        self.deals.iter().filter(move |d| {
-            d.intermediary == trusted || d.seller_intermediary == trusted
-        })
+        self.deals
+            .iter()
+            .filter(move |d| d.intermediary == trusted || d.seller_intermediary == trusted)
     }
 
     /// Deals mediated by any member of the trusted-link group whose

@@ -274,11 +274,7 @@ impl AcceptanceSpec {
     pub fn classify(&self, state: &ExchangeState) -> Outcome {
         if self.preferred().matches(state, self.party) {
             Outcome::Preferred
-        } else if self
-            .acceptable
-            .iter()
-            .any(|p| p.matches(state, self.party))
-        {
+        } else if self.acceptable.iter().any(|p| p.matches(state, self.party)) {
             Outcome::Acceptable
         } else {
             Outcome::Unacceptable

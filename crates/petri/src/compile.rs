@@ -104,16 +104,15 @@ pub fn compile_graph(graph: &SequencingGraph) -> Result<ExchangeNet, PetriError>
         {
             let mut inputs = vec![(live[ei], 1)];
             let mut outputs = vec![(dead[ei], 1)];
-            for other in edges.iter().filter(|o| {
-                o.commitment == e.commitment && o.id != e.id
-            }) {
+            for other in edges
+                .iter()
+                .filter(|o| o.commitment == e.commitment && o.id != e.id)
+            {
                 read(&mut inputs, &mut outputs, dead[other.id.index()]);
             }
             if !graph.commitment(e.commitment).clause2_waiver {
                 for red in edges.iter().filter(|o| {
-                    o.conjunction == e.conjunction
-                        && o.id != e.id
-                        && o.color == EdgeColor::Red
+                    o.conjunction == e.conjunction && o.id != e.id && o.color == EdgeColor::Red
                 }) {
                     read(&mut inputs, &mut outputs, dead[red.id.index()]);
                 }
@@ -126,9 +125,10 @@ pub fn compile_graph(graph: &SequencingGraph) -> Result<ExchangeNet, PetriError>
         {
             let mut inputs = vec![(live[ei], 1)];
             let mut outputs = vec![(dead[ei], 1)];
-            for other in edges.iter().filter(|o| {
-                o.conjunction == e.conjunction && o.id != e.id
-            }) {
+            for other in edges
+                .iter()
+                .filter(|o| o.conjunction == e.conjunction && o.id != e.id)
+            {
                 read(&mut inputs, &mut outputs, dead[other.id.index()]);
             }
             net.add_transition(format!("rule2_{}", e.id), inputs, outputs)?;
@@ -197,14 +197,11 @@ mod tests {
         // feasible under delegation — and the nets agree on both counts.
         let (spec, _) = fixtures::example2_shared_escrow();
         let paper = compile(&spec).unwrap();
-        let report =
-            crate::coverable(&paper.net, &paper.initial, &paper.goal, 5_000_000).unwrap();
+        let report = crate::coverable(&paper.net, &paper.initial, &paper.goal, 5_000_000).unwrap();
         assert!(!report.coverable);
-        let extended =
-            compile_with(&spec, trustseq_core::BuildOptions::EXTENDED).unwrap();
+        let extended = compile_with(&spec, trustseq_core::BuildOptions::EXTENDED).unwrap();
         let report =
-            crate::coverable(&extended.net, &extended.initial, &extended.goal, 5_000_000)
-                .unwrap();
+            crate::coverable(&extended.net, &extended.initial, &extended.goal, 5_000_000).unwrap();
         assert!(report.coverable);
     }
 

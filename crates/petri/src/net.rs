@@ -88,8 +88,7 @@ impl Marking {
 
     /// Whether this marking covers `other` (component-wise ≥).
     pub fn covers(&self, other: &Marking) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
     }
 
     /// Total number of tokens.
@@ -342,9 +341,7 @@ mod properties {
             let tokens = proptest::collection::vec(0u32..4, p);
             (Just(p), transitions, tokens).prop_map(|(p, ts, tokens)| {
                 let mut net = PetriNet::new();
-                let ids: Vec<PlaceId> = (0..p)
-                    .map(|i| net.add_place(format!("p{i}")))
-                    .collect();
+                let ids: Vec<PlaceId> = (0..p).map(|i| net.add_place(format!("p{i}"))).collect();
                 for (k, (ins, outs)) in ts.into_iter().enumerate() {
                     let ins = ins.into_iter().map(|(i, w)| (ids[i], w)).collect();
                     let outs = outs.into_iter().map(|(i, w)| (ids[i], w)).collect();

@@ -125,9 +125,7 @@ pub fn sweep(
                             for (&agent, &outcome) in &report.outcomes {
                                 let honest = behaviors.of(agent).is_honest();
                                 if honest && outcome == Outcome::Unacceptable {
-                                    violations_ref
-                                        .lock()
-                                        .push((behaviors.to_string(), agent));
+                                    violations_ref.lock().push((behaviors.to_string(), agent));
                                 }
                             }
                         }
@@ -251,8 +249,7 @@ mod tests {
     fn shared_escrow_extension_safe_under_all_defections() {
         let (spec, _) = fixtures::example2_shared_escrow();
         let seq =
-            trustseq_core::synthesize_with(&spec, trustseq_core::BuildOptions::EXTENDED)
-                .unwrap();
+            trustseq_core::synthesize_with(&spec, trustseq_core::BuildOptions::EXTENDED).unwrap();
         let protocol = Protocol::from_sequence(&spec, &seq);
         let report = sweep(&spec, &protocol, 10_000, 4).unwrap();
         assert!(report.all_safe(), "violations: {:?}", report.violations);

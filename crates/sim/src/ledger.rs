@@ -65,20 +65,12 @@ impl Ledger {
         // sum of its inputs (acyclic by construction).
         let assemblies: Vec<Assembly> = spec.assemblies().to_vec();
         let mut item_weight: BTreeMap<ItemId, u64> = BTreeMap::new();
-        fn weight(
-            item: ItemId,
-            assemblies: &[Assembly],
-            memo: &mut BTreeMap<ItemId, u64>,
-        ) -> u64 {
+        fn weight(item: ItemId, assemblies: &[Assembly], memo: &mut BTreeMap<ItemId, u64>) -> u64 {
             if let Some(&w) = memo.get(&item) {
                 return w;
             }
             let w = match assemblies.iter().find(|a| a.output == item) {
-                Some(a) => a
-                    .inputs
-                    .iter()
-                    .map(|&i| weight(i, assemblies, memo))
-                    .sum(),
+                Some(a) => a.inputs.iter().map(|&i| weight(i, assemblies, memo)).sum(),
                 None => 1,
             };
             memo.insert(item, w);
@@ -313,9 +305,7 @@ mod tests {
         let (spec, ids) = fixtures::example1();
         let mut ledger = Ledger::for_spec(&spec);
         let before = ledger.clone();
-        ledger
-            .apply(&Action::notify(ids.t1, ids.broker))
-            .unwrap();
+        ledger.apply(&Action::notify(ids.t1, ids.broker)).unwrap();
         assert_eq!(ledger, before);
     }
 
@@ -333,7 +323,11 @@ mod tests {
             .apply(&Action::give(ids.text_source, ids.publisher, ids.text))
             .unwrap();
         ledger
-            .apply(&Action::give(ids.diagram_source, ids.publisher, ids.diagrams))
+            .apply(&Action::give(
+                ids.diagram_source,
+                ids.publisher,
+                ids.diagrams,
+            ))
             .unwrap();
         // Now delivery implicitly assembles: components consumed, patent
         // delivered, weighted mass conserved.

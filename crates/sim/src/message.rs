@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn truncated_frames_rejected() {
-        let msg = Message::new(SimTime::ZERO, Action::notify(AgentId::new(0), AgentId::new(1)));
+        let msg = Message::new(
+            SimTime::ZERO,
+            Action::notify(AgentId::new(0), AgentId::new(1)),
+        );
         let mut bytes = msg.encode();
         let short = bytes.split_to(10);
         assert!(matches!(
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        let msg = Message::new(SimTime::ZERO, Action::notify(AgentId::new(0), AgentId::new(1)));
+        let msg = Message::new(
+            SimTime::ZERO,
+            Action::notify(AgentId::new(0), AgentId::new(1)),
+        );
         let mut raw = BytesMut::from(&msg.encode()[..]);
         raw[8] = 99; // corrupt the tag byte
         assert!(matches!(

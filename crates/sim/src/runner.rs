@@ -24,8 +24,7 @@ use trustseq_model::{Action, AgentId, ExchangeSpec, ExchangeState, Outcome};
 
 /// Temporal configuration of a simulation (§2.2 of the paper models
 /// deadlines explicitly; §9 defers their full treatment to future work).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SimConfig {
     /// How many ticks a trusted component holds a deposit before returning
     /// it (one protocol step = one tick). `None` reproduces the paper's
@@ -33,7 +32,6 @@ pub struct SimConfig {
     /// sufficiently generous".
     pub escrow_deadline: Option<u64>,
 }
-
 
 /// The result of one simulated protocol execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,7 +89,11 @@ impl fmt::Display for SimReport {
             "run [{}]: {} messages, safety {}",
             self.behaviors,
             self.message_count(),
-            if self.safety_holds() { "OK" } else { "VIOLATED" }
+            if self.safety_holds() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
         )?;
         for (agent, outcome) in &self.outcomes {
             writeln!(f, "  {agent}: {outcome}")?;
@@ -136,10 +138,7 @@ impl<'a> Simulation<'a> {
     /// Reuses precomputed acceptance specifications (their generation is
     /// exponential in deals-per-principal, so sweeps compute them once).
     #[must_use]
-    pub fn with_acceptance(
-        mut self,
-        acceptance: &'a [trustseq_model::AcceptanceSpec],
-    ) -> Self {
+    pub fn with_acceptance(mut self, acceptance: &'a [trustseq_model::AcceptanceSpec]) -> Self {
         self.acceptance = Some(acceptance);
         self
     }
@@ -290,19 +289,14 @@ impl<'a> Simulation<'a> {
                         continue;
                     }
                     let expired = idxs.iter().any(|&j| {
-                        executed[j]
-                            && deposit_time
-                                .get(&j)
-                                .is_some_and(|&t| t + deadline < clock)
+                        executed[j] && deposit_time.get(&j).is_some_and(|&t| t + deadline < clock)
                     });
                     if expired {
                         cancelled.insert(trusted);
                         for &j in idxs {
                             if executed[j] && refunded.insert(j) {
-                                let refund = steps[j]
-                                    .action
-                                    .inverse()
-                                    .expect("deposits are invertible");
+                                let refund =
+                                    steps[j].action.inverse().expect("deposits are invertible");
                                 if !can_apply(&ledger, &refund) {
                                     return Err(SimError::TrustedMisbehaved {
                                         trusted,
@@ -348,9 +342,7 @@ impl<'a> Simulation<'a> {
                             .filter_map(|m| deposit_time.get(m))
                             .min();
                         match earliest {
-                            Some(&e) => {
-                                e + deadline >= SimTime::from_ticks(last_step as u64 + 1)
-                            }
+                            Some(&e) => e + deadline >= SimTime::from_ticks(last_step as u64 + 1),
                             None => true,
                         }
                     };
@@ -358,24 +350,22 @@ impl<'a> Simulation<'a> {
                     // this principal has actually arrived and is still
                     // actionable.
                     let notified = steps.iter().enumerate().take(i).all(|(j, s)| {
-                        !(matches!(s.kind, StepKind::Notify)
-                            && s.action.recipient() == p)
+                        !(matches!(s.kind, StepKind::Notify) && s.action.recipient() == p)
                             || (executed[j] && notification_valid(j))
                     });
                     // Protection 2: every earlier collateral promised to
                     // this principal has actually been posted.
-                    let collateralised = steps.iter().enumerate().take(i).all(|(j, s)| {
-                        match s.kind {
+                    let collateralised =
+                        steps.iter().enumerate().take(i).all(|(j, s)| match s.kind {
                             StepKind::IndemnityDeposit(idx) => {
                                 self.spec.indemnities()[idx].beneficiary != p || executed[j]
                             }
                             _ => true,
-                        }
-                    });
+                        });
                     let able = can_apply(&ledger, &step.action);
                     // An expired escrow no longer accepts deposits (§2.5).
-                    let open = !cancelled
-                        .contains(&self.spec.trusted_group_of(step.action.recipient()));
+                    let open =
+                        !cancelled.contains(&self.spec.trusted_group_of(step.action.recipient()));
                     if willing && notified && collateralised && able && open {
                         send(&mut ledger, &mut history, &mut messages, clock, step.action)?;
                         executed[i] = true;
@@ -530,12 +520,13 @@ impl<'a> Simulation<'a> {
             if settled {
                 continue;
             }
-            for &j in forward_steps.get(&trusted).map(Vec::as_slice).unwrap_or(&[]) {
+            for &j in forward_steps
+                .get(&trusted)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+            {
                 if executed[j] {
-                    let unwind = steps[j]
-                        .action
-                        .inverse()
-                        .expect("forwards are invertible");
+                    let unwind = steps[j].action.inverse().expect("forwards are invertible");
                     if !can_apply(&ledger, &unwind) {
                         return Err(SimError::TrustedMisbehaved {
                             trusted,
@@ -547,10 +538,7 @@ impl<'a> Simulation<'a> {
             }
             for &j in idxs {
                 if executed[j] && !refunded.contains(&j) {
-                    let refund = steps[j]
-                        .action
-                        .inverse()
-                        .expect("deposits are invertible");
+                    let refund = steps[j].action.inverse().expect("deposits are invertible");
                     if !can_apply(&ledger, &refund) {
                         return Err(SimError::TrustedMisbehaved {
                             trusted,
@@ -567,8 +555,7 @@ impl<'a> Simulation<'a> {
         // through; refund to the provider otherwise.
         for (idx, ind) in self.spec.indemnities().iter().enumerate() {
             let posted_at = steps.iter().enumerate().find_map(|(j, s)| {
-                matches!(s.kind, StepKind::IndemnityDeposit(jdx) if jdx == idx)
-                    .then_some(j)
+                matches!(s.kind, StepKind::IndemnityDeposit(jdx) if jdx == idx).then_some(j)
             });
             let Some(posted_at) = posted_at else { continue };
             if !executed[posted_at] {
@@ -676,8 +663,7 @@ mod tests {
     fn broker_defects_everyone_safe() {
         let (spec, ids) = fixtures::example1();
         for n in 0..2u32 {
-            let behaviors =
-                BehaviorMap::all_honest().with(ids.broker, Behavior::SilentAfter(n));
+            let behaviors = BehaviorMap::all_honest().with(ids.broker, Behavior::SilentAfter(n));
             let report = run_protocol(&spec, behaviors).unwrap();
             assert!(report.safety_holds(), "broker silent after {n}");
             assert!(report.outcomes[&ids.consumer].is_acceptable());
@@ -729,8 +715,7 @@ mod tests {
         spec.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
             .unwrap();
         // Broker 1 posts collateral (its first deposit) then goes silent.
-        let behaviors =
-            BehaviorMap::all_honest().with(ids.broker1, Behavior::SilentAfter(1));
+        let behaviors = BehaviorMap::all_honest().with(ids.broker1, Behavior::SilentAfter(1));
         let report = run_protocol(&spec, behaviors).unwrap();
         assert!(report.safety_holds());
         // The consumer got doc 2, was refunded for doc 1, and received the

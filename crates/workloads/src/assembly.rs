@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn assembly_markets_are_feasible_at_any_width() {
         for n in 1..=8 {
-            let (spec, _) =
-                assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
+            let (spec, _) = assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
             assert!(analyze(&spec).unwrap().feasible, "n = {n}");
         }
     }
@@ -112,8 +111,7 @@ mod tests {
     #[test]
     fn synthesised_protocols_verify() {
         for n in [1usize, 3, 6] {
-            let (spec, ids) =
-                assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
+            let (spec, ids) = assembly_market(n, Money::from_dollars(100), Money::from_dollars(5));
             let seq = synthesize(&spec).unwrap();
             seq.verify(&spec).unwrap();
             // One sale + n supplies, each deal 4 transfer steps + 1 notify.

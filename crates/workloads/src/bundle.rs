@@ -104,15 +104,17 @@ pub fn bundle(prices: &[Money]) -> (ExchangeSpec, BundleIds) {
 /// Convenience: a bundle of `n` documents priced `$10, $20, …, $10·n`
 /// (Figure 7's schedule extended).
 pub fn bundle_arithmetic(n: usize) -> (ExchangeSpec, BundleIds) {
-    let prices: Vec<Money> = (1..=n as i64).map(|k| Money::from_dollars(10 * k)).collect();
+    let prices: Vec<Money> = (1..=n as i64)
+        .map(|k| Money::from_dollars(10 * k))
+        .collect();
     bundle(&prices)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trustseq_core::indemnity::{greedy_plan, make_feasible};
     use trustseq_core::analyze;
+    use trustseq_core::indemnity::{greedy_plan, make_feasible};
 
     #[test]
     fn two_doc_bundle_matches_example2() {

@@ -105,8 +105,7 @@ mod tests {
     #[test]
     fn chains_are_feasible_at_any_depth() {
         for depth in 1..=8 {
-            let (spec, _) =
-                broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
+            let (spec, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
             assert!(analyze(&spec).unwrap().feasible, "depth {depth}");
         }
     }
@@ -114,8 +113,7 @@ mod tests {
     #[test]
     fn chain_execution_verifies() {
         for depth in [1, 3, 5] {
-            let (spec, _) =
-                broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
+            let (spec, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
             let seq = synthesize(&spec).unwrap();
             seq.verify(&spec).unwrap();
             // Each deal: 2 deposits + 2 forwards; each trusted notifies once.

@@ -68,7 +68,10 @@ pub fn random_exchange(config: &RandomConfig) -> RandomExchange {
     assert!(config.width >= 1, "width must be at least 1");
     assert!(config.max_depth >= 1, "max_depth must be at least 1");
     let (lo, hi) = config.price_range;
-    assert!(0 < lo && lo <= hi, "price range must be positive and ordered");
+    assert!(
+        0 < lo && lo <= hi,
+        "price range must be positive and ordered"
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut spec = ExchangeSpec::new(format!("random-{}", config.seed));
@@ -161,21 +164,25 @@ pub fn random_exchange(config: &RandomConfig) -> RandomExchange {
 /// Fraction of `samples` random exchanges (seeds `0..samples`) that are
 /// feasible under `config`'s trust density — the measurement behind the
 /// feasibility-vs-trust benchmark.
+///
+/// Generation stays serial (it is cheap and deterministic per seed); the
+/// reductions fan out across OS threads via
+/// [`trustseq_core::analyze_batch`]. The result is a pure function of
+/// `config` and `samples`, independent of worker count.
 pub fn feasibility_rate(config: &RandomConfig, samples: u64) -> f64 {
-    let mut feasible = 0u64;
-    for seed in 0..samples {
-        let cfg = RandomConfig {
-            seed,
-            ..config.clone()
-        };
-        let ex = random_exchange(&cfg);
-        if trustseq_core::analyze(&ex.spec)
-            .map(|o| o.feasible)
-            .unwrap_or(false)
-        {
-            feasible += 1;
-        }
-    }
+    let specs: Vec<ExchangeSpec> = (0..samples)
+        .map(|seed| {
+            random_exchange(&RandomConfig {
+                seed,
+                ..config.clone()
+            })
+            .spec
+        })
+        .collect();
+    let feasible = trustseq_core::analyze_batch(&specs)
+        .into_iter()
+        .filter(|r| r.as_ref().map(|o| o.feasible).unwrap_or(false))
+        .count();
     feasible as f64 / samples as f64
 }
 
@@ -297,11 +304,9 @@ mod tests {
             // Structures are valid and both analyses terminate.
             ex.spec.validate().unwrap();
             let paper = analyze(&ex.spec).unwrap();
-            let extended = trustseq_core::analyze_with(
-                &ex.spec,
-                trustseq_core::BuildOptions::EXTENDED,
-            )
-            .unwrap();
+            let extended =
+                trustseq_core::analyze_with(&ex.spec, trustseq_core::BuildOptions::EXTENDED)
+                    .unwrap();
             // Delegation only ever helps.
             assert!(!paper.feasible || extended.feasible, "seed {seed}");
         }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §8: what does mistrust cost?
     println!("\ncost of mistrust:");
     println!("  distrustful: {}", cost_of_mistrust(&spec)?);
-    println!("  full trust:  {}", cost_of_mistrust(&with_full_trust(&spec))?);
+    println!(
+        "  full trust:  {}",
+        cost_of_mistrust(&with_full_trust(&spec))?
+    );
     println!(
         "  trust pairs needed for direct exchange: {}",
         required_trust_pairs(&spec)
@@ -46,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Subcontracting chains: the manager resells through sub-brokers.
     println!("\nsubcontracting chains (messages per depth):");
     for depth in 1..=6 {
-        let (chain, _) =
-            broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
+        let (chain, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(10));
         let cost = cost_of_mistrust(&chain)?;
         println!("  depth {depth}: {cost}");
     }

@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Multi-party trusted agent: Example #2 through one shared escrow.
     let (shared, _) = fixtures::example2_shared_escrow();
     println!("== shared escrow (multi-party trusted agent) ==");
-    println!(
-        "paper rules: {}",
-        trustseq::core::analyze(&shared)?
-    );
+    println!("paper rules: {}", trustseq::core::analyze(&shared)?);
     println!(
         "delegation:  {}",
         analyze_with(&shared, BuildOptions::EXTENDED)?
@@ -78,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. The Byzantine alternative: replicate the escrows instead of
     //    trusting them.
     println!("== byzantine replication (§7.3) ==");
-    let eig = run_eig(&[true, true, false, true], 1, &[2usize].into_iter().collect())?;
+    let eig = run_eig(
+        &[true, true, false, true],
+        1,
+        &[2usize].into_iter().collect(),
+    )?;
     println!("EIG, 4 replicas, 1 equivocator: {eig}");
     for f in 1..=2 {
         let (ex1, _) = fixtures::example1();

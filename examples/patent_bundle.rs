@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "reduction: {} rule applications, {} edges remain -> {}",
         outcome.trace.len(),
         outcome.remaining_edges.len(),
-        if outcome.feasible { "feasible" } else { "infeasible" }
+        if outcome.feasible {
+            "feasible"
+        } else {
+            "infeasible"
+        }
     );
     println!("{reduced}");
 
@@ -48,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut unlocked = spec.clone();
     unlocked.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))?;
     let sequence = synthesize(&unlocked)?;
-    println!("\nindemnified execution sequence ({} steps):", sequence.len());
+    println!(
+        "\nindemnified execution sequence ({} steps):",
+        sequence.len()
+    );
     for (i, line) in sequence.describe(&unlocked).iter().enumerate() {
         println!("{:>3}. {line}", i + 1);
     }
@@ -59,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &unlocked,
         BehaviorMap::all_honest().with(ids.broker1, Behavior::SilentAfter(1)),
     )?;
-    println!("\nbroker1 absconds -> safety holds = {}", report.safety_holds());
+    println!(
+        "\nbroker1 absconds -> safety holds = {}",
+        report.safety_holds()
+    );
     assert!(report.safety_holds());
 
     // 4. Figure 7: ordering matters. Three documents at $10/$20/$30.
@@ -77,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fig7_unlocked = fig7.clone();
     plan.apply(&mut fig7_unlocked)?;
     assert!(analyze(&fig7_unlocked)?.feasible);
-    println!("three-document bundle feasible with {} total collateral", plan.total());
+    println!(
+        "three-document bundle feasible with {} total collateral",
+        plan.total()
+    );
     Ok(())
 }

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    state, and nobody honest can ever be harmed.
     let report = run_protocol(&spec, BehaviorMap::all_honest())?;
     assert!(report.all_preferred());
-    println!("\nall-honest run: {} messages, everyone preferred", report.message_count());
+    println!(
+        "\nall-honest run: {} messages, everyone preferred",
+        report.message_count()
+    );
 
     let protocol = Protocol::from_sequence(&spec, &sequence);
     println!("\nper-agent protocol:\n{protocol}");

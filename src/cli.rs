@@ -277,8 +277,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     };
     let command = Command::parse(cmd_name)
         .ok_or_else(|| format!("unknown command `{cmd_name}`\n\n{USAGE}"))?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     run_with(command, &source, options)
 }
 
@@ -400,8 +399,10 @@ mod tests {
         assert!(main_with_args(&["bogus".into(), "x".into()])
             .unwrap_err()
             .contains("unknown command"));
-        assert!(main_with_args(&["check".into(), "/nonexistent.tseq".into()])
-            .unwrap_err()
-            .contains("cannot read"));
+        assert!(
+            main_with_args(&["check".into(), "/nonexistent.tseq".into()])
+                .unwrap_err()
+                .contains("cannot read")
+        );
     }
 }

@@ -21,11 +21,7 @@ fn chains_are_safe_at_every_depth() {
     for depth in 1..=4 {
         let (spec, _) = broker_chain(depth, Money::from_dollars(1000), Money::from_dollars(5));
         let report = sweep_spec(&spec, 2_000).unwrap();
-        assert!(
-            report.all_safe(),
-            "depth {depth}: {:?}",
-            report.violations
-        );
+        assert!(report.all_safe(), "depth {depth}: {:?}", report.violations);
         assert!(report.all_honest_preferred, "depth {depth}");
     }
 }
@@ -117,16 +113,12 @@ fn honest_views_are_admissible_sagas() {
     // run under every defection pattern, an honest party's ordered view of
     // the messages must be an admissible saga: an acceptable action set
     // with every compensation after the work it undoes.
-    let scenarios = [
-        fixtures::example1().0,
-        fixtures::cross_domain_sale().0,
-        {
-            let (mut s, ids) = fixtures::example2();
-            s.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
-                .unwrap();
-            s
-        },
-    ];
+    let scenarios = [fixtures::example1().0, fixtures::cross_domain_sale().0, {
+        let (mut s, ids) = fixtures::example2();
+        s.add_indemnity(ids.broker1, ids.sale1, Money::from_dollars(20))
+            .unwrap();
+        s
+    }];
     for spec in scenarios {
         let seq = synthesize(&spec).unwrap();
         let protocol = Protocol::from_sequence(&spec, &seq);

@@ -122,7 +122,11 @@ fn fully_federated_assembly_is_a_known_scheduling_boundary() {
     spec.add_trusted_link(t_east, t_analysis).unwrap();
 
     // Feasible at the graph level under delegation…
-    assert!(analyze_with(&spec, BuildOptions::EXTENDED).unwrap().feasible);
+    assert!(
+        analyze_with(&spec, BuildOptions::EXTENDED)
+            .unwrap()
+            .feasible
+    );
     // …but the scheduler declines rather than produce an unsound order.
     let err = trustseq::core::synthesize_with(&spec, BuildOptions::EXTENDED).unwrap_err();
     assert!(matches!(err, CoreError::ScheduleStuck { .. }));

@@ -4,7 +4,7 @@
 use trustseq::core::{analyze, synthesize, Protocol};
 use trustseq::lang::{parse_spec, print};
 use trustseq::model::Money;
-use trustseq::sim::{sweep_spec, run_protocol, BehaviorMap};
+use trustseq::sim::{run_protocol, sweep_spec, BehaviorMap};
 
 const EXAMPLE1: &str = r#"
     exchange "example1" {
@@ -93,7 +93,10 @@ fn fixture_and_dsl_specs_agree() {
     let fix_seq = synthesize(&fixture).unwrap();
     assert_eq!(dsl_seq.len(), fix_seq.len());
     let kinds = |s: &trustseq::core::ExecutionSequence| {
-        s.steps().iter().map(|st| st.action.kind()).collect::<Vec<_>>()
+        s.steps()
+            .iter()
+            .map(|st| st.action.kind())
+            .collect::<Vec<_>>()
     };
     assert_eq!(kinds(&dsl_seq), kinds(&fix_seq));
 }
@@ -125,8 +128,5 @@ fn dsl_money_precision_survives_the_pipeline() {
     .unwrap();
     assert_eq!(spec.deals()[0].price(), Money::from_cents(1234));
     let seq = synthesize(&spec).unwrap();
-    assert!(seq
-        .describe(&spec)
-        .iter()
-        .any(|l| l.contains("$12.34")));
+    assert!(seq.describe(&spec).iter().any(|l| l.contains("$12.34")));
 }

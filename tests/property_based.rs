@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 use trustseq::core::indemnity::{exhaustive_min_plan, greedy_plan};
 use trustseq::core::{
-    analyze, confluence_check, synthesize, Reducer, SequencingGraph,
-    Strategy as ReductionStrategy,
+    analyze, confluence_check, synthesize, Reducer, SequencingGraph, Strategy as ReductionStrategy,
 };
 use trustseq::model::Money;
 use trustseq::petri;
@@ -44,7 +43,33 @@ proptest! {
     #[test]
     fn reduction_is_confluent(config in arb_config()) {
         let ex = random_exchange(&config);
-        prop_assert!(confluence_check(&ex.spec, 10).unwrap());
+        let report = confluence_check(&ex.spec, 10).unwrap();
+        prop_assert!(report.unanimous(), "{}", report);
+        prop_assert_eq!(report.agreeing, report.samples);
+    }
+
+    /// The incremental worklist engine reproduces the naive rescan engine's
+    /// *entire* outcome — the full step-by-step [`ReductionTrace`], the
+    /// verdict, and the surviving edges — on random federated topologies,
+    /// under both strategies. This is the byte-identity guarantee the
+    /// worklist optimisation is held to.
+    #[test]
+    fn worklist_outcome_matches_naive_oracle(
+        config in arb_federated_config(),
+        random_seed in any::<u64>(),
+    ) {
+        let ex = random_exchange(&config);
+        let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        for strategy in [
+            ReductionStrategy::Deterministic,
+            ReductionStrategy::Randomized { seed: random_seed },
+        ] {
+            let incremental = Reducer::new(graph.clone()).with_strategy(strategy).run();
+            let naive = Reducer::new(graph.clone()).with_strategy(strategy).run_naive();
+            prop_assert_eq!(&incremental.trace, &naive.trace);
+            prop_assert_eq!(&incremental.remaining_edges, &naive.remaining_edges);
+            prop_assert_eq!(incremental.feasible, naive.feasible);
+        }
     }
 
     /// The Petri-net encoding agrees with the sequencing-graph verdict.
@@ -139,7 +164,7 @@ proptest! {
     #[test]
     fn federated_topologies_are_coherent(config in arb_federated_config()) {
         let ex = random_exchange(&config);
-        prop_assert!(confluence_check(&ex.spec, 8).unwrap());
+        prop_assert!(confluence_check(&ex.spec, 8).unwrap().unanimous());
         let central = analyze(&ex.spec).unwrap();
         let dist = trustseq::dist::DistributedReduction::new(&ex.spec)
             .unwrap()
@@ -224,5 +249,41 @@ proptest! {
         let text = trustseq::lang::print(&ex.spec);
         let reparsed = trustseq::lang::parse_spec(&text).unwrap();
         prop_assert_eq!(&ex.spec, &reparsed);
+    }
+}
+
+/// The incremental engine's acceptance bar, checked exhaustively rather than
+/// sampled: on every paper fixture and on 100 seeded `random_exchange`
+/// instances spanning the trust-density range, the default
+/// `Reducer::new(g).run()` produces the byte-identical `ReductionOutcome`
+/// (trace, verdict, leftovers) of the naive rescan engine it replaced.
+#[test]
+fn deterministic_traces_match_oracle_on_fixtures_and_100_seeds() {
+    use trustseq::core::fixtures;
+    let mut graphs = vec![
+        SequencingGraph::from_spec(&fixtures::example1().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::example2().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::example2_shared_escrow().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::poor_broker().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::figure7().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::cross_domain_sale().0).unwrap(),
+        SequencingGraph::from_spec(&fixtures::patent_assembly().0).unwrap(),
+    ];
+    for seed in 0..100u64 {
+        let config = RandomConfig {
+            width: 1 + (seed as usize % 3),
+            max_depth: 1 + (seed as usize % 4),
+            trust_density: (seed % 11) as f64 / 10.0,
+            shared_escrow_prob: (seed % 5) as f64 / 4.0,
+            bridge_prob: (seed % 3) as f64 / 2.0,
+            seed,
+            ..Default::default()
+        };
+        graphs.push(SequencingGraph::from_spec(&random_exchange(&config).spec).unwrap());
+    }
+    for graph in graphs {
+        let incremental = Reducer::new(graph.clone()).run();
+        let naive = Reducer::new(graph).run_naive();
+        assert_eq!(incremental, naive);
     }
 }

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! A `Vec<u8>`-backed implementation of the small `Bytes`/`BytesMut` surface
+//! the simulator's wire codec uses: big-endian `put_*`/`get_*` accessors, a
+//! consuming read cursor, `freeze`, and `split_to`. Semantics mirror the real
+//! crate for this subset; zero-copy sharing is intentionally not reproduced.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer with a read cursor, mirroring `bytes::Bytes`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Remaining (unread) length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` unread bytes, advancing `self`
+    /// past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the remaining length.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Bytes { data: head, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        slice
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+/// Read accessors over a byte buffer (big-endian), mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64;
+}
+
+impl Buf for Bytes {
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// A growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Write accessors onto a byte buffer (big-endian), mirroring
+/// `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_split() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u64(42);
+        buf.put_u8(7);
+        buf.put_u32(9);
+        buf.put_i64(-5);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 21);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 9);
+        assert_eq!(b.get_i64(), -5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn bytes_mut_is_indexable() {
+        let mut raw = BytesMut::from(&[9u8, 8, 7][..]);
+        raw[1] = 42;
+        assert_eq!(&raw[..], &[9, 42, 7]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! Mirrors the `crossbeam::scope(|s| { s.spawn(|_| ...); })` shape the
+//! simulator's sweep harness uses. One semantic difference: a panicking
+//! child thread propagates its panic out of [`scope`] directly (std
+//! behaviour) instead of surfacing as `Err`, so the `Ok` returned here is
+//! only reached when every spawned thread completed cleanly — callers'
+//! `.expect(...)` on the result behaves equivalently either way.
+
+use std::thread::ScopedJoinHandle;
+
+/// A scope handle mirroring `crossbeam_utils::thread::Scope`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope itself (so
+    /// nested spawns are possible), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowing, joined-on-exit threads can be
+/// spawned, mirroring `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! A tiny generator of strings matching a regex subset.
+//!
+//! Supports what the workspace's string strategies use: literals, `\`
+//! escapes, `.`, character classes like `[a-z0-9_]`, groups with `|`
+//! alternation, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`
+//! (unbounded quantifiers are capped at 8 repetitions).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Seq(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat(Box<Ast>, usize, usize),
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyChar,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex strategy {:?}: {what}", self.pattern)
+    }
+
+    fn parse_alt(&mut self) -> Ast {
+        let mut branches = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Ast {
+        let mut atoms = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            atoms.push(self.parse_quantifier(atom));
+        }
+        if atoms.len() == 1 {
+            atoms.pop().unwrap()
+        } else {
+            Ast::Seq(atoms)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Ast {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                Some('d') => Ast::Class(vec![('0', '9')]),
+                Some('w') => Ast::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some('s') => Ast::Class(vec![(' ', ' '), ('\t', '\t')]),
+                Some('n') => Ast::Literal('\n'),
+                Some('t') => Ast::Literal('\t'),
+                Some(c) => Ast::Literal(c),
+                None => self.fail("trailing backslash"),
+            },
+            Some('.') => Ast::AnyChar,
+            Some(c) => Ast::Literal(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Ast {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self.chars.next().unwrap_or_else(|| self.fail("bad escape")),
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&']') | None => {
+                        ranges.push((c, c));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().unwrap();
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Ast::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Ast) -> Ast {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let lo = self.parse_number();
+                let hi = match self.chars.peek() {
+                    Some(',') => {
+                        self.chars.next();
+                        if self.chars.peek() == Some(&'}') {
+                            lo + 8
+                        } else {
+                            self.parse_number()
+                        }
+                    }
+                    _ => lo,
+                };
+                if self.chars.next() != Some('}') {
+                    self.fail("unclosed quantifier");
+                }
+                Ast::Repeat(Box::new(atom), lo, hi)
+            }
+            Some('*') => {
+                self.chars.next();
+                Ast::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Ast::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                Ast::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> usize {
+        let mut n = None;
+        while let Some(c) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+            self.chars.next();
+            n = Some(n.unwrap_or(0) * 10 + c as usize);
+        }
+        n.unwrap_or_else(|| self.fail("expected a number"))
+    }
+}
+
+/// Characters `.` may produce: mostly printable ASCII, with occasional
+/// non-ASCII to stress tokenizers.
+const EXOTIC: &[char] = &['é', 'λ', '→', '°', '\t', '\u{7f}'];
+
+fn generate_node(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+    match ast {
+        Ast::Seq(atoms) => {
+            for a in atoms {
+                generate_node(a, rng, out);
+            }
+        }
+        Ast::Alt(branches) => {
+            let pick = rng.below(branches.len() as u64) as usize;
+            generate_node(&branches[pick], rng, out);
+        }
+        Ast::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as u64) as usize;
+            for _ in 0..n {
+                generate_node(inner, rng, out);
+            }
+        }
+        Ast::Literal(c) => out.push(*c),
+        Ast::Class(ranges) => {
+            let pick = rng.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[pick];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                .expect("class range spans invalid codepoints");
+            out.push(c);
+        }
+        Ast::AnyChar => {
+            if rng.below(10) == 0 {
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let ast = parser.parse_alt();
+    if parser.chars.next().is_some() {
+        parser.fail("trailing tokens");
+    }
+    let mut out = String::new();
+    generate_node(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::TestRng;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::deterministic(pattern, case);
+        generate_matching(pattern, &mut rng)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for case in 0..50 {
+            let s = gen("[a-z_][a-z0-9_]{0,10}", case);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s}");
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn token_soup_pattern() {
+        let pattern =
+            "(exchange|deal|secure|fund|link|trust|via|and|;|\\{|\\}|:|->|\\$12\\.50|\"x\"|[a-z]{1,6})";
+        let allowed = [
+            "exchange", "deal", "secure", "fund", "link", "trust", "via", "and", ";", "{", "}",
+            ":", "->", "$12.50", "\"x\"",
+        ];
+        for case in 0..80 {
+            let s = gen(pattern, case);
+            let ok = allowed.contains(&s.as_str())
+                || (!s.is_empty() && s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(ok, "unexpected generation {s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_repetition_bounds() {
+        for case in 0..20 {
+            let s = gen(".{0,200}", case);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+}

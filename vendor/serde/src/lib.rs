@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides just enough of serde's surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` marker traits (blanket-implemented for every
+//! type) and the matching no-op derive macros. No wire format is implemented
+//! — nothing in the workspace serializes at runtime; the derives exist so the
+//! annotations stay in place for a future swap back to real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits, so these
+//! derives only need to exist (and accept `#[serde(...)]` attributes); they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the stub's blanket
+/// impl already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the stub's
+/// blanket impl already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
