@@ -1,0 +1,102 @@
+//! Bench: the resilient engine under increasing loss — what robustness
+//! costs in rounds, messages and retransmissions as the drop probability
+//! climbs.
+//!
+//! Prints a rounds/messages/retransmissions table per drop probability
+//! once per run (averaged over seeds), then measures the wall time of a
+//! resilient run at each intensity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trustseq_core::fixtures;
+use trustseq_dist::{DistributedReduction, FaultPlan, ResilientConfig};
+use trustseq_model::Money;
+use trustseq_workloads::broker_chain;
+
+const DROPS: [u16; 4] = [0, 100, 300, 500];
+const SEEDS: u64 = 25;
+
+fn plan_for(drop: u16, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed);
+    if drop > 0 {
+        plan = plan
+            .with_drop_per_mille(drop)
+            .with_dup_per_mille(50)
+            .with_max_extra_delay(2);
+    }
+    plan
+}
+
+fn print_cost_table(name: &str, spec: &trustseq_model::ExchangeSpec) {
+    let config = ResilientConfig::default();
+    println!("chaos {name}: drop_per_mille rounds messages retransmissions");
+    for drop in DROPS {
+        let (mut rounds, mut messages, mut retx) = (0usize, 0usize, 0usize);
+        for seed in 0..SEEDS {
+            let out = DistributedReduction::new(spec)
+                .unwrap()
+                .run_resilient(&plan_for(drop, seed), &config)
+                .unwrap();
+            rounds += out.rounds;
+            messages += out.messages;
+            retx += out.retransmissions;
+        }
+        let n = SEEDS as usize;
+        println!(
+            "chaos {name}: {drop:>4} {:>6.1} {:>8.1} {:>15.1}",
+            rounds as f64 / n as f64,
+            messages as f64 / n as f64,
+            retx as f64 / n as f64,
+        );
+    }
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    let config = ResilientConfig::default();
+
+    let (ex1, _) = fixtures::example1();
+    let (chain, _) = broker_chain(8, Money::from_dollars(1000), Money::from_dollars(5));
+    print_cost_table("example1", &ex1);
+    print_cost_table("chain-8", &chain);
+
+    for drop in DROPS {
+        group.bench_with_input(
+            BenchmarkId::new("example1_drop_per_mille", drop),
+            &drop,
+            |b, &drop| {
+                b.iter(|| {
+                    DistributedReduction::new(black_box(&ex1))
+                        .unwrap()
+                        .run_resilient(&plan_for(drop, 7), &config)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chain8_drop_per_mille", drop),
+            &drop,
+            |b, &drop| {
+                b.iter(|| {
+                    DistributedReduction::new(black_box(&chain))
+                        .unwrap()
+                        .run_resilient(&plan_for(drop, 7), &config)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite's wall time
+    // reasonable; the measured functions are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_chaos
+}
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The round-based distributed reduction engine.
 
 use crate::node::{LocalRemoval, Message, Node};
+use crate::transport::{DelayTransport, Transport};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -54,6 +55,135 @@ impl fmt::Display for DistOutcome {
     }
 }
 
+/// Why a [`DistOutcome`] wire string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The offending fragment.
+    pub fragment: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad outcome wire fragment {:?}", self.fragment)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(fragment: &str) -> WireError {
+    WireError {
+        fragment: fragment.to_string(),
+    }
+}
+
+impl DistOutcome {
+    /// Encodes the outcome as a canonical single-line text record, e.g.
+    /// `feasible=1;rounds=3;messages=9;removals=a0:e2:1@1,a5:e0:2@2;remaining=`
+    /// (removal entries are `decider:edge:rule@round`, rule `1` = the
+    /// commitment-fringe rule, `2` = the conjunction-fringe rule).
+    /// [`DistOutcome::from_wire`] inverts it exactly; the round-trip is
+    /// property-tested.
+    pub fn to_wire(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "feasible={};rounds={};messages={};removals=",
+            u8::from(self.feasible),
+            self.rounds,
+            self.messages
+        );
+        for (i, r) in self.removals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rule = match r.rule {
+                Rule::CommitmentFringe => 1,
+                Rule::ConjunctionFringe => 2,
+            };
+            let _ = write!(out, "{}:{}:{}@{}", r.decider, r.edge, rule, r.round);
+        }
+        out.push_str(";remaining=");
+        for (i, e) in self.remaining.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{e}");
+        }
+        out
+    }
+
+    /// Parses a record produced by [`DistOutcome::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] naming the first malformed fragment.
+    pub fn from_wire(s: &str) -> Result<Self, WireError> {
+        fn id_num(s: &str, prefix: char) -> Result<u32, WireError> {
+            s.strip_prefix(prefix)
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| wire_err(s))
+        }
+        let mut feasible = None;
+        let mut rounds = None;
+        let mut messages = None;
+        let mut removals = None;
+        let mut remaining = None;
+        for field in s.split(';') {
+            let (key, value) = field.split_once('=').ok_or_else(|| wire_err(field))?;
+            match key {
+                "feasible" => {
+                    feasible = Some(match value {
+                        "1" => true,
+                        "0" => false,
+                        _ => return Err(wire_err(value)),
+                    })
+                }
+                "rounds" => rounds = Some(value.parse().map_err(|_| wire_err(value))?),
+                "messages" => messages = Some(value.parse().map_err(|_| wire_err(value))?),
+                "removals" => {
+                    let mut parsed = Vec::new();
+                    for entry in value.split(',').filter(|e| !e.is_empty()) {
+                        let mut parts = entry.split(':');
+                        let (decider, edge, rest) =
+                            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                                (Some(d), Some(e), Some(r), None) => (d, e, r),
+                                _ => return Err(wire_err(entry)),
+                            };
+                        let (rule, round) = rest.split_once('@').ok_or_else(|| wire_err(entry))?;
+                        parsed.push(DistRemoval {
+                            decider: AgentId::new(id_num(decider, 'a')?),
+                            edge: EdgeId::new(id_num(edge, 'e')?),
+                            rule: match rule {
+                                "1" => Rule::CommitmentFringe,
+                                "2" => Rule::ConjunctionFringe,
+                                _ => return Err(wire_err(entry)),
+                            },
+                            round: round.parse().map_err(|_| wire_err(entry))?,
+                        });
+                    }
+                    removals = Some(parsed);
+                }
+                "remaining" => {
+                    let mut parsed = Vec::new();
+                    for entry in value.split(',').filter(|e| !e.is_empty()) {
+                        parsed.push(EdgeId::new(id_num(entry, 'e')?));
+                    }
+                    remaining = Some(parsed);
+                }
+                _ => return Err(wire_err(key)),
+            }
+        }
+        Ok(DistOutcome {
+            feasible: feasible.ok_or_else(|| wire_err("feasible"))?,
+            rounds: rounds.ok_or_else(|| wire_err("rounds"))?,
+            messages: messages.ok_or_else(|| wire_err("messages"))?,
+            removals: removals.ok_or_else(|| wire_err("removals"))?,
+            remaining: remaining.ok_or_else(|| wire_err("remaining"))?,
+        })
+    }
+}
+
 /// A configured distributed reduction over one exchange specification.
 ///
 /// Each participant gets a [`Node`] seeing only its local slice of the
@@ -61,8 +191,8 @@ impl fmt::Display for DistOutcome {
 /// targeted removal announcements until quiescence.
 #[derive(Debug)]
 pub struct DistributedReduction {
-    graph: SequencingGraph,
-    nodes: BTreeMap<AgentId, Node>,
+    pub(crate) graph: SequencingGraph,
+    pub(crate) nodes: BTreeMap<AgentId, Node>,
 }
 
 impl DistributedReduction {
@@ -121,6 +251,33 @@ impl DistributedReduction {
         self.nodes.len()
     }
 
+    /// The participants running nodes, in ascending id order — the agents
+    /// a [`FaultPlan`](crate::FaultPlan) may legally name.
+    pub fn participants(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The parties a removal of `edge` by `decider` must be announced to:
+    /// the edge's commitment principal, its conjunction owner, and the
+    /// commitment's trusted endpoint — deduplicated, minus the decider,
+    /// restricted to actual participants.
+    pub(crate) fn announcement_targets(&self, edge: EdgeId, decider: AgentId) -> Vec<AgentId> {
+        let edge = *self.graph.edge(edge);
+        let principal = self.graph.commitment(edge.commitment).principal;
+        let conj_owner = self.graph.conjunction(edge.conjunction).agent;
+        // The trusted endpoint of the commitment also tracks its side (it
+        // owns the conjunction in most cases, but not when the edge links
+        // to the principal's own conjunction).
+        let trusted = self.graph.commitment(edge.commitment).trusted;
+        let mut targets: Vec<AgentId> = Vec::new();
+        for target in [principal, conj_owner, trusted] {
+            if target != decider && self.nodes.contains_key(&target) && !targets.contains(&target) {
+                targets.push(target);
+            }
+        }
+        targets
+    }
+
     /// Runs rounds until quiescence and reports (every announcement arrives
     /// in the next round).
     pub fn run(self) -> DistOutcome {
@@ -135,22 +292,22 @@ impl DistributedReduction {
     /// can postpone a node's move but never unsound it — the verdict always
     /// matches the synchronous run (property-tested in the workspace test
     /// suite).
-    pub fn run_with_delays(mut self, seed: u64, max_delay: u64) -> DistOutcome {
-        let max_delay = max_delay.max(1);
-        // A small deterministic xorshift so the crate needs no RNG
-        // dependency; quality is irrelevant, only determinism matters.
-        let mut rng_state = seed | 1;
-        let mut next_delay = move || {
-            rng_state ^= rng_state << 13;
-            rng_state ^= rng_state >> 7;
-            rng_state ^= rng_state << 17;
-            1 + (rng_state % max_delay) as usize
-        };
+    pub fn run_with_delays(self, seed: u64, max_delay: u64) -> DistOutcome {
+        let mut transport = DelayTransport::new(seed, max_delay);
+        self.run_over(&mut transport)
+    }
 
+    /// Runs the protocol over an arbitrary [`Transport`].
+    ///
+    /// The round loop assumes the transport is *reliable* (it may reorder
+    /// and delay, but every message eventually arrives) — quiescence is
+    /// declared when no node proposes and nothing is in flight. For lossy
+    /// transports use
+    /// [`run_resilient`](DistributedReduction::run_resilient), which adds
+    /// acknowledgements, retransmission and crash recovery.
+    pub fn run_over<T: Transport<Message>>(mut self, transport: &mut T) -> DistOutcome {
         let mut removed: BTreeSet<EdgeId> = BTreeSet::new();
         let mut removals: Vec<DistRemoval> = Vec::new();
-        // (delivery round, target, message)
-        let mut in_flight: Vec<(usize, AgentId, Message)> = Vec::new();
         let mut messages = 0usize;
         let mut rounds = 0usize;
 
@@ -158,17 +315,11 @@ impl DistributedReduction {
             rounds += 1;
 
             // Deliver announcements due this round.
-            let mut still_flying = Vec::with_capacity(in_flight.len());
-            for (due, target, msg) in in_flight {
-                if due <= rounds {
-                    if let Some(node) = self.nodes.get_mut(&target) {
-                        node.observe(msg);
-                    }
-                } else {
-                    still_flying.push((due, target, msg));
+            for (target, msg) in transport.deliver(rounds) {
+                if let Some(node) = self.nodes.get_mut(&target) {
+                    node.observe(msg);
                 }
             }
-            in_flight = still_flying;
 
             // Collect proposals in deterministic agent order.
             let mut round_removals: Vec<(AgentId, LocalRemoval)> = Vec::new();
@@ -183,7 +334,7 @@ impl DistributedReduction {
             }
 
             if round_removals.is_empty() {
-                if in_flight.is_empty() {
+                if transport.in_flight() == 0 {
                     rounds -= 1; // the final empty round is bookkeeping only
                     break;
                 }
@@ -198,35 +349,17 @@ impl DistributedReduction {
                     rule: removal.rule,
                     round: rounds,
                 });
-                self.nodes
-                    .get_mut(&decider)
-                    .expect("decider exists")
-                    .record_own_removal(removal.edge);
-
-                // Announce to the other interested parties: the removed
-                // edge's commitment principal and conjunction owner.
-                let edge = *self.graph.edge(removal.edge);
-                let principal = self.graph.commitment(edge.commitment).principal;
-                let conj_owner = self.graph.conjunction(edge.conjunction).agent;
-                // The trusted endpoint of the commitment also tracks its
-                // side (it owns the conjunction in most cases, but not
-                // when the edge links to the principal's own conjunction).
-                let trusted = self.graph.commitment(edge.commitment).trusted;
-                let mut targets: Vec<AgentId> = Vec::new();
-                for target in [principal, conj_owner, trusted] {
-                    if target != decider
-                        && self.nodes.contains_key(&target)
-                        && !targets.contains(&target)
-                    {
-                        targets.push(target);
-                    }
+                if let Some(node) = self.nodes.get_mut(&decider) {
+                    node.record_own_removal(removal.edge);
                 }
-                for target in targets {
+
+                // Announce to the other interested parties.
+                for target in self.announcement_targets(removal.edge, decider) {
                     let msg = Message {
                         from: decider,
                         edge: removal.edge,
                     };
-                    in_flight.push((rounds + next_delay(), target, msg));
+                    transport.send(rounds, decider, target, msg);
                     messages += 1;
                 }
             }
@@ -363,5 +496,30 @@ mod tests {
         let s = dist.to_string();
         assert!(s.contains("feasible"));
         assert!(s.contains("rounds"));
+    }
+
+    #[test]
+    fn outcome_wire_round_trip() {
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::figure7().0,
+        ] {
+            let outcome = DistributedReduction::new(&spec).unwrap().run();
+            let wire = outcome.to_wire();
+            assert_eq!(DistOutcome::from_wire(&wire).unwrap(), outcome, "{wire}");
+        }
+    }
+
+    #[test]
+    fn outcome_wire_rejects_garbage() {
+        assert!(DistOutcome::from_wire("").is_err());
+        assert!(DistOutcome::from_wire("feasible=2;rounds=1").is_err());
+        assert!(
+            DistOutcome::from_wire("feasible=1;rounds=1;messages=0;removals=x;remaining=").is_err()
+        );
+        assert!(
+            DistOutcome::from_wire("feasible=1;rounds=1;messages=0;removals=;remaining=q").is_err()
+        );
     }
 }

@@ -41,7 +41,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod engine;
+pub mod faults;
 mod node;
+mod resilient;
+pub mod transport;
 
-pub use engine::{DistOutcome, DistributedReduction};
+pub use engine::{DistOutcome, DistRemoval, DistributedReduction, WireError};
+pub use faults::{Crash, FaultPlan, FaultPlanParseError, Partition};
 pub use node::{Message, Node};
+pub use resilient::{DistVerdict, ResilientConfig, ResilientOutcome, UndecidedReason};
+pub use transport::{DelayTransport, FaultyTransport, Transport, TransportStats};

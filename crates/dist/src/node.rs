@@ -92,6 +92,26 @@ impl Node {
         self.live.remove(&edge);
     }
 
+    /// Every edge this node can see, dead or alive.
+    pub fn visible_edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.visible.keys().copied()
+    }
+
+    /// The visible edges this node still believes live.
+    pub fn live_edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.live.iter().copied()
+    }
+
+    /// The visible edges this node knows to be removed — what a recovering
+    /// neighbour needs to catch up, since liveness only ever shrinks.
+    pub fn dead_edges(&self) -> Vec<EdgeId> {
+        self.visible
+            .keys()
+            .filter(|id| !self.live.contains(id))
+            .copied()
+            .collect()
+    }
+
     fn live_edges_of_commitment(&self, c: CommitmentId) -> impl Iterator<Item = &Edge> {
         self.live
             .iter()

@@ -1,0 +1,762 @@
+//! The fault-tolerant distributed engine: acknowledgement and
+//! retransmission, crash recovery, and graceful degradation.
+//!
+//! [`DistributedReduction::run_resilient`] runs the same round-based
+//! protocol as [`run`](DistributedReduction::run), but over a
+//! [`FaultyTransport`] that drops, duplicates, delays and partitions
+//! traffic according to a seeded [`FaultPlan`]. The protocol is hardened
+//! so that faults can only *delay* the reduction or force an explicit
+//! [`DistVerdict::Undecided`] — never a wrong `feasible`/`infeasible`:
+//!
+//! * every removal announcement is acknowledged; unacknowledged
+//!   announcements are retransmitted with bounded exponential backoff and
+//!   abandoned after a configurable attempt budget;
+//! * a crashed node loses its liveness view (amnesia) but not its queue of
+//!   unacknowledged announcements (a write-ahead log); on restart it
+//!   re-synchronises by asking each neighbour for the edges the neighbour
+//!   knows dead — safe because liveness only ever shrinks, so merging a
+//!   neighbour's dead-set can only move the view *toward* the truth;
+//! * a node that has answered a sync request keeps relaying removals it
+//!   later learns to the requester, closing the race where a removal was
+//!   acknowledged by the crashed node before the crash and is still in
+//!   flight to the neighbour at sync time;
+//! * quiescence is declared only when no node proposes, no undelivered
+//!   announcement can still arrive, no sync is outstanding and no crashed
+//!   node is due to restart. `feasible` (every edge removed) is always
+//!   sound; `infeasible` is claimed only when every surviving view is
+//!   provably current, and otherwise the run degrades to
+//!   [`DistVerdict::Undecided`] with the reason.
+//!
+//! Under a faultless plan the resilient run is byte-identical to
+//! [`DistributedReduction::run`] — same rounds, messages, removal trace
+//! and remaining set (asserted in the tests and the chaos harness).
+
+use crate::engine::{DistOutcome, DistRemoval, DistributedReduction};
+use crate::faults::FaultPlan;
+use crate::node::{LocalRemoval, Message};
+use crate::transport::{FaultyTransport, Transport, TransportStats};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use trustseq_core::{CoreError, EdgeId};
+use trustseq_model::{AgentId, ModelError};
+
+/// Tuning knobs for the resilient protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilientConfig {
+    /// Transmission budget per message (and per sync handshake) before it
+    /// is abandoned.
+    pub max_attempts: usize,
+    /// Rounds to wait for an acknowledgement before the first retransmit.
+    pub ack_timeout: usize,
+    /// Cap on the exponential backoff interval, in rounds.
+    pub max_backoff: usize,
+    /// Hard stop: give up (`Undecided`) after this many rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            max_attempts: 16,
+            ack_timeout: 2,
+            max_backoff: 32,
+            max_rounds: 10_000,
+        }
+    }
+}
+
+/// Why a resilient run could not decide feasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UndecidedReason {
+    /// Announcements were abandoned after exhausting their retry budget,
+    /// leaving some surviving view stale.
+    RetriesExhausted,
+    /// A participant was down at quiescence and never restarts.
+    NodesDown,
+    /// The configured round limit was hit before quiescence.
+    RoundLimit,
+}
+
+impl fmt::Display for UndecidedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UndecidedReason::RetriesExhausted => "retries exhausted",
+            UndecidedReason::NodesDown => "nodes down",
+            UndecidedReason::RoundLimit => "round limit",
+        })
+    }
+}
+
+/// The resilient engine's three-valued verdict.
+///
+/// `Feasible` and `Infeasible` carry the same meaning as
+/// [`DistOutcome::feasible`] and are only ever emitted when provably
+/// correct; `Undecided` is the graceful-degradation outcome under faults
+/// the retry budget could not absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistVerdict {
+    /// Every edge was removed: the exchange is feasible.
+    Feasible,
+    /// The reduction reached a complete fixpoint with edges remaining.
+    Infeasible,
+    /// The run cannot vouch for either answer.
+    Undecided(UndecidedReason),
+}
+
+impl DistVerdict {
+    /// `Some(feasible)` when the verdict is decided, `None` when not.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            DistVerdict::Feasible => Some(true),
+            DistVerdict::Infeasible => Some(false),
+            DistVerdict::Undecided(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for DistVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistVerdict::Feasible => f.write_str("feasible"),
+            DistVerdict::Infeasible => f.write_str("infeasible"),
+            DistVerdict::Undecided(reason) => write!(f, "undecided ({reason})"),
+        }
+    }
+}
+
+/// The outcome of a resilient run, with full protocol accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilientOutcome {
+    /// The (possibly undecided) feasibility verdict.
+    pub verdict: DistVerdict,
+    /// Rounds until quiescence or give-up.
+    pub rounds: usize,
+    /// First-transmission removal announcements — comparable to
+    /// [`DistOutcome::messages`].
+    pub messages: usize,
+    /// Retransmissions of unacknowledged announcements.
+    pub retransmissions: usize,
+    /// Removals relayed to sync requesters after their handshake.
+    pub relays: usize,
+    /// Acknowledgements sent.
+    pub acks: usize,
+    /// Sync requests sent (including retries).
+    pub sync_requests: usize,
+    /// Sync responses sent.
+    pub sync_responses: usize,
+    /// Every removal, in decision order.
+    pub removals: Vec<DistRemoval>,
+    /// Edges never removed.
+    pub remaining: Vec<EdgeId>,
+    /// What the faulty network did to the traffic.
+    pub transport: TransportStats,
+}
+
+impl ResilientOutcome {
+    /// Converts a *decided* outcome into the plain [`DistOutcome`] shape
+    /// (for comparison against the reliable engine); `None` if undecided.
+    pub fn as_dist_outcome(&self) -> Option<DistOutcome> {
+        self.verdict.decided().map(|feasible| DistOutcome {
+            feasible,
+            rounds: self.rounds,
+            messages: self.messages,
+            removals: self.removals.clone(),
+            remaining: self.remaining.clone(),
+        })
+    }
+}
+
+impl fmt::Display for ResilientOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} rounds, {} messages (+{} retries, {} relays, {} acks, {} removals, {} edges remain)",
+            self.verdict,
+            self.rounds,
+            self.messages,
+            self.retransmissions,
+            self.relays,
+            self.acks,
+            self.removals.len(),
+            self.remaining.len()
+        )
+    }
+}
+
+/// A resilient-protocol packet. `Data` carries the base protocol's
+/// removal announcement under a sequence number; the rest is the
+/// reliability machinery.
+#[derive(Debug, Clone)]
+enum Packet {
+    Data { seq: u64, msg: Message },
+    Ack { seq: u64 },
+    SyncReq { from: AgentId },
+    SyncResp { from: AgentId, dead: Vec<EdgeId> },
+}
+
+/// Sender-side state of one reliable announcement. Survives its sender's
+/// crash (write-ahead log): retransmission is suspended while the sender
+/// is down and resumes after restart.
+#[derive(Debug)]
+struct Pending {
+    from: AgentId,
+    to: AgentId,
+    msg: Message,
+    attempts: usize,
+    next_retry: usize,
+    acked: bool,
+    /// Omniscient-simulator flag: the addressee has processed the payload
+    /// (set even when the acknowledgement is lost). Drives termination.
+    delivered: bool,
+    abandoned: bool,
+}
+
+impl DistributedReduction {
+    /// Runs the protocol over a faulty network described by `plan`,
+    /// hardened per `config`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a plan that names an agent with no node in this reduction
+    /// (`CoreError::Model(ModelError::UnknownAgent)`).
+    pub fn run_resilient(
+        mut self,
+        plan: &FaultPlan,
+        config: &ResilientConfig,
+    ) -> Result<ResilientOutcome, CoreError> {
+        for agent in plan.named_agents() {
+            if !self.nodes.contains_key(&agent) {
+                return Err(CoreError::Model(ModelError::UnknownAgent(agent)));
+            }
+        }
+
+        // Neighbours = participants sharing a visible edge; they are the
+        // parties a restarted node can recover its liveness view from.
+        let mut seers: BTreeMap<EdgeId, Vec<AgentId>> = BTreeMap::new();
+        for (agent, node) in &self.nodes {
+            for edge in node.visible_edge_ids() {
+                seers.entry(edge).or_default().push(*agent);
+            }
+        }
+        let mut neighbours: BTreeMap<AgentId, BTreeSet<AgentId>> = BTreeMap::new();
+        for agents in seers.values() {
+            for &a in agents {
+                for &b in agents {
+                    if a != b {
+                        neighbours.entry(a).or_default().insert(b);
+                    }
+                }
+            }
+        }
+
+        let initial_nodes = self.nodes.clone();
+        let mut transport: FaultyTransport<Packet> = FaultyTransport::new(plan.clone());
+        let mut pendings: Vec<Pending> = Vec::new();
+        let mut seen: BTreeMap<AgentId, BTreeSet<u64>> = BTreeMap::new();
+        let mut subscribers: BTreeMap<AgentId, BTreeSet<AgentId>> = BTreeMap::new();
+        // (requester, neighbour) -> (attempts, next retry round)
+        let mut syncs: BTreeMap<(AgentId, AgentId), (usize, usize)> = BTreeMap::new();
+
+        let mut removed: BTreeSet<EdgeId> = BTreeSet::new();
+        let mut removals: Vec<DistRemoval> = Vec::new();
+        let mut messages = 0usize;
+        let mut retransmissions = 0usize;
+        let mut relays = 0usize;
+        let mut acks = 0usize;
+        let mut sync_requests = 0usize;
+        let mut sync_responses = 0usize;
+        let mut rounds = 0usize;
+
+        let ack_timeout = config.ack_timeout.max(1);
+        let max_attempts = config.max_attempts.max(1);
+        let backoff = |attempts: usize| -> usize {
+            let exp = attempts.saturating_sub(1).min(20) as u32;
+            ack_timeout
+                .saturating_mul(1usize << exp)
+                .min(config.max_backoff.max(1))
+        };
+        // A sender that is down and never restarts will never retransmit;
+        // its undelivered announcements are as good as abandoned.
+        let sender_gone = |from: AgentId, round: usize| {
+            plan.is_down(from, round) && plan.restart_round(from).is_none()
+        };
+
+        let limit_reason = loop {
+            rounds += 1;
+            if rounds > config.max_rounds {
+                rounds -= 1;
+                break Some(UndecidedReason::RoundLimit);
+            }
+
+            // 1. Restarts: amnesia reset, then a sync handshake with every
+            //    neighbour to win the dead-edge view back.
+            let restarting: Vec<AgentId> = self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|a| plan.restart_round(*a) == Some(rounds))
+                .collect();
+            for agent in restarting {
+                if let Some(init) = initial_nodes.get(&agent) {
+                    self.nodes.insert(agent, init.clone());
+                }
+                seen.remove(&agent);
+                for nb in neighbours.get(&agent).into_iter().flatten() {
+                    transport.send(rounds, agent, *nb, Packet::SyncReq { from: agent });
+                    sync_requests += 1;
+                    syncs.insert((agent, *nb), (1, rounds + ack_timeout));
+                }
+            }
+
+            // 2. Deliveries, in arrival order. The transport already loses
+            //    packets addressed to down nodes.
+            for (to, packet) in transport.deliver(rounds) {
+                match packet {
+                    Packet::Data { seq, msg } => {
+                        let first_sight = seen.entry(to).or_default().insert(seq);
+                        if first_sight {
+                            if let Some(node) = self.nodes.get_mut(&to) {
+                                node.observe(msg);
+                            }
+                            // Relay to standing sync subscribers: they may
+                            // have acknowledged this removal before their
+                            // crash, so nobody else will resend it.
+                            let subs: Vec<AgentId> = subscribers
+                                .get(&to)
+                                .into_iter()
+                                .flatten()
+                                .copied()
+                                .filter(|s| *s != msg.from)
+                                .collect();
+                            for sub in subs {
+                                let relay = Message {
+                                    from: to,
+                                    edge: msg.edge,
+                                };
+                                let seq2 = pendings.len() as u64;
+                                pendings.push(Pending {
+                                    from: to,
+                                    to: sub,
+                                    msg: relay,
+                                    attempts: 1,
+                                    next_retry: rounds + ack_timeout,
+                                    acked: false,
+                                    delivered: false,
+                                    abandoned: false,
+                                });
+                                transport.send(
+                                    rounds,
+                                    to,
+                                    sub,
+                                    Packet::Data {
+                                        seq: seq2,
+                                        msg: relay,
+                                    },
+                                );
+                                relays += 1;
+                            }
+                        }
+                        // Always (re-)acknowledge, even duplicates: the
+                        // previous ack may have been lost.
+                        if let Some(p) = pendings.get_mut(seq as usize) {
+                            p.delivered = true;
+                            let ack_to = p.from;
+                            transport.send(rounds, to, ack_to, Packet::Ack { seq });
+                            acks += 1;
+                        }
+                    }
+                    Packet::Ack { seq } => {
+                        if let Some(p) = pendings.get_mut(seq as usize) {
+                            p.acked = true;
+                            p.delivered = true;
+                        }
+                    }
+                    Packet::SyncReq { from } => {
+                        subscribers.entry(to).or_default().insert(from);
+                        let dead = self
+                            .nodes
+                            .get(&to)
+                            .map(|n| n.dead_edges())
+                            .unwrap_or_default();
+                        transport.send(rounds, to, from, Packet::SyncResp { from: to, dead });
+                        sync_responses += 1;
+                    }
+                    Packet::SyncResp { from, dead } => {
+                        if let Some(node) = self.nodes.get_mut(&to) {
+                            for edge in dead {
+                                node.observe(Message { from, edge });
+                            }
+                        }
+                        syncs.remove(&(to, from));
+                    }
+                }
+            }
+
+            // 3. Retransmit overdue unacknowledged announcements (skipping
+            //    down senders — their log resumes on restart).
+            for (i, p) in pendings.iter_mut().enumerate() {
+                if p.acked || p.abandoned || plan.is_down(p.from, rounds) || rounds < p.next_retry {
+                    continue;
+                }
+                if p.attempts >= max_attempts {
+                    p.abandoned = true;
+                } else {
+                    transport.send(
+                        rounds,
+                        p.from,
+                        p.to,
+                        Packet::Data {
+                            seq: i as u64,
+                            msg: p.msg,
+                        },
+                    );
+                    p.attempts += 1;
+                    p.next_retry = rounds + backoff(p.attempts);
+                    retransmissions += 1;
+                }
+            }
+
+            // 4. Retry unanswered sync requests on the same backoff.
+            let mut abandoned_syncs = Vec::new();
+            for ((requester, nb), (attempts, next_retry)) in syncs.iter_mut() {
+                if plan.is_down(*requester, rounds) || rounds < *next_retry {
+                    continue;
+                }
+                if *attempts >= max_attempts {
+                    abandoned_syncs.push((*requester, *nb));
+                } else {
+                    transport.send(
+                        rounds,
+                        *requester,
+                        *nb,
+                        Packet::SyncReq { from: *requester },
+                    );
+                    *attempts += 1;
+                    *next_retry = rounds + backoff(*attempts);
+                    sync_requests += 1;
+                }
+            }
+            for key in abandoned_syncs {
+                syncs.remove(&key);
+            }
+
+            // 5. Proposals, in deterministic agent order, from alive nodes.
+            //    A proposal whose edge is already globally removed means
+            //    the proposer's view is stale; if no announcement is still
+            //    on its way to the proposer (e.g. an amnesiac restartee
+            //    re-proposing its *own* pre-crash decision, which nobody
+            //    announces back to it), let it relearn the removal locally.
+            let mut round_removals: Vec<(AgentId, LocalRemoval)> = Vec::new();
+            let mut relearn: Vec<(AgentId, EdgeId)> = Vec::new();
+            for (agent, node) in &self.nodes {
+                if plan.is_down(*agent, rounds) {
+                    continue;
+                }
+                for proposal in node.proposals() {
+                    if removed.contains(&proposal.edge) {
+                        relearn.push((*agent, proposal.edge));
+                    } else if !round_removals.iter().any(|(_, r)| r.edge == proposal.edge) {
+                        round_removals.push((*agent, proposal));
+                    }
+                }
+            }
+            for (agent, edge) in relearn {
+                let incoming = pendings.iter().any(|p| {
+                    p.to == agent
+                        && p.msg.edge == edge
+                        && !p.delivered
+                        && !p.abandoned
+                        && !sender_gone(p.from, rounds)
+                });
+                if !incoming {
+                    if let Some(node) = self.nodes.get_mut(&agent) {
+                        node.record_own_removal(edge);
+                    }
+                }
+            }
+
+            if round_removals.is_empty() {
+                let info_coming = pendings
+                    .iter()
+                    .any(|p| !p.delivered && !p.abandoned && !sender_gone(p.from, rounds));
+                let awaiting_restart = self.nodes.keys().any(|a| {
+                    plan.is_down(*a, rounds) && plan.restart_round(*a).is_some_and(|r| r > rounds)
+                });
+                if !info_coming && syncs.is_empty() && !awaiting_restart {
+                    rounds -= 1; // the final empty round is bookkeeping only
+                    break None;
+                }
+                continue; // idle round: wait for deliveries / retries / restarts
+            }
+
+            for (decider, removal) in round_removals {
+                removed.insert(removal.edge);
+                removals.push(DistRemoval {
+                    decider,
+                    edge: removal.edge,
+                    rule: removal.rule,
+                    round: rounds,
+                });
+                if let Some(node) = self.nodes.get_mut(&decider) {
+                    node.record_own_removal(removal.edge);
+                }
+                for target in self.announcement_targets(removal.edge, decider) {
+                    let msg = Message {
+                        from: decider,
+                        edge: removal.edge,
+                    };
+                    let seq = pendings.len() as u64;
+                    pendings.push(Pending {
+                        from: decider,
+                        to: target,
+                        msg,
+                        attempts: 1,
+                        next_retry: rounds + ack_timeout,
+                        acked: false,
+                        delivered: false,
+                        abandoned: false,
+                    });
+                    transport.send(rounds, decider, target, Packet::Data { seq, msg });
+                    messages += 1;
+                }
+            }
+        };
+
+        let remaining: Vec<EdgeId> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.id)
+            .filter(|id| !removed.contains(id))
+            .collect();
+        // The round quiescence was observed in (rounds was decremented for
+        // the bookkeeping round on the quiescent path).
+        let probe = rounds + 1;
+        let verdict = if remaining.is_empty() {
+            // Every removal is individually sound, so a complete removal
+            // is a sound `feasible` no matter what else went wrong.
+            DistVerdict::Feasible
+        } else if let Some(reason) = limit_reason {
+            DistVerdict::Undecided(reason)
+        } else if self.nodes.keys().any(|a| plan.is_down(*a, probe)) {
+            // A permanently-down participant may still have had moves to
+            // make; claiming `infeasible` would be a guess.
+            DistVerdict::Undecided(UndecidedReason::NodesDown)
+        } else if self
+            .nodes
+            .values()
+            .any(|node| node.live_edge_ids().any(|e| removed.contains(&e)))
+        {
+            // Some surviving view missed an (abandoned) announcement, so
+            // the fixpoint may be incomplete.
+            DistVerdict::Undecided(UndecidedReason::RetriesExhausted)
+        } else {
+            DistVerdict::Infeasible
+        };
+
+        Ok(ResilientOutcome {
+            verdict,
+            rounds,
+            messages,
+            retransmissions,
+            relays,
+            acks,
+            sync_requests,
+            sync_responses,
+            removals,
+            remaining,
+            transport: transport.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Crash, Partition};
+    use trustseq_core::{analyze, fixtures};
+
+    fn fixture_specs() -> Vec<(&'static str, trustseq_model::ExchangeSpec)> {
+        vec![
+            ("example1", fixtures::example1().0),
+            ("example2", fixtures::example2().0),
+            ("poor_broker", fixtures::poor_broker().0),
+            ("figure7", fixtures::figure7().0),
+        ]
+    }
+
+    #[test]
+    fn faultless_run_is_byte_identical_to_the_reliable_engine() {
+        for (name, spec) in fixture_specs() {
+            let base = DistributedReduction::new(&spec).unwrap().run();
+            let resilient = DistributedReduction::new(&spec)
+                .unwrap()
+                .run_resilient(&FaultPlan::none(), &ResilientConfig::default())
+                .unwrap();
+            assert_eq!(resilient.as_dist_outcome().as_ref(), Some(&base), "{name}");
+            assert_eq!(resilient.retransmissions, 0, "{name}");
+            assert_eq!(resilient.relays, 0, "{name}");
+            assert_eq!(resilient.sync_requests, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn lossy_network_never_changes_a_decided_verdict() {
+        for (name, spec) in fixture_specs() {
+            let central = analyze(&spec).unwrap().feasible;
+            let mut retried = false;
+            for seed in 0..30 {
+                let plan = FaultPlan::seeded(seed)
+                    .with_drop_per_mille(300)
+                    .with_dup_per_mille(100)
+                    .with_max_extra_delay(2);
+                let out = DistributedReduction::new(&spec)
+                    .unwrap()
+                    .run_resilient(&plan, &ResilientConfig::default())
+                    .unwrap();
+                retried |= out.retransmissions > 0;
+                // Eventual delivery (drops are per-transmission, retries
+                // bounded but ample): the verdict should decide and match.
+                assert_eq!(
+                    out.verdict.decided(),
+                    Some(central),
+                    "{name} seed {seed}: {out}"
+                );
+            }
+            assert!(retried, "{name}: 30 lossy seeds without a single retry");
+        }
+    }
+
+    #[test]
+    fn crash_and_restart_recovers_via_neighbour_sync() {
+        for (name, spec) in fixture_specs() {
+            let central = analyze(&spec).unwrap().feasible;
+            let reduction = DistributedReduction::new(&spec).unwrap();
+            let agents: Vec<AgentId> = reduction.nodes.keys().copied().collect();
+            drop(reduction);
+            for (i, agent) in agents.iter().enumerate() {
+                let plan = FaultPlan::seeded(i as u64).with_crash(
+                    *agent,
+                    Crash {
+                        at_round: 2,
+                        restart_at: Some(5),
+                    },
+                );
+                let out = DistributedReduction::new(&spec)
+                    .unwrap()
+                    .run_resilient(&plan, &ResilientConfig::default())
+                    .unwrap();
+                assert_eq!(
+                    out.verdict.decided(),
+                    Some(central),
+                    "{name} crash {agent}: {out}"
+                );
+                assert!(out.sync_requests > 0, "{name} crash {agent}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_nodes_permanently_down_degrades_to_nodes_down() {
+        let (spec, _) = fixtures::example1();
+        let reduction = DistributedReduction::new(&spec).unwrap();
+        let agents: Vec<AgentId> = reduction.nodes.keys().copied().collect();
+        let mut plan = FaultPlan::seeded(0);
+        for agent in agents {
+            plan = plan.with_crash(
+                agent,
+                Crash {
+                    at_round: 1,
+                    restart_at: None,
+                },
+            );
+        }
+        let out = reduction
+            .run_resilient(&plan, &ResilientConfig::default())
+            .unwrap();
+        assert_eq!(
+            out.verdict,
+            DistVerdict::Undecided(UndecidedReason::NodesDown),
+            "{out}"
+        );
+        assert!(out.removals.is_empty());
+    }
+
+    #[test]
+    fn permanent_partition_never_yields_a_wrong_verdict() {
+        for (name, spec) in fixture_specs() {
+            let central = analyze(&spec).unwrap().feasible;
+            let reduction = DistributedReduction::new(&spec).unwrap();
+            let agents: Vec<AgentId> = reduction.nodes.keys().copied().collect();
+            drop(reduction);
+            for pair in agents.windows(2) {
+                let plan = FaultPlan::seeded(7).with_partition(Partition {
+                    a: pair[0],
+                    b: pair[1],
+                    from_round: 1,
+                    until_round: usize::MAX,
+                });
+                let out = DistributedReduction::new(&spec)
+                    .unwrap()
+                    .run_resilient(&plan, &ResilientConfig::default())
+                    .unwrap();
+                if let Some(decided) = out.verdict.decided() {
+                    assert_eq!(
+                        decided, central,
+                        "{name} cut {}~{}: {out}",
+                        pair[0], pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_limit_degrades_gracefully() {
+        let (spec, _) = fixtures::example1();
+        let config = ResilientConfig {
+            max_rounds: 1,
+            ..ResilientConfig::default()
+        };
+        let out = DistributedReduction::new(&spec)
+            .unwrap()
+            .run_resilient(&FaultPlan::none(), &config)
+            .unwrap();
+        assert_eq!(
+            out.verdict,
+            DistVerdict::Undecided(UndecidedReason::RoundLimit),
+            "{out}"
+        );
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn plan_naming_an_unknown_agent_is_rejected() {
+        let (spec, _) = fixtures::example1();
+        let plan = FaultPlan::none().with_crash(
+            AgentId::new(999),
+            Crash {
+                at_round: 1,
+                restart_at: None,
+            },
+        );
+        let err = DistributedReduction::new(&spec)
+            .unwrap()
+            .run_resilient(&plan, &ResilientConfig::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Model(ModelError::UnknownAgent(a)) if a == AgentId::new(999)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn verdict_display_names_the_reason() {
+        assert_eq!(DistVerdict::Feasible.to_string(), "feasible");
+        assert_eq!(
+            DistVerdict::Undecided(UndecidedReason::RetriesExhausted).to_string(),
+            "undecided (retries exhausted)"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Pluggable message transports for the distributed engine.
+//!
+//! The engine's round loop is generic over [`Transport`]: it hands the
+//! transport every outbound message and asks it each round which messages
+//! arrive. [`DelayTransport`] reproduces the original infallible in-memory
+//! queue (including its exact xorshift delay sequence, so refactored runs
+//! are byte-identical to the historical engine). [`FaultyTransport`]
+//! consults a [`FaultPlan`](crate::FaultPlan) to drop, duplicate, delay and
+//! partition traffic — the resilient engine runs over it.
+
+use crate::faults::FaultPlan;
+use trustseq_model::AgentId;
+
+/// A round-synchronous message channel between participants.
+///
+/// `round` arguments use the engine's 1-based round counter. A message
+/// sent in round *r* is never delivered before round *r + 1*.
+pub trait Transport<M> {
+    /// Accepts `message` from `from` to `to`, sent during `round`.
+    fn send(&mut self, round: usize, from: AgentId, to: AgentId, message: M);
+
+    /// Returns every message that arrives at the start of `round`, in
+    /// delivery order, paired with its addressee.
+    fn deliver(&mut self, round: usize) -> Vec<(AgentId, M)>;
+
+    /// Messages accepted but not yet delivered or lost.
+    fn in_flight(&self) -> usize;
+}
+
+/// The original reliable in-memory queue: every message arrives, delayed
+/// 1..=`max_delay` rounds by a deterministic xorshift stream.
+///
+/// The delay sequence is bit-for-bit the one the pre-transport engine
+/// drew, which keeps `run_with_delays` traces byte-identical across the
+/// refactor (asserted in this module's tests and the chaos harness).
+#[derive(Debug)]
+pub struct DelayTransport<M> {
+    rng_state: u64,
+    max_delay: u64,
+    queue: Vec<(usize, AgentId, M)>,
+}
+
+impl<M> DelayTransport<M> {
+    /// A transport delaying every message 1..=`max_delay` rounds, drawn
+    /// from `seed`.
+    pub fn new(seed: u64, max_delay: u64) -> Self {
+        DelayTransport {
+            rng_state: seed | 1,
+            max_delay: max_delay.max(1),
+            queue: Vec::new(),
+        }
+    }
+
+    fn next_delay(&mut self) -> usize {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        1 + (self.rng_state % self.max_delay) as usize
+    }
+}
+
+impl<M> Transport<M> for DelayTransport<M> {
+    fn send(&mut self, round: usize, _from: AgentId, to: AgentId, message: M) {
+        let due = round + self.next_delay();
+        self.queue.push((due, to, message));
+    }
+
+    fn deliver(&mut self, round: usize) -> Vec<(AgentId, M)> {
+        let mut arrived = Vec::new();
+        let mut still_flying = Vec::with_capacity(self.queue.len());
+        for (due, to, msg) in self.queue.drain(..) {
+            if due <= round {
+                arrived.push((to, msg));
+            } else {
+                still_flying.push((due, to, msg));
+            }
+        }
+        self.queue = still_flying;
+        arrived
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Counters of what a [`FaultyTransport`] did to the traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// `send` calls accepted (before fault decisions).
+    pub sent: usize,
+    /// Transmissions dropped in flight by the plan.
+    pub dropped: usize,
+    /// Extra copies injected by duplication.
+    pub duplicated: usize,
+    /// Transmissions lost to a cut link at send time.
+    pub cut: usize,
+    /// Transmissions lost because the addressee was down on arrival.
+    pub lost_to_down: usize,
+}
+
+/// A lossy transport driven by a [`FaultPlan`].
+///
+/// Each `send` call is one *transmission* with its own plan-decided fate:
+/// it may be swallowed by a cut link (checked at send time), dropped in
+/// flight, delayed extra rounds, or duplicated (the copy gets an
+/// independent delay, so copies reorder against each other). Messages
+/// arriving at a node that is down that round are lost — crash recovery
+/// is the engine's job, not the network's.
+#[derive(Debug)]
+pub struct FaultyTransport<M> {
+    plan: FaultPlan,
+    queue: Vec<(usize, AgentId, AgentId, M)>,
+    transmissions: u64,
+    stats: TransportStats,
+}
+
+impl<M: Clone> FaultyTransport<M> {
+    /// A transport injecting the faults `plan` schedules.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyTransport {
+            plan,
+            queue: Vec::new(),
+            transmissions: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The driving plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What the transport has done so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+impl<M: Clone> Transport<M> for FaultyTransport<M> {
+    fn send(&mut self, round: usize, from: AgentId, to: AgentId, message: M) {
+        let tid = self.transmissions;
+        self.transmissions += 1;
+        self.stats.sent += 1;
+        if self.plan.is_cut(from, to, round) {
+            self.stats.cut += 1;
+            return;
+        }
+        if self.plan.drops(tid) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let due = round + 1 + self.plan.extra_delay(tid) as usize;
+        if self.plan.duplicates(tid) {
+            self.stats.duplicated += 1;
+            let dup_due = round + 1 + self.plan.dup_extra_delay(tid) as usize;
+            self.queue.push((dup_due, from, to, message.clone()));
+        }
+        self.queue.push((due, from, to, message));
+    }
+
+    fn deliver(&mut self, round: usize) -> Vec<(AgentId, M)> {
+        let mut arrived = Vec::new();
+        let mut still_flying = Vec::with_capacity(self.queue.len());
+        for (due, from, to, msg) in self.queue.drain(..) {
+            if due <= round {
+                if self.plan.is_down(to, round) {
+                    self.stats.lost_to_down += 1;
+                } else {
+                    arrived.push((to, msg));
+                }
+            } else {
+                still_flying.push((due, from, to, msg));
+            }
+        }
+        self.queue = still_flying;
+        arrived
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Crash, Partition};
+
+    fn a(n: u32) -> AgentId {
+        AgentId::new(n)
+    }
+
+    #[test]
+    fn delay_transport_matches_legacy_xorshift() {
+        // Reproduce the exact delay stream the pre-transport engine drew.
+        let (seed, max_delay) = (3u64, 5u64);
+        let mut rng_state = seed | 1;
+        let mut legacy = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            1 + (rng_state % max_delay) as usize
+        };
+        let mut transport: DelayTransport<u32> = DelayTransport::new(seed, max_delay);
+        for i in 0..100u32 {
+            let expected_due = 7 + legacy();
+            transport.send(7, a(0), a(1), i);
+            let (due, _, payload) = *transport.queue.last().unwrap();
+            assert_eq!(due, expected_due);
+            assert_eq!(payload, i);
+        }
+    }
+
+    #[test]
+    fn delay_transport_delivers_in_insertion_order() {
+        let mut t: DelayTransport<u32> = DelayTransport::new(0, 1);
+        t.send(1, a(0), a(1), 10);
+        t.send(1, a(0), a(2), 20);
+        assert_eq!(t.in_flight(), 2);
+        assert!(t.deliver(1).is_empty());
+        assert_eq!(t.deliver(2), vec![(a(1), 10), (a(2), 20)]);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn faultless_faulty_transport_is_reliable_next_round() {
+        let mut t: FaultyTransport<u32> = FaultyTransport::new(FaultPlan::none());
+        for i in 0..50 {
+            t.send(4, a(0), a(1), i);
+        }
+        let arrived = t.deliver(5);
+        assert_eq!(arrived.len(), 50);
+        assert_eq!(
+            t.stats(),
+            TransportStats {
+                sent: 50,
+                ..TransportStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn drops_and_duplicates_show_in_stats() {
+        let plan = FaultPlan::seeded(11)
+            .with_drop_per_mille(300)
+            .with_dup_per_mille(300)
+            .with_max_extra_delay(3);
+        let mut t: FaultyTransport<u32> = FaultyTransport::new(plan);
+        for i in 0..1000 {
+            t.send(1, a(0), a(1), i);
+        }
+        let mut arrived = 0;
+        for round in 2..10 {
+            arrived += t.deliver(round).len();
+        }
+        let stats = t.stats();
+        assert_eq!(stats.sent, 1000);
+        assert!(stats.dropped > 0 && stats.dropped < 1000);
+        assert!(stats.duplicated > 0);
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(arrived, 1000 - stats.dropped + stats.duplicated);
+    }
+
+    #[test]
+    fn cut_links_swallow_at_send_time() {
+        let plan = FaultPlan::none().with_partition(Partition {
+            a: a(0),
+            b: a(1),
+            from_round: 2,
+            until_round: 4,
+        });
+        let mut t: FaultyTransport<u32> = FaultyTransport::new(plan);
+        t.send(1, a(0), a(1), 1); // before the cut: delivered
+        t.send(2, a(1), a(0), 2); // inside the cut, either direction: lost
+        t.send(3, a(0), a(2), 3); // different pair: delivered
+        t.send(4, a(0), a(1), 4); // healed: delivered
+        let mut arrived = Vec::new();
+        for round in 2..8 {
+            arrived.extend(t.deliver(round));
+        }
+        assert_eq!(arrived, vec![(a(1), 1), (a(2), 3), (a(1), 4)]);
+        assert_eq!(t.stats().cut, 1);
+    }
+
+    #[test]
+    fn down_addressee_loses_arrivals() {
+        let plan = FaultPlan::none().with_crash(
+            a(1),
+            Crash {
+                at_round: 3,
+                restart_at: Some(5),
+            },
+        );
+        let mut t: FaultyTransport<u32> = FaultyTransport::new(plan);
+        t.send(2, a(0), a(1), 7); // arrives round 3 while a1 is down: lost
+        t.send(4, a(0), a(1), 8); // arrives round 5, a1 restarted: delivered
+        assert!(t.deliver(3).is_empty());
+        assert_eq!(t.deliver(5), vec![(a(1), 8)]);
+        assert_eq!(t.stats().lost_to_down, 1);
+    }
+}

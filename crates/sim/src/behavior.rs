@@ -22,6 +22,17 @@ pub enum Behavior {
     /// Performs the first `n` of its deposits honestly, then goes silent.
     /// `SilentAfter(0)` never deposits anything.
     SilentAfter(u32),
+    /// Crashes before its `at_deposit`-th (0-based) deposit, missing the
+    /// next `resume_after` of its deposit opportunities, then comes back
+    /// and resumes depositing. Distinct from [`Behavior::SilentAfter`]:
+    /// the agent returns, so a protocol that stalls on the outage rather
+    /// than refunding may still complete.
+    CrashRestart {
+        /// The first deposit (0-based) the agent misses.
+        at_deposit: u32,
+        /// How many consecutive deposit opportunities the outage covers.
+        resume_after: u32,
+    },
 }
 
 impl Behavior {
@@ -33,6 +44,10 @@ impl Behavior {
         match *self {
             Behavior::Honest => true,
             Behavior::SilentAfter(n) => k < n,
+            Behavior::CrashRestart {
+                at_deposit,
+                resume_after,
+            } => k < at_deposit || k >= at_deposit.saturating_add(resume_after),
         }
     }
 
@@ -48,6 +63,13 @@ impl fmt::Display for Behavior {
             Behavior::Honest => f.write_str("honest"),
             Behavior::SilentAfter(0) => f.write_str("absent"),
             Behavior::SilentAfter(n) => write!(f, "silent after {n} deposits"),
+            Behavior::CrashRestart {
+                at_deposit,
+                resume_after,
+            } => write!(
+                f,
+                "crashes at deposit {at_deposit}, resumes after {resume_after}"
+            ),
         }
     }
 }
@@ -94,6 +116,12 @@ impl BehaviorMap {
     pub fn is_all_honest(&self) -> bool {
         self.map.values().all(Behavior::is_honest)
     }
+
+    /// Every agent with an explicit assignment (honest or not) — what a
+    /// simulation validates against the spec's declared principals.
+    pub fn assigned(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.map.keys().copied()
+    }
 }
 
 impl FromIterator<(AgentId, Behavior)> for BehaviorMap {
@@ -138,6 +166,23 @@ mod tests {
         assert!(!b.performs_deposit(2));
         assert!(!b.is_honest());
         assert!(!Behavior::ABSENT.performs_deposit(0));
+    }
+
+    #[test]
+    fn crash_restart_misses_a_window_then_resumes() {
+        let b = Behavior::CrashRestart {
+            at_deposit: 1,
+            resume_after: 2,
+        };
+        assert!(b.performs_deposit(0));
+        assert!(!b.performs_deposit(1));
+        assert!(!b.performs_deposit(2));
+        assert!(b.performs_deposit(3));
+        assert!(b.performs_deposit(100));
+        assert!(!b.is_honest());
+        // Unlike SilentAfter(1), which never comes back.
+        assert!(!Behavior::SilentAfter(1).performs_deposit(3));
+        assert_eq!(b.to_string(), "crashes at deposit 1, resumes after 2");
     }
 
     #[test]

@@ -39,6 +39,22 @@ pub enum SimError {
         /// What it failed to do.
         what: &'static str,
     },
+    /// A behaviour assignment names an agent the specification does not
+    /// declare as a principal.
+    InvalidBehavior {
+        /// The offending agent.
+        agent: AgentId,
+        /// Why the assignment was rejected.
+        reason: &'static str,
+    },
+    /// The protocol handed to a simulation does not fit the specification
+    /// (e.g. it was synthesised from a different spec).
+    ProtocolMismatch {
+        /// The inconsistency found.
+        what: &'static str,
+    },
+    /// A sweep worker thread panicked (indicates a simulator bug).
+    WorkerPanicked,
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +74,13 @@ impl fmt::Display for SimError {
             SimError::TrustedMisbehaved { trusted, what } => {
                 write!(f, "trusted component {trusted} misbehaved: {what}")
             }
+            SimError::InvalidBehavior { agent, reason } => {
+                write!(f, "invalid behaviour for {agent}: {reason}")
+            }
+            SimError::ProtocolMismatch { what } => {
+                write!(f, "protocol does not fit the specification: {what}")
+            }
+            SimError::WorkerPanicked => f.write_str("a sweep worker thread panicked"),
         }
     }
 }

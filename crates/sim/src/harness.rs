@@ -42,32 +42,80 @@ impl fmt::Display for SweepReport {
     }
 }
 
-/// Enumerates every behaviour assignment in which each principal is either
-/// honest or silent after `k` deposits for every `k` up to its deposit
-/// count.
+/// Enumerates behaviour assignments: each principal is honest, silent
+/// after `k` deposits for every `k` up to its deposit count, or — when the
+/// full product still fits under `max_runs` — crash-restarting through
+/// every observably distinct outage window (`at + resume < deposits`;
+/// windows reaching past the last deposit are indistinguishable from
+/// `SilentAfter(at)` and skipped). Principals playing a trusted
+/// component's role (personas, §4.2.3) get no crash-restart variants:
+/// in that role they are part of the trusted base, and a resumed persona
+/// spending escrow-held assets would violate the trusted-honesty axiom.
 ///
 /// The enumeration is exponential in the number of principals; `max_runs`
-/// caps it (runs beyond the cap are skipped deterministically — the
-/// lowest-index patterns are kept).
+/// caps it. The size guard degrades in two stages: crash variants are
+/// dropped first (keeping the silent-only enumeration exact), and if even
+/// that overflows the cap, runs beyond it are skipped deterministically —
+/// the lowest-index patterns are kept.
 pub fn defection_patterns(
     spec: &ExchangeSpec,
     protocol: &Protocol,
     max_runs: usize,
 ) -> Vec<BehaviorMap> {
     let principals: Vec<AgentId> = spec.principals().map(|p| p.id()).collect();
-    // Per principal: honest + SilentAfter(0..deposits).
-    let options: Vec<Vec<Behavior>> = principals
+    let deposits: Vec<u32> = principals
         .iter()
-        .map(|&p| {
-            let deposits = protocol.deposits_of(p).count() as u32;
-            let mut v = vec![Behavior::Honest];
-            for k in 0..deposits {
-                v.push(Behavior::SilentAfter(k));
+        .map(|&p| protocol.deposits_of(p).count() as u32)
+        .collect();
+    // Per principal: honest + SilentAfter(0..deposits).
+    let silent_options = |d: u32| {
+        let mut v = vec![Behavior::Honest];
+        for k in 0..d {
+            v.push(Behavior::SilentAfter(k));
+        }
+        v
+    };
+    // A principal playing a trusted component's role (a *persona*,
+    // §4.2.3) is, in that role, part of the trusted base: a crash-restart
+    // that resumes with persona-held assets could make the component's
+    // refund guarantee unhonourable, which is outside the paper's threat
+    // model (trusted components are honest, §2.5). Silent defection is
+    // still enumerated for such principals — going silent is
+    // indistinguishable from a crash that never restarts, and a silent
+    // persona can always honour its refunds.
+    let persona_players: std::collections::BTreeSet<AgentId> = spec
+        .trusted_components()
+        .filter_map(|t| spec.persona_of(t.id()))
+        .collect();
+    let extended: Vec<Vec<Behavior>> = principals
+        .iter()
+        .zip(&deposits)
+        .map(|(&p, &d)| {
+            let mut v = silent_options(d);
+            if !persona_players.contains(&p) {
+                for at_deposit in 0..d {
+                    for resume_after in 1..d.saturating_sub(at_deposit) {
+                        v.push(Behavior::CrashRestart {
+                            at_deposit,
+                            resume_after,
+                        });
+                    }
+                }
             }
             v
         })
         .collect();
-    let total: usize = options.iter().map(Vec::len).product();
+    let extended_total = extended
+        .iter()
+        .try_fold(1usize, |acc, v| acc.checked_mul(v.len()));
+    let options: Vec<Vec<Behavior>> = match extended_total {
+        Some(t) if t <= max_runs => extended,
+        _ => deposits.iter().map(|&d| silent_options(d)).collect(),
+    };
+    let total: usize = options
+        .iter()
+        .try_fold(1usize, |acc, v| acc.checked_mul(v.len()))
+        .unwrap_or(usize::MAX);
     let mut patterns = Vec::with_capacity(total.min(max_runs));
     for mut index in 0..total.min(max_runs) {
         let mut map = BehaviorMap::all_honest();
@@ -137,7 +185,7 @@ pub fn sweep(
             });
         }
     })
-    .expect("sweep worker panicked");
+    .map_err(|_| SimError::WorkerPanicked)?;
 
     if let Some(e) = error.into_inner() {
         return Err(e);
@@ -184,11 +232,34 @@ mod tests {
     fn example1_safe_under_all_defections() {
         let (spec, _) = fixtures::example1();
         let report = sweep_spec(&spec, 10_000).unwrap();
-        // 3 principals: consumer {H, S0}, broker {H, S0, S1}, producer
-        // {H, S0} → 2·3·2 = 12 patterns.
-        assert_eq!(report.runs, 12);
+        // 3 principals: consumer {H, S0}, broker {H, S0, S1, C(0,1)},
+        // producer {H, S0} → 2·4·2 = 16 patterns (the broker has the only
+        // multi-deposit schedule, hence the only crash-restart window).
+        assert_eq!(report.runs, 16);
         assert!(report.all_safe(), "violations: {:?}", report.violations);
         assert!(report.all_honest_preferred);
+    }
+
+    #[test]
+    fn crash_variants_are_dropped_before_silent_patterns_are_capped() {
+        let (spec, _) = fixtures::example1();
+        let sequence = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &sequence);
+        let crash_count = |patterns: &[BehaviorMap]| {
+            patterns
+                .iter()
+                .flat_map(|m| m.assigned().map(|a| m.of(a)).collect::<Vec<_>>())
+                .filter(|b| matches!(b, Behavior::CrashRestart { .. }))
+                .count()
+        };
+        let full = defection_patterns(&spec, &protocol, 10_000);
+        assert_eq!(full.len(), 16);
+        assert!(crash_count(&full) > 0);
+        // A cap below the crash-extended total (16) falls back to the
+        // exact silent-only enumeration (12).
+        let guarded = defection_patterns(&spec, &protocol, 12);
+        assert_eq!(guarded.len(), 12);
+        assert_eq!(crash_count(&guarded), 0);
     }
 
     #[test]
@@ -294,6 +365,53 @@ mod tests {
     fn report_display() {
         let (spec, _) = fixtures::example1();
         let report = sweep_spec(&spec, 100).unwrap();
-        assert!(report.to_string().contains("12 runs"));
+        assert!(report.to_string().contains("16 runs"));
+    }
+
+    #[test]
+    fn behavior_map_naming_an_unknown_agent_is_rejected() {
+        let (spec, _) = fixtures::example1();
+        let sequence = trustseq_core::synthesize(&spec).unwrap();
+        let protocol = Protocol::from_sequence(&spec, &sequence);
+        let stranger = AgentId::new(999);
+        let behaviors = BehaviorMap::all_honest().with(stranger, Behavior::ABSENT);
+        let err = Simulation::new(&spec, &protocol, behaviors)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::SimError::InvalidBehavior { agent, .. } if agent == stranger),
+            "{err:?}"
+        );
+        // Trusted components are not principals: assigning them a
+        // behaviour is equally malformed.
+        let (spec2, ids2) = fixtures::example1();
+        let _ = spec2;
+        let behaviors = BehaviorMap::all_honest().with(ids2.t1, Behavior::ABSENT);
+        let err = Simulation::new(&spec, &protocol, behaviors)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::SimError::InvalidBehavior { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn protocol_from_another_spec_is_rejected() {
+        // A figure-7 protocol run against example #1's spec references
+        // participants example #1 never declared.
+        let (spec, _) = fixtures::example1();
+        let (mut other, oids) = fixtures::figure7();
+        let plan = trustseq_core::indemnity::greedy_plan(&other, oids.consumer);
+        plan.apply(&mut other).unwrap();
+        let sequence = trustseq_core::synthesize(&other).unwrap();
+        let protocol = Protocol::from_sequence(&other, &sequence);
+        let err = Simulation::new(&spec, &protocol, BehaviorMap::all_honest())
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::SimError::ProtocolMismatch { .. }),
+            "{err:?}"
+        );
     }
 }

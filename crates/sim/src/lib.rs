@@ -41,6 +41,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod behavior;
+pub mod chaos;
 mod error;
 pub mod harness;
 mod ledger;
@@ -49,6 +50,7 @@ mod runner;
 mod time;
 
 pub use behavior::{Behavior, BehaviorMap};
+pub use chaos::{chaos_sweep, chaos_sweep_all, ChaosMatrix, ChaosReport};
 pub use error::SimError;
 pub use harness::{defection_patterns, sweep, sweep_spec, SweepReport};
 pub use ledger::Ledger;

@@ -158,11 +158,44 @@ impl<'a> Simulation<'a> {
     ///
     /// # Errors
     ///
-    /// Only simulator-internal errors ([`SimError::ConservationViolated`],
+    /// Malformed inputs are rejected up front: a [`BehaviorMap`] naming an
+    /// agent that is not a declared principal
+    /// ([`SimError::InvalidBehavior`]), or a protocol that does not fit
+    /// the specification ([`SimError::ProtocolMismatch`]). Beyond that,
+    /// only simulator-internal errors ([`SimError::ConservationViolated`],
     /// [`SimError::TrustedMisbehaved`]) — defections and failed exchanges
     /// are *reported*, not errors.
     pub fn run(&self) -> Result<SimReport, SimError> {
         let steps = self.protocol.steps();
+
+        // Reject malformed inputs before touching any state, so the body
+        // can index freely.
+        for agent in self.behaviors.assigned() {
+            if !self.spec.principals().any(|p| p.id() == agent) {
+                return Err(SimError::InvalidBehavior {
+                    agent,
+                    reason: "not a declared principal of this exchange",
+                });
+            }
+        }
+        let indemnity_count = self.spec.indemnities().len();
+        for step in steps {
+            if let StepKind::IndemnityDeposit(idx) | StepKind::IndemnityRefund(idx) = step.kind {
+                if idx >= indemnity_count {
+                    return Err(SimError::ProtocolMismatch {
+                        what: "indemnity index out of range",
+                    });
+                }
+            }
+            if self.spec.participant(step.actor).is_err()
+                || self.spec.participant(step.action.recipient()).is_err()
+            {
+                return Err(SimError::ProtocolMismatch {
+                    what: "step names an unknown participant",
+                });
+            }
+        }
+
         let mut ledger = Ledger::for_spec(self.spec);
         let mut history = ExchangeState::new();
         let mut messages: Vec<Message> = Vec::new();
@@ -512,6 +545,10 @@ impl<'a> Simulation<'a> {
                     .push(i);
             }
         }
+        // One escrow's refund may depend on another's (a persona account is
+        // replenished by its own refunds), so the unwinds are retried to a
+        // fixpoint rather than applied in a fixed escrow order.
+        let mut unwinds: Vec<(AgentId, Action)> = Vec::new();
         for (&trusted, idxs) in &expected_deposits {
             let settled = forward_steps
                 .get(&trusted)
@@ -527,27 +564,33 @@ impl<'a> Simulation<'a> {
             {
                 if executed[j] {
                     let unwind = steps[j].action.inverse().expect("forwards are invertible");
-                    if !can_apply(&ledger, &unwind) {
-                        return Err(SimError::TrustedMisbehaved {
-                            trusted,
-                            what: "cannot unwind a forward it performed",
-                        });
-                    }
-                    send(&mut ledger, &mut history, &mut messages, clock, unwind)?;
+                    unwinds.push((trusted, unwind));
                 }
             }
             for &j in idxs {
                 if executed[j] && !refunded.contains(&j) {
                     let refund = steps[j].action.inverse().expect("deposits are invertible");
-                    if !can_apply(&ledger, &refund) {
-                        return Err(SimError::TrustedMisbehaved {
-                            trusted,
-                            what: "cannot refund a deposit it should hold",
-                        });
-                    }
-                    send(&mut ledger, &mut history, &mut messages, clock, refund)?;
+                    unwinds.push((trusted, refund));
                 }
             }
+        }
+        let mut done: Vec<bool> = vec![false; unwinds.len()];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (i, (_, action)) in unwinds.iter().enumerate() {
+                if !done[i] && can_apply(&ledger, action) {
+                    send(&mut ledger, &mut history, &mut messages, clock, *action)?;
+                    done[i] = true;
+                    progress = true;
+                }
+            }
+        }
+        if let Some(i) = done.iter().position(|&d| !d) {
+            return Err(SimError::TrustedMisbehaved {
+                trusted: unwinds[i].0,
+                what: "cannot unwind/refund a deposit it should hold",
+            });
         }
 
         // Resolve outstanding indemnities: payout if the beneficiary

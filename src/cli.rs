@@ -359,7 +359,7 @@ mod tests {
     fn simulate_sweeps_defections() {
         let out = run(Command::Simulate, EXAMPLE1).unwrap();
         assert!(out.contains("safety OK"));
-        assert!(out.contains("12 runs, 0 violations"));
+        assert!(out.contains("16 runs, 0 violations"));
     }
 
     #[test]

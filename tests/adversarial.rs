@@ -11,7 +11,7 @@ use trustseq::workloads::{broker_chain, bundle_arithmetic};
 fn example1_every_defection_pattern_is_safe() {
     let (spec, _) = fixtures::example1();
     let report = sweep_spec(&spec, 10_000).unwrap();
-    assert_eq!(report.runs, 12);
+    assert_eq!(report.runs, 16);
     assert!(report.all_safe());
     assert!(report.all_honest_preferred);
 }
@@ -70,10 +70,10 @@ fn sweep_pattern_count_scales_with_deposits() {
     let (spec, _) = fixtures::example1();
     let seq = synthesize(&spec).unwrap();
     let protocol = Protocol::from_sequence(&spec, &seq);
-    // consumer: 1 deposit (2 behaviours); broker: 2 deposits (3);
-    // producer: 1 deposit (2) -> 12 patterns.
+    // consumer: 1 deposit (2 behaviours); broker: 2 deposits (3 silent +
+    // 1 crash-restart window); producer: 1 deposit (2) -> 16 patterns.
     let patterns = defection_patterns(&spec, &protocol, usize::MAX);
-    assert_eq!(patterns.len(), 12);
+    assert_eq!(patterns.len(), 16);
     // Honest pattern appears exactly once.
     assert_eq!(patterns.iter().filter(|p| p.is_all_honest()).count(), 1);
 }
