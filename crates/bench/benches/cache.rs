@@ -1,0 +1,194 @@
+//! Bench: the memoized analysis cache (E21) — cold versus warm sweeps on
+//! the E19 trust-density workload.
+//!
+//! The headline pair runs the confluence-validated trust-density sweep
+//! (each spec's structure is checked under [`SAMPLES_PER_SPEC`] randomized
+//! reduction orders on top of the deterministic reference) over one
+//! pre-generated spec corpus:
+//!
+//! * `uncached_sweep` — plain [`confluence_check`] per spec: every spec
+//!   pays the full validation.
+//! * `cold_sweep` — a fresh [`AnalysisCache`] per iteration: each
+//!   structural shape pays canonicalization + validation + interning once,
+//!   repeats within the corpus hit the table.
+//! * `warm_sweep` — a shared pre-warmed cache: every spec resolves to a
+//!   canonicalization + hash lookup.
+//!
+//! `feasibility_*` is the same comparison for the feasibility-only batch
+//! sweep (one cheap reduction per spec), and the micro benches split a
+//! single query into its canonicalize and reduce halves — together they
+//! show where memoization pays: the per-structure work it elides must
+//! outweigh the canonicalization a hit still performs.
+//!
+//! `TRUSTSEQ_BENCH_QUICK=1` shrinks the workload and the measurement
+//! windows for CI smoke runs.
+//!
+//! [`confluence_check`]: trustseq_core::confluence_check
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trustseq_core::{
+    analyze_batch_cached, canonicalize, confluence_check_cached, AnalysisCache, Reducer,
+    SequencingGraph,
+};
+use trustseq_model::ExchangeSpec;
+use trustseq_workloads::{random_exchange, RandomConfig};
+
+/// Randomized reduction orders validated per spec in the confluence sweep.
+const SAMPLES_PER_SPEC: u64 = 32;
+
+fn quick() -> bool {
+    std::env::var("TRUSTSEQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The E19 workload: random exchanges swept across trust densities
+/// (deeper chains than E19's quick assertion run, so each spec's analysis
+/// is a non-trivial reduction).
+fn densities() -> &'static [f64] {
+    if quick() {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    }
+}
+
+fn config(trust_density: f64) -> RandomConfig {
+    RandomConfig {
+        width: 2,
+        max_depth: 8,
+        trust_density,
+        ..Default::default()
+    }
+}
+
+fn samples() -> u64 {
+    if quick() {
+        15
+    } else {
+        60
+    }
+}
+
+/// The sweep's spec corpus, generated once: generation is identical for
+/// every variant, so it stays outside the measured region.
+fn corpus() -> Vec<ExchangeSpec> {
+    densities()
+        .iter()
+        .flat_map(|&d| (0..samples()).map(move |seed| (d, seed)))
+        .map(|(d, seed)| random_exchange(&RandomConfig { seed, ..config(d) }).spec)
+        .collect()
+}
+
+fn feasible_count(specs: &[ExchangeSpec], cache: Option<&AnalysisCache>) -> usize {
+    analyze_batch_cached(specs, cache)
+        .into_iter()
+        .filter(|r| r.as_ref().map(|o| o.feasible).unwrap_or(false))
+        .count()
+}
+
+/// The confluence-validated sweep: per spec, the deterministic reference
+/// plus [`SAMPLES_PER_SPEC`] randomized orders. Returns (feasible specs,
+/// total agreeing samples) so the variants can be cross-checked.
+fn confluence_sweep(specs: &[ExchangeSpec], cache: Option<&AnalysisCache>) -> (usize, u64) {
+    let samples = if quick() { 8 } else { SAMPLES_PER_SPEC };
+    specs
+        .iter()
+        .map(|s| confluence_check_cached(s, samples, cache).unwrap())
+        .fold((0, 0), |(feasible, agreeing), report| {
+            (
+                feasible + usize::from(report.reference_feasible),
+                agreeing + report.agreeing,
+            )
+        })
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let specs = corpus();
+    group.throughput(Throughput::Elements(specs.len() as u64));
+
+    group.bench_function("uncached_sweep", |b| {
+        b.iter(|| confluence_sweep(black_box(&specs), None))
+    });
+
+    group.bench_function("cold_sweep", |b| {
+        b.iter(|| {
+            let cache = AnalysisCache::default();
+            confluence_sweep(black_box(&specs), Some(&cache))
+        })
+    });
+
+    let warmed = AnalysisCache::default();
+    let cold_result = confluence_sweep(&specs, Some(&warmed));
+    group.bench_function("warm_sweep", |b| {
+        b.iter(|| confluence_sweep(black_box(&specs), Some(&warmed)))
+    });
+    // The whole point of the cache: the warm sweep must answer from the
+    // memo table and agree with the cold pass (and the uncached one)
+    // exactly.
+    assert_eq!(confluence_sweep(&specs, Some(&warmed)), cold_result);
+    assert_eq!(confluence_sweep(&specs, None), cold_result);
+    let stats = warmed.stats();
+    assert!(stats.hits > stats.misses, "warm sweeps should mostly hit");
+    eprintln!("cache after confluence sweeps: {stats}");
+
+    // The feasibility-only batch: per-spec work is a single fast
+    // reduction, so this bounds the cache's break-even point from below.
+    group.bench_function("feasibility_uncached", |b| {
+        b.iter(|| feasible_count(black_box(&specs), None))
+    });
+    group.bench_function("feasibility_cold", |b| {
+        b.iter(|| {
+            let cache = AnalysisCache::default();
+            feasible_count(black_box(&specs), Some(&cache))
+        })
+    });
+    let feas_warmed = AnalysisCache::default();
+    let feas_count = feasible_count(&specs, Some(&feas_warmed));
+    group.bench_function("feasibility_warm", |b| {
+        b.iter(|| feasible_count(black_box(&specs), Some(&feas_warmed)))
+    });
+    assert_eq!(feasible_count(&specs, None), feas_count);
+
+    // Where the gap comes from: one representative query split into its
+    // two halves. A miss pays both; a hit pays only canonicalization.
+    for (name, seed) in [("sparse", 3u64), ("dense", 7)] {
+        let trust_density = if name == "dense" { 0.9 } else { 0.1 };
+        let spec = random_exchange(&RandomConfig {
+            seed,
+            ..config(trust_density)
+        })
+        .spec;
+        let graph = SequencingGraph::from_spec(&spec).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("canonicalize_query", name),
+            &name,
+            |b, _| b.iter(|| canonicalize(black_box(&graph))),
+        );
+        group.bench_with_input(BenchmarkId::new("reduce_query", name), &name, |b, _| {
+            b.iter(|| Reducer::new(black_box(graph.clone())).run())
+        });
+        let cache = AnalysisCache::default();
+        cache.reduce(&graph);
+        group.bench_with_input(BenchmarkId::new("warm_hit", name), &name, |b, _| {
+            b.iter(|| cache.verdict(black_box(&graph)))
+        });
+    }
+
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    let (warm_ms, measure_ms) = if quick() { (50, 150) } else { (300, 900) };
+    Criterion::default()
+        .sample_size(if quick() { 10 } else { 20 })
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_cache
+}
+criterion_main!(benches);

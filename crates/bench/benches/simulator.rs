@@ -20,7 +20,7 @@ fn bench_simulator(c: &mut Criterion) {
             Simulation::new(
                 black_box(&ex1),
                 black_box(&protocol),
-                BehaviorMap::all_honest(),
+                &BehaviorMap::all_honest(),
             )
             .run()
             .unwrap()
@@ -29,7 +29,7 @@ fn bench_simulator(c: &mut Criterion) {
     let defecting = BehaviorMap::all_honest().with(ids.broker, Behavior::ABSENT);
     group.bench_function("example1_broker_defects_run", |b| {
         b.iter(|| {
-            Simulation::new(black_box(&ex1), black_box(&protocol), defecting.clone())
+            Simulation::new(black_box(&ex1), black_box(&protocol), &defecting)
                 .run()
                 .unwrap()
         })
@@ -52,7 +52,7 @@ fn bench_simulator(c: &mut Criterion) {
             Simulation::new(
                 black_box(&indemnified),
                 black_box(&iprotocol),
-                BehaviorMap::all_honest(),
+                &BehaviorMap::all_honest(),
             )
             .run()
             .unwrap()
@@ -74,7 +74,7 @@ fn bench_simulator(c: &mut Criterion) {
                     Simulation::new(
                         black_box(&chain),
                         black_box(&cprotocol),
-                        BehaviorMap::all_honest(),
+                        &BehaviorMap::all_honest(),
                     )
                     .run()
                     .unwrap()

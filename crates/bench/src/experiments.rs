@@ -505,7 +505,7 @@ pub fn e15_temporal_deadlines() -> ExperimentReport {
         let report = trustseq_sim::Simulation::with_config(
             &spec,
             &protocol,
-            BehaviorMap::all_honest(),
+            &BehaviorMap::all_honest(),
             trustseq_sim::SimConfig {
                 escrow_deadline: Some(deadline),
             },
@@ -746,6 +746,131 @@ pub fn e20_chaos_resilience() -> ExperimentReport {
     }
 }
 
+/// E21 — the memoized analysis cache: correctness and hit rates on the
+/// E19 trust-density workload and the E20 chaos matrix. Cached and
+/// uncached runs must measure identical results; the speedup is reported
+/// but not gated (wall-clock on shared CI hardware is advisory).
+pub fn e21_cache_memoization() -> ExperimentReport {
+    use std::time::Instant;
+    use trustseq_core::{confluence_check_cached, AnalysisCache};
+    use trustseq_sim::{chaos_sweep_all, chaos_sweep_all_cached, ChaosMatrix};
+    use trustseq_workloads::{
+        feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig,
+    };
+
+    let config = |trust_density: f64| RandomConfig {
+        width: 2,
+        max_depth: 3,
+        trust_density,
+        ..Default::default()
+    };
+    let densities = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let cache = AnalysisCache::new();
+
+    // E19 workload, cold (empty cache) then warm (same cache, same specs).
+    let started = Instant::now();
+    let cold_rates: Vec<f64> = densities
+        .iter()
+        .map(|&d| feasibility_rate_cached(&config(d), 40, Some(&cache)))
+        .collect();
+    let cold = started.elapsed();
+    let after_cold = cache.stats();
+    let started = Instant::now();
+    let warm_rates: Vec<f64> = densities
+        .iter()
+        .map(|&d| feasibility_rate_cached(&config(d), 40, Some(&cache)))
+        .collect();
+    let warm = started.elapsed();
+    let stats = cache.stats();
+    let plain_rates: Vec<f64> = densities
+        .iter()
+        .map(|&d| feasibility_rate(&config(d), 40))
+        .collect();
+    let rates_identical = cold_rates == plain_rates && warm_rates == plain_rates;
+    let warm_all_hits = stats.misses == after_cold.misses;
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+
+    // The confluence-validated sweep — the driver whose per-structure work
+    // (reference + 16 randomized orders) memoization actually elides. This
+    // is the BENCH_cache.json headline, reproduced here at reduced scale.
+    let conf_specs: Vec<_> = (0..60u64)
+        .map(|seed| {
+            random_exchange(&RandomConfig {
+                seed: seed / 3,
+                ..config((seed % 3) as f64 / 2.0)
+            })
+            .spec
+        })
+        .collect();
+    let conf_cache = AnalysisCache::new();
+    let conf_sweep = |cache: Option<&AnalysisCache>| -> (u64, Vec<bool>) {
+        conf_specs
+            .iter()
+            .fold((0, Vec::new()), |(agree, mut verdicts), s| {
+                let report = confluence_check_cached(s, 16, cache).expect("spec builds");
+                verdicts.push(report.reference_feasible);
+                (agree + report.agreeing, verdicts)
+            })
+    };
+    let started = Instant::now();
+    let conf_cold = conf_sweep(Some(&conf_cache));
+    let conf_cold_time = started.elapsed();
+    let started = Instant::now();
+    let conf_warm = conf_sweep(Some(&conf_cache));
+    let conf_warm_time = started.elapsed();
+    let conf_identical = conf_cold == conf_warm && conf_cold == conf_sweep(None);
+    let conf_speedup = conf_cold_time.as_secs_f64() / conf_warm_time.as_secs_f64().max(1e-9);
+
+    // E20's 600-run chaos matrix: the cached centralised reference must
+    // leave every cell of the report unchanged.
+    let (ex1, _) = fixtures::example1();
+    let (ex2, _) = fixtures::example2();
+    let (fig7, _) = fixtures::figure7();
+    let (chain, _) = broker_chain(6, Money::from_dollars(1000), Money::from_dollars(5));
+    let specs = [
+        ("example1", &ex1),
+        ("example2", &ex2),
+        ("figure7", &fig7),
+        ("chain-6", &chain),
+    ];
+    let (plain_chaos, _) = chaos_sweep_all(specs, &ChaosMatrix::default()).expect("fixtures build");
+    let (cached_chaos, dirty) =
+        chaos_sweep_all_cached(specs, &ChaosMatrix::default(), Some(&cache))
+            .expect("fixtures build");
+    let chaos_identical = plain_chaos == cached_chaos && dirty.is_none();
+
+    ExperimentReport {
+        id: "E21",
+        title: "Memoized analysis cache on the sweep workloads (perf layer)",
+        paper: vec![
+            "(no caching in the paper; §4.2's reduction is a pure".into(),
+            " function of graph structure, so memoization is exact)".into(),
+        ],
+        measured: vec![
+            format!(
+                "E19 workload: 200 analyses → {} structures interned, {}",
+                stats.entries, stats
+            ),
+            format!(
+                "warm pass all hits = {warm_all_hits}; cold {:.1} ms vs warm {:.1} ms ({speedup:.1}x)",
+                cold.as_secs_f64() * 1e3,
+                warm.as_secs_f64() * 1e3
+            ),
+            format!("cached rates identical to uncached: {rates_identical}"),
+            format!(
+                "confluence sweep (60 specs x 16 orders): cold {:.1} ms vs warm {:.1} ms ({conf_speedup:.1}x), reports identical = {conf_identical}",
+                conf_cold_time.as_secs_f64() * 1e3,
+                conf_warm_time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "E20 chaos matrix ({} runs) identical with cached reference: {chaos_identical}",
+                cached_chaos.runs
+            ),
+        ],
+        matches: rates_identical && warm_all_hits && chaos_identical && conf_identical && stats.hits > 0,
+    }
+}
+
 /// Runs every experiment, in order.
 pub fn all() -> Vec<ExperimentReport> {
     vec![
@@ -769,6 +894,7 @@ pub fn all() -> Vec<ExperimentReport> {
         e18_document_assembly(),
         e19_trust_density_sweep(),
         e20_chaos_resilience(),
+        e21_cache_memoization(),
     ]
 }
 

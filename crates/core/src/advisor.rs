@@ -116,7 +116,29 @@ impl fmt::Display for Advice {
 ///
 /// Propagates graph-construction errors.
 pub fn advise(spec: &ExchangeSpec) -> Result<Advice, CoreError> {
-    if analyze(spec)?.feasible {
+    advise_cached(spec, None)
+}
+
+/// [`advise`] with an optional [`AnalysisCache`](crate::AnalysisCache).
+///
+/// The advisor is a natural cache customer: candidate trust edges on
+/// symmetric bundles (e.g. Example #2's two chains) produce isomorphic
+/// graphs, so their feasibility probes collapse to one reduction.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn advise_cached(
+    spec: &ExchangeSpec,
+    cache: Option<&crate::AnalysisCache>,
+) -> Result<Advice, CoreError> {
+    let check = |s: &ExchangeSpec| -> Result<bool, CoreError> {
+        Ok(match cache {
+            Some(cache) => cache.analyze(s)?.feasible,
+            None => analyze(s)?.feasible,
+        })
+    };
+    if check(spec)? {
         return Ok(Advice {
             already_feasible: true,
             trust_options: Vec::new(),
@@ -135,7 +157,7 @@ pub fn advise(spec: &ExchangeSpec) -> Result<Advice, CoreError> {
             }
             let mut candidate = spec.clone();
             candidate.add_trust(truster, trustee)?;
-            if analyze(&candidate)?.feasible {
+            if check(&candidate)? {
                 trust_options.push(TrustSuggestion {
                     truster,
                     trustee,
@@ -148,10 +170,14 @@ pub fn advise(spec: &ExchangeSpec) -> Result<Advice, CoreError> {
     // Greedy indemnity plans (§6) — reported only when they actually reach
     // feasibility.
     let mut candidate = spec.clone();
-    let indemnity_plans = crate::indemnity::make_feasible(&mut candidate).unwrap_or_default();
+    let indemnity_plans =
+        crate::indemnity::make_feasible_cached(&mut candidate, cache).unwrap_or_default();
 
     // §9 delegation.
-    let delegation_unlocks = analyze_with(spec, BuildOptions::EXTENDED)?.feasible;
+    let delegation_unlocks = match cache {
+        Some(cache) => cache.analyze_with(spec, BuildOptions::EXTENDED)?.feasible,
+        None => analyze_with(spec, BuildOptions::EXTENDED)?.feasible,
+    };
 
     Ok(Advice {
         already_feasible: false,
@@ -217,6 +243,23 @@ mod tests {
         assert!(advice.indemnity_plans.is_empty());
         // …and neither can delegation (different intermediaries).
         assert!(!advice.delegation_unlocks);
+    }
+
+    #[test]
+    fn cached_advice_matches_uncached() {
+        let cache = crate::AnalysisCache::new();
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::figure7().0,
+        ] {
+            let plain = advise(&spec).unwrap();
+            let cached = advise_cached(&spec, Some(&cache)).unwrap();
+            assert_eq!(plain, cached, "{}", spec.name());
+        }
+        // Example #2's two symmetric trust candidates are isomorphic, so
+        // the cache must have been hit at least once.
+        assert!(cache.stats().hits > 0, "{}", cache.stats());
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Memoized feasibility analysis: a sharded, lock-striped table mapping
+//! canonical [`Fingerprint`]s to interned reduction outcomes.
+//!
+//! Sweep drivers (defection enumeration, trust-density sweeps, chaos
+//! matrices, indemnity search) reduce the same handful of structural
+//! shapes thousands of times. An [`AnalysisCache`] collapses those repeats
+//! into one reduction per *structure*: on a miss the graph is relabelled
+//! into canonical form, reduced there, and the canonical-coordinate
+//! outcome is stored; on every path — hit or miss — the stored outcome is
+//! translated back through the query graph's own canonical maps. Because
+//! hit and miss both read the same interned entry through the same
+//! translation, they return byte-identical [`ReductionOutcome`]s by
+//! construction.
+//!
+//! The cached trace can differ from a fresh [`analyze`](crate::analyze)
+//! trace in step *order* (the deterministic reducer picks moves by edge
+//! id, and canonical ids order differently) — both are maximal reductions,
+//! and by the confluence theorem of §4.2 they agree on the verdict and on
+//! the set of removed edges.
+//!
+//! Concurrency: the table is split into [`SHARDS`] stripes, each behind a
+//! `parking_lot::Mutex`, selected by the fingerprint's low bits; counters
+//! are relaxed atomics. Racing inserts of the same fingerprint resolve to
+//! a single interned entry. In debug builds a sampled fraction of hits is
+//! re-reduced from scratch and asserted equal to the cached entry, which
+//! would expose a fingerprint collision (probability ≈ 2⁻¹²⁸).
+
+use crate::build::BuildOptions;
+use crate::canon::{canonicalize, Fingerprint};
+use crate::graph::{EdgeColor, SequencingGraph};
+use crate::reduce::{run_and_rewind, ConfluenceReport, Reducer, ReductionOutcome, Strategy};
+use crate::CoreError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of lock stripes. A small power of two: sweeps run on at most a
+/// handful of workers, so 16 stripes keep contention negligible without
+/// bloating the table.
+const SHARDS: usize = 16;
+
+/// In debug builds, one in this many hits is verified against a fresh
+/// reduction of the canonical graph.
+#[cfg(debug_assertions)]
+const HIT_VERIFY_SAMPLE: u64 = 16;
+
+/// An interned analysis result in canonical coordinates.
+#[derive(Debug)]
+struct CacheEntry {
+    /// Outcome of reducing the canonical graph (canonical ids throughout).
+    outcome: ReductionOutcome,
+    /// Red edges among `outcome.remaining_edges` — the impasse colour
+    /// profile, exposed via [`CachedVerdict`] without translation.
+    remaining_red: u32,
+    /// Randomized-order confluence validation performed so far on this
+    /// structure's canonical graph (see [`AnalysisCache::confluence`]).
+    confluence: Mutex<ConfluenceRecord>,
+}
+
+/// How much confluence sampling a structure has already been through:
+/// seeds `0..samples` have run, and `disagreeing` lists the (normally
+/// none) seeds whose verdict contradicted the reference.
+#[derive(Debug, Default)]
+struct ConfluenceRecord {
+    samples: u64,
+    disagreeing: Vec<u64>,
+}
+
+/// The label-free part of a cached outcome: everything a sweep needs when
+/// it only gates on feasibility, available without translating ids back to
+/// the query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// Whether the structure reduces to zero edges (§4.2.4).
+    pub feasible: bool,
+    /// Edges surviving at the impasse (0 iff feasible).
+    pub remaining_edges: usize,
+    /// Red edges among the survivors.
+    pub remaining_red: u32,
+}
+
+/// A point-in-time snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to reduce.
+    pub misses: u64,
+    /// Entries actually interned (≤ misses: racing misses intern once).
+    pub inserts: u64,
+    /// Distinct structures currently interned.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} structures interned",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
+/// A sharded memo table mapping canonical fingerprints to interned
+/// reduction outcomes. Cheap to share by reference across sweep workers;
+/// all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    shards: [Mutex<HashMap<u128, Arc<CacheEntry>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, Arc<CacheEntry>>> {
+        &self.shards[(fp.as_u128() as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up (or computes and interns) the entry for `graph`'s
+    /// structure, returning it together with the canonical form used.
+    fn entry(&self, graph: &SequencingGraph) -> (crate::canon::CanonicalForm, Arc<CacheEntry>) {
+        let form = canonicalize(graph);
+        let fp = form.fingerprint();
+        if let Some(entry) = self.shard(fp).lock().get(&fp.as_u128()).cloned() {
+            let hits = self.hits.fetch_add(1, Ordering::Relaxed);
+            #[cfg(debug_assertions)]
+            if hits.is_multiple_of(HIT_VERIFY_SAMPLE) {
+                let fresh = Reducer::new(form.canonical_graph(graph)).run();
+                assert_eq!(
+                    fresh, entry.outcome,
+                    "cached outcome diverges from a fresh reduction (fingerprint collision?)"
+                );
+            }
+            #[cfg(not(debug_assertions))]
+            let _ = hits;
+            return (form, entry);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Reduce outside the lock: reductions are the expensive part, and
+        // a racing thread interning the same structure first is harmless.
+        let (outcome, reduced) = Reducer::new(form.canonical_graph(graph)).run_keeping_graph();
+        let remaining_red = outcome
+            .remaining_edges
+            .iter()
+            .filter(|&&e| reduced.edge(e).color == EdgeColor::Red)
+            .count() as u32;
+        let candidate = Arc::new(CacheEntry {
+            outcome,
+            remaining_red,
+            confluence: Mutex::new(ConfluenceRecord::default()),
+        });
+        let mut inserted = false;
+        let entry = self
+            .shard(fp)
+            .lock()
+            .entry(fp.as_u128())
+            .or_insert_with(|| {
+                inserted = true;
+                candidate
+            })
+            .clone();
+        if inserted {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        (form, entry)
+    }
+
+    /// Memoized equivalent of reducing `graph` to its fixpoint: the
+    /// returned outcome is expressed in `graph`'s own ids and is
+    /// byte-identical whether it was served from the table or computed
+    /// fresh. See the module docs for how its trace relates to
+    /// [`analyze`](crate::analyze)'s.
+    pub fn reduce(&self, graph: &SequencingGraph) -> ReductionOutcome {
+        let (form, entry) = self.entry(graph);
+        form.translate(&entry.outcome)
+    }
+
+    /// Memoized feasibility verdict for `graph`, skipping the id
+    /// translation — the fast path for sweeps that only gate on
+    /// feasibility.
+    pub fn verdict(&self, graph: &SequencingGraph) -> CachedVerdict {
+        let (_, entry) = self.entry(graph);
+        CachedVerdict {
+            feasible: entry.outcome.feasible,
+            remaining_edges: entry.outcome.remaining_edges.len(),
+            remaining_red: entry.remaining_red,
+        }
+    }
+
+    /// Memoized [`analyze`](crate::analyze): builds the sequencing graph
+    /// and reduces it through the cache.
+    pub fn analyze(
+        &self,
+        spec: &trustseq_model::ExchangeSpec,
+    ) -> Result<ReductionOutcome, CoreError> {
+        self.analyze_with(spec, BuildOptions::default())
+    }
+
+    /// Memoized [`analyze_with`](crate::analyze_with). Graphs built under
+    /// different [`BuildOptions`] have different structures, so they
+    /// naturally occupy distinct cache entries.
+    pub fn analyze_with(
+        &self,
+        spec: &trustseq_model::ExchangeSpec,
+        options: BuildOptions,
+    ) -> Result<ReductionOutcome, CoreError> {
+        let graph = SequencingGraph::from_spec_with(spec, options)?;
+        Ok(self.reduce(&graph))
+    }
+
+    /// Memoized confluence validation
+    /// (see [`confluence_check_cached`](crate::confluence_check_cached)):
+    /// randomized-order samples run once per *structure*, on its canonical
+    /// graph, and every isomorphic query reuses the interned record. A
+    /// query asking for more samples than the record holds extends it with
+    /// exactly the missing seeds.
+    pub fn confluence(&self, graph: &SequencingGraph, samples: u64) -> ConfluenceReport {
+        let (form, entry) = self.entry(graph);
+        let reference_feasible = entry.outcome.feasible;
+        let mut record = entry.confluence.lock();
+        if record.samples < samples {
+            let mut canonical = form.canonical_graph(graph);
+            for seed in record.samples..samples {
+                let verdict =
+                    run_and_rewind(&mut canonical, Strategy::Randomized { seed }).feasible;
+                if verdict != reference_feasible {
+                    record.disagreeing.push(seed);
+                }
+            }
+            record.samples = samples;
+        }
+        let disagreeing_seeds: Vec<u64> = record
+            .disagreeing
+            .iter()
+            .copied()
+            .filter(|&s| s < samples)
+            .collect();
+        ConfluenceReport {
+            reference_feasible,
+            samples,
+            agreeing: samples - disagreeing_seeds.len() as u64,
+            disagreeing_seeds,
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, fixtures};
+
+    #[test]
+    fn hit_and_miss_return_byte_identical_outcomes() {
+        let cache = AnalysisCache::new();
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ] {
+            let cold = cache.analyze(&spec).unwrap();
+            let warm = cache.analyze(&spec).unwrap();
+            assert_eq!(cold, warm, "{}", spec.name());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.inserts, 4);
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn cached_verdict_matches_plain_analyze() {
+        let cache = AnalysisCache::new();
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+            fixtures::example2_shared_escrow().0,
+        ] {
+            let plain = analyze(&spec).unwrap();
+            let cached = cache.analyze(&spec).unwrap();
+            assert_eq!(plain.feasible, cached.feasible, "{}", spec.name());
+            // Confluence (§4.2): any two maximal reductions remove the
+            // same edge set, so the impasses must coincide exactly.
+            assert_eq!(
+                plain.remaining_edges,
+                cached.remaining_edges,
+                "{}",
+                spec.name()
+            );
+            assert_eq!(plain.trace.len(), cached.trace.len(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn isomorphic_specs_share_one_entry() {
+        let (spec, ids) = fixtures::example2();
+        let mut v1 = spec.clone();
+        v1.add_trust(ids.source1, ids.broker1).unwrap();
+        let mut v2 = spec.clone();
+        v2.add_trust(ids.source2, ids.broker2).unwrap();
+        let cache = AnalysisCache::new();
+        let o1 = cache.analyze(&v1).unwrap();
+        let o2 = cache.analyze(&v2).unwrap();
+        assert_eq!(o1.feasible, o2.feasible);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "isomorphic variants must intern once");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn permuted_graphs_hit_the_cache() {
+        let graph = SequencingGraph::from_spec(&fixtures::figure7().0).unwrap();
+        let cache = AnalysisCache::new();
+        let reference = cache.reduce(&graph);
+        for seed in 0..6 {
+            let permuted = graph.permuted(seed);
+            let outcome = cache.reduce(&permuted);
+            assert_eq!(outcome.feasible, reference.feasible);
+            assert_eq!(outcome.trace.len(), reference.trace.len());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 6);
+    }
+
+    #[test]
+    fn verdict_reports_red_survivors() {
+        let cache = AnalysisCache::new();
+        let (spec, _) = fixtures::example2();
+        let graph = SequencingGraph::from_spec(&spec).unwrap();
+        let verdict = cache.verdict(&graph);
+        assert!(!verdict.feasible);
+        assert!(verdict.remaining_edges > 0);
+        let plain = analyze(&spec).unwrap();
+        assert_eq!(verdict.remaining_edges, plain.remaining_edges.len());
+        let reds = plain
+            .remaining_edges
+            .iter()
+            .filter(|&&e| graph.edge(e).color == EdgeColor::Red)
+            .count();
+        assert_eq!(verdict.remaining_red as usize, reds);
+    }
+
+    #[test]
+    fn confluence_record_is_interned_per_structure() {
+        let cache = AnalysisCache::new();
+        let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        let first = cache.confluence(&graph, 8);
+        assert!(first.reference_feasible);
+        assert_eq!(first.agreeing, 8);
+        assert!(first.disagreeing_seeds.is_empty());
+        // Isomorphic queries reuse the record: no further reductions, same
+        // report (modulo nothing — it is label-free).
+        for seed in 0..4 {
+            let again = cache.confluence(&graph.permuted(seed), 8);
+            assert_eq!(again, first);
+        }
+        // Asking for more samples extends the record in place; asking for
+        // fewer reports the prefix.
+        let extended = cache.confluence(&graph, 12);
+        assert_eq!(extended.samples, 12);
+        assert_eq!(extended.agreeing, 12);
+        let prefix = cache.confluence(&graph, 3);
+        assert_eq!(prefix.samples, 3);
+        assert_eq!(prefix.agreeing, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cached_confluence_matches_plain_check() {
+        let cache = AnalysisCache::new();
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::figure7().0,
+        ] {
+            let plain = crate::confluence_check(&spec, 10).unwrap();
+            let cached = crate::confluence_check_cached(&spec, 10, Some(&cache)).unwrap();
+            assert_eq!(plain, cached, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_intern_once() {
+        let cache = AnalysisCache::new();
+        let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert!(cache.reduce(&graph).feasible);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.inserts == 1, "racing misses must intern exactly once");
+    }
+
+    #[test]
+    fn stats_display_is_human_readable() {
+        let cache = AnalysisCache::new();
+        cache.analyze(&fixtures::example1().0).unwrap();
+        cache.analyze(&fixtures::example1().0).unwrap();
+        let text = cache.stats().to_string();
+        assert!(text.contains("1 hits / 1 misses"), "{text}");
+        assert!(text.contains("50.0% hit rate"), "{text}");
+        assert!(text.contains("1 structures interned"), "{text}");
+    }
+}

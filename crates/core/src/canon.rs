@@ -1,0 +1,617 @@
+//! Canonical graph fingerprinting: a label-invariant structural certificate
+//! for [`SequencingGraph`]s.
+//!
+//! The feasibility test of §4 is pure graph structure — two sequencing
+//! graphs that differ only in how their commitment, conjunction and edge
+//! ids were assigned reduce identically. This module computes a *canonical
+//! form* of that structure (a deterministic relabelling driven by colour
+//! refinement over node kind, degree, edge colour and the clause-2 waiver,
+//! with individualization to break symmetric ties) and condenses it into a
+//! stable 128-bit [`Fingerprint`].
+//!
+//! Soundness: the certificate encodes the *entire* live structure (every
+//! edge with its endpoints' canonical ranks, its colour and its
+//! commitment's waiver bit), so byte-equal certificates imply isomorphic
+//! graphs — a shared fingerprint can only arise from genuinely
+//! interchangeable structures (or a 2⁻¹²⁸ hash collision, which the
+//! [`cache`](crate::cache) guards with sampled debug re-reductions).
+//! Completeness is best-effort: the individualization search prunes
+//! branches by refined-colour signature, so pathological
+//! refinement-indistinguishable graphs may canonicalize differently under
+//! different input labellings. That costs a cache *miss*, never a wrong
+//! answer.
+
+use crate::graph::{
+    Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph,
+};
+use crate::reduce::ReductionOutcome;
+use crate::trace::ReductionTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stable 128-bit hash of a sequencing graph's canonical form.
+///
+/// Equal fingerprints identify structurally identical (label-invariant)
+/// graphs; the hash is a pure function of the canonical certificate, so it
+/// is stable across runs, platforms and processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The raw 128-bit value (shard selection keys off the low bits).
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// splitmix64-style finalizer: the stable mixing primitive behind every
+/// colour and the final fingerprint. Not seeded by process state.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Canonical relabelling of a graph's live structure: for each node and
+/// edge kind, position `k` holds the original id assigned canonical rank
+/// `k`. Produced by [`canonicalize`]; consumed by the analysis cache to
+/// move reduction outcomes between label spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    fingerprint: Fingerprint,
+    commitments: Vec<CommitmentId>,
+    conjunctions: Vec<ConjunctionId>,
+    edges: Vec<EdgeId>,
+}
+
+impl CanonicalForm {
+    /// The structural fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Number of live edges covered by the canonical form.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Rebuilds `graph`'s live structure under canonical labels: commitment
+    /// `k` of the result is the original commitment at canonical rank `k`,
+    /// and likewise for conjunctions and edges. Non-structural node
+    /// attributes (agents, deals, sides) are carried over verbatim — the
+    /// reducer never reads them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not computed from `graph` (or an identically
+    /// labelled graph).
+    pub fn canonical_graph(&self, graph: &SequencingGraph) -> SequencingGraph {
+        let mut c_rank = vec![u32::MAX; graph.commitments().len()];
+        for (rank, id) in self.commitments.iter().enumerate() {
+            c_rank[id.index()] = rank as u32;
+        }
+        let mut j_rank = vec![u32::MAX; graph.conjunctions().len()];
+        for (rank, id) in self.conjunctions.iter().enumerate() {
+            j_rank[id.index()] = rank as u32;
+        }
+        let commitments: Vec<Commitment> = self
+            .commitments
+            .iter()
+            .enumerate()
+            .map(|(rank, id)| Commitment {
+                id: CommitmentId::new(rank as u32),
+                ..*graph.commitment(*id)
+            })
+            .collect();
+        let conjunctions: Vec<Conjunction> = self
+            .conjunctions
+            .iter()
+            .enumerate()
+            .map(|(rank, id)| Conjunction {
+                id: ConjunctionId::new(rank as u32),
+                ..*graph.conjunction(*id)
+            })
+            .collect();
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(rank, id)| {
+                let e = graph.edge(*id);
+                Edge {
+                    id: EdgeId::new(rank as u32),
+                    commitment: CommitmentId::new(c_rank[e.commitment.index()]),
+                    conjunction: ConjunctionId::new(j_rank[e.conjunction.index()]),
+                    color: e.color,
+                }
+            })
+            .collect();
+        SequencingGraph::from_parts(commitments, conjunctions, edges)
+    }
+
+    /// Maps a reduction outcome expressed in canonical labels back to the
+    /// original graph's labels. The result is a valid maximal reduction of
+    /// the original graph (isomorphisms preserve rule applicability), with
+    /// surviving edges reported in ascending original-id order exactly like
+    /// a live-edge scan.
+    pub(crate) fn translate(&self, canonical: &ReductionOutcome) -> ReductionOutcome {
+        let mut trace = ReductionTrace::new();
+        for step in canonical.trace.steps() {
+            trace.push(crate::trace::ReductionStep {
+                edge: self.edges[step.edge.index()],
+                rule: step.rule,
+                via_clause2: step.via_clause2,
+                disconnected_commitment: step
+                    .disconnected_commitment
+                    .map(|c| self.commitments[c.index()]),
+                disconnected_conjunction: step
+                    .disconnected_conjunction
+                    .map(|j| self.conjunctions[j.index()]),
+            });
+        }
+        let mut remaining_edges: Vec<EdgeId> = canonical
+            .remaining_edges
+            .iter()
+            .map(|e| self.edges[e.index()])
+            .collect();
+        remaining_edges.sort_unstable();
+        ReductionOutcome {
+            feasible: canonical.feasible,
+            trace,
+            remaining_edges,
+        }
+    }
+}
+
+/// The refinement/search state: live nodes in one unified index space
+/// (commitments first, then conjunctions) plus their live adjacency in CSR
+/// form — one flat allocation, cache-friendly neighbour scans.
+struct Canonicalizer<'g> {
+    graph: &'g SequencingGraph,
+    /// Original ids of live (degree ≥ 1) commitments, in input order.
+    commitments: Vec<CommitmentId>,
+    /// Original ids of live conjunctions, in input order.
+    conjunctions: Vec<ConjunctionId>,
+    /// CSR offsets: node `v`'s incident entries live at
+    /// `adj[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    /// `(edge colour tag, neighbour node index)` per live incidence.
+    adj: Vec<(u32, u32)>,
+}
+
+/// Reusable buffers for the refinement loop and search, so a whole
+/// canonicalization performs O(1) heap allocations beyond the per-branch
+/// colour vectors it genuinely has to own.
+#[derive(Default)]
+struct Scratch {
+    next: Vec<u64>,
+    sorted: Vec<u64>,
+}
+
+/// One edge of the certificate, packed for cheap lexicographic comparison:
+/// commitment rank, conjunction rank, colour, waiver.
+fn pack_edge(c_rank: u32, j_rank: u32, color: EdgeColor, waiver: bool) -> u64 {
+    debug_assert!(c_rank < (1 << 24) && j_rank < (1 << 24));
+    (u64::from(c_rank) << 40)
+        | (u64::from(j_rank) << 16)
+        | (u64::from(color == EdgeColor::Red) << 8)
+        | u64::from(waiver)
+}
+
+impl<'g> Canonicalizer<'g> {
+    fn new(graph: &'g SequencingGraph) -> Self {
+        let commitments: Vec<CommitmentId> = graph
+            .commitments()
+            .iter()
+            .filter(|c| graph.commitment_degree(c.id) > 0)
+            .map(|c| c.id)
+            .collect();
+        let conjunctions: Vec<ConjunctionId> = graph
+            .conjunctions()
+            .iter()
+            .filter(|j| graph.conjunction_degree(j.id) > 0)
+            .map(|j| j.id)
+            .collect();
+        let mut c_node = vec![usize::MAX; graph.commitments().len()];
+        for (i, id) in commitments.iter().enumerate() {
+            c_node[id.index()] = i;
+        }
+        let mut j_node = vec![usize::MAX; graph.conjunctions().len()];
+        for (i, id) in conjunctions.iter().enumerate() {
+            j_node[id.index()] = commitments.len() + i;
+        }
+        let n = commitments.len() + conjunctions.len();
+        let mut degree = vec![0u32; n];
+        for e in graph.live_edges() {
+            degree[c_node[e.commitment.index()]] += 1;
+            degree[j_node[e.conjunction.index()]] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![(0u32, 0u32); offsets[n] as usize];
+        for e in graph.live_edges() {
+            let c = c_node[e.commitment.index()];
+            let j = j_node[e.conjunction.index()];
+            let tag = u32::from(e.color == EdgeColor::Red) + 1;
+            adj[cursor[c] as usize] = (tag, j as u32);
+            cursor[c] += 1;
+            adj[cursor[j] as usize] = (tag, c as u32);
+            cursor[j] += 1;
+        }
+        Canonicalizer {
+            graph,
+            commitments,
+            conjunctions,
+            offsets,
+            adj,
+        }
+    }
+
+    fn neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.adj[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Initial colours: node kind, degree, clause-2 waiver (commitments)
+    /// and red-degree (conjunctions) — the invariants named by the
+    /// refinement.
+    /// Label-invariant distance from every node to its nearest degree-1
+    /// node, by multi-source BFS. Seeding the initial colours with this
+    /// profile collapses the refinement round count on path-like graphs
+    /// (broker chains) from O(diameter) to O(1): positional information
+    /// that colour propagation would take one round per hop to discover is
+    /// computed in a single O(V + E) sweep. The source set is defined by a
+    /// structural property (degree), so the distances are invariant under
+    /// relabelling; nodes in leafless components keep `u32::MAX`.
+    fn leaf_distances(&self) -> Vec<u32> {
+        let n = self.offsets.len() - 1;
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier: Vec<usize> = (0..n).filter(|&v| self.neighbors(v).len() == 1).collect();
+        for &v in &frontier {
+            dist[v] = 0;
+        }
+        let mut next = Vec::new();
+        let mut d = 0;
+        while !frontier.is_empty() {
+            d += 1;
+            next.clear();
+            for &v in &frontier {
+                for &(_, u) in self.neighbors(v) {
+                    if dist[u as usize] == u32::MAX {
+                        dist[u as usize] = d;
+                        next.push(u as usize);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        dist
+    }
+
+    fn initial_colors(&self) -> Vec<u64> {
+        let nc = self.commitments.len();
+        let dist = self.leaf_distances();
+        (0..self.offsets.len() - 1)
+            .map(|v| {
+                let degree = self.neighbors(v).len() as u64;
+                let reds = self.neighbors(v).iter().filter(|&&(t, _)| t == 2).count() as u64;
+                let shape = mix(mix(degree, reds), u64::from(dist[v]));
+                if v < nc {
+                    let waiver = self.graph.commitment(self.commitments[v]).clause2_waiver;
+                    mix(mix(0xC0, shape), u64::from(waiver))
+                } else {
+                    mix(mix(0x10, shape), 2)
+                }
+            })
+            .collect()
+    }
+
+    /// Number of distinct colours, via the reusable sort buffer.
+    fn distinct(colors: &[u64], sorted: &mut Vec<u64>) -> usize {
+        sorted.clear();
+        sorted.extend_from_slice(colors);
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Colour refinement to a fixpoint: each round folds the *multiset* of
+    /// `(edge colour, neighbour colour)` into every node's colour, stopping
+    /// when the number of classes stops growing. The multiset is combined
+    /// with a commutative wrapping sum of mixed terms — order-independent
+    /// (so label-invariant) without sorting each node's neighbourhood.
+    fn refine(&self, colors: &mut Vec<u64>, scratch: &mut Scratch) {
+        let n = colors.len();
+        let mut classes = Self::distinct(colors, &mut scratch.sorted);
+        while classes < n {
+            scratch.next.clear();
+            scratch.next.extend((0..n).map(|v| {
+                let mut acc = 0u64;
+                for &(tag, u) in self.neighbors(v) {
+                    acc = acc.wrapping_add(mix(u64::from(tag), colors[u as usize]));
+                }
+                mix(mix(colors[v], 0x5eed), acc)
+            }));
+            std::mem::swap(colors, &mut scratch.next);
+            let now = Self::distinct(colors, &mut scratch.sorted);
+            if now <= classes {
+                break;
+            }
+            classes = now;
+        }
+    }
+
+    /// The smallest colour shared by more than one node, if the partition
+    /// is not yet discrete. (Members are recovered by a scan, so no
+    /// per-cell allocation.)
+    fn first_non_singleton(colors: &[u64], sorted: &mut Vec<u64>) -> Option<u64> {
+        sorted.clear();
+        sorted.extend_from_slice(colors);
+        sorted.sort_unstable();
+        sorted.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
+    }
+
+    /// Certificate + relabelling for a discrete colouring: nodes ranked by
+    /// colour, edges sorted by their packed canonical key.
+    fn certificate(&self, colors: &[u64]) -> (Vec<u64>, CanonicalForm) {
+        let nc = self.commitments.len();
+        let mut c_order: Vec<usize> = (0..nc).collect();
+        c_order.sort_by_key(|&v| colors[v]);
+        let mut j_order: Vec<usize> = (0..self.conjunctions.len()).collect();
+        j_order.sort_by_key(|&v| colors[nc + v]);
+
+        let mut c_rank = vec![u32::MAX; self.graph.commitments().len()];
+        for (rank, &v) in c_order.iter().enumerate() {
+            c_rank[self.commitments[v].index()] = rank as u32;
+        }
+        let mut j_rank = vec![u32::MAX; self.graph.conjunctions().len()];
+        for (rank, &v) in j_order.iter().enumerate() {
+            j_rank[self.conjunctions[v].index()] = rank as u32;
+        }
+
+        // Ties between parallel same-coloured edges are broken by original
+        // id; such edges are automorphic, so the choice never changes the
+        // certificate (only which interchangeable edge gets which rank).
+        let mut keyed: Vec<(u64, EdgeId)> = self
+            .graph
+            .live_edges()
+            .map(|e| {
+                let waiver = self.graph.commitment(e.commitment).clause2_waiver;
+                (
+                    pack_edge(
+                        c_rank[e.commitment.index()],
+                        j_rank[e.conjunction.index()],
+                        e.color,
+                        waiver,
+                    ),
+                    e.id,
+                )
+            })
+            .collect();
+        keyed.sort_unstable();
+
+        let mut cert = Vec::with_capacity(keyed.len() + 2);
+        cert.push(((nc as u64) << 32) | self.conjunctions.len() as u64);
+        cert.push(keyed.len() as u64);
+        cert.extend(keyed.iter().map(|&(k, _)| k));
+
+        let mut lo = 0x1cdc_1996_u64;
+        let mut hi = 0x7a57_e5eed_u64;
+        for &w in &cert {
+            lo = mix(lo, w);
+            hi = mix(hi, w ^ 0xffff_ffff_ffff_ffff);
+        }
+        let form = CanonicalForm {
+            fingerprint: Fingerprint((u128::from(hi) << 64) | u128::from(lo)),
+            commitments: c_order.iter().map(|&v| self.commitments[v]).collect(),
+            conjunctions: j_order.iter().map(|&v| self.conjunctions[v]).collect(),
+            edges: keyed.into_iter().map(|(_, id)| id).collect(),
+        };
+        (cert, form)
+    }
+
+    /// Individualization search: refine, and while the partition is not
+    /// discrete, branch on the members of the first non-singleton cell —
+    /// grouped by their post-individualization refined signature so
+    /// symmetric siblings (the common case: a bundle of identical chains)
+    /// cost one branch, not a factorial tree. The lexicographically
+    /// smallest certificate wins.
+    fn search(
+        &self,
+        mut colors: Vec<u64>,
+        best: &mut Option<(Vec<u64>, CanonicalForm)>,
+        scratch: &mut Scratch,
+    ) {
+        self.refine(&mut colors, scratch);
+        let Some(cell_color) = Self::first_non_singleton(&colors, &mut scratch.sorted) else {
+            let (cert, form) = self.certificate(&colors);
+            if best.as_ref().is_none_or(|(b, _)| cert < *b) {
+                *best = Some((cert, form));
+            }
+            return;
+        };
+        let cell: Vec<usize> = (0..colors.len())
+            .filter(|&v| colors[v] == cell_color)
+            .collect();
+        let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for v in cell {
+            let mut branch = colors.clone();
+            branch[v] = mix(branch[v], 0x1d1d);
+            self.refine(&mut branch, scratch);
+            // Group symmetric siblings by the refined branch's full colour
+            // multiset (multiplicities included).
+            scratch.sorted.clear();
+            scratch.sorted.extend_from_slice(&branch);
+            scratch.sorted.sort_unstable();
+            let sig = scratch.sorted.iter().fold(0xa11_u64, |h, &c| mix(h, c));
+            groups.entry(sig).or_insert(branch);
+        }
+        for branch in groups.into_values() {
+            self.search(branch, best, scratch);
+        }
+    }
+}
+
+/// Computes the canonical form (and fingerprint) of `graph`'s live
+/// structure. Removed edges and fully disconnected nodes are invisible to
+/// the certificate — they cannot influence any further reduction.
+pub fn canonicalize(graph: &SequencingGraph) -> CanonicalForm {
+    let canon = Canonicalizer::new(graph);
+    let mut best = None;
+    let mut scratch = Scratch::default();
+    canon.search(canon.initial_colors(), &mut best, &mut scratch);
+    best.expect("search always produces a certificate").1
+}
+
+/// Convenience: just the [`Fingerprint`] of `graph`'s live structure.
+pub fn fingerprint(graph: &SequencingGraph) -> Fingerprint {
+    canonicalize(graph).fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::Reducer;
+
+    fn graph_of(spec: &trustseq_model::ExchangeSpec) -> SequencingGraph {
+        SequencingGraph::from_spec(spec).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let g = graph_of(&fixtures::example1().0);
+        assert_eq!(fingerprint(&g), fingerprint(&g));
+        assert_eq!(canonicalize(&g), canonicalize(&g));
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_relabelling() {
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ] {
+            let g = graph_of(&spec);
+            let fp = fingerprint(&g);
+            for seed in 0..8 {
+                let permuted = g.permuted(seed);
+                assert_eq!(fp, fingerprint(&permuted), "{} seed {seed}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_fingerprints_are_pairwise_distinct() {
+        let fps: Vec<Fingerprint> = [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ]
+        .iter()
+        .map(|s| fingerprint(&graph_of(s)))
+        .collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "fixtures {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn waiver_changes_the_fingerprint() {
+        // §4.2.3: adding a direct-trust edge flips a clause-2 waiver and
+        // must therefore change the structural identity.
+        let (spec, ids) = fixtures::example2();
+        let before = fingerprint(&graph_of(&spec));
+        let mut trusted = spec.clone();
+        trusted.add_trust(ids.source1, ids.broker1).unwrap();
+        assert_ne!(before, fingerprint(&graph_of(&trusted)));
+    }
+
+    #[test]
+    fn symmetric_bundle_chains_share_structure_across_specs() {
+        // Example #2's two chains are structurally identical, so trusting
+        // source1→broker1 and source2→broker2 yield isomorphic graphs.
+        let (spec, ids) = fixtures::example2();
+        let mut v1 = spec.clone();
+        v1.add_trust(ids.source1, ids.broker1).unwrap();
+        let mut v2 = spec.clone();
+        v2.add_trust(ids.source2, ids.broker2).unwrap();
+        assert_eq!(fingerprint(&graph_of(&v1)), fingerprint(&graph_of(&v2)));
+    }
+
+    #[test]
+    fn canonical_graph_reduces_to_the_same_verdict() {
+        for spec in [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ] {
+            let g = graph_of(&spec);
+            let form = canonicalize(&g);
+            let canonical = form.canonical_graph(&g);
+            assert_eq!(canonical.initial_edge_count(), g.live_edge_count());
+            let plain = Reducer::new(g).run();
+            let canon_outcome = Reducer::new(canonical).run();
+            assert_eq!(plain.feasible, canon_outcome.feasible, "{}", spec.name());
+            assert_eq!(
+                plain.remaining_edges.len(),
+                canon_outcome.remaining_edges.len(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn translate_round_trips_a_canonical_reduction() {
+        let g = graph_of(&fixtures::example1().0);
+        let form = canonicalize(&g);
+        let canonical_outcome = Reducer::new(form.canonical_graph(&g)).run();
+        let translated = form.translate(&canonical_outcome);
+        assert!(translated.feasible);
+        assert_eq!(translated.trace.len(), canonical_outcome.trace.len());
+        // The translated trace must replay cleanly on the original graph.
+        let mut reducer = Reducer::new(g);
+        for step in translated.trace.steps() {
+            reducer
+                .apply(crate::Move {
+                    edge: step.edge,
+                    rule: step.rule,
+                    via_clause2: step.via_clause2,
+                })
+                .expect("translated step applies to the original graph");
+        }
+        assert!(reducer.graph().is_fully_reduced());
+    }
+
+    #[test]
+    fn empty_graph_canonicalizes() {
+        let g = SequencingGraph::from_parts(Vec::new(), Vec::new(), Vec::new());
+        let form = canonicalize(&g);
+        assert_eq!(form.edge_count(), 0);
+        assert_eq!(fingerprint(&g), form.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_displays_as_hex() {
+        let g = graph_of(&fixtures::example1().0);
+        let s = fingerprint(&g).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

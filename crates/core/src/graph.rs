@@ -185,6 +185,61 @@ impl SequencingGraph {
         }
     }
 
+    /// Rebuilds the graph with every commitment, conjunction and edge id
+    /// remapped through a seed-determined permutation — the same structure
+    /// under fresh labels. Used by canonicalization tests to check that
+    /// [`canon::fingerprint`](crate::canon::fingerprint) is label-invariant.
+    ///
+    /// Only defined for graphs with no removed edges (permuting a
+    /// half-reduced graph would scramble the liveness bookkeeping).
+    pub fn permuted(&self, seed: u64) -> SequencingGraph {
+        assert_eq!(
+            self.live_count,
+            self.edges.len(),
+            "permuted() requires a fully live graph"
+        );
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1996;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        let mut permutation = |n: usize| -> Vec<u32> {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                order.swap(i, (next() % (i as u64 + 1)) as usize);
+            }
+            order
+        };
+        let cperm = permutation(self.commitments.len());
+        let jperm = permutation(self.conjunctions.len());
+        let eperm = permutation(self.edges.len());
+
+        let mut commitments = self.commitments.clone();
+        for c in &self.commitments {
+            let new_id = CommitmentId::new(cperm[c.id.index()]);
+            commitments[new_id.index()] = Commitment { id: new_id, ..*c };
+        }
+        let mut conjunctions = self.conjunctions.clone();
+        for j in &self.conjunctions {
+            let new_id = ConjunctionId::new(jperm[j.id.index()]);
+            conjunctions[new_id.index()] = Conjunction { id: new_id, ..*j };
+        }
+        let mut edges = self.edges.clone();
+        for e in &self.edges {
+            let new_id = EdgeId::new(eperm[e.id.index()]);
+            edges[new_id.index()] = Edge {
+                id: new_id,
+                commitment: CommitmentId::new(cperm[e.commitment.index()]),
+                conjunction: ConjunctionId::new(jperm[e.conjunction.index()]),
+                color: e.color,
+            };
+        }
+        SequencingGraph::from_parts(commitments, conjunctions, edges)
+    }
+
     /// The commitment nodes.
     pub fn commitments(&self) -> &[Commitment] {
         &self.commitments

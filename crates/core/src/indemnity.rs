@@ -198,8 +198,29 @@ pub fn exhaustive_min_plan(spec: &ExchangeSpec, buyer: AgentId) -> IndemnityPlan
 /// every bundle has been indemnified (e.g. it is infeasible for reasons
 /// indemnities cannot fix, like a funding constraint).
 pub fn make_feasible(spec: &mut ExchangeSpec) -> Result<Vec<IndemnityPlan>, CoreError> {
+    make_feasible_cached(spec, None)
+}
+
+/// [`make_feasible`] with an optional
+/// [`AnalysisCache`](crate::AnalysisCache): the feasibility probes after
+/// each applied plan go through the memo table, so indemnity search over a
+/// sweep of structurally repeated specs pays for each structure once.
+///
+/// # Errors
+///
+/// As [`make_feasible`].
+pub fn make_feasible_cached(
+    spec: &mut ExchangeSpec,
+    cache: Option<&crate::AnalysisCache>,
+) -> Result<Vec<IndemnityPlan>, CoreError> {
+    let feasible = |s: &ExchangeSpec| -> Result<bool, CoreError> {
+        Ok(match cache {
+            Some(cache) => cache.analyze(s)?.feasible,
+            None => analyze(s)?.feasible,
+        })
+    };
     let mut applied = Vec::new();
-    if analyze(spec)?.feasible {
+    if feasible(spec)? {
         return Ok(applied);
     }
     let buyers: Vec<AgentId> = spec
@@ -214,7 +235,7 @@ pub fn make_feasible(spec: &mut ExchangeSpec) -> Result<Vec<IndemnityPlan>, Core
         }
         plan.apply(spec)?;
         applied.push(plan);
-        if analyze(spec)?.feasible {
+        if feasible(spec)? {
             return Ok(applied);
         }
     }

@@ -46,6 +46,8 @@
 
 pub mod advisor;
 mod build;
+pub mod cache;
+pub mod canon;
 pub mod dot;
 mod error;
 mod execution;
@@ -56,8 +58,10 @@ mod protocol;
 mod reduce;
 mod trace;
 
-pub use advisor::{advise, Advice, TrustSuggestion};
+pub use advisor::{advise, advise_cached, Advice, TrustSuggestion};
 pub use build::BuildOptions;
+pub use cache::{AnalysisCache, CacheStats, CachedVerdict};
+pub use canon::{canonicalize, fingerprint, CanonicalForm, Fingerprint};
 pub use error::CoreError;
 pub use execution::{
     recover_execution, synthesize, synthesize_with, ExecutionSequence, ExecutionStep, StepKind,
@@ -68,7 +72,7 @@ pub use graph::{
 pub use indemnity::{IndemnityPlan, PlannedIndemnity};
 pub use protocol::{Instruction, Protocol};
 pub use reduce::{
-    analyze, analyze_batch, analyze_with, confluence_check, ConfluenceReport, Move, Reducer,
-    ReductionOutcome, Strategy,
+    analyze, analyze_batch, analyze_batch_cached, analyze_cached, analyze_with, confluence_check,
+    confluence_check_cached, ConfluenceReport, Move, Reducer, ReductionOutcome, Strategy,
 };
 pub use trace::{ReductionStep, ReductionTrace, Rule};

@@ -437,6 +437,23 @@ pub fn analyze_with(
     Ok(Reducer::new(graph).run())
 }
 
+/// Memoized [`analyze`]: with a cache, structurally repeated specs cost a
+/// canonicalization plus a hash lookup instead of a reduction. `None`
+/// degrades to plain [`analyze`].
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn analyze_cached(
+    spec: &trustseq_model::ExchangeSpec,
+    cache: Option<&crate::AnalysisCache>,
+) -> Result<ReductionOutcome, CoreError> {
+    match cache {
+        Some(cache) => cache.analyze(spec),
+        None => analyze(spec),
+    }
+}
+
 /// Analyzes many specs at once, fanning the reductions across OS threads.
 ///
 /// Results are returned in input order, one per spec, each carrying its own
@@ -447,28 +464,64 @@ pub fn analyze_with(
 pub fn analyze_batch(
     specs: &[trustseq_model::ExchangeSpec],
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
+    analyze_batch_cached(specs, None)
+}
+
+/// [`analyze_batch`] with an optional shared [`AnalysisCache`](crate::AnalysisCache).
+///
+/// Workers pull specs from a shared atomic counter (work stealing) rather
+/// than pre-sliced chunks, so one structurally hard spec — or a chunk of
+/// cache misses next to a chunk of hits — cannot leave the other workers
+/// idle.
+pub fn analyze_batch_cached(
+    specs: &[trustseq_model::ExchangeSpec],
+    cache: Option<&crate::AnalysisCache>,
+) -> Vec<Result<ReductionOutcome, CoreError>> {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(specs.len());
+    analyze_batch_with_workers(specs, cache, workers)
+}
+
+/// Work-stealing core of [`analyze_batch_cached`] with an explicit worker
+/// count, so tests can exercise the parallel path regardless of the host's
+/// core count.
+pub(crate) fn analyze_batch_with_workers(
+    specs: &[trustseq_model::ExchangeSpec],
+    cache: Option<&crate::AnalysisCache>,
+    workers: usize,
+) -> Vec<Result<ReductionOutcome, CoreError>> {
+    let workers = workers.min(specs.len());
     if workers <= 1 {
-        return specs.iter().map(analyze).collect();
+        return specs.iter().map(|s| analyze_cached(s, cache)).collect();
     }
-    let chunk = specs.len().div_ceil(workers);
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<Result<ReductionOutcome, CoreError>>> = Vec::new();
     results.resize_with(specs.len(), || None);
     std::thread::scope(|scope| {
-        for (spec_chunk, out_chunk) in specs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (spec, out) in spec_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = Some(analyze(spec));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, Result<ReductionOutcome, CoreError>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        done.push((i, analyze_cached(spec, cache)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("batch worker panicked") {
+                results[i] = Some(result);
+            }
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("every slot is covered by exactly one worker"))
+        .map(|r| r.expect("the shared counter covers every slot exactly once"))
         .collect()
 }
 
@@ -516,7 +569,7 @@ impl fmt::Display for ConfluenceReport {
 /// Reduces a graph in place and rewinds it: the trace records exactly the
 /// removed edges, so restoring them returns the graph (and its cached
 /// counters) to the pre-run state without cloning.
-fn run_and_rewind(graph: &mut SequencingGraph, strategy: Strategy) -> ReductionOutcome {
+pub(crate) fn run_and_rewind(graph: &mut SequencingGraph, strategy: Strategy) -> ReductionOutcome {
     let owned = std::mem::replace(
         graph,
         SequencingGraph::from_parts(Vec::new(), Vec::new(), Vec::new()),
@@ -564,6 +617,35 @@ pub fn confluence_check(
         agreeing,
         disagreeing_seeds,
     })
+}
+
+/// [`confluence_check`] with a memoized validation record: the randomized
+/// samples are an experiment on a *structure*, so they run once per
+/// structure — on its canonical graph — and every isomorphic query reuses
+/// (or extends) the interned record instead of repeating the identical
+/// experiment. A fresh structure still pays the reference reduction plus
+/// all `samples` randomized reductions.
+///
+/// The cached report agrees with [`confluence_check`]'s for the same spec
+/// whenever the reduction is confluent (the §4.2 theorem, upheld by every
+/// test in this crate): both then report `samples` agreeing orders and no
+/// disagreeing seeds. Seed `k` indexes an order of the canonical graph
+/// here rather than of the query labelling, so in the (theorem-violating)
+/// event of a disagreement the two reports could name different seeds.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn confluence_check_cached(
+    spec: &trustseq_model::ExchangeSpec,
+    samples: u64,
+    cache: Option<&crate::AnalysisCache>,
+) -> Result<ConfluenceReport, CoreError> {
+    let Some(cache) = cache else {
+        return confluence_check(spec, samples);
+    };
+    let graph = SequencingGraph::from_spec(spec)?;
+    Ok(cache.confluence(&graph, samples))
 }
 
 #[cfg(test)]

@@ -143,7 +143,28 @@ impl fmt::Display for ChaosReport {
 /// Propagates graph-construction failures; individual fault plans never
 /// error (the harness only builds plans naming real participants).
 pub fn chaos_sweep(spec: &ExchangeSpec, matrix: &ChaosMatrix) -> Result<ChaosReport, SimError> {
-    let central = analyze(spec)?;
+    chaos_sweep_cached(spec, matrix, None)
+}
+
+/// [`chaos_sweep`] with an optional
+/// [`AnalysisCache`](trustseq_core::AnalysisCache) for the centralised
+/// reference reduction. Sound because the comparison uses the removal
+/// *set*, not the step order: by confluence the fixpoint removal set is
+/// unique, so a cache-translated outcome gives the same reference the
+/// deterministic reducer would.
+///
+/// # Errors
+///
+/// As [`chaos_sweep`].
+pub fn chaos_sweep_cached(
+    spec: &ExchangeSpec,
+    matrix: &ChaosMatrix,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<ChaosReport, SimError> {
+    let central = match cache {
+        Some(cache) => cache.analyze(spec).map_err(SimError::from)?,
+        None => analyze(spec)?,
+    };
     let central_set: BTreeSet<EdgeId> = central.trace.steps().iter().map(|s| s.edge).collect();
     let baseline = DistributedReduction::new(spec)?.run();
     let participants: Vec<_> = DistributedReduction::new(spec)?.participants().collect();
@@ -211,10 +232,25 @@ pub fn chaos_sweep_all<'a>(
     specs: impl IntoIterator<Item = (&'a str, &'a ExchangeSpec)>,
     matrix: &ChaosMatrix,
 ) -> Result<(ChaosReport, Option<&'a str>), SimError> {
+    chaos_sweep_all_cached(specs, matrix, None)
+}
+
+/// [`chaos_sweep_all`] with an optional shared
+/// [`AnalysisCache`](trustseq_core::AnalysisCache) — structurally repeated
+/// specs in the batch share one centralised reference reduction.
+///
+/// # Errors
+///
+/// Propagates the first per-spec failure.
+pub fn chaos_sweep_all_cached<'a>(
+    specs: impl IntoIterator<Item = (&'a str, &'a ExchangeSpec)>,
+    matrix: &ChaosMatrix,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<(ChaosReport, Option<&'a str>), SimError> {
     let mut merged = ChaosReport::default();
     let mut first_dirty = None;
     for (name, spec) in specs {
-        let report = chaos_sweep(spec, matrix)?;
+        let report = chaos_sweep_cached(spec, matrix, cache)?;
         if !report.clean() && first_dirty.is_none() {
             first_dirty = Some(name);
         }
@@ -259,6 +295,30 @@ mod tests {
         .unwrap();
         assert_eq!(dirty, None, "{report}");
         assert_eq!(report.runs, 40);
+    }
+
+    #[test]
+    fn cached_sweep_is_identical_to_uncached() {
+        let cache = trustseq_core::AnalysisCache::new();
+        for spec in [fixtures::example1().0, fixtures::example2().0] {
+            let plain = chaos_sweep(&spec, &ChaosMatrix::quick()).unwrap();
+            let cached = chaos_sweep_cached(&spec, &ChaosMatrix::quick(), Some(&cache)).unwrap();
+            assert_eq!(plain, cached);
+        }
+        // Sweep the same specs again: the centralised references must now
+        // be served from the table.
+        let before = cache.stats();
+        let (e1, _) = fixtures::example1();
+        let (e2, _) = fixtures::example2();
+        let (merged, dirty) = chaos_sweep_all_cached(
+            [("example1", &e1), ("example2", &e2)],
+            &ChaosMatrix::quick(),
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(dirty, None, "{merged}");
+        assert_eq!(cache.stats().hits, before.hits + 2);
+        assert_eq!(cache.stats().entries, before.entries);
     }
 
     #[test]

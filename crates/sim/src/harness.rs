@@ -133,7 +133,10 @@ pub fn defection_patterns(
 
 /// Runs every defection pattern (capped at `max_runs`) and collects safety
 /// violations. Runs are distributed over `threads` worker threads with
-/// crossbeam's scoped threads.
+/// crossbeam's scoped threads, pulling patterns from a shared atomic
+/// counter (work stealing) so one slow pattern cannot idle the other
+/// workers, and each per-pattern simulation borrows its behaviour map —
+/// the hot loop allocates nothing per sample.
 ///
 /// # Errors
 ///
@@ -152,34 +155,38 @@ pub fn sweep(
     let violations: Mutex<Vec<(String, AgentId)>> = Mutex::new(Vec::new());
     let all_honest_preferred: Mutex<bool> = Mutex::new(false);
     let error: Mutex<Option<SimError>> = Mutex::new(None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
 
-    let threads = threads.max(1);
-    let chunk = runs.div_ceil(threads).max(1);
+    let threads = threads.max(1).min(runs.max(1));
     let violations_ref = &violations;
     let all_honest_ref = &all_honest_preferred;
     let error_ref = &error;
     let acceptance_ref = &acceptance;
+    let patterns_ref = &patterns;
+    let next_ref = &next;
     crossbeam::scope(|scope| {
-        for batch in patterns.chunks(chunk) {
-            scope.spawn(move |_| {
-                for behaviors in batch {
-                    let sim = Simulation::new(spec, protocol, behaviors.clone())
-                        .with_acceptance(acceptance_ref);
-                    match sim.run() {
-                        Ok(report) => {
-                            if behaviors.is_all_honest() {
-                                *all_honest_ref.lock() = report.all_preferred();
-                            }
-                            for (&agent, &outcome) in &report.outcomes {
-                                let honest = behaviors.of(agent).is_honest();
-                                if honest && outcome == Outcome::Unacceptable {
-                                    violations_ref.lock().push((behaviors.to_string(), agent));
-                                }
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(behaviors) = patterns_ref.get(i) else {
+                    break;
+                };
+                let sim =
+                    Simulation::new(spec, protocol, behaviors).with_acceptance(acceptance_ref);
+                match sim.run() {
+                    Ok(report) => {
+                        if behaviors.is_all_honest() {
+                            *all_honest_ref.lock() = report.all_preferred();
+                        }
+                        for (&agent, &outcome) in &report.outcomes {
+                            let honest = behaviors.of(agent).is_honest();
+                            if honest && outcome == Outcome::Unacceptable {
+                                violations_ref.lock().push((behaviors.to_string(), agent));
                             }
                         }
-                        Err(e) => {
-                            error_ref.lock().get_or_insert(e);
-                        }
+                    }
+                    Err(e) => {
+                        error_ref.lock().get_or_insert(e);
                     }
                 }
             });
@@ -217,6 +224,34 @@ pub fn sweep(
 ///
 /// [`SimError::Core`] when the exchange is infeasible, plus sweep errors.
 pub fn sweep_spec(spec: &ExchangeSpec, max_runs: usize) -> Result<SweepReport, SimError> {
+    sweep_spec_cached(spec, max_runs, None)
+}
+
+/// [`sweep_spec`] with an optional
+/// [`AnalysisCache`](trustseq_core::AnalysisCache): the feasibility gate is
+/// answered from the memo table, so sweeping a batch of structurally
+/// repeated specs pays for each structure's reduction once and rejects
+/// infeasible repeats with a hash lookup. Protocol synthesis itself stays
+/// uncached — its execution sequence is defined by the deterministic
+/// reducer's exact step order (§5), which the cache does not promise to
+/// reproduce.
+///
+/// # Errors
+///
+/// [`SimError::Core`] when the exchange is infeasible, plus sweep errors.
+pub fn sweep_spec_cached(
+    spec: &ExchangeSpec,
+    max_runs: usize,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<SweepReport, SimError> {
+    if let Some(cache) = cache {
+        let outcome = cache.analyze(spec).map_err(SimError::from)?;
+        if !outcome.feasible {
+            return Err(SimError::from(trustseq_core::CoreError::Infeasible {
+                remaining_edges: outcome.remaining_edges.len(),
+            }));
+        }
+    }
     let sequence = trustseq_core::synthesize(spec)?;
     let protocol = Protocol::from_sequence(spec, &sequence);
     sweep(spec, &protocol, max_runs, 4)
@@ -375,7 +410,7 @@ mod tests {
         let protocol = Protocol::from_sequence(&spec, &sequence);
         let stranger = AgentId::new(999);
         let behaviors = BehaviorMap::all_honest().with(stranger, Behavior::ABSENT);
-        let err = Simulation::new(&spec, &protocol, behaviors)
+        let err = Simulation::new(&spec, &protocol, &behaviors)
             .run()
             .unwrap_err();
         assert!(
@@ -387,7 +422,7 @@ mod tests {
         let (spec2, ids2) = fixtures::example1();
         let _ = spec2;
         let behaviors = BehaviorMap::all_honest().with(ids2.t1, Behavior::ABSENT);
-        let err = Simulation::new(&spec, &protocol, behaviors)
+        let err = Simulation::new(&spec, &protocol, &behaviors)
             .run()
             .unwrap_err();
         assert!(
@@ -406,7 +441,7 @@ mod tests {
         plan.apply(&mut other).unwrap();
         let sequence = trustseq_core::synthesize(&other).unwrap();
         let protocol = Protocol::from_sequence(&other, &sequence);
-        let err = Simulation::new(&spec, &protocol, BehaviorMap::all_honest())
+        let err = Simulation::new(&spec, &protocol, &BehaviorMap::all_honest())
             .run()
             .unwrap_err();
         assert!(

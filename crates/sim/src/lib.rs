@@ -50,9 +50,12 @@ mod runner;
 mod time;
 
 pub use behavior::{Behavior, BehaviorMap};
-pub use chaos::{chaos_sweep, chaos_sweep_all, ChaosMatrix, ChaosReport};
+pub use chaos::{
+    chaos_sweep, chaos_sweep_all, chaos_sweep_all_cached, chaos_sweep_cached, ChaosMatrix,
+    ChaosReport,
+};
 pub use error::SimError;
-pub use harness::{defection_patterns, sweep, sweep_spec, SweepReport};
+pub use harness::{defection_patterns, sweep, sweep_spec, sweep_spec_cached, SweepReport};
 pub use ledger::Ledger;
 pub use message::Message;
 pub use runner::{run_protocol, SimConfig, SimReport, Simulation};

@@ -107,7 +107,9 @@ impl fmt::Display for SimReport {
 pub struct Simulation<'a> {
     spec: &'a ExchangeSpec,
     protocol: &'a Protocol,
-    behaviors: BehaviorMap,
+    // Borrowed, not owned: defection sweeps run thousands of simulations
+    // over precomputed behaviour maps, and the map is read-only here.
+    behaviors: &'a BehaviorMap,
     config: SimConfig,
     acceptance: Option<&'a [trustseq_model::AcceptanceSpec]>,
 }
@@ -115,7 +117,7 @@ pub struct Simulation<'a> {
 impl<'a> Simulation<'a> {
     /// Creates a simulation with generous deadlines (the paper's standing
     /// assumption).
-    pub fn new(spec: &'a ExchangeSpec, protocol: &'a Protocol, behaviors: BehaviorMap) -> Self {
+    pub fn new(spec: &'a ExchangeSpec, protocol: &'a Protocol, behaviors: &'a BehaviorMap) -> Self {
         Self::with_config(spec, protocol, behaviors, SimConfig::default())
     }
 
@@ -123,7 +125,7 @@ impl<'a> Simulation<'a> {
     pub fn with_config(
         spec: &'a ExchangeSpec,
         protocol: &'a Protocol,
-        behaviors: BehaviorMap,
+        behaviors: &'a BehaviorMap,
         config: SimConfig,
     ) -> Self {
         Simulation {
@@ -670,7 +672,7 @@ impl<'a> Simulation<'a> {
 pub fn run_protocol(spec: &ExchangeSpec, behaviors: BehaviorMap) -> Result<SimReport, SimError> {
     let sequence = trustseq_core::synthesize(spec)?;
     let protocol = Protocol::from_sequence(spec, &sequence);
-    Simulation::new(spec, &protocol, behaviors).run()
+    Simulation::new(spec, &protocol, &behaviors).run()
 }
 
 #[cfg(test)]
@@ -809,13 +811,13 @@ mod tests {
         let (spec, _) = fixtures::example1();
         let seq = trustseq_core::synthesize(&spec).unwrap();
         let protocol = Protocol::from_sequence(&spec, &seq);
-        let relaxed = Simulation::new(&spec, &protocol, BehaviorMap::all_honest())
+        let relaxed = Simulation::new(&spec, &protocol, &BehaviorMap::all_honest())
             .run()
             .unwrap();
         let timed = Simulation::with_config(
             &spec,
             &protocol,
-            BehaviorMap::all_honest(),
+            &BehaviorMap::all_honest(),
             SimConfig {
                 escrow_deadline: Some(100),
             },
@@ -838,7 +840,7 @@ mod tests {
         let report = Simulation::with_config(
             &spec,
             &protocol,
-            BehaviorMap::all_honest(),
+            &BehaviorMap::all_honest(),
             SimConfig {
                 escrow_deadline: Some(1),
             },
@@ -869,7 +871,7 @@ mod tests {
             Simulation::with_config(
                 &spec,
                 &protocol,
-                BehaviorMap::all_honest(),
+                &BehaviorMap::all_honest(),
                 SimConfig {
                     escrow_deadline: Some(deadline),
                 },
@@ -892,7 +894,7 @@ mod tests {
                 let report = Simulation::with_config(
                     &spec,
                     &protocol,
-                    BehaviorMap::all_honest().with(defector, Behavior::ABSENT),
+                    &BehaviorMap::all_honest().with(defector, Behavior::ABSENT),
                     SimConfig {
                         escrow_deadline: Some(deadline),
                     },

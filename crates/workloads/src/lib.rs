@@ -36,4 +36,6 @@ mod random;
 pub use assembly::{assembly_market, AssemblyIds};
 pub use bundle::{bundle, bundle_arithmetic, BundleIds};
 pub use chain::{broker_chain, ChainIds};
-pub use random::{feasibility_rate, random_exchange, RandomConfig, RandomExchange};
+pub use random::{
+    feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig, RandomExchange,
+};

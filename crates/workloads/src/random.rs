@@ -170,6 +170,19 @@ pub fn random_exchange(config: &RandomConfig) -> RandomExchange {
 /// [`trustseq_core::analyze_batch`]. The result is a pure function of
 /// `config` and `samples`, independent of worker count.
 pub fn feasibility_rate(config: &RandomConfig, samples: u64) -> f64 {
+    feasibility_rate_cached(config, samples, None)
+}
+
+/// [`feasibility_rate`] with an optional shared
+/// [`AnalysisCache`](trustseq_core::AnalysisCache). Random exchanges at a
+/// fixed width/depth draw from a small family of structural shapes, so a
+/// warm cache answers most seeds with a hash lookup. The measured rate is
+/// identical with or without a cache.
+pub fn feasibility_rate_cached(
+    config: &RandomConfig,
+    samples: u64,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> f64 {
     let specs: Vec<ExchangeSpec> = (0..samples)
         .map(|seed| {
             random_exchange(&RandomConfig {
@@ -179,7 +192,7 @@ pub fn feasibility_rate(config: &RandomConfig, samples: u64) -> f64 {
             .spec
         })
         .collect();
-    let feasible = trustseq_core::analyze_batch(&specs)
+    let feasible = trustseq_core::analyze_batch_cached(&specs, cache)
         .into_iter()
         .filter(|r| r.as_ref().map(|o| o.feasible).unwrap_or(false))
         .count();

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = Simulation::with_config(
             &bridge,
             &protocol,
-            BehaviorMap::all_honest(),
+            &BehaviorMap::all_honest(),
             SimConfig {
                 escrow_deadline: Some(deadline),
             },

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 use trustseq_baselines::cost_of_mistrust;
-use trustseq_core::indemnity::{make_feasible, IndemnityPlan};
+use trustseq_core::indemnity::{make_feasible_cached, IndemnityPlan};
 use trustseq_core::{dot, Protocol, SequencingGraph};
 use trustseq_lang::parse_spec;
 use trustseq_model::ExchangeSpec;
@@ -81,11 +81,13 @@ pub const USAGE: &str = "\
 trustseq — trust-explicit distributed commerce transactions (ICDCS 1996)
 
 USAGE:
-    trustseq <COMMAND> [--extended] <SPEC.tseq>
+    trustseq <COMMAND> [--extended] [--cache-stats] <SPEC.tseq>
 
 OPTIONS:
-    --extended  enable the \u{a7}9 shared-escrow delegation semantics
-                (multi-party trusted agents)
+    --extended     enable the \u{a7}9 shared-escrow delegation semantics
+                   (multi-party trusted agents)
+    --cache-stats  route feasibility analyses through a memoized
+                   analysis cache and print its hit/miss statistics
 
 COMMANDS:
     check      decide feasibility (sequencing-graph reduction, §4)
@@ -124,6 +126,23 @@ pub fn run_with(
     run_on_spec(command, &spec, options)
 }
 
+/// Like [`run_with`], routing every feasibility analysis through `cache`
+/// (the `--cache-stats` path) — callers can print
+/// [`cache.stats()`](trustseq_core::AnalysisCache::stats) afterwards.
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_with_cache(
+    command: Command,
+    source: &str,
+    options: trustseq_core::BuildOptions,
+    cache: &trustseq_core::AnalysisCache,
+) -> Result<String, String> {
+    let spec = parse_spec(source).map_err(|e| format!("parse error: {e}"))?;
+    run_on_spec_cached(command, &spec, options, Some(cache))
+}
+
 /// Runs a command against an already-parsed specification.
 ///
 /// # Errors
@@ -134,10 +153,32 @@ pub fn run_on_spec(
     spec: &ExchangeSpec,
     options: trustseq_core::BuildOptions,
 ) -> Result<String, String> {
+    run_on_spec_cached(command, spec, options, None)
+}
+
+/// [`run_on_spec`] with an optional
+/// [`AnalysisCache`](trustseq_core::AnalysisCache): feasibility checks,
+/// advice probes and indemnity planning go through the memo table.
+/// Sequence/protocol synthesis stays uncached — its output is defined by
+/// the deterministic reducer's exact step order (§5).
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_on_spec_cached(
+    command: Command,
+    spec: &ExchangeSpec,
+    options: trustseq_core::BuildOptions,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<String, String> {
     let mut out = String::new();
     match command {
         Command::Check => {
-            let outcome = trustseq_core::analyze_with(spec, options).map_err(|e| e.to_string())?;
+            let outcome = match cache {
+                Some(cache) => cache.analyze_with(spec, options),
+                None => trustseq_core::analyze_with(spec, options),
+            }
+            .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "{outcome}");
             if !outcome.feasible {
                 let graph =
@@ -178,7 +219,7 @@ pub fn run_on_spec(
         Command::Simulate => {
             let seq = trustseq_core::synthesize_with(spec, options).map_err(|e| e.to_string())?;
             let protocol = Protocol::from_sequence(spec, &seq);
-            let report = trustseq_sim::Simulation::new(spec, &protocol, BehaviorMap::all_honest())
+            let report = trustseq_sim::Simulation::new(spec, &protocol, &BehaviorMap::all_honest())
                 .run()
                 .map_err(|e| e.to_string())?;
             let _ = write!(out, "{report}");
@@ -194,7 +235,7 @@ pub fn run_on_spec(
             let _ = writeln!(out, "{cost}");
         }
         Command::Advise => {
-            let advice = trustseq_core::advise(spec).map_err(|e| e.to_string())?;
+            let advice = trustseq_core::advise_cached(spec, cache).map_err(|e| e.to_string())?;
             // Render with participant names for readability.
             let name = |a| {
                 spec.participant(a)
@@ -235,7 +276,7 @@ pub fn run_on_spec(
         }
         Command::Indemnify => {
             let mut planned = spec.clone();
-            match make_feasible(&mut planned) {
+            match make_feasible_cached(&mut planned, cache) {
                 Ok(plans) if plans.is_empty() => {
                     let _ = writeln!(out, "already feasible; no indemnities needed");
                 }
@@ -261,10 +302,12 @@ pub fn run_on_spec(
 /// Usage or execution errors as strings (printed to stderr by the wrapper).
 pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut options = trustseq_core::BuildOptions::PAPER;
+    let mut cache_stats = false;
     let mut positional: Vec<&str> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--extended" => options = trustseq_core::BuildOptions::EXTENDED,
+            "--cache-stats" => cache_stats = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n\n{USAGE}"))
             }
@@ -278,7 +321,14 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let command = Command::parse(cmd_name)
         .ok_or_else(|| format!("unknown command `{cmd_name}`\n\n{USAGE}"))?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    run_with(command, &source, options)
+    if cache_stats {
+        let cache = trustseq_core::AnalysisCache::new();
+        let mut out = run_with_cache(command, &source, options, &cache)?;
+        let _ = writeln!(out, "cache: {}", cache.stats());
+        Ok(out)
+    } else {
+        run_with(command, &source, options)
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +435,29 @@ mod tests {
         assert!(out.contains("indemnity plan"));
         let out = run(Command::Advise, EXAMPLE1).unwrap();
         assert!(out.contains("already feasible"));
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_and_records_hits() {
+        let cache = trustseq_core::AnalysisCache::new();
+        for command in [Command::Check, Command::Advise, Command::Indemnify] {
+            for source in [EXAMPLE1, EXAMPLE2] {
+                let plain = run(command.clone(), source).unwrap();
+                let cached = run_with_cache(
+                    command.clone(),
+                    source,
+                    trustseq_core::BuildOptions::PAPER,
+                    &cache,
+                )
+                .unwrap();
+                assert_eq!(plain, cached);
+            }
+        }
+        // Advising EXAMPLE2 probes two isomorphic trust candidates, and the
+        // three commands revisit the same structures — hits are guaranteed.
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "{stats}");
+        assert!(stats.entries as u64 <= stats.misses);
     }
 
     #[test]

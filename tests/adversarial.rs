@@ -97,7 +97,7 @@ fn late_defection_after_notification_is_still_safe() {
     let seq = synthesize(&spec).unwrap();
     let protocol = Protocol::from_sequence(&spec, &seq);
     let behaviors = BehaviorMap::all_honest().with(ids.broker, Behavior::SilentAfter(1));
-    let report = Simulation::new(&spec, &protocol, behaviors).run().unwrap();
+    let report = Simulation::new(&spec, &protocol, &behaviors).run().unwrap();
     assert!(report.safety_holds());
     report.ledger.check_conservation().unwrap();
     // The consumer got its $100 back.
@@ -124,9 +124,7 @@ fn honest_views_are_admissible_sagas() {
         let protocol = Protocol::from_sequence(&spec, &seq);
         let accepts: Vec<_> = spec.acceptance_specs();
         for behaviors in defection_patterns(&spec, &protocol, 200) {
-            let report = Simulation::new(&spec, &protocol, behaviors.clone())
-                .run()
-                .unwrap();
+            let report = Simulation::new(&spec, &protocol, &behaviors).run().unwrap();
             for accept in &accepts {
                 if behaviors.of(accept.party()).is_honest() {
                     let view = report.saga_view_of(accept.party());
@@ -150,9 +148,7 @@ fn defectors_cannot_profit_in_example1() {
     let protocol = Protocol::from_sequence(&spec, &seq);
     let initial = trustseq::sim::Ledger::for_spec(&spec);
     for behaviors in defection_patterns(&spec, &protocol, usize::MAX) {
-        let report = Simulation::new(&spec, &protocol, behaviors.clone())
-            .run()
-            .unwrap();
+        let report = Simulation::new(&spec, &protocol, &behaviors).run().unwrap();
         for defector in behaviors.defectors() {
             let before = initial.cash_of(defector);
             let after = report.ledger.cash_of(defector);

@@ -1,0 +1,143 @@
+//! Property-based integration tests for canonical fingerprinting and the
+//! memoized analysis cache: label-invariance of the fingerprint,
+//! structural sensitivity across fixture pairs, and cache-on/cache-off
+//! agreement of whole sweeps.
+
+use proptest::prelude::*;
+use trustseq::core::{
+    analyze, analyze_batch, analyze_batch_cached, confluence_check, confluence_check_cached,
+    fingerprint, fixtures, AnalysisCache, SequencingGraph,
+};
+use trustseq::workloads::{
+    feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig,
+};
+
+fn arb_config() -> impl Strategy<Value = RandomConfig> {
+    (1usize..=3, 1usize..=4, 0u8..=10, any::<u64>()).prop_map(
+        |(width, max_depth, density, seed)| RandomConfig {
+            width,
+            max_depth,
+            price_range: (10, 100),
+            trust_density: f64::from(density) / 10.0,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fingerprint is a pure function of structure: relabelling every
+    /// commitment, conjunction and edge id with a random permutation never
+    /// changes it.
+    #[test]
+    fn fingerprint_is_invariant_under_random_permutations(
+        config in arb_config(),
+        perm_seed in any::<u64>(),
+    ) {
+        let ex = random_exchange(&config);
+        let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        let permuted = graph.permuted(perm_seed);
+        prop_assert_eq!(fingerprint(&graph), fingerprint(&permuted));
+    }
+
+    /// A batch sweep gates identically with and without a cache: the
+    /// outcomes (verdict, surviving edges, trace length) agree spec by
+    /// spec, and re-sweeping a warm cache changes nothing.
+    #[test]
+    fn cached_batch_sweep_matches_uncached(config in arb_config()) {
+        let specs: Vec<_> = (0..8u64)
+            .map(|offset| {
+                random_exchange(&RandomConfig {
+                    seed: config.seed.wrapping_add(offset),
+                    ..config.clone()
+                })
+                .spec
+            })
+            .collect();
+        let cache = AnalysisCache::new();
+        let plain = analyze_batch(&specs);
+        let cold = analyze_batch_cached(&specs, Some(&cache));
+        let warm = analyze_batch_cached(&specs, Some(&cache));
+        // Hit and miss both translate the same interned entry, so cold and
+        // warm are byte-identical; against the uncached engine the trace
+        // may differ in step order only (confluence), so compare the
+        // order-insensitive projection.
+        prop_assert_eq!(&cold, &warm);
+        for (p, c) in plain.iter().zip(&cold) {
+            let (p, c) = (p.as_ref().unwrap(), c.as_ref().unwrap());
+            prop_assert_eq!(p.feasible, c.feasible);
+            prop_assert_eq!(&p.remaining_edges, &c.remaining_edges);
+            prop_assert_eq!(p.trace.len(), c.trace.len());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 16);
+        prop_assert!(stats.hits >= 8, "warm pass must hit: {}", stats);
+    }
+
+    /// The trust-density sweep measures the same rate with and without a
+    /// cache, at any density.
+    #[test]
+    fn cached_feasibility_rate_matches_uncached(
+        width in 1usize..=3,
+        max_depth in 1usize..=3,
+        density in 0u8..=10,
+    ) {
+        let config = RandomConfig {
+            width,
+            max_depth,
+            trust_density: f64::from(density) / 10.0,
+            ..Default::default()
+        };
+        let cache = AnalysisCache::new();
+        let plain = feasibility_rate(&config, 12);
+        prop_assert_eq!(feasibility_rate_cached(&config, 12, Some(&cache)), plain);
+        prop_assert_eq!(feasibility_rate_cached(&config, 12, Some(&cache)), plain);
+    }
+
+    /// Memoized confluence validation reports exactly what the uncached
+    /// check reports (the reduction is confluent, so both see unanimous
+    /// agreement), for fresh and warm cache states alike.
+    #[test]
+    fn cached_confluence_matches_uncached(config in arb_config()) {
+        let ex = random_exchange(&config);
+        let cache = AnalysisCache::new();
+        let plain = confluence_check(&ex.spec, 6).unwrap();
+        let cold = confluence_check_cached(&ex.spec, 6, Some(&cache)).unwrap();
+        let warm = confluence_check_cached(&ex.spec, 6, Some(&cache)).unwrap();
+        prop_assert_eq!(&plain, &cold);
+        prop_assert_eq!(&cold, &warm);
+    }
+}
+
+/// Structurally different fixtures must get different fingerprints — in
+/// particular across the feasible/infeasible divide.
+#[test]
+fn fixture_pairs_are_structurally_distinct() {
+    let specs = [
+        fixtures::example1().0,          // feasible
+        fixtures::example2().0,          // infeasible without indemnities
+        fixtures::poor_broker().0,       // infeasible
+        fixtures::figure7().0,           // infeasible without indemnities
+        fixtures::cross_domain_sale().0, // feasible, bridged
+    ];
+    let fps: Vec<_> = specs
+        .iter()
+        .map(|s| fingerprint(&SequencingGraph::from_spec(s).unwrap()))
+        .collect();
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            assert_ne!(
+                fps[i],
+                fps[j],
+                "{} and {} must not collide",
+                specs[i].name(),
+                specs[j].name()
+            );
+        }
+    }
+    // Sanity-check the divide really is as labelled.
+    let feasible: Vec<bool> = specs.iter().map(|s| analyze(s).unwrap().feasible).collect();
+    assert_eq!(feasible, [true, false, false, false, true]);
+}
