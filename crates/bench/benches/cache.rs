@@ -149,6 +149,27 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| feasible_count(black_box(&specs), Some(&feas_warmed)))
     });
     assert_eq!(feasible_count(&specs, None), feas_count);
+    // Hit and miss translate the same interned entry, so the cold pass
+    // (all tier-2 misses), the tier-1-warm pass and a fresh cold cache all
+    // return byte-identical per-spec outcomes — traces included.
+    {
+        let cold_cache = AnalysisCache::default();
+        let cold: Vec<_> = analyze_batch_cached(&specs, Some(&cold_cache))
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        let warm: Vec<_> = analyze_batch_cached(&specs, Some(&feas_warmed))
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(cold, warm, "cached reports must be byte-identical");
+        let plain = analyze_batch_cached(&specs, None);
+        for (p, c) in plain.into_iter().map(Result::unwrap).zip(&cold) {
+            assert_eq!(p.feasible, c.feasible);
+            assert_eq!(p.remaining_edges, c.remaining_edges);
+        }
+        eprintln!("cache after feasibility sweeps: {}", feas_warmed.stats());
+    }
 
     // Where the gap comes from: one representative query split into its
     // two halves. A miss pays both; a hit pays only canonicalization.

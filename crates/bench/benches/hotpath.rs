@@ -1,0 +1,183 @@
+//! Bench: the zero-allocation hot path (E22) — persistent-pool fan-out
+//! versus per-call scoped spawns, and scratch-reducer reuse versus a fresh
+//! owning reducer per spec.
+//!
+//! Two comparisons, both over the E19 trust-density spec corpus:
+//!
+//! * `batch_pooled` vs `batch_scoped_spawn` — the same work-stealing
+//!   feasibility sweep, fanned out once through the persistent
+//!   [`trustseq_core::pool`] versus through a fresh `std::thread::scope`
+//!   (one OS thread spawn + join per worker per call, the pre-pool shape
+//!   of every sweep driver in the workspace).
+//! * `dispatch_pooled` vs `dispatch_scoped_spawn` — the fan-out primitive
+//!   alone on a no-op job, isolating spawn/park cost from the reduction
+//!   work.
+//! * `reduce_scratch` vs `reduce_owning` — a single spec reduced through a
+//!   reused [`ScratchReducer`] (zero steady-state allocations) versus a
+//!   fresh `Reducer::new(graph.clone())` per iteration.
+//!
+//! Fan-out width is pinned to [`WORKERS`] so the pooled/scoped comparison
+//! measures dispatch mechanics, not the host's core count — on a 1-core
+//! container both variants oversubscribe identically. In-bench asserts
+//! pin the pooled and scoped sweeps to byte-identical per-spec outcomes.
+//!
+//! `TRUSTSEQ_BENCH_QUICK=1` shrinks the workload and the measurement
+//! windows for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use trustseq_core::{pool, Reducer, ReductionOutcome, ScratchReducer, SequencingGraph, Strategy};
+use trustseq_model::ExchangeSpec;
+use trustseq_workloads::{random_exchange, RandomConfig};
+
+/// Fixed fan-out width for the pooled/scoped comparison (see module docs).
+const WORKERS: usize = 4;
+
+fn quick() -> bool {
+    std::env::var("TRUSTSEQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn corpus() -> Vec<SequencingGraph> {
+    let densities: &[f64] = if quick() {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let samples = if quick() { 15 } else { 60 };
+    let specs: Vec<ExchangeSpec> = densities
+        .iter()
+        .flat_map(|&d| (0..samples).map(move |seed| (d, seed)))
+        .map(|(trust_density, seed)| {
+            random_exchange(&RandomConfig {
+                width: 2,
+                max_depth: 8,
+                trust_density,
+                seed,
+                ..Default::default()
+            })
+            .spec
+        })
+        .collect();
+    specs
+        .iter()
+        .map(|s| SequencingGraph::from_spec(s).unwrap())
+        .collect()
+}
+
+/// The shared work-stealing sweep body: claims graphs off an atomic
+/// counter and reduces each through the worker's scratchpad. Identical
+/// for both fan-out variants, so the bench isolates the dispatch cost.
+fn sweep_worker(
+    graphs: &[SequencingGraph],
+    next: &AtomicUsize,
+    results: &[Mutex<Option<ReductionOutcome>>],
+) {
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(graph) = graphs.get(i) else { break };
+        scratch.run_into(graph, Strategy::Deterministic, &mut out);
+        *results[i].lock().unwrap() = Some(out.clone());
+    }
+}
+
+fn sweep_pooled(graphs: &[SequencingGraph]) -> Vec<ReductionOutcome> {
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ReductionOutcome>>> =
+        graphs.iter().map(|_| Mutex::new(None)).collect();
+    pool::broadcast(WORKERS, &|_| sweep_worker(graphs, &next, &results));
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot claimed"))
+        .collect()
+}
+
+fn sweep_scoped_spawn(graphs: &[SequencingGraph]) -> Vec<ReductionOutcome> {
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ReductionOutcome>>> =
+        graphs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 1..WORKERS {
+            scope.spawn(|| sweep_worker(graphs, &next, &results));
+        }
+        sweep_worker(graphs, &next, &results);
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot claimed"))
+        .collect()
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    let graphs = corpus();
+    group.throughput(Throughput::Elements(graphs.len() as u64));
+
+    // Both fan-outs must produce byte-identical sweeps (traces included):
+    // the pool changes dispatch, never results.
+    assert_eq!(sweep_pooled(&graphs), sweep_scoped_spawn(&graphs));
+
+    group.bench_function("batch_pooled", |b| {
+        b.iter(|| sweep_pooled(black_box(&graphs)))
+    });
+    group.bench_function("batch_scoped_spawn", |b| {
+        b.iter(|| sweep_scoped_spawn(black_box(&graphs)))
+    });
+
+    // The fan-out primitive alone: a no-op job at the same width.
+    group.bench_function("dispatch_pooled", |b| {
+        b.iter(|| {
+            pool::broadcast(WORKERS, &|i| {
+                black_box(i);
+            })
+        })
+    });
+    group.bench_function("dispatch_scoped_spawn", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for i in 1..WORKERS {
+                    scope.spawn(move || black_box(i));
+                }
+                black_box(0usize);
+            })
+        })
+    });
+
+    // Per-spec reduction: scratch reuse versus a fresh owning reducer.
+    let dense = &graphs[graphs.len() - 1];
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    scratch.run_into(dense, Strategy::Deterministic, &mut out);
+    assert_eq!(&out, &Reducer::new(dense.clone()).run());
+    group.bench_function("reduce_scratch", |b| {
+        b.iter(|| scratch.run_into(black_box(dense), Strategy::Deterministic, &mut out))
+    });
+    group.bench_function("reduce_owning", |b| {
+        b.iter(|| Reducer::new(black_box(dense.clone())).run())
+    });
+
+    group.finish();
+    eprintln!(
+        "hotpath: width {WORKERS}, default pool size {} (available parallelism {})",
+        pool::size(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+}
+
+fn configured() -> Criterion {
+    let (warm_ms, measure_ms) = if quick() { (50, 150) } else { (300, 900) };
+    Criterion::default()
+        .sample_size(if quick() { 10 } else { 20 })
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_hotpath
+}
+criterion_main!(benches);

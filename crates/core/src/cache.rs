@@ -1,5 +1,5 @@
-//! Memoized feasibility analysis: a sharded, lock-striped table mapping
-//! canonical [`Fingerprint`]s to interned reduction outcomes.
+//! Memoized feasibility analysis: a two-tier, sharded, lock-striped table
+//! mapping graph structure to interned reduction outcomes.
 //!
 //! Sweep drivers (defection enumeration, trust-density sweeps, chaos
 //! matrices, indemnity search) reduce the same handful of structural
@@ -11,6 +11,29 @@
 //! hit and miss both read the same interned entry through the same
 //! translation, they return byte-identical [`ReductionOutcome`]s by
 //! construction.
+//!
+//! # Two tiers
+//!
+//! Canonicalization itself (a search over colour refinements, §“canon”) is
+//! far more expensive than the O(E) hash a lookup fundamentally needs, and
+//! sweeps overwhelmingly re-query *identically labelled* graphs — the same
+//! spec probed under different protocols or seeds. Lookups therefore go
+//! through two keys:
+//!
+//! * **Tier 1** — a [`PreFingerprint`] of the *exact labelled* live
+//!   structure, computed in one O(E) pass. A hit returns the interned
+//!   canonical form and entry without running canonicalization at all —
+//!   and serves a clone of the outcome translation memoized at intern
+//!   time, so a hit does no relabelling work either.
+//! * **Tier 2** — the label-invariant canonical [`Fingerprint`]. Only
+//!   tier-1 misses (graphs never seen under these exact labels) pay for
+//!   canonicalization; relabelled isomorphs then still hit here and share
+//!   the single interned outcome.
+//!
+//! Equal pre-fingerprints imply identical labelled live structure (up to a
+//! 2⁻¹²⁸ collision — the same trust extended to the canonical
+//! fingerprint), so the interned canonical form translates the stored
+//! outcome verbatim for every tier-1 hit.
 //!
 //! The cached trace can differ from a fresh [`analyze`](crate::analyze)
 //! trace in step *order* (the deterministic reducer picks moves by edge
@@ -26,9 +49,10 @@
 //! would expose a fingerprint collision (probability ≈ 2⁻¹²⁸).
 
 use crate::build::BuildOptions;
-use crate::canon::{canonicalize, Fingerprint};
+use crate::canon::{canonicalize, prefingerprint, CanonicalForm, Fingerprint, PreFingerprint};
 use crate::graph::{EdgeColor, SequencingGraph};
-use crate::reduce::{run_and_rewind, ConfluenceReport, Reducer, ReductionOutcome, Strategy};
+use crate::reduce::{ConfluenceReport, Reducer, ReductionOutcome, Strategy};
+use crate::scratch::ScratchReducer;
 use crate::CoreError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -59,6 +83,33 @@ struct CacheEntry {
     confluence: Mutex<ConfluenceRecord>,
 }
 
+/// A tier-1 value: one exact labelled live structure's canonical form,
+/// paired with the structure's interned entry. Hits on this tier skip
+/// canonicalization entirely and translate through the stored form.
+#[derive(Debug)]
+struct LabelledEntry {
+    /// Canonical relabelling of the (exact, labelled) live structure.
+    form: CanonicalForm,
+    /// The tier-2 entry this structure resolves to.
+    entry: Arc<CacheEntry>,
+    /// `entry.outcome` translated back into this labelling's own ids,
+    /// memoized once at intern time: translation is deterministic per
+    /// labelled key, so a tier-1 hit serves a clone instead of
+    /// re-relabelling the whole trace.
+    translated: ReductionOutcome,
+}
+
+impl LabelledEntry {
+    fn intern(form: CanonicalForm, entry: Arc<CacheEntry>) -> Arc<Self> {
+        let translated = form.translate(&entry.outcome);
+        Arc::new(LabelledEntry {
+            form,
+            entry,
+            translated,
+        })
+    }
+}
+
 /// How much confluence sampling a structure has already been through:
 /// seeds `0..samples` have run, and `disagreeing` lists the (normally
 /// none) seeds whose verdict contradicted the reference.
@@ -84,14 +135,19 @@ pub struct CachedVerdict {
 /// A point-in-time snapshot of cache effectiveness counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the table.
+    /// Lookups answered from the table (either tier).
     pub hits: u64,
+    /// Hits answered at tier 1 — by exact labelled structure, skipping
+    /// canonicalization entirely. A subset of `hits`.
+    pub pre_hits: u64,
     /// Lookups that had to reduce.
     pub misses: u64,
     /// Entries actually interned (≤ misses: racing misses intern once).
     pub inserts: u64,
-    /// Distinct structures currently interned.
+    /// Distinct structures currently interned (tier 2).
     pub entries: usize,
+    /// Distinct labelled keys currently interned (tier 1, ≥ `entries`).
+    pub labelled_entries: usize,
 }
 
 impl CacheStats {
@@ -110,10 +166,11 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate), {} structures interned",
+            "{} hits / {} misses ({:.1}% hit rate, {} label-fast), {} structures interned",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
+            self.pre_hits,
             self.entries
         )
     }
@@ -124,8 +181,12 @@ impl fmt::Display for CacheStats {
 /// all methods take `&self`.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
+    /// Tier 1: exact labelled live structure → canonical form + entry.
+    pre_shards: [Mutex<HashMap<u128, Arc<LabelledEntry>>>; SHARDS],
+    /// Tier 2: canonical fingerprint → interned outcome.
     shards: [Mutex<HashMap<u128, Arc<CacheEntry>>>; SHARDS],
     hits: AtomicU64,
+    pre_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
 }
@@ -136,57 +197,97 @@ impl AnalysisCache {
         Self::default()
     }
 
+    fn pre_shard(&self, pre: PreFingerprint) -> &Mutex<HashMap<u128, Arc<LabelledEntry>>> {
+        &self.pre_shards[(pre.as_u128() as usize) & (SHARDS - 1)]
+    }
+
     fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, Arc<CacheEntry>>> {
         &self.shards[(fp.as_u128() as usize) & (SHARDS - 1)]
     }
 
+    /// In debug builds, every [`HIT_VERIFY_SAMPLE`]th hit re-reduces the
+    /// canonical graph from scratch and compares — this would expose a
+    /// collision in *either* fingerprint tier.
+    #[cfg(debug_assertions)]
+    fn maybe_verify_hit(hits_before: u64, graph: &SequencingGraph, labelled: &LabelledEntry) {
+        if hits_before.is_multiple_of(HIT_VERIFY_SAMPLE) {
+            let fresh = Reducer::new(labelled.form.canonical_graph(graph)).run();
+            assert_eq!(
+                fresh, labelled.entry.outcome,
+                "cached outcome diverges from a fresh reduction (fingerprint collision?)"
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn maybe_verify_hit(_hits_before: u64, _graph: &SequencingGraph, _labelled: &LabelledEntry) {}
+
     /// Looks up (or computes and interns) the entry for `graph`'s
-    /// structure, returning it together with the canonical form used.
-    fn entry(&self, graph: &SequencingGraph) -> (crate::canon::CanonicalForm, Arc<CacheEntry>) {
+    /// structure. Tier-1 hits return without canonicalizing; tier-1 misses
+    /// canonicalize, resolve through tier 2 (reducing only if the
+    /// *structure* is new as well), and intern the labelled key for next
+    /// time.
+    fn entry(&self, graph: &SequencingGraph) -> Arc<LabelledEntry> {
+        let pre = prefingerprint(graph);
+        if let Some(labelled) = self.pre_shard(pre).lock().get(&pre.as_u128()).cloned() {
+            let hits = self.hits.fetch_add(1, Ordering::Relaxed);
+            self.pre_hits.fetch_add(1, Ordering::Relaxed);
+            Self::maybe_verify_hit(hits, graph, &labelled);
+            return labelled;
+        }
         let form = canonicalize(graph);
         let fp = form.fingerprint();
-        if let Some(entry) = self.shard(fp).lock().get(&fp.as_u128()).cloned() {
-            let hits = self.hits.fetch_add(1, Ordering::Relaxed);
-            #[cfg(debug_assertions)]
-            if hits.is_multiple_of(HIT_VERIFY_SAMPLE) {
-                let fresh = Reducer::new(form.canonical_graph(graph)).run();
-                assert_eq!(
-                    fresh, entry.outcome,
-                    "cached outcome diverges from a fresh reduction (fingerprint collision?)"
-                );
+        let cached = self.shard(fp).lock().get(&fp.as_u128()).cloned();
+        let entry = match cached {
+            Some(entry) => {
+                let hits = self.hits.fetch_add(1, Ordering::Relaxed);
+                let labelled = LabelledEntry::intern(form, entry);
+                Self::maybe_verify_hit(hits, graph, &labelled);
+                self.pre_shard(pre)
+                    .lock()
+                    .entry(pre.as_u128())
+                    .or_insert_with(|| labelled.clone());
+                return labelled;
             }
-            #[cfg(not(debug_assertions))]
-            let _ = hits;
-            return (form, entry);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Reduce outside the lock: reductions are the expensive part, and
-        // a racing thread interning the same structure first is harmless.
-        let (outcome, reduced) = Reducer::new(form.canonical_graph(graph)).run_keeping_graph();
-        let remaining_red = outcome
-            .remaining_edges
-            .iter()
-            .filter(|&&e| reduced.edge(e).color == EdgeColor::Red)
-            .count() as u32;
-        let candidate = Arc::new(CacheEntry {
-            outcome,
-            remaining_red,
-            confluence: Mutex::new(ConfluenceRecord::default()),
-        });
-        let mut inserted = false;
-        let entry = self
-            .shard(fp)
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Reduce outside the lock: reductions are the expensive
+                // part, and a racing thread interning the same structure
+                // first is harmless.
+                let (outcome, reduced) =
+                    Reducer::new(form.canonical_graph(graph)).run_keeping_graph();
+                let remaining_red = outcome
+                    .remaining_edges
+                    .iter()
+                    .filter(|&&e| reduced.edge(e).color == EdgeColor::Red)
+                    .count() as u32;
+                let candidate = Arc::new(CacheEntry {
+                    outcome,
+                    remaining_red,
+                    confluence: Mutex::new(ConfluenceRecord::default()),
+                });
+                let mut inserted = false;
+                let entry = self
+                    .shard(fp)
+                    .lock()
+                    .entry(fp.as_u128())
+                    .or_insert_with(|| {
+                        inserted = true;
+                        candidate
+                    })
+                    .clone();
+                if inserted {
+                    self.inserts.fetch_add(1, Ordering::Relaxed);
+                }
+                entry
+            }
+        };
+        let labelled = LabelledEntry::intern(form, entry);
+        self.pre_shard(pre)
             .lock()
-            .entry(fp.as_u128())
-            .or_insert_with(|| {
-                inserted = true;
-                candidate
-            })
-            .clone();
-        if inserted {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
-        }
-        (form, entry)
+            .entry(pre.as_u128())
+            .or_insert_with(|| labelled.clone());
+        labelled
     }
 
     /// Memoized equivalent of reducing `graph` to its fixpoint: the
@@ -195,19 +296,18 @@ impl AnalysisCache {
     /// fresh. See the module docs for how its trace relates to
     /// [`analyze`](crate::analyze)'s.
     pub fn reduce(&self, graph: &SequencingGraph) -> ReductionOutcome {
-        let (form, entry) = self.entry(graph);
-        form.translate(&entry.outcome)
+        self.entry(graph).translated.clone()
     }
 
     /// Memoized feasibility verdict for `graph`, skipping the id
     /// translation — the fast path for sweeps that only gate on
     /// feasibility.
     pub fn verdict(&self, graph: &SequencingGraph) -> CachedVerdict {
-        let (_, entry) = self.entry(graph);
+        let labelled = self.entry(graph);
         CachedVerdict {
-            feasible: entry.outcome.feasible,
-            remaining_edges: entry.outcome.remaining_edges.len(),
-            remaining_red: entry.remaining_red,
+            feasible: labelled.entry.outcome.feasible,
+            remaining_edges: labelled.entry.outcome.remaining_edges.len(),
+            remaining_red: labelled.entry.remaining_red,
         }
     }
 
@@ -239,15 +339,16 @@ impl AnalysisCache {
     /// query asking for more samples than the record holds extends it with
     /// exactly the missing seeds.
     pub fn confluence(&self, graph: &SequencingGraph, samples: u64) -> ConfluenceReport {
-        let (form, entry) = self.entry(graph);
-        let reference_feasible = entry.outcome.feasible;
-        let mut record = entry.confluence.lock();
+        let labelled = self.entry(graph);
+        let reference_feasible = labelled.entry.outcome.feasible;
+        let mut record = labelled.entry.confluence.lock();
         if record.samples < samples {
-            let mut canonical = form.canonical_graph(graph);
+            let canonical = labelled.form.canonical_graph(graph);
+            let mut scratch = ScratchReducer::new();
+            let mut outcome = ReductionOutcome::default();
             for seed in record.samples..samples {
-                let verdict =
-                    run_and_rewind(&mut canonical, Strategy::Randomized { seed }).feasible;
-                if verdict != reference_feasible {
+                scratch.run_into(&canonical, Strategy::Randomized { seed }, &mut outcome);
+                if outcome.feasible != reference_feasible {
                     record.disagreeing.push(seed);
                 }
             }
@@ -271,9 +372,11 @@ impl AnalysisCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            pre_hits: self.pre_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            labelled_entries: self.pre_shards.iter().map(|s| s.lock().len()).sum(),
         }
     }
 }
@@ -359,6 +462,30 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 6);
+    }
+
+    #[test]
+    fn identical_lookups_hit_the_labelled_tier() {
+        let cache = AnalysisCache::new();
+        let graph = SequencingGraph::from_spec(&fixtures::figure7().0).unwrap();
+        let cold = cache.reduce(&graph);
+        let warm = cache.reduce(&graph);
+        assert_eq!(cold, warm);
+        let stats = cache.stats();
+        assert_eq!(stats.pre_hits, 1, "warm lookup must skip canonicalization");
+        assert_eq!(stats.labelled_entries, 1);
+        // A relabelled isomorph misses tier 1 but still hits tier 2, and
+        // its labelled key is interned for subsequent queries.
+        let permuted = graph.permuted(42);
+        let translated = cache.reduce(&permuted);
+        assert_eq!(translated.feasible, cold.feasible);
+        cache.reduce(&permuted);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.pre_hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1, "one structure");
+        assert_eq!(stats.labelled_entries, 2, "two labelled keys");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! different input labellings. That costs a cache *miss*, never a wrong
 //! answer.
 
+use crate::csr::Csr;
 use crate::graph::{
     Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph,
 };
@@ -180,20 +181,24 @@ struct Canonicalizer<'g> {
     commitments: Vec<CommitmentId>,
     /// Original ids of live conjunctions, in input order.
     conjunctions: Vec<ConjunctionId>,
-    /// CSR offsets: node `v`'s incident entries live at
-    /// `adj[offsets[v]..offsets[v + 1]]`.
-    offsets: Vec<u32>,
-    /// `(edge colour tag, neighbour node index)` per live incidence.
-    adj: Vec<(u32, u32)>,
+    /// `(edge colour tag, neighbour node index)` per live incidence, as the
+    /// same flat [`Csr`] arena the sequencing graph's adjacency uses.
+    adj: Csr<(u32, u32)>,
 }
 
-/// Reusable buffers for the refinement loop and search, so a whole
-/// canonicalization performs O(1) heap allocations beyond the per-branch
-/// colour vectors it genuinely has to own.
+/// Reusable buffers for the refinement loop, search and certificate
+/// packing, so a whole canonicalization performs O(1) heap allocations
+/// beyond the per-branch colour vectors it genuinely has to own.
 #[derive(Default)]
 struct Scratch {
     next: Vec<u64>,
     sorted: Vec<u64>,
+    c_order: Vec<usize>,
+    j_order: Vec<usize>,
+    c_rank: Vec<u32>,
+    j_rank: Vec<u32>,
+    keyed: Vec<(u64, EdgeId)>,
+    cert: Vec<u64>,
 }
 
 /// One edge of the certificate, packed for cheap lexicographic comparison:
@@ -229,37 +234,32 @@ impl<'g> Canonicalizer<'g> {
             j_node[id.index()] = commitments.len() + i;
         }
         let n = commitments.len() + conjunctions.len();
-        let mut degree = vec![0u32; n];
-        for e in graph.live_edges() {
-            degree[c_node[e.commitment.index()]] += 1;
-            degree[j_node[e.conjunction.index()]] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for v in 0..n {
-            offsets[v + 1] = offsets[v] + degree[v];
-        }
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        let mut adj = vec![(0u32, 0u32); offsets[n] as usize];
-        for e in graph.live_edges() {
-            let c = c_node[e.commitment.index()];
-            let j = j_node[e.conjunction.index()];
-            let tag = u32::from(e.color == EdgeColor::Red) + 1;
-            adj[cursor[c] as usize] = (tag, j as u32);
-            cursor[c] += 1;
-            adj[cursor[j] as usize] = (tag, c as u32);
-            cursor[j] += 1;
-        }
+        // Same scan order as `live_edges()`, spelled out so the iterator is
+        // `Clone` for the two-pass CSR build.
+        let live = graph.edges().iter().filter(|e| graph.is_live(e.id));
+        let adj = Csr::from_memberships(
+            n,
+            live.flat_map(|e| {
+                let c = c_node[e.commitment.index()];
+                let j = j_node[e.conjunction.index()];
+                let tag = u32::from(e.color == EdgeColor::Red) + 1;
+                [(c, (tag, j as u32)), (j, (tag, c as u32))]
+            }),
+        );
         Canonicalizer {
             graph,
             commitments,
             conjunctions,
-            offsets,
             adj,
         }
     }
 
+    fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
     fn neighbors(&self, v: usize) -> &[(u32, u32)] {
-        &self.adj[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        self.adj.row(v)
     }
 
     /// Initial colours: node kind, degree, clause-2 waiver (commitments)
@@ -274,7 +274,7 @@ impl<'g> Canonicalizer<'g> {
     /// structural property (degree), so the distances are invariant under
     /// relabelling; nodes in leafless components keep `u32::MAX`.
     fn leaf_distances(&self) -> Vec<u32> {
-        let n = self.offsets.len() - 1;
+        let n = self.node_count();
         let mut dist = vec![u32::MAX; n];
         let mut frontier: Vec<usize> = (0..n).filter(|&v| self.neighbors(v).len() == 1).collect();
         for &v in &frontier {
@@ -301,7 +301,7 @@ impl<'g> Canonicalizer<'g> {
     fn initial_colors(&self) -> Vec<u64> {
         let nc = self.commitments.len();
         let dist = self.leaf_distances();
-        (0..self.offsets.len() - 1)
+        (0..self.node_count())
             .map(|v| {
                 let degree = self.neighbors(v).len() as u64;
                 let reds = self.neighbors(v).iter().filter(|&&(t, _)| t == 2).count() as u64;
@@ -361,20 +361,37 @@ impl<'g> Canonicalizer<'g> {
         sorted.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
     }
 
-    /// Certificate + relabelling for a discrete colouring: nodes ranked by
-    /// colour, edges sorted by their packed canonical key.
-    fn certificate(&self, colors: &[u64]) -> (Vec<u64>, CanonicalForm) {
+    /// Certificate for a discrete colouring: nodes ranked by colour, edges
+    /// sorted by their packed canonical key. Every intermediate (orders,
+    /// rank maps, keyed edges, the certificate words) lives in `scratch`,
+    /// so repeated search leaves stop allocating once the buffers have
+    /// grown; the owned [`CanonicalForm`] is only materialized by
+    /// [`Self::form`] when a leaf actually improves on the best.
+    fn certificate(&self, colors: &[u64], scratch: &mut Scratch) {
         let nc = self.commitments.len();
-        let mut c_order: Vec<usize> = (0..nc).collect();
+        let Scratch {
+            c_order,
+            j_order,
+            c_rank,
+            j_rank,
+            keyed,
+            cert,
+            ..
+        } = scratch;
+        c_order.clear();
+        c_order.extend(0..nc);
         c_order.sort_by_key(|&v| colors[v]);
-        let mut j_order: Vec<usize> = (0..self.conjunctions.len()).collect();
+        j_order.clear();
+        j_order.extend(0..self.conjunctions.len());
         j_order.sort_by_key(|&v| colors[nc + v]);
 
-        let mut c_rank = vec![u32::MAX; self.graph.commitments().len()];
+        c_rank.clear();
+        c_rank.resize(self.graph.commitments().len(), u32::MAX);
         for (rank, &v) in c_order.iter().enumerate() {
             c_rank[self.commitments[v].index()] = rank as u32;
         }
-        let mut j_rank = vec![u32::MAX; self.graph.conjunctions().len()];
+        j_rank.clear();
+        j_rank.resize(self.graph.conjunctions().len(), u32::MAX);
         for (rank, &v) in j_order.iter().enumerate() {
             j_rank[self.conjunctions[v].index()] = rank as u32;
         }
@@ -382,42 +399,51 @@ impl<'g> Canonicalizer<'g> {
         // Ties between parallel same-coloured edges are broken by original
         // id; such edges are automorphic, so the choice never changes the
         // certificate (only which interchangeable edge gets which rank).
-        let mut keyed: Vec<(u64, EdgeId)> = self
-            .graph
-            .live_edges()
-            .map(|e| {
-                let waiver = self.graph.commitment(e.commitment).clause2_waiver;
-                (
-                    pack_edge(
-                        c_rank[e.commitment.index()],
-                        j_rank[e.conjunction.index()],
-                        e.color,
-                        waiver,
-                    ),
-                    e.id,
-                )
-            })
-            .collect();
+        keyed.clear();
+        keyed.extend(self.graph.live_edges().map(|e| {
+            let waiver = self.graph.commitment(e.commitment).clause2_waiver;
+            (
+                pack_edge(
+                    c_rank[e.commitment.index()],
+                    j_rank[e.conjunction.index()],
+                    e.color,
+                    waiver,
+                ),
+                e.id,
+            )
+        }));
         keyed.sort_unstable();
 
-        let mut cert = Vec::with_capacity(keyed.len() + 2);
+        cert.clear();
+        cert.reserve(keyed.len() + 2);
         cert.push(((nc as u64) << 32) | self.conjunctions.len() as u64);
         cert.push(keyed.len() as u64);
         cert.extend(keyed.iter().map(|&(k, _)| k));
+    }
 
+    /// Materializes the owned relabelling for the certificate currently in
+    /// `scratch`.
+    fn form(&self, scratch: &Scratch) -> CanonicalForm {
         let mut lo = 0x1cdc_1996_u64;
         let mut hi = 0x7a57_e5eed_u64;
-        for &w in &cert {
+        for &w in &scratch.cert {
             lo = mix(lo, w);
             hi = mix(hi, w ^ 0xffff_ffff_ffff_ffff);
         }
-        let form = CanonicalForm {
+        CanonicalForm {
             fingerprint: Fingerprint((u128::from(hi) << 64) | u128::from(lo)),
-            commitments: c_order.iter().map(|&v| self.commitments[v]).collect(),
-            conjunctions: j_order.iter().map(|&v| self.conjunctions[v]).collect(),
-            edges: keyed.into_iter().map(|(_, id)| id).collect(),
-        };
-        (cert, form)
+            commitments: scratch
+                .c_order
+                .iter()
+                .map(|&v| self.commitments[v])
+                .collect(),
+            conjunctions: scratch
+                .j_order
+                .iter()
+                .map(|&v| self.conjunctions[v])
+                .collect(),
+            edges: scratch.keyed.iter().map(|&(_, id)| id).collect(),
+        }
     }
 
     /// Individualization search: refine, and while the partition is not
@@ -434,9 +460,14 @@ impl<'g> Canonicalizer<'g> {
     ) {
         self.refine(&mut colors, scratch);
         let Some(cell_color) = Self::first_non_singleton(&colors, &mut scratch.sorted) else {
-            let (cert, form) = self.certificate(&colors);
-            if best.as_ref().is_none_or(|(b, _)| cert < *b) {
-                *best = Some((cert, form));
+            self.certificate(&colors, scratch);
+            match best {
+                Some((b, f)) if scratch.cert < *b => {
+                    b.clone_from(&scratch.cert);
+                    *f = self.form(scratch);
+                }
+                None => *best = Some((scratch.cert.clone(), self.form(scratch))),
+                _ => {}
             }
             return;
         };
@@ -476,6 +507,56 @@ pub fn canonicalize(graph: &SequencingGraph) -> CanonicalForm {
 /// Convenience: just the [`Fingerprint`] of `graph`'s live structure.
 pub fn fingerprint(graph: &SequencingGraph) -> Fingerprint {
     canonicalize(graph).fingerprint()
+}
+
+/// A cheap pre-fingerprint of a graph's *exact labelled* live structure:
+/// a commutative 128-bit multiset hash over the live edges (edge id,
+/// endpoint ids, colour, clause-2 waiver) plus the live count.
+///
+/// Unlike [`Fingerprint`], this is **not** label-invariant — two isomorphic
+/// graphs under different labellings get different pre-fingerprints. What
+/// it guarantees is the converse direction the two-tier cache needs: equal
+/// pre-fingerprints identify graphs whose live structures are identical
+/// *including their labels* (up to 128-bit hash collision, the same trust
+/// the canonical fingerprint already asks for), so a memo entry keyed on a
+/// pre-fingerprint can replay its stored relabelling verbatim. Computing
+/// it is one O(E) scan with no sorting, refinement or allocation — two
+/// orders of magnitude cheaper than full canonicalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PreFingerprint(u128);
+
+impl PreFingerprint {
+    /// The raw 128-bit value (shard selection keys off the low bits).
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+/// Computes the [`PreFingerprint`] of `graph`'s live structure.
+///
+/// The per-edge terms are combined with wrapping addition into two
+/// independently mixed 64-bit accumulators, so the result is independent
+/// of scan order (a multiset hash) and stable across runs and platforms.
+pub fn prefingerprint(graph: &SequencingGraph) -> PreFingerprint {
+    let mut lo_acc = 0u64;
+    let mut hi_acc = 0u64;
+    for e in graph.live_edges() {
+        let waiver = graph.commitment(e.commitment).clause2_waiver;
+        let bits = (u64::from(e.color == EdgeColor::Red) << 1) | u64::from(waiver);
+        let term = mix(
+            mix(
+                mix(e.id.index() as u64, e.commitment.index() as u64),
+                e.conjunction.index() as u64,
+            ),
+            bits,
+        );
+        lo_acc = lo_acc.wrapping_add(term);
+        hi_acc = hi_acc.wrapping_add(mix(term, 0x5bd1_e995_9e37_79b9));
+    }
+    let count = graph.live_edge_count() as u64;
+    let lo = mix(mix(0x9e1a_be11ed, count), lo_acc);
+    let hi = mix(mix(0x7e1e_1996, count), hi_acc);
+    PreFingerprint((u128::from(hi) << 64) | u128::from(lo))
 }
 
 #[cfg(test)]

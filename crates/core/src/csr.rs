@@ -1,0 +1,157 @@
+//! A flat compressed-sparse-row (CSR) arena: per-node item lists packed
+//! into one allocation.
+//!
+//! [`SequencingGraph`](crate::SequencingGraph) stores its commitment and
+//! conjunction adjacency this way (two allocations total instead of one
+//! `Vec` per node), and the [`canon`](crate::canon) refinement builds its
+//! live-incidence table on the same type. Row order is insertion order:
+//! `from_memberships` appends items to each row in the order the input
+//! iterator yields them, so adjacency scans visit edges exactly as the
+//! former `Vec<Vec<EdgeId>>` layout did and reduction traces stay
+//! byte-identical.
+
+use serde::{Deserialize, Serialize};
+
+/// Packed per-node item lists: node `v`'s items occupy
+/// `items[offsets[v]..offsets[v + 1]]`.
+///
+/// Offsets are `u32`: the arena addresses at most `u32::MAX` items, which
+/// the graph builder's `u32` ids already guarantee.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr<T> {
+    offsets: Vec<u32>,
+    items: Vec<T>,
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Csr {
+            offsets: vec![0],
+            items: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> Csr<T> {
+    /// Builds the arena from `(node, item)` memberships in two passes over
+    /// the same iterator: count, prefix-sum, fill. Items land in each row
+    /// in iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a membership names a node `>= nodes`.
+    pub fn from_memberships<I>(nodes: usize, memberships: I) -> Self
+    where
+        I: Iterator<Item = (usize, T)> + Clone,
+    {
+        let mut csr = Csr {
+            offsets: Vec::new(),
+            items: Vec::new(),
+        };
+        csr.rebuild(nodes, memberships);
+        csr
+    }
+
+    /// Re-fills the arena in place (capacity retained): the allocation-free
+    /// path for callers that build many same-shaped arenas in a loop.
+    pub fn rebuild<I>(&mut self, nodes: usize, memberships: I)
+    where
+        I: Iterator<Item = (usize, T)> + Clone,
+    {
+        self.offsets.clear();
+        self.offsets.resize(nodes + 1, 0);
+        for (v, _) in memberships.clone() {
+            self.offsets[v + 1] += 1;
+        }
+        for v in 0..nodes {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        let total = self.offsets[nodes] as usize;
+        self.items.clear();
+        self.items.reserve(total);
+        // Fill using `offsets[v]` itself as row `v`'s write cursor — no
+        // side cursor buffer. Afterwards `offsets[v]` holds row `v`'s *end*
+        // (= row `v + 1`'s start), so one backwards shift restores the
+        // start-offset invariant. The pre-fill with an arbitrary item keeps
+        // this safe; every slot is overwritten by the cursor pass.
+        if let Some((_, first)) = memberships.clone().next() {
+            self.items.resize(total, first);
+        }
+        for (v, item) in memberships {
+            let slot = self.offsets[v];
+            self.items[slot as usize] = item;
+            self.offsets[v] = slot + 1;
+        }
+        for v in (1..=nodes).rev() {
+            self.offsets[v] = self.offsets[v - 1];
+        }
+        if let Some(first) = self.offsets.first_mut() {
+            *first = 0;
+        }
+    }
+}
+
+impl<T> Csr<T> {
+    /// Number of nodes (rows).
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total packed items across all rows.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Node `v`'s items, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn row(&self, v: usize) -> &[T] {
+        &self.items[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_per_row_insertion_order() {
+        let memberships = [(1usize, 10u32), (0, 20), (1, 30), (2, 40), (1, 50)];
+        let csr = Csr::from_memberships(4, memberships.iter().copied());
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.item_count(), 5);
+        assert_eq!(csr.row(0), &[20]);
+        assert_eq!(csr.row(1), &[10, 30, 50]);
+        assert_eq!(csr.row(2), &[40]);
+        assert_eq!(csr.row(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity() {
+        let mut csr = Csr::from_memberships(2, [(0usize, 1u32), (1, 2), (1, 3)].iter().copied());
+        let ptr = csr.items.as_ptr();
+        csr.rebuild(2, [(1usize, 9u32), (0, 8)].iter().copied());
+        assert_eq!(csr.row(0), &[8]);
+        assert_eq!(csr.row(1), &[9]);
+        assert_eq!(csr.items.as_ptr(), ptr, "rebuild must not reallocate");
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let csr: Csr<u32> = Csr::default();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.item_count(), 0);
+        let built = Csr::from_memberships(3, std::iter::empty::<(usize, u32)>());
+        assert_eq!(built.node_count(), 3);
+        assert_eq!(built.row(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn serde_round_trip_shape() {
+        let csr = Csr::from_memberships(2, [(0usize, 7u32), (1, 8)].iter().copied());
+        let cloned = csr.clone();
+        assert_eq!(csr, cloned);
+    }
+}

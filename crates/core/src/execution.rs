@@ -556,7 +556,9 @@ pub fn synthesize_with(
     options: crate::BuildOptions,
 ) -> Result<ExecutionSequence, CoreError> {
     let graph = SequencingGraph::from_spec_with(spec, options)?;
-    let outcome = crate::Reducer::new(graph.clone()).run();
+    // Reduce through a scratch reducer: recovery needs the *unreduced*
+    // graph, and the scratch engine leaves it untouched without a clone.
+    let outcome = crate::ScratchReducer::new().run(&graph, crate::Strategy::Deterministic);
     recover_execution(spec, &graph, &outcome)
 }
 

@@ -1,6 +1,7 @@
 //! The sequencing graph of §4: commitment nodes, conjunction nodes and
 //! red/black edges.
 
+use crate::csr::Csr;
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -133,8 +134,11 @@ pub struct SequencingGraph {
     conjunctions: Vec<Conjunction>,
     edges: Vec<Edge>,
     alive: Vec<bool>,
-    commitment_edges: Vec<Vec<EdgeId>>,
-    conjunction_edges: Vec<Vec<EdgeId>>,
+    // Adjacency as flat CSR arenas (one allocation each instead of a Vec
+    // per node); row order is edge-insertion order, so scans visit edges
+    // exactly as the former Vec<Vec<EdgeId>> layout did.
+    commitment_edges: Csr<EdgeId>,
+    conjunction_edges: Csr<EdgeId>,
     live_count: usize,
     // Cached per-node live-edge counters, kept in lock-step with `alive` by
     // `remove_edge`/`restore_edge` so fringe and pre-emption queries are O(1)
@@ -156,14 +160,18 @@ impl SequencingGraph {
         conjunctions: Vec<Conjunction>,
         edges: Vec<Edge>,
     ) -> Self {
-        let mut commitment_edges = vec![Vec::new(); commitments.len()];
-        let mut conjunction_edges = vec![Vec::new(); conjunctions.len()];
+        let commitment_edges = Csr::from_memberships(
+            commitments.len(),
+            edges.iter().map(|e| (e.commitment.index(), e.id)),
+        );
+        let conjunction_edges = Csr::from_memberships(
+            conjunctions.len(),
+            edges.iter().map(|e| (e.conjunction.index(), e.id)),
+        );
         let mut commitment_live = vec![0usize; commitments.len()];
         let mut conjunction_live = vec![0usize; conjunctions.len()];
         let mut conjunction_live_red = vec![0usize; conjunctions.len()];
         for e in &edges {
-            commitment_edges[e.commitment.index()].push(e.id);
-            conjunction_edges[e.conjunction.index()].push(e.id);
             commitment_live[e.commitment.index()] += 1;
             conjunction_live[e.conjunction.index()] += 1;
             if e.color == EdgeColor::Red {
@@ -206,37 +214,58 @@ impl SequencingGraph {
             x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             x ^ (x >> 31)
         };
-        let mut permutation = |n: usize| -> Vec<u32> {
-            let mut order: Vec<u32> = (0..n as u32).collect();
+        // One shared shuffle buffer: `permutation` fills a caller-provided
+        // vec (old id → new id) instead of allocating a fresh Vec per call,
+        // and each node list is then built directly in new-id order through
+        // the inverse map — no clone-then-overwrite passes.
+        let mut permutation = |n: usize, order: &mut Vec<u32>, inverse: &mut Vec<u32>| {
+            order.clear();
+            order.extend(0..n as u32);
             for i in (1..n).rev() {
                 order.swap(i, (next() % (i as u64 + 1)) as usize);
             }
-            order
+            inverse.clear();
+            inverse.resize(n, 0);
+            for (old, &new) in order.iter().enumerate() {
+                inverse[new as usize] = old as u32;
+            }
         };
-        let cperm = permutation(self.commitments.len());
-        let jperm = permutation(self.conjunctions.len());
-        let eperm = permutation(self.edges.len());
+        let (mut cperm, mut cinv) = (Vec::new(), Vec::new());
+        let (mut jperm, mut jinv) = (Vec::new(), Vec::new());
+        let (mut eperm, mut einv) = (Vec::new(), Vec::new());
+        permutation(self.commitments.len(), &mut cperm, &mut cinv);
+        permutation(self.conjunctions.len(), &mut jperm, &mut jinv);
+        permutation(self.edges.len(), &mut eperm, &mut einv);
 
-        let mut commitments = self.commitments.clone();
-        for c in &self.commitments {
-            let new_id = CommitmentId::new(cperm[c.id.index()]);
-            commitments[new_id.index()] = Commitment { id: new_id, ..*c };
-        }
-        let mut conjunctions = self.conjunctions.clone();
-        for j in &self.conjunctions {
-            let new_id = ConjunctionId::new(jperm[j.id.index()]);
-            conjunctions[new_id.index()] = Conjunction { id: new_id, ..*j };
-        }
-        let mut edges = self.edges.clone();
-        for e in &self.edges {
-            let new_id = EdgeId::new(eperm[e.id.index()]);
-            edges[new_id.index()] = Edge {
-                id: new_id,
-                commitment: CommitmentId::new(cperm[e.commitment.index()]),
-                conjunction: ConjunctionId::new(jperm[e.conjunction.index()]),
-                color: e.color,
-            };
-        }
+        let commitments: Vec<Commitment> = cinv
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| Commitment {
+                id: CommitmentId::new(new as u32),
+                ..self.commitments[old as usize]
+            })
+            .collect();
+        let conjunctions: Vec<Conjunction> = jinv
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| Conjunction {
+                id: ConjunctionId::new(new as u32),
+                ..self.conjunctions[old as usize]
+            })
+            .collect();
+        let edges: Vec<Edge> = einv
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| {
+                let e = self.edges[old as usize];
+                Edge {
+                    id: EdgeId::new(new as u32),
+                    commitment: CommitmentId::new(cperm[e.commitment.index()]),
+                    conjunction: ConjunctionId::new(jperm[e.conjunction.index()]),
+                    color: e.color,
+                }
+            })
+            .collect();
         SequencingGraph::from_parts(commitments, conjunctions, edges)
     }
 
@@ -287,6 +316,21 @@ impl SequencingGraph {
         self.alive[id.index()]
     }
 
+    /// The liveness bitmap, indexed by edge id. Copied (not recomputed) by
+    /// [`ScratchReducer::reset_for`](crate::ScratchReducer::reset_for).
+    pub(crate) fn alive_slice(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The cached per-node live counters, for scratch-state seeding.
+    pub(crate) fn live_counter_slices(&self) -> (&[usize], &[usize], &[usize]) {
+        (
+            &self.commitment_live,
+            &self.conjunction_live,
+            &self.conjunction_live_red,
+        )
+    }
+
     /// Number of edges still in the graph.
     pub fn live_edge_count(&self) -> usize {
         self.live_count
@@ -297,9 +341,22 @@ impl SequencingGraph {
         self.edges.len()
     }
 
+    /// All edge ids incident to a commitment (live and removed), in
+    /// insertion order.
+    pub(crate) fn commitment_edge_ids(&self, id: CommitmentId) -> &[EdgeId] {
+        self.commitment_edges.row(id.index())
+    }
+
+    /// All edge ids incident to a conjunction (live and removed), in
+    /// insertion order.
+    pub(crate) fn conjunction_edge_ids(&self, id: ConjunctionId) -> &[EdgeId] {
+        self.conjunction_edges.row(id.index())
+    }
+
     /// Live edges incident to a commitment.
     pub fn live_edges_of_commitment(&self, id: CommitmentId) -> impl Iterator<Item = &Edge> + '_ {
-        self.commitment_edges[id.index()]
+        self.commitment_edges
+            .row(id.index())
             .iter()
             .filter(|e| self.alive[e.index()])
             .map(|e| &self.edges[e.index()])
@@ -307,7 +364,8 @@ impl SequencingGraph {
 
     /// Live edges incident to a conjunction.
     pub fn live_edges_of_conjunction(&self, id: ConjunctionId) -> impl Iterator<Item = &Edge> + '_ {
-        self.conjunction_edges[id.index()]
+        self.conjunction_edges
+            .row(id.index())
             .iter()
             .filter(|e| self.alive[e.index()])
             .map(|e| &self.edges[e.index()])
@@ -409,8 +467,11 @@ impl SequencingGraph {
         }
     }
 
-    /// Restores a removed edge (used by confluence checking and what-if
-    /// exploration to rewind a reduction on the same graph).
+    /// Restores a removed edge, rewinding a reduction on the same graph.
+    /// Production paths re-run from an immutable graph via
+    /// [`ScratchReducer`](crate::ScratchReducer); this remains the test
+    /// harness for verifying the incremental counter maintenance.
+    #[cfg(test)]
     pub(crate) fn restore_edge(&mut self, id: EdgeId) {
         let slot = &mut self.alive[id.index()];
         if !*slot {
@@ -440,7 +501,8 @@ impl SequencingGraph {
     /// conjunction, one to its trusted component's), and only the
     /// principal-side edge can be red.
     pub fn red_edge_of_commitment(&self, id: CommitmentId) -> Option<&Edge> {
-        self.commitment_edges[id.index()]
+        self.commitment_edges
+            .row(id.index())
             .iter()
             .map(|e| &self.edges[e.index()])
             .find(|e| e.color == EdgeColor::Red)

@@ -41,27 +41,35 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's scoped-borrow broadcast
+// needs exactly one audited lifetime erasure (`pool::erase`), which carries
+// a scoped `#[allow(unsafe_code)]` with its safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod advisor;
 mod build;
 pub mod cache;
 pub mod canon;
+pub mod csr;
 pub mod dot;
 mod error;
 mod execution;
 pub mod fixtures;
 mod graph;
 pub mod indemnity;
+pub mod pool;
 mod protocol;
 mod reduce;
+mod scratch;
 mod trace;
 
 pub use advisor::{advise, advise_cached, Advice, TrustSuggestion};
 pub use build::BuildOptions;
 pub use cache::{AnalysisCache, CacheStats, CachedVerdict};
-pub use canon::{canonicalize, fingerprint, CanonicalForm, Fingerprint};
+pub use canon::{
+    canonicalize, fingerprint, prefingerprint, CanonicalForm, Fingerprint, PreFingerprint,
+};
 pub use error::CoreError;
 pub use execution::{
     recover_execution, synthesize, synthesize_with, ExecutionSequence, ExecutionStep, StepKind,
@@ -75,4 +83,5 @@ pub use reduce::{
     analyze, analyze_batch, analyze_batch_cached, analyze_cached, analyze_with, confluence_check,
     confluence_check_cached, ConfluenceReport, Move, Reducer, ReductionOutcome, Strategy,
 };
+pub use scratch::ScratchReducer;
 pub use trace::{ReductionStep, ReductionTrace, Rule};

@@ -21,9 +21,9 @@ use std::fmt;
 /// time, stale entries are discarded, and `via_clause2` is recomputed fresh
 /// so the recorded step never reflects out-of-date pre-emption state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Candidate {
-    edge: EdgeId,
-    rule1: bool,
+pub(crate) struct Candidate {
+    pub(crate) edge: EdgeId,
+    pub(crate) rule1: bool,
 }
 
 /// A reduction move: a live edge together with the rule that sanctions its
@@ -63,7 +63,11 @@ pub enum Strategy {
 }
 
 /// The outcome of a maximal reduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The `Default` value is an empty, vacuously infeasible outcome — its only
+/// purpose is to seed a reusable output slot for
+/// [`ScratchReducer::run_into`](crate::ScratchReducer::run_into).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReductionOutcome {
     /// Whether the graph reduced to zero edges — the feasibility test of
     /// §4.2.4.
@@ -454,13 +458,14 @@ pub fn analyze_cached(
     }
 }
 
-/// Analyzes many specs at once, fanning the reductions across OS threads.
+/// Analyzes many specs at once, fanning the reductions across the
+/// persistent [`pool`](crate::pool) workers.
 ///
 /// Results are returned in input order, one per spec, each carrying its own
-/// graph-construction errors. The fan-out uses [`std::thread::scope`] with
-/// one worker per available core (capped at the batch size), so small
-/// batches don't over-spawn and a single spec degenerates to the serial
-/// path.
+/// graph-construction errors. The fan-out width is
+/// [`pool::size`](crate::pool::size) capped at the batch size, so small
+/// batches don't over-fan and a single spec degenerates to the serial
+/// path; the pool threads are spawned once per process, not per call.
 pub fn analyze_batch(
     specs: &[trustseq_model::ExchangeSpec],
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
@@ -477,10 +482,7 @@ pub fn analyze_batch_cached(
     specs: &[trustseq_model::ExchangeSpec],
     cache: Option<&crate::AnalysisCache>,
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(specs.len());
+    let workers = crate::pool::size().min(specs.len());
     analyze_batch_with_workers(specs, cache, workers)
 }
 
@@ -493,32 +495,40 @@ pub(crate) fn analyze_batch_with_workers(
     workers: usize,
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
     let workers = workers.min(specs.len());
+    // Each worker analyzes through its own reusable scratchpad: the graph
+    // build still allocates per spec, but the reduction itself reuses the
+    // worker's heap, bitmap and counter buffers for the whole batch.
+    let analyze_one = |scratch: &mut crate::ScratchReducer,
+                       spec: &trustseq_model::ExchangeSpec|
+     -> Result<ReductionOutcome, CoreError> {
+        match cache {
+            Some(cache) => cache.analyze(spec),
+            None => {
+                let graph = SequencingGraph::from_spec(spec)?;
+                Ok(scratch.run(&graph, Strategy::Deterministic))
+            }
+        }
+    };
     if workers <= 1 {
-        return specs.iter().map(|s| analyze_cached(s, cache)).collect();
+        let mut scratch = crate::ScratchReducer::new();
+        return specs.iter().map(|s| analyze_one(&mut scratch, s)).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<Result<ReductionOutcome, CoreError>>> = Vec::new();
     results.resize_with(specs.len(), || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, Result<ReductionOutcome, CoreError>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(spec) = specs.get(i) else { break };
-                        done.push((i, analyze_cached(spec, cache)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("batch worker panicked") {
-                results[i] = Some(result);
-            }
+    let worker = |_worker_index: usize| {
+        let mut scratch = crate::ScratchReducer::new();
+        let mut done: Vec<(usize, Result<ReductionOutcome, CoreError>)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let Some(spec) = specs.get(i) else { break };
+            done.push((i, analyze_one(&mut scratch, spec)));
         }
-    });
+        done
+    };
+    for (i, result) in crate::pool::broadcast_collect(workers, &worker) {
+        results[i] = Some(result);
+    }
     results
         .into_iter()
         .map(|r| r.expect("the shared counter covers every slot exactly once"))
@@ -569,6 +579,12 @@ impl fmt::Display for ConfluenceReport {
 /// Reduces a graph in place and rewinds it: the trace records exactly the
 /// removed edges, so restoring them returns the graph (and its cached
 /// counters) to the pre-run state without cloning.
+///
+/// Production paths now run repeated reductions through a
+/// [`ScratchReducer`](crate::ScratchReducer) on an immutable graph; this
+/// survives as the regression harness for
+/// [`restore_edge`](SequencingGraph::restore_edge)'s counter maintenance.
+#[cfg(test)]
 pub(crate) fn run_and_rewind(graph: &mut SequencingGraph, strategy: Strategy) -> ReductionOutcome {
     let owned = std::mem::replace(
         graph,
@@ -588,9 +604,12 @@ pub(crate) fn run_and_rewind(graph: &mut SequencingGraph, strategy: Strategy) ->
 /// random orders plus the deterministic order and reports the per-sample
 /// verdicts.
 ///
-/// The graph is built once and rewound between samples (reduction touches
-/// only edge liveness, which [`ReductionTrace`] records exactly), so the
-/// per-sample cost is the reduction itself, not a fresh clone of the graph.
+/// The graph is built once and never mutated: every sample runs through a
+/// reusable [`ScratchReducer`](crate::ScratchReducer), so the per-sample
+/// cost is the reduction itself with no per-sample allocation, cloning or
+/// rewinding. The sampled verdicts are byte-identical to the former
+/// rewind-based loop (the scratch engine reproduces [`Reducer`]'s traces
+/// exactly).
 ///
 /// # Errors
 ///
@@ -599,24 +618,32 @@ pub fn confluence_check(
     spec: &trustseq_model::ExchangeSpec,
     samples: u64,
 ) -> Result<ConfluenceReport, CoreError> {
-    let mut graph = SequencingGraph::from_spec(spec)?;
-    let reference_feasible = run_and_rewind(&mut graph, Strategy::Deterministic).feasible;
+    let graph = SequencingGraph::from_spec(spec)?;
+    Ok(confluence_check_graph(&graph, samples))
+}
+
+/// [`confluence_check`] over an already-built graph.
+pub(crate) fn confluence_check_graph(graph: &SequencingGraph, samples: u64) -> ConfluenceReport {
+    let mut scratch = crate::ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    scratch.run_into(graph, Strategy::Deterministic, &mut out);
+    let reference_feasible = out.feasible;
     let mut agreeing = 0;
     let mut disagreeing_seeds = Vec::new();
     for seed in 0..samples {
-        let verdict = run_and_rewind(&mut graph, Strategy::Randomized { seed }).feasible;
-        if verdict == reference_feasible {
+        scratch.run_into(graph, Strategy::Randomized { seed }, &mut out);
+        if out.feasible == reference_feasible {
             agreeing += 1;
         } else {
             disagreeing_seeds.push(seed);
         }
     }
-    Ok(ConfluenceReport {
+    ConfluenceReport {
         reference_feasible,
         samples,
         agreeing,
         disagreeing_seeds,
-    })
+    }
 }
 
 /// [`confluence_check`] with a memoized validation record: the randomized

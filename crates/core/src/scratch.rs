@@ -1,0 +1,432 @@
+//! A reusable reduction scratchpad: the §4.2 rules over a *borrowed*
+//! graph, with zero steady-state heap allocations.
+//!
+//! [`Reducer`](crate::Reducer) owns its graph and mutates it, which is the
+//! right shape for one-shot analysis and for callers that want the reduced
+//! graph back. Batch drivers — feasibility sweeps, confluence sampling,
+//! the simulation harness — reduce thousands of specs and want none of
+//! that: they need the verdict and the trace, and they need the per-spec
+//! constant factors to vanish. [`ScratchReducer`] keeps every piece of
+//! mutable reduction state (liveness bitmap, cached degree counters, the
+//! worklist heap, the rescan move buffer) in buffers it owns and reuses,
+//! so after the first run over the largest graph shape, a
+//! [`reset_for`](ScratchReducer::reset_for) + [`run_into`](ScratchReducer::run_into)
+//! loop performs no heap allocation at all (verified by the counting
+//! test allocator in `tests/alloc.rs`).
+//!
+//! Traces are byte-identical to [`Reducer`](crate::Reducer)'s for both
+//! strategies: the worklist heap is seeded in the same live-edge scan
+//! order, the enabling events mirror `push_unlocked`, and the randomized
+//! path reuses the same rescan-shuffle protocol with the same seeded RNG —
+//! so the `run_naive` oracle and every confluence report carry over
+//! unchanged. The scratch state mirrors the graph's own cached counters
+//! and keeps the same debug-build scan oracles.
+
+use crate::graph::{CommitmentId, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph};
+use crate::reduce::{Candidate, Move, ReductionOutcome, Strategy};
+use crate::trace::{ReductionStep, Rule};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+/// Reusable reduction state: run the reduction rules over `&SequencingGraph`
+/// without touching the graph, reusing every internal buffer across runs.
+///
+/// ```
+/// use trustseq_core::{fixtures, ReductionOutcome, ScratchReducer, SequencingGraph, Strategy};
+///
+/// # fn main() -> Result<(), trustseq_core::CoreError> {
+/// let graph = SequencingGraph::from_spec(&fixtures::example1().0)?;
+/// let mut scratch = ScratchReducer::default();
+/// let mut out = ReductionOutcome::default();
+/// scratch.run_into(&graph, Strategy::Deterministic, &mut out);
+/// assert!(out.feasible);
+/// // The graph itself is untouched and can be reduced again immediately.
+/// assert_eq!(graph.live_edge_count(), graph.initial_edge_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchReducer {
+    alive: Vec<bool>,
+    commitment_live: Vec<usize>,
+    conjunction_live: Vec<usize>,
+    conjunction_live_red: Vec<usize>,
+    live_count: usize,
+    heap: BinaryHeap<Candidate>,
+    moves: Vec<Move>,
+}
+
+impl ScratchReducer {
+    /// Creates an empty scratchpad. Buffers grow on first use and are
+    /// retained afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `graph`'s current liveness state (bitmap and cached degree
+    /// counters) into the scratch buffers, clearing any previous run. After
+    /// the buffers have grown to a graph's shape once, resetting for any
+    /// graph of equal or smaller shape allocates nothing.
+    pub fn reset_for(&mut self, graph: &SequencingGraph) {
+        self.alive.clear();
+        self.alive.extend_from_slice(graph.alive_slice());
+        let (c_live, j_live, j_red) = graph.live_counter_slices();
+        self.commitment_live.clear();
+        self.commitment_live.extend_from_slice(c_live);
+        self.conjunction_live.clear();
+        self.conjunction_live.extend_from_slice(j_live);
+        self.conjunction_live_red.clear();
+        self.conjunction_live_red.extend_from_slice(j_red);
+        self.live_count = graph.live_edge_count();
+        self.heap.clear();
+        self.moves.clear();
+    }
+
+    /// Runs a maximal reduction of `graph` under `strategy`, writing the
+    /// outcome into `out` (whose buffers are reused). Resets the scratch
+    /// state from the graph first, so consecutive calls are independent.
+    pub fn run_into(
+        &mut self,
+        graph: &SequencingGraph,
+        strategy: Strategy,
+        out: &mut ReductionOutcome,
+    ) {
+        self.reset_for(graph);
+        out.trace.clear();
+        out.remaining_edges.clear();
+        match strategy {
+            Strategy::Deterministic => {
+                self.seed_worklist(graph);
+                while let Some(cand) = self.heap.pop() {
+                    let Some(mv) = self.revalidate(graph, cand) else {
+                        continue;
+                    };
+                    let removed = *graph.edge(mv.edge);
+                    out.trace.push(self.remove(mv, removed));
+                    self.push_unlocked(graph, removed);
+                }
+            }
+            Strategy::Randomized { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    self.collect_moves(graph);
+                    if self.moves.is_empty() {
+                        break;
+                    }
+                    self.moves.shuffle(&mut rng);
+                    let mv = self.moves[0];
+                    let removed = *graph.edge(mv.edge);
+                    out.trace.push(self.remove(mv, removed));
+                }
+            }
+        }
+        out.remaining_edges.extend(
+            graph
+                .edges()
+                .iter()
+                .filter(|e| self.alive[e.id.index()])
+                .map(|e| e.id),
+        );
+        out.feasible = out.remaining_edges.is_empty();
+        debug_assert_eq!(out.feasible, self.live_count == 0);
+    }
+
+    /// [`run_into`](Self::run_into) returning a freshly allocated outcome —
+    /// the drop-in replacement for `Reducer::new(graph.clone()).run()` when
+    /// the caller needs to keep the result.
+    pub fn run(&mut self, graph: &SequencingGraph, strategy: Strategy) -> ReductionOutcome {
+        let mut out = ReductionOutcome::default();
+        self.run_into(graph, strategy, &mut out);
+        out
+    }
+
+    /// Seeds the worklist with the currently applicable moves, scanning
+    /// live edges in the same ascending-id order as
+    /// `Reducer::applicable_moves` so the heap starts from the identical
+    /// candidate multiset.
+    fn seed_worklist(&mut self, graph: &SequencingGraph) {
+        for e in graph.edges() {
+            if !self.alive[e.id.index()] {
+                continue;
+            }
+            if self.commitment_degree(graph, e.commitment) == 1 {
+                let preempted = self.preempted_by_red(graph, e.conjunction, e.id);
+                let waiver = graph.commitment(e.commitment).clause2_waiver;
+                if !preempted || waiver {
+                    self.heap.push(Candidate {
+                        edge: e.id,
+                        rule1: true,
+                    });
+                }
+            }
+            if self.conjunction_degree(graph, e.conjunction) == 1 {
+                self.heap.push(Candidate {
+                    edge: e.id,
+                    rule1: false,
+                });
+            }
+        }
+    }
+
+    /// Mirror of `Reducer::applicable_moves`, rescanning into the reusable
+    /// move buffer (the randomized strategy must sample from the whole
+    /// applicable set at every step).
+    fn collect_moves(&mut self, graph: &SequencingGraph) {
+        self.moves.clear();
+        for e in graph.edges() {
+            if !self.alive[e.id.index()] {
+                continue;
+            }
+            if self.commitment_degree(graph, e.commitment) == 1 {
+                let preempted = self.preempted_by_red(graph, e.conjunction, e.id);
+                let waiver = graph.commitment(e.commitment).clause2_waiver;
+                if !preempted || waiver {
+                    self.moves.push(Move {
+                        edge: e.id,
+                        rule: Rule::CommitmentFringe,
+                        via_clause2: preempted && waiver,
+                    });
+                }
+            }
+            if self.conjunction_degree(graph, e.conjunction) == 1 {
+                self.moves.push(Move {
+                    edge: e.id,
+                    rule: Rule::ConjunctionFringe,
+                    via_clause2: false,
+                });
+            }
+        }
+    }
+
+    /// Mirror of `Reducer::revalidate` against the scratch liveness state.
+    fn revalidate(&self, graph: &SequencingGraph, cand: Candidate) -> Option<Move> {
+        if !self.alive[cand.edge.index()] {
+            return None;
+        }
+        let e = graph.edge(cand.edge);
+        if cand.rule1 {
+            if self.commitment_degree(graph, e.commitment) != 1 {
+                return None;
+            }
+            let preempted = self.preempted_by_red(graph, e.conjunction, e.id);
+            let waiver = graph.commitment(e.commitment).clause2_waiver;
+            if preempted && !waiver {
+                return None;
+            }
+            Some(Move {
+                edge: e.id,
+                rule: Rule::CommitmentFringe,
+                via_clause2: preempted && waiver,
+            })
+        } else {
+            if self.conjunction_degree(graph, e.conjunction) != 1 {
+                return None;
+            }
+            Some(Move {
+                edge: e.id,
+                rule: Rule::ConjunctionFringe,
+                via_clause2: false,
+            })
+        }
+    }
+
+    /// Mirror of `Reducer::push_unlocked`: pushes every move that removing
+    /// `removed` can newly enable (the three monotone enabling events).
+    fn push_unlocked(&mut self, graph: &SequencingGraph, removed: Edge) {
+        if self.commitment_degree(graph, removed.commitment) == 1 {
+            let survivor = graph
+                .commitment_edge_ids(removed.commitment)
+                .iter()
+                .find(|e| self.alive[e.index()])
+                .expect("degree 1 means one live edge");
+            self.heap.push(Candidate {
+                edge: *survivor,
+                rule1: true,
+            });
+        }
+        if self.conjunction_degree(graph, removed.conjunction) == 1 {
+            let survivor = graph
+                .conjunction_edge_ids(removed.conjunction)
+                .iter()
+                .find(|e| self.alive[e.index()])
+                .expect("degree 1 means one live edge");
+            self.heap.push(Candidate {
+                edge: *survivor,
+                rule1: false,
+            });
+        }
+        if removed.color == EdgeColor::Red {
+            for eid in graph.conjunction_edge_ids(removed.conjunction) {
+                if !self.alive[eid.index()] {
+                    continue;
+                }
+                let e = graph.edge(*eid);
+                if self.commitment_degree(graph, e.commitment) == 1 {
+                    self.heap.push(Candidate {
+                        edge: e.id,
+                        rule1: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Removes `mv.edge` from the scratch liveness state and records the
+    /// step. The caller has already revalidated the move.
+    fn remove(&mut self, mv: Move, removed: Edge) -> ReductionStep {
+        debug_assert!(self.alive[mv.edge.index()], "removing a dead edge");
+        self.alive[mv.edge.index()] = false;
+        self.live_count -= 1;
+        self.commitment_live[removed.commitment.index()] -= 1;
+        self.conjunction_live[removed.conjunction.index()] -= 1;
+        if removed.color == EdgeColor::Red {
+            self.conjunction_live_red[removed.conjunction.index()] -= 1;
+        }
+        ReductionStep {
+            edge: mv.edge,
+            rule: mv.rule,
+            via_clause2: mv.via_clause2,
+            disconnected_commitment: (self.commitment_live[removed.commitment.index()] == 0)
+                .then_some(removed.commitment),
+            disconnected_conjunction: (self.conjunction_live[removed.conjunction.index()] == 0)
+                .then_some(removed.conjunction),
+        }
+    }
+
+    /// O(1) live degree of a commitment, with the same debug-build scan
+    /// oracle discipline as `SequencingGraph::commitment_degree`.
+    fn commitment_degree(&self, graph: &SequencingGraph, id: CommitmentId) -> usize {
+        let cached = self.commitment_live[id.index()];
+        debug_assert_eq!(
+            cached,
+            graph
+                .commitment_edge_ids(id)
+                .iter()
+                .filter(|e| self.alive[e.index()])
+                .count(),
+            "stale scratch commitment_live counter at {id}"
+        );
+        cached
+    }
+
+    /// O(1) live degree of a conjunction, oracle-checked in debug builds.
+    fn conjunction_degree(&self, graph: &SequencingGraph, id: ConjunctionId) -> usize {
+        let cached = self.conjunction_live[id.index()];
+        debug_assert_eq!(
+            cached,
+            graph
+                .conjunction_edge_ids(id)
+                .iter()
+                .filter(|e| self.alive[e.index()])
+                .count(),
+            "stale scratch conjunction_live counter at {id}"
+        );
+        cached
+    }
+
+    /// The Rule #1 pre-emption test against scratch liveness: any live red
+    /// edge other than `except` at the conjunction. O(1) via the cached red
+    /// counter, oracle-checked in debug builds.
+    fn preempted_by_red(
+        &self,
+        graph: &SequencingGraph,
+        conjunction: ConjunctionId,
+        except: EdgeId,
+    ) -> bool {
+        let mut reds = self.conjunction_live_red[conjunction.index()];
+        if let Some(e) = graph.edges().get(except.index()) {
+            if self.alive[except.index()]
+                && e.color == EdgeColor::Red
+                && e.conjunction == conjunction
+            {
+                reds -= 1;
+            }
+        }
+        let preempted = reds > 0;
+        debug_assert_eq!(
+            preempted,
+            graph
+                .conjunction_edge_ids(conjunction)
+                .iter()
+                .filter(|e| self.alive[e.index()])
+                .map(|e| graph.edge(*e))
+                .any(|e| e.color == EdgeColor::Red && e.id != except),
+            "stale scratch conjunction_live_red counter at {conjunction}"
+        );
+        preempted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::Reducer;
+
+    fn fixture_graphs() -> Vec<SequencingGraph> {
+        [
+            fixtures::example1().0,
+            fixtures::example2().0,
+            fixtures::poor_broker().0,
+            fixtures::figure7().0,
+        ]
+        .iter()
+        .map(|s| SequencingGraph::from_spec(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn matches_owning_reducer_deterministic() {
+        let mut scratch = ScratchReducer::new();
+        let mut out = ReductionOutcome::default();
+        for graph in fixture_graphs() {
+            scratch.run_into(&graph, Strategy::Deterministic, &mut out);
+            let reference = Reducer::new(graph.clone()).run();
+            assert_eq!(out, reference);
+            // And against the rescan oracle.
+            assert_eq!(out, Reducer::new(graph).run_naive());
+        }
+    }
+
+    #[test]
+    fn matches_owning_reducer_randomized() {
+        let mut scratch = ScratchReducer::new();
+        let mut out = ReductionOutcome::default();
+        for graph in fixture_graphs() {
+            for seed in 0..8 {
+                let strategy = Strategy::Randomized { seed };
+                scratch.run_into(&graph, strategy, &mut out);
+                let reference = Reducer::new(graph.clone()).with_strategy(strategy).run();
+                assert_eq!(out, reference, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_untouched_and_runs_are_independent() {
+        let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        let pristine = graph.clone();
+        let mut scratch = ScratchReducer::new();
+        let first = scratch.run(&graph, Strategy::Deterministic);
+        let second = scratch.run(&graph, Strategy::Deterministic);
+        assert_eq!(first, second);
+        assert_eq!(graph, pristine);
+    }
+
+    #[test]
+    fn resumes_from_a_partially_reduced_graph() {
+        // reset_for copies the graph's *current* liveness, so a scratch run
+        // on a half-reduced graph completes exactly the remaining work.
+        let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        let mut reducer = Reducer::new(graph);
+        let mv = reducer.applicable_moves()[0];
+        reducer.apply(mv).unwrap();
+        let partial = reducer.graph().clone();
+        let mut scratch = ScratchReducer::new();
+        let out = scratch.run(&partial, Strategy::Deterministic);
+        assert!(out.feasible);
+        assert_eq!(out.trace.len(), partial.live_edge_count());
+    }
+}

@@ -74,6 +74,11 @@ impl ReductionTrace {
         self.steps.push(step);
     }
 
+    /// Empties the trace, keeping its capacity for the next run.
+    pub(crate) fn clear(&mut self) {
+        self.steps.clear();
+    }
+
     /// The rule applications, in order.
     pub fn steps(&self) -> &[ReductionStep] {
         &self.steps

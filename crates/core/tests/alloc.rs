@@ -1,0 +1,116 @@
+//! Allocation-regression test for the zero-allocation hot path: after a
+//! warm-up pass has grown every buffer, a steady-state
+//! [`ScratchReducer::run_into`] loop over pre-built graphs must perform
+//! **zero** heap allocations per spec.
+//!
+//! Kept in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-global: any unrelated test running in
+//! the same binary would disturb the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use trustseq_core::{fixtures, ReductionOutcome, ScratchReducer, SequencingGraph, Strategy};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator. Frees are not counted — the property under test is "no new
+/// heap traffic", and a free without a matching alloc is impossible.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic
+// with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// The counter is process-global, so the measuring tests must not overlap:
+/// each takes this lock around its measurement window. (std's mutex is
+/// const-initialized and allocation-free on lock.)
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn steady_state_batch_reduction_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    // Build the graphs up front — construction may allocate freely.
+    let graphs: Vec<SequencingGraph> = [
+        fixtures::example1().0,
+        fixtures::example2().0,
+        fixtures::poor_broker().0,
+        fixtures::figure7().0,
+        fixtures::example2_shared_escrow().0,
+    ]
+    .iter()
+    .map(|spec| SequencingGraph::from_spec(spec).unwrap())
+    .collect();
+
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+
+    // Warm-up: one pass grows every scratch and outcome buffer to the
+    // largest shape in the batch.
+    for graph in &graphs {
+        scratch.run_into(graph, Strategy::Deterministic, &mut out);
+    }
+
+    // Steady state: many batch passes, zero heap allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut feasible = 0usize;
+    for _ in 0..100 {
+        for graph in &graphs {
+            scratch.run_into(graph, Strategy::Deterministic, &mut out);
+            feasible += usize::from(out.feasible);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state reset_for + run_into loop must not allocate"
+    );
+    // The loop really did the work (example1 and the shared-escrow variant
+    // under PAPER semantics: only example1 reduces to feasibility).
+    assert_eq!(feasible, 100);
+}
+
+#[test]
+fn randomized_strategy_is_allocation_free_after_warm_up() {
+    let _guard = SERIAL.lock().unwrap();
+    let graph = SequencingGraph::from_spec(&fixtures::figure7().0).unwrap();
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    for seed in 0..4 {
+        scratch.run_into(&graph, Strategy::Randomized { seed }, &mut out);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for seed in 0..64 {
+        scratch.run_into(&graph, Strategy::Randomized { seed }, &mut out);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "randomized rescan loop must reuse the move buffer"
+    );
+}

@@ -18,8 +18,10 @@
 //!    [`DistributedReduction::run`]'s.
 
 use crate::SimError;
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use trustseq_core::{analyze, EdgeId};
 use trustseq_dist::{Crash, DistributedReduction, FaultPlan, ResilientConfig};
 use trustseq_model::ExchangeSpec;
@@ -153,6 +155,11 @@ pub fn chaos_sweep(spec: &ExchangeSpec, matrix: &ChaosMatrix) -> Result<ChaosRep
 /// unique, so a cache-translated outcome gives the same reference the
 /// deterministic reducer would.
 ///
+/// Cells of the matrix run in parallel on the persistent
+/// [`trustseq_core::pool`]; every cell is seeded independently and the
+/// per-cell reports are merged in cell order, so the merged report is
+/// deterministic and identical to a serial sweep's.
+///
 /// # Errors
 ///
 /// As [`chaos_sweep`].
@@ -169,55 +176,78 @@ pub fn chaos_sweep_cached(
     let baseline = DistributedReduction::new(spec)?.run();
     let participants: Vec<_> = DistributedReduction::new(spec)?.participants().collect();
 
-    let mut report = ChaosReport::default();
-    for &drop in &matrix.drop_per_mille {
-        for seed in 0..matrix.seeds_per_cell {
-            let mut plan = FaultPlan::seeded(seed);
-            if drop > 0 {
-                plan = plan
-                    .with_drop_per_mille(drop)
-                    .with_dup_per_mille(matrix.dup_per_mille)
-                    .with_max_extra_delay(matrix.max_extra_delay);
-                if matrix.with_crashes && seed % 3 == 0 && !participants.is_empty() {
-                    let victim = participants[(seed as usize / 3) % participants.len()];
-                    plan = plan.with_crash(
-                        victim,
-                        Crash {
-                            at_round: 2,
-                            restart_at: Some(3 + seed as usize % 4),
-                        },
-                    );
-                }
-            }
-            let out = DistributedReduction::new(spec)?.run_resilient(&plan, &matrix.config)?;
-
-            report.runs += 1;
-            report.retransmissions += out.retransmissions;
-            report.messages += out.messages;
-            report.max_rounds_seen = report.max_rounds_seen.max(out.rounds);
-
-            let removal_set: BTreeSet<EdgeId> = out.removals.iter().map(|r| r.edge).collect();
-            // Soundness: no run may remove an edge the centralised
-            // reduction keeps.
-            if !removal_set.is_subset(&central_set) {
-                report.removal_set_mismatches += 1;
-            }
-            match out.verdict.decided() {
-                Some(feasible) => {
-                    report.decided += 1;
-                    if feasible != central.feasible {
-                        report.verdict_mismatches += 1;
-                    }
-                    if removal_set != central_set {
-                        report.removal_set_mismatches += 1;
-                    }
-                }
-                None => report.undecided += 1,
-            }
-            if plan.is_faultless() && out.as_dist_outcome().as_ref() != Some(&baseline) {
-                report.baseline_divergences += 1;
+    let run_cell = |drop: u16, seed: u64| -> Result<ChaosReport, SimError> {
+        let mut plan = FaultPlan::seeded(seed);
+        if drop > 0 {
+            plan = plan
+                .with_drop_per_mille(drop)
+                .with_dup_per_mille(matrix.dup_per_mille)
+                .with_max_extra_delay(matrix.max_extra_delay);
+            if matrix.with_crashes && seed.is_multiple_of(3) && !participants.is_empty() {
+                let victim = participants[(seed as usize / 3) % participants.len()];
+                plan = plan.with_crash(
+                    victim,
+                    Crash {
+                        at_round: 2,
+                        restart_at: Some(3 + seed as usize % 4),
+                    },
+                );
             }
         }
+        let out = DistributedReduction::new(spec)?.run_resilient(&plan, &matrix.config)?;
+
+        let mut cell = ChaosReport {
+            runs: 1,
+            retransmissions: out.retransmissions,
+            messages: out.messages,
+            max_rounds_seen: out.rounds,
+            ..ChaosReport::default()
+        };
+        let removal_set: BTreeSet<EdgeId> = out.removals.iter().map(|r| r.edge).collect();
+        // Soundness: no run may remove an edge the centralised reduction
+        // keeps.
+        if !removal_set.is_subset(&central_set) {
+            cell.removal_set_mismatches += 1;
+        }
+        match out.verdict.decided() {
+            Some(feasible) => {
+                cell.decided += 1;
+                if feasible != central.feasible {
+                    cell.verdict_mismatches += 1;
+                }
+                if removal_set != central_set {
+                    cell.removal_set_mismatches += 1;
+                }
+            }
+            None => cell.undecided += 1,
+        }
+        if plan.is_faultless() && out.as_dist_outcome().as_ref() != Some(&baseline) {
+            cell.baseline_divergences += 1;
+        }
+        Ok(cell)
+    };
+
+    let cells: Vec<(u16, u64)> = matrix
+        .drop_per_mille
+        .iter()
+        .flat_map(|&drop| (0..matrix.seeds_per_cell).map(move |seed| (drop, seed)))
+        .collect();
+    let results: Vec<Mutex<Option<Result<ChaosReport, SimError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = trustseq_core::pool::size().clamp(1, cells.len().max(1));
+    trustseq_core::pool::broadcast(workers, &|_index| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&(drop, seed)) = cells.get(i) else {
+            break;
+        };
+        *results[i].lock() = Some(run_cell(drop, seed));
+    });
+
+    let mut report = ChaosReport::default();
+    for slot in results {
+        let cell = slot.into_inner().expect("every cell was claimed")?;
+        report.absorb(&cell);
     }
     Ok(report)
 }

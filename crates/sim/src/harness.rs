@@ -132,11 +132,12 @@ pub fn defection_patterns(
 }
 
 /// Runs every defection pattern (capped at `max_runs`) and collects safety
-/// violations. Runs are distributed over `threads` worker threads with
-/// crossbeam's scoped threads, pulling patterns from a shared atomic
-/// counter (work stealing) so one slow pattern cannot idle the other
-/// workers, and each per-pattern simulation borrows its behaviour map —
-/// the hot loop allocates nothing per sample.
+/// violations. Runs are distributed over `threads` worker indices on the
+/// persistent [`trustseq_core::pool`] — no per-sweep thread spawns —
+/// pulling patterns from a shared atomic counter (work stealing) so one
+/// slow pattern cannot idle the other workers, and each per-pattern
+/// simulation borrows its behaviour map — the hot loop allocates nothing
+/// per sample.
 ///
 /// # Errors
 ///
@@ -158,40 +159,32 @@ pub fn sweep(
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     let threads = threads.max(1).min(runs.max(1));
-    let violations_ref = &violations;
-    let all_honest_ref = &all_honest_preferred;
-    let error_ref = &error;
-    let acceptance_ref = &acceptance;
-    let patterns_ref = &patterns;
-    let next_ref = &next;
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move |_| loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(behaviors) = patterns_ref.get(i) else {
-                    break;
-                };
-                let sim =
-                    Simulation::new(spec, protocol, behaviors).with_acceptance(acceptance_ref);
-                match sim.run() {
-                    Ok(report) => {
-                        if behaviors.is_all_honest() {
-                            *all_honest_ref.lock() = report.all_preferred();
-                        }
-                        for (&agent, &outcome) in &report.outcomes {
-                            let honest = behaviors.of(agent).is_honest();
-                            if honest && outcome == Outcome::Unacceptable {
-                                violations_ref.lock().push((behaviors.to_string(), agent));
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        error_ref.lock().get_or_insert(e);
+    let worker = |_index: usize| loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let Some(behaviors) = patterns.get(i) else {
+            break;
+        };
+        let sim = Simulation::new(spec, protocol, behaviors).with_acceptance(&acceptance);
+        match sim.run() {
+            Ok(report) => {
+                if behaviors.is_all_honest() {
+                    *all_honest_preferred.lock() = report.all_preferred();
+                }
+                for (&agent, &outcome) in &report.outcomes {
+                    let honest = behaviors.of(agent).is_honest();
+                    if honest && outcome == Outcome::Unacceptable {
+                        violations.lock().push((behaviors.to_string(), agent));
                     }
                 }
-            });
+            }
+            Err(e) => {
+                error.lock().get_or_insert(e);
+            }
         }
-    })
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trustseq_core::pool::broadcast(threads, &worker);
+    }))
     .map_err(|_| SimError::WorkerPanicked)?;
 
     if let Some(e) = error.into_inner() {
@@ -254,7 +247,7 @@ pub fn sweep_spec_cached(
     }
     let sequence = trustseq_core::synthesize(spec)?;
     let protocol = Protocol::from_sequence(spec, &sequence);
-    sweep(spec, &protocol, max_runs, 4)
+    sweep(spec, &protocol, max_runs, trustseq_core::pool::size())
 }
 
 #[cfg(test)]

@@ -81,13 +81,16 @@ pub const USAGE: &str = "\
 trustseq — trust-explicit distributed commerce transactions (ICDCS 1996)
 
 USAGE:
-    trustseq <COMMAND> [--extended] [--cache-stats] <SPEC.tseq>
+    trustseq <COMMAND> [--extended] [--cache-stats] [--threads N] <SPEC.tseq>
 
 OPTIONS:
     --extended     enable the \u{a7}9 shared-escrow delegation semantics
                    (multi-party trusted agents)
     --cache-stats  route feasibility analyses through a memoized
                    analysis cache and print its hit/miss statistics
+    --threads N    worker threads for sweep fan-out (defection sweeps,
+                   batch analysis); defaults to the machine's available
+                   parallelism
 
 COMMANDS:
     check      decide feasibility (sequencing-graph reduction, §4)
@@ -223,8 +226,8 @@ pub fn run_on_spec_cached(
                 .run()
                 .map_err(|e| e.to_string())?;
             let _ = write!(out, "{report}");
-            let sweep =
-                trustseq_sim::sweep(spec, &protocol, 100_000, 4).map_err(|e| e.to_string())?;
+            let sweep = trustseq_sim::sweep(spec, &protocol, 100_000, trustseq_core::pool::size())
+                .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "sweep: {sweep}");
             for (pattern, harmed) in &sweep.violations {
                 let _ = writeln!(out, "  VIOLATION under [{pattern}]: {harmed} harmed");
@@ -304,10 +307,21 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut options = trustseq_core::BuildOptions::PAPER;
     let mut cache_stats = false;
     let mut positional: Vec<&str> = Vec::new();
-    for arg in args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--extended" => options = trustseq_core::BuildOptions::EXTENDED,
             "--cache-stats" => cache_stats = true,
+            "--threads" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        format!("`--threads` expects a positive thread count\n\n{USAGE}")
+                    })?;
+                trustseq_core::pool::set_size(n);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n\n{USAGE}"))
             }
@@ -477,5 +491,29 @@ mod tests {
                 .unwrap_err()
                 .contains("cannot read")
         );
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_and_validated() {
+        // A valid count is consumed (two tokens) and the rest dispatches.
+        let err = main_with_args(&[
+            "--threads".into(),
+            "2".into(),
+            "check".into(),
+            "/nonexistent.tseq".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // Missing or malformed counts are rejected up front.
+        for bad in [
+            vec!["--threads".to_owned()],
+            vec!["--threads".to_owned(), "zero".to_owned()],
+        ] {
+            let err = main_with_args(&bad).unwrap_err();
+            assert!(err.contains("--threads"), "{err}");
+        }
+        let err = main_with_args(&["--threads".into(), "0".into(), "check".into(), "x".into()])
+            .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 }
