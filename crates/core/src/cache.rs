@@ -51,6 +51,7 @@
 use crate::build::BuildOptions;
 use crate::canon::{canonicalize, prefingerprint, CanonicalForm, Fingerprint, PreFingerprint};
 use crate::graph::{EdgeColor, SequencingGraph};
+use crate::obs;
 use crate::reduce::{ConfluenceReport, Reducer, ReductionOutcome, Strategy};
 use crate::scratch::ScratchReducer;
 use crate::CoreError;
@@ -151,9 +152,11 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    /// Hits as a fraction of all lookups. Zero lookups report 0.0 rather
+    /// than NaN, and the lookup total saturates instead of overflowing if
+    /// the counters are ever near `u64::MAX`.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
@@ -232,6 +235,7 @@ impl AnalysisCache {
         if let Some(labelled) = self.pre_shard(pre).lock().get(&pre.as_u128()).cloned() {
             let hits = self.hits.fetch_add(1, Ordering::Relaxed);
             self.pre_hits.fetch_add(1, Ordering::Relaxed);
+            obs::with(|r| r.counter("cache.tier1_hits", 1));
             Self::maybe_verify_hit(hits, graph, &labelled);
             return labelled;
         }
@@ -241,6 +245,7 @@ impl AnalysisCache {
         let entry = match cached {
             Some(entry) => {
                 let hits = self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::with(|r| r.counter("cache.tier2_hits", 1));
                 let labelled = LabelledEntry::intern(form, entry);
                 Self::maybe_verify_hit(hits, graph, &labelled);
                 self.pre_shard(pre)
@@ -251,6 +256,8 @@ impl AnalysisCache {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::with(|r| r.counter("cache.misses", 1));
+                let intern_span = obs::enabled().then(obs::Span::wall);
                 // Reduce outside the lock: reductions are the expensive
                 // part, and a racing thread interning the same structure
                 // first is harmless.
@@ -278,6 +285,11 @@ impl AnalysisCache {
                     .clone();
                 if inserted {
                     self.inserts.fetch_add(1, Ordering::Relaxed);
+                }
+                // Interning latency = canonical reduce + table insert on
+                // the miss path, in wall-clock nanoseconds.
+                if let Some(span) = intern_span {
+                    span.finish("cache.intern_ns", None);
                 }
                 entry
             }
@@ -368,15 +380,24 @@ impl AnalysisCache {
         }
     }
 
-    /// Current counter snapshot.
+    /// Current counter snapshot, torn-free across shards: every shard of
+    /// both tiers is locked (in fixed index order, so lookups holding at
+    /// most one shard lock cannot deadlock against this) *before* any
+    /// counter or table length is read. Previously each shard length was
+    /// read under its own lock while inserts raced the others, so the
+    /// entry totals could be torn across shards; now both tiers' tables
+    /// are frozen together and the counters are sampled at that same
+    /// point.
     pub fn stats(&self) -> CacheStats {
+        let pre_guards: Vec<_> = self.pre_shards.iter().map(|s| s.lock()).collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             pre_hits: self.pre_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
-            labelled_entries: self.pre_shards.iter().map(|s| s.lock().len()).sum(),
+            entries: guards.iter().map(|s| s.len()).sum(),
+            labelled_entries: pre_guards.iter().map(|s| s.len()).sum(),
         }
     }
 }

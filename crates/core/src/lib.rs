@@ -58,6 +58,7 @@ mod execution;
 pub mod fixtures;
 mod graph;
 pub mod indemnity;
+pub mod obs;
 pub mod pool;
 mod protocol;
 mod reduce;
@@ -78,6 +79,7 @@ pub use graph::{
     Commitment, CommitmentId, Conjunction, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph,
 };
 pub use indemnity::{IndemnityPlan, PlannedIndemnity};
+pub use obs::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder, VirtualClock};
 pub use protocol::{Instruction, Protocol};
 pub use reduce::{
     analyze, analyze_batch, analyze_batch_cached, analyze_cached, analyze_with, confluence_check,

@@ -30,6 +30,7 @@
 //! The default fan-out width for sweep drivers is [`size`], settable once
 //! at startup via [`set_size`] (the CLI's `--threads N`).
 
+use crate::obs;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
@@ -57,11 +58,17 @@ pub fn size() -> usize {
     }
 }
 
-/// Sets the default worker count reported by [`size`] (clamped to ≥ 1).
-/// Call once at startup — already-spawned threads are not reaped, so
-/// shrinking mid-run only narrows *future* fan-outs.
+/// Upper bound accepted by [`set_size`]: each worker index beyond the
+/// first pins an OS thread for the life of the process, so widths past
+/// this are almost certainly a mis-typed flag. The CLI rejects such
+/// values with an error; programmatic callers are clamped.
+pub const MAX_WIDTH: usize = 1024;
+
+/// Sets the default worker count reported by [`size`] (clamped to
+/// `1..=`[`MAX_WIDTH`]). Call once at startup — already-spawned threads
+/// are not reaped, so shrinking mid-run only narrows *future* fan-outs.
 pub fn set_size(n: usize) {
-    POOL_SIZE.store(n.max(1), Ordering::Relaxed);
+    POOL_SIZE.store(n.clamp(1, MAX_WIDTH), Ordering::Relaxed);
 }
 
 struct State {
@@ -139,7 +146,11 @@ fn worker_loop() {
             st.remaining -= 1;
             st.active += 1;
             drop(st);
+            let busy = obs::enabled().then(obs::Span::wall);
             let result = catch_unwind(AssertUnwindSafe(|| job(index)));
+            if let Some(span) = busy {
+                span.finish("pool.worker_busy_ns", None);
+            }
             st = pool.lock_state();
             st.active -= 1;
             if let Err(payload) = result {
@@ -172,6 +183,9 @@ pub fn broadcast(workers: usize, f: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
+    // Dispatch latency covers queueing for the scope mutex through full
+    // drain — the end-to-end cost a sweep driver pays per fan-out.
+    let dispatch = obs::enabled().then(obs::Span::wall);
     let pool = POOL.get_or_init(Pool::new);
     let guard = pool.scope.lock().unwrap_or_else(|e| e.into_inner());
     let job = erase(f);
@@ -193,7 +207,11 @@ pub fn broadcast(workers: usize, f: &(dyn Fn(usize) + Sync)) {
     pool.work.notify_all();
 
     INLINE.with(|b| b.set(true));
+    let caller_busy = obs::enabled().then(obs::Span::wall);
     let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+    if let Some(span) = caller_busy {
+        span.finish("pool.worker_busy_ns", None);
+    }
     INLINE.with(|b| b.set(false));
 
     let mut st = pool.lock_state();
@@ -204,6 +222,17 @@ pub fn broadcast(workers: usize, f: &(dyn Fn(usize) + Sync)) {
     let worker_panic = st.panic.take();
     drop(st);
     drop(guard);
+    if let Some(span) = dispatch {
+        span.finish("pool.dispatch_ns", None);
+        let panics = u64::from(caller_result.is_err()) + u64::from(worker_panic.is_some());
+        obs::with(|r| {
+            r.counter("pool.jobs", 1);
+            r.observe("pool.width", workers as u64);
+            if panics > 0 {
+                r.counter("pool.panics", panics);
+            }
+        });
+    }
     if let Err(payload) = caller_result {
         resume_unwind(payload);
     }

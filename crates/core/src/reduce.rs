@@ -2,6 +2,7 @@
 //! feasibility test (§4.2).
 
 use crate::graph::{Edge, EdgeColor, EdgeId, SequencingGraph};
+use crate::obs;
 use crate::trace::{ReductionStep, ReductionTrace, Rule};
 use crate::CoreError;
 use rand::rngs::StdRng;
@@ -318,6 +319,10 @@ impl Reducer {
     /// uniformly from the *whole* applicable set at every step.
     fn drive(mut self) -> (ReductionOutcome, SequencingGraph) {
         let mut trace = ReductionTrace::new();
+        // Worklist-depth tracking only runs with a recorder installed, so
+        // the default path is byte-for-byte the uninstrumented loop.
+        let track = obs::enabled();
+        let mut worklist_peak = 0usize;
         match self.strategy {
             Strategy::Deterministic => {
                 let mut heap: BinaryHeap<Candidate> = self
@@ -328,6 +333,9 @@ impl Reducer {
                         rule1: m.rule == Rule::CommitmentFringe,
                     })
                     .collect();
+                if track {
+                    worklist_peak = heap.len();
+                }
                 while let Some(cand) = heap.pop() {
                     let Some(mv) = self.revalidate(cand) else {
                         continue;
@@ -336,6 +344,9 @@ impl Reducer {
                     let step = self.apply(mv).expect("revalidated move must apply");
                     trace.push(step);
                     self.push_unlocked(removed, &mut heap);
+                    if track {
+                        worklist_peak = worklist_peak.max(heap.len());
+                    }
                 }
             }
             Strategy::Randomized { seed } => {
@@ -345,6 +356,9 @@ impl Reducer {
                     if moves.is_empty() {
                         break;
                     }
+                    if track {
+                        worklist_peak = worklist_peak.max(moves.len());
+                    }
                     moves.shuffle(&mut rng);
                     let step = self.apply(moves[0]).expect("applicable move must apply");
                     trace.push(step);
@@ -352,14 +366,15 @@ impl Reducer {
             }
         }
         let remaining_edges: Vec<EdgeId> = self.graph.live_edges().map(|e| e.id).collect();
-        (
-            ReductionOutcome {
-                feasible: remaining_edges.is_empty(),
-                trace,
-                remaining_edges,
-            },
-            self.graph,
-        )
+        let outcome = ReductionOutcome {
+            feasible: remaining_edges.is_empty(),
+            trace,
+            remaining_edges,
+        };
+        if track {
+            record_reduction_metrics(&outcome, worklist_peak);
+        }
+        (outcome, self.graph)
     }
 
     /// Runs the reduction to a fixpoint and reports the outcome.
@@ -414,6 +429,27 @@ impl Reducer {
             remaining_edges,
         }
     }
+}
+
+/// Reports one finished reduction to the installed [`obs`] recorder:
+/// run/removal counters, the rule #1 vs rule #2 split, and the peak
+/// worklist (or applicable-set) depth the driver tracked. Callers gate on
+/// [`obs::enabled`] first — this is never reached on the disabled path.
+pub(crate) fn record_reduction_metrics(out: &ReductionOutcome, worklist_peak: usize) {
+    let rule1 = out
+        .trace
+        .steps()
+        .iter()
+        .filter(|s| s.rule == Rule::CommitmentFringe)
+        .count() as u64;
+    let rule2 = out.trace.len() as u64 - rule1;
+    obs::with(|r| {
+        r.counter("reduce.runs", 1);
+        r.counter("reduce.removals", out.trace.len() as u64);
+        r.counter("reduce.rule1", rule1);
+        r.counter("reduce.rule2", rule2);
+        r.observe("reduce.worklist_peak", worklist_peak as u64);
+    });
 }
 
 /// Convenience: builds the sequencing graph of `spec`, reduces it

@@ -23,7 +23,8 @@
 //! and keeps the same debug-build scan oracles.
 
 use crate::graph::{CommitmentId, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph};
-use crate::reduce::{Candidate, Move, ReductionOutcome, Strategy};
+use crate::obs;
+use crate::reduce::{record_reduction_metrics, Candidate, Move, ReductionOutcome, Strategy};
 use crate::trace::{ReductionStep, Rule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -96,9 +97,17 @@ impl ScratchReducer {
         self.reset_for(graph);
         out.trace.clear();
         out.remaining_edges.clear();
+        // Worklist-depth tracking runs only with a recorder installed; the
+        // disabled path (a single relaxed load) stays allocation-free, as
+        // asserted by the counting allocator in `tests/alloc.rs`.
+        let track = obs::enabled();
+        let mut worklist_peak = 0usize;
         match strategy {
             Strategy::Deterministic => {
                 self.seed_worklist(graph);
+                if track {
+                    worklist_peak = self.heap.len();
+                }
                 while let Some(cand) = self.heap.pop() {
                     let Some(mv) = self.revalidate(graph, cand) else {
                         continue;
@@ -106,6 +115,9 @@ impl ScratchReducer {
                     let removed = *graph.edge(mv.edge);
                     out.trace.push(self.remove(mv, removed));
                     self.push_unlocked(graph, removed);
+                    if track {
+                        worklist_peak = worklist_peak.max(self.heap.len());
+                    }
                 }
             }
             Strategy::Randomized { seed } => {
@@ -114,6 +126,9 @@ impl ScratchReducer {
                     self.collect_moves(graph);
                     if self.moves.is_empty() {
                         break;
+                    }
+                    if track {
+                        worklist_peak = worklist_peak.max(self.moves.len());
                     }
                     self.moves.shuffle(&mut rng);
                     let mv = self.moves[0];
@@ -131,6 +146,9 @@ impl ScratchReducer {
         );
         out.feasible = out.remaining_edges.is_empty();
         debug_assert_eq!(out.feasible, self.live_count == 0);
+        if track {
+            record_reduction_metrics(out, worklist_peak);
+        }
     }
 
     /// [`run_into`](Self::run_into) returning a freshly allocated outcome —

@@ -49,9 +49,30 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 /// const-initialized and allocation-free on lock.)
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Allocations observed across one run of `window`, retried until quiet.
+///
+/// The lock serialises the measuring tests against each other, but not
+/// against the libtest harness itself: its worker threads spawn and report
+/// the *other* tests concurrently, and those few startup allocations land
+/// in the process-global counter. Re-running the window filters that
+/// one-off noise without weakening the property — a real hot-path
+/// regression allocates on every pass, so it can never go quiet.
+fn measured_allocations(mut window: impl FnMut()) -> u64 {
+    let mut observed = u64::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        window();
+        observed = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if observed == 0 {
+            break;
+        }
+    }
+    observed
+}
+
 #[test]
 fn steady_state_batch_reduction_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Build the graphs up front — construction may allocate freely.
     let graphs: Vec<SequencingGraph> = [
         fixtures::example1().0,
@@ -74,19 +95,19 @@ fn steady_state_batch_reduction_does_not_allocate() {
     }
 
     // Steady state: many batch passes, zero heap allocations.
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut feasible = 0usize;
-    for _ in 0..100 {
-        for graph in &graphs {
-            scratch.run_into(graph, Strategy::Deterministic, &mut out);
-            feasible += usize::from(out.feasible);
+    let observed = measured_allocations(|| {
+        feasible = 0;
+        for _ in 0..100 {
+            for graph in &graphs {
+                scratch.run_into(graph, Strategy::Deterministic, &mut out);
+                feasible += usize::from(out.feasible);
+            }
         }
-    }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    });
 
     assert_eq!(
-        after - before,
-        0,
+        observed, 0,
         "steady-state reset_for + run_into loop must not allocate"
     );
     // The loop really did the work (example1 and the shared-escrow variant
@@ -94,23 +115,58 @@ fn steady_state_batch_reduction_does_not_allocate() {
     assert_eq!(feasible, 100);
 }
 
+/// The observability layer's disabled path (the default: no recorder
+/// installed, [`NoopRecorder`] semantics) must cost the hot path nothing:
+/// the `obs::enabled()` gate is one relaxed load, so the instrumented
+/// steady-state loop stays at zero heap allocations. Guards the tentpole
+/// claim that instrumentation is zero-cost when disabled.
+#[test]
+fn noop_recorder_keeps_instrumented_hot_path_allocation_free() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(
+        !trustseq_core::obs::enabled(),
+        "no recorder may be installed in the alloc test binary"
+    );
+    let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    scratch.run_into(&graph, Strategy::Deterministic, &mut out);
+
+    let observed = measured_allocations(|| {
+        for _ in 0..500 {
+            // Every iteration crosses the instrumentation sites in run_into
+            // (worklist tracking, end-of-run metric emission) with recording
+            // disabled — and the NoopRecorder itself is exercised directly.
+            scratch.run_into(&graph, Strategy::Deterministic, &mut out);
+            let noop = trustseq_core::NoopRecorder;
+            use trustseq_core::Recorder as _;
+            noop.counter("reduce.runs", 1);
+            noop.observe("reduce.worklist_peak", 1);
+        }
+    });
+    assert_eq!(
+        observed, 0,
+        "disabled observability must not allocate on the hot path"
+    );
+    assert!(out.feasible);
+}
+
 #[test]
 fn randomized_strategy_is_allocation_free_after_warm_up() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let graph = SequencingGraph::from_spec(&fixtures::figure7().0).unwrap();
     let mut scratch = ScratchReducer::new();
     let mut out = ReductionOutcome::default();
     for seed in 0..4 {
         scratch.run_into(&graph, Strategy::Randomized { seed }, &mut out);
     }
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for seed in 0..64 {
-        scratch.run_into(&graph, Strategy::Randomized { seed }, &mut out);
-    }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let observed = measured_allocations(|| {
+        for seed in 0..64 {
+            scratch.run_into(&graph, Strategy::Randomized { seed }, &mut out);
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
+        observed, 0,
         "randomized rescan loop must reuse the move buffer"
     );
 }

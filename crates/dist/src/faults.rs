@@ -57,6 +57,7 @@ pub struct FaultPlan {
     seed: u64,
     drop_per_mille: u16,
     dup_per_mille: u16,
+    corrupt_per_mille: u16,
     max_extra_delay: u64,
     crashes: BTreeMap<AgentId, Crash>,
     partitions: Vec<Partition>,
@@ -67,6 +68,7 @@ const STREAM_DROP: u64 = 0x1;
 const STREAM_DUP: u64 = 0x2;
 const STREAM_DELAY: u64 = 0x3;
 const STREAM_DUP_DELAY: u64 = 0x4;
+const STREAM_CORRUPT: u64 = 0x5;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -89,6 +91,7 @@ impl FaultPlan {
             seed,
             drop_per_mille: 0,
             dup_per_mille: 0,
+            corrupt_per_mille: 0,
             max_extra_delay: 0,
             crashes: BTreeMap::new(),
             partitions: Vec::new(),
@@ -108,6 +111,16 @@ impl FaultPlan {
     #[must_use]
     pub fn with_dup_per_mille(mut self, p: u16) -> Self {
         self.dup_per_mille = p.min(1000);
+        self
+    }
+
+    /// Sets the per-transmission frame-corruption probability, in
+    /// per-mille (clamped to 1000). A corrupted frame arrives truncated:
+    /// the receiver's codec rejects it with a typed error and the engine
+    /// treats it as a loss (retransmission absorbs it).
+    #[must_use]
+    pub fn with_corrupt_per_mille(mut self, p: u16) -> Self {
+        self.corrupt_per_mille = p.min(1000);
         self
     }
 
@@ -148,6 +161,11 @@ impl FaultPlan {
         self.dup_per_mille
     }
 
+    /// The per-transmission frame-corruption probability in per-mille.
+    pub fn corrupt_per_mille(&self) -> u16 {
+        self.corrupt_per_mille
+    }
+
     /// The maximum extra delivery delay in rounds.
     pub fn max_extra_delay(&self) -> u64 {
         self.max_extra_delay
@@ -168,6 +186,7 @@ impl FaultPlan {
     pub fn is_faultless(&self) -> bool {
         self.drop_per_mille == 0
             && self.dup_per_mille == 0
+            && self.corrupt_per_mille == 0
             && self.max_extra_delay == 0
             && self.crashes.is_empty()
             && self.partitions.is_empty()
@@ -190,6 +209,12 @@ impl FaultPlan {
     /// Whether transmission number `transmission` is duplicated.
     pub fn duplicates(&self, transmission: u64) -> bool {
         self.roll(transmission, STREAM_DUP) % 1000 < u64::from(self.dup_per_mille)
+    }
+
+    /// Whether transmission number `transmission` arrives corrupted
+    /// (truncated in flight; the receiver's codec will reject it).
+    pub fn corrupts(&self, transmission: u64) -> bool {
+        self.roll(transmission, STREAM_CORRUPT) % 1000 < u64::from(self.corrupt_per_mille)
     }
 
     /// The extra delivery delay (in rounds) of transmission `transmission`
@@ -250,7 +275,8 @@ impl Default for FaultPlan {
 
 /// Canonical text form, e.g.
 /// `seed=7;drop=100;dup=50;delay=2;crash=a3@4..9,a5@2..;cut=a1~a2@3..7`.
-/// Empty fault classes are omitted; [`FaultPlan::from_str`] parses it back
+/// Empty fault classes are omitted (`corrupt` included, so pre-corruption
+/// plan strings render unchanged); [`FaultPlan::from_str`] parses it back
 /// exactly (the round-trip is property-tested).
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -259,6 +285,9 @@ impl fmt::Display for FaultPlan {
             "seed={};drop={};dup={};delay={}",
             self.seed, self.drop_per_mille, self.dup_per_mille, self.max_extra_delay
         )?;
+        if self.corrupt_per_mille != 0 {
+            write!(f, ";corrupt={}", self.corrupt_per_mille)?;
+        }
         if !self.crashes.is_empty() {
             write!(f, ";crash=")?;
             for (i, (agent, crash)) in self.crashes.iter().enumerate() {
@@ -357,6 +386,11 @@ impl FromStr for FaultPlan {
                         .parse()
                         .map_err(|_| bad(value, "per-mille 0..=1000"))?
                 }
+                "corrupt" => {
+                    plan.corrupt_per_mille = value
+                        .parse()
+                        .map_err(|_| bad(value, "per-mille 0..=1000"))?
+                }
                 "delay" => {
                     plan.max_extra_delay = value.parse().map_err(|_| bad(value, "a round count"))?
                 }
@@ -393,7 +427,7 @@ impl FromStr for FaultPlan {
                         });
                     }
                 }
-                _ => return Err(bad(key, "seed, drop, dup, delay, crash or cut")),
+                _ => return Err(bad(key, "seed, drop, dup, corrupt, delay, crash or cut")),
             }
         }
         Ok(plan)
@@ -517,6 +551,31 @@ mod tests {
         // The trivial plan round-trips too.
         let plain = FaultPlan::none();
         assert_eq!(plain.to_string().parse::<FaultPlan>().unwrap(), plain);
+    }
+
+    #[test]
+    fn corruption_stream_is_seeded_and_round_trips() {
+        let plan = FaultPlan::seeded(11).with_corrupt_per_mille(250);
+        assert!(!plan.is_faultless());
+        let corrupted = (0..10_000u64).filter(|&t| plan.corrupts(t)).count();
+        assert!((2_100..2_900).contains(&corrupted), "{corrupted}");
+        assert_eq!(
+            corrupted,
+            (0..10_000u64).filter(|&t| plan.corrupts(t)).count()
+        );
+        // Independent of the drop stream.
+        let both = FaultPlan::seeded(11)
+            .with_drop_per_mille(500)
+            .with_corrupt_per_mille(500);
+        let overlap = (0..10_000u64)
+            .filter(|&t| both.drops(t) && both.corrupts(t))
+            .count();
+        assert!((2_000..3_000).contains(&overlap), "{overlap}");
+        // Wire round-trip, and omission when zero keeps old strings stable.
+        let text = plan.to_string();
+        assert_eq!(text, "seed=11;drop=0;dup=0;delay=0;corrupt=250");
+        assert_eq!(text.parse::<FaultPlan>().unwrap(), plan);
+        assert!(!FaultPlan::none().to_string().contains("corrupt"));
     }
 
     #[test]

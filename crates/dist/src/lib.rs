@@ -40,14 +40,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod codec;
 mod engine;
 pub mod faults;
+pub mod journal;
 mod node;
 mod resilient;
 pub mod transport;
 
+pub use codec::{CodecError, Packet};
 pub use engine::{DistOutcome, DistRemoval, DistributedReduction, WireError};
 pub use faults::{Crash, FaultPlan, FaultPlanParseError, Partition};
+pub use journal::{Journal, JournalError, JournalEvent, NoopObserver, RunObserver};
 pub use node::{Message, Node};
-pub use resilient::{DistVerdict, ResilientConfig, ResilientOutcome, UndecidedReason};
+pub use resilient::{
+    ConfigParseError, DistVerdict, ResilientConfig, ResilientOutcome, UndecidedReason,
+};
 pub use transport::{DelayTransport, FaultyTransport, Transport, TransportStats};

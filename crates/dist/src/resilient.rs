@@ -31,14 +31,16 @@
 //! [`DistributedReduction::run`] — same rounds, messages, removal trace
 //! and remaining set (asserted in the tests and the chaos harness).
 
+use crate::codec::Packet;
 use crate::engine::{DistOutcome, DistRemoval, DistributedReduction};
 use crate::faults::FaultPlan;
+use crate::journal::{JournalEvent, NoopObserver, RunObserver};
 use crate::node::{LocalRemoval, Message};
 use crate::transport::{FaultyTransport, Transport, TransportStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use trustseq_core::{CoreError, EdgeId};
+use trustseq_core::{obs, CoreError, EdgeId};
 use trustseq_model::{AgentId, ModelError};
 
 /// Tuning knobs for the resilient protocol.
@@ -63,6 +65,71 @@ impl Default for ResilientConfig {
             max_backoff: 32,
             max_rounds: 10_000,
         }
+    }
+}
+
+/// Why a [`ResilientConfig`] wire string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// The offending fragment.
+    pub fragment: String,
+    /// What was expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad resilient config fragment {:?}: expected {}",
+            self.fragment, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+impl ResilientConfig {
+    /// The canonical wire string, e.g.
+    /// `attempts=16;ack=2;backoff=32;rounds=10000` — embedded in journal
+    /// headers so a recorded run carries its own tuning.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "attempts={};ack={};backoff={};rounds={}",
+            self.max_attempts, self.ack_timeout, self.max_backoff, self.max_rounds
+        )
+    }
+
+    /// Parses a [`ResilientConfig::to_wire`] string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigParseError`] naming the first malformed fragment.
+    pub fn from_wire(s: &str) -> Result<Self, ConfigParseError> {
+        let bad = |fragment: &str, expected: &'static str| ConfigParseError {
+            fragment: fragment.to_string(),
+            expected,
+        };
+        let mut fields = s.split(';');
+        let mut field = |key: &'static str,
+                         expected: &'static str|
+         -> Result<usize, ConfigParseError> {
+            let field = fields.next().ok_or_else(|| bad("", expected))?;
+            match field.split_once('=') {
+                Some((k, v)) if k == key => v.parse().map_err(|_| bad(v, "a non-negative number")),
+                _ => Err(bad(field, expected)),
+            }
+        };
+        let config = ResilientConfig {
+            max_attempts: field("attempts", "attempts=<n>")?,
+            ack_timeout: field("ack", "ack=<n>")?,
+            max_backoff: field("backoff", "backoff=<n>")?,
+            max_rounds: field("rounds", "rounds=<n>")?,
+        };
+        if let Some(extra) = fields.next() {
+            return Err(bad(extra, "end of config"));
+        }
+        Ok(config)
     }
 }
 
@@ -145,6 +212,11 @@ pub struct ResilientOutcome {
     pub sync_requests: usize,
     /// Sync responses sent.
     pub sync_responses: usize,
+    /// Duplicate announcements recognised by sequence number and dropped.
+    pub dedup_drops: usize,
+    /// Frames that arrived mangled and were rejected by the codec (the
+    /// corruption fault class; absorbed like drops, never a panic).
+    pub decode_failures: usize,
     /// Every removal, in decision order.
     pub removals: Vec<DistRemoval>,
     /// Edges never removed.
@@ -171,28 +243,43 @@ impl fmt::Display for ResilientOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} in {} rounds, {} messages (+{} retries, {} relays, {} acks, {} removals, {} edges remain)",
+            "{} in {} rounds, {} messages (+{} retries, {} relays, {} acks, {} dup drops, {} bad frames, {} removals, {} edges remain)",
             self.verdict,
             self.rounds,
             self.messages,
             self.retransmissions,
             self.relays,
             self.acks,
+            self.dedup_drops,
+            self.decode_failures,
             self.removals.len(),
             self.remaining.len()
         )
     }
 }
 
-/// A resilient-protocol packet. `Data` carries the base protocol's
-/// removal announcement under a sequence number; the rest is the
-/// reliability machinery.
-#[derive(Debug, Clone)]
-enum Packet {
-    Data { seq: u64, msg: Message },
-    Ack { seq: u64 },
-    SyncReq { from: AgentId },
-    SyncResp { from: AgentId, dead: Vec<EdgeId> },
+/// Encodes `packet` and hands it to the faulty transport, applying the
+/// plan's corruption stream first: the transmission id the transport will
+/// assign to this send is its current `sent` count, so the corruption
+/// decision is keyed exactly like the drop/dup/delay decisions. A
+/// corrupted frame is truncated to half its length — the codec rejects it
+/// at the receiver with a typed error (or, for the rare truncation that is
+/// itself canonical, decodes a packet whose effects the verdict logic
+/// absorbs soundly).
+fn send_frame(
+    transport: &mut FaultyTransport<String>,
+    plan: &FaultPlan,
+    round: usize,
+    from: AgentId,
+    to: AgentId,
+    packet: &Packet,
+) {
+    let tid = transport.stats().sent as u64;
+    let mut frame = packet.to_wire();
+    if plan.corrupts(tid) {
+        frame.truncate(frame.len() / 2);
+    }
+    transport.send(round, from, to, frame);
 }
 
 /// Sender-side state of one reliable announcement. Survives its sender's
@@ -221,9 +308,29 @@ impl DistributedReduction {
     /// Rejects a plan that names an agent with no node in this reduction
     /// (`CoreError::Model(ModelError::UnknownAgent)`).
     pub fn run_resilient(
+        self,
+        plan: &FaultPlan,
+        config: &ResilientConfig,
+    ) -> Result<ResilientOutcome, CoreError> {
+        self.run_resilient_observed(plan, config, &mut NoopObserver)
+    }
+
+    /// [`run_resilient`](DistributedReduction::run_resilient) with an
+    /// observer receiving the run's decision timeline as
+    /// [`JournalEvent`]s, in deterministic engine order — the engine does
+    /// not emit the `run_start` header (it does not know the spec source);
+    /// callers recording a replayable journal prepend one via
+    /// [`JournalEvent::run_start`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a plan that names an agent with no node in this reduction
+    /// (`CoreError::Model(ModelError::UnknownAgent)`).
+    pub fn run_resilient_observed(
         mut self,
         plan: &FaultPlan,
         config: &ResilientConfig,
+        observer: &mut dyn RunObserver,
     ) -> Result<ResilientOutcome, CoreError> {
         for agent in plan.named_agents() {
             if !self.nodes.contains_key(&agent) {
@@ -251,7 +358,14 @@ impl DistributedReduction {
         }
 
         let initial_nodes = self.nodes.clone();
-        let mut transport: FaultyTransport<Packet> = FaultyTransport::new(plan.clone());
+        // Traffic crosses the network as wire frames, not structs: the
+        // corruption fault class needs real bytes to mangle, and the codec
+        // turns a mangled frame into a typed decode failure at delivery.
+        let mut transport: FaultyTransport<String> = FaultyTransport::new(plan.clone());
+        // Rounds are the engine's virtual time; when a recorder is
+        // installed the whole run is one virtual-clock span.
+        let clock = obs::VirtualClock::new();
+        let run_span = obs::enabled().then(|| obs::Span::virtual_at(&clock));
         let mut pendings: Vec<Pending> = Vec::new();
         let mut seen: BTreeMap<AgentId, BTreeSet<u64>> = BTreeMap::new();
         let mut subscribers: BTreeMap<AgentId, BTreeSet<AgentId>> = BTreeMap::new();
@@ -266,6 +380,8 @@ impl DistributedReduction {
         let mut acks = 0usize;
         let mut sync_requests = 0usize;
         let mut sync_responses = 0usize;
+        let mut dedup_drops = 0usize;
+        let mut decode_failures = 0usize;
         let mut rounds = 0usize;
 
         let ack_timeout = config.ack_timeout.max(1);
@@ -302,19 +418,69 @@ impl DistributedReduction {
                     self.nodes.insert(agent, init.clone());
                 }
                 seen.remove(&agent);
+                observer.record(JournalEvent::Restart {
+                    round: rounds,
+                    node: agent,
+                });
                 for nb in neighbours.get(&agent).into_iter().flatten() {
-                    transport.send(rounds, agent, *nb, Packet::SyncReq { from: agent });
+                    send_frame(
+                        &mut transport,
+                        plan,
+                        rounds,
+                        agent,
+                        *nb,
+                        &Packet::SyncReq { from: agent },
+                    );
                     sync_requests += 1;
                     syncs.insert((agent, *nb), (1, rounds + ack_timeout));
+                    observer.record(JournalEvent::SyncReq {
+                        round: rounds,
+                        from: agent,
+                        to: *nb,
+                    });
+                }
+            }
+
+            // Partitions heal at their `until_round` (the first round the
+            // link carries traffic again) — worth a timeline entry because
+            // healings gate when sync retries can finally land.
+            for p in plan.partitions() {
+                if p.until_round == rounds && p.from_round < p.until_round {
+                    observer.record(JournalEvent::PartitionHeal {
+                        round: rounds,
+                        a: p.a,
+                        b: p.b,
+                    });
                 }
             }
 
             // 2. Deliveries, in arrival order. The transport already loses
-            //    packets addressed to down nodes.
-            for (to, packet) in transport.deliver(rounds) {
+            //    packets addressed to down nodes; a frame the corruption
+            //    stream mangled dies here as a typed decode failure and is
+            //    absorbed by the retransmission machinery like a drop.
+            for (to, frame) in transport.deliver(rounds) {
+                let packet = match Packet::from_wire(&frame) {
+                    Ok(packet) => packet,
+                    Err(_) => {
+                        decode_failures += 1;
+                        observer.record(JournalEvent::DecodeFailure {
+                            round: rounds,
+                            node: to,
+                        });
+                        continue;
+                    }
+                };
                 match packet {
                     Packet::Data { seq, msg } => {
                         let first_sight = seen.entry(to).or_default().insert(seq);
+                        if !first_sight {
+                            dedup_drops += 1;
+                            observer.record(JournalEvent::DedupDrop {
+                                round: rounds,
+                                node: to,
+                                seq,
+                            });
+                        }
                         if first_sight {
                             if let Some(node) = self.nodes.get_mut(&to) {
                                 node.observe(msg);
@@ -345,11 +511,13 @@ impl DistributedReduction {
                                     delivered: false,
                                     abandoned: false,
                                 });
-                                transport.send(
+                                send_frame(
+                                    &mut transport,
+                                    plan,
                                     rounds,
                                     to,
                                     sub,
-                                    Packet::Data {
+                                    &Packet::Data {
                                         seq: seq2,
                                         msg: relay,
                                     },
@@ -362,7 +530,14 @@ impl DistributedReduction {
                         if let Some(p) = pendings.get_mut(seq as usize) {
                             p.delivered = true;
                             let ack_to = p.from;
-                            transport.send(rounds, to, ack_to, Packet::Ack { seq });
+                            send_frame(
+                                &mut transport,
+                                plan,
+                                rounds,
+                                to,
+                                ack_to,
+                                &Packet::Ack { seq },
+                            );
                             acks += 1;
                         }
                     }
@@ -379,10 +554,23 @@ impl DistributedReduction {
                             .get(&to)
                             .map(|n| n.dead_edges())
                             .unwrap_or_default();
-                        transport.send(rounds, to, from, Packet::SyncResp { from: to, dead });
+                        send_frame(
+                            &mut transport,
+                            plan,
+                            rounds,
+                            to,
+                            from,
+                            &Packet::SyncResp { from: to, dead },
+                        );
                         sync_responses += 1;
                     }
                     Packet::SyncResp { from, dead } => {
+                        observer.record(JournalEvent::SyncResp {
+                            round: rounds,
+                            from,
+                            to,
+                            dead: dead.len(),
+                        });
                         if let Some(node) = self.nodes.get_mut(&to) {
                             for edge in dead {
                                 node.observe(Message { from, edge });
@@ -402,11 +590,13 @@ impl DistributedReduction {
                 if p.attempts >= max_attempts {
                     p.abandoned = true;
                 } else {
-                    transport.send(
+                    send_frame(
+                        &mut transport,
+                        plan,
                         rounds,
                         p.from,
                         p.to,
-                        Packet::Data {
+                        &Packet::Data {
                             seq: i as u64,
                             msg: p.msg,
                         },
@@ -414,6 +604,13 @@ impl DistributedReduction {
                     p.attempts += 1;
                     p.next_retry = rounds + backoff(p.attempts);
                     retransmissions += 1;
+                    observer.record(JournalEvent::Retransmit {
+                        round: rounds,
+                        from: p.from,
+                        to: p.to,
+                        edge: p.msg.edge,
+                        attempt: p.attempts,
+                    });
                 }
             }
 
@@ -426,15 +623,22 @@ impl DistributedReduction {
                 if *attempts >= max_attempts {
                     abandoned_syncs.push((*requester, *nb));
                 } else {
-                    transport.send(
+                    send_frame(
+                        &mut transport,
+                        plan,
                         rounds,
                         *requester,
                         *nb,
-                        Packet::SyncReq { from: *requester },
+                        &Packet::SyncReq { from: *requester },
                     );
                     *attempts += 1;
                     *next_retry = rounds + backoff(*attempts);
                     sync_requests += 1;
+                    observer.record(JournalEvent::SyncReq {
+                        round: rounds,
+                        from: *requester,
+                        to: *nb,
+                    });
                 }
             }
             for key in abandoned_syncs {
@@ -498,6 +702,12 @@ impl DistributedReduction {
                     rule: removal.rule,
                     round: rounds,
                 });
+                observer.record(JournalEvent::Removal {
+                    round: rounds,
+                    decider,
+                    edge: removal.edge,
+                    rule: removal.rule,
+                });
                 if let Some(node) = self.nodes.get_mut(&decider) {
                     node.record_own_removal(removal.edge);
                 }
@@ -517,7 +727,14 @@ impl DistributedReduction {
                         delivered: false,
                         abandoned: false,
                     });
-                    transport.send(rounds, decider, target, Packet::Data { seq, msg });
+                    send_frame(
+                        &mut transport,
+                        plan,
+                        rounds,
+                        decider,
+                        target,
+                        &Packet::Data { seq, msg },
+                    );
                     messages += 1;
                 }
             }
@@ -555,6 +772,46 @@ impl DistributedReduction {
             DistVerdict::Infeasible
         };
 
+        // Per-node epilogue: each surviving view's final state, in agent
+        // order — the journal's per-node verdict lines.
+        for (agent, node) in &self.nodes {
+            let live = node.live_edge_ids().count();
+            observer.record(JournalEvent::NodeView {
+                node: *agent,
+                live,
+                decided_feasible: live == 0,
+            });
+        }
+        observer.record(JournalEvent::Verdict {
+            verdict: verdict.to_string(),
+            rounds,
+            messages,
+            retransmissions,
+            dedup_drops,
+            decode_failures,
+        });
+
+        if let Some(span) = run_span {
+            clock.set(rounds as u64);
+            span.finish("dist.rounds", Some(&clock));
+            obs::with(|r| {
+                r.counter("dist.runs", 1);
+                r.counter("dist.messages", messages as u64);
+                r.counter("dist.retransmissions", retransmissions as u64);
+                r.counter("dist.relays", relays as u64);
+                r.counter("dist.dedup_drops", dedup_drops as u64);
+                r.counter("dist.decode_failures", decode_failures as u64);
+                r.counter(
+                    match verdict {
+                        DistVerdict::Feasible => "dist.verdict.feasible",
+                        DistVerdict::Infeasible => "dist.verdict.infeasible",
+                        DistVerdict::Undecided(_) => "dist.verdict.undecided",
+                    },
+                    1,
+                );
+            });
+        }
+
         Ok(ResilientOutcome {
             verdict,
             rounds,
@@ -564,6 +821,8 @@ impl DistributedReduction {
             acks,
             sync_requests,
             sync_responses,
+            dedup_drops,
+            decode_failures,
             removals,
             remaining,
             transport: transport.stats(),
@@ -598,6 +857,124 @@ mod tests {
             assert_eq!(resilient.retransmissions, 0, "{name}");
             assert_eq!(resilient.relays, 0, "{name}");
             assert_eq!(resilient.sync_requests, 0, "{name}");
+            assert_eq!(resilient.dedup_drops, 0, "{name}");
+            assert_eq!(resilient.decode_failures, 0, "{name}");
+        }
+    }
+
+    /// The corruption satellite: frames mangled in flight are typed decode
+    /// failures the retry machinery absorbs — never a panic, and any
+    /// decided verdict still matches the centralised reducer.
+    #[test]
+    fn corrupted_network_never_panics_or_decides_wrongly() {
+        let mut saw_decode_failure = false;
+        for (name, spec) in fixture_specs() {
+            let central = analyze(&spec).unwrap().feasible;
+            for seed in 0..20 {
+                let plan = FaultPlan::seeded(seed)
+                    .with_corrupt_per_mille(250)
+                    .with_drop_per_mille(100)
+                    .with_max_extra_delay(2);
+                let out = DistributedReduction::new(&spec)
+                    .unwrap()
+                    .run_resilient(&plan, &ResilientConfig::default())
+                    .unwrap();
+                saw_decode_failure |= out.decode_failures > 0;
+                if let Some(decided) = out.verdict.decided() {
+                    assert_eq!(decided, central, "{name} seed {seed}: {out}");
+                }
+            }
+        }
+        assert!(
+            saw_decode_failure,
+            "80 corrupting runs without a single decode failure"
+        );
+    }
+
+    /// A duplicated announcement is recognised by its sequence number and
+    /// shows up in the dedup accounting.
+    #[test]
+    fn duplicates_are_deduplicated_and_counted() {
+        let (spec, _) = fixtures::figure7();
+        let mut saw_dedup = false;
+        for seed in 0..10 {
+            let plan = FaultPlan::seeded(seed).with_dup_per_mille(500);
+            let out = DistributedReduction::new(&spec)
+                .unwrap()
+                .run_resilient(&plan, &ResilientConfig::default())
+                .unwrap();
+            saw_dedup |= out.dedup_drops > 0;
+        }
+        assert!(saw_dedup, "10 duplicating runs without a dedup drop");
+    }
+
+    /// The journal is a pure function of (spec, plan, config): recording
+    /// the same run twice yields byte-identical JSONL, and its verdict
+    /// line carries the outcome's accounting.
+    #[test]
+    fn journal_is_deterministic_and_matches_the_outcome() {
+        use crate::journal::Journal;
+        for (name, spec) in fixture_specs() {
+            let plan = FaultPlan::seeded(5)
+                .with_drop_per_mille(200)
+                .with_dup_per_mille(100)
+                .with_corrupt_per_mille(100)
+                .with_max_extra_delay(2);
+            let config = ResilientConfig::default();
+            let mut first = Journal::new();
+            let out1 = DistributedReduction::new(&spec)
+                .unwrap()
+                .run_resilient_observed(&plan, &config, &mut first)
+                .unwrap();
+            let mut second = Journal::new();
+            let out2 = DistributedReduction::new(&spec)
+                .unwrap()
+                .run_resilient_observed(&plan, &config, &mut second)
+                .unwrap();
+            assert_eq!(first, second, "{name}: journal must be replayable");
+            assert_eq!(out1, out2, "{name}");
+            match first.events().unwrap().pop().unwrap() {
+                JournalEvent::Verdict {
+                    verdict,
+                    rounds,
+                    retransmissions,
+                    dedup_drops,
+                    decode_failures,
+                    ..
+                } => {
+                    assert_eq!(verdict, out1.verdict.to_string(), "{name}");
+                    assert_eq!(rounds, out1.rounds, "{name}");
+                    assert_eq!(retransmissions, out1.retransmissions, "{name}");
+                    assert_eq!(dedup_drops, out1.dedup_drops, "{name}");
+                    assert_eq!(decode_failures, out1.decode_failures, "{name}");
+                }
+                other => panic!("{name}: last journal event {other:?}"),
+            }
+            // The removal timeline mirrors the outcome's removal list.
+            let journal_removals = first
+                .events()
+                .unwrap()
+                .into_iter()
+                .filter(|e| matches!(e, JournalEvent::Removal { .. }))
+                .count();
+            assert_eq!(journal_removals, out1.removals.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn config_wire_string_round_trips() {
+        let config = ResilientConfig::default();
+        let wire = config.to_wire();
+        assert_eq!(wire, "attempts=16;ack=2;backoff=32;rounds=10000");
+        assert_eq!(ResilientConfig::from_wire(&wire).unwrap(), config);
+        for bad in [
+            "",
+            "attempts=16",
+            "attempts=x;ack=2;backoff=32;rounds=1",
+            "ack=2;attempts=16;backoff=32;rounds=1",
+            "attempts=16;ack=2;backoff=32;rounds=1;extra=1",
+        ] {
+            assert!(ResilientConfig::from_wire(bad).is_err(), "{bad:?}");
         }
     }
 

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use trustseq_core::{analyze, EdgeId};
+use trustseq_core::{analyze, obs, EdgeId};
 use trustseq_dist::{Crash, DistributedReduction, FaultPlan, ResilientConfig};
 use trustseq_model::ExchangeSpec;
 
@@ -36,6 +36,10 @@ pub struct ChaosMatrix {
     pub seeds_per_cell: u64,
     /// Duplication probability (per-mille) applied to every lossy cell.
     pub dup_per_mille: u16,
+    /// Frame-corruption probability (per-mille) applied to every lossy
+    /// cell — corrupted frames must die as typed decode failures, never
+    /// panics or wrong verdicts.
+    pub corrupt_per_mille: u16,
     /// Maximum extra delivery delay (rounds) in lossy cells — exercises
     /// reordering.
     pub max_extra_delay: u64,
@@ -54,6 +58,7 @@ impl Default for ChaosMatrix {
             drop_per_mille: vec![0, 100, 300],
             seeds_per_cell: 50,
             dup_per_mille: 50,
+            corrupt_per_mille: 50,
             max_extra_delay: 2,
             with_crashes: true,
             config: ResilientConfig::default(),
@@ -92,6 +97,11 @@ pub struct ChaosReport {
     pub baseline_divergences: usize,
     /// Total retransmissions across all runs.
     pub retransmissions: usize,
+    /// Total frames rejected by the codec across all runs (the corruption
+    /// fault class surfacing as typed decode failures).
+    pub decode_failures: usize,
+    /// Total duplicate announcements dropped by sequence-number dedup.
+    pub dedup_drops: usize,
     /// Total first-transmission announcements across all runs.
     pub messages: usize,
     /// The longest run, in rounds.
@@ -114,6 +124,8 @@ impl ChaosReport {
         self.removal_set_mismatches += other.removal_set_mismatches;
         self.baseline_divergences += other.baseline_divergences;
         self.retransmissions += other.retransmissions;
+        self.decode_failures += other.decode_failures;
+        self.dedup_drops += other.dedup_drops;
         self.messages += other.messages;
         self.max_rounds_seen = self.max_rounds_seen.max(other.max_rounds_seen);
     }
@@ -123,13 +135,16 @@ impl fmt::Display for ChaosReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} chaos runs: {} decided, {} undecided, {} retransmissions \
+            "{} chaos runs: {} decided, {} undecided, {} retransmissions, \
+             {} bad frames, {} dup drops \
              ({} verdict / {} removal-set mismatches, {} baseline divergences, \
              longest run {} rounds)",
             self.runs,
             self.decided,
             self.undecided,
             self.retransmissions,
+            self.decode_failures,
+            self.dedup_drops,
             self.verdict_mismatches,
             self.removal_set_mismatches,
             self.baseline_divergences,
@@ -182,6 +197,7 @@ pub fn chaos_sweep_cached(
             plan = plan
                 .with_drop_per_mille(drop)
                 .with_dup_per_mille(matrix.dup_per_mille)
+                .with_corrupt_per_mille(matrix.corrupt_per_mille)
                 .with_max_extra_delay(matrix.max_extra_delay);
             if matrix.with_crashes && seed.is_multiple_of(3) && !participants.is_empty() {
                 let victim = participants[(seed as usize / 3) % participants.len()];
@@ -199,6 +215,8 @@ pub fn chaos_sweep_cached(
         let mut cell = ChaosReport {
             runs: 1,
             retransmissions: out.retransmissions,
+            decode_failures: out.decode_failures,
+            dedup_drops: out.dedup_drops,
             messages: out.messages,
             max_rounds_seen: out.rounds,
             ..ChaosReport::default()
@@ -249,6 +267,17 @@ pub fn chaos_sweep_cached(
         let cell = slot.into_inner().expect("every cell was claimed")?;
         report.absorb(&cell);
     }
+    // Aggregate after the merge so the emission order is deterministic
+    // regardless of how the pool interleaved the cells.
+    obs::with(|r| {
+        r.counter("chaos.cells", report.runs as u64);
+        r.counter("chaos.decided", report.decided as u64);
+        r.counter("chaos.undecided", report.undecided as u64);
+        r.counter("chaos.retransmissions", report.retransmissions as u64);
+        r.counter("chaos.decode_failures", report.decode_failures as u64);
+        r.counter("chaos.dedup_drops", report.dedup_drops as u64);
+        r.observe("chaos.rounds_longest", report.max_rounds_seen as u64);
+    });
     Ok(report)
 }
 
@@ -312,6 +341,18 @@ mod tests {
         let (spec, _) = fixtures::example1();
         let report = chaos_sweep(&spec, &ChaosMatrix::quick()).unwrap();
         assert!(report.retransmissions > 0, "{report}");
+    }
+
+    #[test]
+    fn corrupting_cells_surface_decode_failures_without_violations() {
+        let (spec, _) = fixtures::figure7();
+        let matrix = ChaosMatrix {
+            corrupt_per_mille: 300,
+            ..ChaosMatrix::quick()
+        };
+        let report = chaos_sweep(&spec, &matrix).unwrap();
+        assert!(report.clean(), "{report}");
+        assert!(report.decode_failures > 0, "{report}");
     }
 
     #[test]

@@ -7,7 +7,11 @@
 use std::fmt::Write as _;
 use trustseq_baselines::cost_of_mistrust;
 use trustseq_core::indemnity::{make_feasible_cached, IndemnityPlan};
+use trustseq_core::obs::{self, MetricsRegistry};
 use trustseq_core::{dot, Protocol, SequencingGraph};
+use trustseq_dist::{
+    DistributedReduction, FaultPlan, Journal, JournalEvent, ResilientConfig, RunObserver as _,
+};
 use trustseq_lang::parse_spec;
 use trustseq_model::ExchangeSpec;
 use trustseq_sim::BehaviorMap;
@@ -81,27 +85,40 @@ pub const USAGE: &str = "\
 trustseq — trust-explicit distributed commerce transactions (ICDCS 1996)
 
 USAGE:
-    trustseq <COMMAND> [--extended] [--cache-stats] [--threads N] <SPEC.tseq>
+    trustseq <COMMAND> [OPTIONS] <SPEC.tseq>
+    trustseq dist [--faults PLAN] [--journal PATH] [OPTIONS] <SPEC.tseq>
+    trustseq journal-replay [OPTIONS] <JOURNAL.jsonl>
 
 OPTIONS:
-    --extended     enable the \u{a7}9 shared-escrow delegation semantics
-                   (multi-party trusted agents)
-    --cache-stats  route feasibility analyses through a memoized
-                   analysis cache and print its hit/miss statistics
-    --threads N    worker threads for sweep fan-out (defection sweeps,
-                   batch analysis); defaults to the machine's available
-                   parallelism
+    --extended        enable the \u{a7}9 shared-escrow delegation semantics
+                      (multi-party trusted agents)
+    --cache-stats     route feasibility analyses through a memoized
+                      analysis cache and print its hit/miss statistics
+    --threads N       worker threads for sweep fan-out (defection sweeps,
+                      batch analysis); defaults to the machine's available
+                      parallelism
+    --metrics         record structured runtime metrics (reducer, cache,
+                      pool, distributed protocol) and print them afterwards
+    --metrics-format  `table` (default) or `json`; implies --metrics
+    --faults PLAN     fault-plan wire string for `dist`, e.g.
+                      \"seed=7;drop=200;dup=50;delay=2;corrupt=50\"
+    --journal PATH    with `dist`: write the run's replayable JSONL event
+                      journal to PATH
 
 COMMANDS:
-    check      decide feasibility (sequencing-graph reduction, §4)
-    sequence   print the synthesised execution sequence (§5)
-    protocol   print per-agent protocol instructions
-    dot        print Graphviz DOT for the interaction and sequencing graphs
-    simulate   run the protocol honestly, then sweep every defection pattern
-    cost       print the §8 cost-of-mistrust table
-    indemnify  plan minimal indemnities that make the exchange feasible (§6)
-    advise     list every unlocking option: trust edges (§4.2.3),
-               indemnities (§6), shared-escrow delegation (§9)
+    check           decide feasibility (sequencing-graph reduction, §4)
+    sequence        print the synthesised execution sequence (§5)
+    protocol        print per-agent protocol instructions
+    dot             print Graphviz DOT for the interaction and sequencing graphs
+    simulate        run the protocol honestly, then sweep every defection pattern
+    cost            print the §8 cost-of-mistrust table
+    indemnify       plan minimal indemnities that make the exchange feasible (§6)
+    advise          list every unlocking option: trust edges (§4.2.3),
+                    indemnities (§6), shared-escrow delegation (§9)
+    dist            run the fault-tolerant distributed reduction (§9) under a
+                    seeded fault plan; optionally record an event journal
+    journal-replay  re-run a recorded journal and verify it reproduces
+                    byte-for-byte, then re-check the verdict centrally
 ";
 
 /// Runs a command against specification source text, returning the output.
@@ -298,6 +315,186 @@ pub fn run_on_spec_cached(
     Ok(out)
 }
 
+/// Runs the fault-tolerant distributed reduction over `source` under
+/// `plan` and `config`. Returns the human-readable report and, when
+/// `with_journal`, the replayable JSONL event journal (a `run_start`
+/// header carrying the plan, config, build semantics and spec source,
+/// followed by the per-node decision timeline).
+///
+/// # Errors
+///
+/// Parse failures, plans naming unknown agents, or engine errors, as
+/// human-readable strings.
+pub fn run_dist(
+    source: &str,
+    options: trustseq_core::BuildOptions,
+    plan: &FaultPlan,
+    config: &ResilientConfig,
+    with_journal: bool,
+) -> Result<(String, Option<String>), String> {
+    let spec = parse_spec(source).map_err(|e| format!("parse error: {e}"))?;
+    let reduction =
+        DistributedReduction::with_options(&spec, options).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    if with_journal {
+        let mut journal = Journal::new();
+        journal.record(JournalEvent::run_start(
+            plan.to_string(),
+            config.to_wire(),
+            options == trustseq_core::BuildOptions::EXTENDED,
+            source.to_owned(),
+        ));
+        let outcome = reduction
+            .run_resilient_observed(plan, config, &mut journal)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "{outcome}");
+        let _ = writeln!(out, "journal: {} events", journal.lines().len());
+        Ok((out, Some(journal.to_text())))
+    } else {
+        let outcome = reduction
+            .run_resilient(plan, config)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "{outcome}");
+        Ok((out, None))
+    }
+}
+
+/// Replays a recorded JSONL event journal: re-runs the header's spec under
+/// the header's fault plan and config, verifies every event line
+/// reproduces byte-for-byte (the fault plan is a pure function of its
+/// seed, so any divergence means the journal is stale or tampered), and
+/// re-checks the recorded verdict against the centralised reducer.
+///
+/// # Errors
+///
+/// Malformed journals, replay divergence, or a decided verdict
+/// contradicting the centralised reduction.
+pub fn run_journal_replay(journal_text: &str) -> Result<String, String> {
+    let recorded = Journal::from_text(journal_text).map_err(|e| format!("bad journal: {e}"))?;
+    let (plan_str, config_str, extended, spec_src) =
+        recorded.header().map_err(|e| format!("bad journal: {e}"))?;
+    let plan: FaultPlan = plan_str
+        .parse()
+        .map_err(|e| format!("bad journal fault plan: {e}"))?;
+    let config =
+        ResilientConfig::from_wire(&config_str).map_err(|e| format!("bad journal config: {e}"))?;
+    let options = if extended {
+        trustseq_core::BuildOptions::EXTENDED
+    } else {
+        trustseq_core::BuildOptions::PAPER
+    };
+    let spec = parse_spec(&spec_src).map_err(|e| format!("bad journal spec: {e}"))?;
+
+    let mut replay = Journal::new();
+    replay.record(JournalEvent::run_start(
+        plan_str, config_str, extended, spec_src,
+    ));
+    let outcome = DistributedReduction::with_options(&spec, options)
+        .map_err(|e| e.to_string())?
+        .run_resilient_observed(&plan, &config, &mut replay)
+        .map_err(|e| e.to_string())?;
+
+    if recorded.lines() != replay.lines() {
+        let diverged = recorded
+            .lines()
+            .iter()
+            .zip(replay.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| recorded.lines().len().min(replay.lines().len()));
+        return Err(format!(
+            "replay diverged from the recorded journal at line {} (recorded {} lines, replay {}):\n  recorded: {}\n  replayed: {}",
+            diverged + 1,
+            recorded.lines().len(),
+            replay.lines().len(),
+            recorded.lines().get(diverged).map_or("<missing>", |l| l),
+            replay.lines().get(diverged).map_or("<missing>", |l| l),
+        ));
+    }
+
+    let central = trustseq_core::analyze_with(&spec, options).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replay OK: {} events reproduced byte-for-byte",
+        replay.lines().len()
+    );
+    let _ = writeln!(out, "{outcome}");
+    match outcome.verdict.decided() {
+        Some(feasible) if feasible == central.feasible => {
+            let _ = writeln!(
+                out,
+                "verdict agrees with the centralised reducer ({})",
+                if central.feasible {
+                    "feasible"
+                } else {
+                    "infeasible"
+                }
+            );
+        }
+        Some(_) => {
+            return Err(format!(
+                "recorded verdict `{}` contradicts the centralised reducer",
+                outcome.verdict
+            ))
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "run degraded to `{}`; centralised reducer says {}",
+                outcome.verdict,
+                if central.feasible {
+                    "feasible"
+                } else {
+                    "infeasible"
+                }
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// How `--metrics` renders the recorded snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Human-readable aligned table.
+    #[default]
+    Table,
+    /// One flat JSON object.
+    Json,
+}
+
+/// Runs `body` with a process-wide [`MetricsRegistry`] installed (when
+/// `enable`) and appends the rendered snapshot to its output. The registry
+/// is a single static so repeated invocations reuse it; it is reset on
+/// entry and uninstalled on exit.
+fn with_metrics(
+    enable: bool,
+    format: MetricsFormat,
+    body: impl FnOnce() -> Result<String, String>,
+) -> Result<String, String> {
+    if !enable {
+        return body();
+    }
+    static METRICS: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    let registry = METRICS.get_or_init(MetricsRegistry::new);
+    registry.reset();
+    obs::install(registry);
+    let result = body();
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let mut out = result?;
+    match format {
+        MetricsFormat::Table => {
+            let _ = writeln!(out, "metrics:");
+            out.push_str(&snapshot.render_table());
+        }
+        MetricsFormat::Json => {
+            let _ = writeln!(out, "{}", snapshot.render_json());
+        }
+    }
+    Ok(out)
+}
+
 /// Entry point used by `main.rs`: parses argv, reads the file, dispatches.
 ///
 /// # Errors
@@ -306,19 +503,62 @@ pub fn run_on_spec_cached(
 pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut options = trustseq_core::BuildOptions::PAPER;
     let mut cache_stats = false;
+    let mut metrics = false;
+    let mut metrics_format = MetricsFormat::Table;
+    let mut journal_path: Option<String> = None;
+    let mut faults: Option<String> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--extended" => options = trustseq_core::BuildOptions::EXTENDED,
             "--cache-stats" => cache_stats = true,
+            "--metrics" => metrics = true,
+            "--metrics-format" => {
+                let fmt = iter.next().ok_or_else(|| {
+                    format!("`--metrics-format` expects `table` or `json`\n\n{USAGE}")
+                })?;
+                metrics_format = match fmt.as_str() {
+                    "table" => MetricsFormat::Table,
+                    "json" => MetricsFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "`--metrics-format` expects `table` or `json`, got `{other}`\n\n{USAGE}"
+                        ))
+                    }
+                };
+                metrics = true;
+            }
+            "--journal" => {
+                journal_path = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("`--journal` expects a file path\n\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            "--faults" => {
+                faults = Some(
+                    iter.next()
+                        .ok_or_else(|| {
+                            format!("`--faults` expects a fault-plan wire string\n\n{USAGE}")
+                        })?
+                        .clone(),
+                );
+            }
             "--threads" => {
-                let n = iter
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
+                let raw = iter.next().ok_or_else(|| {
+                    format!("`--threads` expects a positive thread count\n\n{USAGE}")
+                })?;
+                let n = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=trustseq_core::pool::MAX_WIDTH).contains(&n))
                     .ok_or_else(|| {
-                        format!("`--threads` expects a positive thread count\n\n{USAGE}")
+                        format!(
+                            "`--threads` expects a thread count between 1 and {} (got `{raw}`); \
+                             omit the flag to use the machine's available parallelism\n\n{USAGE}",
+                            trustseq_core::pool::MAX_WIDTH
+                        )
                     })?;
                 trustseq_core::pool::set_size(n);
             }
@@ -332,17 +572,51 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
         [c, p] => (*c, *p),
         _ => return Err(USAGE.to_owned()),
     };
+
+    if cmd_name == "journal-replay" {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        return with_metrics(metrics, metrics_format, || run_journal_replay(&text));
+    }
+
+    if cmd_name == "dist" {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let plan = match &faults {
+            Some(wire) => wire
+                .parse::<FaultPlan>()
+                .map_err(|e| format!("bad `--faults` plan: {e}\n\n{USAGE}"))?,
+            None => FaultPlan::none(),
+        };
+        let config = ResilientConfig::default();
+        return with_metrics(metrics, metrics_format, || {
+            let (out, journal) =
+                run_dist(&source, options, &plan, &config, journal_path.is_some())?;
+            if let (Some(path), Some(text)) = (&journal_path, journal) {
+                std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+            Ok(out)
+        });
+    }
+
+    if journal_path.is_some() || faults.is_some() {
+        return Err(format!(
+            "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
+        ));
+    }
     let command = Command::parse(cmd_name)
         .ok_or_else(|| format!("unknown command `{cmd_name}`\n\n{USAGE}"))?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    if cache_stats {
-        let cache = trustseq_core::AnalysisCache::new();
-        let mut out = run_with_cache(command, &source, options, &cache)?;
-        let _ = writeln!(out, "cache: {}", cache.stats());
-        Ok(out)
-    } else {
-        run_with(command, &source, options)
-    }
+    with_metrics(metrics, metrics_format, || {
+        if cache_stats {
+            let cache = trustseq_core::AnalysisCache::new();
+            let mut out = run_with_cache(command.clone(), &source, options, &cache)?;
+            let _ = writeln!(out, "cache: {}", cache.stats());
+            Ok(out)
+        } else {
+            run_with(command.clone(), &source, options)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -494,6 +768,105 @@ mod tests {
     }
 
     #[test]
+    fn dist_runs_and_journal_replays() {
+        let plan = FaultPlan::seeded(7)
+            .with_drop_per_mille(200)
+            .with_dup_per_mille(100)
+            .with_corrupt_per_mille(100)
+            .with_max_extra_delay(2);
+        let config = ResilientConfig::default();
+        let (out, journal) = run_dist(
+            EXAMPLE1,
+            trustseq_core::BuildOptions::PAPER,
+            &plan,
+            &config,
+            true,
+        )
+        .unwrap();
+        assert!(out.contains("feasible"), "{out}");
+        assert!(out.contains("journal:"), "{out}");
+        let journal = journal.unwrap();
+        assert!(journal.starts_with("{\"type\":\"run_start\""), "{journal}");
+
+        let replay = run_journal_replay(&journal).unwrap();
+        assert!(replay.contains("replay OK"), "{replay}");
+        assert!(
+            replay.contains("agrees with the centralised reducer"),
+            "{replay}"
+        );
+    }
+
+    #[test]
+    fn tampered_journals_fail_replay() {
+        let (_, journal) = run_dist(
+            EXAMPLE1,
+            trustseq_core::BuildOptions::PAPER,
+            &FaultPlan::seeded(3).with_drop_per_mille(200),
+            &ResilientConfig::default(),
+            true,
+        )
+        .unwrap();
+        let journal = journal.unwrap();
+        // Re-date one removal: still valid JSON, but not what the seeded
+        // re-run produces.
+        let tampered = journal.replacen(
+            "\"type\":\"removal\",\"round\":",
+            "\"type\":\"removal\",\"round\":9",
+            1,
+        );
+        assert_ne!(tampered, journal);
+        let err = run_journal_replay(&tampered).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+        // Garbage is a typed parse error, not a panic.
+        let err = run_journal_replay("not json\n").unwrap_err();
+        assert!(err.contains("bad journal"), "{err}");
+    }
+
+    #[test]
+    fn dist_without_journal_matches_the_resilient_engine() {
+        let (out, journal) = run_dist(
+            EXAMPLE2,
+            trustseq_core::BuildOptions::PAPER,
+            &FaultPlan::none(),
+            &ResilientConfig::default(),
+            false,
+        )
+        .unwrap();
+        assert!(out.contains("infeasible"), "{out}");
+        assert!(journal.is_none());
+    }
+
+    #[test]
+    fn metrics_flags_are_parsed_and_validated() {
+        // --metrics-format validates its argument up front.
+        let err = main_with_args(&[
+            "--metrics-format".into(),
+            "bogus".into(),
+            "check".into(),
+            "x".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--metrics-format"), "{err}");
+        // --journal/--faults are dist-only.
+        let err = main_with_args(&[
+            "--journal".into(),
+            "/tmp/j.jsonl".into(),
+            "check".into(),
+            "x".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("apply to the `dist` command"), "{err}");
+        // A metrics run appends the snapshot to the command output.
+        let out =
+            with_metrics(true, MetricsFormat::Table, || run(Command::Check, EXAMPLE1)).unwrap();
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("reduce.runs"), "{out}");
+        let out =
+            with_metrics(true, MetricsFormat::Json, || run(Command::Check, EXAMPLE1)).unwrap();
+        assert!(out.contains("\"reduce.runs\""), "{out}");
+    }
+
+    #[test]
     fn threads_flag_is_parsed_and_validated() {
         // A valid count is consumed (two tokens) and the rest dispatches.
         let err = main_with_args(&[
@@ -515,5 +888,12 @@ mod tests {
         let err = main_with_args(&["--threads".into(), "0".into(), "check".into(), "x".into()])
             .unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+        // Absurd widths are rejected up front with the valid range and the
+        // available-parallelism fallback, instead of spawning a thread army.
+        let absurd = (trustseq_core::pool::MAX_WIDTH + 1).to_string();
+        let err =
+            main_with_args(&["--threads".into(), absurd, "check".into(), "x".into()]).unwrap_err();
+        assert!(err.contains("between 1 and"), "{err}");
+        assert!(err.contains("available parallelism"), "{err}");
     }
 }

@@ -1,0 +1,158 @@
+//! Observability non-interference tests: installing a recording
+//! [`Recorder`](trustseq::core::Recorder) must never change what the
+//! instrumented subsystems *compute* — reduction traces, cache outcomes
+//! and chaos/resilient verdicts are byte-identical with recording on and
+//! off. This is the tentpole guarantee that lets `--metrics` ship enabled
+//! in production sweeps without invalidating any reproducibility claim.
+//!
+//! The recorder slot is process-global, so every test here serialises on
+//! one mutex (integration tests in this binary run concurrently).
+
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+use trustseq::core::obs;
+use trustseq::core::{analyze, AnalysisCache, MetricsRegistry};
+use trustseq::dist::{DistributedReduction, FaultPlan, ResilientConfig};
+use trustseq::lang::parse_spec;
+use trustseq::model::ExchangeSpec;
+use trustseq::sim::{chaos_sweep, ChaosMatrix};
+use trustseq::workloads::{random_exchange, RandomConfig};
+
+/// Serialises recorder installation across this binary's tests.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One shared registry: `obs::install` wants a `'static` recorder.
+fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+const EXAMPLE1: &str = r#"
+    exchange "example1" {
+        consumer c; broker b; producer p;
+        trusted t1; trusted t2;
+        item doc "The Document";
+        deal sale:   b sells doc to c for $100.00 via t1;
+        deal supply: p sells doc to b for $80.00  via t2;
+        secure sale before supply;
+    }
+"#;
+
+fn arb_config() -> impl Strategy<Value = RandomConfig> {
+    (1usize..=3, 1usize..=3, 0u8..=10, any::<u64>()).prop_map(
+        |(width, max_depth, density, seed)| RandomConfig {
+            width,
+            max_depth,
+            price_range: (10, 100),
+            trust_density: f64::from(density) / 10.0,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+/// Everything the instrumented subsystems compute for `spec`, rendered to
+/// one comparable string: the centralised reduction (trace and verdict),
+/// a two-pass cache interaction, and a resilient run under a seeded lossy
+/// plan. Metrics recording must not perturb a single byte of it.
+fn observable_outcomes(spec: &ExchangeSpec, seed: u64) -> String {
+    let central = analyze(spec).expect("analyzable spec");
+    let cache = AnalysisCache::new();
+    let first = cache.analyze(spec).expect("analyzable spec");
+    let second = cache.analyze(spec).expect("analyzable spec");
+    let stats = cache.stats();
+    let plan = FaultPlan::seeded(seed)
+        .with_drop_per_mille(200)
+        .with_dup_per_mille(100)
+        .with_corrupt_per_mille(100)
+        .with_max_extra_delay(2);
+    let resilient = DistributedReduction::new(spec)
+        .expect("constructible reduction")
+        .run_resilient(&plan, &ResilientConfig::default())
+        .expect("plan names only real agents");
+    format!("{central:?}\n{first:?}\n{second:?}\n{stats:?}\n{resilient:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The non-interference property on random topologies: outcomes with a
+    /// recording registry installed equal outcomes with recording off.
+    #[test]
+    fn recording_never_changes_outcomes(config in arb_config(), seed in any::<u64>()) {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let ex = random_exchange(&config);
+
+        obs::uninstall();
+        prop_assert!(!obs::enabled());
+        let off = observable_outcomes(&ex.spec, seed);
+
+        let registry = registry();
+        registry.reset();
+        obs::install(registry);
+        let on = observable_outcomes(&ex.spec, seed);
+        obs::uninstall();
+
+        prop_assert_eq!(off, on);
+    }
+}
+
+/// The same property on a chaos sweep (parallel pool workers recording
+/// concurrently), plus a sanity check that the registry really did record.
+#[test]
+fn chaos_sweep_is_identical_with_recording_on() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let spec = parse_spec(EXAMPLE1).unwrap();
+
+    obs::uninstall();
+    let off = chaos_sweep(&spec, &ChaosMatrix::quick()).unwrap();
+
+    let registry = registry();
+    registry.reset();
+    obs::install(registry);
+    let on = chaos_sweep(&spec, &ChaosMatrix::quick()).unwrap();
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+
+    assert_eq!(off, on, "chaos report must not depend on recording");
+    assert_eq!(
+        snapshot.counter("chaos.cells"),
+        Some(on.runs as u64),
+        "the sweep records its cell count"
+    );
+    assert_eq!(
+        snapshot.counter("dist.runs"),
+        Some(on.runs as u64),
+        "every resilient run reports itself"
+    );
+    assert!(
+        snapshot.counter("reduce.runs").unwrap_or(0) > 0,
+        "the centralised reference reduction is instrumented"
+    );
+}
+
+/// Record → replay: a journaled CLI `dist` run under a corrupting plan
+/// reproduces byte-for-byte and its verdict re-checks centrally (the CI
+/// `obs` job drives this same path end-to-end through the binary).
+#[test]
+fn journal_round_trips_through_the_cli() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::uninstall();
+    let plan = FaultPlan::seeded(11)
+        .with_drop_per_mille(200)
+        .with_dup_per_mille(100)
+        .with_corrupt_per_mille(150)
+        .with_max_extra_delay(2);
+    let (out, journal) = trustseq::cli::run_dist(
+        EXAMPLE1,
+        trustseq::core::BuildOptions::PAPER,
+        &plan,
+        &ResilientConfig::default(),
+        true,
+    )
+    .unwrap();
+    assert!(out.contains("journal:"), "{out}");
+    let journal = journal.unwrap();
+    let replay = trustseq::cli::run_journal_replay(&journal).unwrap();
+    assert!(replay.contains("replay OK"), "{replay}");
+}
