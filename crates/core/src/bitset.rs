@@ -1,0 +1,282 @@
+//! Packed `u64`-word bit sets indexed by arena slot.
+//!
+//! The reduction hot path ([`ScratchReducer`](crate::ScratchReducer))
+//! tracks three kinds of per-edge membership — liveness, rule #1
+//! candidacy, rule #2 candidacy — and all three are dense sets over the
+//! contiguous edge-slot space `0..edge_count`. A `Vec<bool>` spends one
+//! byte (and one branchy load) per query; packing 64 memberships into one
+//! machine word lets the selection loop scan whole words at a time and
+//! find members with `trailing_zeros` / `leading_zeros`, so a 64-edge
+//! graph's candidate scan touches one cache line instead of chasing a
+//! pointer-ordered heap.
+//!
+//! [`EdgeBitSet`] deliberately exposes its word granularity
+//! ([`word`](EdgeBitSet::word), [`word_count`](EdgeBitSet::word_count),
+//! [`WORD_BITS`]) so callers can fuse scans across several sets (e.g. the
+//! reducer's pop-max over `rule1 | rule2`) without intermediate
+//! allocation. All mutation is in place; after a set has grown to a
+//! shape once, resetting to any equal-or-smaller shape allocates nothing.
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = u64::BITS as usize;
+
+/// A dense, reusable bit set over arena slots `0..len`.
+///
+/// ```
+/// use trustseq_core::bitset::EdgeBitSet;
+///
+/// let mut set = EdgeBitSet::new();
+/// set.reset(130);
+/// set.insert(3);
+/// set.insert(128);
+/// assert!(set.contains(3) && set.contains(128) && !set.contains(64));
+/// assert_eq!(set.ones().collect::<Vec<_>>(), vec![3, 128]);
+/// assert_eq!(set.count(), 2);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EdgeBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl EdgeBitSet {
+    /// An empty set of zero slots. Buffers grow on first
+    /// [`reset`](Self::reset) and are retained afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the set and resizes it to cover slots `0..len`, all absent.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+    }
+
+    /// Resets to cover slots `0..len` with *every* slot present — the fast
+    /// path for a fully live graph, filling word-at-a-time.
+    pub fn reset_full(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), !0u64);
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Resets to cover slots `0..len` with membership copied verbatim from
+    /// pre-packed storage `words` — the memcpy path for loading a set the
+    /// graph has already materialised (waivers, seed candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `words` is not exactly the packed width
+    /// of `len` slots or sets a bit at or beyond `len`.
+    pub fn load_words(&mut self, words: &[u64], len: usize) {
+        debug_assert_eq!(words.len(), len.div_ceil(WORD_BITS));
+        debug_assert!(
+            len.is_multiple_of(WORD_BITS)
+                || words.last().is_none_or(|w| w >> (len % WORD_BITS) == 0),
+            "stray bits beyond len {len}"
+        );
+        self.len = len;
+        self.words.clear();
+        self.words.extend_from_slice(words);
+    }
+
+    /// Resets from a `&[bool]` membership slice, packing 64 flags per word.
+    pub fn reset_from_bools(&mut self, flags: &[bool]) {
+        self.len = flags.len();
+        self.words.clear();
+        self.words.extend(flags.chunks(WORD_BITS).map(|chunk| {
+            let mut word = 0u64;
+            for (bit, &flag) in chunk.iter().enumerate() {
+                word |= (flag as u64) << bit;
+            }
+            word
+        }));
+    }
+
+    /// Number of addressable slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of storage words backing the set.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Storage word `w` (slots `w * 64 .. (w + 1) * 64`).
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Marks slot `i` present. Returns the containing word index so callers
+    /// can maintain scan hints without recomputing the division.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> usize {
+        debug_assert!(i < self.len, "slot {i} out of range {}", self.len);
+        let w = i / WORD_BITS;
+        self.words[w] |= 1u64 << (i % WORD_BITS);
+        w
+    }
+
+    /// Marks slot `i` absent.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len, "slot {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Marks the adjacent slot pair `{even, even + 1}` absent in one
+    /// masked write. `even` must be even, so the pair shares a word —
+    /// the single-RMW clear behind interleaved two-bits-per-item layouts.
+    #[inline]
+    pub fn remove_pair(&mut self, even: usize) {
+        debug_assert!(even.is_multiple_of(2), "pair base {even} must be even");
+        debug_assert!(even + 1 < self.len, "pair {even} out of range {}", self.len);
+        self.words[even / WORD_BITS] &= !(3u64 << (even % WORD_BITS));
+    }
+
+    /// Whether slot `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of present slots (popcount over all words).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The highest present slot, if any (top-down word scan +
+    /// `leading_zeros`).
+    pub fn highest(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate().rev() {
+            if word != 0 {
+                let bit = WORD_BITS - 1 - word.leading_zeros() as usize;
+                return Some(w * WORD_BITS + bit);
+            }
+        }
+        None
+    }
+
+    /// Ascending iterator over present slots: word scan +
+    /// `trailing_zeros`, clearing the lowest set bit each step.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over an [`EdgeBitSet`]'s present slots.
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = EdgeBitSet::new();
+        set.reset(200);
+        assert_eq!(set.count(), 0);
+        for i in [0usize, 63, 64, 127, 199] {
+            assert!(!set.contains(i));
+            set.insert(i);
+            assert!(set.contains(i));
+        }
+        assert_eq!(set.count(), 5);
+        set.remove(64);
+        assert!(!set.contains(64));
+        assert_eq!(set.ones().collect::<Vec<_>>(), vec![0, 63, 127, 199]);
+        assert_eq!(set.highest(), Some(199));
+    }
+
+    #[test]
+    fn reset_full_masks_the_tail_word() {
+        let mut set = EdgeBitSet::new();
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            set.reset_full(len);
+            assert_eq!(set.count(), len, "len {len}");
+            assert_eq!(set.ones().count(), len, "len {len}");
+            if len > 0 {
+                assert_eq!(set.highest(), Some(len - 1));
+            } else {
+                assert_eq!(set.highest(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_from_bools_matches_flags() {
+        let flags: Vec<bool> = (0..150).map(|i| i % 3 == 0).collect();
+        let mut set = EdgeBitSet::new();
+        set.reset_from_bools(&flags);
+        assert_eq!(set.len(), flags.len());
+        for (i, &f) in flags.iter().enumerate() {
+            assert_eq!(set.contains(i), f, "slot {i}");
+        }
+        let expected: Vec<usize> = (0..150).filter(|i| i % 3 == 0).collect();
+        assert_eq!(set.ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut set = EdgeBitSet::new();
+        set.reset(1024);
+        let ptr = set.words.as_ptr();
+        set.reset(512);
+        assert_eq!(set.words.as_ptr(), ptr, "shrinking reset must not realloc");
+        set.reset_full(1000);
+        assert_eq!(set.words.as_ptr(), ptr, "full reset must not realloc");
+        set.reset_from_bools(&[true; 900]);
+        assert_eq!(set.words.as_ptr(), ptr, "bool reset must not realloc");
+        assert_eq!(set.count(), 900);
+    }
+
+    #[test]
+    fn empty_set_iterates_nothing() {
+        let set = EdgeBitSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.ones().next(), None);
+        assert_eq!(set.highest(), None);
+        assert_eq!(set.count(), 0);
+    }
+}

@@ -149,6 +149,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// Distinct labelled keys currently interned (tier 1, ≥ `entries`).
     pub labelled_entries: usize,
+    /// Entries discarded by capacity eviction (both tiers; 0 on an
+    /// unbounded cache).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -169,12 +172,13 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate, {} label-fast), {} structures interned",
+            "{} hits / {} misses ({:.1}% hit rate, {} label-fast), {} structures interned, {} evicted",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.pre_hits,
-            self.entries
+            self.entries,
+            self.evictions
         )
     }
 }
@@ -182,22 +186,78 @@ impl fmt::Display for CacheStats {
 /// A sharded memo table mapping canonical fingerprints to interned
 /// reduction outcomes. Cheap to share by reference across sweep workers;
 /// all methods take `&self`.
+///
+/// By default the table only grows; [`with_capacity`](Self::with_capacity)
+/// bounds it with coarse segment eviction (see there).
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     /// Tier 1: exact labelled live structure → canonical form + entry.
     pre_shards: [Mutex<HashMap<u128, Arc<LabelledEntry>>>; SHARDS],
     /// Tier 2: canonical fingerprint → interned outcome.
     shards: [Mutex<HashMap<u128, Arc<CacheEntry>>>; SHARDS],
+    /// Per-shard entry cap for each tier; 0 means unbounded.
+    shard_cap: usize,
     hits: AtomicU64,
     pre_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AnalysisCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most (approximately) `max_entries`
+    /// interned keys *per tier*. `0` means unbounded, same as
+    /// [`new`](Self::new).
+    ///
+    /// Bounding is by **coarse segment eviction**: the cap is spread over
+    /// the [`SHARDS`] lock stripes (rounded up, at least one entry per
+    /// stripe), and an insert into a full stripe clears that whole stripe
+    /// first — no per-entry recency bookkeeping on the hot path, at the
+    /// cost of evicting up to `max_entries / SHARDS` neighbours at once.
+    /// Evicted totals are reported in [`CacheStats::evictions`] and on the
+    /// `cache.evictions` counter. Entries are re-interned on next miss, so
+    /// eviction affects throughput, never results.
+    ///
+    /// Memory note: a tier-1 key pins its tier-2 entry through an `Arc`,
+    /// so the worst-case resident set is one entry per interned key across
+    /// both tiers — still bounded, at roughly `2 × max_entries` entries.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        AnalysisCache {
+            shard_cap: if max_entries == 0 {
+                0
+            } else {
+                max_entries.div_ceil(SHARDS).max(1)
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Clears `map`'s stripe if inserting a new `key` would overflow the
+    /// per-shard cap, crediting the discarded entries to the eviction
+    /// counters. Inserts of an already-present key never evict.
+    fn evict_if_full<V>(&self, map: &mut HashMap<u128, V>, key: u128) {
+        if self.shard_cap == 0 || map.len() < self.shard_cap || map.contains_key(&key) {
+            return;
+        }
+        let evicted = map.len() as u64;
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        obs::with(|r| r.counter("cache.evictions", evicted));
+        map.clear();
+    }
+
+    /// Interns `labelled` under its tier-1 key, evicting the stripe first
+    /// if it is at capacity. Racing interns keep the first value.
+    fn intern_labelled(&self, pre: PreFingerprint, labelled: &Arc<LabelledEntry>) {
+        let mut shard = self.pre_shard(pre).lock();
+        self.evict_if_full(&mut shard, pre.as_u128());
+        shard
+            .entry(pre.as_u128())
+            .or_insert_with(|| labelled.clone());
     }
 
     fn pre_shard(&self, pre: PreFingerprint) -> &Mutex<HashMap<u128, Arc<LabelledEntry>>> {
@@ -248,10 +308,7 @@ impl AnalysisCache {
                 obs::with(|r| r.counter("cache.tier2_hits", 1));
                 let labelled = LabelledEntry::intern(form, entry);
                 Self::maybe_verify_hit(hits, graph, &labelled);
-                self.pre_shard(pre)
-                    .lock()
-                    .entry(pre.as_u128())
-                    .or_insert_with(|| labelled.clone());
+                self.intern_labelled(pre, &labelled);
                 return labelled;
             }
             None => {
@@ -274,15 +331,17 @@ impl AnalysisCache {
                     confluence: Mutex::new(ConfluenceRecord::default()),
                 });
                 let mut inserted = false;
-                let entry = self
-                    .shard(fp)
-                    .lock()
-                    .entry(fp.as_u128())
-                    .or_insert_with(|| {
-                        inserted = true;
-                        candidate
-                    })
-                    .clone();
+                let entry = {
+                    let mut shard = self.shard(fp).lock();
+                    self.evict_if_full(&mut shard, fp.as_u128());
+                    shard
+                        .entry(fp.as_u128())
+                        .or_insert_with(|| {
+                            inserted = true;
+                            candidate
+                        })
+                        .clone()
+                };
                 if inserted {
                     self.inserts.fetch_add(1, Ordering::Relaxed);
                 }
@@ -295,10 +354,7 @@ impl AnalysisCache {
             }
         };
         let labelled = LabelledEntry::intern(form, entry);
-        self.pre_shard(pre)
-            .lock()
-            .entry(pre.as_u128())
-            .or_insert_with(|| labelled.clone());
+        self.intern_labelled(pre, &labelled);
         labelled
     }
 
@@ -398,6 +454,7 @@ impl AnalysisCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             entries: guards.iter().map(|s| s.len()).sum(),
             labelled_entries: pre_guards.iter().map(|s| s.len()).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -596,5 +653,108 @@ mod tests {
         assert!(text.contains("1 hits / 1 misses"), "{text}");
         assert!(text.contains("50.0% hit rate"), "{text}");
         assert!(text.contains("1 structures interned"), "{text}");
+        assert!(text.contains("0 evicted"), "{text}");
+    }
+
+    /// A resale chain with `depth` brokers — each depth is a structurally
+    /// distinct graph, so a run over many depths fills tier 2 with that
+    /// many distinct entries.
+    fn chain_spec(depth: usize) -> trustseq_model::ExchangeSpec {
+        use trustseq_model::{Money, Role};
+        let mut spec = trustseq_model::ExchangeSpec::new(format!("chain-{depth}"));
+        let consumer = spec.add_principal("consumer", Role::Consumer).unwrap();
+        let brokers: Vec<_> = (0..depth)
+            .map(|k| spec.add_principal(format!("b{k}"), Role::Broker).unwrap())
+            .collect();
+        let producer = spec.add_principal("src", Role::Producer).unwrap();
+        let doc = spec.add_item("doc", "The Document").unwrap();
+        let mut sellers = brokers.clone();
+        sellers.push(producer);
+        let mut buyers = vec![consumer];
+        buyers.extend(brokers.iter().copied());
+        let mut price = Money::from_dollars(100);
+        let mut deals = Vec::new();
+        for k in 0..=depth {
+            let t = spec.add_trusted(format!("t{k}")).unwrap();
+            deals.push(spec.add_deal(sellers[k], buyers[k], t, doc, price).unwrap());
+            price -= Money::from_dollars(2);
+        }
+        for (k, &broker) in brokers.iter().enumerate() {
+            spec.add_resale_constraint(broker, deals[k], deals[k + 1])
+                .unwrap();
+        }
+        spec
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_stays_correct() {
+        // Cap of 4 spreads to 1 entry per stripe; 20 distinct structures
+        // cannot fit in 16 stripes, so eviction is guaranteed by
+        // pigeonhole — and every verdict must match the uncached analyzer
+        // before and after entries are thrown out.
+        let cache = AnalysisCache::with_capacity(4);
+        let specs: Vec<_> = (1..=20).map(chain_spec).collect();
+        for spec in &specs {
+            assert_eq!(
+                cache.analyze(spec).unwrap().feasible,
+                analyze(spec).unwrap().feasible,
+                "{}",
+                spec.name()
+            );
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.evictions > 0,
+            "20 structures over 16 stripes: {stats:?}"
+        );
+        assert!(
+            stats.entries <= SHARDS,
+            "tier 2 must respect the per-stripe cap: {stats:?}"
+        );
+        assert!(stats.labelled_entries <= SHARDS, "{stats:?}");
+        // Evicted structures are recomputed, not wrong.
+        for spec in &specs {
+            assert_eq!(
+                cache.analyze(spec).unwrap().feasible,
+                analyze(spec).unwrap().feasible
+            );
+        }
+        assert!(cache.stats().to_string().contains("evicted"));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = AnalysisCache::new();
+        for depth in 1..=20 {
+            cache.analyze(&chain_spec(depth)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 20);
+        // with_capacity(0) is the same unbounded behaviour.
+        let unbounded = AnalysisCache::with_capacity(0);
+        for depth in 1..=20 {
+            unbounded.analyze(&chain_spec(depth)).unwrap();
+        }
+        assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn tier1_eviction_bounds_labelled_keys() {
+        // Permutations of one structure are distinct tier-1 keys sharing a
+        // single tier-2 entry: enough of them must overflow and evict
+        // tier 1 while tier 2 stays at one interned structure.
+        let cache = AnalysisCache::with_capacity(4);
+        let graph = SequencingGraph::from_spec(&fixtures::figure7().0).unwrap();
+        let reference = cache.reduce(&graph);
+        for seed in 0..40 {
+            let outcome = cache.reduce(&graph.permuted(seed));
+            assert_eq!(outcome.feasible, reference.feasible);
+            assert_eq!(outcome.trace.len(), reference.trace.len());
+        }
+        let stats = cache.stats();
+        assert!(stats.labelled_entries <= SHARDS, "{stats:?}");
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert_eq!(stats.entries, 1, "one structure throughout: {stats:?}");
     }
 }

@@ -107,6 +107,7 @@ impl<T> Csr<T> {
     /// # Panics
     ///
     /// Panics if `v` is out of range.
+    #[inline]
     pub fn row(&self, v: usize) -> &[T] {
         &self.items[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }

@@ -150,6 +150,29 @@ pub struct SequencingGraph {
     commitment_live: Vec<usize>,
     conjunction_live: Vec<usize>,
     conjunction_live_red: Vec<usize>,
+    // Raw-speed caches consumed by `ScratchReducer::reset_for`, so a
+    // scratch reset is a handful of memcpys instead of an O(edges) scan.
+    //
+    // Packed per-node state words, kept in lock-step with `alive`: the
+    // high 32 bits hold the live degree, the low 32 bits an XOR
+    // accumulator of live edge slots. When the degree is exactly 1 the
+    // accumulator *is* the surviving slot — an O(1) survivor lookup — and
+    // packing both into one word means a removal touches one cache word
+    // per node instead of two. `conjunction_red_state` tracks only the
+    // live *red* edges of each conjunction (rule #1 pre-emption and its
+    // lift cascade).
+    commitment_state: Vec<u64>,
+    conjunction_state: Vec<u64>,
+    conjunction_red_state: Vec<u64>,
+    // Static packed sets over the *initial* fully-live graph: clause-2
+    // waiver flags per commitment, the scratch engine's seed worklist
+    // in its interleaved candidate layout (bit `2 * slot + 1` = edge
+    // applicable under rule #1, bit `2 * slot` = rule #2), and the
+    // per-edge §4.2 pre-emption flags the scratch engine maintains
+    // incrementally from this seed. Never mutated after construction.
+    waiver_words: Vec<u64>,
+    seed_cand_words: Vec<u64>,
+    seed_preempted_words: Vec<u64>,
 }
 
 impl SequencingGraph {
@@ -171,13 +194,63 @@ impl SequencingGraph {
         let mut commitment_live = vec![0usize; commitments.len()];
         let mut conjunction_live = vec![0usize; conjunctions.len()];
         let mut conjunction_live_red = vec![0usize; conjunctions.len()];
-        for e in &edges {
+        let mut commitment_state = vec![0u64; commitments.len()];
+        let mut conjunction_state = vec![0u64; conjunctions.len()];
+        let mut conjunction_red_state = vec![0u64; conjunctions.len()];
+        for (slot, e) in edges.iter().enumerate() {
             commitment_live[e.commitment.index()] += 1;
             conjunction_live[e.conjunction.index()] += 1;
             if e.color == EdgeColor::Red {
                 conjunction_live_red[e.conjunction.index()] += 1;
+                conjunction_red_state[e.conjunction.index()] =
+                    (conjunction_red_state[e.conjunction.index()] + (1 << 32)) ^ slot as u64;
             }
+            commitment_state[e.commitment.index()] =
+                (commitment_state[e.commitment.index()] + (1 << 32)) ^ slot as u64;
+            conjunction_state[e.conjunction.index()] =
+                (conjunction_state[e.conjunction.index()] + (1 << 32)) ^ slot as u64;
         }
+        let pack = |bits: &mut dyn Iterator<Item = bool>, len: usize| {
+            let mut words = vec![0u64; len.div_ceil(64)];
+            for (i, flag) in bits.enumerate() {
+                words[i / 64] |= u64::from(flag) << (i % 64);
+            }
+            words
+        };
+        let waiver_words = pack(
+            &mut commitments.iter().map(|c| c.clause2_waiver),
+            commitments.len(),
+        );
+        // The scratch engine's initial worklist over the fully live graph,
+        // in its interleaved candidate layout (edge slot `s` occupies bit
+        // `2s + 1` for rule #1 and bit `2s` for rule #2): rule #1 wants
+        // commitment degree 1 and no pre-empting *other* live red edge at
+        // the conjunction (unless waived); rule #2 wants conjunction
+        // degree 1. Static, so seeding becomes a memcpy.
+        let seed_cand_words = pack(
+            &mut edges.iter().flat_map(|e| {
+                let rule2 = conjunction_live[e.conjunction.index()] == 1;
+                let rule1 = commitment_live[e.commitment.index()] == 1 && {
+                    let preempted = conjunction_live_red[e.conjunction.index()]
+                        > usize::from(e.color == EdgeColor::Red);
+                    !preempted || commitments[e.commitment.index()].clause2_waiver
+                };
+                [rule2, rule1]
+            }),
+            edges.len() * 2,
+        );
+        // Per-edge pre-emption over the fully live graph: edge `e` is
+        // pre-empted iff another live red edge shares its conjunction.
+        // The scratch engine memcpys this seed and then clears bits only
+        // at the 2→1 / 1→0 red-count transitions, so the hot rule #1
+        // eligibility test is one bitset load instead of an
+        // edge→conjunction→red-state pointer chase.
+        let seed_preempted_words = pack(
+            &mut edges.iter().map(|e| {
+                conjunction_live_red[e.conjunction.index()] > usize::from(e.color == EdgeColor::Red)
+            }),
+            edges.len(),
+        );
         let live_count = edges.len();
         SequencingGraph {
             alive: vec![true; edges.len()],
@@ -190,6 +263,12 @@ impl SequencingGraph {
             commitment_live,
             conjunction_live,
             conjunction_live_red,
+            commitment_state,
+            conjunction_state,
+            conjunction_red_state,
+            waiver_words,
+            seed_cand_words,
+            seed_preempted_words,
         }
     }
 
@@ -331,6 +410,40 @@ impl SequencingGraph {
         )
     }
 
+    /// The cached packed per-node state words (degree in the high 32 bits,
+    /// live-slot XOR accumulator in the low 32) for commitments,
+    /// conjunctions, and red-only conjunctions, kept in lock-step with
+    /// `alive` like the degree counters. Copied verbatim by
+    /// `ScratchReducer::reset_for`.
+    pub(crate) fn state_slices(&self) -> (&[u64], &[u64], &[u64]) {
+        (
+            &self.commitment_state,
+            &self.conjunction_state,
+            &self.conjunction_red_state,
+        )
+    }
+
+    /// Clause-2 waiver flags packed 64 commitments per word, built once at
+    /// construction (waivers are immutable graph structure).
+    pub(crate) fn waiver_words(&self) -> &[u64] {
+        &self.waiver_words
+    }
+
+    /// The initial applicable-move set over the *fully live* graph in the
+    /// scratch engine's interleaved candidate layout (bit `2 * slot + 1` =
+    /// rule #1, bit `2 * slot` = rule #2; 32 edges per word). Only
+    /// meaningful while `live_edge_count() == edges().len()`.
+    pub(crate) fn seed_cand_words(&self) -> &[u64] {
+        &self.seed_cand_words
+    }
+
+    /// Per-edge §4.2 pre-emption flags over the *fully live* graph (edge
+    /// slot per bit), built once at construction. Only meaningful while
+    /// `live_edge_count() == edges().len()`.
+    pub(crate) fn seed_preempted_words(&self) -> &[u64] {
+        &self.seed_preempted_words
+    }
+
     /// Number of edges still in the graph.
     pub fn live_edge_count(&self) -> usize {
         self.live_count
@@ -460,7 +573,13 @@ impl SequencingGraph {
                 self.conjunction_live[e.conjunction.index()] -= 1;
                 if e.color == EdgeColor::Red {
                     self.conjunction_live_red[e.conjunction.index()] -= 1;
+                    let st = &mut self.conjunction_red_state[e.conjunction.index()];
+                    *st = (*st - (1 << 32)) ^ id.index() as u64;
                 }
+                let st = &mut self.commitment_state[e.commitment.index()];
+                *st = (*st - (1 << 32)) ^ id.index() as u64;
+                let st = &mut self.conjunction_state[e.conjunction.index()];
+                *st = (*st - (1 << 32)) ^ id.index() as u64;
                 Ok(())
             }
             _ => Err(CoreError::InvalidMove(id)),
@@ -482,7 +601,13 @@ impl SequencingGraph {
             self.conjunction_live[e.conjunction.index()] += 1;
             if e.color == EdgeColor::Red {
                 self.conjunction_live_red[e.conjunction.index()] += 1;
+                let st = &mut self.conjunction_red_state[e.conjunction.index()];
+                *st = (*st + (1 << 32)) ^ id.index() as u64;
             }
+            let st = &mut self.commitment_state[e.commitment.index()];
+            *st = (*st + (1 << 32)) ^ id.index() as u64;
+            let st = &mut self.conjunction_state[e.conjunction.index()];
+            *st = (*st + (1 << 32)) ^ id.index() as u64;
         }
     }
 

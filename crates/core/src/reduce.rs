@@ -510,30 +510,40 @@ pub fn analyze_batch(
 
 /// [`analyze_batch`] with an optional shared [`AnalysisCache`](crate::AnalysisCache).
 ///
-/// Workers pull specs from a shared atomic counter (work stealing) rather
-/// than pre-sliced chunks, so one structurally hard spec — or a chunk of
-/// cache misses next to a chunk of hits — cannot leave the other workers
-/// idle.
+/// Work distribution follows the process-wide default
+/// [`pool::batch_mode`](crate::pool::batch_mode): atomic-counter stealing
+/// (one structurally hard spec — or a chunk of cache misses next to a
+/// chunk of hits — cannot leave the other workers idle) or contiguous
+/// shard affinity (no shared counter, prefetch-friendly corpus slices).
+/// Results are byte-identical either way.
 pub fn analyze_batch_cached(
     specs: &[trustseq_model::ExchangeSpec],
     cache: Option<&crate::AnalysisCache>,
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
     let workers = crate::pool::size().min(specs.len());
-    analyze_batch_with_workers(specs, cache, workers)
+    analyze_batch_with(specs, cache, workers, crate::pool::batch_mode())
 }
 
-/// Work-stealing core of [`analyze_batch_cached`] with an explicit worker
-/// count, so tests can exercise the parallel path regardless of the host's
-/// core count.
-pub(crate) fn analyze_batch_with_workers(
+/// The fully explicit batch entry point: analyze `specs` with `workers`
+/// worker indices under `mode`, optionally through a shared cache.
+///
+/// The result vector is in input order and independent of both `workers`
+/// and `mode` — the property tests in `tests/bitset_equivalence.rs` hold
+/// sharded and stealing runs byte-identical. Exposed so sweep drivers and
+/// benchmarks can pin the distribution strategy per call regardless of
+/// the global default.
+pub fn analyze_batch_with(
     specs: &[trustseq_model::ExchangeSpec],
     cache: Option<&crate::AnalysisCache>,
     workers: usize,
+    mode: crate::pool::BatchMode,
 ) -> Vec<Result<ReductionOutcome, CoreError>> {
+    /// One result slot, filled exactly once by whichever worker owns it.
+    type BatchSlot = Option<Result<ReductionOutcome, CoreError>>;
     let workers = workers.min(specs.len());
     // Each worker analyzes through its own reusable scratchpad: the graph
     // build still allocates per spec, but the reduction itself reuses the
-    // worker's heap, bitmap and counter buffers for the whole batch.
+    // worker's bitset and counter buffers for the whole batch.
     let analyze_one = |scratch: &mut crate::ScratchReducer,
                        spec: &trustseq_model::ExchangeSpec|
      -> Result<ReductionOutcome, CoreError> {
@@ -549,26 +559,60 @@ pub(crate) fn analyze_batch_with_workers(
         let mut scratch = crate::ScratchReducer::new();
         return specs.iter().map(|s| analyze_one(&mut scratch, s)).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<ReductionOutcome, CoreError>>> = Vec::new();
-    results.resize_with(specs.len(), || None);
-    let worker = |_worker_index: usize| {
-        let mut scratch = crate::ScratchReducer::new();
-        let mut done: Vec<(usize, Result<ReductionOutcome, CoreError>)> = Vec::new();
-        loop {
-            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let Some(spec) = specs.get(i) else { break };
-            done.push((i, analyze_one(&mut scratch, spec)));
+    match mode {
+        crate::pool::BatchMode::Stealing => {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut results: Vec<BatchSlot> = Vec::new();
+            results.resize_with(specs.len(), || None);
+            let worker = |_worker_index: usize| {
+                let mut scratch = crate::ScratchReducer::new();
+                let mut done: Vec<(usize, Result<ReductionOutcome, CoreError>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    done.push((i, analyze_one(&mut scratch, spec)));
+                }
+                done
+            };
+            for (i, result) in crate::pool::broadcast_collect(workers, &worker) {
+                results[i] = Some(result);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("the shared counter covers every slot exactly once"))
+                .collect()
         }
-        done
-    };
-    for (i, result) in crate::pool::broadcast_collect(workers, &worker) {
-        results[i] = Some(result);
+        crate::pool::BatchMode::Sharded => {
+            // Each worker owns one contiguous shard and writes results
+            // straight into its slice — no shared counter, no index
+            // reshuffle on collection.
+            let mut results: Vec<BatchSlot> = Vec::new();
+            results.resize_with(specs.len(), || None);
+            let slots: Vec<std::sync::Mutex<&mut [BatchSlot]>> = {
+                let mut rest = results.as_mut_slice();
+                (0..workers)
+                    .map(|i| {
+                        let range = crate::pool::shard_range(specs.len(), workers, i);
+                        let (shard, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+                        rest = tail;
+                        std::sync::Mutex::new(shard)
+                    })
+                    .collect()
+            };
+            crate::pool::broadcast_sharded(workers, specs.len(), &|i, shard| {
+                let mut scratch = crate::ScratchReducer::new();
+                let mut out = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                for (slot, spec) in out.iter_mut().zip(&specs[shard]) {
+                    *slot = Some(analyze_one(&mut scratch, spec));
+                }
+            });
+            drop(slots);
+            results
+                .into_iter()
+                .map(|r| r.expect("the shard ranges tile every slot exactly once"))
+                .collect()
+        }
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("the shared counter covers every slot exactly once"))
-        .collect()
 }
 
 /// The per-sample verdicts of an empirical confluence check.
@@ -709,6 +753,51 @@ pub fn confluence_check_cached(
     };
     let graph = SequencingGraph::from_spec(spec)?;
     Ok(cache.confluence(&graph, samples))
+}
+
+/// Runs [`confluence_check_cached`] over a whole corpus, fanning the
+/// per-spec experiments across the persistent [`pool`](crate::pool)
+/// workers under the process-wide
+/// [`batch_mode`](crate::pool::batch_mode). Results are returned in input
+/// order and are independent of worker count and batch mode (each
+/// per-spec experiment is deterministic in its seeds).
+pub fn confluence_sweep(
+    specs: &[trustseq_model::ExchangeSpec],
+    samples: u64,
+    cache: Option<&crate::AnalysisCache>,
+) -> Vec<Result<ConfluenceReport, CoreError>> {
+    let workers = crate::pool::size().min(specs.len());
+    let check = |spec: &trustseq_model::ExchangeSpec| confluence_check_cached(spec, samples, cache);
+    if workers <= 1 {
+        return specs.iter().map(check).collect();
+    }
+    let results: Vec<std::sync::Mutex<Option<Result<ConfluenceReport, CoreError>>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    match crate::pool::batch_mode() {
+        crate::pool::BatchMode::Stealing => {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            crate::pool::broadcast(workers, &|_index| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(check(spec));
+            });
+        }
+        crate::pool::BatchMode::Sharded => {
+            crate::pool::broadcast_sharded(workers, specs.len(), &|_index, shard| {
+                for i in shard {
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(check(&specs[i]));
+                }
+            });
+        }
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every corpus slot was claimed exactly once")
+        })
+        .collect()
 }
 
 #[cfg(test)]

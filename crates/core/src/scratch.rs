@@ -1,27 +1,74 @@
 //! A reusable reduction scratchpad: the §4.2 rules over a *borrowed*
-//! graph, with zero steady-state heap allocations.
+//! graph, with zero steady-state heap allocations and a cache-friendly
+//! data layout.
 //!
 //! [`Reducer`](crate::Reducer) owns its graph and mutates it, which is the
 //! right shape for one-shot analysis and for callers that want the reduced
 //! graph back. Batch drivers — feasibility sweeps, confluence sampling,
 //! the simulation harness — reduce thousands of specs and want none of
 //! that: they need the verdict and the trace, and they need the per-spec
-//! constant factors to vanish. [`ScratchReducer`] keeps every piece of
-//! mutable reduction state (liveness bitmap, cached degree counters, the
-//! worklist heap, the rescan move buffer) in buffers it owns and reuses,
-//! so after the first run over the largest graph shape, a
-//! [`reset_for`](ScratchReducer::reset_for) + [`run_into`](ScratchReducer::run_into)
-//! loop performs no heap allocation at all (verified by the counting
-//! test allocator in `tests/alloc.rs`).
+//! constant factors to vanish.
+//!
+//! # Data layout
+//!
+//! [`ScratchReducer`] keeps every piece of mutable reduction state in
+//! structure-of-arrays buffers it owns and reuses:
+//!
+//! * **liveness** is a packed [`EdgeBitSet`] indexed by edge slot — the
+//!   remaining-edge scan walks `u64` words with `trailing_zeros` instead
+//!   of a byte-per-edge bitmap;
+//! * **candidate scoring** is a pair of bitsets (rule #1 / rule #2
+//!   eligibility) replacing the former `BinaryHeap<Candidate>`: selecting
+//!   the next move is a branch-light top-down word scan over
+//!   `rule1 | rule2` with `leading_zeros`, guided by a high-water word
+//!   hint, instead of pointer-chasing a heap;
+//! * **degrees and survivors** are packed per-node `u64` state words
+//!   (live degree in the high 32 bits, an XOR accumulator of live edge
+//!   slots in the low 32) copied verbatim from the graph's own caches:
+//!   one cache word per node carries both the fringe test and — when the
+//!   degree is exactly 1 — the surviving edge slot, so fringe cascades
+//!   need no adjacency-row scan at all;
+//! * **clause-2 waivers** are packed into one more bitset (memcpy'd from
+//!   the graph) so the hot loop never loads a whole `Commitment` record.
+//!
+//! After the first run over the largest graph shape, a
+//! [`reset_for`](ScratchReducer::reset_for) +
+//! [`run_into`](ScratchReducer::run_into) loop performs no heap
+//! allocation at all (verified by the counting test allocator in
+//! `tests/alloc.rs`).
+//!
+//! # Exact candidacy: no pop-time revalidation
+//!
+//! The §4.2 rules are *monotone*: degrees only decrease (a degree-2
+//! commitment becoming degree-1 enables a move; degree 1→0 means the
+//! candidate itself was just removed), and rule #1's red pre-emption only
+//! ever lifts (red edges are removed, never added). So a move that is
+//! applicable stays applicable until its edge is removed. The heap engine
+//! needed pop-time revalidation only because it pushed candidates
+//! *blindly* (possibly still preempted) and kept stale duplicates; the
+//! bitset engine instead checks eligibility once at insert and clears a
+//! removed edge's candidate bits immediately, so **every set bit is a
+//! valid move** and the pop loop applies straight away.
+//!
+//! # Trace equivalence
 //!
 //! Traces are byte-identical to [`Reducer`](crate::Reducer)'s for both
-//! strategies: the worklist heap is seeded in the same live-edge scan
-//! order, the enabling events mirror `push_unlocked`, and the randomized
-//! path reuses the same rescan-shuffle protocol with the same seeded RNG —
-//! so the `run_naive` oracle and every confluence report carry over
-//! unchanged. The scratch state mirrors the graph's own cached counters
-//! and keeps the same debug-build scan oracles.
+//! strategies. The candidate bitsets pop in exactly the heap's
+//! `(edge id descending, rule #1 before rule #2)` order: the highest set
+//! bit of the fused word is the highest-id candidate, and at equal id the
+//! rule #1 bit is taken first — the same lexicographic `Candidate`
+//! ordering. At every step the heap's worklist is a superset of the valid
+//! moves containing all of them, and it discards invalid entries until
+//! the maximum valid one — which is exactly the maximum of the exact
+//! candidate sets — so the applied sequences coincide step for step
+//! (`via_clause2` is still computed at pop time, as the heap did). The
+//! randomized path reuses the same rescan-shuffle protocol with the same
+//! seeded RNG, so the `run_naive` oracle and every confluence report
+//! carry over unchanged. [`HeapScratchReducer`] retains the
+//! pointer-ordered PR-4 engine as a benchmarking baseline and secondary
+//! oracle.
 
+use crate::bitset::{EdgeBitSet, WORD_BITS};
 use crate::graph::{CommitmentId, ConjunctionId, Edge, EdgeColor, EdgeId, SequencingGraph};
 use crate::obs;
 use crate::reduce::{record_reduction_metrics, Candidate, Move, ReductionOutcome, Strategy};
@@ -50,12 +97,40 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Default)]
 pub struct ScratchReducer {
-    alive: Vec<bool>,
-    commitment_live: Vec<usize>,
-    conjunction_live: Vec<usize>,
-    conjunction_live_red: Vec<usize>,
+    /// Live-edge membership, packed 64 slots per word.
+    live: EdgeBitSet,
+    /// Interleaved candidate set over `2 * edge_count` bits: bit
+    /// `2s + 1` is rule #1 (commitment-fringe) candidacy of slot `s`,
+    /// bit `2s` is rule #2 (conjunction-fringe). Plain descending bit
+    /// order *is* the pop order `(edge id desc, rule #1 first)`, so a
+    /// pop is one word load plus `leading_zeros`, and clearing a removed
+    /// edge's candidacy is a single masked write on the adjacent pair.
+    cand: EdgeBitSet,
+    /// High-water hint: every candidate word at index `>= cand_top` is
+    /// zero. Raised on insert, lowered by the pop scan.
+    cand_top: usize,
+    /// Per-commitment packed state: live degree in the high 32 bits, XOR
+    /// of live edge slots in the low 32. When the degree is exactly 1 the
+    /// accumulator *is* the surviving slot — an O(1) survivor lookup with
+    /// no adjacency-row scan — and one word carries both.
+    commitment_state: Vec<u64>,
+    /// Per-conjunction packed state (same layout).
+    conjunction_state: Vec<u64>,
+    /// Per-conjunction packed state over live *red* edges only: the high
+    /// half drives the rule #1 pre-emption test, the low half is the O(1)
+    /// surviving-red lookup for the pre-emption-lift cascade.
+    conjunction_red_state: Vec<u64>,
+    /// Commitments whose §4.2 clause-2 waiver is set, packed by id.
+    waivers: EdgeBitSet,
+    /// Per-edge §4.2 pre-emption flags: bit `s` set iff another live red
+    /// edge shares slot `s`'s conjunction. Seeded by memcpy from the
+    /// graph's static full-live flags and cleared only at the 2→1 / 1→0
+    /// red-count transitions, so the rule #1 eligibility test is one hot
+    /// bitset load instead of an edge→conjunction→red-state chase.
+    /// Deterministic-strategy only; bits of dead edges go stale and are
+    /// never read.
+    preempted: EdgeBitSet,
     live_count: usize,
-    heap: BinaryHeap<Candidate>,
     moves: Vec<Move>,
 }
 
@@ -71,17 +146,28 @@ impl ScratchReducer {
     /// the buffers have grown to a graph's shape once, resetting for any
     /// graph of equal or smaller shape allocates nothing.
     pub fn reset_for(&mut self, graph: &SequencingGraph) {
-        self.alive.clear();
-        self.alive.extend_from_slice(graph.alive_slice());
-        let (c_live, j_live, j_red) = graph.live_counter_slices();
-        self.commitment_live.clear();
-        self.commitment_live.extend_from_slice(c_live);
-        self.conjunction_live.clear();
-        self.conjunction_live.extend_from_slice(j_live);
-        self.conjunction_live_red.clear();
-        self.conjunction_live_red.extend_from_slice(j_red);
+        let edge_count = graph.edges().len();
+        if graph.live_edge_count() == edge_count {
+            // Fully live graph (the batch-driver common case): fill whole
+            // words instead of re-packing the bool slice bit by bit.
+            self.live.reset_full(edge_count);
+        } else {
+            self.live.reset_from_bools(graph.alive_slice());
+        }
+        // The graph maintains the packed degree+XOR state words in
+        // lock-step with its liveness bitmap, so loading them — and the
+        // static waiver set — is a handful of memcpys, not an edge scan.
+        let (c_state, j_state, r_state) = graph.state_slices();
+        self.commitment_state.clear();
+        self.commitment_state.extend_from_slice(c_state);
+        self.conjunction_state.clear();
+        self.conjunction_state.extend_from_slice(j_state);
+        self.conjunction_red_state.clear();
+        self.conjunction_red_state.extend_from_slice(r_state);
+        self.waivers.load_words(graph.waiver_words(), c_state.len());
         self.live_count = graph.live_edge_count();
-        self.heap.clear();
+        self.cand.reset(edge_count * 2);
+        self.cand_top = 0;
         self.moves.clear();
     }
 
@@ -100,6 +186,483 @@ impl ScratchReducer {
         // Worklist-depth tracking runs only with a recorder installed; the
         // disabled path (a single relaxed load) stays allocation-free, as
         // asserted by the counting allocator in `tests/alloc.rs`.
+        let track = obs::enabled();
+        let mut worklist_peak = 0usize;
+        let mut candidates_scanned = 0u64;
+        match strategy {
+            Strategy::Deterministic => {
+                self.seed_worklist(graph);
+                if track {
+                    worklist_peak = self.cand.count();
+                }
+                while let Some((slot, rule1)) = self.pop_candidate() {
+                    if track {
+                        candidates_scanned += 1;
+                    }
+                    out.trace.push(self.apply(graph, slot, rule1));
+                    if track {
+                        worklist_peak = worklist_peak.max(self.cand.count());
+                    }
+                }
+            }
+            Strategy::Randomized { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    self.collect_moves(graph);
+                    if self.moves.is_empty() {
+                        break;
+                    }
+                    if track {
+                        worklist_peak = worklist_peak.max(self.moves.len());
+                        candidates_scanned += self.moves.len() as u64;
+                    }
+                    self.moves.shuffle(&mut rng);
+                    let mv = self.moves[0];
+                    let removed = *graph.edge(mv.edge);
+                    out.trace.push(self.remove_rescanned(mv, removed));
+                }
+            }
+        }
+        out.remaining_edges
+            .extend(self.live.ones().map(|slot| graph.edges()[slot].id));
+        out.feasible = out.remaining_edges.is_empty();
+        debug_assert_eq!(out.feasible, self.live_count == 0);
+        if track {
+            obs::with(|r| {
+                r.counter("reduce.candidates_scanned", candidates_scanned);
+                r.counter("reduce.bitset_words", self.live.word_count() as u64);
+            });
+            record_reduction_metrics(out, worklist_peak);
+        }
+    }
+
+    /// [`run_into`](Self::run_into) returning a freshly allocated outcome —
+    /// the drop-in replacement for `Reducer::new(graph.clone()).run()` when
+    /// the caller needs to keep the result.
+    pub fn run(&mut self, graph: &SequencingGraph, strategy: Strategy) -> ReductionOutcome {
+        let mut out = ReductionOutcome::default();
+        self.run_into(graph, strategy, &mut out);
+        out
+    }
+
+    /// Marks `slot` a rule #1 candidate, raising the scan hint.
+    #[inline]
+    fn push_rule1(&mut self, slot: usize) {
+        let w = self.cand.insert(2 * slot + 1);
+        self.cand_top = self.cand_top.max(w + 1);
+    }
+
+    /// Marks `slot` a rule #2 candidate, raising the scan hint.
+    #[inline]
+    fn push_rule2(&mut self, slot: usize) {
+        let w = self.cand.insert(2 * slot);
+        self.cand_top = self.cand_top.max(w + 1);
+    }
+
+    /// Peeks the maximum candidate in the heap's `(edge id, rule #1
+    /// first)` order: top-down word scan plus `leading_zeros` in the
+    /// first non-empty word. The interleaved layout makes plain bit
+    /// order *be* that order, so no fusing or tie-break is needed. The
+    /// popped bit is not cleared here — [`apply`](Self::apply) clears
+    /// the removed edge's whole candidate pair in one write.
+    #[inline]
+    fn pop_candidate(&mut self) -> Option<(usize, bool)> {
+        while self.cand_top > 0 {
+            let w = self.cand_top - 1;
+            let word = self.cand.word(w);
+            if word == 0 {
+                self.cand_top = w;
+                continue;
+            }
+            let bit = w * WORD_BITS + (WORD_BITS - 1 - word.leading_zeros() as usize);
+            return Some((bit >> 1, bit & 1 == 1));
+        }
+        None
+    }
+
+    /// Seeds the candidate sets with the currently applicable moves. For
+    /// the fully live graph (the batch-driver common case) the applicable
+    /// sets are static graph structure, precomputed at construction and
+    /// loaded here by memcpy; a partially reduced graph falls back to the
+    /// live-set word scan. (The heap seeded these in ascending-id scan
+    /// order; set membership is order-independent.)
+    fn seed_worklist(&mut self, graph: &SequencingGraph) {
+        let edges = graph.edges();
+        if self.live_count == edges.len() {
+            self.cand
+                .load_words(graph.seed_cand_words(), edges.len() * 2);
+            self.preempted
+                .load_words(graph.seed_preempted_words(), edges.len());
+            self.cand_top = self.cand.word_count();
+            #[cfg(debug_assertions)]
+            for e in edges {
+                let rule1 = self.commitment_degree(graph, e.commitment) == 1
+                    && (!self.red_probe(graph, e) || self.waivers.contains(e.commitment.index()));
+                debug_assert_eq!(
+                    self.cand.contains(2 * e.id.index() + 1),
+                    rule1,
+                    "stale precomputed rule #1 seed at {}",
+                    e.id
+                );
+                debug_assert_eq!(
+                    self.cand.contains(2 * e.id.index()),
+                    self.conjunction_degree(graph, e.conjunction) == 1,
+                    "stale precomputed rule #2 seed at {}",
+                    e.id
+                );
+                debug_assert_eq!(
+                    self.preempted.contains(e.id.index()),
+                    self.red_probe(graph, e),
+                    "stale precomputed pre-emption seed at {}",
+                    e.id
+                );
+            }
+            return;
+        }
+        self.preempted.reset(edges.len());
+        for w in 0..self.live.word_count() {
+            let mut word = self.live.word(w);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let e = &edges[w * WORD_BITS + bit];
+                // Every live edge's pre-emption flag is materialised, not
+                // just the current fringe's: later survivors consult it.
+                let preempted = self.red_probe(graph, e);
+                if preempted {
+                    self.preempted.insert(e.id.index());
+                }
+                if self.commitment_degree(graph, e.commitment) == 1
+                    && (!preempted || self.waivers.contains(e.commitment.index()))
+                {
+                    self.push_rule1(e.id.index());
+                }
+                if self.conjunction_degree(graph, e.conjunction) == 1 {
+                    self.push_rule2(e.id.index());
+                }
+            }
+        }
+    }
+
+    /// Mirror of `Reducer::applicable_moves`, rescanning into the reusable
+    /// move buffer (the randomized strategy must sample from the whole
+    /// applicable set at every step). The live-set word scan yields edges
+    /// in the same ascending-id order as the former bool-slice scan.
+    fn collect_moves(&mut self, graph: &SequencingGraph) {
+        self.moves.clear();
+        let edges = graph.edges();
+        for w in 0..self.live.word_count() {
+            let mut word = self.live.word(w);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let e = &edges[w * WORD_BITS + bit];
+                if self.commitment_degree(graph, e.commitment) == 1 {
+                    let preempted = self.red_probe(graph, e);
+                    let waiver = self.waivers.contains(e.commitment.index());
+                    if !preempted || waiver {
+                        self.moves.push(Move {
+                            edge: e.id,
+                            rule: Rule::CommitmentFringe,
+                            via_clause2: preempted && waiver,
+                        });
+                    }
+                }
+                if self.conjunction_degree(graph, e.conjunction) == 1 {
+                    self.moves.push(Move {
+                        edge: e.id,
+                        rule: Rule::ConjunctionFringe,
+                        via_clause2: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Removes a move picked by the randomized rescan protocol. The rescan
+    /// recomputes applicability from scratch every round, so no candidate
+    /// bookkeeping is needed here (the candidate sets stay empty in
+    /// randomized runs).
+    fn remove_rescanned(&mut self, mv: Move, removed: Edge) -> ReductionStep {
+        let slot = mv.edge.index();
+        debug_assert!(self.live.contains(slot), "removing a dead edge");
+        self.live.remove(slot);
+        self.live_count -= 1;
+        let c_state = {
+            let st = &mut self.commitment_state[removed.commitment.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+            *st
+        };
+        let j_state = {
+            let st = &mut self.conjunction_state[removed.conjunction.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+            *st
+        };
+        if removed.color == EdgeColor::Red {
+            let st = &mut self.conjunction_red_state[removed.conjunction.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+        }
+        ReductionStep {
+            edge: mv.edge,
+            rule: mv.rule,
+            via_clause2: mv.via_clause2,
+            disconnected_commitment: (c_state >> 32 == 0).then_some(removed.commitment),
+            disconnected_conjunction: (j_state >> 32 == 0).then_some(removed.conjunction),
+        }
+    }
+
+    /// Applies the popped candidate: removes the edge from the scratch
+    /// liveness state, records the step, and inserts every move the
+    /// removal newly enables (the three monotone enabling events, each
+    /// checked for full eligibility at insert — see the module docs on
+    /// exact candidacy). The candidate needs no revalidation: set
+    /// membership guarantees applicability, so this goes straight to work.
+    fn apply(&mut self, graph: &SequencingGraph, slot: usize, rule1: bool) -> ReductionStep {
+        debug_assert!(self.live.contains(slot), "popped a dead candidate");
+        let removed = graph.edges()[slot];
+        debug_assert!(
+            if rule1 {
+                self.commitment_degree(graph, removed.commitment) == 1
+            } else {
+                self.conjunction_degree(graph, removed.conjunction) == 1
+            },
+            "popped an inapplicable candidate at {}",
+            removed.id
+        );
+        // `via_clause2` reports pop-time pre-emption, exactly as the heap
+        // engine's revalidation did: an in-set rule #1 candidate is either
+        // unpreempted or waived, so `preempted && waiver` reduces to the
+        // waiver bit gating one pre-emption-flag load. The waiver bit is
+        // loaded once — the fringe cascade below is for the same
+        // commitment.
+        let waived = self.waivers.contains(removed.commitment.index());
+        let via_clause2 = rule1 && waived && self.preempted.contains(slot);
+        debug_assert!(
+            !rule1 || self.preempted.contains(slot) == self.red_probe(graph, &removed),
+            "stale pre-emption flag at popped {}",
+            removed.id
+        );
+        self.live.remove(slot);
+        // One masked write clears both of the removed edge's candidacy
+        // bits — the popped rule's and (if set) the other rule's.
+        self.cand.remove_pair(2 * slot);
+        self.live_count -= 1;
+        // One packed read-modify-write per node: the high half is the
+        // decremented degree, the low half the updated XOR accumulator —
+        // which, at degree 1, is exactly the surviving edge slot.
+        let c_state = {
+            let st = &mut self.commitment_state[removed.commitment.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+            *st
+        };
+        let j_state = {
+            let st = &mut self.conjunction_state[removed.conjunction.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+            *st
+        };
+        // `None` = the removed edge was black, so no pre-emption lift is
+        // possible; the lift branches below key off the red state *after*
+        // this decrement.
+        let mut red_state = None;
+        if removed.color == EdgeColor::Red {
+            let st = &mut self.conjunction_red_state[removed.conjunction.index()];
+            *st = (*st - (1 << 32)) ^ slot as u64;
+            red_state = Some(*st);
+        }
+
+        if c_state >> 32 == 1 {
+            let survivor = c_state as u32 as usize;
+            debug_assert_eq!(
+                Some(survivor),
+                graph
+                    .commitment_edge_ids(removed.commitment)
+                    .iter()
+                    .map(|e| e.index())
+                    .find(|&s| self.live.contains(s)),
+                "stale commitment state accumulator at {}",
+                removed.commitment
+            );
+            debug_assert_eq!(
+                self.preempted.contains(survivor),
+                self.red_probe(graph, &graph.edges()[survivor]),
+                "stale pre-emption flag at survivor {survivor}"
+            );
+            if waived || !self.preempted.contains(survivor) {
+                self.push_rule1(survivor);
+            }
+        }
+        if j_state >> 32 == 1 {
+            let survivor = j_state as u32 as usize;
+            debug_assert_eq!(
+                Some(survivor),
+                graph
+                    .conjunction_edge_ids(removed.conjunction)
+                    .iter()
+                    .map(|e| e.index())
+                    .find(|&s| self.live.contains(s)),
+                "stale conjunction state accumulator at {}",
+                removed.conjunction
+            );
+            self.push_rule2(survivor);
+        }
+        // Pre-emption lift: removing a red edge changes some survivor's
+        // pre-emption status only at the 2→1 and 1→0 red-count
+        // transitions. At 2→1 the one edge whose status flips is the
+        // surviving red itself (the blacks still see one *other* red); at
+        // 1→0 nothing at the conjunction is pre-empted any more. Waived
+        // degree-1 edges were candidates regardless of pre-emption, so
+        // neither branch needs the waiver test.
+        if let Some(rst) = red_state {
+            if rst >> 32 == 1 {
+                let red = rst as u32 as usize;
+                debug_assert!(
+                    self.live.contains(red) && graph.edges()[red].color == EdgeColor::Red,
+                    "stale conjunction red state accumulator at {}",
+                    removed.conjunction
+                );
+                // The surviving red no longer sees another live red, so
+                // its pre-emption lifts; the blacks at the conjunction
+                // still see it and stay pre-empted.
+                self.preempted.remove(red);
+                if self.commitment_degree(graph, graph.edges()[red].commitment) == 1 {
+                    self.push_rule1(red);
+                }
+            } else if rst >> 32 == 0 {
+                for eid in graph.conjunction_edge_ids(removed.conjunction) {
+                    let s = eid.index();
+                    if self.live.contains(s) {
+                        self.preempted.remove(s);
+                        if self.commitment_degree(graph, graph.edge(*eid).commitment) == 1 {
+                            self.push_rule1(s);
+                        }
+                    }
+                }
+            }
+        }
+
+        ReductionStep {
+            edge: removed.id,
+            rule: if rule1 {
+                Rule::CommitmentFringe
+            } else {
+                Rule::ConjunctionFringe
+            },
+            via_clause2,
+            disconnected_commitment: (c_state >> 32 == 0).then_some(removed.commitment),
+            disconnected_conjunction: (j_state >> 32 == 0).then_some(removed.conjunction),
+        }
+    }
+
+    /// O(1) live degree of a commitment (high half of the packed state
+    /// word), with the same debug-build scan oracle discipline as
+    /// `SequencingGraph::commitment_degree`.
+    fn commitment_degree(&self, graph: &SequencingGraph, id: CommitmentId) -> u32 {
+        let cached = (self.commitment_state[id.index()] >> 32) as u32;
+        debug_assert_eq!(
+            cached as usize,
+            graph
+                .commitment_edge_ids(id)
+                .iter()
+                .filter(|e| self.live.contains(e.index()))
+                .count(),
+            "stale scratch commitment state counter at {id}"
+        );
+        cached
+    }
+
+    /// O(1) live degree of a conjunction, oracle-checked in debug builds.
+    fn conjunction_degree(&self, graph: &SequencingGraph, id: ConjunctionId) -> u32 {
+        let cached = (self.conjunction_state[id.index()] >> 32) as u32;
+        debug_assert_eq!(
+            cached as usize,
+            graph
+                .conjunction_edge_ids(id)
+                .iter()
+                .filter(|e| self.live.contains(e.index()))
+                .count(),
+            "stale scratch conjunction state counter at {id}"
+        );
+        cached
+    }
+
+    /// The Rule #1 pre-emption test for a **live** edge `e`: is any *other*
+    /// live red edge attached to `e`'s conjunction? One state-word load and
+    /// a compare — `e`'s own contribution to the red count is its colour,
+    /// which the caller already holds. Oracle-checked in debug builds.
+    #[inline]
+    fn red_probe(&self, graph: &SequencingGraph, e: &Edge) -> bool {
+        debug_assert!(self.live.contains(e.id.index()), "red probe on a dead edge");
+        let preempted = self.conjunction_red_state[e.conjunction.index()] >> 32
+            > u64::from(e.color == EdgeColor::Red);
+        debug_assert_eq!(
+            preempted,
+            graph
+                .conjunction_edge_ids(e.conjunction)
+                .iter()
+                .filter(|t| self.live.contains(t.index()))
+                .map(|t| graph.edge(*t))
+                .any(|t| t.color == EdgeColor::Red && t.id != e.id),
+            "stale scratch conjunction red state counter at {}",
+            e.conjunction
+        );
+        preempted
+    }
+}
+
+/// The PR-4 pointer-ordered scratch engine: a `BinaryHeap` worklist over a
+/// `Vec<bool>` liveness bitmap with `usize` degree counters.
+///
+/// Retained verbatim as the benchmarking baseline for the bitset/SoA
+/// [`ScratchReducer`] (the `hotpath` bench reduces the same corpus through
+/// both and `BENCH_hotpath.json` reports the ratio) and as a secondary
+/// equivalence oracle in the property tests. Not used by any production
+/// driver — prefer [`ScratchReducer`].
+#[derive(Debug, Default)]
+pub struct HeapScratchReducer {
+    alive: Vec<bool>,
+    commitment_live: Vec<usize>,
+    conjunction_live: Vec<usize>,
+    conjunction_live_red: Vec<usize>,
+    live_count: usize,
+    heap: BinaryHeap<Candidate>,
+    moves: Vec<Move>,
+}
+
+impl HeapScratchReducer {
+    /// Creates an empty scratchpad. Buffers grow on first use and are
+    /// retained afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `graph`'s current liveness state into the scratch buffers,
+    /// clearing any previous run.
+    pub fn reset_for(&mut self, graph: &SequencingGraph) {
+        self.alive.clear();
+        self.alive.extend_from_slice(graph.alive_slice());
+        let (c_live, j_live, j_red) = graph.live_counter_slices();
+        self.commitment_live.clear();
+        self.commitment_live.extend_from_slice(c_live);
+        self.conjunction_live.clear();
+        self.conjunction_live.extend_from_slice(j_live);
+        self.conjunction_live_red.clear();
+        self.conjunction_live_red.extend_from_slice(j_red);
+        self.live_count = graph.live_edge_count();
+        self.heap.clear();
+        self.moves.clear();
+    }
+
+    /// Runs a maximal reduction of `graph` under `strategy`, writing the
+    /// outcome into `out` (whose buffers are reused).
+    pub fn run_into(
+        &mut self,
+        graph: &SequencingGraph,
+        strategy: Strategy,
+        out: &mut ReductionOutcome,
+    ) {
+        self.reset_for(graph);
+        out.trace.clear();
+        out.remaining_edges.clear();
         let track = obs::enabled();
         let mut worklist_peak = 0usize;
         match strategy {
@@ -151,19 +714,13 @@ impl ScratchReducer {
         }
     }
 
-    /// [`run_into`](Self::run_into) returning a freshly allocated outcome —
-    /// the drop-in replacement for `Reducer::new(graph.clone()).run()` when
-    /// the caller needs to keep the result.
+    /// [`run_into`](Self::run_into) returning a freshly allocated outcome.
     pub fn run(&mut self, graph: &SequencingGraph, strategy: Strategy) -> ReductionOutcome {
         let mut out = ReductionOutcome::default();
         self.run_into(graph, strategy, &mut out);
         out
     }
 
-    /// Seeds the worklist with the currently applicable moves, scanning
-    /// live edges in the same ascending-id order as
-    /// `Reducer::applicable_moves` so the heap starts from the identical
-    /// candidate multiset.
     fn seed_worklist(&mut self, graph: &SequencingGraph) {
         for e in graph.edges() {
             if !self.alive[e.id.index()] {
@@ -188,9 +745,6 @@ impl ScratchReducer {
         }
     }
 
-    /// Mirror of `Reducer::applicable_moves`, rescanning into the reusable
-    /// move buffer (the randomized strategy must sample from the whole
-    /// applicable set at every step).
     fn collect_moves(&mut self, graph: &SequencingGraph) {
         self.moves.clear();
         for e in graph.edges() {
@@ -218,7 +772,6 @@ impl ScratchReducer {
         }
     }
 
-    /// Mirror of `Reducer::revalidate` against the scratch liveness state.
     fn revalidate(&self, graph: &SequencingGraph, cand: Candidate) -> Option<Move> {
         if !self.alive[cand.edge.index()] {
             return None;
@@ -250,8 +803,6 @@ impl ScratchReducer {
         }
     }
 
-    /// Mirror of `Reducer::push_unlocked`: pushes every move that removing
-    /// `removed` can newly enable (the three monotone enabling events).
     fn push_unlocked(&mut self, graph: &SequencingGraph, removed: Edge) {
         if self.commitment_degree(graph, removed.commitment) == 1 {
             let survivor = graph
@@ -291,8 +842,6 @@ impl ScratchReducer {
         }
     }
 
-    /// Removes `mv.edge` from the scratch liveness state and records the
-    /// step. The caller has already revalidated the move.
     fn remove(&mut self, mv: Move, removed: Edge) -> ReductionStep {
         debug_assert!(self.alive[mv.edge.index()], "removing a dead edge");
         self.alive[mv.edge.index()] = false;
@@ -313,8 +862,6 @@ impl ScratchReducer {
         }
     }
 
-    /// O(1) live degree of a commitment, with the same debug-build scan
-    /// oracle discipline as `SequencingGraph::commitment_degree`.
     fn commitment_degree(&self, graph: &SequencingGraph, id: CommitmentId) -> usize {
         let cached = self.commitment_live[id.index()];
         debug_assert_eq!(
@@ -329,7 +876,6 @@ impl ScratchReducer {
         cached
     }
 
-    /// O(1) live degree of a conjunction, oracle-checked in debug builds.
     fn conjunction_degree(&self, graph: &SequencingGraph, id: ConjunctionId) -> usize {
         let cached = self.conjunction_live[id.index()];
         debug_assert_eq!(
@@ -344,9 +890,6 @@ impl ScratchReducer {
         cached
     }
 
-    /// The Rule #1 pre-emption test against scratch liveness: any live red
-    /// edge other than `except` at the conjunction. O(1) via the cached red
-    /// counter, oracle-checked in debug builds.
     fn preempted_by_red(
         &self,
         graph: &SequencingGraph,
@@ -423,6 +966,27 @@ mod tests {
     }
 
     #[test]
+    fn matches_heap_scratch_engine() {
+        // The retained PR-4 engine and the bitset/SoA engine agree on
+        // every fixture under both strategies.
+        let mut bitset = ScratchReducer::new();
+        let mut heap = HeapScratchReducer::new();
+        let mut a = ReductionOutcome::default();
+        let mut b = ReductionOutcome::default();
+        for graph in fixture_graphs() {
+            bitset.run_into(&graph, Strategy::Deterministic, &mut a);
+            heap.run_into(&graph, Strategy::Deterministic, &mut b);
+            assert_eq!(a, b);
+            for seed in 0..4 {
+                let strategy = Strategy::Randomized { seed };
+                bitset.run_into(&graph, strategy, &mut a);
+                heap.run_into(&graph, strategy, &mut b);
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
     fn graph_is_untouched_and_runs_are_independent() {
         let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
         let pristine = graph.clone();
@@ -446,5 +1010,8 @@ mod tests {
         let out = scratch.run(&partial, Strategy::Deterministic);
         assert!(out.feasible);
         assert_eq!(out.trace.len(), partial.live_edge_count());
+        // The partial graph exercises the packed (non-full) reset path.
+        let heap = HeapScratchReducer::new().run(&partial, Strategy::Deterministic);
+        assert_eq!(out, heap);
     }
 }

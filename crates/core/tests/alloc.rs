@@ -1,7 +1,10 @@
 //! Allocation-regression test for the zero-allocation hot path: after a
 //! warm-up pass has grown every buffer, a steady-state
 //! [`ScratchReducer::run_into`] loop over pre-built graphs must perform
-//! **zero** heap allocations per spec.
+//! **zero** heap allocations per spec. Since the raw-speed pass this is
+//! the bitset/SoA engine: live edges and candidates live in reused
+//! `u64`-word bitsets and degree counters in reused `u32` vectors, so the
+//! property covers every one of those buffers.
 //!
 //! Kept in its own integration-test binary because the counting
 //! `#[global_allocator]` is process-global: any unrelated test running in
@@ -149,6 +152,39 @@ fn noop_recorder_keeps_instrumented_hot_path_allocation_free() {
         "disabled observability must not allocate on the hot path"
     );
     assert!(out.feasible);
+}
+
+/// A graph mid-reduction (example2's infeasible impasse, kept by
+/// [`Reducer::run_keeping_graph`]) has dead edges, so
+/// `ScratchReducer::reset_for` takes the packed bool→bitset-word path
+/// instead of the all-live fast path. That path — and the `u32` degree
+/// narrowing that rides with it — must be just as allocation-free.
+#[test]
+fn partially_reduced_graphs_are_allocation_free_after_warm_up() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (first, stuck) =
+        trustseq_core::Reducer::new(SequencingGraph::from_spec(&fixtures::example2().0).unwrap())
+            .run_keeping_graph();
+    assert!(!first.feasible);
+    assert!(
+        stuck.live_edge_count() < stuck.edges().len(),
+        "the impasse must leave a genuinely partial graph"
+    );
+    let mut scratch = ScratchReducer::new();
+    let mut out = ReductionOutcome::default();
+    scratch.run_into(&stuck, Strategy::Deterministic, &mut out);
+
+    let observed = measured_allocations(|| {
+        for seed in 0..100 {
+            scratch.run_into(&stuck, Strategy::Deterministic, &mut out);
+            scratch.run_into(&stuck, Strategy::Randomized { seed }, &mut out);
+        }
+    });
+    assert_eq!(
+        observed, 0,
+        "packed bitset reset over a partial graph must not allocate"
+    );
+    assert!(!out.feasible);
 }
 
 #[test]

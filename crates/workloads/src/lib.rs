@@ -8,7 +8,9 @@
 //!   parts composed by one publisher;
 //! * [`random_exchange`] — seeded random topologies with a
 //!   [`trust_density`](RandomConfig::trust_density) knob, and
-//!   [`feasibility_rate`] to measure how trust unlocks exchanges.
+//!   [`feasibility_rate`] to measure how trust unlocks exchanges;
+//! * [`sweep_streaming`] — the same sweep in bounded memory: corpora far
+//!   larger than RAM are generated, analyzed and folded chunk by chunk.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ mod assembly;
 mod bundle;
 mod chain;
 mod random;
+mod stream;
 
 pub use assembly::{assembly_market, AssemblyIds};
 pub use bundle::{bundle, bundle_arithmetic, BundleIds};
@@ -39,3 +42,4 @@ pub use chain::{broker_chain, ChainIds};
 pub use random::{
     feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig, RandomExchange,
 };
+pub use stream::{feasibility_rate_streaming, sweep_streaming, StreamReport};

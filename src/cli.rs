@@ -88,6 +88,7 @@ USAGE:
     trustseq <COMMAND> [OPTIONS] <SPEC.tseq>
     trustseq dist [--faults PLAN] [--journal PATH] [OPTIONS] <SPEC.tseq>
     trustseq journal-replay [OPTIONS] <JOURNAL.jsonl>
+    trustseq sweep [--samples N] [--stream CHUNK] [OPTIONS]
 
 OPTIONS:
     --extended        enable the \u{a7}9 shared-escrow delegation semantics
@@ -97,6 +98,13 @@ OPTIONS:
     --threads N       worker threads for sweep fan-out (defection sweeps,
                       batch analysis); defaults to the machine's available
                       parallelism
+    --sharded         fan batches out as contiguous per-worker shards
+                      (cache-affine) instead of work-stealing; results are
+                      byte-identical in either mode
+    --samples N       with `sweep`: corpus size, seeds 0..N (default 1000)
+    --stream CHUNK    with `sweep`: bounded-memory streaming mode — generate,
+                      analyze and fold CHUNK specs at a time instead of
+                      materializing the whole corpus
     --metrics         record structured runtime metrics (reducer, cache,
                       pool, distributed protocol) and print them afterwards
     --metrics-format  `table` (default) or `json`; implies --metrics
@@ -119,6 +127,8 @@ COMMANDS:
                     seeded fault plan; optionally record an event journal
     journal-replay  re-run a recorded journal and verify it reproduces
                     byte-for-byte, then re-check the verdict centrally
+    sweep           measure the feasibility rate of a seeded random exchange
+                    corpus; `--stream` keeps peak memory at one chunk
 ";
 
 /// Runs a command against specification source text, returning the output.
@@ -359,6 +369,48 @@ pub fn run_dist(
     }
 }
 
+/// Runs the `sweep` command: the feasible fraction of `samples` seeded
+/// random exchanges (seeds `0..samples`, default workload topology).
+/// Without a chunk budget the corpus is materialized and analyzed in one
+/// batch; with `chunk = Some(n)` it streams through
+/// [`trustseq_workloads::sweep_streaming`], holding at most `n` specs
+/// resident regardless of corpus size. Both paths honour the process-wide
+/// worker pool and batch mode, and both report the same rate.
+///
+/// # Errors
+///
+/// Currently infallible (random workloads always build); kept fallible for
+/// symmetry with the other command runners.
+pub fn run_sweep(
+    samples: u64,
+    chunk: Option<usize>,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<String, String> {
+    let config = trustseq_workloads::RandomConfig::default();
+    let mut out = String::new();
+    match chunk {
+        Some(chunk) => {
+            let report = trustseq_workloads::sweep_streaming(&config, samples, chunk, cache);
+            let _ = writeln!(
+                out,
+                "sweep: {} samples, feasibility rate {:.4}",
+                report.samples,
+                report.rate()
+            );
+            let _ = writeln!(
+                out,
+                "streamed in {} chunks of at most {} resident specs ({} errors)",
+                report.chunks, report.chunk_len, report.errors
+            );
+        }
+        None => {
+            let rate = trustseq_workloads::feasibility_rate_cached(&config, samples, cache);
+            let _ = writeln!(out, "sweep: {samples} samples, feasibility rate {rate:.4}");
+        }
+    }
+    Ok(out)
+}
+
 /// Replays a recorded JSONL event journal: re-runs the header's spec under
 /// the header's fault plan and config, verifies every event line
 /// reproduces byte-for-byte (the fault plan is a pure function of its
@@ -507,12 +559,38 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut metrics_format = MetricsFormat::Table;
     let mut journal_path: Option<String> = None;
     let mut faults: Option<String> = None;
+    let mut samples: Option<u64> = None;
+    let mut stream: Option<usize> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--extended" => options = trustseq_core::BuildOptions::EXTENDED,
             "--cache-stats" => cache_stats = true,
+            "--sharded" => trustseq_core::pool::set_batch_mode(trustseq_core::BatchMode::Sharded),
+            "--samples" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--samples` expects a corpus size\n\n{USAGE}"))?;
+                samples = Some(raw.parse::<u64>().map_err(|_| {
+                    format!("`--samples` expects a corpus size, got `{raw}`\n\n{USAGE}")
+                })?);
+            }
+            "--stream" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--stream` expects a chunk size\n\n{USAGE}"))?;
+                stream = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!(
+                                "`--stream` expects a positive chunk size, got `{raw}`\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
             "--metrics" => metrics = true,
             "--metrics-format" => {
                 let fmt = iter.next().ok_or_else(|| {
@@ -567,6 +645,29 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
             }
             other => positional.push(other),
         }
+    }
+    if positional.as_slice() == ["sweep"] {
+        if journal_path.is_some() || faults.is_some() {
+            return Err(format!(
+                "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
+            ));
+        }
+        let samples = samples.unwrap_or(1000);
+        return with_metrics(metrics, metrics_format, || {
+            if cache_stats {
+                let cache = trustseq_core::AnalysisCache::new();
+                let mut out = run_sweep(samples, stream, Some(&cache))?;
+                let _ = writeln!(out, "cache: {}", cache.stats());
+                Ok(out)
+            } else {
+                run_sweep(samples, stream, None)
+            }
+        });
+    }
+    if samples.is_some() || stream.is_some() {
+        return Err(format!(
+            "`--samples` and `--stream` apply to the `sweep` command\n\n{USAGE}"
+        ));
     }
     let (cmd_name, path) = match positional.as_slice() {
         [c, p] => (*c, *p),
@@ -864,6 +965,82 @@ mod tests {
         let out =
             with_metrics(true, MetricsFormat::Json, || run(Command::Check, EXAMPLE1)).unwrap();
         assert!(out.contains("\"reduce.runs\""), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_streams_and_materializes_identically() {
+        // Materialized and streaming sweeps report the same rate.
+        let full = main_with_args(&["sweep".into(), "--samples".into(), "30".into()]).unwrap();
+        assert!(full.contains("30 samples"), "{full}");
+        assert!(full.contains("feasibility rate"), "{full}");
+        let streamed = main_with_args(&[
+            "sweep".into(),
+            "--samples".into(),
+            "30".into(),
+            "--stream".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        assert!(streamed.contains("5 chunks"), "{streamed}");
+        assert!(streamed.contains("at most 7 resident"), "{streamed}");
+        let rate_of = |out: &str| out.lines().next().unwrap().to_owned();
+        assert_eq!(rate_of(&full), rate_of(&streamed));
+        // --cache-stats composes with sweep.
+        let cached = main_with_args(&[
+            "sweep".into(),
+            "--samples".into(),
+            "30".into(),
+            "--cache-stats".into(),
+        ])
+        .unwrap();
+        assert_eq!(rate_of(&full), rate_of(&cached));
+        assert!(cached.contains("cache:"), "{cached}");
+    }
+
+    #[test]
+    fn sweep_flags_are_validated() {
+        // --samples/--stream are sweep-only.
+        let err = main_with_args(&["--samples".into(), "10".into(), "check".into(), "x".into()])
+            .unwrap_err();
+        assert!(err.contains("apply to the `sweep` command"), "{err}");
+        // Malformed or missing values are rejected up front.
+        for bad in [
+            vec!["sweep".to_owned(), "--samples".to_owned()],
+            vec![
+                "sweep".to_owned(),
+                "--samples".to_owned(),
+                "many".to_owned(),
+            ],
+            vec!["sweep".to_owned(), "--stream".to_owned(), "0".to_owned()],
+        ] {
+            let err = main_with_args(&bad).unwrap_err();
+            assert!(err.contains("expects"), "{err}");
+        }
+        // --journal/--faults stay dist-only even for sweep.
+        let err =
+            main_with_args(&["sweep".into(), "--faults".into(), "seed=1".into()]).unwrap_err();
+        assert!(err.contains("apply to the `dist` command"), "{err}");
+    }
+
+    #[test]
+    fn sharded_flag_selects_the_batch_mode() {
+        // `--sharded` flips the process-wide batch mode; every fan-out path
+        // is byte-identical in either mode, so the sweep rate is unchanged.
+        let stealing = main_with_args(&["sweep".into(), "--samples".into(), "20".into()]).unwrap();
+        let sharded = main_with_args(&[
+            "--sharded".into(),
+            "sweep".into(),
+            "--samples".into(),
+            "20".into(),
+        ])
+        .unwrap();
+        assert_eq!(stealing, sharded);
+        assert_eq!(
+            trustseq_core::pool::batch_mode(),
+            trustseq_core::BatchMode::Sharded
+        );
+        // Restore the default for any test sharing this process.
+        trustseq_core::pool::set_batch_mode(trustseq_core::BatchMode::Stealing);
     }
 
     #[test]
