@@ -20,13 +20,85 @@
 //! * `syncresp;from=a3;dead=e1,e4` — the neighbour's answer (`dead=` may
 //!   be empty).
 //!
+//! The socket transport ([`crate::net`], [`crate::supervise`]) reuses the
+//! same codec for its control plane, adding:
+//!
+//! * `hello;from=a3` — the first frame of every connection, identifying
+//!   the peer;
+//! * `ping;tick=42` — a heartbeat keepalive on idle links;
+//! * `decided;from=a3;edge=e2;rule=1` — a node streaming a local removal
+//!   decision to the supervisor;
+//! * `status;from=a3;tick=42;live=3;props=0;unacked=1;abandoned=0;dead=e1;tx=10;rx=20;ftx=3;frx=4;rc=0;rtt=250`
+//!   — a node's periodic self-report to the supervisor;
+//! * `halt;verdict=feasible` — the supervisor's shutdown broadcast,
+//!   carrying a [`DistVerdict`](crate::DistVerdict) token.
+//!
 //! [`FaultPlan`]: crate::FaultPlan
 //! [`FaultPlan::with_corrupt_per_mille`]: crate::FaultPlan::with_corrupt_per_mille
 
 use crate::node::Message;
 use std::fmt;
-use trustseq_core::EdgeId;
+use trustseq_core::{EdgeId, Rule};
 use trustseq_model::AgentId;
+
+/// One node's periodic self-report to the connection supervisor: its view
+/// of the reduction (live/dead edges, pending work) plus its link-layer
+/// accounting. Carried by [`Packet::Status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The reporting node.
+    pub from: AgentId,
+    /// The node's local tick counter at report time.
+    pub tick: u64,
+    /// Edges the node still believes live.
+    pub live: u32,
+    /// Removal proposals the node could currently justify (0 at a local
+    /// fixpoint).
+    pub proposals: u32,
+    /// Announcements sent but neither acknowledged nor abandoned.
+    pub unacked: u32,
+    /// Announcements abandoned after exhausting their retry budget — a
+    /// non-zero value taints any `infeasible` claim.
+    pub abandoned: u32,
+    /// Every visible edge the node knows removed (cumulative, idempotent —
+    /// safe to resend, so lost statuses cost nothing).
+    pub dead: Vec<EdgeId>,
+    /// Bytes written to peer links.
+    pub bytes_tx: u64,
+    /// Bytes read from peer links.
+    pub bytes_rx: u64,
+    /// Frames written to peer links.
+    pub frames_tx: u64,
+    /// Frames read from peer links.
+    pub frames_rx: u64,
+    /// Successful link reconnections after a connection died.
+    pub reconnects: u64,
+    /// Most recent announcement→ack round trip in microseconds (0 = no
+    /// sample yet).
+    pub rtt_us: u64,
+}
+
+impl NodeStatus {
+    /// A zeroed report for `from` — the state of a node that has connected
+    /// but not yet observed anything.
+    pub fn empty(from: AgentId) -> Self {
+        NodeStatus {
+            from,
+            tick: 0,
+            live: 0,
+            proposals: 0,
+            unacked: 0,
+            abandoned: 0,
+            dead: Vec::new(),
+            bytes_tx: 0,
+            bytes_rx: 0,
+            frames_tx: 0,
+            frames_rx: 0,
+            reconnects: 0,
+            rtt_us: 0,
+        }
+    }
+}
 
 /// A resilient-protocol packet. `Data` carries the base protocol's
 /// removal announcement under a sequence number; the rest is the
@@ -56,6 +128,33 @@ pub enum Packet {
         from: AgentId,
         /// Every edge the responder knows removed.
         dead: Vec<EdgeId>,
+    },
+    /// The first frame of every socket connection: who is calling.
+    Hello {
+        /// The connecting peer.
+        from: AgentId,
+    },
+    /// A heartbeat keepalive on an idle link.
+    Ping {
+        /// The sender's local tick counter.
+        tick: u64,
+    },
+    /// A node streaming one local removal decision to the supervisor.
+    Decided {
+        /// The deciding node.
+        from: AgentId,
+        /// The removed edge.
+        edge: EdgeId,
+        /// The sanctioning rule.
+        rule: Rule,
+    },
+    /// A node's periodic self-report to the supervisor.
+    Status(NodeStatus),
+    /// The supervisor's shutdown broadcast with the run's verdict token
+    /// (see [`DistVerdict::to_token`](crate::DistVerdict::to_token)).
+    Halt {
+        /// The verdict token, e.g. `feasible` or `undecided:deadline`.
+        verdict: String,
     },
 }
 
@@ -138,6 +237,36 @@ impl Packet {
                 }
                 out
             }
+            Packet::Hello { from } => format!("hello;from={from}"),
+            Packet::Ping { tick } => format!("ping;tick={tick}"),
+            Packet::Decided { from, edge, rule } => {
+                format!(
+                    "decided;from={from};edge={edge};rule={}",
+                    match rule {
+                        Rule::CommitmentFringe => 1,
+                        Rule::ConjunctionFringe => 2,
+                    }
+                )
+            }
+            Packet::Status(s) => {
+                let mut out = format!(
+                    "status;from={};tick={};live={};props={};unacked={};abandoned={};dead=",
+                    s.from, s.tick, s.live, s.proposals, s.unacked, s.abandoned
+                );
+                for (i, e) in s.dead.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{e}");
+                }
+                let _ = write!(
+                    out,
+                    ";tx={};rx={};ftx={};frx={};rc={};rtt={}",
+                    s.bytes_tx, s.bytes_rx, s.frames_tx, s.frames_rx, s.reconnects, s.rtt_us
+                );
+                out
+            }
+            Packet::Halt { verdict } => format!("halt;verdict={verdict}"),
         }
     }
 
@@ -193,7 +322,96 @@ impl Packet {
                     dead: edges,
                 }
             }
-            _ => return Err(bad(tag, "a packet tag: data, ack, syncreq or syncresp")),
+            "hello" => {
+                let from = expect_field(fields.next(), "from", "from=<agent>")?;
+                Packet::Hello {
+                    from: parse_agent(from)?,
+                }
+            }
+            "ping" => {
+                let tick = expect_field(fields.next(), "tick", "tick=<u64>")?;
+                Packet::Ping {
+                    tick: tick.parse().map_err(|_| bad(tick, "a u64 tick counter"))?,
+                }
+            }
+            "decided" => {
+                let from = expect_field(fields.next(), "from", "from=<agent>")?;
+                let edge = expect_field(fields.next(), "edge", "edge=<edge>")?;
+                let rule = expect_field(fields.next(), "rule", "rule=<1|2>")?;
+                Packet::Decided {
+                    from: parse_agent(from)?,
+                    edge: parse_edge(edge)?,
+                    rule: match rule {
+                        "1" => Rule::CommitmentFringe,
+                        "2" => Rule::ConjunctionFringe,
+                        _ => return Err(bad(rule, "rule 1 or 2")),
+                    },
+                }
+            }
+            "status" => {
+                fn num(
+                    field: Option<&str>,
+                    key: &'static str,
+                    expected: &'static str,
+                ) -> Result<u64, CodecError> {
+                    let v = expect_field(field, key, expected)?;
+                    v.parse().map_err(|_| bad(v, "a non-negative number"))
+                }
+                let from = expect_field(fields.next(), "from", "from=<agent>")?;
+                let from = parse_agent(from)?;
+                let tick = num(fields.next(), "tick", "tick=<u64>")?;
+                let live = num(fields.next(), "live", "live=<u32>")? as u32;
+                let proposals = num(fields.next(), "props", "props=<u32>")? as u32;
+                let unacked = num(fields.next(), "unacked", "unacked=<u32>")? as u32;
+                let abandoned = num(fields.next(), "abandoned", "abandoned=<u32>")? as u32;
+                let dead_field = expect_field(fields.next(), "dead", "dead=<edges>")?;
+                let mut dead = Vec::new();
+                if !dead_field.is_empty() {
+                    for entry in dead_field.split(',') {
+                        dead.push(parse_edge(entry)?);
+                    }
+                }
+                let bytes_tx = num(fields.next(), "tx", "tx=<u64>")?;
+                let bytes_rx = num(fields.next(), "rx", "rx=<u64>")?;
+                let frames_tx = num(fields.next(), "ftx", "ftx=<u64>")?;
+                let frames_rx = num(fields.next(), "frx", "frx=<u64>")?;
+                let reconnects = num(fields.next(), "rc", "rc=<u64>")?;
+                let rtt_us = num(fields.next(), "rtt", "rtt=<u64>")?;
+                Packet::Status(NodeStatus {
+                    from,
+                    tick,
+                    live,
+                    proposals,
+                    unacked,
+                    abandoned,
+                    dead,
+                    bytes_tx,
+                    bytes_rx,
+                    frames_tx,
+                    frames_rx,
+                    reconnects,
+                    rtt_us,
+                })
+            }
+            "halt" => {
+                let verdict = expect_field(fields.next(), "verdict", "verdict=<token>")?;
+                // Tokens are lower-case words with `:` separators; anything
+                // else is a mangled frame (keeps decoding canonical).
+                if verdict.is_empty()
+                    || !verdict
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == ':' || c == '_')
+                {
+                    return Err(bad(verdict, "a verdict token like undecided:deadline"));
+                }
+                Packet::Halt {
+                    verdict: verdict.to_string(),
+                }
+            }
+            _ => return Err(bad(
+                tag,
+                "a packet tag: data, ack, syncreq, syncresp, hello, ping, decided, status or halt",
+            )),
         };
         if let Some(extra) = fields.next() {
             return Err(bad(extra, "end of frame"));
@@ -227,6 +445,42 @@ mod tests {
                 from: AgentId::new(1),
                 dead: vec![EdgeId::new(0), EdgeId::new(9)],
             },
+            Packet::Hello {
+                from: AgentId::new(4),
+            },
+            Packet::Ping { tick: 12 },
+            Packet::Decided {
+                from: AgentId::new(2),
+                edge: EdgeId::new(7),
+                rule: Rule::CommitmentFringe,
+            },
+            Packet::Decided {
+                from: AgentId::new(0),
+                edge: EdgeId::new(3),
+                rule: Rule::ConjunctionFringe,
+            },
+            Packet::Status(NodeStatus {
+                from: AgentId::new(1),
+                tick: 42,
+                live: 3,
+                proposals: 0,
+                unacked: 1,
+                abandoned: 0,
+                dead: vec![EdgeId::new(1), EdgeId::new(2)],
+                bytes_tx: 1234,
+                bytes_rx: 987,
+                frames_tx: 17,
+                frames_rx: 15,
+                reconnects: 0,
+                rtt_us: 137,
+            }),
+            Packet::Status(NodeStatus::empty(AgentId::new(0))),
+            Packet::Halt {
+                verdict: "undecided:deadline".to_string(),
+            },
+            Packet::Halt {
+                verdict: "feasible".to_string(),
+            },
         ]
     }
 
@@ -245,6 +499,17 @@ mod tests {
             "data;seq=17;from=a3;edge=e2".to_string()
         );
         assert_eq!(samples()[3].to_wire(), "syncresp;from=a1;dead=");
+        assert_eq!(samples()[5].to_wire(), "hello;from=a4");
+        assert_eq!(
+            samples()[7].to_wire(),
+            "decided;from=a2;edge=e7;rule=1".to_string()
+        );
+        assert_eq!(
+            samples()[9].to_wire(),
+            "status;from=a1;tick=42;live=3;props=0;unacked=1;abandoned=0;\
+             dead=e1,e2;tx=1234;rx=987;ftx=17;frx=15;rc=0;rtt=137"
+        );
+        assert_eq!(samples()[11].to_wire(), "halt;verdict=undecided:deadline");
     }
 
     /// The satellite regression: *every* truncation of a valid frame
@@ -278,6 +543,16 @@ mod tests {
             "ack;seq=",
             "syncreq;from=",
             "syncresp;from=a1;dead=x2",
+            "hello;from=e1",
+            "hello;from=a1;extra=1",
+            "ping;tick=abc",
+            "decided;from=a1;edge=e1;rule=3",
+            "decided;from=a1;edge=e1",
+            "status;from=a1",
+            "status;from=a1;tick=1;live=2;props=0;unacked=0;abandoned=0;dead=e1,;tx=0;rx=0;ftx=0;frx=0;rc=0;rtt=0",
+            "halt;verdict=",
+            "halt;verdict=Feasible",
+            "halt;verdict=ok;extra=1",
         ] {
             assert!(Packet::from_wire(frame).is_err(), "{frame:?}");
         }

@@ -17,6 +17,12 @@
 //! CLI's `journal-replay` subcommand does exactly that and additionally
 //! re-checks the recorded verdict against the centralised reducer.
 //!
+//! Socket runs (`dist-run`) reuse the same event schema for an *audit*
+//! journal — the removals the supervisor observed, final node views and
+//! the verdict — but those are **not** byte-replayable: real-socket
+//! timing is non-deterministic, so `journal-replay` will correctly
+//! refuse them.
+//!
 //! JSON is written and parsed by hand here (one flat object per line) —
 //! the vendored `serde` is an API stub with no wire format.
 

@@ -44,16 +44,23 @@ pub mod codec;
 mod engine;
 pub mod faults;
 pub mod journal;
+pub mod net;
 mod node;
 mod resilient;
+pub mod supervise;
 pub mod transport;
 
-pub use codec::{CodecError, Packet};
+pub use codec::{CodecError, NodeStatus, Packet};
 pub use engine::{DistOutcome, DistRemoval, DistributedReduction, WireError};
 pub use faults::{Crash, FaultPlan, FaultPlanParseError, Partition};
 pub use journal::{Journal, JournalError, JournalEvent, NoopObserver, RunObserver};
+pub use net::{encode_frame, Addr, FrameDecoder, FrameError, NetParseError, NetworkDescription};
 pub use node::{Message, Node};
 pub use resilient::{
     ConfigParseError, DistVerdict, ResilientConfig, ResilientOutcome, UndecidedReason,
+};
+pub use supervise::{
+    decide, participants_and_edges, run_node, run_supervisor, NodeReport, SocketOutcome,
+    SuperviseConfig, SuperviseError,
 };
 pub use transport::{DelayTransport, FaultyTransport, Transport, TransportStats};

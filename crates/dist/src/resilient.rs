@@ -143,6 +143,9 @@ pub enum UndecidedReason {
     NodesDown,
     /// The configured round limit was hit before quiescence.
     RoundLimit,
+    /// A wall-clock deadline expired before quiescence (socket runs only:
+    /// the supervision layer's watchdog fired).
+    Deadline,
 }
 
 impl fmt::Display for UndecidedReason {
@@ -151,6 +154,7 @@ impl fmt::Display for UndecidedReason {
             UndecidedReason::RetriesExhausted => "retries exhausted",
             UndecidedReason::NodesDown => "nodes down",
             UndecidedReason::RoundLimit => "round limit",
+            UndecidedReason::Deadline => "deadline",
         })
     }
 }
@@ -179,6 +183,32 @@ impl DistVerdict {
             DistVerdict::Infeasible => Some(false),
             DistVerdict::Undecided(_) => None,
         }
+    }
+
+    /// The compact wire token carried by `halt;verdict=…` frames
+    /// (lower-case, `:`-separated — matches the codec's token charset).
+    pub fn to_token(&self) -> &'static str {
+        match self {
+            DistVerdict::Feasible => "feasible",
+            DistVerdict::Infeasible => "infeasible",
+            DistVerdict::Undecided(UndecidedReason::RetriesExhausted) => "undecided:retries",
+            DistVerdict::Undecided(UndecidedReason::NodesDown) => "undecided:down",
+            DistVerdict::Undecided(UndecidedReason::RoundLimit) => "undecided:rounds",
+            DistVerdict::Undecided(UndecidedReason::Deadline) => "undecided:deadline",
+        }
+    }
+
+    /// Inverse of [`to_token`](Self::to_token); `None` on unknown tokens.
+    pub fn parse_token(token: &str) -> Option<Self> {
+        Some(match token {
+            "feasible" => DistVerdict::Feasible,
+            "infeasible" => DistVerdict::Infeasible,
+            "undecided:retries" => DistVerdict::Undecided(UndecidedReason::RetriesExhausted),
+            "undecided:down" => DistVerdict::Undecided(UndecidedReason::NodesDown),
+            "undecided:rounds" => DistVerdict::Undecided(UndecidedReason::RoundLimit),
+            "undecided:deadline" => DistVerdict::Undecided(UndecidedReason::Deadline),
+            _ => return None,
+        })
     }
 }
 
@@ -578,6 +608,10 @@ impl DistributedReduction {
                         }
                         syncs.remove(&(to, from));
                     }
+                    // Socket control-plane frames (hello/ping/status/…) never
+                    // travel over the in-process transport; treat a stray one
+                    // like any other mangled frame — absorb, never misdecide.
+                    _ => decode_failures += 1,
                 }
             }
 
@@ -976,6 +1010,31 @@ mod tests {
         ] {
             assert!(ResilientConfig::from_wire(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn verdict_tokens_round_trip() {
+        let verdicts = [
+            DistVerdict::Feasible,
+            DistVerdict::Infeasible,
+            DistVerdict::Undecided(UndecidedReason::RetriesExhausted),
+            DistVerdict::Undecided(UndecidedReason::NodesDown),
+            DistVerdict::Undecided(UndecidedReason::RoundLimit),
+            DistVerdict::Undecided(UndecidedReason::Deadline),
+        ];
+        for v in verdicts {
+            assert_eq!(DistVerdict::parse_token(v.to_token()), Some(v));
+            // Tokens must survive the halt-frame codec round trip.
+            let frame = crate::codec::Packet::Halt {
+                verdict: v.to_token().to_string(),
+            };
+            assert_eq!(
+                crate::codec::Packet::from_wire(&frame.to_wire()).unwrap(),
+                frame
+            );
+        }
+        assert_eq!(DistVerdict::parse_token("maybe"), None);
+        assert_eq!(DistVerdict::parse_token(""), None);
     }
 
     #[test]

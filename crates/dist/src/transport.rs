@@ -9,6 +9,7 @@
 //! partition traffic — the resilient engine runs over it.
 
 use crate::faults::FaultPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
 use trustseq_model::AgentId;
 
 /// A round-synchronous message channel between participants.
@@ -85,6 +86,11 @@ impl<M> Transport<M> for DelayTransport<M> {
 }
 
 /// Counters of what a [`FaultyTransport`] did to the traffic.
+///
+/// This is a plain-data *snapshot*; the live counters inside the transport
+/// are independent relaxed atomics (the same treatment `CacheStats` got),
+/// so a snapshot taken while other threads hold references is per-field
+/// torn-free and never blocks a sender.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// `send` calls accepted (before fault decisions).
@@ -97,6 +103,28 @@ pub struct TransportStats {
     pub cut: usize,
     /// Transmissions lost because the addressee was down on arrival.
     pub lost_to_down: usize,
+}
+
+/// Live counters behind [`TransportStats`]: one relaxed atomic per field.
+#[derive(Debug, Default)]
+struct AtomicTransportStats {
+    sent: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    cut: AtomicU64,
+    lost_to_down: AtomicU64,
+}
+
+impl AtomicTransportStats {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            sent: self.sent.load(Ordering::Relaxed) as usize,
+            dropped: self.dropped.load(Ordering::Relaxed) as usize,
+            duplicated: self.duplicated.load(Ordering::Relaxed) as usize,
+            cut: self.cut.load(Ordering::Relaxed) as usize,
+            lost_to_down: self.lost_to_down.load(Ordering::Relaxed) as usize,
+        }
+    }
 }
 
 /// A lossy transport driven by a [`FaultPlan`].
@@ -112,7 +140,7 @@ pub struct FaultyTransport<M> {
     plan: FaultPlan,
     queue: Vec<(usize, AgentId, AgentId, M)>,
     transmissions: u64,
-    stats: TransportStats,
+    stats: AtomicTransportStats,
 }
 
 impl<M: Clone> FaultyTransport<M> {
@@ -122,7 +150,7 @@ impl<M: Clone> FaultyTransport<M> {
             plan,
             queue: Vec::new(),
             transmissions: 0,
-            stats: TransportStats::default(),
+            stats: AtomicTransportStats::default(),
         }
     }
 
@@ -131,9 +159,9 @@ impl<M: Clone> FaultyTransport<M> {
         &self.plan
     }
 
-    /// What the transport has done so far.
+    /// A torn-free snapshot of what the transport has done so far.
     pub fn stats(&self) -> TransportStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 
@@ -141,18 +169,18 @@ impl<M: Clone> Transport<M> for FaultyTransport<M> {
     fn send(&mut self, round: usize, from: AgentId, to: AgentId, message: M) {
         let tid = self.transmissions;
         self.transmissions += 1;
-        self.stats.sent += 1;
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
         if self.plan.is_cut(from, to, round) {
-            self.stats.cut += 1;
+            self.stats.cut.fetch_add(1, Ordering::Relaxed);
             return;
         }
         if self.plan.drops(tid) {
-            self.stats.dropped += 1;
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let due = round + 1 + self.plan.extra_delay(tid) as usize;
         if self.plan.duplicates(tid) {
-            self.stats.duplicated += 1;
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
             let dup_due = round + 1 + self.plan.dup_extra_delay(tid) as usize;
             self.queue.push((dup_due, from, to, message.clone()));
         }
@@ -165,7 +193,7 @@ impl<M: Clone> Transport<M> for FaultyTransport<M> {
         for (due, from, to, msg) in self.queue.drain(..) {
             if due <= round {
                 if self.plan.is_down(to, round) {
-                    self.stats.lost_to_down += 1;
+                    self.stats.lost_to_down.fetch_add(1, Ordering::Relaxed);
                 } else {
                     arrived.push((to, msg));
                 }
@@ -260,6 +288,21 @@ mod tests {
         assert!(stats.duplicated > 0);
         assert_eq!(t.in_flight(), 0);
         assert_eq!(arrived, 1000 - stats.dropped + stats.duplicated);
+    }
+
+    #[test]
+    fn stats_snapshots_are_shared_ref_and_self_consistent() {
+        let mut t: FaultyTransport<u32> = FaultyTransport::new(FaultPlan::none());
+        for i in 0..10 {
+            t.send(1, a(0), a(1), i);
+        }
+        // Snapshots go through &self (relaxed atomic loads), so concurrent
+        // observers never tear a counter mid-update and never block.
+        let shared: &FaultyTransport<u32> = &t;
+        let s1 = shared.stats();
+        let s2 = std::thread::scope(|scope| scope.spawn(|| shared.stats()).join().unwrap());
+        assert_eq!(s1, s2);
+        assert_eq!(s1.sent, 10);
     }
 
     #[test]

@@ -10,10 +10,13 @@ use trustseq_core::indemnity::{make_feasible_cached, IndemnityPlan};
 use trustseq_core::obs::{self, MetricsRegistry};
 use trustseq_core::{dot, Protocol, SequencingGraph};
 use trustseq_dist::{
-    DistributedReduction, FaultPlan, Journal, JournalEvent, ResilientConfig, RunObserver as _,
+    run_node, DistributedReduction, FaultPlan, Journal, JournalEvent, NetworkDescription,
+    ResilientConfig, RunObserver as _, SocketOutcome, SuperviseConfig,
 };
 use trustseq_lang::parse_spec;
-use trustseq_model::ExchangeSpec;
+use trustseq_model::{AgentId, ExchangeSpec};
+
+use crate::orchestrate::{self, TransportKind};
 use trustseq_sim::BehaviorMap;
 
 /// Renders an indemnity plan with participant names instead of raw ids.
@@ -87,6 +90,9 @@ trustseq — trust-explicit distributed commerce transactions (ICDCS 1996)
 USAGE:
     trustseq <COMMAND> [OPTIONS] <SPEC.tseq>
     trustseq dist [--faults PLAN] [--journal PATH] [OPTIONS] <SPEC.tseq>
+    trustseq dist-run [--transport tcp|unix] [--faults PLAN] [--journal PATH] <SPEC.tseq>
+    trustseq dist-node --net <NET.txt> --id <AGENT> [--faults PLAN] <SPEC.tseq>
+    trustseq chaos-sockets [--out PATH] [--quick]
     trustseq journal-replay [OPTIONS] <JOURNAL.jsonl>
     trustseq sweep [--samples N] [--stream CHUNK] [OPTIONS]
 
@@ -111,7 +117,17 @@ OPTIONS:
     --faults PLAN     fault-plan wire string for `dist`, e.g.
                       \"seed=7;drop=200;dup=50;delay=2;corrupt=50\"
     --journal PATH    with `dist`: write the run's replayable JSONL event
-                      journal to PATH
+                      journal to PATH; with `dist-run`: write an audit
+                      journal of the socket run (not byte-replayable)
+    --transport KIND  with `dist-run`: `tcp` (loopback TCP, default) or
+                      `unix` (Unix-domain sockets)
+    --net PATH        with `dist-node`: the shared network description file
+    --id AGENT        with `dist-node`: which principal this process runs,
+                      e.g. `a0`
+    --out PATH        with `chaos-sockets`: where to write the JSON report
+                      (default BENCH_sockets.json)
+    --quick           with `chaos-sockets`: one fixture, one seed per fault
+                      class (the CI smoke profile)
 
 COMMANDS:
     check           decide feasibility (sequencing-graph reduction, §4)
@@ -125,6 +141,13 @@ COMMANDS:
                     indemnities (§6), shared-escrow delegation (§9)
     dist            run the fault-tolerant distributed reduction (§9) under a
                     seeded fault plan; optionally record an event journal
+    dist-run        run the distributed reduction as one OS process per
+                    principal over live loopback sockets, supervised from
+                    this process
+    dist-node       run a single principal's node against a network
+                    description (spawned by `dist-run`; usable manually)
+    chaos-sockets   run the multi-process chaos matrix (fault classes x
+                    fixtures x seeds) and write the agreement report
     journal-replay  re-run a recorded journal and verify it reproduces
                     byte-for-byte, then re-check the verdict centrally
     sweep           measure the feasibility rate of a seeded random exchange
@@ -369,6 +392,160 @@ pub fn run_dist(
     }
 }
 
+/// Parses an `--id` value like `a3`.
+fn parse_agent_id(raw: &str) -> Result<AgentId, String> {
+    raw.strip_prefix('a')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(AgentId::new)
+        .ok_or_else(|| format!("`--id` expects an agent id like `a0`, got `{raw}`\n\n{USAGE}"))
+}
+
+/// Runs one principal's socket node (the `dist-node` command): joins the
+/// network described by `net_text`, participates in the reduction until
+/// the supervisor's halt broadcast, and reports its final state. The
+/// supervision config travels in the network description so every process
+/// of a run agrees on deadlines without extra flags.
+///
+/// # Errors
+///
+/// Bad network descriptions, unknown agents, socket failures, or watchdog
+/// expiry (the node outlived its deadline without seeing a halt).
+pub fn run_dist_node(
+    net_text: &str,
+    id: &str,
+    spec_source: &str,
+    plan: &FaultPlan,
+) -> Result<String, String> {
+    let desc = NetworkDescription::from_text(net_text)
+        .map_err(|e| format!("bad network description: {e}"))?;
+    let me = parse_agent_id(id)?;
+    let spec = parse_spec(spec_source).map_err(|e| format!("parse error: {e}"))?;
+    let config = match &desc.config {
+        Some(wire) => {
+            SuperviseConfig::from_wire(wire).map_err(|e| format!("bad network config: {e}"))?
+        }
+        None => SuperviseConfig::default(),
+    };
+    let report = run_node(&spec, me, &desc, &config, plan).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    match &report.verdict {
+        Some(v) => {
+            let _ = writeln!(
+                out,
+                "{me}: halted with verdict {v} after {} ticks",
+                report.ticks
+            );
+        }
+        None => {
+            return Err(format!(
+                "{me}: watchdog expired after {} ticks without a halt broadcast",
+                report.ticks
+            ))
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{me}: {} live edges, {} bytes tx, {} frames rx, {} reconnects",
+        report.status.live,
+        report.status.bytes_tx,
+        report.status.frames_rx,
+        report.status.reconnects
+    );
+    Ok(out)
+}
+
+/// Builds the `dist-run` audit journal: the run header, every removal the
+/// supervisor observed (in arrival order), each node's final view, and the
+/// verdict. Unlike `dist` journals it is **not** byte-replayable — socket
+/// timing is non-deterministic — so `journal-replay` will reject it; it is
+/// an audit record of what this run did.
+fn socket_audit_journal(
+    source: &str,
+    plan: &FaultPlan,
+    config: &SuperviseConfig,
+    outcome: &SocketOutcome,
+) -> String {
+    let mut journal = Journal::new();
+    journal.record(JournalEvent::run_start(
+        plan.to_string(),
+        config.to_wire(),
+        false,
+        source.to_owned(),
+    ));
+    for (i, (decider, edge, rule)) in outcome.removals.iter().enumerate() {
+        journal.record(JournalEvent::Removal {
+            round: i,
+            decider: *decider,
+            edge: *edge,
+            rule: *rule,
+        });
+    }
+    for (node, status) in &outcome.nodes {
+        journal.record(JournalEvent::NodeView {
+            node: *node,
+            live: status.live as usize,
+            decided_feasible: status.live == 0,
+        });
+    }
+    journal.record(JournalEvent::Verdict {
+        verdict: outcome.verdict.to_string(),
+        rounds: outcome.nodes.values().map(|s| s.tick).max().unwrap_or(0) as usize,
+        messages: outcome.frames_received() as usize,
+        retransmissions: 0,
+        dedup_drops: 0,
+        decode_failures: 0,
+    });
+    journal.to_text()
+}
+
+/// Runs the multi-process socket transport (the `dist-run` command):
+/// spawns one `dist-node` OS process per principal of `source` using
+/// `binary`, supervises the run from this process, and summarises the
+/// outcome. With `with_journal`, also returns the audit journal (see
+/// [`socket_audit_journal`]).
+///
+/// # Errors
+///
+/// Parse, spawn and socket failures as human-readable strings.
+pub fn run_dist_sockets(
+    binary: &std::path::Path,
+    source: &str,
+    transport: TransportKind,
+    plan: &FaultPlan,
+    with_journal: bool,
+) -> Result<(String, Option<String>), String> {
+    let config = SuperviseConfig::default();
+    let run = orchestrate::run_multiprocess(binary, source, transport, plan, &config, None)?;
+    let outcome = &run.outcome;
+    let mut out = String::new();
+    let _ = writeln!(out, "verdict: {}", outcome.verdict);
+    let _ = writeln!(
+        out,
+        "processes: {} spawned, {} lost, {} hung",
+        run.spawned,
+        outcome.lost.len(),
+        run.hung
+    );
+    let _ = writeln!(
+        out,
+        "removals: {}; dead edges {} of {}",
+        outcome.removals.len(),
+        outcome.dead_union.len(),
+        outcome.total_edges
+    );
+    let _ = writeln!(
+        out,
+        "traffic: {} bytes sent, {} frames received, {} reconnects, max rtt {} us",
+        outcome.bytes_sent(),
+        outcome.frames_received(),
+        outcome.reconnects(),
+        outcome.max_rtt_us()
+    );
+    let _ = writeln!(out, "elapsed: {} ms", outcome.elapsed_ms);
+    let journal = with_journal.then(|| socket_audit_journal(source, plan, &config, outcome));
+    Ok((out, journal))
+}
+
 /// Runs the `sweep` command: the feasible fraction of `samples` seeded
 /// random exchanges (seeds `0..samples`, default workload topology).
 /// Without a chunk budget the corpus is materialized and analyzed in one
@@ -561,6 +738,11 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut faults: Option<String> = None;
     let mut samples: Option<u64> = None;
     let mut stream: Option<usize> = None;
+    let mut net_path: Option<String> = None;
+    let mut node_id: Option<String> = None;
+    let mut transport: Option<TransportKind> = None;
+    let mut out_path: Option<String> = None;
+    let mut quick = false;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -572,8 +754,11 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 let raw = iter
                     .next()
                     .ok_or_else(|| format!("`--samples` expects a corpus size\n\n{USAGE}"))?;
-                samples = Some(raw.parse::<u64>().map_err(|_| {
-                    format!("`--samples` expects a corpus size, got `{raw}`\n\n{USAGE}")
+                samples = Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!(
+                        "`--samples` expects a positive corpus size (got `{raw}`); \
+                             omit the flag to sweep the default 1000-seed corpus\n\n{USAGE}"
+                    )
                 })?);
             }
             "--stream" => {
@@ -623,6 +808,44 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                         .clone(),
                 );
             }
+            "--net" => {
+                net_path = Some(
+                    iter.next()
+                        .ok_or_else(|| {
+                            format!("`--net` expects a network description file\n\n{USAGE}")
+                        })?
+                        .clone(),
+                );
+            }
+            "--id" => {
+                node_id = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("`--id` expects an agent id like `a0`\n\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            "--transport" => {
+                let kind = iter
+                    .next()
+                    .ok_or_else(|| format!("`--transport` expects `tcp` or `unix`\n\n{USAGE}"))?;
+                transport = Some(match kind.as_str() {
+                    "tcp" => TransportKind::Tcp,
+                    "unix" => TransportKind::Unix,
+                    other => {
+                        return Err(format!(
+                            "`--transport` expects `tcp` or `unix`, got `{other}`\n\n{USAGE}"
+                        ))
+                    }
+                });
+            }
+            "--out" => {
+                out_path = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("`--out` expects a file path\n\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            "--quick" => quick = true,
             "--threads" => {
                 let raw = iter.next().ok_or_else(|| {
                     format!("`--threads` expects a positive thread count\n\n{USAGE}")
@@ -669,6 +892,36 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
             "`--samples` and `--stream` apply to the `sweep` command\n\n{USAGE}"
         ));
     }
+    if positional.as_slice() == ["chaos-sockets"] {
+        if journal_path.is_some() || faults.is_some() {
+            return Err(format!(
+                "`--journal` and `--faults` apply to the `dist` command family\n\n{USAGE}"
+            ));
+        }
+        let binary = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the trustseq binary: {e}"))?;
+        let report = orchestrate::socket_chaos_matrix(&binary, quick)?;
+        let json = report.to_json();
+        let out_file = out_path.as_deref().unwrap_or("BENCH_sockets.json");
+        std::fs::write(out_file, &json).map_err(|e| format!("cannot write `{out_file}`: {e}"))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "chaos matrix: {} runs ({} decided correct, {} undecided, {} wrong verdicts, {} hung processes)",
+            report.runs.len(),
+            report.decided_correct,
+            report.undecided,
+            report.wrong,
+            report.hung_total
+        );
+        let _ = writeln!(out, "report written to {out_file}");
+        if !report.clean() {
+            return Err(format!(
+                "{out}matrix NOT clean: wrong verdicts or hung processes detected"
+            ));
+        }
+        return Ok(out);
+    }
     let (cmd_name, path) = match positional.as_slice() {
         [c, p] => (*c, *p),
         _ => return Err(USAGE.to_owned()),
@@ -700,6 +953,61 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
         });
     }
 
+    if cmd_name == "dist-node" {
+        let net_file =
+            net_path.ok_or_else(|| format!("`dist-node` requires `--net <NET.txt>`\n\n{USAGE}"))?;
+        let id =
+            node_id.ok_or_else(|| format!("`dist-node` requires `--id <AGENT>`\n\n{USAGE}"))?;
+        let net_text = std::fs::read_to_string(&net_file)
+            .map_err(|e| format!("cannot read `{net_file}`: {e}"))?;
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let plan = match &faults {
+            Some(wire) => wire
+                .parse::<FaultPlan>()
+                .map_err(|e| format!("bad `--faults` plan: {e}\n\n{USAGE}"))?,
+            None => FaultPlan::none(),
+        };
+        return run_dist_node(&net_text, &id, &source, &plan);
+    }
+
+    if cmd_name == "dist-run" {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let plan = match &faults {
+            Some(wire) => wire
+                .parse::<FaultPlan>()
+                .map_err(|e| format!("bad `--faults` plan: {e}\n\n{USAGE}"))?,
+            None => FaultPlan::none(),
+        };
+        let binary = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the trustseq binary: {e}"))?;
+        let kind = transport.unwrap_or(TransportKind::Tcp);
+        return with_metrics(metrics, metrics_format, || {
+            let (out, journal) =
+                run_dist_sockets(&binary, &source, kind, &plan, journal_path.is_some())?;
+            if let (Some(path), Some(text)) = (&journal_path, journal) {
+                std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+            Ok(out)
+        });
+    }
+
+    if net_path.is_some() || node_id.is_some() {
+        return Err(format!(
+            "`--net` and `--id` apply to the `dist-node` command\n\n{USAGE}"
+        ));
+    }
+    if transport.is_some() {
+        return Err(format!(
+            "`--transport` applies to the `dist-run` command\n\n{USAGE}"
+        ));
+    }
+    if out_path.is_some() || quick {
+        return Err(format!(
+            "`--out` and `--quick` apply to the `chaos-sockets` command\n\n{USAGE}"
+        ));
+    }
     if journal_path.is_some() || faults.is_some() {
         return Err(format!(
             "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
@@ -1020,6 +1328,61 @@ mod tests {
         let err =
             main_with_args(&["sweep".into(), "--faults".into(), "seed=1".into()]).unwrap_err();
         assert!(err.contains("apply to the `dist` command"), "{err}");
+    }
+
+    #[test]
+    fn samples_rejects_non_positive_counts() {
+        // `--samples 0` is rejected up front with the same typed-error
+        // shape as `--threads`: what was expected, what arrived, and how
+        // to get the default behaviour instead.
+        let err = main_with_args(&["sweep".into(), "--samples".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("positive corpus size"), "{err}");
+        assert!(err.contains("got `0`"), "{err}");
+        assert!(err.contains("omit the flag"), "{err}");
+        // Negative numbers fail u64 parsing and land on the same message.
+        let err = main_with_args(&["sweep".into(), "--samples".into(), "-3".into()]).unwrap_err();
+        assert!(err.contains("positive corpus size"), "{err}");
+    }
+
+    #[test]
+    fn socket_flags_are_validated() {
+        // --net/--id are dist-node-only.
+        let err = main_with_args(&["--net".into(), "n.txt".into(), "check".into(), "x".into()])
+            .unwrap_err();
+        assert!(err.contains("apply to the `dist-node` command"), "{err}");
+        // --transport is dist-run-only and validates its value.
+        let err = main_with_args(&["--transport".into(), "carrier-pigeon".into()]).unwrap_err();
+        assert!(err.contains("`tcp` or `unix`"), "{err}");
+        let err = main_with_args(&[
+            "--transport".into(),
+            "tcp".into(),
+            "check".into(),
+            "x".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("applies to the `dist-run` command"), "{err}");
+        // --out/--quick are chaos-sockets-only.
+        let err = main_with_args(&["--quick".into(), "check".into(), "x".into()]).unwrap_err();
+        assert!(
+            err.contains("apply to the `chaos-sockets` command"),
+            "{err}"
+        );
+        // dist-node demands its required flags.
+        let err = main_with_args(&["dist-node".into(), "x.tseq".into()]).unwrap_err();
+        assert!(err.contains("requires `--net"), "{err}");
+        let err = main_with_args(&[
+            "dist-node".into(),
+            "--net".into(),
+            "n".into(),
+            "x.tseq".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("requires `--id"), "{err}");
+        // Agent ids must look like `a0`.
+        assert!(parse_agent_id("a3").is_ok());
+        assert!(parse_agent_id("3").is_err());
+        assert!(parse_agent_id("e1").is_err());
+        assert!(parse_agent_id("a").is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod orchestrate;
 
 pub use trustseq_baselines as baselines;
 pub use trustseq_core as core;
