@@ -1,0 +1,222 @@
+//! Bench: the delta re-analysis engine (E26) — incremental verdict
+//! maintenance versus full re-reduction on the streaming marketplace.
+//!
+//! The headline pairs stream marketplace events over an E19-style corpus
+//! (seeded width-2 random exchanges, chains up to depth 16, swept trust
+//! densities) with `mutation_rate = 1.0` — a pure single-mutation
+//! stream, the delta engine's design point: every event touches one
+//! structure and its verdict must be current before the next event. The
+//! market is built once per pair and each iteration streams the next
+//! batch against the warm resident state, so the number is *sustained*
+//! specs/sec, not cold-start amortization; a depth sweep (`scale_*`)
+//! reports honestly how the advantage shrinks on shallow structures.
+//!
+//! * `market_delta` — resident [`DeltaAnalyzer`]s; each mutation re-seeds
+//!   only the disturbed fringe (or resurrects the undo frontier for
+//!   anti-monotone events) and re-certification is a read.
+//! * `market_full` — identical graphs and events, but every mutation pays
+//!   a full verdict-only re-reduction, the way a batch pipeline would.
+//!
+//! Both modes fold every per-event verdict into an order-sensitive hash;
+//! the bench asserts the hashes are equal before publishing a number, so
+//! the speedup is over a provably verdict-equivalent baseline. `mixed_*`
+//! repeats the comparison at the default 20% mutation rate (80% of events
+//! are re-certifications, free in delta mode), and the micro pair times
+//! one indemnity post/expire cycle on a single resident analyzer against
+//! the same cycle certified by cold full runs.
+//!
+//! `TRUSTSEQ_BENCH_QUICK=1` shrinks the workload and the measurement
+//! windows for CI smoke runs.
+//!
+//! [`DeltaAnalyzer`]: trustseq_core::DeltaAnalyzer
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trustseq_core::{DeltaAnalyzer, ScratchReducer, SequencingGraph, Strategy};
+use trustseq_workloads::{
+    random_exchange, run_market, Market, MarketConfig, MarketMode, RandomConfig,
+};
+
+fn quick() -> bool {
+    std::env::var("TRUSTSEQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Trust densities for the marketplace corpus. Density shapes the event
+/// mix: denser trust means more waiver revocations (anti-monotone, paid
+/// by undo-frontier resurrection), so the sweep exercises both
+/// maintenance paths.
+fn densities() -> &'static [f64] {
+    if quick() {
+        &[0.3]
+    } else {
+        &[0.1, 0.3, 0.6]
+    }
+}
+
+fn base(trust_density: f64) -> RandomConfig {
+    RandomConfig {
+        width: 2,
+        max_depth: 16,
+        trust_density,
+        ..Default::default()
+    }
+}
+
+fn market(trust_density: f64, mutation_rate: f64) -> MarketConfig {
+    MarketConfig {
+        structures: 8,
+        events: if quick() { 200 } else { 1500 },
+        mutation_rate,
+        seed: 0x2601,
+        base: base(trust_density),
+        threshold: None,
+    }
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta");
+
+    for &density in densities() {
+        let config = market(density, 1.0);
+        group.throughput(Throughput::Elements(config.events));
+
+        // The whole point of the engine: both modes must agree on every
+        // single verdict, in order, before either number is published.
+        let delta = run_market(&config, MarketMode::Delta, None);
+        let full = run_market(&config, MarketMode::Full, None);
+        assert_eq!(
+            delta.verdict_hash, full.verdict_hash,
+            "delta and full modes disagreed at density {density}"
+        );
+        eprintln!(
+            "density {density}: {} mutations, {} flips, maintenance {:?}",
+            delta.mutations, delta.flips, delta.stats
+        );
+
+        // Sustained throughput: the market is built once (generation and
+        // the initial full analyses are the cold path) and each iteration
+        // streams the next batch of the endless event stream against the
+        // warm resident state — specs/sec in the steady regime.
+        let mut delta_market = Market::new(&config, MarketMode::Delta);
+        group.bench_with_input(
+            BenchmarkId::new("market_delta", density),
+            &config.events,
+            |b, &events| b.iter(|| delta_market.drive(black_box(events), None)),
+        );
+        let mut full_market = Market::new(&config, MarketMode::Full);
+        group.bench_with_input(
+            BenchmarkId::new("market_full", density),
+            &config.events,
+            |b, &events| b.iter(|| full_market.drive(black_box(events), None)),
+        );
+    }
+
+    // How the advantage scales with structure size: the baseline pays
+    // O(edges) per event while the delta engine pays for the disturbed
+    // region, so the ratio grows with chain depth. Shallow structures are
+    // reported honestly — a depth-4 chain re-reduces so cheaply that
+    // incrementality buys only a fraction of the headline speedup.
+    if !quick() {
+        for depth in [4usize, 8] {
+            let config = MarketConfig {
+                base: RandomConfig {
+                    max_depth: depth,
+                    ..base(0.3)
+                },
+                ..market(0.3, 1.0)
+            };
+            group.throughput(Throughput::Elements(config.events));
+            assert_eq!(
+                run_market(&config, MarketMode::Delta, None).verdict_hash,
+                run_market(&config, MarketMode::Full, None).verdict_hash,
+                "delta and full modes disagreed at depth {depth}"
+            );
+            let mut delta_market = Market::new(&config, MarketMode::Delta);
+            group.bench_with_input(
+                BenchmarkId::new("scale_delta", depth),
+                &config.events,
+                |b, &events| b.iter(|| delta_market.drive(black_box(events), None)),
+            );
+            let mut full_market = Market::new(&config, MarketMode::Full);
+            group.bench_with_input(
+                BenchmarkId::new("scale_full", depth),
+                &config.events,
+                |b, &events| b.iter(|| full_market.drive(black_box(events), None)),
+            );
+        }
+    }
+
+    // The realistic mix: mostly re-certifications, which the delta engine
+    // answers from the maintained verdict while the baseline re-reduces.
+    {
+        let config = market(0.3, 0.2);
+        group.throughput(Throughput::Elements(config.events));
+        assert_eq!(
+            run_market(&config, MarketMode::Delta, None).verdict_hash,
+            run_market(&config, MarketMode::Full, None).verdict_hash,
+        );
+        let mut delta_market = Market::new(&config, MarketMode::Delta);
+        group.bench_function("mixed_delta", |b| {
+            b.iter(|| delta_market.drive(black_box(config.events), None))
+        });
+        let mut full_market = Market::new(&config, MarketMode::Full);
+        group.bench_function("mixed_full", |b| {
+            b.iter(|| full_market.drive(black_box(config.events), None))
+        });
+    }
+
+    // Micro: one indemnity post/expire cycle on one structure. The
+    // resident analyzer pays an exogenous removal plus an undo cascade;
+    // the baseline pays two cold full reductions.
+    {
+        let ex = random_exchange(&base(0.3));
+        let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        let deal = ex.chains[0].deals[0];
+        let mut resident = DeltaAnalyzer::new(graph.clone());
+        let mut scratch = ScratchReducer::new();
+        group.throughput(Throughput::Elements(2));
+        group.bench_function("post_expire_delta", |b| {
+            b.iter(|| {
+                for posted in [true, false] {
+                    for d in resident.graph().indemnity_deltas(deal, posted) {
+                        resident.apply(d).unwrap();
+                    }
+                }
+                black_box(resident.feasible())
+            })
+        });
+        let mut baseline = DeltaAnalyzer::full_baseline(graph);
+        group.bench_function("post_expire_full", |b| {
+            b.iter(|| {
+                for posted in [true, false] {
+                    for d in baseline.graph().indemnity_deltas(deal, posted) {
+                        baseline.apply(d).unwrap();
+                    }
+                }
+                black_box(baseline.feasible())
+            })
+        });
+        // Both cycles end where they started; the maintained verdicts must
+        // match each other and a cold reduction of the final graph.
+        let cold = scratch.run_verdict_only(resident.graph(), Strategy::Deterministic);
+        assert_eq!(resident.feasible(), cold);
+        assert_eq!(baseline.feasible(), cold);
+    }
+
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    let (warm_ms, measure_ms) = if quick() { (50, 150) } else { (500, 2500) };
+    Criterion::default()
+        .sample_size(if quick() { 10 } else { 30 })
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_delta
+}
+criterion_main!(benches);

@@ -152,6 +152,9 @@ pub struct CacheStats {
     /// Entries discarded by capacity eviction (both tiers; 0 on an
     /// unbounded cache).
     pub evictions: u64,
+    /// Labelled keys dropped by targeted delta-aware invalidation
+    /// (see [`AnalysisCache::invalidate_labelled`]).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -202,6 +205,7 @@ pub struct AnalysisCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl AnalysisCache {
@@ -412,11 +416,12 @@ impl AnalysisCache {
         let mut record = labelled.entry.confluence.lock();
         if record.samples < samples {
             let canonical = labelled.form.canonical_graph(graph);
+            // Only the verdict is compared, so the trace-free fast path
+            // saves allocating and filling a ReductionOutcome per seed.
             let mut scratch = ScratchReducer::new();
-            let mut outcome = ReductionOutcome::default();
             for seed in record.samples..samples {
-                scratch.run_into(&canonical, Strategy::Randomized { seed }, &mut outcome);
-                if outcome.feasible != reference_feasible {
+                let feasible = scratch.run_verdict_only(&canonical, Strategy::Randomized { seed });
+                if feasible != reference_feasible {
                     record.disagreeing.push(seed);
                 }
             }
@@ -434,6 +439,37 @@ impl AnalysisCache {
             agreeing: samples - disagreeing_seeds.len() as u64,
             disagreeing_seeds,
         }
+    }
+
+    /// Drops the tier-1 entry for the exact labelled structure keyed by
+    /// `pre`, if present, returning whether anything was dropped.
+    ///
+    /// This is the *delta-aware* invalidation hook: when a live
+    /// marketplace mutates one structure in place (a
+    /// [`DeltaAnalyzer`](crate::DeltaAnalyzer) applying
+    /// [`GraphDelta`](crate::GraphDelta)s), only that structure's
+    /// pre-mutation labelled key goes stale — its graph will never present
+    /// that exact labelled live structure again. Dropping the single key
+    /// leaves every other labelled key and the whole canonical tier
+    /// untouched: tier-2 entries are immutable per *structure* and stay
+    /// correct for any graph that still hashes to them, so they are never
+    /// invalidated, merely unreferenced once no labelled key pins them.
+    pub fn invalidate_labelled(&self, pre: PreFingerprint) -> bool {
+        let dropped = self.pre_shard(pre).lock().remove(&pre.as_u128()).is_some();
+        if dropped {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            obs::with(|r| r.counter("cache.invalidations", 1));
+        }
+        dropped
+    }
+
+    /// [`invalidate_labelled`](Self::invalidate_labelled) keyed by a graph:
+    /// computes the labelled pre-fingerprint of `graph`'s *current* live
+    /// structure and drops that key. Call with the graph **before**
+    /// mutating it (or with its stored pre-fingerprint) — afterwards it
+    /// hashes to a different key.
+    pub fn invalidate_graph(&self, graph: &SequencingGraph) -> bool {
+        self.invalidate_labelled(prefingerprint(graph))
     }
 
     /// Current counter snapshot, torn-free across shards: every shard of
@@ -455,6 +491,7 @@ impl AnalysisCache {
             entries: guards.iter().map(|s| s.len()).sum(),
             labelled_entries: pre_guards.iter().map(|s| s.len()).sum(),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -737,6 +774,69 @@ mod tests {
             unbounded.analyze(&chain_spec(depth)).unwrap();
         }
         assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn tier1_survives_tier2_eviction_and_stays_correct() {
+        // A tier-1 key Arc-pins its CacheEntry, so evicting the entry's
+        // tier-2 stripe must not corrupt labelled-tier hits: the pinned
+        // entry is immutable and stays correct for the structure it was
+        // reduced from. Hammer tier 2 with distinct structures until the
+        // original's stripe has demonstrably been cleared, then re-query
+        // the original through tier 1 and compare byte-for-byte.
+        let cache = AnalysisCache::with_capacity(4);
+        let graph = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        let reference = cache.reduce(&graph);
+        let mut tier1_hits_under_pressure = 0u64;
+        for depth in 2..=40 {
+            cache.analyze(&chain_spec(depth)).unwrap();
+            let before = cache.stats();
+            let warm = cache.reduce(&graph);
+            assert_eq!(warm, reference, "depth {depth}");
+            let after = cache.stats();
+            if before.evictions > 0 && after.pre_hits > before.pre_hits {
+                tier1_hits_under_pressure += 1;
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "pressure must evict: {stats:?}");
+        assert!(
+            tier1_hits_under_pressure > 0,
+            "some re-queries must be served by the labelled tier after \
+             evictions began: {stats:?}"
+        );
+        // And the uncached oracle still agrees.
+        assert_eq!(
+            reference.feasible,
+            analyze(&fixtures::example1().0).unwrap().feasible
+        );
+    }
+
+    #[test]
+    fn invalidation_drops_only_the_targeted_labelled_key() {
+        let cache = AnalysisCache::new();
+        let g1 = SequencingGraph::from_spec(&fixtures::example1().0).unwrap();
+        let g2 = SequencingGraph::from_spec(&fixtures::example2().0).unwrap();
+        cache.reduce(&g1);
+        cache.reduce(&g2);
+        assert_eq!(cache.stats().labelled_entries, 2);
+
+        assert!(cache.invalidate_graph(&g1));
+        assert!(!cache.invalidate_graph(&g1), "second drop is a no-op");
+        let stats = cache.stats();
+        assert_eq!(stats.labelled_entries, 1, "{stats:?}");
+        assert_eq!(stats.entries, 2, "canonical tier is never invalidated");
+        assert_eq!(stats.invalidations, 1);
+
+        // g2's labelled key is untouched: its lookup is still a tier-1
+        // hit, while g1 re-resolves through tier 2 without re-reducing.
+        let pre_hits = cache.stats().pre_hits;
+        cache.reduce(&g2);
+        assert_eq!(cache.stats().pre_hits, pre_hits + 1);
+        let misses = cache.stats().misses;
+        cache.reduce(&g1);
+        assert_eq!(cache.stats().misses, misses, "structure is still interned");
+        assert_eq!(cache.stats().labelled_entries, 2, "key re-interned");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum CoreError {
     },
     /// A conjunction id was out of range.
     UnknownConjunction(ConjunctionId),
+    /// A commitment id was out of range.
+    UnknownCommitment(CommitmentId),
     /// Indemnity planning was asked to split a conjunction that is not a
     /// purchase bundle.
     NotABundle(ConjunctionId),
@@ -69,6 +71,7 @@ impl fmt::Display for CoreError {
                 unscheduled.len()
             ),
             CoreError::UnknownConjunction(j) => write!(f, "unknown conjunction {j}"),
+            CoreError::UnknownCommitment(c) => write!(f, "unknown commitment {c}"),
             CoreError::NotABundle(j) => {
                 write!(f, "conjunction {j} is not a purchase bundle")
             }

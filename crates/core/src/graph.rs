@@ -169,7 +169,11 @@ pub struct SequencingGraph {
     // in its interleaved candidate layout (bit `2 * slot + 1` = edge
     // applicable under rule #1, bit `2 * slot` = rule #2), and the
     // per-edge §4.2 pre-emption flags the scratch engine maintains
-    // incrementally from this seed. Never mutated after construction.
+    // incrementally from this seed. Mutated only by `set_waiver`, which
+    // re-derives the affected waiver bit and rule #1 seed bits; structural
+    // `remove_edge`/`restore_edge` leave them untouched because they
+    // describe the initial fully-live graph, which only `set_waiver`
+    // changes.
     waiver_words: Vec<u64>,
     seed_cand_words: Vec<u64>,
     seed_preempted_words: Vec<u64>,
@@ -587,10 +591,13 @@ impl SequencingGraph {
     }
 
     /// Restores a removed edge, rewinding a reduction on the same graph.
-    /// Production paths re-run from an immutable graph via
-    /// [`ScratchReducer`](crate::ScratchReducer); this remains the test
-    /// harness for verifying the incremental counter maintenance.
-    #[cfg(test)]
+    ///
+    /// Batch analysis paths re-run from an immutable graph via
+    /// [`ScratchReducer`](crate::ScratchReducer); this is the mutation
+    /// substrate for the [`DeltaAnalyzer`](crate::DeltaAnalyzer)'s evolving
+    /// base graph (an indemnity revoked resurrects the principal-side edge
+    /// it had split away) and the test harness for the incremental counter
+    /// maintenance. No-op when the edge is already live.
     pub(crate) fn restore_edge(&mut self, id: EdgeId) {
         let slot = &mut self.alive[id.index()];
         if !*slot {
@@ -609,6 +616,47 @@ impl SequencingGraph {
             let st = &mut self.conjunction_state[e.conjunction.index()];
             *st = (*st + (1 << 32)) ^ id.index() as u64;
         }
+    }
+
+    /// Grants or withdraws the clause-2 waiver of a commitment (§4.2.4):
+    /// the trust-relation mutation "counterparty now trusts / no longer
+    /// trusts the principal" expressed at graph level.
+    ///
+    /// Keeps the static scratch-engine seeds coherent: the packed waiver
+    /// word and the rule #1 bits of the seed candidate words are re-derived
+    /// for the commitment's edges over the *initial fully live* graph (the
+    /// only state those seeds describe; `seed_preempted_words` depends only
+    /// on edge colours and is untouched). Returns whether the flag changed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommitment`] for an out-of-range id.
+    pub(crate) fn set_waiver(&mut self, id: CommitmentId, waived: bool) -> Result<bool, CoreError> {
+        let c = id.index();
+        let Some(commitment) = self.commitments.get_mut(c) else {
+            return Err(CoreError::UnknownCommitment(id));
+        };
+        if commitment.clause2_waiver == waived {
+            return Ok(false);
+        }
+        commitment.clause2_waiver = waived;
+        self.waiver_words[c / 64] ^= 1 << (c % 64);
+        for &e in self.commitment_edges.row(c) {
+            let slot = e.index();
+            let edge = self.edges[slot];
+            // Rule #1 over the fully live graph: commitment degree 1 (the
+            // row length — edges are never added) and not pre-empted by
+            // another initially-live red edge unless waived.
+            let rule1 = self.commitment_edges.row(c).len() == 1 && {
+                let preempted = (self.seed_preempted_words[slot / 64] >> (slot % 64)) & 1 != 0;
+                !preempted || waived
+            };
+            let bit = 2 * slot + 1;
+            let word = &mut self.seed_cand_words[bit / 64];
+            *word = (*word & !(1 << (bit % 64))) | (u64::from(rule1) << (bit % 64));
+            debug_assert_eq!(edge.commitment, id, "CSR row out of sync");
+        }
+        Ok(true)
     }
 
     /// The feasibility test of §4.2.4: a maximally reduced graph is feasible
@@ -800,6 +848,40 @@ mod tests {
         // Restoring an already-live edge is a no-op on the counters.
         g.restore_edge(EdgeId::new(0));
         assert_eq!(g.commitment_degree(CommitmentId::new(0)), 1);
+    }
+
+    /// `toy()` with the waiver flags chosen per commitment.
+    fn toy_waived(w0: bool, w1: bool) -> SequencingGraph {
+        let g = toy();
+        let mut commitments = g.commitments.clone();
+        commitments[0].clause2_waiver = w0;
+        commitments[1].clause2_waiver = w1;
+        SequencingGraph::from_parts(commitments, g.conjunctions, g.edges)
+    }
+
+    #[test]
+    fn set_waiver_rederives_static_seeds() {
+        let mut g = toy();
+        // Granting the waiver on each commitment must leave the packed
+        // waiver/seed words exactly as a from-scratch build with that flag.
+        assert!(g.set_waiver(CommitmentId::new(1), true).unwrap());
+        let rebuilt = toy_waived(false, true);
+        assert_eq!(g.waiver_words(), rebuilt.waiver_words());
+        assert_eq!(g.seed_cand_words(), rebuilt.seed_cand_words());
+        assert_eq!(g.seed_preempted_words(), rebuilt.seed_preempted_words());
+        assert!(g.commitment(CommitmentId::new(1)).clause2_waiver);
+
+        // No-op toggles report no change; withdrawing restores the original.
+        assert!(!g.set_waiver(CommitmentId::new(1), true).unwrap());
+        assert!(g.set_waiver(CommitmentId::new(1), false).unwrap());
+        let original = toy();
+        assert_eq!(g.waiver_words(), original.waiver_words());
+        assert_eq!(g.seed_cand_words(), original.seed_cand_words());
+
+        assert_eq!(
+            g.set_waiver(CommitmentId::new(9), true),
+            Err(CoreError::UnknownCommitment(CommitmentId::new(9)))
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod build;
 pub mod cache;
 pub mod canon;
 pub mod csr;
+mod delta;
 pub mod dot;
 mod error;
 mod execution;
@@ -72,6 +73,7 @@ pub use cache::{AnalysisCache, CacheStats, CachedVerdict};
 pub use canon::{
     canonicalize, fingerprint, prefingerprint, CanonicalForm, Fingerprint, PreFingerprint,
 };
+pub use delta::{DeltaAnalyzer, DeltaStats, GraphDelta};
 pub use error::CoreError;
 pub use execution::{
     recover_execution, synthesize, synthesize_with, ExecutionSequence, ExecutionStep, StepKind,

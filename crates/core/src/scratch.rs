@@ -245,6 +245,48 @@ impl ScratchReducer {
         out
     }
 
+    /// Runs a maximal reduction and returns only the §4.2.4 feasibility
+    /// verdict, skipping trace emission and the remaining-edge scan — the
+    /// ~15–20 ns/reduction recording floor `BENCH_hotpath.json` identified
+    /// — for callers that never read the steps: confluence sampling (which
+    /// compares verdicts, not traces), the
+    /// [`DeltaAnalyzer`](crate::DeltaAnalyzer)'s full-re-analysis fallback,
+    /// and the `--full` marketplace baseline.
+    ///
+    /// Applies exactly the same move sequence as
+    /// [`run_into`](Self::run_into) under the same strategy, so the verdict
+    /// is identical by construction (asserted in the equivalence property
+    /// suites and in-bench).
+    pub fn run_verdict_only(&mut self, graph: &SequencingGraph, strategy: Strategy) -> bool {
+        self.reset_for(graph);
+        match strategy {
+            Strategy::Deterministic => {
+                self.seed_worklist(graph);
+                while let Some((slot, rule1)) = self.pop_candidate() {
+                    self.apply(graph, slot, rule1);
+                }
+            }
+            Strategy::Randomized { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    self.collect_moves(graph);
+                    if self.moves.is_empty() {
+                        break;
+                    }
+                    self.moves.shuffle(&mut rng);
+                    let mv = self.moves[0];
+                    let removed = *graph.edge(mv.edge);
+                    self.remove_rescanned(mv, removed);
+                }
+            }
+        }
+        if obs::enabled() {
+            obs::with(|r| r.counter("reduce.verdict_only_runs", 1));
+        }
+        debug_assert_eq!(self.live_count, self.live.count());
+        self.live_count == 0
+    }
+
     /// Marks `slot` a rule #1 candidate, raising the scan hint.
     #[inline]
     fn push_rule1(&mut self, slot: usize) {
@@ -442,6 +484,34 @@ impl ScratchReducer {
             "stale pre-emption flag at popped {}",
             removed.id
         );
+        let (c_state, j_state) = self.remove_and_enable(graph, slot, waived);
+
+        ReductionStep {
+            edge: removed.id,
+            rule: if rule1 {
+                Rule::CommitmentFringe
+            } else {
+                Rule::ConjunctionFringe
+            },
+            via_clause2,
+            disconnected_commitment: (c_state >> 32 == 0).then_some(removed.commitment),
+            disconnected_conjunction: (j_state >> 32 == 0).then_some(removed.conjunction),
+        }
+    }
+
+    /// The shared removal core of [`apply`](Self::apply) and the delta
+    /// engine's [`exogenous_remove`](Self::exogenous_remove): takes `slot`
+    /// out of the live set, updates the packed node states, and inserts
+    /// every move the removal newly enables (fringe survivors and the red
+    /// pre-emption-lift cascade). Returns the updated packed commitment and
+    /// conjunction state words.
+    fn remove_and_enable(
+        &mut self,
+        graph: &SequencingGraph,
+        slot: usize,
+        waived: bool,
+    ) -> (u64, u64) {
+        let removed = graph.edges()[slot];
         self.live.remove(slot);
         // One masked write clears both of the removed edge's candidacy
         // bits — the popped rule's and (if set) the other rule's.
@@ -540,17 +610,7 @@ impl ScratchReducer {
             }
         }
 
-        ReductionStep {
-            edge: removed.id,
-            rule: if rule1 {
-                Rule::CommitmentFringe
-            } else {
-                Rule::ConjunctionFringe
-            },
-            via_clause2,
-            disconnected_commitment: (c_state >> 32 == 0).then_some(removed.commitment),
-            disconnected_conjunction: (j_state >> 32 == 0).then_some(removed.conjunction),
-        }
+        (c_state, j_state)
     }
 
     /// O(1) live degree of a commitment (high half of the packed state
@@ -606,6 +666,336 @@ impl ScratchReducer {
             e.conjunction
         );
         preempted
+    }
+
+    // ------------------------------------------------------------------
+    // Delta-maintenance primitives (consumed by `core::delta`)
+    // ------------------------------------------------------------------
+    //
+    // The `DeltaAnalyzer` keeps this scratchpad resident at a reduction
+    // fixpoint between mutations. The §4.2 rules are monotone under edge
+    // *removal* and waiver *grant* (degrees only fall, pre-emption only
+    // lifts, waivers only enable), so every previously applied move stays
+    // valid and the engine can resume from the residual state after
+    // re-seeding only the disturbed fringe. Edge *restores* and waiver
+    // *revocations* are anti-monotone — retained moves may become invalid
+    // — so the engine computes the exact set of invalidated moves from
+    // per-slot removal stamps (`RemovalLog`) and *resurrects* just those
+    // edges in place: the minimal undo frontier, cost proportional to the
+    // disturbed region instead of the whole history.
+
+    /// Number of live edges remaining in the scratch state.
+    pub(crate) fn remaining_live(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether edge slot `s` is live in the scratch state.
+    pub(crate) fn slot_is_live(&self, s: usize) -> bool {
+        self.live.contains(s)
+    }
+
+    /// Full deterministic verdict-only run that also restarts `log`'s
+    /// removal history (the delta engine's retained state).
+    pub(crate) fn run_stamped(&mut self, graph: &SequencingGraph, log: &mut RemovalLog) -> bool {
+        self.reset_for(graph);
+        log.reset(graph);
+        self.seed_worklist(graph);
+        self.drive_stamped(graph, log)
+    }
+
+    /// Runs the deterministic pop loop to its fixpoint, stamping every
+    /// applied move into `log`. Returns the feasibility verdict.
+    pub(crate) fn drive_stamped(&mut self, graph: &SequencingGraph, log: &mut RemovalLog) -> bool {
+        while let Some((slot, rule1)) = self.pop_candidate() {
+            self.apply(graph, slot, rule1);
+            log.stamp_removal(slot, rule1);
+        }
+        debug_assert_eq!(self.live_count, self.live.count());
+        self.live_count == 0
+    }
+
+    /// Removes a live edge *exogenously* — by graph mutation, not by a
+    /// reduction rule — from the resident fixpoint state, inserting any
+    /// moves the removal newly enables at the disturbed fringe (its two
+    /// endpoint survivors and the red pre-emption-lift cascade). The caller
+    /// stamps the removal and resumes with
+    /// [`drive_stamped`](Self::drive_stamped).
+    ///
+    /// Sound because the rules are monotone under removal: the retained
+    /// move list stays valid on the mutated graph, so the residual state is
+    /// still reachable and confluence carries the verdict.
+    pub(crate) fn exogenous_remove(&mut self, graph: &SequencingGraph, slot: usize) {
+        debug_assert!(self.live.contains(slot), "exogenous removal of a dead edge");
+        let waived = self
+            .waivers
+            .contains(graph.edges()[slot].commitment.index());
+        self.remove_and_enable(graph, slot, waived);
+    }
+
+    /// Grants a clause-2 waiver in the resident fixpoint state and inserts
+    /// the one move it can newly enable: the commitment's surviving edge,
+    /// when its degree is already 1 and red pre-emption was the only
+    /// blocker. (A waiver *revocation* is anti-monotone and goes through
+    /// [`undo_frontier`](Self::undo_frontier) instead.)
+    pub(crate) fn grant_waiver(&mut self, graph: &SequencingGraph, id: CommitmentId) {
+        self.waivers.insert(id.index());
+        let st = self.commitment_state[id.index()];
+        if st >> 32 == 1 {
+            let survivor = st as u32 as usize;
+            debug_assert!(self.live.contains(survivor), "stale commitment survivor");
+            debug_assert_eq!(graph.edges()[survivor].commitment, id);
+            self.push_rule1(survivor);
+        }
+    }
+
+    /// The anti-monotone maintenance path: applies `origin` (an edge
+    /// restore or a waiver revocation, already applied to `graph`) to the
+    /// resident fixpoint state by resurrecting exactly the retained moves
+    /// it invalidates — the **minimal undo frontier** — then re-seeding
+    /// candidates over the disturbed region and popping to the new
+    /// fixpoint. Returns `Some((undone, feasible))` with the frontier size
+    /// and the new verdict, or `None` when the frontier exceeded
+    /// `threshold` — the scratch state is then torn and the caller must
+    /// fall back to a full [`run_stamped`](Self::run_stamped).
+    ///
+    /// # Why the cascade is exact (and sound)
+    ///
+    /// The retained history is a valid move sequence ordered by removal
+    /// stamp. A retained move `t` is invalidated by a resurrected edge `f`
+    /// only when `f` left the live set *before* `t` was applied
+    /// (`stamp(f) < stamp(t)` — earlier removals are the only absences
+    /// `t`'s validity could have observed) and `f` touches `t`'s validity
+    /// predicate: same commitment for rule #1's degree test, same
+    /// conjunction for rule #2's degree test, or a red `f` at `t`'s
+    /// conjunction re-imposing rule #1 pre-emption — unless `t`'s clause-2
+    /// waiver already held when `t` was applied
+    /// (`waiver_stamp < stamp(t)`). Closing the frontier under this
+    /// relation and touching nothing else leaves every retained move valid
+    /// in stamp order, so the patched state is reachable on the mutated
+    /// graph and the confluence theorem carries the verdict. New
+    /// candidates can only appear *at* resurrected slots: every other
+    /// live edge sees the same or higher degrees and the same or more red
+    /// pre-emption than at the old fixpoint, where it was not reducible.
+    pub(crate) fn undo_frontier(
+        &mut self,
+        graph: &SequencingGraph,
+        log: &mut RemovalLog,
+        origin: UndoOrigin,
+        threshold: usize,
+    ) -> Option<(usize, bool)> {
+        let mut queue = std::mem::take(&mut log.queue);
+        let mut undone = std::mem::take(&mut log.undone);
+        queue.clear();
+        undone.clear();
+        // Retained moves invalidated so far (a restore's own edge is the
+        // mutation itself, not undone work, and is excluded).
+        let mut frontier = 0usize;
+        match origin {
+            UndoOrigin::Restore(slot) => {
+                debug_assert!(!self.live.contains(slot), "restore of a live slot");
+                let stamp = log.stamp[slot];
+                log.stamp[slot] = LIVE_STAMP;
+                queue.push((slot as u32, stamp));
+            }
+            UndoOrigin::Revoke(c) => {
+                self.waivers.remove(c.index());
+                // Only a rule #1 move applied after the grant can have
+                // relied on the revoked waiver.
+                for t in graph.commitment_edge_ids(c) {
+                    let s = t.index();
+                    let stamp = log.stamp[s];
+                    if stamp != LIVE_STAMP
+                        && log.rule1[s]
+                        && graph.is_live(*t)
+                        && log.waiver_stamp[c.index()] < stamp
+                    {
+                        log.stamp[s] = LIVE_STAMP;
+                        frontier += 1;
+                        queue.push((s as u32, stamp));
+                    }
+                }
+            }
+        }
+
+        let mut qi = 0;
+        while qi < queue.len() {
+            if frontier > threshold {
+                log.queue = queue;
+                log.undone = undone;
+                return None;
+            }
+            let (slot, stamp) = queue[qi];
+            qi += 1;
+            let slot = slot as usize;
+            let e = graph.edges()[slot];
+            // Bring the edge back into the resident live set.
+            self.live.insert(slot);
+            self.live_count += 1;
+            {
+                let st = &mut self.commitment_state[e.commitment.index()];
+                *st = (*st + (1 << 32)) ^ slot as u64;
+            }
+            {
+                let st = &mut self.conjunction_state[e.conjunction.index()];
+                *st = (*st + (1 << 32)) ^ slot as u64;
+            }
+            if e.color == EdgeColor::Red {
+                let st = &mut self.conjunction_red_state[e.conjunction.index()];
+                *st = (*st + (1 << 32)) ^ slot as u64;
+            }
+            undone.push(slot as u32);
+
+            // Cascade over the retained moves this resurrection
+            // invalidates. Only reduced-but-graph-live slots carry
+            // retained moves: exogenously removed edges are filtered by
+            // `is_live`, already-queued slots by their `LIVE_STAMP`
+            // marker.
+            for t in graph.commitment_edge_ids(e.commitment) {
+                let s = t.index();
+                let ts = log.stamp[s];
+                if ts != LIVE_STAMP && ts > stamp && log.rule1[s] && graph.is_live(*t) {
+                    log.stamp[s] = LIVE_STAMP;
+                    frontier += 1;
+                    queue.push((s as u32, ts));
+                }
+            }
+            for t in graph.conjunction_edge_ids(e.conjunction) {
+                let s = t.index();
+                let ts = log.stamp[s];
+                if ts == LIVE_STAMP || ts <= stamp || !graph.is_live(*t) {
+                    continue;
+                }
+                let invalid = if log.rule1[s] {
+                    let c = graph.edges()[s].commitment.index();
+                    e.color == EdgeColor::Red
+                        && !(self.waivers.contains(c) && log.waiver_stamp[c] < ts)
+                } else {
+                    true
+                };
+                if invalid {
+                    log.stamp[s] = LIVE_STAMP;
+                    frontier += 1;
+                    queue.push((s as u32, ts));
+                }
+            }
+        }
+
+        // Exact pre-emption flags over the disturbed region: each
+        // resurrected slot's own flag, plus — for resurrected reds — the
+        // flags of every live edge at their conjunction.
+        for &slot in &undone {
+            let slot = slot as usize;
+            let e = graph.edges()[slot];
+            let preempted = self.red_probe(graph, &e);
+            self.set_preempted(slot, preempted);
+            if e.color == EdgeColor::Red {
+                for t in graph.conjunction_edge_ids(e.conjunction) {
+                    let s = t.index();
+                    if s != slot && self.live.contains(s) {
+                        let preempted = self.red_probe(graph, &graph.edges()[s]);
+                        self.set_preempted(s, preempted);
+                    }
+                }
+            }
+        }
+        // Seed candidates: only resurrected slots can have become
+        // reducible (see the soundness note above).
+        for &slot in &undone {
+            let slot = slot as usize;
+            let e = graph.edges()[slot];
+            if self.commitment_degree(graph, e.commitment) == 1
+                && (!self.preempted.contains(slot) || self.waivers.contains(e.commitment.index()))
+            {
+                self.push_rule1(slot);
+            }
+            if self.conjunction_degree(graph, e.conjunction) == 1 {
+                self.push_rule2(slot);
+            }
+        }
+        let feasible = self.drive_stamped(graph, log);
+        log.queue = queue;
+        log.undone = undone;
+        Some((frontier, feasible))
+    }
+
+    #[inline]
+    fn set_preempted(&mut self, slot: usize, preempted: bool) {
+        if preempted {
+            self.preempted.insert(slot);
+        } else {
+            self.preempted.remove(slot);
+        }
+    }
+}
+
+/// Stamp marking a slot as currently live (no retained removal).
+const LIVE_STAMP: u64 = u64::MAX;
+
+/// The anti-monotone mutation kinds [`ScratchReducer::undo_frontier`]
+/// maintains.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum UndoOrigin {
+    /// Edge slot restored into the base graph (already live there).
+    Restore(usize),
+    /// Clause-2 waiver revoked on a commitment (already cleared in the
+    /// graph).
+    Revoke(CommitmentId),
+}
+
+/// The delta engine's retained history: *when* each edge slot left the
+/// live set and by which rule, plus when each commitment's clause-2
+/// waiver was last granted — enough to compute exact undo frontiers
+/// without keeping (or walking) an ordered move list.
+#[derive(Debug, Default)]
+pub(crate) struct RemovalLog {
+    /// Per-slot stamp: [`LIVE_STAMP`] while live, `0` for edges dead
+    /// since before this history began (graph-dead at the last full run),
+    /// otherwise the strictly increasing clock value of the removal —
+    /// reduction move or exogenous graph removal.
+    stamp: Vec<u64>,
+    /// Whether the slot's stamped removal was a rule #1 move (`false`
+    /// for rule #2 moves and exogenous removals).
+    rule1: Vec<bool>,
+    /// Per-commitment stamp of the most recent clause-2 waiver grant
+    /// (`0` = held since before this history began).
+    waiver_stamp: Vec<u64>,
+    /// Next removal stamp; starts at 1 so stamp `0` always reads as
+    /// "before history".
+    clock: u64,
+    /// Reusable cascade buffers for [`ScratchReducer::undo_frontier`].
+    queue: Vec<(u32, u64)>,
+    undone: Vec<u32>,
+}
+
+impl RemovalLog {
+    /// Restarts the history for a freshly (re-)analyzed `graph`.
+    pub(crate) fn reset(&mut self, graph: &SequencingGraph) {
+        let edges = graph.edges();
+        self.stamp.clear();
+        self.stamp.extend(
+            edges
+                .iter()
+                .map(|e| if graph.is_live(e.id) { LIVE_STAMP } else { 0 }),
+        );
+        self.rule1.clear();
+        self.rule1.resize(edges.len(), false);
+        self.waiver_stamp.clear();
+        self.waiver_stamp.resize(graph.commitments().len(), 0);
+        self.clock = 1;
+    }
+
+    /// Stamps slot `slot` as removed now (by rule #1 if `rule1`, else by
+    /// rule #2 or exogenously).
+    pub(crate) fn stamp_removal(&mut self, slot: usize, rule1: bool) {
+        self.stamp[slot] = self.clock;
+        self.rule1[slot] = rule1;
+        self.clock += 1;
+    }
+
+    /// Stamps a clause-2 waiver grant on commitment `c` now.
+    pub(crate) fn stamp_grant(&mut self, c: CommitmentId) {
+        self.waiver_stamp[c.index()] = self.clock;
+        self.clock += 1;
     }
 }
 

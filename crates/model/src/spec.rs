@@ -200,6 +200,10 @@ pub struct ExchangeSpec {
     assemblies: Vec<Assembly>,
     trust: TrustRelation,
     role_players: BTreeMap<AgentId, BTreeSet<AgentId>>,
+    /// Role players recorded via [`ExchangeSpec::set_role_player`] — kept
+    /// apart from the trust-derived ones so withdrawing trust can re-derive
+    /// `role_players` from scratch without forgetting explicit grants.
+    explicit_role_players: BTreeMap<AgentId, BTreeSet<AgentId>>,
     indemnities: Vec<Indemnity>,
 }
 
@@ -217,6 +221,7 @@ impl ExchangeSpec {
             assemblies: Vec::new(),
             trust: TrustRelation::new(),
             role_players: BTreeMap::new(),
+            explicit_role_players: BTreeMap::new(),
             indemnities: Vec::new(),
         }
     }
@@ -617,6 +622,27 @@ impl ExchangeSpec {
         Ok(())
     }
 
+    /// Withdraws direct trust from `truster` towards `trustee` (a defection
+    /// or reputation-decay event in a live marketplace) and re-derives which
+    /// principals may play trusted-agent roles.
+    ///
+    /// Role players recorded explicitly via
+    /// [`ExchangeSpec::set_role_player`] are kept; only the trust-implied
+    /// ones are recomputed. Returns whether the pair was present.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NotAPrincipal`] if either agent is not a principal.
+    pub fn remove_trust(&mut self, truster: AgentId, trustee: AgentId) -> Result<bool, ModelError> {
+        self.expect_principal(truster)?;
+        self.expect_principal(trustee)?;
+        let removed = self.trust.remove(truster, trustee);
+        if removed {
+            self.refresh_role_players();
+        }
+        Ok(removed)
+    }
+
     /// Explicitly records that `principal` plays the trusted-agent role of
     /// `trusted` (without going through the trust relation).
     ///
@@ -638,6 +664,10 @@ impl ExchangeSpec {
         if !is_party {
             return Err(ModelError::RoleNotParty { trusted, principal });
         }
+        self.explicit_role_players
+            .entry(trusted)
+            .or_default()
+            .insert(principal);
         self.role_players
             .entry(trusted)
             .or_default()
@@ -648,8 +678,10 @@ impl ExchangeSpec {
     /// Derives role players from the trust relation: for a deal between `p`
     /// and `q` through `t`, `p` plays `t`'s role when `q` trusts `p`.
     fn refresh_role_players(&mut self) {
-        // Keep explicitly-set role players; re-derive the trust-implied ones.
-        let mut derived: BTreeMap<AgentId, BTreeSet<AgentId>> = self.role_players.clone();
+        // Keep explicitly-set role players; re-derive the trust-implied ones
+        // from scratch so withdrawn trust edges actually revoke the roles
+        // they once implied.
+        let mut derived: BTreeMap<AgentId, BTreeSet<AgentId>> = self.explicit_role_players.clone();
         for deal in &self.deals {
             let (s, b, t) = (deal.seller, deal.buyer, deal.intermediary);
             if self.trust.trusts(b, s) {
@@ -706,6 +738,19 @@ impl ExchangeSpec {
         };
         self.indemnities.push(indemnity);
         Ok(indemnity)
+    }
+
+    /// Withdraws every indemnity covering `deal` (an expired cover in a live
+    /// marketplace). Returns how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownDeal`] for a dangling deal.
+    pub fn remove_indemnities(&mut self, deal: DealId) -> Result<usize, ModelError> {
+        self.deal(deal)?;
+        let before = self.indemnities.len();
+        self.indemnities.retain(|i| i.deal != deal);
+        Ok(before - self.indemnities.len())
     }
 
     // ------------------------------------------------------------------
@@ -1108,6 +1153,43 @@ mod tests {
         // The reverse direction gives the role to the producer instead.
         spec.add_trust(b, p).unwrap();
         assert!(spec.plays_role(t2, p));
+    }
+
+    #[test]
+    fn removing_trust_revokes_derived_roles_but_keeps_explicit_ones() {
+        let (mut spec, [_c, b, p, _t1, t2], _, _) = example1();
+        spec.add_trust(p, b).unwrap();
+        assert!(spec.plays_role(t2, b));
+        assert!(spec.remove_trust(p, b).unwrap());
+        assert!(!spec.plays_role(t2, b));
+        assert!(!spec.remove_trust(p, b).unwrap());
+
+        // An explicitly granted role survives a trust withdrawal that would
+        // have revoked the same derived role.
+        spec.add_trust(p, b).unwrap();
+        spec.set_role_player(t2, b).unwrap();
+        spec.remove_trust(p, b).unwrap();
+        assert!(spec.plays_role(t2, b));
+
+        assert!(matches!(
+            spec.remove_trust(t2, b),
+            Err(ModelError::NotAPrincipal(_))
+        ));
+    }
+
+    #[test]
+    fn remove_indemnities_withdraws_cover() {
+        let (mut spec, [_c, b, ..], _, [sale, _supply]) = example1();
+        spec.add_indemnity(b, sale, Money::from_dollars(20))
+            .unwrap();
+        assert_eq!(spec.indemnified_deals().len(), 1);
+        assert_eq!(spec.remove_indemnities(sale).unwrap(), 1);
+        assert!(spec.indemnified_deals().is_empty());
+        assert_eq!(spec.remove_indemnities(sale).unwrap(), 0);
+        assert!(matches!(
+            spec.remove_indemnities(DealId::new(99)),
+            Err(ModelError::UnknownDeal(_))
+        ));
     }
 
     #[test]

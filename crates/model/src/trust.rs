@@ -50,6 +50,15 @@ impl TrustRelation {
         self.add(b, a);
     }
 
+    /// Withdraws direct trust from `truster` towards `trustee` (a defection,
+    /// or a reputation decay event in a live marketplace).
+    ///
+    /// Returns `false` if the pair was not present. Self-trust cannot be
+    /// withdrawn — it is implicit and never stored.
+    pub fn remove(&mut self, truster: AgentId, trustee: AgentId) -> bool {
+        self.pairs.remove(&(truster, trustee))
+    }
+
     /// Whether `truster` directly trusts `trustee`.
     ///
     /// Self-trust always holds.
@@ -138,6 +147,19 @@ mod tests {
         t.add_mutual(AgentId::new(0), AgentId::new(1));
         assert!(t.mutual(AgentId::new(0), AgentId::new(1)));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_withdraws_only_the_named_direction() {
+        let mut t = TrustRelation::new();
+        t.add_mutual(AgentId::new(0), AgentId::new(1));
+        assert!(t.remove(AgentId::new(0), AgentId::new(1)));
+        assert!(!t.trusts(AgentId::new(0), AgentId::new(1)));
+        assert!(t.trusts(AgentId::new(1), AgentId::new(0)));
+        assert!(!t.remove(AgentId::new(0), AgentId::new(1)));
+        // Implicit self-trust survives any removal attempt.
+        assert!(!t.remove(AgentId::new(2), AgentId::new(2)));
+        assert!(t.trusts(AgentId::new(2), AgentId::new(2)));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   [`trust_density`](RandomConfig::trust_density) knob, and
 //!   [`feasibility_rate`] to measure how trust unlocks exchanges;
 //! * [`sweep_streaming`] — the same sweep in bounded memory: corpora far
-//!   larger than RAM are generated, analyzed and folded chunk by chunk.
+//!   larger than RAM are generated, analyzed and folded chunk by chunk;
+//! * [`run_market`] — a streaming marketplace mutating a population of
+//!   structures under post/accept/cancel/expire events, with verdicts
+//!   maintained incrementally ([`MarketMode::Delta`]) or recomputed from
+//!   scratch ([`MarketMode::Full`]).
 //!
 //! # Example
 //!
@@ -33,12 +37,14 @@
 mod assembly;
 mod bundle;
 mod chain;
+mod market;
 mod random;
 mod stream;
 
 pub use assembly::{assembly_market, AssemblyIds};
 pub use bundle::{bundle, bundle_arithmetic, BundleIds};
 pub use chain::{broker_chain, ChainIds};
+pub use market::{run_market, Market, MarketConfig, MarketMode, MarketReport};
 pub use random::{
     feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig, RandomExchange,
 };

@@ -95,6 +95,7 @@ USAGE:
     trustseq chaos-sockets [--out PATH] [--quick]
     trustseq journal-replay [OPTIONS] <JOURNAL.jsonl>
     trustseq sweep [--samples N] [--stream CHUNK] [OPTIONS]
+    trustseq market [--events N] [--mutation-rate R] [--delta|--full] [OPTIONS]
 
 OPTIONS:
     --extended        enable the \u{a7}9 shared-escrow delegation semantics
@@ -111,6 +112,16 @@ OPTIONS:
     --stream CHUNK    with `sweep`: bounded-memory streaming mode — generate,
                       analyze and fold CHUNK specs at a time instead of
                       materializing the whole corpus
+    --events N        with `market`: number of marketplace events to stream
+                      (default 1000)
+    --mutation-rate R with `market`: probability in [0, 1] that an event
+                      mutates a structure rather than re-certifying one
+                      (default 0.2)
+    --delta           with `market`: maintain verdicts incrementally with
+                      resident delta analyzers (the default)
+    --full            with `market`: recompute every verdict from scratch —
+                      the non-incremental baseline the delta engine is
+                      measured against
     --metrics         record structured runtime metrics (reducer, cache,
                       pool, distributed protocol) and print them afterwards
     --metrics-format  `table` (default) or `json`; implies --metrics
@@ -152,6 +163,10 @@ COMMANDS:
                     byte-for-byte, then re-check the verdict centrally
     sweep           measure the feasibility rate of a seeded random exchange
                     corpus; `--stream` keeps peak memory at one chunk
+    market          stream a live marketplace: post/accept/cancel/expire
+                    events over a population of structures, re-certifying
+                    after every event (`--delta` incremental, `--full`
+                    from-scratch baseline)
 ";
 
 /// Runs a command against specification source text, returning the output.
@@ -588,6 +603,63 @@ pub fn run_sweep(
     Ok(out)
 }
 
+/// Runs the `market` command: streams `events` marketplace events over the
+/// default structure population and reports deterministic counts (never
+/// throughput — timing belongs to the `delta` bench).
+///
+/// With a `cache`, every mutation exercises the delta-aware invalidation
+/// path and cross-checks the incremental verdict against the
+/// canonicalizing pipeline (see
+/// [`run_market`](trustseq_workloads::run_market)).
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` matches its sibling runners.
+pub fn run_market_cmd(
+    events: u64,
+    mutation_rate: f64,
+    mode: trustseq_workloads::MarketMode,
+    cache: Option<&trustseq_core::AnalysisCache>,
+) -> Result<String, String> {
+    let config = trustseq_workloads::MarketConfig {
+        events,
+        mutation_rate,
+        ..Default::default()
+    };
+    let report = trustseq_workloads::run_market(&config, mode, cache);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "market: {} events over {} structures (mutation rate {:.2}, {} mode)",
+        report.events,
+        config.structures,
+        config.mutation_rate,
+        match mode {
+            trustseq_workloads::MarketMode::Delta => "delta",
+            trustseq_workloads::MarketMode::Full => "full",
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  mutations: {} ({} verdict flips), re-certifications: {}",
+        report.mutations, report.flips, report.recerts
+    );
+    let _ = writeln!(
+        out,
+        "  final state: {}/{} structures feasible",
+        report.feasible_final, config.structures
+    );
+    let _ = writeln!(out, "  verdict hash: {:#018x}", report.verdict_hash);
+    let s = report.stats;
+    let _ = writeln!(
+        out,
+        "  maintenance: {} resumed, {} undos ({} steps undone), \
+         {} fallbacks, {} full runs",
+        s.resumed, s.undos, s.undone_steps, s.fallbacks, s.full_runs
+    );
+    Ok(out)
+}
+
 /// Replays a recorded JSONL event journal: re-runs the header's spec under
 /// the header's fault plan and config, verifies every event line
 /// reproduces byte-for-byte (the fault plan is a pure function of its
@@ -738,6 +810,10 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut faults: Option<String> = None;
     let mut samples: Option<u64> = None;
     let mut stream: Option<usize> = None;
+    let mut events: Option<u64> = None;
+    let mut mutation_rate: Option<f64> = None;
+    let mut delta_mode = false;
+    let mut full_mode = false;
     let mut net_path: Option<String> = None;
     let mut node_id: Option<String> = None;
     let mut transport: Option<TransportKind> = None;
@@ -776,6 +852,35 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                         })?,
                 );
             }
+            "--events" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--events` expects an event count\n\n{USAGE}"))?;
+                events = Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!(
+                        "`--events` expects a positive event count (got `{raw}`); \
+                             omit the flag to stream the default 1000 events\n\n{USAGE}"
+                    )
+                })?);
+            }
+            "--mutation-rate" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--mutation-rate` expects a probability\n\n{USAGE}"))?;
+                mutation_rate = Some(
+                    raw.parse::<f64>()
+                        .ok()
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| {
+                            format!(
+                                "`--mutation-rate` expects a probability in [0, 1] \
+                                 (got `{raw}`); omit the flag for the default 0.2\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
+            "--delta" => delta_mode = true,
+            "--full" => full_mode = true,
             "--metrics" => metrics = true,
             "--metrics-format" => {
                 let fmt = iter.next().ok_or_else(|| {
@@ -875,6 +980,12 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
             ));
         }
+        if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+            return Err(format!(
+                "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
+                 the `market` command\n\n{USAGE}"
+            ));
+        }
         let samples = samples.unwrap_or(1000);
         return with_metrics(metrics, metrics_format, || {
             if cache_stats {
@@ -890,6 +1001,42 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     if samples.is_some() || stream.is_some() {
         return Err(format!(
             "`--samples` and `--stream` apply to the `sweep` command\n\n{USAGE}"
+        ));
+    }
+    if positional.as_slice() == ["market"] {
+        if journal_path.is_some() || faults.is_some() {
+            return Err(format!(
+                "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
+            ));
+        }
+        if delta_mode && full_mode {
+            return Err(format!(
+                "`--delta` and `--full` are mutually exclusive; pick one \
+                 maintenance mode (the default is `--delta`)\n\n{USAGE}"
+            ));
+        }
+        let mode = if full_mode {
+            trustseq_workloads::MarketMode::Full
+        } else {
+            trustseq_workloads::MarketMode::Delta
+        };
+        let events = events.unwrap_or(1000);
+        let mutation_rate = mutation_rate.unwrap_or(0.2);
+        return with_metrics(metrics, metrics_format, || {
+            if cache_stats {
+                let cache = trustseq_core::AnalysisCache::new();
+                let mut out = run_market_cmd(events, mutation_rate, mode, Some(&cache))?;
+                let _ = writeln!(out, "cache: {}", cache.stats());
+                Ok(out)
+            } else {
+                run_market_cmd(events, mutation_rate, mode, None)
+            }
+        });
+    }
+    if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+        return Err(format!(
+            "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
+             the `market` command\n\n{USAGE}"
         ));
     }
     if positional.as_slice() == ["chaos-sockets"] {
@@ -1328,6 +1475,84 @@ mod tests {
         let err =
             main_with_args(&["sweep".into(), "--faults".into(), "seed=1".into()]).unwrap_err();
         assert!(err.contains("apply to the `dist` command"), "{err}");
+    }
+
+    #[test]
+    fn market_command_reports_and_modes_agree() {
+        let delta = main_with_args(&[
+            "market".into(),
+            "--events".into(),
+            "120".into(),
+            "--mutation-rate".into(),
+            "0.5".into(),
+            "--delta".into(),
+        ])
+        .unwrap();
+        assert!(delta.contains("120 events"), "{delta}");
+        assert!(delta.contains("delta mode"), "{delta}");
+        assert!(delta.contains("verdict hash:"), "{delta}");
+        let full = main_with_args(&[
+            "market".into(),
+            "--events".into(),
+            "120".into(),
+            "--mutation-rate".into(),
+            "0.5".into(),
+            "--full".into(),
+        ])
+        .unwrap();
+        assert!(full.contains("full mode"), "{full}");
+        // The two modes must agree on every verdict, event by event.
+        let hash_of = |out: &str| {
+            out.lines()
+                .find(|l| l.contains("verdict hash:"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(hash_of(&delta), hash_of(&full));
+        // --cache-stats cross-checks against the canonicalizing cache and
+        // reports the invalidation traffic.
+        let cached = main_with_args(&[
+            "market".into(),
+            "--events".into(),
+            "120".into(),
+            "--mutation-rate".into(),
+            "0.5".into(),
+            "--cache-stats".into(),
+        ])
+        .unwrap();
+        assert_eq!(hash_of(&delta), hash_of(&cached));
+        assert!(cached.contains("cache:"), "{cached}");
+    }
+
+    #[test]
+    fn market_flags_are_validated() {
+        // --events/--mutation-rate/--delta/--full are market-only.
+        let err = main_with_args(&["--events".into(), "10".into(), "check".into(), "x".into()])
+            .unwrap_err();
+        assert!(err.contains("apply to the `market` command"), "{err}");
+        let err = main_with_args(&["sweep".into(), "--delta".into()]).unwrap_err();
+        assert!(err.contains("apply to the `market` command"), "{err}");
+        // The two maintenance modes cannot be combined.
+        let err =
+            main_with_args(&["market".into(), "--delta".into(), "--full".into()]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // Malformed or missing values are rejected up front with the
+        // typed-error shape: expected, got, and how to get the default.
+        let err = main_with_args(&["market".into(), "--events".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("positive event count"), "{err}");
+        assert!(err.contains("got `0`"), "{err}");
+        assert!(err.contains("omit the flag"), "{err}");
+        let err = main_with_args(&["market".into(), "--events".into()]).unwrap_err();
+        assert!(err.contains("expects an event count"), "{err}");
+        for bad in ["1.5", "-0.1", "lots"] {
+            let err = main_with_args(&["market".into(), "--mutation-rate".into(), bad.into()])
+                .unwrap_err();
+            assert!(err.contains("probability in [0, 1]"), "{err}");
+            assert!(err.contains(&format!("got `{bad}`")), "{err}");
+        }
+        // --samples stays sweep-only even for market.
+        let err = main_with_args(&["market".into(), "--samples".into(), "10".into()]).unwrap_err();
+        assert!(err.contains("apply to the `sweep` command"), "{err}");
     }
 
     #[test]
