@@ -26,6 +26,38 @@
 //!   are deterministic and replayable — wall time would not be. Values
 //!   are recorded in rounds (ticks).
 //!
+//! # Metric namespaces
+//!
+//! Metric names are dot-separated, with the first segment naming the
+//! emitting subsystem. The taxonomy in use across the workspace:
+//!
+//! * `reduce.*` — reduction engines: `runs`, `removals`,
+//!   `candidates_scanned`, `worklist_peak`, `bitset_words`,
+//!   `verdict_only_runs`.
+//! * `cache.*` — the analysis cache: `misses`, `evictions`, `expired`
+//!   (TTL evictions), `invalidations`, `intern_ns`.
+//! * `pool.*` — the worker pool: `jobs`, `width`, `panics`,
+//!   `dispatch_ns`, `worker_busy_ns`.
+//! * `delta.*` — incremental re-analysis: `applied`, `undone_steps`,
+//!   `fallbacks`, `full_runs`.
+//! * `dist.*` — the simulated distributed engine: `runs`, `rounds`,
+//!   `messages`, `relays`, `retransmissions`, `dedup_drops`,
+//!   `decode_failures`, `verdict.{feasible,infeasible,undecided}`.
+//! * `net.*` — the socket transport: `frames_rx`, `bytes_sent`,
+//!   `reconnects`, `rtt_us`.
+//! * `svc.*` — the always-on analysis service: per-request-kind
+//!   counters `analyze` / `mutate` / `spec` / `stats`, the end-to-end
+//!   `request_ns` histogram, admission outcomes
+//!   `rejected.{quota,overloaded,draining,malformed,unknown}`, plus
+//!   `enqueued`, `conns`, `proto_drops` (undecodable input →
+//!   disconnect), `slow_drops` (stalled partial frames → disconnect)
+//!   and `verdict_mismatch` (cache vs resident-analyzer cross-check —
+//!   any non-zero value is a bug).
+//!
+//! New instrumentation should claim the existing namespace of the
+//! subsystem it lives in, or introduce a new first segment; never reuse
+//! a foreign prefix.
+//!
 //! # Registry
 //!
 //! [`MetricsRegistry`] is the standard [`Recorder`]: a lock-striped

@@ -33,6 +33,15 @@
 //! * `halt;verdict=feasible` — the supervisor's shutdown broadcast,
 //!   carrying a [`DistVerdict`](crate::DistVerdict) token.
 //!
+//! The analysis service (`trustseq-service`) speaks its own
+//! request/response frames over the same conventions —
+//! [`ServiceRequest`] (`analyze`, `analyzespec`, `mutate`, `stats`) and
+//! [`ServiceReply`] (`verdict`, `svcstats`, `rejected`) — with one
+//! deliberate extension: `analyzespec` carries spec-language source as a
+//! *verbatim tail* (`spec=` is always the last field), since the
+//! length-prefixed frame layer already delimits the payload and spec
+//! source legitimately contains `;` and newlines.
+//!
 //! [`FaultPlan`]: crate::FaultPlan
 //! [`FaultPlan::with_corrupt_per_mille`]: crate::FaultPlan::with_corrupt_per_mille
 
@@ -420,6 +429,392 @@ impl Packet {
     }
 }
 
+/// A marketplace event kind carried by [`ServiceRequest::Mutate`]: which
+/// of a resident structure's toggles to flip. The server maps it onto the
+/// delta vocabulary of §4.2.3/§6 — `Accept`/`Cancel` toggle a trust-grant
+/// waiver set, `Post`/`Expire` toggle an indemnity's edge split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// A trust grant takes effect (clause-2 waivers switch on).
+    Accept,
+    /// The trust grant is withdrawn (waivers switch off).
+    Cancel,
+    /// An indemnity is posted (buyer-side edges split away).
+    Post,
+    /// The indemnity expires (edges restored).
+    Expire,
+}
+
+impl ServiceOp {
+    /// The canonical wire token.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ServiceOp::Accept => "accept",
+            ServiceOp::Cancel => "cancel",
+            ServiceOp::Post => "post",
+            ServiceOp::Expire => "expire",
+        }
+    }
+
+    fn from_token(s: &str) -> Result<Self, CodecError> {
+        match s {
+            "accept" => Ok(ServiceOp::Accept),
+            "cancel" => Ok(ServiceOp::Cancel),
+            "post" => Ok(ServiceOp::Post),
+            "expire" => Ok(ServiceOp::Expire),
+            _ => Err(bad(s, "an op: accept, cancel, post or expire")),
+        }
+    }
+}
+
+/// Why the analysis server refused a request. Carried by
+/// [`ServiceReply::Rejected`]; every variant is *typed shed load* — the
+/// client learns exactly which admission-control rung it fell off, rather
+/// than seeing a dropped connection or an unbounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request queue is at capacity (backpressure, not buffering).
+    Overloaded,
+    /// The connection exhausted its token-bucket quota.
+    Quota,
+    /// The server is draining for shutdown and admits no new work.
+    Draining,
+    /// The frame parsed but the request is semantically malformed
+    /// (unparseable spec, out-of-range slot, …).
+    Malformed,
+    /// The named resident structure does not exist.
+    UnknownStructure,
+}
+
+impl RejectReason {
+    /// The canonical wire token.
+    pub fn token(&self) -> &'static str {
+        match self {
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::Quota => "quota",
+            RejectReason::Draining => "draining",
+            RejectReason::Malformed => "malformed",
+            RejectReason::UnknownStructure => "unknown_structure",
+        }
+    }
+
+    fn from_token(s: &str) -> Result<Self, CodecError> {
+        match s {
+            "overloaded" => Ok(RejectReason::Overloaded),
+            "quota" => Ok(RejectReason::Quota),
+            "draining" => Ok(RejectReason::Draining),
+            "malformed" => Ok(RejectReason::Malformed),
+            "unknown_structure" => Ok(RejectReason::UnknownStructure),
+            _ => Err(bad(
+                s,
+                "a reject reason: overloaded, quota, draining, malformed or unknown_structure",
+            )),
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A client→server frame of the analysis service. Every request carries a
+/// client-chosen `seq`, echoed verbatim in the matching reply, so clients
+/// can pipeline a window of requests and correlate replies without
+/// assuming cross-structure ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceRequest {
+    /// Feasibility verdict of resident structure `id` in its current
+    /// mutation state.
+    Analyze {
+        /// Client-chosen correlation number, echoed in the reply.
+        seq: u64,
+        /// The resident structure.
+        id: u32,
+    },
+    /// One-shot analysis of an inline spec (the `spec=` tail carries the
+    /// spec language source *verbatim* — semicolons and newlines included,
+    /// which the length-prefixed frame layer permits).
+    AnalyzeSpec {
+        /// Client-chosen correlation number, echoed in the reply.
+        seq: u64,
+        /// Spec-language source text.
+        spec: String,
+    },
+    /// Applies one marketplace event to resident structure `id`:
+    /// `op` on the structure's `slot`-th trust pair
+    /// (accept/cancel) or deal (post/expire), then reports the
+    /// incrementally-maintained verdict.
+    Mutate {
+        /// Client-chosen correlation number, echoed in the reply.
+        seq: u64,
+        /// The resident structure.
+        id: u32,
+        /// Which toggle to flip.
+        op: ServiceOp,
+        /// Trust-pair index (accept/cancel) or deal index (post/expire).
+        slot: u32,
+    },
+    /// Server counters snapshot.
+    Stats {
+        /// Client-chosen correlation number, echoed in the reply.
+        seq: u64,
+    },
+}
+
+impl ServiceRequest {
+    /// The request's correlation number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            ServiceRequest::Analyze { seq, .. }
+            | ServiceRequest::AnalyzeSpec { seq, .. }
+            | ServiceRequest::Mutate { seq, .. }
+            | ServiceRequest::Stats { seq } => *seq,
+        }
+    }
+
+    /// Encodes the request as its canonical wire frame;
+    /// [`from_wire`](Self::from_wire) inverts it exactly.
+    pub fn to_wire(&self) -> String {
+        match self {
+            ServiceRequest::Analyze { seq, id } => format!("analyze;seq={seq};id={id}"),
+            ServiceRequest::AnalyzeSpec { seq, spec } => {
+                format!("analyzespec;seq={seq};spec={spec}")
+            }
+            ServiceRequest::Mutate { seq, id, op, slot } => {
+                format!("mutate;seq={seq};id={id};op={};slot={slot}", op.token())
+            }
+            ServiceRequest::Stats { seq } => format!("stats;seq={seq}"),
+        }
+    }
+
+    /// Decodes a frame produced by [`to_wire`](Self::to_wire). Malformed
+    /// frames are typed [`CodecError`]s, never panics — the server turns
+    /// them into [`RejectReason::Malformed`] or a dropped connection.
+    pub fn from_wire(frame: &str) -> Result<Self, CodecError> {
+        // `analyzespec` carries a verbatim tail that may itself contain
+        // `;`, so it is peeled off before the field-by-field path.
+        if let Some(rest) = frame.strip_prefix("analyzespec;") {
+            let rest = rest
+                .strip_prefix("seq=")
+                .ok_or_else(|| bad(rest, "seq=<u64>"))?;
+            let (seq, rest) = rest
+                .split_once(';')
+                .ok_or_else(|| bad(rest, "seq=<u64>;spec=<source>"))?;
+            let seq = seq.parse().map_err(|_| bad(seq, "a u64 sequence number"))?;
+            let spec = rest
+                .strip_prefix("spec=")
+                .ok_or_else(|| bad(rest, "spec=<source>"))?;
+            return Ok(ServiceRequest::AnalyzeSpec {
+                seq,
+                spec: spec.to_string(),
+            });
+        }
+        let mut fields = frame.split(';');
+        let tag = fields.next().unwrap_or_default();
+        let request = match tag {
+            "analyze" => {
+                let seq = expect_field(fields.next(), "seq", "seq=<u64>")?;
+                let id = expect_field(fields.next(), "id", "id=<u32>")?;
+                ServiceRequest::Analyze {
+                    seq: seq.parse().map_err(|_| bad(seq, "a u64 sequence number"))?,
+                    id: id.parse().map_err(|_| bad(id, "a u32 structure id"))?,
+                }
+            }
+            "mutate" => {
+                let seq = expect_field(fields.next(), "seq", "seq=<u64>")?;
+                let id = expect_field(fields.next(), "id", "id=<u32>")?;
+                let op = expect_field(fields.next(), "op", "op=<accept|cancel|post|expire>")?;
+                let slot = expect_field(fields.next(), "slot", "slot=<u32>")?;
+                ServiceRequest::Mutate {
+                    seq: seq.parse().map_err(|_| bad(seq, "a u64 sequence number"))?,
+                    id: id.parse().map_err(|_| bad(id, "a u32 structure id"))?,
+                    op: ServiceOp::from_token(op)?,
+                    slot: slot.parse().map_err(|_| bad(slot, "a u32 slot index"))?,
+                }
+            }
+            "stats" => {
+                let seq = expect_field(fields.next(), "seq", "seq=<u64>")?;
+                ServiceRequest::Stats {
+                    seq: seq.parse().map_err(|_| bad(seq, "a u64 sequence number"))?,
+                }
+            }
+            _ => {
+                return Err(bad(
+                    tag,
+                    "a request tag: analyze, analyzespec, mutate or stats",
+                ))
+            }
+        };
+        if let Some(extra) = fields.next() {
+            return Err(bad(extra, "end of frame"));
+        }
+        Ok(request)
+    }
+}
+
+/// A point-in-time server counters snapshot carried by
+/// [`ServiceReply::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Resident structures currently served.
+    pub structures: u32,
+    /// Requests admitted and answered with a verdict or stats reply.
+    pub accepted: u64,
+    /// Requests shed with a typed [`RejectReason`] (all rungs summed).
+    pub rejected: u64,
+    /// Requests sitting in the worker queue right now.
+    pub queue_depth: u32,
+    /// Connections currently open.
+    pub connections: u32,
+    /// Analysis-cache hits served so far.
+    pub cache_hits: u64,
+    /// Analysis-cache misses (fresh reductions) so far.
+    pub cache_misses: u64,
+}
+
+/// A server→client frame of the analysis service. `seq` always echoes the
+/// request it answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceReply {
+    /// The feasibility verdict for an `Analyze`, `AnalyzeSpec` or
+    /// (post-application) `Mutate` request.
+    Verdict {
+        /// Echo of the request's correlation number.
+        seq: u64,
+        /// Whether the structure reduces to zero edges (§4.2.4).
+        feasible: bool,
+        /// Edges surviving at the impasse (0 iff feasible).
+        remaining: u32,
+        /// Red edges among the survivors.
+        remaining_red: u32,
+    },
+    /// Server counters snapshot.
+    Stats {
+        /// Echo of the request's correlation number.
+        seq: u64,
+        /// The snapshot.
+        stats: ServiceStats,
+    },
+    /// Typed shed load: the request was refused at an admission-control
+    /// rung, and nothing about the server's resident state changed.
+    Rejected {
+        /// Echo of the request's correlation number.
+        seq: u64,
+        /// Which rung refused it.
+        reason: RejectReason,
+    },
+}
+
+impl ServiceReply {
+    /// The echoed correlation number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            ServiceReply::Verdict { seq, .. }
+            | ServiceReply::Stats { seq, .. }
+            | ServiceReply::Rejected { seq, .. } => *seq,
+        }
+    }
+
+    /// Encodes the reply as its canonical wire frame;
+    /// [`from_wire`](Self::from_wire) inverts it exactly.
+    pub fn to_wire(&self) -> String {
+        match self {
+            ServiceReply::Verdict {
+                seq,
+                feasible,
+                remaining,
+                remaining_red,
+            } => format!(
+                "verdict;seq={seq};feasible={};remaining={remaining};red={remaining_red}",
+                u8::from(*feasible)
+            ),
+            ServiceReply::Stats { seq, stats } => format!(
+                "svcstats;seq={seq};structures={};accepted={};rejected={};queue={};conns={};hits={};misses={}",
+                stats.structures,
+                stats.accepted,
+                stats.rejected,
+                stats.queue_depth,
+                stats.connections,
+                stats.cache_hits,
+                stats.cache_misses
+            ),
+            ServiceReply::Rejected { seq, reason } => {
+                format!("rejected;seq={seq};reason={}", reason.token())
+            }
+        }
+    }
+
+    /// Decodes a frame produced by [`to_wire`](Self::to_wire).
+    pub fn from_wire(frame: &str) -> Result<Self, CodecError> {
+        fn num(
+            field: Option<&str>,
+            key: &'static str,
+            expected: &'static str,
+        ) -> Result<u64, CodecError> {
+            let v = expect_field(field, key, expected)?;
+            v.parse().map_err(|_| bad(v, "a non-negative number"))
+        }
+        let mut fields = frame.split(';');
+        let tag = fields.next().unwrap_or_default();
+        let reply = match tag {
+            "verdict" => {
+                let seq = num(fields.next(), "seq", "seq=<u64>")?;
+                let feasible = expect_field(fields.next(), "feasible", "feasible=<0|1>")?;
+                let feasible = match feasible {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad(feasible, "feasible 0 or 1")),
+                };
+                let remaining = num(fields.next(), "remaining", "remaining=<u32>")? as u32;
+                let remaining_red = num(fields.next(), "red", "red=<u32>")? as u32;
+                ServiceReply::Verdict {
+                    seq,
+                    feasible,
+                    remaining,
+                    remaining_red,
+                }
+            }
+            "svcstats" => {
+                let seq = num(fields.next(), "seq", "seq=<u64>")?;
+                let structures = num(fields.next(), "structures", "structures=<u32>")? as u32;
+                let accepted = num(fields.next(), "accepted", "accepted=<u64>")?;
+                let rejected = num(fields.next(), "rejected", "rejected=<u64>")?;
+                let queue_depth = num(fields.next(), "queue", "queue=<u32>")? as u32;
+                let connections = num(fields.next(), "conns", "conns=<u32>")? as u32;
+                let cache_hits = num(fields.next(), "hits", "hits=<u64>")?;
+                let cache_misses = num(fields.next(), "misses", "misses=<u64>")?;
+                ServiceReply::Stats {
+                    seq,
+                    stats: ServiceStats {
+                        structures,
+                        accepted,
+                        rejected,
+                        queue_depth,
+                        connections,
+                        cache_hits,
+                        cache_misses,
+                    },
+                }
+            }
+            "rejected" => {
+                let seq = num(fields.next(), "seq", "seq=<u64>")?;
+                let reason = expect_field(fields.next(), "reason", "reason=<token>")?;
+                ServiceReply::Rejected {
+                    seq,
+                    reason: RejectReason::from_token(reason)?,
+                }
+            }
+            _ => return Err(bad(tag, "a reply tag: verdict, svcstats or rejected")),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(bad(extra, "end of frame"));
+        }
+        Ok(reply)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,6 +950,200 @@ mod tests {
             "halt;verdict=ok;extra=1",
         ] {
             assert!(Packet::from_wire(frame).is_err(), "{frame:?}");
+        }
+    }
+
+    fn request_samples() -> Vec<ServiceRequest> {
+        vec![
+            ServiceRequest::Analyze { seq: 0, id: 0 },
+            ServiceRequest::Analyze { seq: 17, id: 3 },
+            ServiceRequest::AnalyzeSpec {
+                seq: 5,
+                spec: String::new(),
+            },
+            ServiceRequest::AnalyzeSpec {
+                seq: 9,
+                // Semicolons and newlines are legal in the verbatim tail.
+                spec: "exchange demo\nprincipal c consumer; deal d\n".to_string(),
+            },
+            ServiceRequest::Mutate {
+                seq: 1,
+                id: 2,
+                op: ServiceOp::Accept,
+                slot: 0,
+            },
+            ServiceRequest::Mutate {
+                seq: u64::MAX,
+                id: u32::MAX,
+                op: ServiceOp::Expire,
+                slot: 41,
+            },
+            ServiceRequest::Stats { seq: 7 },
+        ]
+    }
+
+    fn reply_samples() -> Vec<ServiceReply> {
+        vec![
+            ServiceReply::Verdict {
+                seq: 17,
+                feasible: true,
+                remaining: 0,
+                remaining_red: 0,
+            },
+            ServiceReply::Verdict {
+                seq: 18,
+                feasible: false,
+                remaining: 9,
+                remaining_red: 4,
+            },
+            ServiceReply::Stats {
+                seq: 7,
+                stats: ServiceStats {
+                    structures: 64,
+                    accepted: 100_000,
+                    rejected: 250,
+                    queue_depth: 12,
+                    connections: 8,
+                    cache_hits: 90_000,
+                    cache_misses: 64,
+                },
+            },
+            ServiceReply::Rejected {
+                seq: 3,
+                reason: RejectReason::Overloaded,
+            },
+            ServiceReply::Rejected {
+                seq: 4,
+                reason: RejectReason::Quota,
+            },
+            ServiceReply::Rejected {
+                seq: 5,
+                reason: RejectReason::Draining,
+            },
+            ServiceReply::Rejected {
+                seq: 6,
+                reason: RejectReason::Malformed,
+            },
+            ServiceReply::Rejected {
+                seq: 8,
+                reason: RejectReason::UnknownStructure,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_service_frame_round_trips() {
+        for request in request_samples() {
+            let frame = request.to_wire();
+            assert_eq!(
+                ServiceRequest::from_wire(&frame).unwrap(),
+                request,
+                "{frame}"
+            );
+        }
+        for reply in reply_samples() {
+            let frame = reply.to_wire();
+            assert_eq!(ServiceReply::from_wire(&frame).unwrap(), reply, "{frame}");
+        }
+    }
+
+    #[test]
+    fn service_frames_are_canonical() {
+        assert_eq!(request_samples()[1].to_wire(), "analyze;seq=17;id=3");
+        assert_eq!(
+            request_samples()[4].to_wire(),
+            "mutate;seq=1;id=2;op=accept;slot=0"
+        );
+        assert_eq!(request_samples()[6].to_wire(), "stats;seq=7");
+        assert_eq!(
+            reply_samples()[1].to_wire(),
+            "verdict;seq=18;feasible=0;remaining=9;red=4"
+        );
+        assert_eq!(
+            reply_samples()[2].to_wire(),
+            "svcstats;seq=7;structures=64;accepted=100000;rejected=250;queue=12;conns=8;hits=90000;misses=64"
+        );
+        assert_eq!(
+            reply_samples()[3].to_wire(),
+            "rejected;seq=3;reason=overloaded"
+        );
+    }
+
+    #[test]
+    fn service_seq_accessors_echo() {
+        for request in request_samples() {
+            let seq = request.seq();
+            assert!(request.to_wire().contains(&format!("seq={seq}")));
+        }
+        for reply in reply_samples() {
+            let seq = reply.seq();
+            assert!(reply.to_wire().contains(&format!("seq={seq}")));
+        }
+    }
+
+    #[test]
+    fn malformed_service_frames_are_typed_errors() {
+        for frame in [
+            "",
+            "nonsense",
+            "analyze",
+            "analyze;seq=x;id=1",
+            "analyze;seq=1;id=",
+            "analyze;seq=1;id=1;extra=1",
+            "analyzespec",
+            "analyzespec;seq=1",
+            "analyzespec;seq=x;spec=a",
+            "analyzespec;seq=1;nospec=a",
+            "mutate;seq=1;id=1;op=explode;slot=0",
+            "mutate;seq=1;id=1;op=accept",
+            "stats;seq=",
+            "stats;seq=1;extra=1",
+        ] {
+            assert!(ServiceRequest::from_wire(frame).is_err(), "{frame:?}");
+        }
+        for frame in [
+            "",
+            "verdict;seq=1;feasible=2;remaining=0;red=0",
+            "verdict;seq=1;feasible=1",
+            "rejected;seq=1;reason=tired",
+            "rejected;seq=1",
+            "svcstats;seq=1;structures=1",
+            "verdict;seq=1;feasible=1;remaining=0;red=0;extra=1",
+        ] {
+            assert!(ServiceReply::from_wire(frame).is_err(), "{frame:?}");
+        }
+    }
+
+    /// Same totality property as the packet codec: any truncation of a
+    /// valid service frame either errors with a typed [`CodecError`] or is
+    /// itself canonical.
+    #[test]
+    fn truncated_service_frames_yield_typed_errors() {
+        for frame in request_samples()
+            .iter()
+            .map(ServiceRequest::to_wire)
+            .collect::<Vec<_>>()
+        {
+            for cut in 0..frame.len() {
+                let truncated = &frame[..cut];
+                match ServiceRequest::from_wire(truncated) {
+                    Err(err) => assert!(!err.to_string().is_empty()),
+                    Ok(r) => assert_eq!(r.to_wire(), truncated, "non-canonical decode"),
+                }
+            }
+        }
+        for frame in reply_samples()
+            .iter()
+            .map(ServiceReply::to_wire)
+            .collect::<Vec<_>>()
+        {
+            for cut in 0..frame.len() {
+                let truncated = &frame[..cut];
+                match ServiceReply::from_wire(truncated) {
+                    Err(err) => assert!(!err.to_string().is_empty()),
+                    Ok(r) => assert_eq!(r.to_wire(), truncated, "non-canonical decode"),
+                }
+            }
         }
     }
 }

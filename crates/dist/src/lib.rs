@@ -50,7 +50,10 @@ mod resilient;
 pub mod supervise;
 pub mod transport;
 
-pub use codec::{CodecError, NodeStatus, Packet};
+pub use codec::{
+    CodecError, NodeStatus, Packet, RejectReason, ServiceOp, ServiceReply, ServiceRequest,
+    ServiceStats,
+};
 pub use engine::{DistOutcome, DistRemoval, DistributedReduction, WireError};
 pub use faults::{Crash, FaultPlan, FaultPlanParseError, Partition};
 pub use journal::{Journal, JournalError, JournalEvent, NoopObserver, RunObserver};

@@ -66,10 +66,16 @@ pub const FRAME_HEADER_LEN: usize = 4;
 /// recoverable on the same connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
-    /// The length prefix announced a payload larger than [`MAX_FRAME_LEN`].
-    Oversized {
+    /// The length prefix announced a payload larger than the decoder's
+    /// cap ([`MAX_FRAME_LEN`] by default, lower via
+    /// [`FrameDecoder::with_max_frame`]). Raised *before* any allocation
+    /// is attempted, so a malicious or corrupt prefix cannot provoke a
+    /// multi-gigabyte `Vec` — the connection is simply dropped.
+    TooLarge {
         /// The announced payload length.
         announced: usize,
+        /// The cap the decoder enforces.
+        limit: usize,
     },
     /// The payload was not valid UTF-8.
     Utf8 {
@@ -88,9 +94,9 @@ pub enum FrameError {
 impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FrameError::Oversized { announced } => write!(
+            FrameError::TooLarge { announced, limit } => write!(
                 f,
-                "frame announces {announced} bytes, more than the {MAX_FRAME_LEN}-byte limit"
+                "frame announces {announced} bytes, more than the {limit}-byte limit"
             ),
             FrameError::Utf8 { len } => {
                 write!(f, "frame payload ({len} bytes) is not valid UTF-8")
@@ -118,8 +124,9 @@ impl std::error::Error for FrameError {}
 pub fn encode_frame(frame: &str) -> Result<Vec<u8>, FrameError> {
     let payload = frame.as_bytes();
     if payload.len() > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized {
+        return Err(FrameError::TooLarge {
             announced: payload.len(),
+            limit: MAX_FRAME_LEN,
         });
     }
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
@@ -132,18 +139,47 @@ pub fn encode_frame(frame: &str) -> Result<Vec<u8>, FrameError> {
 /// hands you ([`push`](Self::push)), drain complete frames with
 /// [`next`](Self::next), and call [`finish`](Self::finish) at EOF to learn
 /// whether the stream ended cleanly on a frame boundary.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed by returned frames; compacted lazily
     /// so repeated small pushes don't memmove on every frame.
     consumed: usize,
+    /// Hard cap on a single frame's announced payload length. A prefix
+    /// above this is a typed [`FrameError::TooLarge`], checked before any
+    /// buffering decision so corrupt or adversarial prefixes never drive
+    /// an allocation.
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FrameDecoder {
-    /// Creates an empty decoder.
+    /// Creates an empty decoder with the default [`MAX_FRAME_LEN`] cap.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_max_frame(MAX_FRAME_LEN)
+    }
+
+    /// Creates an empty decoder with a custom frame cap. Servers that only
+    /// expect small request frames set this far below [`MAX_FRAME_LEN`] so
+    /// a hostile client cannot make them buffer megabytes per connection.
+    /// Caps above [`MAX_FRAME_LEN`] are clamped to it — the wire format's
+    /// own bound is absolute.
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            consumed: 0,
+            max_frame: max_frame.min(MAX_FRAME_LEN),
+        }
+    }
+
+    /// The announced-payload cap this decoder enforces.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
     }
 
     /// Appends raw bytes read from the stream.
@@ -167,8 +203,11 @@ impl FrameDecoder {
         }
         let announced = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]);
         let announced = announced as usize;
-        if announced > MAX_FRAME_LEN {
-            return Err(FrameError::Oversized { announced });
+        if announced > self.max_frame {
+            return Err(FrameError::TooLarge {
+                announced,
+                limit: self.max_frame,
+            });
         }
         if pending.len() < FRAME_HEADER_LEN + announced {
             return Ok(None);
@@ -517,6 +556,27 @@ impl Listener {
         }
     }
 
+    /// The address this listener is actually bound to. For TCP this
+    /// resolves port 0 to the kernel-assigned port, which is how the
+    /// in-process service tests and `loadgen --serve` discover where to
+    /// connect.
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Tcp(l) => {
+                let addr = l.local_addr()?;
+                Ok(Addr::Tcp(addr.to_string()))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr.as_pathname().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::AddrNotAvailable, "unnamed unix socket")
+                })?;
+                Ok(Addr::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
     /// Accepts one pending connection. In non-blocking mode an empty queue
     /// surfaces as `ErrorKind::WouldBlock`.
     pub fn accept(&self) -> io::Result<Conn> {
@@ -622,8 +682,51 @@ mod tests {
         dec.push(&u32::MAX.to_be_bytes());
         assert!(matches!(
             dec.next_frame(),
-            Err(FrameError::Oversized { announced }) if announced == u32::MAX as usize
+            Err(FrameError::TooLarge { announced, limit })
+                if announced == u32::MAX as usize && limit == MAX_FRAME_LEN
         ));
+    }
+
+    #[test]
+    fn adversarial_prefix_hits_custom_cap_before_buffering() {
+        // A server expecting small request frames caps the decoder far
+        // below the wire maximum; a length prefix just over that cap is a
+        // typed error even though it is a legal announcement elsewhere.
+        let mut dec = FrameDecoder::with_max_frame(4096);
+        assert_eq!(dec.max_frame(), 4096);
+        dec.push(&4097u32.to_be_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge {
+                announced: 4097,
+                limit: 4096
+            })
+        );
+
+        // Frames at exactly the cap still pass.
+        let payload = "x".repeat(4096);
+        let mut dec = FrameDecoder::with_max_frame(4096);
+        dec.push(&encode_frame(&payload).unwrap());
+        assert_eq!(dec.next_frame().unwrap(), Some(payload));
+
+        // Caps cannot exceed the wire format's absolute bound.
+        assert_eq!(
+            FrameDecoder::with_max_frame(usize::MAX).max_frame(),
+            MAX_FRAME_LEN
+        );
+    }
+
+    #[test]
+    fn listener_local_addr_resolves_assigned_port() {
+        let listener = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
+        match listener.local_addr().unwrap() {
+            Addr::Tcp(hostport) => {
+                let port: u16 = hostport.rsplit(':').next().unwrap().parse().unwrap();
+                assert_ne!(port, 0);
+            }
+            #[cfg(unix)]
+            other => panic!("expected tcp addr, got {other}"),
+        }
     }
 
     #[test]

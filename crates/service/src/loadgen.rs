@@ -1,0 +1,715 @@
+//! The load generator: N concurrent clients replaying deterministic
+//! request schedules against a running server, with every verdict
+//! hash-checked against a centralised replay.
+//!
+//! # Honest verification
+//!
+//! Measurement and verification are separated. During the timed window the
+//! reader thread only records, per sequence number, the reply class and
+//! the verdict fields — no analysis runs on the clock. Afterwards each
+//! client replays its *accepted* requests, in sequence order, against
+//! private [`MarketMode::Full`] mirrors of its structures (full
+//! re-reduction per event — the centralised reducer), comparing every
+//! verdict and folding both streams through the order-sensitive FNV fold
+//! the marketplace workload uses. A single wrong or re-ordered verdict
+//! anywhere in a million-request run flips the per-structure hash.
+//!
+//! The check is sound because structure ids are partitioned across clients
+//! (`id % clients == client`), each id routes to a single server worker
+//! shard, and rejected requests — which the server guarantees had no
+//! effect — are skipped on both sides.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use trustseq_core::{AnalysisCache, CachedVerdict, SequencingGraph};
+use trustseq_dist::net::{encode_frame, Addr, Conn, FrameDecoder};
+use trustseq_dist::{RejectReason, ServiceOp, ServiceReply, ServiceRequest, ServiceStats};
+use trustseq_workloads::{fnv_fold, random_exchange, MarketMode, RandomConfig, Stall, FNV_OFFSET};
+
+#[cfg(test)]
+use crate::server::build_population;
+use crate::server::market_op;
+
+/// Frames coalesced into one client write.
+const WRITE_BATCH: usize = 32;
+/// Reply classes recorded per sequence number.
+const PENDING: u8 = 0;
+const FEASIBLE: u8 = 1;
+const INFEASIBLE: u8 = 2;
+const REJ_BASE: u8 = 3; // REJ_BASE + RejectReason discriminant
+
+/// What the load generator should do, with defaults sized for tests.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: Addr,
+    /// Concurrent clients (connections). Clamped to at least 1.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: u64,
+    /// Resident-structure count — must match the server's.
+    pub structures: usize,
+    /// Population seed — must match the server's.
+    pub seed: u64,
+    /// Population shape — must match the server's.
+    pub base: RandomConfig,
+    /// Fraction of requests that mutate (the rest re-certify).
+    pub mutation_rate: f64,
+    /// Fraction of requests that are one-shot inline-spec analyses.
+    pub spec_rate: f64,
+    /// Max outstanding requests per client (pipelining window).
+    pub window: usize,
+    /// Connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: Addr::Tcp("127.0.0.1:0".to_string()),
+            clients: 2,
+            requests: 20_000,
+            structures: 16,
+            seed: 42,
+            base: RandomConfig::default(),
+            mutation_rate: 0.1,
+            spec_rate: 0.01,
+            window: 64,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Latency percentiles over accepted (verdict-carrying) replies, in
+/// microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+/// What a load-generation run did, measured and verified.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests written to sockets.
+    pub sent: u64,
+    /// Replies received (every sent request is answered unless the run
+    /// aborted — compare with `sent`).
+    pub replies: u64,
+    /// Verdict-carrying replies.
+    pub accepted: u64,
+    /// Typed rejections by reason, indexed by [`RejectReason`] order:
+    /// overloaded, quota, draining, malformed, unknown-structure.
+    pub rejected: [u64; 5],
+    /// Verdicts that disagreed with the centralised replay (must be 0).
+    pub wrong: u64,
+    /// Per-structure verdict-stream hash mismatches (must be 0).
+    pub hash_mismatches: u64,
+    /// Structures whose hashes were compared.
+    pub hash_checked: u64,
+    /// Wall-clock of the slowest client's timed window.
+    pub elapsed: Duration,
+    /// Replies per second over that window.
+    pub rps: f64,
+    /// Latency percentiles over accepted replies.
+    pub latency: LatencySummary,
+    /// The server's own final counters (a `Stats` round-trip after the
+    /// run), if the server was still answering.
+    pub server: Option<ServiceStats>,
+}
+
+/// One scheduled request, pre-generated off the clock.
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    Analyze { id: u32 },
+    Mutate { id: u32, op: ServiceOp, slot: u32 },
+    Spec { template: usize },
+}
+
+/// An inline-spec template with its locally-computed expected verdict.
+#[derive(Debug)]
+struct Template {
+    source: String,
+    expected: CachedVerdict,
+}
+
+fn build_templates(cfg: &LoadgenConfig) -> io::Result<Arc<Vec<Template>>> {
+    let cache = AnalysisCache::new();
+    let mut templates = Vec::new();
+    for t in 0..6u64 {
+        let ex = random_exchange(&RandomConfig {
+            seed: cfg.seed ^ 0x5bec_0000u64.wrapping_add(t),
+            trust_density: 0.3,
+            ..cfg.base.clone()
+        });
+        let source = trustseq_lang::print(&ex.spec);
+        let spec = trustseq_lang::parse_spec(&source)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let graph = SequencingGraph::from_spec(&spec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        templates.push(Template {
+            source,
+            expected: cache.verdict(&graph),
+        });
+    }
+    Ok(Arc::new(templates))
+}
+
+fn reject_index(reason: RejectReason) -> usize {
+    match reason {
+        RejectReason::Overloaded => 0,
+        RejectReason::Quota => 1,
+        RejectReason::Draining => 2,
+        RejectReason::Malformed => 3,
+        RejectReason::UnknownStructure => 4,
+    }
+}
+
+/// Pre-generates client `c`'s schedule. Deterministic in the seed; only
+/// ids owned by the client (`id % clients == c`) ever appear.
+fn build_schedule(
+    cfg: &LoadgenConfig,
+    client: usize,
+    count: u64,
+    mirrors: &HashMap<u32, Stall>,
+    templates: usize,
+) -> Vec<Entry> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10ad_0000 ^ client as u64);
+    let owned: Vec<u32> = {
+        let mut ids: Vec<u32> = mirrors.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    };
+    let mut schedule = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let id = owned[rng.random_range(0..owned.len())];
+        let stall = &mirrors[&id];
+        let entry = if cfg.spec_rate > 0.0 && rng.random_bool(cfg.spec_rate) {
+            Entry::Spec {
+                template: rng.random_range(0..templates),
+            }
+        } else if cfg.mutation_rate > 0.0 && rng.random_bool(cfg.mutation_rate) {
+            let kind = rng.random_range(0..4u8);
+            let (op, limit) = match kind {
+                0 => (ServiceOp::Accept, stall.pairs()),
+                1 => (ServiceOp::Cancel, stall.pairs()),
+                2 => (ServiceOp::Post, stall.deals()),
+                _ => (ServiceOp::Expire, stall.deals()),
+            };
+            if limit == 0 {
+                Entry::Analyze { id }
+            } else {
+                Entry::Mutate {
+                    id,
+                    op,
+                    slot: rng.random_range(0..limit) as u32,
+                }
+            }
+        } else {
+            Entry::Analyze { id }
+        };
+        schedule.push(entry);
+    }
+    schedule
+}
+
+/// Everything one client measured, handed back for aggregation.
+struct ClientResult {
+    sent: u64,
+    replies: u64,
+    accepted: u64,
+    rejected: [u64; 5],
+    wrong: u64,
+    hash_mismatches: u64,
+    hash_checked: u64,
+    io_elapsed: Duration,
+    latencies_us: Vec<u64>,
+}
+
+fn encode_request(entry: &Entry, seq: u64, templates: &[Template]) -> Vec<u8> {
+    let req = match *entry {
+        Entry::Analyze { id } => ServiceRequest::Analyze { seq, id },
+        Entry::Mutate { id, op, slot } => ServiceRequest::Mutate { seq, id, op, slot },
+        Entry::Spec { template } => ServiceRequest::AnalyzeSpec {
+            seq,
+            spec: templates[template].source.clone(),
+        },
+    };
+    encode_frame(&req.to_wire()).expect("requests fit in a frame")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    cfg: &LoadgenConfig,
+    client: usize,
+    count: u64,
+    templates: &Arc<Vec<Template>>,
+    start: &Barrier,
+) -> io::Result<ClientResult> {
+    // Off the clock: mirrors (Full mode — the centralised reducer),
+    // schedule, and pre-encoded request frames.
+    let mut mirrors: HashMap<u32, Stall> = HashMap::new();
+    for id in 0..cfg.structures {
+        if id % cfg.clients.max(1) == client {
+            mirrors.insert(
+                id as u32,
+                Stall::generate(
+                    cfg.seed.wrapping_add(id as u64),
+                    &cfg.base,
+                    MarketMode::Full,
+                    None,
+                ),
+            );
+        }
+    }
+    let schedule = Arc::new(build_schedule(
+        cfg,
+        client,
+        count,
+        &mirrors,
+        templates.len(),
+    ));
+
+    let conn = Conn::connect(&cfg.addr, cfg.connect_timeout)?;
+    conn.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut writer = conn.try_clone()?;
+
+    let n = schedule.len();
+    let send_ns: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let status: Arc<Vec<AtomicU8>> = Arc::new((0..n).map(|_| AtomicU8::new(PENDING)).collect());
+    let remaining: Arc<Vec<AtomicU32>> = Arc::new((0..n).map(|_| AtomicU32::new(0)).collect());
+    let window = Arc::new((Mutex::new(0usize), Condvar::new()));
+
+    start.wait();
+    let t0 = Instant::now();
+
+    // Reader: record reply class, verdict fields, latency, and fold the
+    // per-structure verdict hash in arrival order (per-structure arrival
+    // order equals sequence order — single connection, single shard).
+    let reader = {
+        let schedule = Arc::clone(&schedule);
+        let templates = Arc::clone(templates);
+        let send_ns = Arc::clone(&send_ns);
+        let status = Arc::clone(&status);
+        let remaining = Arc::clone(&remaining);
+        let window = Arc::clone(&window);
+        let mut conn = conn;
+        std::thread::spawn(move || {
+            let mut decoder = FrameDecoder::new();
+            let mut buf = vec![0u8; 32 << 10];
+            let mut got: u64 = 0;
+            let mut latencies_us: Vec<u64> = Vec::with_capacity(n);
+            let mut hashes: HashMap<u32, u64> = HashMap::new();
+            let mut wrong_specs: u64 = 0;
+            let mut last_reply = Instant::now();
+            'outer: while got < n as u64 {
+                let chunk = match conn.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(read) => &buf[..read],
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        if last_reply.elapsed() > Duration::from_secs(30) {
+                            break; // server wedged — bail with what we have
+                        }
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                decoder.push(chunk);
+                last_reply = Instant::now();
+                loop {
+                    let frame = match decoder.next_frame() {
+                        Ok(Some(frame)) => frame,
+                        Ok(None) => break,
+                        Err(_) => break 'outer,
+                    };
+                    let Ok(reply) = ServiceReply::from_wire(&frame) else {
+                        break 'outer;
+                    };
+                    let seq = reply.seq() as usize;
+                    if seq >= n {
+                        break 'outer;
+                    }
+                    got += 1;
+                    match reply {
+                        ServiceReply::Verdict {
+                            feasible,
+                            remaining: rem,
+                            remaining_red,
+                            ..
+                        } => {
+                            let sent_at = send_ns[seq].load(Ordering::Relaxed);
+                            let now = t0.elapsed().as_nanos() as u64;
+                            latencies_us.push(now.saturating_sub(sent_at) / 1_000);
+                            status[seq].store(
+                                if feasible { FEASIBLE } else { INFEASIBLE },
+                                Ordering::Relaxed,
+                            );
+                            remaining[seq].store(rem, Ordering::Relaxed);
+                            match schedule[seq] {
+                                Entry::Analyze { id } | Entry::Mutate { id, .. } => {
+                                    let h = hashes.entry(id).or_insert(FNV_OFFSET);
+                                    *h = fnv_fold(fnv_fold(*h, u64::from(feasible)), rem as u64);
+                                }
+                                Entry::Spec { template } => {
+                                    let want = &templates[template].expected;
+                                    if feasible != want.feasible
+                                        || rem as usize != want.remaining_edges
+                                        || remaining_red != want.remaining_red
+                                    {
+                                        wrong_specs += 1;
+                                    }
+                                }
+                            }
+                        }
+                        ServiceReply::Rejected { reason, .. } => {
+                            status[seq]
+                                .store(REJ_BASE + reject_index(reason) as u8, Ordering::Relaxed);
+                        }
+                        ServiceReply::Stats { .. } => {}
+                    }
+                    let (lock, cv) = &*window;
+                    *lock.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+                    cv.notify_one();
+                }
+            }
+            (got, latencies_us, hashes, wrong_specs)
+        })
+    };
+
+    // Writer: pre-encode a batch, reserve window slots, stamp send times,
+    // one write per batch.
+    let mut sent: u64 = 0;
+    let mut batch: Vec<u8> = Vec::with_capacity(WRITE_BATCH * 64);
+    let mut batch_seqs: Vec<usize> = Vec::with_capacity(WRITE_BATCH);
+    let win = cfg.window.max(WRITE_BATCH);
+    let mut write_failed = false;
+    for (seq, entry) in schedule.iter().enumerate() {
+        batch.extend_from_slice(&encode_request(entry, seq as u64, templates));
+        batch_seqs.push(seq);
+        if batch_seqs.len() == WRITE_BATCH || seq + 1 == n {
+            let (lock, cv) = &*window;
+            {
+                let mut outstanding = lock.lock().unwrap_or_else(|e| e.into_inner());
+                while *outstanding + batch_seqs.len() > win {
+                    let (guard, timeout) = cv
+                        .wait_timeout(outstanding, Duration::from_secs(30))
+                        .unwrap_or_else(|e| e.into_inner());
+                    outstanding = guard;
+                    if timeout.timed_out() {
+                        write_failed = true;
+                        break;
+                    }
+                }
+                if !write_failed {
+                    *outstanding += batch_seqs.len();
+                }
+            }
+            if write_failed {
+                break;
+            }
+            let now = t0.elapsed().as_nanos() as u64;
+            for &s in &batch_seqs {
+                send_ns[s].store(now, Ordering::Relaxed);
+            }
+            if writer
+                .write_all(&batch)
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+            sent += batch_seqs.len() as u64;
+            batch.clear();
+            batch_seqs.clear();
+        }
+    }
+    drop(writer);
+
+    let (replies, latencies_us, actual_hashes, wrong_specs) =
+        reader.join().unwrap_or((0, Vec::new(), HashMap::new(), 0));
+    let io_elapsed = t0.elapsed();
+
+    // Off the clock again: the centralised replay. Skip rejected requests
+    // on both sides; compare every accepted verdict; fold expected hashes.
+    let mut wrong = wrong_specs;
+    let mut accepted: u64 = 0;
+    let mut rejected = [0u64; 5];
+    let mut expected_hashes: HashMap<u32, u64> = HashMap::new();
+    for (seq, entry) in schedule.iter().enumerate() {
+        let s = status[seq].load(Ordering::Relaxed);
+        match s {
+            PENDING => continue,
+            FEASIBLE | INFEASIBLE => accepted += 1,
+            r => {
+                rejected[(r - REJ_BASE) as usize] += 1;
+                continue;
+            }
+        }
+        let (id, expect_feasible, expect_remaining) = match *entry {
+            Entry::Analyze { id } => {
+                let m = &mirrors[&id];
+                (id, m.feasible(), m.remaining_edges())
+            }
+            Entry::Mutate { id, op, slot } => {
+                let m = mirrors.get_mut(&id).expect("schedule only uses owned ids");
+                m.apply(market_op(op), slot as usize)
+                    .expect("schedule slots are in range");
+                (id, m.feasible(), m.remaining_edges())
+            }
+            Entry::Spec { .. } => continue, // compared against the template
+        };
+        let got_feasible = s == FEASIBLE;
+        let got_remaining = remaining[seq].load(Ordering::Relaxed) as usize;
+        if got_feasible != expect_feasible || got_remaining != expect_remaining {
+            wrong += 1;
+        }
+        let h = expected_hashes.entry(id).or_insert(FNV_OFFSET);
+        *h = fnv_fold(
+            fnv_fold(*h, u64::from(expect_feasible)),
+            expect_remaining as u64,
+        );
+    }
+    let mut hash_mismatches = 0u64;
+    for (id, expected) in &expected_hashes {
+        if actual_hashes.get(id) != Some(expected) {
+            hash_mismatches += 1;
+        }
+    }
+
+    Ok(ClientResult {
+        sent,
+        replies,
+        accepted,
+        rejected,
+        wrong,
+        hash_mismatches,
+        hash_checked: expected_hashes.len() as u64,
+        io_elapsed,
+        latencies_us,
+    })
+}
+
+/// Runs the whole load-generation campaign and returns the aggregated,
+/// verified report.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let clients = cfg.clients.max(1).min(cfg.structures.max(1));
+    let templates = build_templates(cfg)?;
+    let start = Arc::new(Barrier::new(clients));
+    let per_client = cfg.requests / clients as u64;
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let cfg = LoadgenConfig {
+            clients,
+            ..cfg.clone()
+        };
+        let templates = Arc::clone(&templates);
+        let start = Arc::clone(&start);
+        let count = if c == 0 {
+            cfg.requests - per_client * (clients as u64 - 1)
+        } else {
+            per_client
+        };
+        handles.push(std::thread::spawn(move || {
+            run_client(&cfg, c, count, &templates, &start)
+        }));
+    }
+
+    let mut results = Vec::new();
+    for handle in handles {
+        results.push(
+            handle
+                .join()
+                .map_err(|_| io::Error::other("client thread panicked"))??,
+        );
+    }
+
+    let mut report = LoadgenReport {
+        sent: 0,
+        replies: 0,
+        accepted: 0,
+        rejected: [0; 5],
+        wrong: 0,
+        hash_mismatches: 0,
+        hash_checked: 0,
+        elapsed: Duration::ZERO,
+        rps: 0.0,
+        latency: LatencySummary::default(),
+        server: None,
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for r in results {
+        report.sent += r.sent;
+        report.replies += r.replies;
+        report.accepted += r.accepted;
+        for (total, part) in report.rejected.iter_mut().zip(r.rejected) {
+            *total += part;
+        }
+        report.wrong += r.wrong;
+        report.hash_mismatches += r.hash_mismatches;
+        report.hash_checked += r.hash_checked;
+        report.elapsed = report.elapsed.max(r.io_elapsed);
+        latencies.extend(r.latencies_us);
+    }
+    if !report.elapsed.is_zero() {
+        report.rps = report.replies as f64 / report.elapsed.as_secs_f64();
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx]
+    };
+    report.latency = LatencySummary {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        max_us: latencies.last().copied().unwrap_or(0),
+    };
+    report.server = final_stats(cfg).ok();
+    Ok(report)
+}
+
+/// One `Stats` round-trip on a fresh connection.
+fn final_stats(cfg: &LoadgenConfig) -> io::Result<ServiceStats> {
+    let mut conn = Conn::connect(&cfg.addr, cfg.connect_timeout)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let frame = encode_frame(&ServiceRequest::Stats { seq: 0 }.to_wire())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    conn.write_all(&frame)?;
+    conn.flush()?;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) => return Err(io::Error::other("server closed before stats reply")),
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                if let Some(frame) = decoder
+                    .next_frame()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                {
+                    return match ServiceReply::from_wire(&frame) {
+                        Ok(ServiceReply::Stats { stats, .. }) => Ok(stats),
+                        Ok(_) => Err(io::Error::other("expected a stats reply")),
+                        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+                    };
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+        if Instant::now() > deadline {
+            return Err(io::Error::other("timed out waiting for stats reply"));
+        }
+    }
+}
+
+/// Ensures [`build_population`] and the mirrors agree — a tripwire for
+/// anyone reshaping the population generator on one side only.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_start_identical_to_server_population() {
+        let cfg = LoadgenConfig::default();
+        let server = build_population(8, cfg.seed, &cfg.base, MarketMode::Delta);
+        for (id, stall) in server.iter().enumerate() {
+            let mirror = Stall::generate(
+                cfg.seed.wrapping_add(id as u64),
+                &cfg.base,
+                MarketMode::Full,
+                None,
+            );
+            assert_eq!(mirror.feasible(), stall.feasible());
+            assert_eq!(mirror.remaining_edges(), stall.remaining_edges());
+            assert_eq!(mirror.pairs(), stall.pairs());
+            assert_eq!(mirror.deals(), stall.deals());
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_stay_on_owned_ids() {
+        let cfg = LoadgenConfig {
+            structures: 8,
+            clients: 2,
+            mutation_rate: 0.5,
+            spec_rate: 0.1,
+            ..LoadgenConfig::default()
+        };
+        let mut mirrors = HashMap::new();
+        for id in (1..8u32).step_by(2) {
+            mirrors.insert(
+                id,
+                Stall::generate(
+                    cfg.seed.wrapping_add(id as u64),
+                    &cfg.base,
+                    MarketMode::Full,
+                    None,
+                ),
+            );
+        }
+        let a = build_schedule(&cfg, 1, 500, &mirrors, 6);
+        let b = build_schedule(&cfg, 1, 500, &mirrors, 6);
+        assert_eq!(a.len(), 500);
+        let mut mutates = 0;
+        for (x, y) in a.iter().zip(&b) {
+            match (*x, *y) {
+                (Entry::Analyze { id }, Entry::Analyze { id: id2 }) => {
+                    assert_eq!(id, id2);
+                    assert_eq!(id % 2, 1);
+                }
+                (
+                    Entry::Mutate { id, op, slot },
+                    Entry::Mutate {
+                        id: id2,
+                        op: op2,
+                        slot: slot2,
+                    },
+                ) => {
+                    assert_eq!((id, op, slot), (id2, op2, slot2));
+                    assert_eq!(id % 2, 1);
+                    mutates += 1;
+                }
+                (Entry::Spec { template }, Entry::Spec { template: t2 }) => {
+                    assert_eq!(template, t2);
+                }
+                _ => panic!("schedules diverged"),
+            }
+        }
+        assert!(mutates > 100, "mutation mix should be substantial");
+    }
+
+    #[test]
+    fn templates_have_locally_verified_expectations() {
+        let templates = build_templates(&LoadgenConfig::default()).unwrap();
+        assert_eq!(templates.len(), 6);
+        for t in templates.iter() {
+            let spec = trustseq_lang::parse_spec(&t.source).unwrap();
+            let outcome = trustseq_core::analyze(&spec).unwrap();
+            assert_eq!(outcome.feasible, t.expected.feasible);
+            assert_eq!(outcome.remaining_edges.len(), t.expected.remaining_edges);
+        }
+    }
+}

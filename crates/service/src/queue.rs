@@ -1,0 +1,166 @@
+//! The bounded, sharded MPSC request queue between connection readers and
+//! the worker pool.
+//!
+//! One sub-queue per worker keeps resident-structure routing (`id %
+//! workers`) lock-disjoint across workers and gives each structure a
+//! single-consumer FIFO: every request for a given structure lands in the
+//! same shard and is drained by the same worker, in arrival order. The
+//! bound is the backpressure surface — [`ShardedQueue::try_push`] never
+//! blocks and never buffers past the cap, so an overloaded server sheds
+//! with a typed rejection instead of growing its heap.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded multi-producer queue split into per-worker FIFO shards.
+#[derive(Debug)]
+pub struct ShardedQueue<T> {
+    shards: Vec<Shard<T>>,
+    capacity: usize,
+    len: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct Shard<T> {
+    items: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue with `shards` sub-queues of `capacity` slots each. Both are
+    /// clamped to at least 1.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    items: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            capacity: capacity.max(1),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of sub-queues.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total queued items across all shards (racy snapshot, for stats and
+    /// drain polling).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the racy total is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues onto `shard % shards`, or hands `item` straight back when
+    /// that shard is at capacity — the caller turns that into a typed
+    /// `Rejected { reason: Overloaded }` instead of waiting.
+    pub fn try_push(&self, shard: usize, item: T) -> Result<(), T> {
+        let shard = &self.shards[shard % self.shards.len()];
+        let mut q = shard.items.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        shard.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues up to `max` items from `shard % shards` in FIFO order,
+    /// waiting up to `timeout` for the first one. Returns an empty vector
+    /// on timeout so the worker can poll its stop flag.
+    pub fn pop_batch(&self, shard: usize, max: usize, timeout: Duration) -> Vec<T> {
+        let shard = &self.shards[shard % self.shards.len()];
+        let mut q = shard.items.lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            let (guard, _) = shard
+                .ready
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        let take = q.len().min(max.max(1));
+        let batch: Vec<T> = q.drain(..take).collect();
+        drop(q);
+        self.len.fetch_sub(batch.len(), Ordering::Relaxed);
+        batch
+    }
+
+    /// Wakes every waiting consumer (shutdown kick: workers re-check their
+    /// stop flag instead of sleeping out their timeout).
+    pub fn notify_all(&self) {
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo_per_shard() {
+        let q = ShardedQueue::new(2, 8);
+        for i in 0..5 {
+            q.try_push(0, i).unwrap();
+        }
+        q.try_push(1, 99).unwrap();
+        assert_eq!(q.len(), 6);
+        let batch = q.pop_batch(0, 3, Duration::from_millis(1));
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q.pop_batch(0, 16, Duration::from_millis(1));
+        assert_eq!(rest, vec![3, 4]);
+        assert_eq!(q.pop_batch(1, 16, Duration::from_millis(1)), vec![99]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_shard_returns_the_item() {
+        let q = ShardedQueue::new(1, 2);
+        q.try_push(0, 'a').unwrap();
+        q.try_push(0, 'b').unwrap();
+        assert_eq!(q.try_push(0, 'c'), Err('c'));
+        assert_eq!(q.len(), 2);
+        // Draining one slot reopens the shard.
+        assert_eq!(q.pop_batch(0, 1, Duration::from_millis(1)), vec!['a']);
+        q.try_push(0, 'c').unwrap();
+    }
+
+    #[test]
+    fn empty_pop_times_out_and_notify_wakes_waiters() {
+        let q = Arc::new(ShardedQueue::<u32>::new(1, 4));
+        assert!(q.pop_batch(0, 4, Duration::from_millis(5)).is_empty());
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(0, 4, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.notify_all();
+        assert!(waiter.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_index_wraps() {
+        let q = ShardedQueue::new(3, 4);
+        q.try_push(7, 1u8).unwrap(); // 7 % 3 == 1
+        assert_eq!(q.pop_batch(4, 4, Duration::from_millis(1)), vec![1]);
+    }
+}

@@ -1,0 +1,678 @@
+//! The always-on analysis server: accept loop, admission-control ladder,
+//! and the pipelined worker engine.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept loop (pool index 0, non-blocking)
+//!     │ spawns one reader thread per connection
+//!     ▼
+//!  reader: FrameDecoder (capped) → ServiceRequest
+//!     │ ladder: drain? → quota? → queue full?   (typed Rejected replies)
+//!     ▼
+//!  ShardedQueue — bounded, one FIFO shard per worker, id % workers
+//!     ▼
+//!  workers (pool indices 1..=W): resident Stall + shared AnalysisCache
+//!     │ batched replies, one write per connection per batch
+//!     ▼
+//!  writer half (shared Mutex<Conn> per connection, write deadline)
+//! ```
+//!
+//! Structure `id` always routes to shard `id % workers` and each shard is
+//! drained by exactly one worker in FIFO order, so every structure sees a
+//! single, totally-ordered mutation stream — the property the load
+//! generator's centralised-replay hash check rests on.
+//!
+//! Verdicts are answered from the shared [`AnalysisCache`]: the tier-1
+//! labelled key covers the structure *and* its current waiver/liveness
+//! labels, so a mutation simply moves the structure to a different key and
+//! toggles that revisit earlier states become tier-1 hits again. No
+//! explicit invalidation is needed — stale entries can only waste space,
+//! never serve a wrong verdict, and the TTL + segmented eviction added for
+//! this service bound that waste. Every cache verdict is cross-checked
+//! against the resident incremental analyzer's; a mismatch trips
+//! `svc.verdict_mismatch` (and a debug assertion).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use trustseq_core::{obs, pool, AnalysisCache, SequencingGraph};
+use trustseq_dist::net::{encode_frame, Addr, Conn, FrameDecoder, Listener};
+use trustseq_dist::{RejectReason, ServiceReply, ServiceRequest, ServiceStats};
+use trustseq_workloads::{MarketMode, MarketOp, RandomConfig, Stall};
+
+use crate::queue::ShardedQueue;
+use crate::quota::TokenBucket;
+
+/// How often blocked reads and accepts wake up to poll flags.
+const POLL: Duration = Duration::from_millis(10);
+/// Largest number of requests a worker answers between socket writes.
+const WORKER_BATCH: usize = 64;
+
+/// Everything a [`Server`] needs to know, with defaults sized for tests.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Where to listen. Defaults to an ephemeral loopback TCP port.
+    pub addr: Addr,
+    /// Worker count (= queue shards). Clamped to at least 1.
+    pub workers: usize,
+    /// Resident structures, generated as the marketplace population
+    /// `Stall::generate(seed + id, base, Delta, None)`.
+    pub structures: usize,
+    /// Population seed — the load generator must use the same one to
+    /// mirror the population.
+    pub seed: u64,
+    /// Shape of the resident structures (shared-escrow and bridge
+    /// probabilities must be zero).
+    pub base: RandomConfig,
+    /// Bounded queue slots per worker shard.
+    pub queue_capacity: usize,
+    /// Per-connection token-bucket rate (requests/second); `0.0` disables
+    /// quotas.
+    pub quota_rate: f64,
+    /// Per-connection token-bucket burst.
+    pub quota_burst: f64,
+    /// Analysis-cache entry cap per shard.
+    pub cache_capacity: usize,
+    /// Analysis-cache TTL; `None` keeps entries until evicted.
+    pub cache_ttl: Option<Duration>,
+    /// Hard cap on a single request frame — an announcement above this
+    /// drops the connection before any payload is buffered.
+    pub max_frame: usize,
+    /// Slow-client write deadline: a reply write that cannot finish within
+    /// this long gets the connection dropped instead of wedging a worker.
+    pub write_deadline: Duration,
+    /// Slow-loris guard: a connection holding a *partial* frame that makes
+    /// no progress for this long is dropped.
+    pub idle_timeout: Duration,
+    /// Artificial per-request service delay — a fault-injection hook for
+    /// deterministic backpressure and drain tests, never set in production.
+    pub debug_delay: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: Addr::Tcp("127.0.0.1:0".to_string()),
+            workers: 1,
+            structures: 16,
+            seed: 42,
+            base: RandomConfig::default(),
+            queue_capacity: 1024,
+            quota_rate: 0.0,
+            quota_burst: 64.0,
+            cache_capacity: 4096,
+            cache_ttl: None,
+            max_frame: 64 << 10,
+            write_deadline: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(2),
+            debug_delay: None,
+        }
+    }
+}
+
+/// Generates the resident marketplace population shared by the server and
+/// the load generator's verification mirrors: structure `id` is
+/// `Stall::generate(seed + id, base, mode, None)`.
+pub fn build_population(
+    structures: usize,
+    seed: u64,
+    base: &RandomConfig,
+    mode: MarketMode,
+) -> Vec<Stall> {
+    (0..structures)
+        .map(|i| Stall::generate(seed.wrapping_add(i as u64), base, mode, None))
+        .collect()
+}
+
+/// Translates the wire op into the marketplace event vocabulary.
+pub fn market_op(op: trustseq_dist::ServiceOp) -> MarketOp {
+    match op {
+        trustseq_dist::ServiceOp::Accept => MarketOp::Accept,
+        trustseq_dist::ServiceOp::Cancel => MarketOp::Cancel,
+        trustseq_dist::ServiceOp::Post => MarketOp::Post,
+        trustseq_dist::ServiceOp::Expire => MarketOp::Expire,
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rej_quota: AtomicU64,
+    rej_overloaded: AtomicU64,
+    rej_draining: AtomicU64,
+    rej_malformed: AtomicU64,
+    rej_unknown: AtomicU64,
+    conns_open: AtomicU64,
+    conns_total: AtomicU64,
+    proto_drops: AtomicU64,
+    slow_drops: AtomicU64,
+    verdict_mismatch: AtomicU64,
+}
+
+impl Counters {
+    fn rejected(&self) -> u64 {
+        self.rej_quota.load(Ordering::Relaxed)
+            + self.rej_overloaded.load(Ordering::Relaxed)
+            + self.rej_draining.load(Ordering::Relaxed)
+            + self.rej_malformed.load(Ordering::Relaxed)
+            + self.rej_unknown.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-connection half shared between its reader thread (rejections)
+/// and the workers (verdicts): a locked writer plus a liveness flag.
+#[derive(Debug)]
+struct ConnShared {
+    writer: Mutex<Conn>,
+    alive: AtomicBool,
+}
+
+impl ConnShared {
+    /// Writes pre-encoded frames; on any error (including a write-deadline
+    /// timeout from a slow client) the connection is condemned so readers
+    /// and workers stop servicing it.
+    fn send(&self, bytes: &[u8]) {
+        if !self.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut w = self.writer.lock();
+        if w.write_all(bytes).and_then(|()| w.flush()).is_err() {
+            self.alive.store(false, Ordering::Relaxed);
+            let _ = w.shutdown();
+        }
+    }
+}
+
+struct Job {
+    conn: Arc<ConnShared>,
+    req: ServiceRequest,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    /// Phase 1 of shutdown: readers shed every new request as `Draining`.
+    stop: AtomicBool,
+    /// Phase 2: the queue has been confirmed empty after a grace period —
+    /// workers may retire.
+    halt: AtomicBool,
+    queue: ShardedQueue<Job>,
+    stalls: Vec<Mutex<Stall>>,
+    cache: AnalysisCache,
+    counters: Counters,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        let cache = self.cache.stats();
+        ServiceStats {
+            structures: self.stalls.len() as u32,
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected(),
+            queue_depth: self.queue.len() as u32,
+            connections: self.counters.conns_open.load(Ordering::Relaxed) as u32,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    fn reject(&self, conn: &ConnShared, seq: u64, reason: RejectReason) {
+        let (counter, name) = match reason {
+            RejectReason::Overloaded => (&self.counters.rej_overloaded, "svc.rejected.overloaded"),
+            RejectReason::Quota => (&self.counters.rej_quota, "svc.rejected.quota"),
+            RejectReason::Draining => (&self.counters.rej_draining, "svc.rejected.draining"),
+            RejectReason::Malformed => (&self.counters.rej_malformed, "svc.rejected.malformed"),
+            RejectReason::UnknownStructure => (&self.counters.rej_unknown, "svc.rejected.unknown"),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if obs::enabled() {
+            obs::with(|r| r.counter(name, 1));
+        }
+        let reply = ServiceReply::Rejected { seq, reason };
+        if let Ok(bytes) = encode_frame(&reply.to_wire()) {
+            conn.send(&bytes);
+        }
+    }
+}
+
+/// A handle for stopping a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<SharedHandle>,
+}
+
+#[derive(Debug)]
+struct SharedHandle {
+    stop: Arc<StopFlag>,
+}
+
+#[derive(Debug)]
+struct StopFlag(AtomicBool);
+
+impl ServerHandle {
+    /// Begins a graceful drain: the listener stops accepting, every
+    /// request decoded from now on is answered `Rejected { Draining }`,
+    /// already-queued requests are answered normally, then
+    /// [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.shared.stop.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound-but-not-yet-running analysis server.
+pub struct Server {
+    listener: Listener,
+    local: Addr,
+    shared: Arc<Shared>,
+    stop: Arc<StopFlag>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local", &self.local)
+            .field("workers", &self.shared.cfg.workers)
+            .field("structures", &self.shared.stalls.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and generates the resident population. The
+    /// returned server owns the socket but serves nothing until
+    /// [`run`](Server::run).
+    pub fn bind(cfg: ServiceConfig) -> io::Result<Server> {
+        let listener = Listener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let stalls = build_population(cfg.structures, cfg.seed, &cfg.base, MarketMode::Delta)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            queue: ShardedQueue::new(workers, cfg.queue_capacity),
+            stalls,
+            cache: AnalysisCache::with_capacity_and_ttl(cfg.cache_capacity, cfg.cache_ttl),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            cfg,
+        });
+        Ok(Server {
+            listener,
+            local,
+            shared,
+            stop: Arc::new(StopFlag(AtomicBool::new(false))),
+        })
+    }
+
+    /// The bound address — with an ephemeral port already resolved, ready
+    /// to hand to a load generator.
+    pub fn local_addr(&self) -> Addr {
+        self.local.clone()
+    }
+
+    /// A shutdown handle, cloneable across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::new(SharedHandle {
+                stop: Arc::clone(&self.stop),
+            }),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`], then drains: queued
+    /// requests are answered, workers retire, reader threads are joined,
+    /// and the final counter snapshot is returned.
+    pub fn run(self) -> io::Result<ServiceStats> {
+        let Server {
+            listener,
+            shared,
+            stop,
+            ..
+        } = self;
+        listener.set_nonblocking(true)?;
+        let workers = shared.cfg.workers.max(1);
+        let readers: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+
+        pool::broadcast(workers + 1, &|index| {
+            if index == 0 {
+                accept_loop(&listener, &shared, &stop, &readers);
+            } else {
+                worker_loop(&shared, index - 1);
+            }
+        });
+
+        // Workers have drained the queue and answered everything admitted
+        // before the stop flag flipped. Now condemn the sockets so reader
+        // threads see EOF and retire.
+        for conn in shared.conns.lock().values() {
+            conn.alive.store(false, Ordering::Relaxed);
+            let _ = conn.writer.lock().shutdown();
+        }
+        for reader in readers.into_inner() {
+            let _ = reader.join();
+        }
+        Ok(shared.stats())
+    }
+}
+
+fn accept_loop(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    stop: &StopFlag,
+    readers: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
+    let mut next_id: u64 = 0;
+    loop {
+        if stop.0.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                if let Some(handle) = admit_conn(conn, next_id, shared) {
+                    readers.lock().push(handle);
+                    next_id += 1;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Drain, phase 1: flip the shared stop flag — readers now shed every
+    // new request with `Draining`. The grace sleep lets any reader that
+    // passed the flag check mid-ladder finish its enqueue before we start
+    // judging emptiness.
+    shared.stop.store(true, Ordering::Relaxed);
+    std::thread::sleep(2 * POLL);
+    while !shared.queue.is_empty() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Phase 2: the queue stayed empty after the grace period — workers may
+    // retire once their own shard's pop comes back dry.
+    shared.halt.store(true, Ordering::Relaxed);
+    shared.queue.notify_all();
+}
+
+fn admit_conn(conn: Conn, id: u64, shared: &Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+    let cfg = &shared.cfg;
+    conn.set_read_timeout(Some(POLL)).ok()?;
+    conn.set_write_timeout(Some(cfg.write_deadline)).ok()?;
+    let writer = conn.try_clone().ok()?;
+    let cs = Arc::new(ConnShared {
+        writer: Mutex::new(writer),
+        alive: AtomicBool::new(true),
+    });
+    shared.conns.lock().insert(id, Arc::clone(&cs));
+    shared.counters.conns_open.fetch_add(1, Ordering::Relaxed);
+    shared.counters.conns_total.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::with(|r| r.counter("svc.conns", 1));
+    }
+    let spawned = {
+        let shared = Arc::clone(shared);
+        let cs = Arc::clone(&cs);
+        std::thread::Builder::new()
+            .name(format!("trustseq-svc-conn-{id}"))
+            .spawn(move || {
+                reader_loop(conn, &cs, &shared);
+                cs.alive.store(false, Ordering::Relaxed);
+                let _ = cs.writer.lock().shutdown();
+                shared.conns.lock().remove(&id);
+                shared.counters.conns_open.fetch_sub(1, Ordering::Relaxed);
+            })
+            .ok()
+    };
+    if spawned.is_none() {
+        shared.conns.lock().remove(&id);
+        shared.counters.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+    spawned
+}
+
+/// Reads frames off one connection and walks each request down the
+/// admission ladder. Protocol violations (oversized announcement, non-UTF-8
+/// payload, an unparseable frame) drop the connection outright — there is
+/// no trustworthy `seq` to answer.
+fn reader_loop(mut conn: Conn, cs: &Arc<ConnShared>, shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let mut decoder = FrameDecoder::with_max_frame(cfg.max_frame);
+    let mut bucket = TokenBucket::new(cfg.quota_rate, cfg.quota_burst);
+    let mut buf = vec![0u8; 16 << 10];
+    let mut last_progress = Instant::now();
+    let workers = shared.queue.shards();
+    loop {
+        if !cs.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        match conn.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                last_progress = Instant::now();
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if !handle_frame(&frame, cs, shared, &mut bucket, workers) {
+                                shared.counters.proto_drops.fetch_add(1, Ordering::Relaxed);
+                                if obs::enabled() {
+                                    obs::with(|r| r.counter("svc.proto_drops", 1));
+                                }
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Oversized or non-UTF-8: a protocol violation,
+                            // not load — shed the connection, not the frame.
+                            shared.counters.proto_drops.fetch_add(1, Ordering::Relaxed);
+                            if obs::enabled() {
+                                obs::with(|r| r.counter("svc.proto_drops", 1));
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Slow-loris guard: holding half a frame without progress
+                // pins decoder memory — idle *between* requests is fine.
+                if decoder.pending_bytes() > 0 && last_progress.elapsed() >= cfg.idle_timeout {
+                    shared.counters.slow_drops.fetch_add(1, Ordering::Relaxed);
+                    if obs::enabled() {
+                        obs::with(|r| r.counter("svc.slow_drops", 1));
+                    }
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Returns `false` when the connection must be dropped (unparseable frame).
+fn handle_frame(
+    frame: &str,
+    cs: &Arc<ConnShared>,
+    shared: &Arc<Shared>,
+    bucket: &mut TokenBucket,
+    workers: usize,
+) -> bool {
+    let req = match ServiceRequest::from_wire(frame) {
+        Ok(req) => req,
+        Err(_) => return false,
+    };
+    let seq = req.seq();
+    if shared.stop.load(Ordering::Relaxed) {
+        shared.reject(cs, seq, RejectReason::Draining);
+        return true;
+    }
+    if !bucket.try_take() {
+        shared.reject(cs, seq, RejectReason::Quota);
+        return true;
+    }
+    let shard = match &req {
+        ServiceRequest::Analyze { id, .. } | ServiceRequest::Mutate { id, .. } => {
+            *id as usize % workers
+        }
+        ServiceRequest::AnalyzeSpec { seq, .. } | ServiceRequest::Stats { seq } => {
+            *seq as usize % workers
+        }
+    };
+    let job = Job {
+        conn: Arc::clone(cs),
+        req,
+    };
+    if let Err(job) = shared.queue.try_push(shard, job) {
+        shared.reject(&job.conn, seq, RejectReason::Overloaded);
+    } else if obs::enabled() {
+        obs::with(|r| r.counter("svc.enqueued", 1));
+    }
+    true
+}
+
+fn worker_loop(shared: &Arc<Shared>, shard: usize) {
+    let mut replies: Vec<(Arc<ConnShared>, Vec<u8>)> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        let batch = shared.queue.pop_batch(shard, WORKER_BATCH, POLL);
+        if batch.is_empty() {
+            if shared.halt.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        }
+        if let Some(delay) = shared.cfg.debug_delay {
+            std::thread::sleep(delay * batch.len() as u32);
+        }
+        for job in batch {
+            let reply = process(shared, &job.req);
+            let bytes = match encode_frame(&reply.to_wire()) {
+                Ok(bytes) => bytes,
+                Err(_) => continue,
+            };
+            // Coalesce consecutive replies to the same connection into one
+            // write — at a million requests this is the difference between
+            // one syscall per reply and one per batch per client.
+            match replies.last_mut() {
+                Some((conn, buffer)) if Arc::ptr_eq(conn, &job.conn) => {
+                    buffer.extend_from_slice(&bytes)
+                }
+                _ => replies.push((job.conn, bytes)),
+            }
+        }
+        for (conn, bytes) in replies.drain(..) {
+            conn.send(&bytes);
+        }
+    }
+}
+
+fn process(shared: &Arc<Shared>, req: &ServiceRequest) -> ServiceReply {
+    let span = obs::enabled().then(obs::Span::wall);
+    let (reply, metric) = match req {
+        ServiceRequest::Analyze { seq, id } => (analyze(shared, *seq, *id), "svc.analyze"),
+        ServiceRequest::Mutate { seq, id, op, slot } => (
+            mutate(shared, *seq, *id, market_op(*op), *slot as usize),
+            "svc.mutate",
+        ),
+        ServiceRequest::AnalyzeSpec { seq, spec } => (analyze_spec(shared, *seq, spec), "svc.spec"),
+        ServiceRequest::Stats { seq } => (
+            ServiceReply::Stats {
+                seq: *seq,
+                stats: shared.stats(),
+            },
+            "svc.stats",
+        ),
+    };
+    // Semantic rejections (unknown id, bad slot, bad spec) are counted by
+    // `semantic_reject`; everything else was answered.
+    if !matches!(reply, ServiceReply::Rejected { .. }) {
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(span) = span {
+        span.finish("svc.request_ns", None);
+        obs::with(|r| r.counter(metric, 1));
+    }
+    reply
+}
+
+fn semantic_reject(shared: &Arc<Shared>, seq: u64, reason: RejectReason) -> ServiceReply {
+    let (counter, name) = match reason {
+        RejectReason::Malformed => (&shared.counters.rej_malformed, "svc.rejected.malformed"),
+        _ => (&shared.counters.rej_unknown, "svc.rejected.unknown"),
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::with(|r| r.counter(name, 1));
+    }
+    ServiceReply::Rejected { seq, reason }
+}
+
+/// Cache-served verdict for a resident structure, cross-checked against
+/// the resident incremental analyzer.
+fn verdict_of(shared: &Arc<Shared>, seq: u64, stall: &Stall) -> ServiceReply {
+    let cached = shared.cache.verdict(stall.graph());
+    if cached.feasible != stall.feasible() {
+        shared
+            .counters
+            .verdict_mismatch
+            .fetch_add(1, Ordering::Relaxed);
+        if obs::enabled() {
+            obs::with(|r| r.counter("svc.verdict_mismatch", 1));
+        }
+        debug_assert_eq!(
+            cached.feasible,
+            stall.feasible(),
+            "cache and resident analyzer disagree"
+        );
+    }
+    ServiceReply::Verdict {
+        seq,
+        feasible: cached.feasible,
+        remaining: cached.remaining_edges as u32,
+        remaining_red: cached.remaining_red,
+    }
+}
+
+fn analyze(shared: &Arc<Shared>, seq: u64, id: u32) -> ServiceReply {
+    match shared.stalls.get(id as usize) {
+        Some(stall) => verdict_of(shared, seq, &stall.lock()),
+        None => semantic_reject(shared, seq, RejectReason::UnknownStructure),
+    }
+}
+
+fn mutate(shared: &Arc<Shared>, seq: u64, id: u32, op: MarketOp, slot: usize) -> ServiceReply {
+    let Some(stall) = shared.stalls.get(id as usize) else {
+        return semantic_reject(shared, seq, RejectReason::UnknownStructure);
+    };
+    let mut stall = stall.lock();
+    match stall.apply(op, slot) {
+        Ok(_changed) => verdict_of(shared, seq, &stall),
+        Err(_) => semantic_reject(shared, seq, RejectReason::Malformed),
+    }
+}
+
+fn analyze_spec(shared: &Arc<Shared>, seq: u64, spec: &str) -> ServiceReply {
+    let Ok(spec) = trustseq_lang::parse_spec(spec) else {
+        return semantic_reject(shared, seq, RejectReason::Malformed);
+    };
+    let Ok(graph) = SequencingGraph::from_spec(&spec) else {
+        return semantic_reject(shared, seq, RejectReason::Malformed);
+    };
+    let cached = shared.cache.verdict(&graph);
+    ServiceReply::Verdict {
+        seq,
+        feasible: cached.feasible,
+        remaining: cached.remaining_edges as u32,
+        remaining_red: cached.remaining_red,
+    }
+}

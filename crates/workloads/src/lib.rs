@@ -44,7 +44,10 @@ mod stream;
 pub use assembly::{assembly_market, AssemblyIds};
 pub use bundle::{bundle, bundle_arithmetic, BundleIds};
 pub use chain::{broker_chain, ChainIds};
-pub use market::{run_market, Market, MarketConfig, MarketMode, MarketReport};
+pub use market::{
+    fnv_fold, run_market, Market, MarketConfig, MarketMode, MarketOp, MarketReport, SlotOutOfRange,
+    Stall, FNV_OFFSET,
+};
 pub use random::{
     feasibility_rate, feasibility_rate_cached, random_exchange, RandomConfig, RandomExchange,
 };

@@ -104,6 +104,50 @@ pub struct MarketReport {
     pub stats: DeltaStats,
 }
 
+/// A marketplace event kind applied to one slot of a [`Stall`]:
+/// accept/cancel toggle the `slot`-th seller→buyer trust pair, post/expire
+/// toggle the `slot`-th deal's indemnity. This is the shared event
+/// vocabulary of the streaming market workload *and* the analysis
+/// service's `Mutate` request — both sides apply events through
+/// [`Stall::apply`], so a loadgen mirror replaying accepted events is
+/// bit-equivalent to the server's resident state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketOp {
+    /// A trade settles and the seller comes to trust its buyer
+    /// (§4.2.3 variant 1): clause-2 waivers switch on.
+    Accept,
+    /// A defection withdraws that trust: the waivers switch off.
+    Cancel,
+    /// A buyer collateralizes one deal (§6): its buyer-side principal
+    /// edges split away.
+    Post,
+    /// The indemnity runs out: the edges are restored.
+    Expire,
+}
+
+/// A [`Stall::apply`] slot index beyond the stall's pair/deal population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOutOfRange {
+    /// The offending event kind.
+    pub op: MarketOp,
+    /// The requested slot.
+    pub slot: usize,
+    /// The number of valid slots for that kind.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for SlotOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} slot {} out of range: stall has {} slots for that event",
+            self.op, self.slot, self.limit
+        )
+    }
+}
+
+impl std::error::Error for SlotOutOfRange {}
+
 /// One structure's mutable marketplace state: its resident analyzer plus
 /// the seller→buyer trust toggles and per-deal indemnity toggles the event
 /// stream can flip.
@@ -116,9 +160,11 @@ pub struct MarketReport {
 /// [`indemnity_deltas`](SequencingGraph::indemnity_deltas) and each event
 /// replays its precomputed target list instead of re-scanning the
 /// structure. Both maintenance modes share this, so the delta-vs-full
-/// comparison stays about verdict maintenance, not event decoding.
+/// comparison stays about verdict maintenance, not event decoding — and
+/// the analysis server and its loadgen verifier share it too, so their
+/// comparison stays about the serving stack.
 #[derive(Debug)]
-struct Stall {
+pub struct Stall {
     analyzer: DeltaAnalyzer,
     trusted: Vec<bool>,
     /// How many of `trusted` are set (kept so event choice is O(1) in the
@@ -133,13 +179,194 @@ struct Stall {
     indemnity_edges: Vec<Vec<EdgeId>>,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+impl Stall {
+    /// Generates one marketplace structure: a [`random_exchange`] under
+    /// `seed` with `base`'s shape, its resident analyzer in the chosen
+    /// maintenance `mode`, and the precomputed event-to-delta mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` enables shared escrows or bridges — the
+    /// event-to-delta mapping is exact only when each deal has a dedicated
+    /// trusted component (see
+    /// [`trust_deltas`](SequencingGraph::trust_deltas)).
+    pub fn generate(
+        seed: u64,
+        base: &RandomConfig,
+        mode: MarketMode,
+        threshold: Option<usize>,
+    ) -> Stall {
+        assert!(
+            base.shared_escrow_prob == 0.0 && base.bridge_prob == 0.0,
+            "market structures need dedicated trusted components per deal"
+        );
+        let ex = random_exchange(&RandomConfig {
+            seed,
+            ..base.clone()
+        });
+        let mut pairs = Vec::new();
+        let mut deals = Vec::new();
+        for chain in &ex.chains {
+            let mut sellers = chain.brokers.clone();
+            sellers.push(chain.producer);
+            let mut buyers = vec![chain.consumer];
+            buyers.extend(chain.brokers.iter().copied());
+            for k in 0..chain.deals.len() {
+                pairs.push((sellers[k], buyers[k]));
+                deals.push(chain.deals[k]);
+            }
+        }
+        let trusted: Vec<bool> = pairs
+            .iter()
+            .map(|&(s, b)| ex.spec.trust().trusts(s, b))
+            .collect();
+        let trusted_count = trusted.iter().filter(|&&t| t).count();
+        let indemnified = vec![false; deals.len()];
+        let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        // Decode every possible event once, against the canonical
+        // mappings, so the per-event hot path is toggle + maintain.
+        let waiver_targets = pairs
+            .iter()
+            .map(|&(seller, buyer)| {
+                graph
+                    .trust_deltas(seller, buyer, true)
+                    .into_iter()
+                    .map(|d| match d {
+                        GraphDelta::SetWaiver { commitment, .. } => commitment,
+                        _ => unreachable!("trust deltas are waiver toggles"),
+                    })
+                    .collect()
+            })
+            .collect();
+        let indemnity_edges = deals
+            .iter()
+            .map(|&deal| {
+                graph
+                    .indemnity_deltas(deal, true)
+                    .into_iter()
+                    .map(|d| match d {
+                        GraphDelta::RemoveEdge(e) => e,
+                        _ => unreachable!("posting maps to edge removals"),
+                    })
+                    .collect()
+            })
+            .collect();
+        let analyzer = match (mode, threshold) {
+            (MarketMode::Full, _) => DeltaAnalyzer::full_baseline(graph),
+            (MarketMode::Delta, Some(t)) => DeltaAnalyzer::with_threshold(graph, t),
+            (MarketMode::Delta, None) => DeltaAnalyzer::new(graph),
+        };
+        Stall {
+            analyzer,
+            trusted,
+            trusted_count,
+            indemnified,
+            indemnified_count: 0,
+            waiver_targets,
+            indemnity_edges,
+        }
+    }
+
+    /// Number of trust-pair slots (valid for [`MarketOp::Accept`] /
+    /// [`MarketOp::Cancel`]).
+    pub fn pairs(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// Number of deal slots (valid for [`MarketOp::Post`] /
+    /// [`MarketOp::Expire`]).
+    pub fn deals(&self) -> usize {
+        self.indemnified.len()
+    }
+
+    /// The stall's current feasibility verdict (maintained, not
+    /// recomputed).
+    pub fn feasible(&self) -> bool {
+        self.analyzer.feasible()
+    }
+
+    /// Edges currently surviving the maintained reduction (0 iff
+    /// feasible).
+    pub fn remaining_edges(&self) -> usize {
+        self.analyzer.remaining_edges()
+    }
+
+    /// The stall's live graph, in its current mutation state.
+    pub fn graph(&self) -> &SequencingGraph {
+        self.analyzer.graph()
+    }
+
+    /// The resident analyzer's maintenance counters.
+    pub fn stats(&self) -> DeltaStats {
+        self.analyzer.stats()
+    }
+
+    /// Applies one marketplace event to `slot`, maintaining the verdict
+    /// through the resident analyzer. Returns whether the toggle changed
+    /// state: re-accepting an already-trusted pair (or re-posting a posted
+    /// indemnity, …) is a well-defined no-op reporting `Ok(false)`, so the
+    /// operation is idempotent and a replay — e.g. the loadgen verifier
+    /// mirroring accepted server events — converges to the same state.
+    pub fn apply(&mut self, op: MarketOp, slot: usize) -> Result<bool, SlotOutOfRange> {
+        let (state, limit) = match op {
+            MarketOp::Accept | MarketOp::Cancel => (&self.trusted, self.trusted.len()),
+            MarketOp::Post | MarketOp::Expire => (&self.indemnified, self.indemnified.len()),
+        };
+        if slot >= limit {
+            return Err(SlotOutOfRange { op, slot, limit });
+        }
+        let want = matches!(op, MarketOp::Accept | MarketOp::Post);
+        if state[slot] == want {
+            return Ok(false);
+        }
+        match op {
+            MarketOp::Accept | MarketOp::Cancel => {
+                self.trusted[slot] = want;
+                if want {
+                    self.trusted_count += 1;
+                } else {
+                    self.trusted_count -= 1;
+                }
+                for &commitment in &self.waiver_targets[slot] {
+                    self.analyzer
+                        .apply(GraphDelta::SetWaiver {
+                            commitment,
+                            waived: want,
+                        })
+                        .unwrap();
+                }
+            }
+            MarketOp::Post | MarketOp::Expire => {
+                self.indemnified[slot] = want;
+                if want {
+                    self.indemnified_count += 1;
+                } else {
+                    self.indemnified_count -= 1;
+                }
+                for &edge in &self.indemnity_edges[slot] {
+                    let delta = if want {
+                        GraphDelta::RemoveEdge(edge)
+                    } else {
+                        GraphDelta::RestoreEdge(edge)
+                    };
+                    self.analyzer.apply(delta).unwrap();
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// FNV-1a offset basis: the seed of every verdict-hash fold.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// One order-sensitive FNV-1a-style round over a whole 64-bit word (the
 /// verdict hash only needs determinism and order sensitivity, so it folds
-/// words, not bytes — the fold is on the per-event hot path).
-fn fnv_fold(hash: u64, word: u64) -> u64 {
+/// words, not bytes — the fold is on the per-event hot path). Public so
+/// the analysis service's loadgen folds its reply stream with the same
+/// function the centralised-reducer mirror uses.
+pub fn fnv_fold(hash: u64, word: u64) -> u64 {
     (hash ^ word).wrapping_mul(FNV_PRIME)
 }
 
@@ -197,78 +424,15 @@ impl Market {
             (0.0..=1.0).contains(&config.mutation_rate),
             "mutation rate must be within [0, 1]"
         );
-        assert!(
-            config.base.shared_escrow_prob == 0.0 && config.base.bridge_prob == 0.0,
-            "market structures need dedicated trusted components per deal"
-        );
 
         let stalls: Vec<Stall> = (0..config.structures)
             .map(|i| {
-                let ex = random_exchange(&RandomConfig {
-                    seed: config.seed.wrapping_add(i as u64),
-                    ..config.base.clone()
-                });
-                let mut pairs = Vec::new();
-                let mut deals = Vec::new();
-                for chain in &ex.chains {
-                    let mut sellers = chain.brokers.clone();
-                    sellers.push(chain.producer);
-                    let mut buyers = vec![chain.consumer];
-                    buyers.extend(chain.brokers.iter().copied());
-                    for k in 0..chain.deals.len() {
-                        pairs.push((sellers[k], buyers[k]));
-                        deals.push(chain.deals[k]);
-                    }
-                }
-                let trusted: Vec<bool> = pairs
-                    .iter()
-                    .map(|&(s, b)| ex.spec.trust().trusts(s, b))
-                    .collect();
-                let trusted_count = trusted.iter().filter(|&&t| t).count();
-                let indemnified = vec![false; deals.len()];
-                let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
-                // Decode every possible event once, against the canonical
-                // mappings, so the per-event hot path is toggle + maintain.
-                let waiver_targets = pairs
-                    .iter()
-                    .map(|&(seller, buyer)| {
-                        graph
-                            .trust_deltas(seller, buyer, true)
-                            .into_iter()
-                            .map(|d| match d {
-                                GraphDelta::SetWaiver { commitment, .. } => commitment,
-                                _ => unreachable!("trust deltas are waiver toggles"),
-                            })
-                            .collect()
-                    })
-                    .collect();
-                let indemnity_edges = deals
-                    .iter()
-                    .map(|&deal| {
-                        graph
-                            .indemnity_deltas(deal, true)
-                            .into_iter()
-                            .map(|d| match d {
-                                GraphDelta::RemoveEdge(e) => e,
-                                _ => unreachable!("posting maps to edge removals"),
-                            })
-                            .collect()
-                    })
-                    .collect();
-                let analyzer = match (mode, config.threshold) {
-                    (MarketMode::Full, _) => DeltaAnalyzer::full_baseline(graph),
-                    (MarketMode::Delta, Some(t)) => DeltaAnalyzer::with_threshold(graph, t),
-                    (MarketMode::Delta, None) => DeltaAnalyzer::new(graph),
-                };
-                Stall {
-                    analyzer,
-                    trusted,
-                    trusted_count,
-                    indemnified,
-                    indemnified_count: 0,
-                    waiver_targets,
-                    indemnity_edges,
-                }
+                Stall::generate(
+                    config.seed.wrapping_add(i as u64),
+                    &config.base,
+                    mode,
+                    config.threshold,
+                )
             })
             .collect();
 
@@ -316,83 +480,44 @@ impl Market {
                 }
                 // Four marketplace event kinds; rotate to the next applicable
                 // one so the stream never stalls (at least one toggle of each
-                // pair is always available).
+                // pair is always available). The slot draw only happens when
+                // candidates exist, so the RNG sequence — and therefore the
+                // verdict hash — is unchanged by routing the application
+                // through the shared [`Stall::apply`].
                 let wanted = self.rng.random_range(0..4u8);
                 for offset in 0..4u8 {
                     let kind = (wanted + offset) % 4;
-                    match kind {
-                        // Accept: a trade settles and the seller comes to
-                        // trust its buyer (§4.2.3 variant 1).
-                        0 => match pick(
+                    let picked = match kind {
+                        0 => pick(
                             &mut self.rng,
                             &stall.trusted,
                             false,
                             stall.trusted.len() - stall.trusted_count,
-                        ) {
-                            Some(k) => {
-                                stall.trusted[k] = true;
-                                stall.trusted_count += 1;
-                                for &commitment in &stall.waiver_targets[k] {
-                                    stall
-                                        .analyzer
-                                        .apply(GraphDelta::SetWaiver {
-                                            commitment,
-                                            waived: true,
-                                        })
-                                        .unwrap();
-                                }
-                            }
-                            None => continue,
-                        },
-                        // Cancel: a defection withdraws that trust.
-                        1 => match pick(&mut self.rng, &stall.trusted, true, stall.trusted_count) {
-                            Some(k) => {
-                                stall.trusted[k] = false;
-                                stall.trusted_count -= 1;
-                                for &commitment in &stall.waiver_targets[k] {
-                                    stall
-                                        .analyzer
-                                        .apply(GraphDelta::SetWaiver {
-                                            commitment,
-                                            waived: false,
-                                        })
-                                        .unwrap();
-                                }
-                            }
-                            None => continue,
-                        },
-                        // Post: a buyer collateralizes one deal (§6).
-                        2 => match pick(
+                        )
+                        .map(|k| (MarketOp::Accept, k)),
+                        1 => pick(&mut self.rng, &stall.trusted, true, stall.trusted_count)
+                            .map(|k| (MarketOp::Cancel, k)),
+                        2 => pick(
                             &mut self.rng,
                             &stall.indemnified,
                             false,
                             stall.indemnified.len() - stall.indemnified_count,
-                        ) {
-                            Some(k) => {
-                                stall.indemnified[k] = true;
-                                stall.indemnified_count += 1;
-                                for &edge in &stall.indemnity_edges[k] {
-                                    stall.analyzer.apply(GraphDelta::RemoveEdge(edge)).unwrap();
-                                }
-                            }
-                            None => continue,
-                        },
-                        // Expire: the indemnity runs out.
-                        _ => match pick(
+                        )
+                        .map(|k| (MarketOp::Post, k)),
+                        _ => pick(
                             &mut self.rng,
                             &stall.indemnified,
                             true,
                             stall.indemnified_count,
-                        ) {
-                            Some(k) => {
-                                stall.indemnified[k] = false;
-                                stall.indemnified_count -= 1;
-                                for &edge in &stall.indemnity_edges[k] {
-                                    stall.analyzer.apply(GraphDelta::RestoreEdge(edge)).unwrap();
-                                }
-                            }
-                            None => continue,
-                        },
+                        )
+                        .map(|k| (MarketOp::Expire, k)),
+                    };
+                    match picked {
+                        Some((op, k)) => {
+                            let changed = stall.apply(op, k).unwrap();
+                            debug_assert!(changed, "pick only returns eligible slots");
+                        }
+                        None => continue,
                     }
                     break;
                 }

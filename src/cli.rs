@@ -96,6 +96,11 @@ USAGE:
     trustseq journal-replay [OPTIONS] <JOURNAL.jsonl>
     trustseq sweep [--samples N] [--stream CHUNK] [OPTIONS]
     trustseq market [--events N] [--mutation-rate R] [--delta|--full] [OPTIONS]
+    trustseq serve [--addr HOST:PORT] [--workers N] [--structures N] [--seed S]
+                   [--queue N] [--quota R] [--duration SECS]
+    trustseq loadgen [--addr HOST:PORT | --serve] [--clients N] [--requests N]
+                     [--mutation-rate R] [--spec-rate R] [--window N]
+                     [--quick] [--bench-out PATH]
 
 OPTIONS:
     --extended        enable the \u{a7}9 shared-escrow delegation semantics
@@ -137,8 +142,36 @@ OPTIONS:
                       e.g. `a0`
     --out PATH        with `chaos-sockets`: where to write the JSON report
                       (default BENCH_sockets.json)
-    --quick           with `chaos-sockets`: one fixture, one seed per fault
-                      class (the CI smoke profile)
+    --quick           with `chaos-sockets` / `loadgen`: the small CI smoke
+                      profile
+    --addr HOST:PORT  with `serve`: the listen address (default
+                      127.0.0.1:7421); with `loadgen`: the server to hammer
+    --workers N       with `serve`: analysis workers (= queue shards,
+                      default 1)
+    --structures N    with `serve`/`loadgen`: resident marketplace
+                      population size (default 32; must match across the
+                      two commands)
+    --seed S          with `serve`/`loadgen`: population seed (default 42;
+                      must match across the two commands)
+    --queue N         with `serve`: bounded queue slots per worker shard
+                      (default 1024) — the backpressure surface
+    --quota R         with `serve`: per-connection token-bucket quota in
+                      requests/second (default 0 = unlimited)
+    --duration SECS   with `serve`: drain and exit after SECS seconds
+                      (default: serve until killed)
+    --clients N       with `loadgen`: concurrent client connections
+                      (default 4)
+    --requests N      with `loadgen`: total requests across all clients
+                      (default 1000000)
+    --spec-rate R     with `loadgen`: fraction of requests that are inline
+                      one-shot spec analyses (default 0.005)
+    --window N        with `loadgen`: max outstanding requests per client
+                      (default 64)
+    --serve           with `loadgen`: spin up an in-process server on an
+                      ephemeral port first (single-machine benchmarking)
+    --bench-out PATH  with `loadgen`: run the two-phase bench (sustained +
+                      2x overload, always in-process) and write the JSON
+                      report to PATH
 
 COMMANDS:
     check           decide feasibility (sequencing-graph reduction, §4)
@@ -167,6 +200,12 @@ COMMANDS:
                     events over a population of structures, re-certifying
                     after every event (`--delta` incremental, `--full`
                     from-scratch baseline)
+    serve           run the always-on analysis service: resident structures
+                    behind length-prefixed framing, admission control
+                    (quotas, bounded queue, write deadlines), graceful drain
+    loadgen         hammer a running `serve` with N pipelined clients and
+                    verify every verdict against a centralised replay;
+                    `--bench-out` runs the committed two-phase benchmark
 ";
 
 /// Runs a command against specification source text, returning the output.
@@ -660,6 +699,366 @@ pub fn run_market_cmd(
     Ok(out)
 }
 
+/// Shared knobs of the `serve` and `loadgen` commands, resolved from
+/// flags with one set of defaults so the two sides agree by default.
+#[derive(Debug, Clone)]
+pub struct ServiceCliConfig {
+    /// Listen / target address.
+    pub addr: String,
+    /// `serve`: worker count.
+    pub workers: usize,
+    /// Resident population size (must match across serve and loadgen).
+    pub structures: usize,
+    /// Population seed (must match across serve and loadgen).
+    pub seed: u64,
+    /// `serve`: queue slots per worker shard.
+    pub queue: usize,
+    /// `serve`: per-connection quota (requests/second, 0 = unlimited).
+    pub quota: f64,
+    /// `loadgen`: concurrent clients.
+    pub clients: usize,
+    /// `loadgen`: total requests.
+    pub requests: u64,
+    /// `loadgen`: mutation fraction.
+    pub mutation_rate: f64,
+    /// `loadgen`: inline-spec fraction.
+    pub spec_rate: f64,
+    /// `loadgen`: pipelining window per client.
+    pub window: usize,
+}
+
+impl Default for ServiceCliConfig {
+    fn default() -> Self {
+        ServiceCliConfig {
+            addr: "127.0.0.1:7421".to_string(),
+            workers: 1,
+            structures: 32,
+            seed: 42,
+            queue: 1024,
+            quota: 0.0,
+            clients: 4,
+            requests: 1_000_000,
+            mutation_rate: 0.1,
+            spec_rate: 0.005,
+            window: 64,
+        }
+    }
+}
+
+fn service_config(cli: &ServiceCliConfig) -> trustseq_service::ServiceConfig {
+    trustseq_service::ServiceConfig {
+        addr: trustseq_dist::Addr::Tcp(cli.addr.clone()),
+        workers: cli.workers,
+        structures: cli.structures,
+        seed: cli.seed,
+        queue_capacity: cli.queue,
+        quota_rate: cli.quota,
+        // A long-running service must survive unbounded spec diversity:
+        // entries idle past the TTL are reclaimed lazily, and the
+        // segmented eviction keeps the table under its cap.
+        cache_ttl: Some(std::time::Duration::from_secs(300)),
+        ..trustseq_service::ServiceConfig::default()
+    }
+}
+
+fn loadgen_config(
+    cli: &ServiceCliConfig,
+    addr: trustseq_dist::Addr,
+) -> trustseq_service::LoadgenConfig {
+    trustseq_service::LoadgenConfig {
+        addr,
+        clients: cli.clients,
+        requests: cli.requests,
+        structures: cli.structures,
+        seed: cli.seed,
+        mutation_rate: cli.mutation_rate,
+        spec_rate: cli.spec_rate,
+        window: cli.window,
+        ..trustseq_service::LoadgenConfig::default()
+    }
+}
+
+/// Runs the `serve` command: binds, prints the banner straight to stdout
+/// (the process is about to block), serves until `duration` elapses (or
+/// forever), then drains and reports.
+///
+/// # Errors
+///
+/// Bind or socket errors.
+pub fn run_serve_cmd(cli: &ServiceCliConfig, duration: Option<u64>) -> Result<String, String> {
+    let server = trustseq_service::Server::bind(service_config(cli))
+        .map_err(|e| format!("cannot bind `{}`: {e}", cli.addr))?;
+    let addr = server.local_addr();
+    println!(
+        "serving on {addr}: {} workers, {} resident structures (seed {}), \
+         queue {}x{}, quota {}",
+        cli.workers,
+        cli.structures,
+        cli.seed,
+        cli.workers,
+        cli.queue,
+        if cli.quota > 0.0 {
+            format!("{} req/s per connection", cli.quota)
+        } else {
+            "unlimited".to_string()
+        }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let handle = server.handle();
+    if let Some(secs) = duration {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            handle.shutdown();
+        });
+    }
+    let stats = server.run().map_err(|e| format!("serve failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "drained: {} accepted, {} rejected, {} cache hits / {} misses",
+        stats.accepted, stats.rejected, stats.cache_hits, stats.cache_misses
+    );
+    Ok(out)
+}
+
+fn render_loadgen_report(
+    out: &mut String,
+    cli: &ServiceCliConfig,
+    report: &trustseq_service::LoadgenReport,
+) {
+    let _ = writeln!(
+        out,
+        "loadgen: {} requests over {} clients -> {} replies in {:.2} s ({:.0} req/s)",
+        report.sent,
+        cli.clients,
+        report.replies,
+        report.elapsed.as_secs_f64(),
+        report.rps
+    );
+    let [overloaded, quota, draining, malformed, unknown] = report.rejected;
+    let _ = writeln!(
+        out,
+        "  accepted {}, rejected: overloaded {overloaded}, quota {quota}, \
+         draining {draining}, malformed {malformed}, unknown {unknown}",
+        report.accepted
+    );
+    let l = report.latency;
+    let _ = writeln!(
+        out,
+        "  latency (accepted): p50 {} us, p99 {} us, p999 {} us, max {} us",
+        l.p50_us, l.p99_us, l.p999_us, l.max_us
+    );
+    let _ = writeln!(
+        out,
+        "  verification: {} wrong verdicts, {}/{} structure hash mismatches \
+         (centralised replay)",
+        report.wrong, report.hash_mismatches, report.hash_checked
+    );
+    if let Some(s) = &report.server {
+        let _ = writeln!(
+            out,
+            "  server: queue depth {}, connections {}, cache {} hits / {} misses",
+            s.queue_depth, s.connections, s.cache_hits, s.cache_misses
+        );
+    }
+}
+
+/// The CI gate shared by `loadgen` and the bench: a run that proved
+/// nothing (no accepted work) or proved something *wrong* fails loudly.
+fn check_loadgen_report(out: &str, report: &trustseq_service::LoadgenReport) -> Result<(), String> {
+    if report.accepted == 0 {
+        return Err(format!("{out}loadgen FAILED: no request was accepted"));
+    }
+    if report.wrong > 0 || report.hash_mismatches > 0 {
+        return Err(format!(
+            "{out}loadgen FAILED: {} wrong verdicts, {} hash mismatches — the \
+             service disagreed with the centralised reducer",
+            report.wrong, report.hash_mismatches
+        ));
+    }
+    if report.replies < report.sent {
+        return Err(format!(
+            "{out}loadgen FAILED: {} of {} requests never answered",
+            report.sent - report.replies,
+            report.sent
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the `loadgen` command against `addr`, or against an in-process
+/// server when `in_process`.
+///
+/// # Errors
+///
+/// Connection errors, or a failed verification gate (wrong verdicts, hash
+/// mismatches, unanswered or zero accepted requests).
+pub fn run_loadgen_cmd(cli: &ServiceCliConfig, in_process: bool) -> Result<String, String> {
+    let mut out = String::new();
+    let report = if in_process {
+        let mut server_cli = cli.clone();
+        server_cli.addr = "127.0.0.1:0".to_string();
+        let server = trustseq_service::Server::bind(service_config(&server_cli))
+            .map_err(|e| format!("cannot bind the in-process server: {e}"))?;
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let serving = std::thread::spawn(move || server.run());
+        let result = trustseq_service::run_loadgen(&loadgen_config(cli, addr));
+        handle.shutdown();
+        let _ = serving.join();
+        result.map_err(|e| format!("loadgen failed: {e}"))?
+    } else {
+        trustseq_service::run_loadgen(&loadgen_config(
+            cli,
+            trustseq_dist::Addr::Tcp(cli.addr.clone()),
+        ))
+        .map_err(|e| {
+            format!(
+                "loadgen failed (is `trustseq serve` running on {}?): {e}",
+                cli.addr
+            )
+        })?
+    };
+    render_loadgen_report(&mut out, cli, &report);
+    check_loadgen_report(&out, &report)?;
+    Ok(out)
+}
+
+fn bench_phase_json(
+    name: &str,
+    cli: &ServiceCliConfig,
+    report: &trustseq_service::LoadgenReport,
+) -> String {
+    let [overloaded, quota, draining, malformed, unknown] = report.rejected;
+    let (queue_depth, cache_hits, cache_misses) = report
+        .server
+        .as_ref()
+        .map_or((0, 0, 0), |s| (s.queue_depth, s.cache_hits, s.cache_misses));
+    format!(
+        r#"    {{
+      "phase": "{name}",
+      "clients": {}, "window": {}, "workers": {}, "structures": {},
+      "quota_per_conn": {}, "queue_capacity": {},
+      "mutation_rate": {}, "spec_rate": {},
+      "requests": {}, "replies": {}, "elapsed_s": {:.3}, "rps": {:.0},
+      "accepted": {}, "rejected_overloaded": {overloaded}, "rejected_quota": {quota},
+      "rejected_draining": {draining}, "rejected_malformed": {malformed}, "rejected_unknown": {unknown},
+      "p50_us": {}, "p99_us": {}, "p999_us": {}, "max_us": {},
+      "wrong_verdicts": {}, "hash_mismatches": {}, "hash_checked": {},
+      "final_queue_depth": {queue_depth}, "cache_hits": {cache_hits}, "cache_misses": {cache_misses}
+    }}"#,
+        cli.clients,
+        cli.window,
+        cli.workers,
+        cli.structures,
+        cli.quota,
+        cli.queue,
+        cli.mutation_rate,
+        cli.spec_rate,
+        report.sent,
+        report.replies,
+        report.elapsed.as_secs_f64(),
+        report.rps,
+        report.accepted,
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+        report.latency.max_us,
+        report.wrong,
+        report.hash_mismatches,
+        report.hash_checked,
+    )
+}
+
+/// Runs the committed two-phase service benchmark (always in-process —
+/// the numbers describe one machine talking to itself over loopback):
+///
+/// 1. **sustained** — no quotas; measures what the pipeline can carry;
+/// 2. **overload** — per-connection quotas sized from phase 1 so clients
+///    offer ~2x what admission control lets through; the report shows
+///    typed shedding and that the p99 of *accepted* requests stays
+///    bounded.
+///
+/// # Errors
+///
+/// Socket errors, a failed verification gate, or an unwritable `out`.
+pub fn run_service_bench(
+    cli: &ServiceCliConfig,
+    quick: bool,
+    out_file: &str,
+) -> Result<String, String> {
+    let mut cli = cli.clone();
+    if quick {
+        cli.requests = cli.requests.min(40_000);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "service bench, phase 1 (sustained):");
+    let phase1 = run_one_bench_phase(&cli)?;
+    render_loadgen_report(&mut out, &cli, &phase1);
+    check_loadgen_report(&out, &phase1)?;
+
+    // Phase 2: quotas sized so the admitted rate is about half of what
+    // phase 1 proved the pipeline can carry, while clients offer full
+    // speed — a deliberate ~2x overload.
+    let mut over = cli.clone();
+    over.quota = (phase1.rps / 2.0 / cli.clients as f64).max(100.0);
+    over.requests = cli.requests / 2;
+    let _ = writeln!(
+        out,
+        "service bench, phase 2 (~2x overload, quota {:.0} req/s per connection):",
+        over.quota
+    );
+    let phase2 = run_one_bench_phase(&over)?;
+    render_loadgen_report(&mut out, &over, &phase2);
+    check_loadgen_report(&out, &phase2)?;
+    let shed = phase2.rejected.iter().sum::<u64>();
+    if shed == 0 {
+        return Err(format!(
+            "{out}bench FAILED: the overload phase shed nothing — quota admission \
+             control did not engage"
+        ));
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        r#"{{
+  "suite": "service",
+  "note": "always-on analysis service (E27): pipelined request engine over loopback TCP on one machine — the loadgen clients, their reader threads, the server's accept loop, connection readers and pool workers all share {cpus} core(s), so rps is a self-contained single-box number, not a distributed-systems claim. Requests are length-prefixed text frames (analyze/mutate/analyzespec/stats) against a resident marketplace population; verdicts are served from the shared two-tier analysis cache (TTL + segmented eviction) and cross-checked against the resident incremental analyzers. Every verdict the clients receive is verified after the timed window by replaying the accepted schedule against per-client full-re-reduction mirrors (the centralised reducer) and comparing order-sensitive FNV verdict-stream hashes per structure; wrong_verdicts and hash_mismatches are hard gates, not observations. Latency percentiles cover accepted (verdict-carrying) replies only and include client-side queueing inside the pipelining window, so they are honest end-to-end numbers at full throughput, not unloaded ping times. The overload phase sizes per-connection token-bucket quotas to half of phase 1's measured rps while clients offer full speed (~2x overload): the gate demands typed shedding engaged and the p99 of accepted requests stays bounded — no hangs, no unbounded queueing, no wrong verdicts under pressure.",
+  "harness": "cargo run --release -- loadgen --bench-out (in-process server, ephemeral loopback port)",
+  "platform": "{}-{}",
+  "cpu_count": {cpus},
+  "available_parallelism": {cpus},
+  "phases": [
+{},
+{}
+  ]
+}}
+"#,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        bench_phase_json("sustained", &cli, &phase1),
+        bench_phase_json("overload_2x", &over, &phase2),
+    );
+    std::fs::write(out_file, &json).map_err(|e| format!("cannot write `{out_file}`: {e}"))?;
+    let _ = writeln!(out, "report written to {out_file}");
+    Ok(out)
+}
+
+fn run_one_bench_phase(cli: &ServiceCliConfig) -> Result<trustseq_service::LoadgenReport, String> {
+    let mut server_cli = cli.clone();
+    server_cli.addr = "127.0.0.1:0".to_string();
+    let server = trustseq_service::Server::bind(service_config(&server_cli))
+        .map_err(|e| format!("cannot bind the in-process server: {e}"))?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.run());
+    let result = trustseq_service::run_loadgen(&loadgen_config(cli, addr));
+    handle.shutdown();
+    let _ = serving.join();
+    result.map_err(|e| format!("loadgen failed: {e}"))
+}
+
 /// Replays a recorded JSONL event journal: re-runs the header's spec under
 /// the header's fault plan and config, verifies every event line
 /// reproduces byte-for-byte (the fault plan is a pure function of its
@@ -819,6 +1218,19 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut transport: Option<TransportKind> = None;
     let mut out_path: Option<String> = None;
     let mut quick = false;
+    let mut addr: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut structures: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut queue: Option<usize> = None;
+    let mut quota: Option<f64> = None;
+    let mut duration: Option<u64> = None;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<u64> = None;
+    let mut spec_rate: Option<f64> = None;
+    let mut window: Option<usize> = None;
+    let mut in_process_serve = false;
+    let mut bench_out: Option<String> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -951,6 +1363,136 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 );
             }
             "--quick" => quick = true,
+            "--addr" => {
+                addr = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("`--addr` expects HOST:PORT\n\n{USAGE}"))?
+                        .clone(),
+                );
+            }
+            "--workers" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--workers` expects a worker count\n\n{USAGE}"))?;
+                workers = Some(raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || format!("`--workers` expects a positive worker count, got `{raw}`\n\n{USAGE}"),
+                )?);
+            }
+            "--structures" => {
+                let raw = iter.next().ok_or_else(|| {
+                    format!("`--structures` expects a population size\n\n{USAGE}")
+                })?;
+                structures = Some(raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || {
+                        format!(
+                            "`--structures` expects a positive population size, got `{raw}`\n\n{USAGE}"
+                        )
+                    },
+                )?);
+            }
+            "--seed" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--seed` expects a seed\n\n{USAGE}"))?;
+                seed = Some(raw.parse::<u64>().map_err(|_| {
+                    format!("`--seed` expects an unsigned seed, got `{raw}`\n\n{USAGE}")
+                })?);
+            }
+            "--queue" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--queue` expects a slot count\n\n{USAGE}"))?;
+                queue = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!(
+                                "`--queue` expects a positive slot count, got `{raw}`\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
+            "--quota" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--quota` expects requests/second\n\n{USAGE}"))?;
+                quota = Some(
+                    raw.parse::<f64>()
+                        .ok()
+                        .filter(|&r| r >= 0.0)
+                        .ok_or_else(|| {
+                            format!(
+                                "`--quota` expects a non-negative requests/second rate \
+                             (0 disables quotas), got `{raw}`\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
+            "--duration" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--duration` expects seconds\n\n{USAGE}"))?;
+                duration = Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!(
+                        "`--duration` expects a positive number of seconds, got `{raw}`\n\n{USAGE}"
+                    )
+                })?);
+            }
+            "--clients" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--clients` expects a client count\n\n{USAGE}"))?;
+                clients = Some(raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || format!("`--clients` expects a positive client count, got `{raw}`\n\n{USAGE}"),
+                )?);
+            }
+            "--requests" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--requests` expects a request count\n\n{USAGE}"))?;
+                requests = Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("`--requests` expects a positive request count, got `{raw}`\n\n{USAGE}")
+                })?);
+            }
+            "--spec-rate" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--spec-rate` expects a probability\n\n{USAGE}"))?;
+                spec_rate = Some(
+                    raw.parse::<f64>()
+                        .ok()
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| {
+                            format!(
+                                "`--spec-rate` expects a probability in [0, 1], got `{raw}`\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
+            "--window" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("`--window` expects a window size\n\n{USAGE}"))?;
+                window = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!(
+                                "`--window` expects a positive window size, got `{raw}`\n\n{USAGE}"
+                            )
+                        })?,
+                );
+            }
+            "--serve" => in_process_serve = true,
+            "--bench-out" => {
+                bench_out = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("`--bench-out` expects a file path\n\n{USAGE}"))?
+                        .clone(),
+                );
+            }
             "--threads" => {
                 let raw = iter.next().ok_or_else(|| {
                     format!("`--threads` expects a positive thread count\n\n{USAGE}")
@@ -1032,6 +1574,119 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 run_market_cmd(events, mutation_rate, mode, None)
             }
         });
+    }
+    let mut service_cli = ServiceCliConfig::default();
+    if let Some(v) = &addr {
+        service_cli.addr = v.clone();
+    }
+    if let Some(v) = workers {
+        service_cli.workers = v;
+    }
+    if let Some(v) = structures {
+        service_cli.structures = v;
+    }
+    if let Some(v) = seed {
+        service_cli.seed = v;
+    }
+    if let Some(v) = queue {
+        service_cli.queue = v;
+    }
+    if let Some(v) = quota {
+        service_cli.quota = v;
+    }
+    if let Some(v) = clients {
+        service_cli.clients = v;
+    }
+    if let Some(v) = requests {
+        service_cli.requests = v;
+    }
+    if let Some(v) = mutation_rate {
+        service_cli.mutation_rate = v;
+    }
+    if let Some(v) = spec_rate {
+        service_cli.spec_rate = v;
+    }
+    if let Some(v) = window {
+        service_cli.window = v;
+    }
+
+    if positional.as_slice() == ["serve"] {
+        if clients.is_some()
+            || requests.is_some()
+            || spec_rate.is_some()
+            || window.is_some()
+            || in_process_serve
+            || bench_out.is_some()
+            || quick
+        {
+            return Err(format!(
+                "`--clients`, `--requests`, `--spec-rate`, `--window`, `--serve`, \
+                 `--bench-out` and `--quick` apply to the `loadgen` command\n\n{USAGE}"
+            ));
+        }
+        if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+            return Err(format!(
+                "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
+                 the `market` command\n\n{USAGE}"
+            ));
+        }
+        return with_metrics(metrics, metrics_format, || {
+            run_serve_cmd(&service_cli, duration)
+        });
+    }
+    if positional.as_slice() == ["loadgen"] {
+        if workers.is_some() || queue.is_some() || quota.is_some() || duration.is_some() {
+            return Err(format!(
+                "`--workers`, `--queue`, `--quota` and `--duration` apply to the \
+                 `serve` command (the in-process `--serve`/`--bench-out` servers \
+                 use their defaults)\n\n{USAGE}"
+            ));
+        }
+        if delta_mode || full_mode || events.is_some() {
+            return Err(format!(
+                "`--events`, `--delta` and `--full` apply to the `market` command\n\n{USAGE}"
+            ));
+        }
+        if quick {
+            service_cli.requests = requests.unwrap_or(40_000);
+            service_cli.clients = clients.unwrap_or(2);
+        }
+        if let Some(out_file) = bench_out {
+            if addr.is_some() {
+                return Err(format!(
+                    "`--bench-out` always benches an in-process server; \
+                     `--addr` does not apply\n\n{USAGE}"
+                ));
+            }
+            return with_metrics(metrics, metrics_format, || {
+                run_service_bench(&service_cli, quick, &out_file)
+            });
+        }
+        let in_process = in_process_serve || addr.is_none();
+        return with_metrics(metrics, metrics_format, || {
+            run_loadgen_cmd(&service_cli, in_process)
+        });
+    }
+    let service_flags_used = addr.is_some()
+        || workers.is_some()
+        || structures.is_some()
+        || seed.is_some()
+        || queue.is_some()
+        || quota.is_some()
+        || duration.is_some()
+        || clients.is_some()
+        || requests.is_some()
+        || spec_rate.is_some()
+        || window.is_some()
+        || in_process_serve
+        || bench_out.is_some();
+    if service_flags_used {
+        return Err(format!(
+            "`--addr`, `--workers`, `--structures`, `--seed`, `--queue`, `--quota`, \
+             `--duration`, `--clients`, `--requests`, `--spec-rate`, `--window`, \
+             `--serve` and `--bench-out` apply to the `serve` and `loadgen` \
+             commands\n\n{USAGE}"
+        ));
     }
     if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
         return Err(format!(
