@@ -1,0 +1,69 @@
+//! Temporary review-only stress test (not part of the PR).
+
+use trustseq::core::{CommitmentId, DeltaAnalyzer, EdgeId, GraphDelta, ScratchReducer, Strategy};
+use trustseq::core::SequencingGraph;
+use trustseq::workloads::{random_exchange, RandomConfig};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn heavy_mutation_fuzz_matches_cold_oracle() {
+    let mut divergences = 0u64;
+    for seed in 0..120u64 {
+        let config = RandomConfig {
+            width: 1 + (seed % 4) as usize,
+            max_depth: 2 + (seed % 7) as usize,
+            price_range: (10, 100),
+            trust_density: (seed % 11) as f64 / 10.0,
+            seed,
+            ..Default::default()
+        };
+        let ex = random_exchange(&config);
+        let graph = SequencingGraph::from_spec(&ex.spec).unwrap();
+        // Lazy analyzer: never falls back, so every anti-monotone delta
+        // exercises the undo cascade. Eager: always falls back.
+        let mut lazy = DeltaAnalyzer::with_threshold(graph.clone(), usize::MAX);
+        let mut eager = DeltaAnalyzer::with_threshold(graph.clone(), 0);
+        let mut deflt = DeltaAnalyzer::new(graph);
+        let mut rng = seed ^ 0xdead_beef;
+        for _ in 0..300 {
+            let sel = lcg(&mut rng) % 3;
+            let delta = if sel == 2 {
+                let n = lazy.graph().commitments().len() as u64;
+                if n == 0 { continue; }
+                GraphDelta::SetWaiver {
+                    commitment: CommitmentId::new((lcg(&mut rng) % n) as u32),
+                    waived: lcg(&mut rng) % 2 == 0,
+                }
+            } else {
+                let n = lazy.graph().edges().len() as u64;
+                if n == 0 { continue; }
+                let id = EdgeId::new((lcg(&mut rng) % n) as u32);
+                if lazy.graph().is_live(id) {
+                    GraphDelta::RemoveEdge(id)
+                } else {
+                    GraphDelta::RestoreEdge(id)
+                }
+            };
+            let a = lazy.apply(delta).unwrap();
+            let b = eager.apply(delta).unwrap();
+            let c = deflt.apply(delta).unwrap();
+            // Independent cold oracle: fresh reducer over the mutated graph.
+            let cold = ScratchReducer::new()
+                .run_verdict_only(lazy.graph(), Strategy::Deterministic);
+            if a != cold || b != cold || c != cold {
+                divergences += 1;
+                panic!(
+                    "seed {seed} delta {delta:?}: lazy={a} eager={b} default={c} cold={cold}"
+                );
+            }
+            assert_eq!(a, lazy.remaining_edges() == 0);
+            assert_eq!(lazy.remaining_edges(), eager.remaining_edges());
+        }
+        assert_eq!(lazy.stats().fallbacks, 0);
+    }
+    assert_eq!(divergences, 0);
+}
