@@ -35,12 +35,22 @@
 //!
 //! The analysis service (`trustseq-service`) speaks its own
 //! request/response frames over the same conventions —
-//! [`ServiceRequest`] (`analyze`, `analyzespec`, `mutate`, `stats`) and
-//! [`ServiceReply`] (`verdict`, `svcstats`, `rejected`) — with one
-//! deliberate extension: `analyzespec` carries spec-language source as a
-//! *verbatim tail* (`spec=` is always the last field), since the
-//! length-prefixed frame layer already delimits the payload and spec
-//! source legitimately contains `;` and newlines.
+//! [`ServiceRequest`] (`analyze`, `analyzespec`, `mutate`, `event`,
+//! `stats`) and [`ServiceReply`] (`verdict`, `everdict`, `svcstats`,
+//! `rejected`) — with one deliberate extension: `analyzespec` carries
+//! spec-language source as a *verbatim tail* (`spec=` is always the last
+//! field), since the length-prefixed frame layer already delimits the
+//! payload and spec source legitimately contains `;` and newlines.
+//!
+//! `event` is the streaming sibling of `mutate`: the same marketplace
+//! lifecycle op, but answered from the structure's resident delta
+//! analyzer (no whole-graph re-reduction) and acknowledged with an
+//! `everdict` reply that carries the server's running order-sensitive
+//! FNV fold over the structure's verdict stream, so a client replaying
+//! the same schedule against a local mirror can audit agreement with a
+//! single integer compare. Its `id` field is a u64 — the event stream
+//! addresses the *growable* population (an `event post` on an unknown id
+//! admits a new structure while serving), not just the boot-time one.
 //!
 //! [`FaultPlan`]: crate::FaultPlan
 //! [`FaultPlan::with_corrupt_per_mille`]: crate::FaultPlan::with_corrupt_per_mille
@@ -556,6 +566,23 @@ pub enum ServiceRequest {
         /// Trust-pair index (accept/cancel) or deal index (post/expire).
         slot: u32,
     },
+    /// The streaming sibling of [`Mutate`](Self::Mutate): applies one
+    /// marketplace event to resident structure `id` through its resident
+    /// delta analyzer (no whole-graph replacement) and is answered with
+    /// an [`EventVerdict`](ServiceReply::EventVerdict) carrying the
+    /// structure's running verdict-stream hash. Unlike `mutate`, `id` is
+    /// a u64 addressing the growable population: a `post` on an unknown
+    /// id below the server's admission cap admits a fresh structure.
+    Event {
+        /// Client-chosen correlation number, echoed in the reply.
+        seq: u64,
+        /// The resident (or, for `post`, to-be-admitted) structure.
+        id: u64,
+        /// Which toggle to flip.
+        op: ServiceOp,
+        /// Trust-pair index (accept/cancel) or deal index (post/expire).
+        slot: u32,
+    },
     /// Server counters snapshot.
     Stats {
         /// Client-chosen correlation number, echoed in the reply.
@@ -570,6 +597,7 @@ impl ServiceRequest {
             ServiceRequest::Analyze { seq, .. }
             | ServiceRequest::AnalyzeSpec { seq, .. }
             | ServiceRequest::Mutate { seq, .. }
+            | ServiceRequest::Event { seq, .. }
             | ServiceRequest::Stats { seq } => *seq,
         }
     }
@@ -584,6 +612,9 @@ impl ServiceRequest {
             }
             ServiceRequest::Mutate { seq, id, op, slot } => {
                 format!("mutate;seq={seq};id={id};op={};slot={slot}", op.token())
+            }
+            ServiceRequest::Event { seq, id, op, slot } => {
+                format!("event;seq={seq};id={id};op={};slot={slot}", op.token())
             }
             ServiceRequest::Stats { seq } => format!("stats;seq={seq}"),
         }
@@ -634,6 +665,18 @@ impl ServiceRequest {
                     slot: slot.parse().map_err(|_| bad(slot, "a u32 slot index"))?,
                 }
             }
+            "event" => {
+                let seq = expect_field(fields.next(), "seq", "seq=<u64>")?;
+                let id = expect_field(fields.next(), "id", "id=<u64>")?;
+                let op = expect_field(fields.next(), "op", "op=<accept|cancel|post|expire>")?;
+                let slot = expect_field(fields.next(), "slot", "slot=<u32>")?;
+                ServiceRequest::Event {
+                    seq: seq.parse().map_err(|_| bad(seq, "a u64 sequence number"))?,
+                    id: id.parse().map_err(|_| bad(id, "a u64 structure id"))?,
+                    op: ServiceOp::from_token(op)?,
+                    slot: slot.parse().map_err(|_| bad(slot, "a u32 slot index"))?,
+                }
+            }
             "stats" => {
                 let seq = expect_field(fields.next(), "seq", "seq=<u64>")?;
                 ServiceRequest::Stats {
@@ -643,7 +686,7 @@ impl ServiceRequest {
             _ => {
                 return Err(bad(
                     tag,
-                    "a request tag: analyze, analyzespec, mutate or stats",
+                    "a request tag: analyze, analyzespec, mutate, event or stats",
                 ))
             }
         };
@@ -690,6 +733,23 @@ pub enum ServiceReply {
         /// Red edges among the survivors.
         remaining_red: u32,
     },
+    /// The verdict for an [`Event`](ServiceRequest::Event) request,
+    /// answered from the structure's resident delta analyzer. Besides the
+    /// verdict it echoes the server's running order-sensitive FNV fold
+    /// over this structure's `(feasible, remaining)` verdict stream —
+    /// clients replaying the same schedule off-clock compare their local
+    /// fold against the last `hash` seen to audit agreement.
+    EventVerdict {
+        /// Echo of the request's correlation number.
+        seq: u64,
+        /// Whether the structure reduces to zero edges (§4.2.4).
+        feasible: bool,
+        /// Edges surviving at the impasse (0 iff feasible).
+        remaining: u32,
+        /// The structure's verdict-stream hash *after* folding in this
+        /// verdict (decimal u64 on the wire).
+        hash: u64,
+    },
     /// Server counters snapshot.
     Stats {
         /// Echo of the request's correlation number.
@@ -712,6 +772,7 @@ impl ServiceReply {
     pub fn seq(&self) -> u64 {
         match self {
             ServiceReply::Verdict { seq, .. }
+            | ServiceReply::EventVerdict { seq, .. }
             | ServiceReply::Stats { seq, .. }
             | ServiceReply::Rejected { seq, .. } => *seq,
         }
@@ -728,6 +789,15 @@ impl ServiceReply {
                 remaining_red,
             } => format!(
                 "verdict;seq={seq};feasible={};remaining={remaining};red={remaining_red}",
+                u8::from(*feasible)
+            ),
+            ServiceReply::EventVerdict {
+                seq,
+                feasible,
+                remaining,
+                hash,
+            } => format!(
+                "everdict;seq={seq};feasible={};remaining={remaining};hash={hash}",
                 u8::from(*feasible)
             ),
             ServiceReply::Stats { seq, stats } => format!(
@@ -776,6 +846,23 @@ impl ServiceReply {
                     remaining_red,
                 }
             }
+            "everdict" => {
+                let seq = num(fields.next(), "seq", "seq=<u64>")?;
+                let feasible = expect_field(fields.next(), "feasible", "feasible=<0|1>")?;
+                let feasible = match feasible {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad(feasible, "feasible 0 or 1")),
+                };
+                let remaining = num(fields.next(), "remaining", "remaining=<u32>")? as u32;
+                let hash = num(fields.next(), "hash", "hash=<u64>")?;
+                ServiceReply::EventVerdict {
+                    seq,
+                    feasible,
+                    remaining,
+                    hash,
+                }
+            }
             "svcstats" => {
                 let seq = num(fields.next(), "seq", "seq=<u64>")?;
                 let structures = num(fields.next(), "structures", "structures=<u32>")? as u32;
@@ -806,7 +893,12 @@ impl ServiceReply {
                     reason: RejectReason::from_token(reason)?,
                 }
             }
-            _ => return Err(bad(tag, "a reply tag: verdict, svcstats or rejected")),
+            _ => {
+                return Err(bad(
+                    tag,
+                    "a reply tag: verdict, everdict, svcstats or rejected",
+                ))
+            }
         };
         if let Some(extra) = fields.next() {
             return Err(bad(extra, "end of frame"));
@@ -978,6 +1070,20 @@ mod tests {
                 op: ServiceOp::Expire,
                 slot: 41,
             },
+            ServiceRequest::Event {
+                seq: 2,
+                id: 5,
+                op: ServiceOp::Post,
+                slot: 3,
+            },
+            ServiceRequest::Event {
+                seq: u64::MAX,
+                // Event ids are u64: the growable population addresses
+                // structures past the u32 boot-time index space.
+                id: u64::from(u32::MAX) + 7,
+                op: ServiceOp::Cancel,
+                slot: 0,
+            },
             ServiceRequest::Stats { seq: 7 },
         ]
     }
@@ -995,6 +1101,18 @@ mod tests {
                 feasible: false,
                 remaining: 9,
                 remaining_red: 4,
+            },
+            ServiceReply::EventVerdict {
+                seq: 21,
+                feasible: true,
+                remaining: 0,
+                hash: 0xcbf2_9ce4_8422_2325,
+            },
+            ServiceReply::EventVerdict {
+                seq: 22,
+                feasible: false,
+                remaining: 11,
+                hash: u64::MAX,
             },
             ServiceReply::Stats {
                 seq: 7,
@@ -1054,17 +1172,29 @@ mod tests {
             request_samples()[4].to_wire(),
             "mutate;seq=1;id=2;op=accept;slot=0"
         );
-        assert_eq!(request_samples()[6].to_wire(), "stats;seq=7");
+        assert_eq!(
+            request_samples()[6].to_wire(),
+            "event;seq=2;id=5;op=post;slot=3"
+        );
+        assert_eq!(
+            request_samples()[7].to_wire(),
+            "event;seq=18446744073709551615;id=4294967302;op=cancel;slot=0"
+        );
+        assert_eq!(request_samples()[8].to_wire(), "stats;seq=7");
         assert_eq!(
             reply_samples()[1].to_wire(),
             "verdict;seq=18;feasible=0;remaining=9;red=4"
         );
         assert_eq!(
             reply_samples()[2].to_wire(),
+            "everdict;seq=21;feasible=1;remaining=0;hash=14695981039346656037"
+        );
+        assert_eq!(
+            reply_samples()[4].to_wire(),
             "svcstats;seq=7;structures=64;accepted=100000;rejected=250;queue=12;conns=8;hits=90000;misses=64"
         );
         assert_eq!(
-            reply_samples()[3].to_wire(),
+            reply_samples()[5].to_wire(),
             "rejected;seq=3;reason=overloaded"
         );
     }
@@ -1096,6 +1226,12 @@ mod tests {
             "analyzespec;seq=1;nospec=a",
             "mutate;seq=1;id=1;op=explode;slot=0",
             "mutate;seq=1;id=1;op=accept",
+            "event",
+            "event;seq=x;id=1;op=post;slot=0",
+            "event;seq=1;id=-2;op=post;slot=0",
+            "event;seq=1;id=1;op=explode;slot=0",
+            "event;seq=1;id=1;op=post",
+            "event;seq=1;id=1;op=post;slot=0;extra=1",
             "stats;seq=",
             "stats;seq=1;extra=1",
         ] {
@@ -1105,6 +1241,10 @@ mod tests {
             "",
             "verdict;seq=1;feasible=2;remaining=0;red=0",
             "verdict;seq=1;feasible=1",
+            "everdict;seq=1;feasible=2;remaining=0;hash=0",
+            "everdict;seq=1;feasible=1;remaining=0",
+            "everdict;seq=1;feasible=1;remaining=0;hash=x",
+            "everdict;seq=1;feasible=1;remaining=0;hash=0;extra=1",
             "rejected;seq=1;reason=tired",
             "rejected;seq=1",
             "svcstats;seq=1;structures=1",

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use trustseq_core::{EdgeId, Rule};
 use trustseq_dist::net::{encode_frame, FrameDecoder, FrameError, FRAME_HEADER_LEN};
-use trustseq_dist::{Message, NodeStatus, Packet};
+use trustseq_dist::{Message, NodeStatus, Packet, ServiceOp, ServiceReply, ServiceRequest};
 use trustseq_model::AgentId;
 
 /// Builds one of every packet shape deterministically from primitive
@@ -170,6 +170,140 @@ proptest! {
                 }
             }
             other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// Picks one of the four lifecycle ops deterministically.
+fn op_from(kind: u8) -> ServiceOp {
+    match kind % 4 {
+        0 => ServiceOp::Post,
+        1 => ServiceOp::Accept,
+        2 => ServiceOp::Cancel,
+        _ => ServiceOp::Expire,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// An `event` request frame survives arbitrarily split reads and
+    /// decodes canonically — including structure ids above `u32::MAX`,
+    /// which address hot-admitted population growth.
+    #[test]
+    fn event_frames_survive_split_reads(
+        seq in any::<u64>(),
+        id in any::<u64>(),
+        op_kind in 0u8..4,
+        slot in any::<u32>(),
+        chunk in 1usize..16,
+    ) {
+        let request = ServiceRequest::Event { seq, id, op: op_from(op_kind), slot };
+        let wire = request.to_wire();
+        let bytes = encode_frame(&wire).expect("encodes");
+
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            while let Some(frame) = dec.next_frame().expect("no decode error") {
+                frames.push(frame);
+            }
+        }
+        dec.finish().expect("clean boundary");
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(&frames[0], &wire);
+
+        let decoded = ServiceRequest::from_wire(&frames[0]).expect("round-trips");
+        prop_assert_eq!(decoded.to_wire(), wire);
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// A pipelined burst of `event` requests and their `everdict` replies
+    /// coalesced into one read drains in order, each frame canonical.
+    #[test]
+    fn coalesced_event_streams_drain_in_order(
+        seqs in proptest::collection::vec(any::<u64>(), 1..8),
+        id in any::<u64>(),
+        slot in any::<u32>(),
+        hash in any::<u64>(),
+    ) {
+        let wires: Vec<String> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &seq)| {
+                if i % 2 == 0 {
+                    ServiceRequest::Event {
+                        seq,
+                        id: id.wrapping_add(i as u64),
+                        op: op_from(i as u8),
+                        slot,
+                    }
+                    .to_wire()
+                } else {
+                    ServiceReply::EventVerdict {
+                        seq,
+                        feasible: seq.is_multiple_of(2),
+                        remaining: slot,
+                        hash: hash.wrapping_add(i as u64),
+                    }
+                    .to_wire()
+                }
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for w in &wires {
+            bytes.extend_from_slice(&encode_frame(w).expect("encodes"));
+        }
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = dec.next_frame().expect("no decode error") {
+            frames.push(frame);
+        }
+        dec.finish().expect("clean boundary");
+        prop_assert_eq!(&frames, &wires);
+        for (i, frame) in frames.iter().enumerate() {
+            if i % 2 == 0 {
+                let req = ServiceRequest::from_wire(frame).expect("request round-trips");
+                prop_assert_eq!(&req.to_wire(), frame);
+            } else {
+                let rep = ServiceReply::from_wire(frame).expect("reply round-trips");
+                prop_assert_eq!(&rep.to_wire(), frame);
+            }
+        }
+    }
+
+    /// Truncation totality at the codec layer: every strict prefix of a
+    /// canonical `event` or `everdict` line is either a typed
+    /// `CodecError` or itself a canonical frame — never a panic, and any
+    /// accepted prefix re-encodes to itself.
+    #[test]
+    fn cut_event_lines_are_typed_errors_or_canonical(
+        seq in any::<u64>(),
+        id in any::<u64>(),
+        op_kind in 0u8..4,
+        slot in any::<u32>(),
+        hash in any::<u64>(),
+        cut_pick in any::<u64>(),
+    ) {
+        let request = ServiceRequest::Event { seq, id, op: op_from(op_kind), slot }.to_wire();
+        let reply = ServiceReply::EventVerdict {
+            seq,
+            feasible: seq.is_multiple_of(2),
+            remaining: slot,
+            hash,
+        }
+        .to_wire();
+
+        let cut_req = 1 + (cut_pick as usize) % (request.len() - 1);
+        if let Ok(accepted) = ServiceRequest::from_wire(&request[..cut_req]) {
+            prop_assert_eq!(accepted.to_wire(), &request[..cut_req]);
+        }
+        let cut_rep = 1 + (cut_pick as usize) % (reply.len() - 1);
+        if let Ok(accepted) = ServiceReply::from_wire(&reply[..cut_rep]) {
+            prop_assert_eq!(accepted.to_wire(), &reply[..cut_rep]);
         }
     }
 }

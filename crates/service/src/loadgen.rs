@@ -18,6 +18,21 @@
 //! (`id % clients == client`), each id routes to a single server worker
 //! shard, and rejected requests — which the server guarantees had no
 //! effect — are skipped on both sides.
+//!
+//! # Event-stream mode
+//!
+//! With [`LoadgenConfig::events`] set, schedules carry marketplace
+//! lifecycle events (`event` frames answered from the server's resident
+//! delta analyzers) instead of `analyze`/`mutate`/`analyzespec` traffic.
+//! Schedules may address ids past the boot population
+//! ([`LoadgenConfig::grow`] extra structures) — always opening with a
+//! `post`, the op that hot-admits — to exercise hot population resizing.
+//! Verification gains a third leg: besides replaying every accepted event
+//! against the `Full`-mode mirrors, each `everdict` reply echoes the
+//! server's running per-structure verdict-stream hash, and the last echo
+//! per structure must equal the mirror's fold. The echoed-hash check
+//! assumes this load generator is the only event source since the server
+//! booted (it is an audit of one stream, not a global ledger).
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -67,6 +82,15 @@ pub struct LoadgenConfig {
     pub window: usize,
     /// Connect timeout.
     pub connect_timeout: Duration,
+    /// Event-stream mode: schedules carry marketplace lifecycle `event`
+    /// frames instead of `analyze`/`mutate`/`analyzespec` traffic, and
+    /// every reply's echoed verdict-stream hash is audited.
+    pub events: bool,
+    /// Extra structures past the boot population that event-mode
+    /// schedules hot-admit (each opens with a `post`). Ignored unless
+    /// [`events`](Self::events) is set; must stay below the server's
+    /// `max_structures` cap.
+    pub grow: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -82,6 +106,8 @@ impl Default for LoadgenConfig {
             spec_rate: 0.01,
             window: 64,
             connect_timeout: Duration::from_secs(5),
+            events: false,
+            grow: 0,
         }
     }
 }
@@ -131,10 +157,11 @@ pub struct LoadgenReport {
 }
 
 /// One scheduled request, pre-generated off the clock.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Entry {
     Analyze { id: u32 },
     Mutate { id: u32, op: ServiceOp, slot: u32 },
+    Event { id: u64, op: ServiceOp, slot: u32 },
     Spec { template: usize },
 }
 
@@ -183,19 +210,16 @@ fn build_schedule(
     cfg: &LoadgenConfig,
     client: usize,
     count: u64,
-    mirrors: &HashMap<u32, Stall>,
+    mirrors: &HashMap<u64, Stall>,
     templates: usize,
 ) -> Vec<Entry> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10ad_0000 ^ client as u64);
-    let owned: Vec<u32> = {
-        let mut ids: Vec<u32> = mirrors.keys().copied().collect();
-        ids.sort_unstable();
-        ids
-    };
+    let owned = sorted_ids(mirrors);
     let mut schedule = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let id = owned[rng.random_range(0..owned.len())];
         let stall = &mirrors[&id];
+        let id = id as u32;
         let entry = if cfg.spec_rate > 0.0 && rng.random_bool(cfg.spec_rate) {
             Entry::Spec {
                 template: rng.random_range(0..templates),
@@ -225,6 +249,81 @@ fn build_schedule(
     schedule
 }
 
+fn sorted_ids(mirrors: &HashMap<u64, Stall>) -> Vec<u64> {
+    let mut ids: Vec<u64> = mirrors.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Picks one applicable lifecycle op for `stall` — accept/cancel over its
+/// trust pairs, post/expire over its deals, skipping empty families.
+fn lifecycle_op(rng: &mut StdRng, stall: &Stall) -> Option<(ServiceOp, u32)> {
+    let kind = rng.random_range(0..4u8);
+    let (op, limit) = match kind {
+        0 => (ServiceOp::Accept, stall.pairs()),
+        1 => (ServiceOp::Cancel, stall.pairs()),
+        2 => (ServiceOp::Post, stall.deals()),
+        _ => (ServiceOp::Expire, stall.deals()),
+    };
+    let (op, limit) = if limit > 0 {
+        (op, limit)
+    } else if stall.pairs() > 0 {
+        (ServiceOp::Accept, stall.pairs())
+    } else if stall.deals() > 0 {
+        (ServiceOp::Post, stall.deals())
+    } else {
+        return None;
+    };
+    Some((op, rng.random_range(0..limit) as u32))
+}
+
+/// Pre-generates client `c`'s event-stream schedule: pure marketplace
+/// lifecycle events over the client's owned ids. Ids past the boot
+/// population always open with a `post` — the op that hot-admits — so the
+/// server can grow the population mid-run; only grown ids with at least
+/// one deal are used (a `post` must have a valid slot to land).
+fn build_event_schedule(
+    cfg: &LoadgenConfig,
+    client: usize,
+    count: u64,
+    mirrors: &HashMap<u64, Stall>,
+) -> Vec<Entry> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0e4e_0000 ^ client as u64);
+    let boot = cfg.structures as u64;
+    let owned: Vec<u64> = sorted_ids(mirrors)
+        .into_iter()
+        .filter(|&id| {
+            let s = &mirrors[&id];
+            if id < boot {
+                s.pairs() > 0 || s.deals() > 0
+            } else {
+                s.deals() > 0
+            }
+        })
+        .collect();
+    let mut posted: HashMap<u64, bool> = HashMap::new();
+    let mut schedule = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let id = owned[rng.random_range(0..owned.len())];
+        let stall = &mirrors[&id];
+        let entry = if id >= boot && !posted.get(&id).copied().unwrap_or(false) {
+            posted.insert(id, true);
+            Entry::Event {
+                id,
+                op: ServiceOp::Post,
+                slot: rng.random_range(0..stall.deals()) as u32,
+            }
+        } else {
+            match lifecycle_op(&mut rng, stall) {
+                Some((op, slot)) => Entry::Event { id, op, slot },
+                None => continue,
+            }
+        };
+        schedule.push(entry);
+    }
+    schedule
+}
+
 /// Everything one client measured, handed back for aggregation.
 struct ClientResult {
     sent: u64,
@@ -238,16 +337,25 @@ struct ClientResult {
     latencies_us: Vec<u64>,
 }
 
-fn encode_request(entry: &Entry, seq: u64, templates: &[Template]) -> Vec<u8> {
+/// Encodes one scheduled request. An oversized request (a spec template
+/// past the frame cap) is a typed error, not a panic — the caller aborts
+/// the client with a reason instead of taking the whole process down.
+fn encode_request(entry: &Entry, seq: u64, templates: &[Template]) -> io::Result<Vec<u8>> {
     let req = match *entry {
         Entry::Analyze { id } => ServiceRequest::Analyze { seq, id },
         Entry::Mutate { id, op, slot } => ServiceRequest::Mutate { seq, id, op, slot },
+        Entry::Event { id, op, slot } => ServiceRequest::Event { seq, id, op, slot },
         Entry::Spec { template } => ServiceRequest::AnalyzeSpec {
             seq,
             spec: templates[template].source.clone(),
         },
     };
-    encode_frame(&req.to_wire()).expect("requests fit in a frame")
+    encode_frame(&req.to_wire()).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request seq {seq} does not fit in a frame: {e}"),
+        )
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -259,12 +367,16 @@ fn run_client(
     start: &Barrier,
 ) -> io::Result<ClientResult> {
     // Off the clock: mirrors (Full mode — the centralised reducer),
-    // schedule, and pre-encoded request frames.
-    let mut mirrors: HashMap<u32, Stall> = HashMap::new();
-    for id in 0..cfg.structures {
+    // schedule, and pre-encoded request frames. Event mode also mirrors
+    // the to-be-hot-admitted ids past the boot population: admission
+    // itself never mutates a structure, so a mirror generated up front is
+    // identical to one the server materialises mid-run.
+    let total_ids = cfg.structures + if cfg.events { cfg.grow } else { 0 };
+    let mut mirrors: HashMap<u64, Stall> = HashMap::new();
+    for id in 0..total_ids {
         if id % cfg.clients.max(1) == client {
             mirrors.insert(
-                id as u32,
+                id as u64,
                 Stall::generate(
                     cfg.seed.wrapping_add(id as u64),
                     &cfg.base,
@@ -274,13 +386,11 @@ fn run_client(
             );
         }
     }
-    let schedule = Arc::new(build_schedule(
-        cfg,
-        client,
-        count,
-        &mirrors,
-        templates.len(),
-    ));
+    let schedule = Arc::new(if cfg.events {
+        build_event_schedule(cfg, client, count, &mirrors)
+    } else {
+        build_schedule(cfg, client, count, &mirrors, templates.len())
+    });
 
     let conn = Conn::connect(&cfg.addr, cfg.connect_timeout)?;
     conn.set_read_timeout(Some(Duration::from_millis(50)))?;
@@ -311,7 +421,8 @@ fn run_client(
             let mut buf = vec![0u8; 32 << 10];
             let mut got: u64 = 0;
             let mut latencies_us: Vec<u64> = Vec::with_capacity(n);
-            let mut hashes: HashMap<u32, u64> = HashMap::new();
+            let mut hashes: HashMap<u64, u64> = HashMap::new();
+            let mut server_hashes: HashMap<u64, u64> = HashMap::new();
             let mut wrong_specs: u64 = 0;
             let mut last_reply = Instant::now();
             'outer: while got < n as u64 {
@@ -362,7 +473,7 @@ fn run_client(
                             remaining[seq].store(rem, Ordering::Relaxed);
                             match schedule[seq] {
                                 Entry::Analyze { id } | Entry::Mutate { id, .. } => {
-                                    let h = hashes.entry(id).or_insert(FNV_OFFSET);
+                                    let h = hashes.entry(u64::from(id)).or_insert(FNV_OFFSET);
                                     *h = fnv_fold(fnv_fold(*h, u64::from(feasible)), rem as u64);
                                 }
                                 Entry::Spec { template } => {
@@ -374,6 +485,35 @@ fn run_client(
                                         wrong_specs += 1;
                                     }
                                 }
+                                // An event never draws a plain verdict.
+                                Entry::Event { .. } => wrong_specs += 1,
+                            }
+                        }
+                        ServiceReply::EventVerdict {
+                            feasible,
+                            remaining: rem,
+                            hash,
+                            ..
+                        } => {
+                            let sent_at = send_ns[seq].load(Ordering::Relaxed);
+                            let now = t0.elapsed().as_nanos() as u64;
+                            latencies_us.push(now.saturating_sub(sent_at) / 1_000);
+                            status[seq].store(
+                                if feasible { FEASIBLE } else { INFEASIBLE },
+                                Ordering::Relaxed,
+                            );
+                            remaining[seq].store(rem, Ordering::Relaxed);
+                            match schedule[seq] {
+                                Entry::Event { id, .. } => {
+                                    let h = hashes.entry(id).or_insert(FNV_OFFSET);
+                                    *h = fnv_fold(fnv_fold(*h, u64::from(feasible)), rem as u64);
+                                    // Per-structure arrival order equals
+                                    // sequence order, so the last echo is
+                                    // the server's final fold for `id`.
+                                    server_hashes.insert(id, hash);
+                                }
+                                // Only events draw event verdicts.
+                                _ => wrong_specs += 1,
                             }
                         }
                         ServiceReply::Rejected { reason, .. } => {
@@ -387,7 +527,7 @@ fn run_client(
                     cv.notify_one();
                 }
             }
-            (got, latencies_us, hashes, wrong_specs)
+            (got, latencies_us, hashes, server_hashes, wrong_specs)
         })
     };
 
@@ -398,8 +538,18 @@ fn run_client(
     let mut batch_seqs: Vec<usize> = Vec::with_capacity(WRITE_BATCH);
     let win = cfg.window.max(WRITE_BATCH);
     let mut write_failed = false;
+    let mut encode_error: Option<io::Error> = None;
     for (seq, entry) in schedule.iter().enumerate() {
-        batch.extend_from_slice(&encode_request(entry, seq as u64, templates));
+        match encode_request(entry, seq as u64, templates) {
+            Ok(bytes) => batch.extend_from_slice(&bytes),
+            Err(e) => {
+                // Typed abort: close the socket so the reader sees EOF
+                // promptly instead of waiting out its reply timeout.
+                encode_error = Some(e);
+                let _ = writer.shutdown();
+                break;
+            }
+        }
         batch_seqs.push(seq);
         if batch_seqs.len() == WRITE_BATCH || seq + 1 == n {
             let (lock, cv) = &*window;
@@ -440,16 +590,20 @@ fn run_client(
     }
     drop(writer);
 
-    let (replies, latencies_us, actual_hashes, wrong_specs) =
-        reader.join().unwrap_or((0, Vec::new(), HashMap::new(), 0));
+    let (replies, latencies_us, actual_hashes, server_hashes, wrong_specs) = reader
+        .join()
+        .unwrap_or((0, Vec::new(), HashMap::new(), HashMap::new(), 0));
     let io_elapsed = t0.elapsed();
+    if let Some(e) = encode_error {
+        return Err(e);
+    }
 
     // Off the clock again: the centralised replay. Skip rejected requests
     // on both sides; compare every accepted verdict; fold expected hashes.
     let mut wrong = wrong_specs;
     let mut accepted: u64 = 0;
     let mut rejected = [0u64; 5];
-    let mut expected_hashes: HashMap<u32, u64> = HashMap::new();
+    let mut expected_hashes: HashMap<u64, u64> = HashMap::new();
     for (seq, entry) in schedule.iter().enumerate() {
         let s = status[seq].load(Ordering::Relaxed);
         match s {
@@ -462,10 +616,18 @@ fn run_client(
         }
         let (id, expect_feasible, expect_remaining) = match *entry {
             Entry::Analyze { id } => {
-                let m = &mirrors[&id];
-                (id, m.feasible(), m.remaining_edges())
+                let m = &mirrors[&u64::from(id)];
+                (u64::from(id), m.feasible(), m.remaining_edges())
             }
             Entry::Mutate { id, op, slot } => {
+                let m = mirrors
+                    .get_mut(&u64::from(id))
+                    .expect("schedule only uses owned ids");
+                m.apply(market_op(op), slot as usize)
+                    .expect("schedule slots are in range");
+                (u64::from(id), m.feasible(), m.remaining_edges())
+            }
+            Entry::Event { id, op, slot } => {
                 let m = mirrors.get_mut(&id).expect("schedule only uses owned ids");
                 m.apply(market_op(op), slot as usize)
                     .expect("schedule slots are in range");
@@ -486,7 +648,11 @@ fn run_client(
     }
     let mut hash_mismatches = 0u64;
     for (id, expected) in &expected_hashes {
-        if actual_hashes.get(id) != Some(expected) {
+        let replay_agrees = actual_hashes.get(id) == Some(expected);
+        // In event mode the server's own last-echoed fold must agree too —
+        // the wire-level audit the everdict hash field exists for.
+        let server_agrees = !cfg.events || server_hashes.get(id) == Some(expected);
+        if !replay_agrees || !server_agrees {
             hash_mismatches += 1;
         }
     }
@@ -659,15 +825,10 @@ mod tests {
             ..LoadgenConfig::default()
         };
         let mut mirrors = HashMap::new();
-        for id in (1..8u32).step_by(2) {
+        for id in (1..8u64).step_by(2) {
             mirrors.insert(
                 id,
-                Stall::generate(
-                    cfg.seed.wrapping_add(id as u64),
-                    &cfg.base,
-                    MarketMode::Full,
-                    None,
-                ),
+                Stall::generate(cfg.seed.wrapping_add(id), &cfg.base, MarketMode::Full, None),
             );
         }
         let a = build_schedule(&cfg, 1, 500, &mirrors, 6);
@@ -699,6 +860,76 @@ mod tests {
             }
         }
         assert!(mutates > 100, "mutation mix should be substantial");
+    }
+
+    /// The oversized-request regression: pre-fix, `encode_request` called
+    /// `expect("requests fit in a frame")` and an over-cap spec template
+    /// aborted the whole client. It must be a typed error instead.
+    #[test]
+    fn oversized_request_is_a_typed_error_not_a_panic() {
+        let templates = vec![Template {
+            source: "x".repeat(trustseq_dist::net::MAX_FRAME_LEN + 1),
+            expected: CachedVerdict {
+                feasible: true,
+                remaining_edges: 0,
+                remaining_red: 0,
+            },
+        }];
+        let err = encode_request(&Entry::Spec { template: 0 }, 7, &templates)
+            .expect_err("an over-cap request must not encode");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("seq 7"), "{msg}");
+        assert!(msg.contains("frame"), "{msg}");
+    }
+
+    #[test]
+    fn event_schedules_are_deterministic_and_open_grown_ids_with_post() {
+        let cfg = LoadgenConfig {
+            structures: 6,
+            clients: 2,
+            events: true,
+            grow: 4,
+            ..LoadgenConfig::default()
+        };
+        let mut mirrors = HashMap::new();
+        for id in 0..(cfg.structures + cfg.grow) as u64 {
+            if id % 2 == 0 {
+                mirrors.insert(
+                    id,
+                    Stall::generate(cfg.seed.wrapping_add(id), &cfg.base, MarketMode::Full, None),
+                );
+            }
+        }
+        let a = build_event_schedule(&cfg, 0, 400, &mirrors);
+        let b = build_event_schedule(&cfg, 0, 400, &mirrors);
+        assert_eq!(a, b, "event schedules must be deterministic");
+        let mut seen: HashMap<u64, ServiceOp> = HashMap::new();
+        let mut grown_events = 0;
+        for entry in &a {
+            let Entry::Event { id, op, slot } = *entry else {
+                panic!("event schedules carry only events");
+            };
+            assert_eq!(id % 2, 0, "only owned ids may appear");
+            let stall = &mirrors[&id];
+            let limit = match op {
+                ServiceOp::Accept | ServiceOp::Cancel => stall.pairs(),
+                ServiceOp::Post | ServiceOp::Expire => stall.deals(),
+            };
+            assert!((slot as usize) < limit, "slots stay in range");
+            if id >= cfg.structures as u64 {
+                grown_events += 1;
+                seen.entry(id).or_insert(op);
+            }
+        }
+        assert!(grown_events > 0, "grown ids should be exercised");
+        for (id, first_op) in seen {
+            assert_eq!(
+                first_op,
+                ServiceOp::Post,
+                "grown id {id} must open with the admitting post"
+            );
+        }
     }
 
     #[test]

@@ -58,9 +58,17 @@ impl TokenBucket {
         if self.rate <= 0.0 {
             return true;
         }
-        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
-        self.last = now;
-        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        // Credit refill only when the clock moved forward, and never move
+        // `last` backwards: rewinding it would re-credit the same interval
+        // on the next forward probe, minting tokens without bound under a
+        // non-monotone probe sequence. Sub-token fractions stay in
+        // `tokens` across probes, so probe cadence never changes the
+        // admitted total.
+        if now > self.last {
+            let elapsed = now.duration_since(self.last).as_secs_f64();
+            self.last = now;
+            self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        }
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             true
@@ -125,5 +133,82 @@ mod tests {
         b.last = base + Duration::from_secs(1);
         assert!(takes(&mut b, base, 0)); // starts full
         assert!(!takes(&mut b, base, 0)); // no time credited for the rewind
+    }
+
+    /// The regression for the rewinding-refill-clock bug: alternating
+    /// probes between a fixed later instant and an earlier one must not
+    /// re-credit the same interval on every forward hop. Pre-fix, each
+    /// backwards probe rewound `last`, so every probe at 100ms credited a
+    /// fresh 100ms of refill and this loop admitted ~1000 tokens.
+    #[test]
+    fn nonmonotone_probes_cannot_mint_tokens() {
+        let base = Instant::now();
+        let mut b = TokenBucket::new(10.0, 1.0); // 10/s, burst 1
+        b.last = base;
+        let mut admitted = 0u32;
+        // Only 100ms of real time ever elapses: the bucket owes at most
+        // the 1-token burst plus 1 refilled token.
+        for _ in 0..1_000 {
+            if takes(&mut b, base, 100) {
+                admitted += 1;
+            }
+            if takes(&mut b, base, 0) {
+                admitted += 1;
+            }
+        }
+        assert!(
+            admitted <= 2,
+            "minted {admitted} tokens from a rewinding clock"
+        );
+    }
+
+    /// The quota property: however the probes are spaced — every
+    /// millisecond, in coarse bursts, or on an irregular seeded cadence —
+    /// a bucket starting empty admits ⌊R·t⌋ ± 1 tokens over t seconds at
+    /// rate R. Fractions carry across probes (never dropped) and
+    /// intervals are counted once (never re-credited).
+    #[test]
+    fn admission_tracks_rate_regardless_of_cadence() {
+        let base = Instant::now();
+        // The invariant needs burst ≥ 1 + rate·gap: a sub-token residual
+        // plus one gap's refill must fit under the cap, or the cap (by
+        // design) eats the overflow and the count drops below ⌊R·t⌋.
+        let cadences: Vec<(f64, f64, Vec<u64>)> = vec![
+            (10.0, 2.0, (0..=5_000).collect()),
+            (10.0, 2.0, (0..=5_000).step_by(7).collect()),
+            (10.0, 6.0, (0..=5_000).step_by(333).collect()),
+            (3.0, 2.0, (0..=10_000).step_by(11).collect()),
+            (250.0, 2.0, (0..=2_000).collect()),
+            // An irregular cadence: seeded multiplicative-congruential
+            // gaps between 1ms and 64ms.
+            (25.0, 4.0, {
+                let mut at = 0u64;
+                let mut gap = 0x2545_f491_4f6c_dd1du64;
+                let mut probes = vec![0];
+                while at < 4_000 {
+                    gap = gap.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    at += 1 + (gap >> 58);
+                    probes.push(at);
+                }
+                probes
+            }),
+        ];
+        for (rate, burst, probes) in cadences {
+            let mut b = TokenBucket::new(rate, burst);
+            b.last = base;
+            b.tokens = 0.0; // start empty: every admission is pure refill
+            let mut admitted = 0u64;
+            for &at in &probes {
+                while takes(&mut b, base, at) {
+                    admitted += 1;
+                }
+            }
+            let span_ms = *probes.last().unwrap();
+            let expected = (rate * span_ms as f64 / 1000.0).floor() as u64;
+            assert!(
+                admitted.abs_diff(expected) <= 1,
+                "rate {rate}/s probed over {span_ms}ms admitted {admitted}, expected {expected}±1"
+            );
+        }
     }
 }

@@ -18,20 +18,36 @@
 //!  writer half (shared Mutex<Conn> per connection, write deadline)
 //! ```
 //!
-//! Structure `id` always routes to shard `id % workers` and each shard is
-//! drained by exactly one worker in FIFO order, so every structure sees a
-//! single, totally-ordered mutation stream — the property the load
-//! generator's centralised-replay hash check rests on.
+//! Structure `id` always routes to shard `id % workers` (modulo taken in
+//! u64 — see [`shard_of`]) and each shard is drained by exactly one worker
+//! in FIFO order, so every structure sees a single, totally-ordered
+//! mutation stream — the property the load generator's centralised-replay
+//! hash check rests on.
 //!
-//! Verdicts are answered from the shared [`AnalysisCache`]: the tier-1
-//! labelled key covers the structure *and* its current waiver/liveness
-//! labels, so a mutation simply moves the structure to a different key and
-//! toggles that revisit earlier states become tier-1 hits again. No
-//! explicit invalidation is needed — stale entries can only waste space,
-//! never serve a wrong verdict, and the TTL + segmented eviction added for
-//! this service bound that waste. Every cache verdict is cross-checked
-//! against the resident incremental analyzer's; a mismatch trips
-//! `svc.verdict_mismatch` (and a debug assertion).
+//! `analyze`/`mutate` verdicts are answered from the shared
+//! [`AnalysisCache`]: the tier-1 labelled key covers the structure *and*
+//! its current waiver/liveness labels, so a mutation simply moves the
+//! structure to a different key and toggles that revisit earlier states
+//! become tier-1 hits again. No explicit invalidation is needed — stale
+//! entries can only waste space, never serve a wrong verdict, and the
+//! TTL-plus-segmented eviction added for this service bounds that waste. Every
+//! cache verdict is cross-checked against the resident incremental
+//! analyzer's; a mismatch trips `svc.verdict_mismatch` (and a debug
+//! assertion).
+//!
+//! `event` requests take the streaming path instead: the op maps onto the
+//! structure's event→delta toggles ([`Stall::apply`], which feeds
+//! [`GraphDelta`](trustseq_core::GraphDelta) batches to the resident
+//! incremental analyzer) and the verdict is read straight off that
+//! analyzer — no canonicalisation, no cache probe. The cache entry keyed
+//! on the *pre-mutation* graph is evicted instead
+//! ([`AnalysisCache::invalidate_graph`]), so the state the structure just
+//! left cannot linger as dead weight. Each resident structure also folds
+//! its event-verdict stream into an order-sensitive FNV hash echoed in
+//! every `everdict` reply, and an `event post` addressed past the end of
+//! the population hot-admits new structures (up to
+//! [`ServiceConfig::max_structures`]) under the same generation law the
+//! load generator mirrors.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -39,11 +55,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use trustseq_core::{obs, pool, AnalysisCache, SequencingGraph};
 use trustseq_dist::net::{encode_frame, Addr, Conn, FrameDecoder, Listener};
 use trustseq_dist::{RejectReason, ServiceReply, ServiceRequest, ServiceStats};
-use trustseq_workloads::{MarketMode, MarketOp, RandomConfig, Stall};
+use trustseq_workloads::{fnv_fold, MarketMode, MarketOp, RandomConfig, Stall, FNV_OFFSET};
 
 use crate::queue::ShardedQueue;
 use crate::quota::TokenBucket;
@@ -60,9 +76,14 @@ pub struct ServiceConfig {
     pub addr: Addr,
     /// Worker count (= queue shards). Clamped to at least 1.
     pub workers: usize,
-    /// Resident structures, generated as the marketplace population
-    /// `Stall::generate(seed + id, base, Delta, None)`.
+    /// Resident structures at boot, generated as the marketplace
+    /// population `Stall::generate(seed + id, base, Delta, None)`.
     pub structures: usize,
+    /// Hard cap on the *grown* population: an `event post` addressed past
+    /// the current end hot-admits structures up to (but not including)
+    /// this id under the same generation law; events beyond it are shed
+    /// `Rejected { UnknownStructure }`. Clamped to at least `structures`.
+    pub max_structures: usize,
     /// Population seed — the load generator must use the same one to
     /// mirror the population.
     pub seed: u64,
@@ -100,6 +121,7 @@ impl Default for ServiceConfig {
             addr: Addr::Tcp("127.0.0.1:0".to_string()),
             workers: 1,
             structures: 16,
+            max_structures: 1024,
             seed: 42,
             base: RandomConfig::default(),
             queue_capacity: 1024,
@@ -152,6 +174,7 @@ struct Counters {
     proto_drops: AtomicU64,
     slow_drops: AtomicU64,
     verdict_mismatch: AtomicU64,
+    events_admitted: AtomicU64,
 }
 
 impl Counters {
@@ -193,6 +216,33 @@ struct Job {
     req: ServiceRequest,
 }
 
+/// One resident structure plus its event-stream audit state. The hash
+/// lives under the same mutex as the stall so the fold order is exactly
+/// the mutation order the owning worker applied.
+struct Resident {
+    stall: Stall,
+    /// Order-sensitive FNV fold over this structure's event-verdict
+    /// stream (`(feasible, remaining)` per event), seeded [`FNV_OFFSET`].
+    event_hash: u64,
+}
+
+impl Resident {
+    fn new(stall: Stall) -> Self {
+        Resident {
+            stall,
+            event_hash: FNV_OFFSET,
+        }
+    }
+}
+
+/// Routes structure/sequence ids to worker shards. The modulo is taken in
+/// u64 *before* narrowing: `id as usize % workers` would truncate ids
+/// above `u32::MAX` on 32-bit targets and scatter one structure's events
+/// across workers, breaking the per-structure total order.
+fn shard_of(id: u64, workers: usize) -> usize {
+    (id % workers.max(1) as u64) as usize
+}
+
 struct Shared {
     cfg: ServiceConfig,
     /// Phase 1 of shutdown: readers shed every new request as `Draining`.
@@ -201,7 +251,10 @@ struct Shared {
     /// workers may retire.
     halt: AtomicBool,
     queue: ShardedQueue<Job>,
-    stalls: Vec<Mutex<Stall>>,
+    /// The growable resident population: append-only under the write
+    /// lock, so an index, once valid, stays valid. Workers clone the
+    /// `Arc` under the read lock and release it before locking the stall.
+    stalls: RwLock<Vec<Arc<Mutex<Resident>>>>,
     cache: AnalysisCache,
     counters: Counters,
     conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
@@ -211,7 +264,7 @@ impl Shared {
     fn stats(&self) -> ServiceStats {
         let cache = self.cache.stats();
         ServiceStats {
-            structures: self.stalls.len() as u32,
+            structures: self.stalls.read().len() as u32,
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             rejected: self.counters.rejected(),
             queue_depth: self.queue.len() as u32,
@@ -219,6 +272,46 @@ impl Shared {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }
+    }
+
+    /// The resident structure at `id`, if it has been admitted.
+    fn resident(&self, id: u64) -> Option<Arc<Mutex<Resident>>> {
+        let stalls = self.stalls.read();
+        stalls.get(usize::try_from(id).ok()?).cloned()
+    }
+
+    /// Hot population resizing: grows the population through `id` under
+    /// the boot-time generation law (`Stall::generate(seed + i, base,
+    /// Delta, None)`), so a load generator that knows the seed can mirror
+    /// hot-admitted structures exactly like boot-time ones. Returns `None`
+    /// when `id` is at or past [`ServiceConfig::max_structures`].
+    fn admit_structure(&self, id: u64) -> Option<Arc<Mutex<Resident>>> {
+        let cap = self.cfg.max_structures.max(self.cfg.structures);
+        if id >= cap as u64 {
+            return None;
+        }
+        let id = id as usize;
+        let mut stalls = self.stalls.write();
+        // Another worker may have grown past this id while we waited for
+        // the write lock; generation is a pure function of the index, so
+        // whichever worker grows first materialises identical structures.
+        while stalls.len() <= id {
+            let i = stalls.len() as u64;
+            let stall = Stall::generate(
+                self.cfg.seed.wrapping_add(i),
+                &self.cfg.base,
+                MarketMode::Delta,
+                None,
+            );
+            stalls.push(Arc::new(Mutex::new(Resident::new(stall))));
+            self.counters
+                .events_admitted
+                .fetch_add(1, Ordering::Relaxed);
+            if obs::enabled() {
+                obs::with(|r| r.counter("svc.events_admitted", 1));
+            }
+        }
+        stalls.get(id).cloned()
     }
 
     fn reject(&self, conn: &ConnShared, seq: u64, reason: RejectReason) {
@@ -277,7 +370,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("local", &self.local)
             .field("workers", &self.shared.cfg.workers)
-            .field("structures", &self.shared.stalls.len())
+            .field("structures", &self.shared.stalls.read().len())
             .finish()
     }
 }
@@ -290,10 +383,12 @@ impl Server {
         let listener = Listener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let workers = cfg.workers.max(1);
-        let stalls = build_population(cfg.structures, cfg.seed, &cfg.base, MarketMode::Delta)
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let stalls = RwLock::new(
+            build_population(cfg.structures, cfg.seed, &cfg.base, MarketMode::Delta)
+                .into_iter()
+                .map(|stall| Arc::new(Mutex::new(Resident::new(stall))))
+                .collect(),
+        );
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             halt: AtomicBool::new(false),
@@ -523,10 +618,11 @@ fn handle_frame(
     }
     let shard = match &req {
         ServiceRequest::Analyze { id, .. } | ServiceRequest::Mutate { id, .. } => {
-            *id as usize % workers
+            shard_of(u64::from(*id), workers)
         }
+        ServiceRequest::Event { id, .. } => shard_of(*id, workers),
         ServiceRequest::AnalyzeSpec { seq, .. } | ServiceRequest::Stats { seq } => {
-            *seq as usize % workers
+            shard_of(*seq, workers)
         }
     };
     let job = Job {
@@ -583,6 +679,10 @@ fn process(shared: &Arc<Shared>, req: &ServiceRequest) -> ServiceReply {
         ServiceRequest::Mutate { seq, id, op, slot } => (
             mutate(shared, *seq, *id, market_op(*op), *slot as usize),
             "svc.mutate",
+        ),
+        ServiceRequest::Event { seq, id, op, slot } => (
+            event(shared, *seq, *id, market_op(*op), *slot as usize),
+            "svc.events",
         ),
         ServiceRequest::AnalyzeSpec { seq, spec } => (analyze_spec(shared, *seq, spec), "svc.spec"),
         ServiceRequest::Stats { seq } => (
@@ -644,19 +744,60 @@ fn verdict_of(shared: &Arc<Shared>, seq: u64, stall: &Stall) -> ServiceReply {
 }
 
 fn analyze(shared: &Arc<Shared>, seq: u64, id: u32) -> ServiceReply {
-    match shared.stalls.get(id as usize) {
-        Some(stall) => verdict_of(shared, seq, &stall.lock()),
+    match shared.resident(u64::from(id)) {
+        Some(resident) => verdict_of(shared, seq, &resident.lock().stall),
         None => semantic_reject(shared, seq, RejectReason::UnknownStructure),
     }
 }
 
 fn mutate(shared: &Arc<Shared>, seq: u64, id: u32, op: MarketOp, slot: usize) -> ServiceReply {
-    let Some(stall) = shared.stalls.get(id as usize) else {
+    let Some(resident) = shared.resident(u64::from(id)) else {
         return semantic_reject(shared, seq, RejectReason::UnknownStructure);
     };
-    let mut stall = stall.lock();
-    match stall.apply(op, slot) {
-        Ok(_changed) => verdict_of(shared, seq, &stall),
+    let mut resident = resident.lock();
+    match resident.stall.apply(op, slot) {
+        Ok(_changed) => verdict_of(shared, seq, &resident.stall),
+        Err(_) => semantic_reject(shared, seq, RejectReason::Malformed),
+    }
+}
+
+/// The streaming event path: the op drives the resident incremental
+/// analyzer through the structure's event→delta toggles and the verdict
+/// is read straight off it — no canonicalisation, no cache probe. The
+/// cache entry keyed on the pre-mutation graph is evicted instead, so the
+/// state the structure just left cannot linger. A `post` addressed past
+/// the current population end hot-admits structures up to the cap.
+fn event(shared: &Arc<Shared>, seq: u64, id: u64, op: MarketOp, slot: usize) -> ServiceReply {
+    let resident = match shared.resident(id) {
+        Some(resident) => Some(resident),
+        None if op == MarketOp::Post => shared.admit_structure(id),
+        None => None,
+    };
+    let Some(resident) = resident else {
+        return semantic_reject(shared, seq, RejectReason::UnknownStructure);
+    };
+    let mut resident = resident.lock();
+    // Delta-aware invalidation: the structure is about to leave this
+    // graph state, so its cached verdict is dead weight from here on.
+    shared.cache.invalidate_graph(resident.stall.graph());
+    match resident.stall.apply(op, slot) {
+        Ok(changed) => {
+            if !changed && obs::enabled() {
+                obs::with(|r| r.counter("svc.events_noop", 1));
+            }
+            let feasible = resident.stall.feasible();
+            let remaining = resident.stall.remaining_edges() as u32;
+            resident.event_hash = fnv_fold(
+                fnv_fold(resident.event_hash, u64::from(feasible)),
+                u64::from(remaining),
+            );
+            ServiceReply::EventVerdict {
+                seq,
+                feasible,
+                remaining,
+                hash: resident.event_hash,
+            }
+        }
         Err(_) => semantic_reject(shared, seq, RejectReason::Malformed),
     }
 }
@@ -674,5 +815,70 @@ fn analyze_spec(shared: &Arc<Shared>, seq: u64, spec: &str) -> ServiceReply {
         feasible: cached.feasible,
         remaining: cached.remaining_edges as u32,
         remaining_red: cached.remaining_red,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shard-routing regression: ids above `u32::MAX` must route by
+    /// their full u64 value. The pre-fix `id as usize % workers` narrows
+    /// first, which on a 32-bit target truncates `u32::MAX + 1` to 0 and
+    /// sends the structure to the wrong worker.
+    #[test]
+    fn shard_routing_takes_modulo_in_u64() {
+        let id = u64::from(u32::MAX) + 1; // 4294967296
+        assert_eq!(shard_of(id, 3), (id % 3) as usize); // = 1
+                                                        // The truncating computation a 32-bit target would have produced:
+        let truncated = (id as u32 as usize) % 3; // = 0
+        assert_ne!(shard_of(id, 3), truncated);
+        for workers in 1..=7 {
+            for offset in 0..workers as u64 {
+                let id = u64::from(u32::MAX) + 1 + offset;
+                assert_eq!(shard_of(id, workers), (id % workers as u64) as usize);
+            }
+        }
+        // Degenerate worker counts never divide by zero.
+        assert_eq!(shard_of(5, 0), 0);
+    }
+
+    /// Hot admission materialises exactly the boot-time population law:
+    /// a structure admitted at id `n` while serving is byte-identical to
+    /// the one a server booted with `structures = n + 1` would hold.
+    #[test]
+    fn hot_admission_matches_boot_population_law() {
+        let cfg = ServiceConfig {
+            structures: 2,
+            max_structures: 8,
+            ..ServiceConfig::default()
+        };
+        let shared = Shared {
+            stop: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            queue: ShardedQueue::new(1, 4),
+            stalls: RwLock::new(
+                build_population(cfg.structures, cfg.seed, &cfg.base, MarketMode::Delta)
+                    .into_iter()
+                    .map(|s| Arc::new(Mutex::new(Resident::new(s))))
+                    .collect(),
+            ),
+            cache: AnalysisCache::with_capacity_and_ttl(64, None),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            cfg,
+        };
+        assert!(shared.resident(5).is_none());
+        let admitted = shared.admit_structure(5).expect("id 5 is below the cap");
+        assert_eq!(shared.stalls.read().len(), 6);
+        let boot = build_population(6, shared.cfg.seed, &shared.cfg.base, MarketMode::Delta);
+        let admitted = admitted.lock();
+        assert_eq!(admitted.stall.graph(), boot[5].graph());
+        assert_eq!(admitted.stall.feasible(), boot[5].feasible());
+        assert_eq!(admitted.event_hash, FNV_OFFSET);
+        // The cap is a hard edge: id 8 is refused, population unchanged.
+        assert!(shared.admit_structure(8).is_none());
+        assert!(shared.admit_structure(u64::from(u32::MAX) + 9).is_none());
+        assert_eq!(shared.stalls.read().len(), 6);
     }
 }

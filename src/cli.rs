@@ -100,7 +100,7 @@ USAGE:
                    [--queue N] [--quota R] [--duration SECS]
     trustseq loadgen [--addr HOST:PORT | --serve] [--clients N] [--requests N]
                      [--mutation-rate R] [--spec-rate R] [--window N]
-                     [--quick] [--bench-out PATH]
+                     [--events] [--grow N] [--quick] [--bench-out PATH]
 
 OPTIONS:
     --extended        enable the \u{a7}9 shared-escrow delegation semantics
@@ -117,8 +117,14 @@ OPTIONS:
     --stream CHUNK    with `sweep`: bounded-memory streaming mode — generate,
                       analyze and fold CHUNK specs at a time instead of
                       materializing the whole corpus
-    --events N        with `market`: number of marketplace events to stream
-                      (default 1000)
+    --events [N]      with `market`: number of marketplace events to stream
+                      (default 1000); with `loadgen` (bare, no count):
+                      event-stream mode — send lifecycle `event` frames
+                      answered off the resident delta analyzers instead of
+                      whole-op requests
+    --grow N          with `loadgen --events`: extra structures beyond
+                      `--structures` opened mid-run by `event post` frames,
+                      exercising hot population admission
     --mutation-rate R with `market`: probability in [0, 1] that an event
                       mutates a structure rather than re-certifying one
                       (default 0.2)
@@ -171,7 +177,9 @@ OPTIONS:
                       ephemeral port first (single-machine benchmarking)
     --bench-out PATH  with `loadgen`: run the two-phase bench (sustained +
                       2x overload, always in-process) and write the JSON
-                      report to PATH
+                      report to PATH; with `--events`: the event-stream
+                      bench (whole-op mutate baseline vs event frames,
+                      gate 3x) instead
 
 COMMANDS:
     check           decide feasibility (sequencing-graph reduction, §4)
@@ -725,6 +733,12 @@ pub struct ServiceCliConfig {
     pub spec_rate: f64,
     /// `loadgen`: pipelining window per client.
     pub window: usize,
+    /// `loadgen`: stream marketplace lifecycle events instead of whole-op
+    /// requests.
+    pub events: bool,
+    /// `loadgen`: extra structures admitted hot via `event post` (event
+    /// mode only).
+    pub grow: usize,
 }
 
 impl Default for ServiceCliConfig {
@@ -741,6 +755,8 @@ impl Default for ServiceCliConfig {
             mutation_rate: 0.1,
             spec_rate: 0.005,
             window: 64,
+            events: false,
+            grow: 0,
         }
     }
 }
@@ -774,6 +790,8 @@ fn loadgen_config(
         mutation_rate: cli.mutation_rate,
         spec_rate: cli.spec_rate,
         window: cli.window,
+        events: cli.events,
+        grow: cli.grow,
         ..trustseq_service::LoadgenConfig::default()
     }
 }
@@ -939,6 +957,7 @@ fn bench_phase_json(
         r#"    {{
       "phase": "{name}",
       "clients": {}, "window": {}, "workers": {}, "structures": {},
+      "events_mode": {}, "grow": {},
       "quota_per_conn": {}, "queue_capacity": {},
       "mutation_rate": {}, "spec_rate": {},
       "requests": {}, "replies": {}, "elapsed_s": {:.3}, "rps": {:.0},
@@ -952,6 +971,8 @@ fn bench_phase_json(
         cli.window,
         cli.workers,
         cli.structures,
+        cli.events,
+        cli.grow,
         cli.quota,
         cli.queue,
         cli.mutation_rate,
@@ -1041,6 +1062,101 @@ pub fn run_service_bench(
         bench_phase_json("overload_2x", &over, &phase2),
     );
     std::fs::write(out_file, &json).map_err(|e| format!("cannot write `{out_file}`: {e}"))?;
+    let _ = writeln!(out, "report written to {out_file}");
+    Ok(out)
+}
+
+/// Runs the committed event-stream benchmark (always in-process), written
+/// as `BENCH_events.json`:
+///
+/// 1. **mutate_baseline** — every request a whole-op `mutate` frame: the
+///    server applies the delta, then re-serves the verdict through the
+///    canonicalizing cache path and cross-checks it against the resident
+///    analyzer — the per-request cost the event protocol exists to shed;
+/// 2. **event_stream** — the same request volume as lifecycle `event`
+///    frames answered straight off the resident delta analyzers, with a
+///    slice of the population admitted hot by `post` frames mid-run.
+///
+/// The gate demands the event phase carries at least 3x the baseline
+/// events/second with zero wrong verdicts and zero hash mismatches (both
+/// phases replay against centralised mirrors; the event phase additionally
+/// audits the server's echoed verdict-stream hashes).
+///
+/// # Errors
+///
+/// Socket errors, a failed verification gate, a speedup below 3x, or an
+/// unwritable `out_file`.
+pub fn run_events_bench(
+    cli: &ServiceCliConfig,
+    quick: bool,
+    out_file: &str,
+) -> Result<String, String> {
+    let mut base = cli.clone();
+    if quick {
+        base.requests = base.requests.min(40_000);
+    }
+    base.events = false;
+    base.grow = 0;
+    // The baseline answers the same mutation stream as whole-op requests:
+    // all mutates, no inline specs, so both phases measure one thing.
+    base.mutation_rate = 1.0;
+    base.spec_rate = 0.0;
+    let mut out = String::new();
+    let _ = writeln!(out, "events bench, phase 1 (whole-op mutate baseline):");
+    let phase1 = run_one_bench_phase(&base)?;
+    render_loadgen_report(&mut out, &base, &phase1);
+    check_loadgen_report(&out, &phase1)?;
+
+    let mut ev = base.clone();
+    ev.events = true;
+    ev.grow = if cli.grow > 0 {
+        cli.grow
+    } else {
+        (cli.structures / 4).max(1)
+    };
+    let _ = writeln!(
+        out,
+        "events bench, phase 2 (event stream, {} structures admitted hot):",
+        ev.grow
+    );
+    let phase2 = run_one_bench_phase(&ev)?;
+    render_loadgen_report(&mut out, &ev, &phase2);
+    check_loadgen_report(&out, &phase2)?;
+
+    let speedup = phase2.rps / phase1.rps.max(1.0);
+    if speedup < 3.0 {
+        return Err(format!(
+            "{out}bench FAILED: the event stream carried only {speedup:.2}x the \
+             whole-op mutate baseline (gate: 3x)"
+        ));
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        r#"{{
+  "suite": "events",
+  "note": "event-stream wire protocol (E28) vs the whole-op mutate baseline, in-process over loopback TCP on one machine ({cpus} core(s) shared by clients, readers and workers — a self-contained single-box number). Both phases push the same mutation volume through the same pipelined engine; only the frame type differs. The baseline phase sends whole-op `mutate` frames: the server applies the delta, then re-serves the verdict through the canonicalizing cache path and cross-checks it against the resident incremental analyzer — per-request canonicalization is the dominant cost. The event phase sends lifecycle `event` frames (post/accept/cancel/expire with a slot): verdicts come straight off the resident per-structure delta analyzers with delta-aware cache invalidation, no canonicalization and no cache probe, and a slice of the population is admitted hot mid-run by `post` frames on unseen structure ids. Verification is three-legged in the event phase: every verdict is checked against per-client centralised full-re-reduction mirrors after the timed window, order-sensitive FNV verdict-stream hashes are compared per structure, and the server's echoed running hash must match the mirror fold — wrong_verdicts and hash_mismatches are hard gates. speedup_vs_mutate is phase-2 rps over phase-1 rps; the committed gate is 3x minimum with zero verification failures.",
+  "harness": "cargo run --release -- loadgen --events --bench-out (in-process server, ephemeral loopback port)",
+  "platform": "{}-{}",
+  "cpu_count": {cpus},
+  "available_parallelism": {cpus},
+  "speedup_vs_mutate": {speedup:.2},
+  "phases": [
+{},
+{}
+  ]
+}}
+"#,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        bench_phase_json("mutate_baseline", &base, &phase1),
+        bench_phase_json("event_stream", &ev, &phase2),
+    );
+    std::fs::write(out_file, &json).map_err(|e| format!("cannot write `{out_file}`: {e}"))?;
+    let _ = writeln!(
+        out,
+        "event stream: {speedup:.1}x the whole-op mutate baseline"
+    );
     let _ = writeln!(out, "report written to {out_file}");
     Ok(out)
 }
@@ -1210,6 +1326,8 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
     let mut samples: Option<u64> = None;
     let mut stream: Option<usize> = None;
     let mut events: Option<u64> = None;
+    let mut events_flag = false;
+    let mut grow: Option<usize> = None;
     let mut mutation_rate: Option<f64> = None;
     let mut delta_mode = false;
     let mut full_mode = false;
@@ -1265,15 +1383,41 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 );
             }
             "--events" => {
+                // `market --events N` takes a count; `loadgen --events` is
+                // a bare mode toggle. Peek ahead and only consume the next
+                // token when it looks like a count (starts with a digit),
+                // leaving flags and command names in place.
+                let mut peek = iter.clone();
+                match peek.next() {
+                    Some(raw) if raw.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                        events =
+                            Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                                format!(
+                                    "`--events` expects a positive event count (got \
+                                         `{raw}`); omit the count to stream the default \
+                                         1000 events with `market`, or pass the bare flag \
+                                         to put `loadgen` in event-stream mode\n\n{USAGE}"
+                                )
+                            })?);
+                        iter = peek;
+                    }
+                    _ => events_flag = true,
+                }
+            }
+            "--grow" => {
                 let raw = iter
                     .next()
-                    .ok_or_else(|| format!("`--events` expects an event count\n\n{USAGE}"))?;
-                events = Some(raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                    format!(
-                        "`--events` expects a positive event count (got `{raw}`); \
-                             omit the flag to stream the default 1000 events\n\n{USAGE}"
-                    )
-                })?);
+                    .ok_or_else(|| format!("`--grow` expects a structure count\n\n{USAGE}"))?;
+                grow = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!(
+                            "`--grow` expects a positive structure count, got `{raw}`\n\n{USAGE}"
+                        )
+                        })?,
+                );
             }
             "--mutation-rate" => {
                 let raw = iter
@@ -1420,11 +1564,11 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 quota = Some(
                     raw.parse::<f64>()
                         .ok()
-                        .filter(|&r| r >= 0.0)
+                        .filter(|&r| r >= 0.0 && r.is_finite())
                         .ok_or_else(|| {
                             format!(
-                                "`--quota` expects a non-negative requests/second rate \
-                             (0 disables quotas), got `{raw}`\n\n{USAGE}"
+                                "`--quota` expects a finite, non-negative requests/second \
+                             rate (0 disables quotas), got `{raw}`\n\n{USAGE}"
                             )
                         })?,
                 );
@@ -1522,10 +1666,16 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                 "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
             ));
         }
-        if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+        if events.is_some()
+            || events_flag
+            || mutation_rate.is_some()
+            || delta_mode
+            || full_mode
+            || grow.is_some()
+        {
             return Err(format!(
-                "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
-                 the `market` command\n\n{USAGE}"
+                "`--events`, `--mutation-rate`, `--grow`, `--delta` and `--full` \
+                 apply to the `market` and `loadgen` commands\n\n{USAGE}"
             ));
         }
         let samples = samples.unwrap_or(1000);
@@ -1549,6 +1699,11 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
         if journal_path.is_some() || faults.is_some() {
             return Err(format!(
                 "`--journal` and `--faults` apply to the `dist` command\n\n{USAGE}"
+            ));
+        }
+        if grow.is_some() {
+            return Err(format!(
+                "`--grow` applies to the `loadgen` command (event-stream mode)\n\n{USAGE}"
             ));
         }
         if delta_mode && full_mode {
@@ -1618,16 +1773,18 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
             || in_process_serve
             || bench_out.is_some()
             || quick
+            || grow.is_some()
         {
             return Err(format!(
                 "`--clients`, `--requests`, `--spec-rate`, `--window`, `--serve`, \
-                 `--bench-out` and `--quick` apply to the `loadgen` command\n\n{USAGE}"
+                 `--bench-out`, `--quick` and `--grow` apply to the `loadgen` \
+                 command\n\n{USAGE}"
             ));
         }
-        if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+        if events.is_some() || events_flag || mutation_rate.is_some() || delta_mode || full_mode {
             return Err(format!(
                 "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
-                 the `market` command\n\n{USAGE}"
+                 the `market` and `loadgen` commands\n\n{USAGE}"
             ));
         }
         return with_metrics(metrics, metrics_format, || {
@@ -1642,10 +1799,26 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                  use their defaults)\n\n{USAGE}"
             ));
         }
-        if delta_mode || full_mode || events.is_some() {
+        if delta_mode || full_mode {
             return Err(format!(
-                "`--events`, `--delta` and `--full` apply to the `market` command\n\n{USAGE}"
+                "`--delta` and `--full` apply to the `market` command\n\n{USAGE}"
             ));
+        }
+        if events.is_some() {
+            return Err(format!(
+                "`--events` takes no count with `loadgen` (the run length is \
+                 `--requests`); pass the bare flag to enable event-stream mode\n\n{USAGE}"
+            ));
+        }
+        service_cli.events = events_flag;
+        if let Some(g) = grow {
+            if !events_flag {
+                return Err(format!(
+                    "`--grow` needs `--events`: grown structures are admitted hot \
+                     by event-stream `post` frames\n\n{USAGE}"
+                ));
+            }
+            service_cli.grow = g;
         }
         if quick {
             service_cli.requests = requests.unwrap_or(40_000);
@@ -1657,6 +1830,11 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
                     "`--bench-out` always benches an in-process server; \
                      `--addr` does not apply\n\n{USAGE}"
                 ));
+            }
+            if events_flag {
+                return with_metrics(metrics, metrics_format, || {
+                    run_events_bench(&service_cli, quick, &out_file)
+                });
             }
             return with_metrics(metrics, metrics_format, || {
                 run_service_bench(&service_cli, quick, &out_file)
@@ -1679,19 +1857,20 @@ pub fn main_with_args(args: &[String]) -> Result<String, String> {
         || spec_rate.is_some()
         || window.is_some()
         || in_process_serve
-        || bench_out.is_some();
+        || bench_out.is_some()
+        || grow.is_some();
     if service_flags_used {
         return Err(format!(
             "`--addr`, `--workers`, `--structures`, `--seed`, `--queue`, `--quota`, \
              `--duration`, `--clients`, `--requests`, `--spec-rate`, `--window`, \
-             `--serve` and `--bench-out` apply to the `serve` and `loadgen` \
-             commands\n\n{USAGE}"
+             `--grow`, `--serve` and `--bench-out` apply to the `serve` and \
+             `loadgen` commands\n\n{USAGE}"
         ));
     }
-    if events.is_some() || mutation_rate.is_some() || delta_mode || full_mode {
+    if events.is_some() || events_flag || mutation_rate.is_some() || delta_mode || full_mode {
         return Err(format!(
             "`--events`, `--mutation-rate`, `--delta` and `--full` apply to \
-             the `market` command\n\n{USAGE}"
+             the `market` and `loadgen` commands\n\n{USAGE}"
         ));
     }
     if positional.as_slice() == ["chaos-sockets"] {
@@ -2181,12 +2360,24 @@ mod tests {
 
     #[test]
     fn market_flags_are_validated() {
-        // --events/--mutation-rate/--delta/--full are market-only.
+        // --events/--mutation-rate/--delta/--full stay scoped to the
+        // market/loadgen family, in both the counted and bare forms.
         let err = main_with_args(&["--events".into(), "10".into(), "check".into(), "x".into()])
             .unwrap_err();
-        assert!(err.contains("apply to the `market` command"), "{err}");
+        assert!(
+            err.contains("apply to the `market` and `loadgen` commands"),
+            "{err}"
+        );
+        let err = main_with_args(&["--events".into(), "check".into(), "x".into()]).unwrap_err();
+        assert!(
+            err.contains("apply to the `market` and `loadgen` commands"),
+            "{err}"
+        );
         let err = main_with_args(&["sweep".into(), "--delta".into()]).unwrap_err();
-        assert!(err.contains("apply to the `market` command"), "{err}");
+        assert!(
+            err.contains("apply to the `market` and `loadgen` commands"),
+            "{err}"
+        );
         // The two maintenance modes cannot be combined.
         let err =
             main_with_args(&["market".into(), "--delta".into(), "--full".into()]).unwrap_err();
@@ -2196,9 +2387,7 @@ mod tests {
         let err = main_with_args(&["market".into(), "--events".into(), "0".into()]).unwrap_err();
         assert!(err.contains("positive event count"), "{err}");
         assert!(err.contains("got `0`"), "{err}");
-        assert!(err.contains("omit the flag"), "{err}");
-        let err = main_with_args(&["market".into(), "--events".into()]).unwrap_err();
-        assert!(err.contains("expects an event count"), "{err}");
+        assert!(err.contains("omit the count"), "{err}");
         for bad in ["1.5", "-0.1", "lots"] {
             let err = main_with_args(&["market".into(), "--mutation-rate".into(), bad.into()])
                 .unwrap_err();

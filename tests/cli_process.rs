@@ -111,3 +111,71 @@ fn simulate_command_reports_sweep() {
     assert!(stdout.contains("safety OK"));
     assert!(stdout.contains("0 violations"));
 }
+
+#[test]
+fn mutation_rate_rejects_out_of_range_and_non_numeric_values() {
+    for bad in ["1.5", "-0.1", "NaN", "nan", "inf", "abc"] {
+        let (ok, _, stderr) = trustseq(&["market", "--mutation-rate", bad]);
+        assert!(!ok, "`--mutation-rate {bad}` must be rejected");
+        assert!(
+            stderr.contains("probability in [0, 1]") && stderr.contains(bad),
+            "`--mutation-rate {bad}` gets the typed hint: {stderr}"
+        );
+    }
+    // The boundary values are legal.
+    let (ok, stdout, stderr) = trustseq(&["market", "--events", "50", "--mutation-rate", "1"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("mutation rate 1.00"), "{stdout}");
+    let (ok, _, stderr) = trustseq(&["market", "--events", "50", "--mutation-rate", "0"]);
+    assert!(ok, "{stderr}");
+}
+
+#[test]
+fn quota_rejects_non_finite_and_negative_rates() {
+    for bad in ["inf", "-inf", "NaN", "-5", "lots"] {
+        let (ok, _, stderr) = trustseq(&["serve", "--quota", bad]);
+        assert!(!ok, "`--quota {bad}` must be rejected");
+        assert!(
+            stderr.contains("finite, non-negative") && stderr.contains(bad),
+            "`--quota {bad}` gets the typed hint: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn loadgen_event_flags_are_validated() {
+    // `--events` with a count belongs to `market`, not `loadgen`.
+    let (ok, _, stderr) = trustseq(&["loadgen", "--events", "100"]);
+    assert!(!ok);
+    assert!(stderr.contains("takes no count"), "{stderr}");
+    // `--grow` without `--events` has nothing to admit structures with.
+    let (ok, _, stderr) = trustseq(&["loadgen", "--grow", "4", "--requests", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("`--grow` needs `--events`"), "{stderr}");
+    // `--grow` never applies to `market`.
+    let (ok, _, stderr) = trustseq(&["market", "--grow", "4"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("`--grow` applies to the `loadgen`"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn loadgen_event_mode_smoke_run_passes_its_gates() {
+    let (ok, stdout, stderr) = trustseq(&[
+        "loadgen",
+        "--events",
+        "--grow",
+        "2",
+        "--requests",
+        "2000",
+        "--clients",
+        "2",
+        "--structures",
+        "4",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("0 wrong verdicts"), "{stdout}");
+    assert!(stdout.contains("0/6 structure hash mismatches"), "{stdout}");
+}

@@ -1,17 +1,18 @@
 //! Temporary review-only stress test (not part of the PR).
 
-use trustseq::core::{CommitmentId, DeltaAnalyzer, EdgeId, GraphDelta, ScratchReducer, Strategy};
 use trustseq::core::SequencingGraph;
+use trustseq::core::{CommitmentId, DeltaAnalyzer, EdgeId, GraphDelta, ScratchReducer, Strategy};
 use trustseq::workloads::{random_exchange, RandomConfig};
 
 fn lcg(state: &mut u64) -> u64 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *state >> 33
 }
 
 #[test]
 fn heavy_mutation_fuzz_matches_cold_oracle() {
-    let mut divergences = 0u64;
     for seed in 0..120u64 {
         let config = RandomConfig {
             width: 1 + (seed % 4) as usize,
@@ -33,14 +34,18 @@ fn heavy_mutation_fuzz_matches_cold_oracle() {
             let sel = lcg(&mut rng) % 3;
             let delta = if sel == 2 {
                 let n = lazy.graph().commitments().len() as u64;
-                if n == 0 { continue; }
+                if n == 0 {
+                    continue;
+                }
                 GraphDelta::SetWaiver {
                     commitment: CommitmentId::new((lcg(&mut rng) % n) as u32),
-                    waived: lcg(&mut rng) % 2 == 0,
+                    waived: lcg(&mut rng).is_multiple_of(2),
                 }
             } else {
                 let n = lazy.graph().edges().len() as u64;
-                if n == 0 { continue; }
+                if n == 0 {
+                    continue;
+                }
                 let id = EdgeId::new((lcg(&mut rng) % n) as u32);
                 if lazy.graph().is_live(id) {
                     GraphDelta::RemoveEdge(id)
@@ -52,18 +57,14 @@ fn heavy_mutation_fuzz_matches_cold_oracle() {
             let b = eager.apply(delta).unwrap();
             let c = deflt.apply(delta).unwrap();
             // Independent cold oracle: fresh reducer over the mutated graph.
-            let cold = ScratchReducer::new()
-                .run_verdict_only(lazy.graph(), Strategy::Deterministic);
+            let cold =
+                ScratchReducer::new().run_verdict_only(lazy.graph(), Strategy::Deterministic);
             if a != cold || b != cold || c != cold {
-                divergences += 1;
-                panic!(
-                    "seed {seed} delta {delta:?}: lazy={a} eager={b} default={c} cold={cold}"
-                );
+                panic!("seed {seed} delta {delta:?}: lazy={a} eager={b} default={c} cold={cold}");
             }
             assert_eq!(a, lazy.remaining_edges() == 0);
             assert_eq!(lazy.remaining_edges(), eager.remaining_edges());
         }
         assert_eq!(lazy.stats().fallbacks, 0);
     }
-    assert_eq!(divergences, 0);
 }

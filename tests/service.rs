@@ -12,8 +12,11 @@ use std::io::{Read, Write};
 use std::time::{Duration, Instant};
 
 use trustseq_dist::net::{encode_frame, Addr, Conn, FrameDecoder};
-use trustseq_dist::{RejectReason, ServiceReply, ServiceRequest};
-use trustseq_service::{run_loadgen, LoadgenConfig, Server, ServerHandle, ServiceConfig};
+use trustseq_dist::{RejectReason, ServiceOp, ServiceReply, ServiceRequest};
+use trustseq_service::{
+    market_op, run_loadgen, LoadgenConfig, Server, ServerHandle, ServiceConfig,
+};
+use trustseq_workloads::{fnv_fold, MarketMode, Stall, FNV_OFFSET};
 
 /// Binds and runs a server on an ephemeral loopback port, returning its
 /// address, shutdown handle, and the serving thread to join.
@@ -432,4 +435,232 @@ fn concurrent_mutate_and_analyze_streams_stay_consistent() {
     let stats = shutdown(handle, serving);
     assert!(stats.accepted >= report.accepted, "server counted the work");
     assert_eq!(stats.connections, 0, "all client connections closed");
+}
+
+#[test]
+fn event_verdicts_come_off_the_resident_analyzer_with_a_running_hash() {
+    let cfg = ServiceConfig {
+        structures: 4,
+        ..ServiceConfig::default()
+    };
+    let (seed, base) = (cfg.seed, cfg.base.clone());
+    let (addr, handle, serving) = spawn_server(cfg);
+
+    // Mirror structure 0 under the boot generation law, pick ops that are
+    // in range for its trust-pair / deal families, and fold the expected
+    // verdict-stream hash exactly as the server advertises it.
+    let mut mirror = Stall::generate(seed, &base, MarketMode::Full, None);
+    let mut ops = Vec::new();
+    if mirror.pairs() > 0 {
+        ops.push((ServiceOp::Accept, 0u32));
+        ops.push((ServiceOp::Cancel, 0u32));
+    }
+    if mirror.deals() > 0 {
+        ops.push((ServiceOp::Post, 0u32));
+        ops.push((ServiceOp::Expire, 0u32));
+    }
+    assert!(
+        !ops.is_empty(),
+        "structure 0 has at least one toggle family"
+    );
+
+    let mut conn = connect(&addr);
+    let mut expected_hash = FNV_OFFSET;
+    for (i, &(op, slot)) in ops.iter().enumerate() {
+        let seq = i as u64 + 1;
+        send(
+            &mut conn,
+            &ServiceRequest::Event {
+                seq,
+                id: 0,
+                op,
+                slot,
+            },
+        );
+        let replies = collect(&mut conn, 1, Duration::from_secs(5));
+        mirror
+            .apply(market_op(op), slot as usize)
+            .expect("mirror accepts the in-range slot");
+        expected_hash = fnv_fold(
+            fnv_fold(expected_hash, u64::from(mirror.feasible())),
+            mirror.remaining_edges() as u64,
+        );
+        match replies.as_slice() {
+            [ServiceReply::EventVerdict {
+                seq: rseq,
+                feasible,
+                remaining,
+                hash,
+            }] => {
+                assert_eq!(*rseq, seq);
+                assert_eq!(*feasible, mirror.feasible(), "verdict matches the mirror");
+                assert_eq!(*remaining as usize, mirror.remaining_edges());
+                assert_eq!(*hash, expected_hash, "running hash folds in order");
+            }
+            other => panic!("expected one everdict, got {other:?}"),
+        }
+    }
+    shutdown(handle, serving);
+}
+
+#[test]
+fn out_of_range_event_slot_is_typed_malformed_and_the_connection_survives() {
+    let (addr, handle, serving) = spawn_server(ServiceConfig {
+        structures: 2,
+        max_structures: 4,
+        ..ServiceConfig::default()
+    });
+    let mut conn = connect(&addr);
+    // A slot no structure can have: typed rejection, not a disconnect.
+    send(
+        &mut conn,
+        &ServiceRequest::Event {
+            seq: 1,
+            id: 0,
+            op: ServiceOp::Accept,
+            slot: u32::MAX,
+        },
+    );
+    // A non-`post` event on an unknown structure never admits it.
+    send(
+        &mut conn,
+        &ServiceRequest::Event {
+            seq: 2,
+            id: 3,
+            op: ServiceOp::Cancel,
+            slot: 0,
+        },
+    );
+    // Growth past `max_structures` is refused even for `post`.
+    send(
+        &mut conn,
+        &ServiceRequest::Event {
+            seq: 3,
+            id: 999,
+            op: ServiceOp::Post,
+            slot: 0,
+        },
+    );
+    send(&mut conn, &ServiceRequest::Analyze { seq: 4, id: 0 });
+    let replies = collect(&mut conn, 4, Duration::from_secs(10));
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    assert!(matches!(
+        replies[0],
+        ServiceReply::Rejected {
+            seq: 1,
+            reason: RejectReason::Malformed
+        }
+    ));
+    assert!(matches!(
+        replies[1],
+        ServiceReply::Rejected {
+            seq: 2,
+            reason: RejectReason::UnknownStructure
+        }
+    ));
+    assert!(matches!(
+        replies[2],
+        ServiceReply::Rejected {
+            seq: 3,
+            reason: RejectReason::UnknownStructure
+        }
+    ));
+    assert!(
+        matches!(replies[3], ServiceReply::Verdict { seq: 4, .. }),
+        "the connection keeps serving after typed event rejections"
+    );
+    shutdown(handle, serving);
+}
+
+#[test]
+fn event_post_on_an_unknown_structure_admits_it_while_serving() {
+    let cfg = ServiceConfig {
+        structures: 2,
+        max_structures: 8,
+        ..ServiceConfig::default()
+    };
+    let (seed, base) = (cfg.seed, cfg.base.clone());
+    let (addr, handle, serving) = spawn_server(cfg);
+    let mut conn = connect(&addr);
+
+    // Before admission the structure is unknown to `analyze`.
+    send(&mut conn, &ServiceRequest::Analyze { seq: 1, id: 5 });
+    let before = collect(&mut conn, 1, Duration::from_secs(5));
+    assert!(matches!(
+        before.as_slice(),
+        [ServiceReply::Rejected {
+            seq: 1,
+            reason: RejectReason::UnknownStructure
+        }]
+    ));
+
+    // Find a deal slot the grown structure will actually have, from the
+    // same generation law the server uses for hot admission.
+    let mut mirror = Stall::generate(seed.wrapping_add(5), &base, MarketMode::Full, None);
+    assert!(mirror.deals() > 0, "seed 42 structure 5 has a deal to post");
+    send(
+        &mut conn,
+        &ServiceRequest::Event {
+            seq: 2,
+            id: 5,
+            op: ServiceOp::Post,
+            slot: 0,
+        },
+    );
+    let admitted = collect(&mut conn, 1, Duration::from_secs(5));
+    mirror.apply(trustseq_workloads::MarketOp::Post, 0).unwrap();
+    match admitted.as_slice() {
+        [ServiceReply::EventVerdict {
+            seq: 2,
+            feasible,
+            remaining,
+            ..
+        }] => {
+            assert_eq!(*feasible, mirror.feasible());
+            assert_eq!(*remaining as usize, mirror.remaining_edges());
+        }
+        other => panic!("expected an everdict for the admitting post, got {other:?}"),
+    }
+
+    // The grown structure — and the whole admitted prefix — now serve
+    // whole-op requests too.
+    send(&mut conn, &ServiceRequest::Analyze { seq: 3, id: 5 });
+    send(&mut conn, &ServiceRequest::Analyze { seq: 4, id: 3 });
+    let after = collect(&mut conn, 2, Duration::from_secs(5));
+    assert!(matches!(after[0], ServiceReply::Verdict { seq: 3, .. }));
+    assert!(matches!(after[1], ServiceReply::Verdict { seq: 4, .. }));
+    shutdown(handle, serving);
+}
+
+#[test]
+fn event_stream_loadgen_with_hot_growth_verifies_three_ways() {
+    let (addr, handle, serving) = spawn_server(ServiceConfig {
+        workers: 2,
+        structures: 8,
+        max_structures: 64,
+        ..ServiceConfig::default()
+    });
+    let report = run_loadgen(&LoadgenConfig {
+        addr,
+        clients: 3,
+        requests: 15_000,
+        structures: 8,
+        events: true,
+        grow: 4,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen runs");
+    assert_eq!(report.replies, report.sent, "every event answered");
+    assert_eq!(report.wrong, 0, "no verdict disagreed with the replay");
+    assert_eq!(
+        report.hash_mismatches, 0,
+        "mirror folds and server-echoed hashes both agree"
+    );
+    assert!(
+        report.hash_checked == 12,
+        "all 8 boot + 4 grown structures verified, got {}",
+        report.hash_checked
+    );
+    let stats = shutdown(handle, serving);
+    assert!(stats.accepted >= report.accepted, "server counted the work");
 }
